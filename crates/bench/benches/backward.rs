@@ -1,0 +1,50 @@
+//! Criterion microbenchmark: Eff-TT backward kernels.
+//!
+//! Complements `fig18_backward`: per-lookup (TT-Rec) gradients vs
+//! in-advance aggregation, fused vs materialized updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use el_core::{TtConfig, TtEmbeddingBag, TtOptions, TtWorkspace};
+use el_data::{DatasetSpec, SyntheticDataset};
+use rand::SeedableRng;
+
+fn bench_backward(c: &mut Criterion) {
+    let rows = 500_000;
+    let mut spec = DatasetSpec::toy(1, rows, usize::MAX / 2);
+    spec.indices_per_sample = 2;
+    let ds = SyntheticDataset::new(spec, 6);
+    let config = TtConfig::new(rows, 32, 32);
+
+    let variants: Vec<(&str, TtOptions)> = vec![
+        ("tt_rec_baseline", TtOptions::tt_rec_baseline()),
+        ("fused_only", TtOptions { fused_update: true, ..TtOptions::tt_rec_baseline() }),
+        ("aggregated_fused", TtOptions::default()),
+    ];
+
+    let mut group = c.benchmark_group("backward");
+    for &bs in &[1024usize, 4096] {
+        let batch = ds.batch(3, bs);
+        let field = &batch.fields[0];
+        group.throughput(Throughput::Elements(field.nnz() as u64));
+        for (name, options) in &variants {
+            group.bench_with_input(BenchmarkId::new(*name, bs), &bs, |b, _| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                let mut table =
+                    TtEmbeddingBag::new(&config, &mut rng).with_options(options.clone());
+                let mut ws = TtWorkspace::new();
+                b.iter(|| {
+                    let out = table.forward(&field.indices, &field.offsets, &mut ws);
+                    table.backward_sgd(&out, &mut ws, 1e-4);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmark: the GEMM substrate.
+//!
+//! The batched-GEMM engine is the cuBLAS stand-in every Eff-TT kernel sits
+//! on; these benches pin its scaling (many small products, the TT slice
+//! shapes) and the blocked single-GEMM kernel against the naive oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use el_tensor::batched::{batched_gemm, batched_gemm_seq, GemmBatch};
+use el_tensor::gemm::{gemm_nn, gemm_ref, Trans};
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_single_gemm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("gemm_single");
+    for &n in &[64usize, 256] {
+        let a = rand_vec(n * n, &mut rng);
+        let b = rand_vec(n * n, &mut rng);
+        let mut cbuf = vec![0.0f32; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| gemm_nn(n, n, n, 1.0, &a, &b, 0.0, &mut cbuf));
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+                bch.iter(|| gemm_ref(n, n, n, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut cbuf));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_batched_gemm(c: &mut Criterion) {
+    // TT slice shapes: (n1 x R1) x (R1 x n2*R2) with n=4, R=32
+    let (m, k, n) = (4usize, 32usize, 4 * 32);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("gemm_batched");
+    for &count in &[512usize, 4096] {
+        let a_arena = rand_vec(m * k * count, &mut rng);
+        let b_arena = rand_vec(k * n * count, &mut rng);
+        let mut c_arena = vec![0.0f32; m * n * count];
+        let mut batch = GemmBatch::new(m, n, k);
+        for i in 0..count {
+            batch.push(i * m * k, i * k * n, i * m * n);
+        }
+        group.throughput(Throughput::Elements(batch.flops() as u64));
+        group.bench_with_input(BenchmarkId::new("parallel", count), &count, |bch, _| {
+            bch.iter(|| batched_gemm(&batch, &a_arena, &b_arena, &mut c_arena));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", count), &count, |bch, _| {
+            bch.iter(|| batched_gemm_seq(&batch, &a_arena, &b_arena, &mut c_arena));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_gemm, bench_batched_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmark: Eff-TT lookup (forward) kernels.
+//!
+//! Complements `fig17_lookup` with statistically rigorous per-kernel
+//! timings: TT-Rec-style naive chains vs batch-level reuse, across batch
+//! sizes, plus the dense EmbeddingBag reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use el_core::{ForwardStrategy, TtConfig, TtEmbeddingBag, TtOptions, TtWorkspace};
+use el_data::{DatasetSpec, SyntheticDataset};
+use el_dlrm::embedding_bag::EmbeddingBag;
+use rand::SeedableRng;
+
+fn bench_lookup(c: &mut Criterion) {
+    let rows = 500_000;
+    let mut spec = DatasetSpec::toy(1, rows, usize::MAX / 2);
+    spec.indices_per_sample = 2;
+    let ds = SyntheticDataset::new(spec, 5);
+
+    let config = TtConfig::new(rows, 32, 32);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let reuse = TtEmbeddingBag::new(&config, &mut rng);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let naive = TtEmbeddingBag::new(&config, &mut rng)
+        .with_options(TtOptions { forward: ForwardStrategy::Naive, ..TtOptions::default() });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let dense = EmbeddingBag::new(rows, 32, 0.05, &mut rng);
+
+    let mut group = c.benchmark_group("lookup");
+    for &bs in &[1024usize, 4096] {
+        let batch = ds.batch(9, bs);
+        let field = &batch.fields[0];
+        group.throughput(Throughput::Elements(field.nnz() as u64));
+
+        group.bench_with_input(BenchmarkId::new("tt_naive", bs), &bs, |b, _| {
+            let mut ws = TtWorkspace::new();
+            b.iter(|| naive.forward(&field.indices, &field.offsets, &mut ws));
+        });
+        group.bench_with_input(BenchmarkId::new("tt_reuse", bs), &bs, |b, _| {
+            let mut ws = TtWorkspace::new();
+            b.iter(|| reuse.forward(&field.indices, &field.offsets, &mut ws));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_reference", bs), &bs, |b, _| {
+            b.iter(|| dense.forward(&field.indices, &field.offsets));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lookup
+}
+criterion_main!(benches);

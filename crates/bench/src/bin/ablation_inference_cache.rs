@@ -1,0 +1,73 @@
+//! Ablation: the cross-batch hot-prefix cache (inference extension).
+//!
+//! §III-A's motivation — reuse the intermediate results of *popular*
+//! embeddings — extends past a single batch once the cores are frozen.
+//! This bench serves zipf-distributed inference traffic through
+//! `TtInferenceSession` at several cache capacities and reports hit rate
+//! and latency against the uncached training-kernel lookup.
+
+use el_bench::{bench_batches, bench_scale, fmt_bytes, fmt_secs, print_table, section};
+use el_core::{TtConfig, TtEmbeddingBag, TtInferenceSession, TtWorkspace};
+use el_data::{DatasetSpec, SyntheticDataset};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale(0.2);
+    let reps = bench_batches(3);
+    let rows = (5_000_000f64 * scale) as usize;
+    let mut spec = DatasetSpec::toy(1, rows, usize::MAX / 2);
+    spec.indices_per_sample = 2;
+    let ds = SyntheticDataset::new(spec, 17);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let table = TtEmbeddingBag::new(&TtConfig::new(rows, 32, 32), &mut rng);
+    let batches: Vec<(Vec<u32>, Vec<u32>)> = (0..12u64)
+        .map(|b| {
+            let batch = ds.batch(b, 2048);
+            (batch.fields[0].indices.clone(), batch.fields[0].offsets.clone())
+        })
+        .collect();
+
+    // baseline: the training forward kernel (per-batch reuse only)
+    let mut ws = TtWorkspace::new();
+    let _ = table.forward(&batches[0].0, &batches[0].1, &mut ws);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (idx, off) in &batches {
+            let _ = table.forward(idx, off, &mut ws);
+        }
+    }
+    let base = t0.elapsed().as_secs_f64() / (reps as usize * batches.len()) as f64;
+
+    section(&format!(
+        "Ablation: persistent hot-prefix cache, inference on a {rows}-row table"
+    ));
+    let mut rows_out =
+        vec![vec!["none (training kernel)".to_string(), fmt_secs(base), "-".into(), "-".into()]];
+    for capacity in [256usize, 2048, 16384, 131072] {
+        let mut session = TtInferenceSession::new(&table, capacity);
+        // warm pass
+        for (idx, off) in &batches {
+            let _ = session.lookup(idx, off);
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (idx, off) in &batches {
+                let _ = session.lookup(idx, off);
+            }
+        }
+        let per = t0.elapsed().as_secs_f64() / (reps as usize * batches.len()) as f64;
+        rows_out.push(vec![
+            format!("{capacity} prefixes"),
+            fmt_secs(per),
+            format!("{:.1}%", session.hit_rate() * 100.0),
+            fmt_bytes(session.footprint_bytes()),
+        ]);
+    }
+    print_table(&["cache", "latency / 2048-batch", "hit rate", "cache bytes"], &rows_out);
+    println!(
+        "hit rate follows the access CDF (Figure 4a): a cache holding the hot\n\
+         prefixes serves most lookups without touching the first d-1 cores."
+    );
+}

@@ -1,0 +1,46 @@
+//! Runs the whole experiment suite — every table and figure — in paper
+//! order, by invoking the sibling binaries.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_frameworks",
+    "table2_datasets",
+    "table3_footprint",
+    "table4_accuracy",
+    "fig4_data_characteristics",
+    "fig11_end_to_end",
+    "fig12_multi_gpu",
+    "fig13_large_table",
+    "fig14_breakdown",
+    "fig15_convergence",
+    "fig16_pipeline",
+    "fig17_lookup",
+    "fig18_backward",
+    "ablation_queue_depth",
+    "ablation_rank_sweep",
+    "ablation_inference_cache",
+    "extra_quantization_vs_tt",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################ {exp} ################");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("!! {exp} exited with {status}");
+            failed.push(*exp);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Extra experiment: quantization vs tensor-train compression.
+//!
+//! The paper's §I positions TT against low-bit quantization: quantization
+//! is "feasible for inference, but training with a quantized embedding
+//! table often yields significant accuracy losses", while TT compresses
+//! further at negligible accuracy cost (plus compute). This bench makes
+//! the comparison concrete on one table-only training task:
+//! embedding regression toward fixed targets under each representation.
+
+use el_bench::{bench_batches, bench_scale, fmt_bytes, print_table, section};
+use el_core::{TtConfig, TtEmbeddingBag, TtWorkspace};
+use el_data::{DatasetSpec, SyntheticDataset};
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_dlrm::quantized::{Bf16EmbeddingBag, QuantizedEmbeddingBag};
+use el_tensor::Matrix;
+use rand::SeedableRng;
+
+/// Deterministic per-row regression target.
+fn target_for(indices: &[u32], offsets: &[u32], dim: usize) -> Matrix {
+    let mut t = Matrix::zeros(offsets.len() - 1, dim);
+    for s in 0..offsets.len() - 1 {
+        for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+            for (c, v) in t.row_mut(s).iter_mut().enumerate() {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(c as u64 * 31);
+                *v += ((h % 1000) as f32 / 1000.0 - 0.5) * 0.2;
+            }
+        }
+    }
+    t
+}
+
+fn main() {
+    let scale = bench_scale(0.02);
+    let train_batches = bench_batches(60);
+    let rows = (1_000_000f64 * scale) as usize;
+    let dim = 32;
+    let batch_size = 1024;
+    let mut spec = DatasetSpec::toy(1, rows, usize::MAX / 2);
+    spec.indices_per_sample = 1;
+    let ds = SyntheticDataset::new(spec, 19);
+
+    section(&format!(
+        "Extra: quantization vs TT — {rows}-row table, dim {dim}, embedding \
+         regression ({train_batches} batches)"
+    ));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut dense = EmbeddingBag::new(rows, dim, 0.05, &mut rng);
+    let mut int8 = QuantizedEmbeddingBag::from_dense(&dense.weight);
+    let mut bf16 = Bf16EmbeddingBag::new(rows, dim, 0.05, &mut rng);
+    let mut tt = TtEmbeddingBag::new(&TtConfig::new(rows, dim, 16), &mut rng);
+    let mut ws = TtWorkspace::new();
+
+    // One shared schedule: residuals normalized by batch size so a row
+    // occurring k times takes a k/batch-sized step — stable under skew.
+    let lr = 1.0f32;
+    let mut final_losses = [0.0f64; 4];
+    for k in 0..train_batches {
+        let batch = ds.batch(k, batch_size);
+        let field = &batch.fields[0];
+        let target = target_for(&field.indices, &field.offsets, dim);
+        let residual = |out: &Matrix| {
+            let mut d = out.clone();
+            d.axpy(-1.0, &target);
+            let mse = (d.frobenius_norm() as f64).powi(2) / batch_size as f64;
+            d.scale(1.0 / batch_size as f32);
+            (d, mse)
+        };
+
+        let out = dense.forward(&field.indices, &field.offsets);
+        let (d, mse) = residual(&out);
+        final_losses[0] = mse;
+        dense.backward_sgd(&field.indices, &field.offsets, &d, lr);
+
+        let out = int8.forward(&field.indices, &field.offsets);
+        let (d, mse) = residual(&out);
+        final_losses[1] = mse;
+        int8.backward_sgd(&field.indices, &field.offsets, &d, lr);
+
+        let out = bf16.forward(&field.indices, &field.offsets);
+        let (d, mse) = residual(&out);
+        final_losses[2] = mse;
+        bf16.backward_sgd(&field.indices, &field.offsets, &d, lr);
+
+        let out = tt.forward(&field.indices, &field.offsets, &mut ws);
+        let (d, mse) = residual(&out);
+        final_losses[3] = mse;
+        tt.backward_sgd(&d, &mut ws, lr);
+    }
+
+    let dense_bytes = rows * dim * 4;
+    let rows_out = vec![
+        vec![
+            "dense f32".to_string(),
+            fmt_bytes(dense_bytes),
+            "1.0x".into(),
+            format!("{:.5}", final_losses[0]),
+        ],
+        vec![
+            "int8 (per-row affine)".to_string(),
+            fmt_bytes(int8.footprint_bytes()),
+            format!("{:.1}x", dense_bytes as f64 / int8.footprint_bytes() as f64),
+            format!("{:.5}", final_losses[1]),
+        ],
+        vec![
+            "bf16".to_string(),
+            fmt_bytes(bf16.footprint_bytes()),
+            format!("{:.1}x", dense_bytes as f64 / bf16.footprint_bytes() as f64),
+            format!("{:.5}", final_losses[2]),
+        ],
+        vec![
+            "Eff-TT rank 16".to_string(),
+            fmt_bytes(tt.footprint_bytes()),
+            format!("{:.1}x", dense_bytes as f64 / tt.footprint_bytes() as f64),
+            format!("{:.5}", final_losses[3]),
+        ],
+    ];
+    print_table(&["representation", "bytes", "compression", "final train MSE"], &rows_out);
+    println!(
+        "paper §I: quantized *training* erodes accuracy (sub-step updates are\n\
+         swallowed); TT compresses far harder and still trains cleanly —\n\
+         compare the compression column against the loss column."
+    );
+}

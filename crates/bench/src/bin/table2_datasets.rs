@@ -1,0 +1,49 @@
+//! Table II — dataset statistics.
+//!
+//! Prints the schema shapes of the three benchmark datasets (at full scale,
+//! as the paper reports them) together with the scaled shapes the rest of
+//! the suite trains on.
+
+use el_bench::{bench_scale, fmt_bytes, print_table, section};
+use el_data::DatasetSpec;
+
+fn row(spec: &DatasetSpec, dim: usize) -> Vec<String> {
+    vec![
+        spec.name.clone(),
+        format!("{:.1}M", spec.num_samples as f64 / 1e6),
+        spec.num_dense.to_string(),
+        spec.num_sparse().to_string(),
+        format!("{:.1}M", spec.total_rows() as f64 / 1e6),
+        fmt_bytes(spec.embedding_footprint_bytes(dim)),
+    ]
+}
+
+fn main() {
+    section("Table II: dataset statistics (paper scale)");
+    let dim = 128;
+    let full = [
+        DatasetSpec::avazu(1.0),
+        DatasetSpec::criteo_kaggle(1.0),
+        DatasetSpec::criteo_terabyte(1.0),
+    ];
+    print_table(
+        &["dataset", "samples", "dense", "sparse", "emb rows", "emb bytes (dim 128)"],
+        &full.iter().map(|s| row(s, dim)).collect::<Vec<_>>(),
+    );
+    println!(
+        "paper: Criteo Terabyte embedding footprint ~59.2 GB at dim 128 after\n\
+         frequency capping; the uncapped schema above is an upper bound."
+    );
+
+    let scale = bench_scale(0.01);
+    section(&format!("Scaled shapes used by this suite (EL_BENCH_SCALE={scale})"));
+    let scaled = [
+        DatasetSpec::avazu(scale),
+        DatasetSpec::criteo_kaggle(scale),
+        DatasetSpec::criteo_terabyte(scale),
+    ];
+    print_table(
+        &["dataset", "samples", "dense", "sparse", "emb rows", "emb bytes (dim 128)"],
+        &scaled.iter().map(|s| row(s, dim)).collect::<Vec<_>>(),
+    );
+}

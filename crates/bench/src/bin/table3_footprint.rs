@@ -1,0 +1,52 @@
+//! Table III — embedding-table memory footprint: dense vs Eff-TT.
+//!
+//! For each dataset the paper compresses every table above 1M rows with TT
+//! rank 128 (V100) / 64 (T4). This binary reproduces the footprint
+//! comparison at full schema scale (footprints are arithmetic — no memory
+//! is allocated).
+
+use el_bench::{fmt_bytes, print_table, section};
+use el_core::TtConfig;
+use el_data::DatasetSpec;
+
+fn footprints(spec: &DatasetSpec, dim: usize, rank: usize, threshold: usize) -> (usize, usize) {
+    let dense: usize = spec.embedding_footprint_bytes(dim);
+    let mut compressed = 0usize;
+    for &card in &spec.table_cardinalities {
+        if card >= threshold {
+            compressed += TtConfig::new(card, dim, rank).param_count() * 4;
+        } else {
+            compressed += card * dim * 4;
+        }
+    }
+    (dense, compressed)
+}
+
+fn main() {
+    section("Table III: embedding footprint, dense vs TT (threshold 1M rows)");
+    let dim = 128;
+    let specs = [
+        DatasetSpec::avazu(1.0),
+        DatasetSpec::criteo_kaggle(1.0),
+        DatasetSpec::criteo_terabyte(1.0),
+    ];
+    let mut rows = Vec::new();
+    for spec in &specs {
+        for rank in [64usize, 128] {
+            let (dense, tt) = footprints(spec, dim, rank, 1_000_000);
+            rows.push(vec![
+                spec.name.clone(),
+                rank.to_string(),
+                fmt_bytes(dense),
+                fmt_bytes(tt),
+                format!("{:.0}x", dense as f64 / tt as f64),
+            ]);
+        }
+    }
+    print_table(&["dataset", "TT rank", "dense", "EL-Rec (Eff-TT)", "reduction"], &rows);
+    println!(
+        "paper: TT compression shrinks Criteo Terabyte's ~59 GB of embeddings\n\
+         to fit a single 16 GB GPU; the reduction factors above show the same\n\
+         orders of magnitude."
+    );
+}

@@ -1,0 +1,144 @@
+//! # el-bench — the experiment harness
+//!
+//! One binary per table/figure of the EL-Rec paper (see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for paper-vs-measured records):
+//!
+//! ```text
+//! cargo run --release -p el-bench --bin table1_frameworks
+//! cargo run --release -p el-bench --bin table2_datasets
+//! cargo run --release -p el-bench --bin table3_footprint
+//! cargo run --release -p el-bench --bin table4_accuracy
+//! cargo run --release -p el-bench --bin fig4_data_characteristics
+//! cargo run --release -p el-bench --bin fig11_end_to_end
+//! cargo run --release -p el-bench --bin fig12_multi_gpu
+//! cargo run --release -p el-bench --bin fig13_large_table
+//! cargo run --release -p el-bench --bin fig14_breakdown
+//! cargo run --release -p el-bench --bin fig15_convergence
+//! cargo run --release -p el-bench --bin fig16_pipeline
+//! cargo run --release -p el-bench --bin fig17_lookup
+//! cargo run --release -p el-bench --bin fig18_backward
+//! cargo run --release -p el-bench --bin all          # everything above
+//! ```
+//!
+//! Experiments run on *scaled* dataset shapes (environment variable
+//! `EL_BENCH_SCALE`, default chosen per experiment) so the suite completes
+//! on one machine; the paper-vs-measured comparison targets speedup
+//! *shapes*, not absolute numbers.
+
+use std::fmt::Display;
+
+/// Prints a boxed section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints an aligned text table.
+pub fn print_table<H: Display, C: Display>(headers: &[H], rows: &[Vec<C>]) {
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for r in &rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+        for (w, c) in widths.iter_mut().zip(r) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(&widths) {
+            line.push_str(&format!(" {c:>w$} |", w = w));
+        }
+        line
+    };
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    println!("{sep}");
+    println!("{}", fmt_row(&headers));
+    println!("{sep}");
+    for r in &rows {
+        println!("{}", fmt_row(r));
+    }
+    println!("{sep}");
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Human-readable duration.
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+/// `x.yz x` speedup formatting.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Reads a scale factor from `EL_BENCH_SCALE`, with an
+/// experiment-specific default.
+pub fn bench_scale(default: f64) -> f64 {
+    std::env::var("EL_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads an iteration override from `EL_BENCH_BATCHES`.
+pub fn bench_batches(default: u64) -> u64 {
+    std::env::var("EL_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2_000_000), "2.00 MB");
+        assert_eq!(fmt_bytes(3_500_000_000), "3.50 GB");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0021), "2.10 ms");
+        assert_eq!(fmt_speedup(3.04), "3.04x");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        assert_eq!(bench_scale(0.5), 0.5);
+        assert_eq!(bench_batches(7), 7);
+    }
+}

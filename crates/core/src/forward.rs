@@ -1,0 +1,264 @@
+//! Eff-TT forward pass (paper §III-A).
+//!
+//! The lookup of a whole batch proceeds in three stages:
+//!
+//! 1. **Pointer preparation** — [`LookupPlan::build`] decides which partial
+//!    products are inevitable (Algorithm 1's `Buf_flag` dedup) and lays out
+//!    slot/parent/digit tables;
+//! 2. **Chained batched GEMM** — one [`batched_gemm`] launch per chain
+//!    level computes every inevitable partial product into the level
+//!    buffers; the buffer of level `d-2` is the paper's *reuse buffer*
+//!    (product of the first cores), the last level holds the decompressed
+//!    unique rows;
+//! 3. **Pooling** — per-sample sum of its rows (the `EmbeddingBag` sum
+//!    semantics), parallel over samples.
+//!
+//! With [`ForwardStrategy::Naive`] the plan keeps one slot per lookup, so
+//! every chain is recomputed — the TT-Rec behaviour the paper's Figure 17
+//! uses as its baseline.
+
+use crate::bag::{TtEmbeddingBag, TtWorkspace};
+use crate::config::ForwardStrategy;
+use crate::plan::LookupPlan;
+use el_tensor::batched::{batched_gemm, batched_gemm_seq, GemmBatch};
+use el_tensor::Matrix;
+use rayon::prelude::*;
+
+impl TtEmbeddingBag {
+    /// Looks up and sum-pools a batch given in CSR form, storing the plan
+    /// and partial products in `ws` for the subsequent backward pass.
+    ///
+    /// Returns a `batch_size x dim` matrix of pooled embeddings.
+    pub fn forward(&self, indices: &[u32], offsets: &[u32], ws: &mut TtWorkspace) -> Matrix {
+        for &i in indices {
+            assert!(
+                (i as usize) < self.num_rows(),
+                "index {i} out of {} rows",
+                self.num_rows()
+            );
+        }
+        let dedup = self.options.forward == ForwardStrategy::Reuse;
+        let plan = LookupPlan::build(indices, offsets, &self.cores.row_dims, dedup);
+        self.compute_levels(&plan, &mut ws.levels);
+        let out = self.pool(&plan, ws.levels.last().map_or(&[][..], |b| &b[..]));
+        ws.plan = Some(plan);
+        out
+    }
+
+    /// Decompresses individual rows (one lookup per output row, no
+    /// pooling). Convenience wrapper used by tests and the cache layer.
+    pub fn lookup_rows(&self, indices: &[u32], ws: &mut TtWorkspace) -> Matrix {
+        let offsets: Vec<u32> = (0..=indices.len() as u32).collect();
+        self.forward(indices, &offsets, ws)
+    }
+
+    /// Executes the chained batched GEMMs for `plan` into `bufs`.
+    ///
+    /// `bufs[t]` receives the level-`t` partial products; `bufs[0]` is left
+    /// empty because level 0 aliases core-0 slices directly (no compute is
+    /// needed for a single core).
+    pub(crate) fn compute_levels(&self, plan: &LookupPlan, bufs: &mut Vec<Vec<f32>>) {
+        let d = self.order();
+        bufs.resize_with(d, Vec::new);
+        bufs[0].clear();
+
+        for t in 1..d {
+            let level = &plan.levels[t];
+            let width = self.level_width(t);
+            // m/k/n of every GEMM at this level (uniform — the batched
+            // contract of cublasGemmBatchedEx).
+            let m = self.prod_n(t - 1);
+            let k = self.cores.ranks[t];
+            let n = self.cores.col_dims[t] * self.cores.ranks[t + 1];
+
+            let mut batch = GemmBatch::new(m, n, k);
+            batch.tasks.reserve(level.len());
+            let parent_width =
+                if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
+            let slice_t = self.cores.slice_len(t);
+            for slot in 0..level.len() {
+                let a_off = if t == 1 {
+                    // level-0 slot aliases a core-0 slice selected by digit
+                    let p = level.parent[slot] as usize;
+                    plan.levels[0].digit[p] as usize * parent_width
+                } else {
+                    level.parent[slot] as usize * parent_width
+                };
+                let b_off = level.digit[slot] as usize * slice_t;
+                batch.push(a_off, b_off, slot * width);
+            }
+
+            let (prev, cur) = split_levels(bufs, t);
+            cur.clear();
+            cur.resize(level.len() * width, 0.0);
+            let a_arena: &[f32] = if t == 1 { &self.cores.cores[0] } else { &prev[..] };
+            if self.options.deterministic {
+                batched_gemm_seq(&batch, a_arena, &self.cores.cores[t], cur);
+            } else {
+                batched_gemm(&batch, a_arena, &self.cores.cores[t], cur);
+            }
+        }
+    }
+
+    /// Sum-pools decompressed rows into per-sample embeddings.
+    fn pool(&self, plan: &LookupPlan, rows: &[f32]) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(plan.batch_size, n);
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(s, dst)| {
+                let lo = plan.sample_offsets[s] as usize;
+                let hi = plan.sample_offsets[s + 1] as usize;
+                for &slot in &plan.lookup_slot[lo..hi] {
+                    let src = &rows[slot as usize * n..(slot as usize + 1) * n];
+                    for (d, v) in dst.iter_mut().zip(src) {
+                        *d += v;
+                    }
+                }
+            });
+        out
+    }
+}
+
+/// Splits the level buffers at `t`, returning `(&bufs[t-1], &mut bufs[t])`.
+fn split_levels(bufs: &mut [Vec<f32>], t: usize) -> (&Vec<f32>, &mut Vec<f32>) {
+    let (lo, hi) = bufs.split_at_mut(t);
+    (&lo[t - 1], &mut hi[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{TtConfig, TtOptions};
+    use rand::SeedableRng;
+
+    fn bag(rows: usize, dim: usize, rank: usize, seed: u64) -> TtEmbeddingBag {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        TtEmbeddingBag::new(&TtConfig::new(rows, dim, rank), &mut rng)
+    }
+
+    /// Oracle: pool by decompressing each row via the reference chain.
+    fn pool_reference(bag: &TtEmbeddingBag, indices: &[u32], offsets: &[u32]) -> Matrix {
+        let n = bag.dim();
+        let mut out = Matrix::zeros(offsets.len() - 1, n);
+        let mut row = vec![0.0f32; n];
+        for s in 0..offsets.len() - 1 {
+            for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+                bag.cores().reconstruct_row(i as usize, &mut row);
+                for (d, v) in out.row_mut(s).iter_mut().zip(&row) {
+                    *d += v;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reuse_forward_matches_reference() {
+        let bag = bag(60, 8, 4, 1);
+        let indices = [3u32, 17, 3, 59, 0, 17, 17];
+        let offsets = [0u32, 2, 2, 5, 7];
+        let mut ws = TtWorkspace::new();
+        let got = bag.forward(&indices, &offsets, &mut ws);
+        let want = pool_reference(&bag, &indices, &offsets);
+        assert!(got.max_abs_diff(&want) < 1e-5, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn naive_forward_matches_reuse_forward() {
+        let b = bag(100, 16, 8, 2);
+        let indices: Vec<u32> = (0..64).map(|i| (i * 7) % 100).collect();
+        let offsets: Vec<u32> = (0..=16).map(|s| s * 4).collect();
+        let mut ws = TtWorkspace::new();
+
+        let mut naive = bag(100, 16, 8, 2);
+        naive.options = TtOptions { forward: crate::config::ForwardStrategy::Naive, ..TtOptions::default() };
+        let a = b.forward(&indices, &offsets, &mut ws);
+        let c = naive.forward(&indices, &offsets, &mut ws);
+        assert!(a.max_abs_diff(&c) < 1e-5);
+    }
+
+    #[test]
+    fn empty_samples_produce_zero_rows() {
+        let b = bag(50, 8, 4, 3);
+        let mut ws = TtWorkspace::new();
+        let out = b.forward(&[7], &[0, 0, 1, 1], &mut ws);
+        assert_eq!(out.rows(), 3);
+        assert!(out.row(0).iter().all(|&x| x == 0.0));
+        assert!(out.row(2).iter().all(|&x| x == 0.0));
+        assert!(out.row(1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn duplicate_indices_add_up() {
+        let b = bag(50, 8, 4, 4);
+        let mut ws = TtWorkspace::new();
+        let once = b.forward(&[11], &[0, 1], &mut ws);
+        let thrice = b.forward(&[11, 11, 11], &[0, 3], &mut ws);
+        let mut scaled = once.clone();
+        scaled.scale(3.0);
+        assert!(thrice.max_abs_diff(&scaled) < 1e-5);
+    }
+
+    #[test]
+    fn lookup_rows_decompresses_each_index() {
+        let b = bag(30, 8, 4, 5);
+        let mut ws = TtWorkspace::new();
+        let rows = b.lookup_rows(&[1, 2, 1], &mut ws);
+        assert_eq!(rows.rows(), 3);
+        assert_eq!(rows.row(0), rows.row(2));
+        let mut expect = vec![0.0f32; 8];
+        b.reconstruct_row(2, &mut expect);
+        for (a, e) in rows.row(1).iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_matches_parallel() {
+        let mut b = bag(80, 16, 8, 6);
+        let indices: Vec<u32> = (0..200).map(|i| (i * 13) % 80).collect();
+        let offsets: Vec<u32> = (0..=50).map(|s| s * 4).collect();
+        let mut ws = TtWorkspace::new();
+        let par = b.forward(&indices, &offsets, &mut ws);
+        b.options.deterministic = true;
+        let seq = b.forward(&indices, &offsets, &mut ws);
+        assert_eq!(par.as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_lookup_panics() {
+        let b = bag(10, 4, 2, 7);
+        let mut ws = TtWorkspace::new();
+        // capacity may exceed 10; logical bound must still reject 10
+        let _ = b.forward(&[10], &[0, 1], &mut ws);
+    }
+
+    #[test]
+    fn four_core_table_forward_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let cfg = TtConfig::with_order(81, 16, 6, 4);
+        let b = TtEmbeddingBag::new(&cfg, &mut rng);
+        let indices = [0u32, 80, 40, 40, 13];
+        let offsets = [0u32, 3, 5];
+        let mut ws = TtWorkspace::new();
+        let got = b.forward(&indices, &offsets, &mut ws);
+        let want = pool_reference(&b, &indices, &offsets);
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    fn order_two_table_forward_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let cfg = TtConfig::with_order(36, 16, 4, 2);
+        let b = TtEmbeddingBag::new(&cfg, &mut rng);
+        let indices = [0u32, 35, 17];
+        let offsets = [0u32, 3];
+        let mut ws = TtWorkspace::new();
+        let got = b.forward(&indices, &offsets, &mut ws);
+        let want = pool_reference(&b, &indices, &offsets);
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Inference sessions with a persistent hot-prefix cache.
+//!
+//! §III-A motivates reuse with the skewed access pattern: "this observation
+//! motivates us to reuse the intermediate result of these popular
+//! embeddings". During *training* the reuse buffer lives one batch at a
+//! time — every SGD step rewrites the cores. During *inference* the cores
+//! are frozen, so the partial products of popular prefixes can persist
+//! across batches. [`TtInferenceSession`] keeps an LRU-evicted map from
+//! index prefix to its `P_{d-1}` product; under power-law traffic the hit
+//! rate approaches the hot fraction of accesses and lookups skip most of
+//! the chain.
+//!
+//! The session borrows the table immutably, so the borrow checker enforces
+//! the invariant that makes caching sound: no training while a session is
+//! alive.
+
+// Digit-chain loops index parallel arrays by core position, mirroring the
+// paper's notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::bag::TtEmbeddingBag;
+use crate::plan::LookupPlan;
+use el_tensor::gemm::gemm_nn;
+use el_tensor::Matrix;
+use std::collections::HashMap;
+
+/// A cached partial product with its last-use tick.
+struct Entry {
+    product: Vec<f32>,
+    last_used: u64,
+}
+
+/// Frozen-table lookup session with cross-batch prefix caching.
+pub struct TtInferenceSession<'a> {
+    table: &'a TtEmbeddingBag,
+    cache: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    /// Prefix products served from the cache.
+    pub hits: u64,
+    /// Prefix products computed fresh.
+    pub misses: u64,
+}
+
+impl<'a> TtInferenceSession<'a> {
+    /// A session over `table` caching at most `capacity` prefix products.
+    pub fn new(table: &'a TtEmbeddingBag, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            table,
+            cache: HashMap::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Live cache entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Cache footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        let d = self.table.order();
+        let width = self.table.level_width(d.saturating_sub(2));
+        self.cache.len() * (width * 4 + 24)
+    }
+
+    /// Sum-pooled lookup with the same semantics as
+    /// [`TtEmbeddingBag::forward`], but served through the prefix cache.
+    pub fn lookup(&mut self, indices: &[u32], offsets: &[u32]) -> Matrix {
+        let cores = self.table.cores();
+        let d = self.table.order();
+        let n = self.table.dim();
+        self.tick += 1;
+
+        let plan = LookupPlan::build(indices, offsets, &cores.row_dims, true);
+        let uniques = &plan.levels[d - 1];
+        let m_last = *cores.row_dims.last().unwrap() as u64;
+
+        // Resolve every unique index's prefix product, cache-first.
+        let prefix_width = self.table.level_width(d - 2);
+        let rows_per_prefix = prefix_width / cores.ranks[d - 1];
+        let mut rows = vec![0.0f32; uniques.len() * n];
+        let slice_last = cores.slice_len(d - 1);
+        for (slot, &value) in uniques.values.iter().enumerate() {
+            let prefix = value / m_last;
+            let digit_last = (value % m_last) as usize;
+            if !self.cache.contains_key(&prefix) {
+                self.misses += 1;
+                let product = compute_prefix_chain(self.table, prefix);
+                self.insert(prefix, product);
+            } else {
+                self.hits += 1;
+            }
+            let entry = self.cache.get_mut(&prefix).expect("just ensured");
+            entry.last_used = self.tick;
+            // row = P_{d-1} (rows_per_prefix x R_{d-1}) * G_d[digit]
+            gemm_nn(
+                rows_per_prefix,
+                cores.col_dims[d - 1],
+                cores.ranks[d - 1],
+                1.0,
+                &entry.product,
+                &cores.cores[d - 1][digit_last * slice_last..(digit_last + 1) * slice_last],
+                0.0,
+                &mut rows[slot * n..(slot + 1) * n],
+            );
+        }
+
+        // Pooling, identical to the training kernel.
+        let mut out = Matrix::zeros(plan.batch_size, n);
+        for s in 0..plan.batch_size {
+            let dst = out.row_mut(s);
+            let lo = plan.sample_offsets[s] as usize;
+            let hi = plan.sample_offsets[s + 1] as usize;
+            for &slot in &plan.lookup_slot[lo..hi] {
+                for (dv, rv) in dst.iter_mut().zip(&rows[slot as usize * n..]) {
+                    *dv += rv;
+                }
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, prefix: u64, product: Vec<f32>) {
+        if self.cache.len() >= self.capacity {
+            // Evict the least-recently-used quarter in one sweep — O(n)
+            // amortized over many inserts, no auxiliary structures.
+            let mut ticks: Vec<u64> = self.cache.values().map(|e| e.last_used).collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() / 4];
+            self.cache.retain(|_, e| e.last_used > cutoff);
+        }
+        self.cache.insert(prefix, Entry { product, last_used: self.tick });
+    }
+}
+
+/// Computes `P_{d-1} = G_1[i_1] x ... x G_{d-1}[i_{d-1}]` for one prefix.
+fn compute_prefix_chain(table: &TtEmbeddingBag, prefix: u64) -> Vec<f32> {
+    let cores = table.cores();
+    let d = cores.order();
+    let mut digits = vec![0usize; d - 1];
+    el_tensor::shape::tt_indices(prefix as usize, &cores.row_dims[..d - 1], &mut digits);
+
+    let mut cur: Vec<f32> = cores.slice(0, digits[0]).to_vec();
+    let mut p = cores.col_dims[0];
+    for k in 1..d - 1 {
+        let r_in = cores.ranks[k];
+        let cols = cores.col_dims[k] * cores.ranks[k + 1];
+        let mut next = vec![0.0f32; p * cols];
+        gemm_nn(p, cols, r_in, 1.0, &cur, cores.slice(k, digits[k]), 0.0, &mut next);
+        p *= cores.col_dims[k];
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::TtWorkspace;
+    use crate::config::TtConfig;
+    use rand::{Rng, SeedableRng};
+
+    fn table(rows: usize, seed: u64) -> TtEmbeddingBag {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        TtEmbeddingBag::new(&TtConfig::new(rows, 16, 8), &mut rng)
+    }
+
+    #[test]
+    fn cached_lookup_matches_training_forward() {
+        let t = table(500, 1);
+        let mut session = TtInferenceSession::new(&t, 64);
+        let mut ws = TtWorkspace::new();
+        let indices = [3u32, 499, 3, 77, 120, 77];
+        let offsets = [0u32, 2, 4, 6];
+        let want = t.forward(&indices, &offsets, &mut ws);
+        // twice: cold then warm
+        let cold = session.lookup(&indices, &offsets);
+        let warm = session.lookup(&indices, &offsets);
+        assert!(cold.max_abs_diff(&want) < 1e-5);
+        assert!(warm.max_abs_diff(&want) < 1e-5);
+        assert!(session.hits > 0, "second pass must hit the cache");
+    }
+
+    #[test]
+    fn skewed_traffic_reaches_high_hit_rates() {
+        let t = table(10_000, 2);
+        let mut session = TtInferenceSession::new(&t, 512);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            // zipf-ish: 80% of lookups to 50 hot rows
+            let indices: Vec<u32> = (0..128)
+                .map(|_| {
+                    if rng.gen_bool(0.8) {
+                        rng.gen_range(0..50)
+                    } else {
+                        rng.gen_range(0..10_000)
+                    }
+                })
+                .collect();
+            let offsets: Vec<u32> = (0..=128u32).collect();
+            let _ = session.lookup(&indices, &offsets);
+        }
+        assert!(
+            session.hit_rate() > 0.5,
+            "expected a warm cache on skewed traffic, hit rate {}",
+            session.hit_rate()
+        );
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let t = table(5_000, 4);
+        let mut session = TtInferenceSession::new(&t, 16);
+        for start in (0..4_000u32).step_by(100) {
+            let indices: Vec<u32> = (start..start + 50).collect();
+            let offsets: Vec<u32> = (0..=50u32).collect();
+            let _ = session.lookup(&indices, &offsets);
+        }
+        assert!(
+            session.len() <= 16 + 1,
+            "cache exceeded capacity: {} entries",
+            session.len()
+        );
+    }
+
+    #[test]
+    fn eviction_preserves_correctness() {
+        let t = table(2_000, 5);
+        let mut session = TtInferenceSession::new(&t, 4); // brutal eviction
+        let mut ws = TtWorkspace::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let indices: Vec<u32> = (0..32).map(|_| rng.gen_range(0..2_000)).collect();
+            let offsets: Vec<u32> = (0..=32u32).collect();
+            let want = t.forward(&indices, &offsets, &mut ws);
+            let got = session.lookup(&indices, &offsets);
+            assert!(got.max_abs_diff(&want) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn four_core_tables_work() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cfg = TtConfig::with_order(1_000, 16, 6, 4);
+        let t = TtEmbeddingBag::new(&cfg, &mut rng);
+        let mut session = TtInferenceSession::new(&t, 32);
+        let mut ws = TtWorkspace::new();
+        let indices = [0u32, 999, 123, 123];
+        let offsets = [0u32, 4];
+        let want = t.forward(&indices, &offsets, &mut ws);
+        let got = session.lookup(&indices, &offsets);
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+}

@@ -1,0 +1,389 @@
+//! Lookup plans — the CPU analogue of EL-Rec's *parallel pointer
+//! preparation* (paper Algorithm 1).
+//!
+//! Before a batch touches the TT cores, EL-Rec scans its indices, decides
+//! which intermediate products are *inevitable* (the `Buf_flag` dedup of
+//! Algorithm 1) and emits pointer lists for one batched-GEMM launch per
+//! chain level. [`LookupPlan::build`] performs the same analysis:
+//!
+//! * every lookup index is decomposed into TT digits (paper Eq. 3);
+//! * for each chain depth `t` the set of *prefixes* `index / prod_{l>t} m_l`
+//!   is collected — when `dedup` is on, duplicates collapse to a single
+//!   slot, which is exactly the intermediate-result reuse of §III-A (and,
+//!   on the last level, the unique-index set that in-advance gradient
+//!   aggregation of §III-B operates on);
+//! * with `dedup` off the plan keeps one slot per lookup, reproducing the
+//!   TT-Rec baseline the paper compares against.
+//!
+//! The plan also precomputes the two groupings the backward pass needs for
+//! conflict-free parallelism: items grouped by their **parent** slot
+//! (children are contiguous because slots are sorted) and items grouped by
+//! their **digit** (each digit owns one core slice).
+
+/// Compressed sparse row structure: `items[offsets[g]..offsets[g+1]]` are
+/// the members of group `g`.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    /// Group boundaries, `groups + 1` entries.
+    pub offsets: Vec<u32>,
+    /// Group members.
+    pub items: Vec<u32>,
+}
+
+impl Csr {
+    /// Members of group `g`.
+    #[inline]
+    pub fn group(&self, g: usize) -> &[u32] {
+        &self.items[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Builds a CSR from `(group, item)` assignments given the group count.
+    pub fn from_assignments(groups: usize, assignments: &[u32]) -> Csr {
+        let mut counts = vec![0u32; groups + 1];
+        for &g in assignments {
+            counts[g as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; assignments.len()];
+        for (item, &g) in assignments.iter().enumerate() {
+            items[cursor[g as usize] as usize] = item as u32;
+            cursor[g as usize] += 1;
+        }
+        Csr { offsets, items }
+    }
+}
+
+/// One level of the TT multiplication chain.
+///
+/// Level `t` (0-based) holds the distinct index prefixes of depth `t + 1`;
+/// its slot `s` corresponds to the partial product
+/// `P_{t+1} = G_1[i_1] x ... x G_{t+1}[i_{t+1}]` for that prefix.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// Prefix value of each slot (sorted; unique iff the plan deduplicates).
+    pub values: Vec<u64>,
+    /// Slot of the parent prefix in the previous level (empty at level 0).
+    pub parent: Vec<u32>,
+    /// TT digit `i_{t+1}` of each slot.
+    pub digit: Vec<u32>,
+    /// Children of each previous-level slot, as a contiguous range
+    /// `child_offsets[p]..child_offsets[p+1]` (empty at level 0).
+    pub child_offsets: Vec<u32>,
+    /// Slots grouped by digit — one group per core slice, so parallel
+    /// core-gradient accumulation is write-disjoint.
+    pub digit_groups: Csr,
+}
+
+impl Level {
+    /// Number of slots at this level.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the level has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A fully-analyzed batch of embedding lookups.
+#[derive(Clone, Debug)]
+pub struct LookupPlan {
+    /// Row-dimension factors `m_k` the indices were decomposed against.
+    pub dims: Vec<usize>,
+    /// Number of samples in the batch.
+    pub batch_size: usize,
+    /// Total number of lookups (nnz).
+    pub nnz: usize,
+    /// Whether identical prefixes share a slot (Eff-TT) or not (TT-Rec).
+    pub dedup: bool,
+    /// Per lookup position: slot in the last level holding its row.
+    pub lookup_slot: Vec<u32>,
+    /// Per lookup position: owning sample.
+    pub sample_of_lookup: Vec<u32>,
+    /// Per-sample lookup ranges (copy of the CSR offsets of the field).
+    pub sample_offsets: Vec<u32>,
+    /// Last-level slot -> lookup positions; drives in-advance gradient
+    /// aggregation.
+    pub slot_lookups: Csr,
+    /// Chain levels, `levels[t]` at depth `t + 1`; `levels[d-1]` slots are
+    /// the (unique) rows of the batch.
+    pub levels: Vec<Level>,
+}
+
+impl LookupPlan {
+    /// Analyzes a batch given as CSR `(indices, offsets)` against row
+    /// factors `dims`.
+    ///
+    /// # Panics
+    /// Panics if an index is out of the factorized capacity, or the CSR
+    /// structure is malformed.
+    pub fn build(indices: &[u32], offsets: &[u32], dims: &[usize], dedup: bool) -> LookupPlan {
+        let d = dims.len();
+        assert!(d >= 2, "TT tables need at least two cores");
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            indices.len(),
+            "offsets must cover all indices"
+        );
+        let capacity: u64 = dims.iter().map(|&m| m as u64).product();
+        let nnz = indices.len();
+        let batch_size = offsets.len() - 1;
+
+        // Divisors D[t] = prod_{l > t} m_l (1-based depth t): prefix at
+        // depth t of index i is i / D[t].
+        let mut divisors = vec![1u64; d];
+        for t in (0..d - 1).rev() {
+            divisors[t] = divisors[t + 1] * dims[t + 1] as u64;
+        }
+
+        let mut sample_of_lookup = vec![0u32; nnz];
+        for s in 0..batch_size {
+            for j in offsets[s]..offsets[s + 1] {
+                sample_of_lookup[j as usize] = s as u32;
+            }
+        }
+
+        // Sort lookups by index value so duplicates (and shared prefixes)
+        // are adjacent. `order[r]` is the lookup position at sorted rank r.
+        let mut order: Vec<u32> = (0..nnz as u32).collect();
+        order.sort_unstable_by_key(|&j| indices[j as usize]);
+
+        // Last level first: one slot per distinct index (dedup) or per
+        // lookup (no dedup); record each lookup's slot.
+        let mut lookup_slot = vec![0u32; nnz];
+        let mut last_values: Vec<u64> = Vec::new();
+        for &j in &order {
+            let v = indices[j as usize] as u64;
+            assert!(v < capacity, "index {v} exceeds factorized capacity {capacity}");
+            let is_new = !dedup || last_values.last() != Some(&v);
+            if is_new {
+                last_values.push(v);
+            }
+            lookup_slot[j as usize] = (last_values.len() - 1) as u32;
+        }
+
+        let slot_lookups = Csr::from_assignments(last_values.len(), &lookup_slot);
+
+        // Build levels top-down from the sorted distinct values. At depth t
+        // the prefix list of the (t+1)-deep level divided by m_{t+1} gives
+        // the parent prefixes; equal prefixes collapse when deduplicating.
+        let mut levels: Vec<Level> = Vec::with_capacity(d);
+        let mut child_values = last_values;
+        for t in (0..d).rev() {
+            // child_values currently holds depth t+1 prefixes.
+            let m_t = dims[t] as u64;
+            let digit: Vec<u32> = child_values.iter().map(|&v| (v % m_t) as u32).collect();
+            let parent_values: Vec<u64> = child_values.iter().map(|&v| v / m_t).collect();
+            // Parent slots: parents are sorted because children are.
+            let (parent, parent_count) = if t == 0 {
+                (Vec::new(), 0usize)
+            } else {
+                let mut parent = Vec::with_capacity(child_values.len());
+                let mut distinct = 0usize;
+                let mut prev: Option<u64> = None;
+                for &pv in &parent_values {
+                    let is_new = !dedup || prev != Some(pv);
+                    if is_new {
+                        distinct += 1;
+                        prev = Some(pv);
+                    }
+                    parent.push((distinct - 1) as u32);
+                }
+                (parent, distinct)
+            };
+            let child_offsets = if t == 0 {
+                Vec::new()
+            } else {
+                let mut co = vec![0u32; parent_count + 1];
+                for &p in &parent {
+                    co[p as usize + 1] += 1;
+                }
+                for i in 1..co.len() {
+                    co[i] += co[i - 1];
+                }
+                co
+            };
+            let digit_groups = Csr::from_assignments(dims[t], &digit);
+            levels.push(Level {
+                values: std::mem::take(&mut child_values),
+                parent,
+                digit,
+                child_offsets,
+                digit_groups,
+            });
+            // Prepare the next (shallower) level's value list.
+            if t > 0 {
+                let mut pv = parent_values;
+                if dedup {
+                    pv.dedup();
+                }
+                child_values = pv;
+            }
+        }
+        levels.reverse();
+
+        LookupPlan {
+            dims: dims.to_vec(),
+            batch_size,
+            nnz,
+            dedup,
+            lookup_slot,
+            sample_of_lookup,
+            sample_offsets: offsets.to_vec(),
+            slot_lookups,
+            levels,
+        }
+    }
+
+    /// Number of row slots (unique rows when deduplicating).
+    pub fn num_rows(&self) -> usize {
+        self.levels.last().map_or(0, Level::len)
+    }
+
+    /// Total GEMM tasks the forward chain will execute — the work metric the
+    /// reuse optimization reduces (levels beyond the first each cost one
+    /// task per slot).
+    pub fn forward_tasks(&self) -> usize {
+        self.levels.iter().skip(1).map(Level::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plan(dedup: bool) -> LookupPlan {
+        // dims 2x2x2, indices span two samples
+        LookupPlan::build(&[5, 4, 5, 0], &[0, 2, 4], &[2, 2, 2], dedup)
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let p = simple_plan(true);
+        assert_eq!(p.num_rows(), 3); // {0, 4, 5}
+        assert_eq!(p.levels[2].values, vec![0, 4, 5]);
+        // lookup 0 and 2 share the slot of value 5
+        assert_eq!(p.lookup_slot[0], p.lookup_slot[2]);
+    }
+
+    #[test]
+    fn no_dedup_keeps_every_lookup() {
+        let p = simple_plan(false);
+        assert_eq!(p.num_rows(), 4);
+        assert_ne!(p.lookup_slot[0], p.lookup_slot[2]);
+    }
+
+    #[test]
+    fn prefix_levels_share_slots() {
+        let p = simple_plan(true);
+        // values {0,4,5}: depth-2 prefixes {0,2,2} -> dedup {0,2}
+        assert_eq!(p.levels[1].values, vec![0, 2]);
+        // depth-1 prefixes {0,1}
+        assert_eq!(p.levels[0].values, vec![0, 1]);
+        // 4 = (1,0,0), 5 = (1,0,1): same depth-2 parent
+        assert_eq!(p.levels[2].parent, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn digits_match_mixed_radix_decomposition() {
+        let p = simple_plan(true);
+        // last level digits: value % 2 for {0,4,5}
+        assert_eq!(p.levels[2].digit, vec![0, 0, 1]);
+        // level 1 digits for {0, 2}: (0/1)%2... depth-2 prefix of 2 has digit 0
+        assert_eq!(p.levels[1].digit, vec![0, 0]);
+        assert_eq!(p.levels[0].digit, vec![0, 1]);
+    }
+
+    #[test]
+    fn child_ranges_are_contiguous_and_complete() {
+        let p = simple_plan(true);
+        let lvl = &p.levels[2];
+        assert_eq!(lvl.child_offsets, vec![0, 1, 3]);
+        for (slot, &parent) in lvl.parent.iter().enumerate() {
+            let range =
+                lvl.child_offsets[parent as usize]..lvl.child_offsets[parent as usize + 1];
+            assert!(range.contains(&(slot as u32)));
+        }
+    }
+
+    #[test]
+    fn digit_groups_partition_slots() {
+        let p = simple_plan(true);
+        for lvl in &p.levels {
+            let mut seen = vec![false; lvl.len()];
+            for g in 0..lvl.digit_groups.num_groups() {
+                for &item in lvl.digit_groups.group(g) {
+                    assert_eq!(lvl.digit[item as usize] as usize, g);
+                    assert!(!seen[item as usize]);
+                    seen[item as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn slot_lookups_inverts_lookup_slot() {
+        for dedup in [true, false] {
+            let p = simple_plan(dedup);
+            for slot in 0..p.num_rows() {
+                for &j in p.slot_lookups.group(slot) {
+                    assert_eq!(p.lookup_slot[j as usize] as usize, slot);
+                }
+            }
+            let total: usize =
+                (0..p.num_rows()).map(|s| p.slot_lookups.group(s).len()).sum();
+            assert_eq!(total, p.nnz);
+        }
+    }
+
+    #[test]
+    fn sample_of_lookup_matches_offsets() {
+        let p = simple_plan(true);
+        assert_eq!(p.sample_of_lookup, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reuse_reduces_forward_tasks() {
+        let dense = LookupPlan::build(&[1, 1, 1, 1, 2, 3], &[0, 6], &[2, 2, 2], false);
+        let dedup = LookupPlan::build(&[1, 1, 1, 1, 2, 3], &[0, 6], &[2, 2, 2], true);
+        assert!(dedup.forward_tasks() < dense.forward_tasks());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds factorized capacity")]
+    fn out_of_range_index_panics() {
+        let _ = LookupPlan::build(&[8], &[0, 1], &[2, 2, 2], true);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let p = LookupPlan::build(&[], &[0], &[2, 2, 2], true);
+        assert_eq!(p.batch_size, 0);
+        assert_eq!(p.num_rows(), 0);
+        assert_eq!(p.forward_tasks(), 0);
+    }
+
+    #[test]
+    fn four_core_plans_work() {
+        let p = LookupPlan::build(&[10, 11, 26, 10], &[0, 4], &[3, 3, 3, 3], true);
+        assert_eq!(p.levels.len(), 4);
+        assert_eq!(p.num_rows(), 3);
+        // 10 = (0,1,0,1), 11 = (0,1,0,2), 26 = (0,2,2,2)
+        assert_eq!(p.levels[3].values, vec![10, 11, 26]);
+        assert_eq!(p.levels[2].values, vec![3, 8]);
+        assert_eq!(p.levels[1].values, vec![1, 2]);
+        assert_eq!(p.levels[0].values, vec![0]);
+    }
+}

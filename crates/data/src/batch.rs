@@ -1,0 +1,229 @@
+//! Mini-batch containers.
+//!
+//! A DLRM mini-batch carries dense features, one sparse field per embedding
+//! table, and labels. Sparse fields use the CSR (indices + offsets) layout
+//! of PyTorch's `nn.EmbeddingBag`, which is also what the Eff-TT table
+//! consumes.
+
+/// One sparse feature field (one embedding table) in CSR layout.
+///
+/// Sample `s` owns `indices[offsets[s] .. offsets[s + 1]]`; `offsets` has
+/// `batch_size + 1` entries so every sample's span is well defined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseField {
+    /// Embedding-row indices, concatenated over samples.
+    pub indices: Vec<u32>,
+    /// Per-sample start offsets into `indices`, plus a final sentinel.
+    pub offsets: Vec<u32>,
+}
+
+impl SparseField {
+    /// An empty field expecting `batch_size` samples.
+    pub fn with_capacity(batch_size: usize, nnz_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(batch_size + 1);
+        offsets.push(0);
+        Self { indices: Vec::with_capacity(nnz_hint), offsets }
+    }
+
+    /// Builds a field from per-sample index lists.
+    pub fn from_samples(samples: &[Vec<u32>]) -> Self {
+        let mut field = Self::with_capacity(samples.len(), samples.iter().map(Vec::len).sum());
+        for s in samples {
+            field.push_sample(s);
+        }
+        field
+    }
+
+    /// Appends one sample's indices.
+    pub fn push_sample(&mut self, indices: &[u32]) {
+        self.indices.extend_from_slice(indices);
+        self.offsets.push(self.indices.len() as u32);
+    }
+
+    /// Number of samples.
+    pub fn batch_size(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of lookups in the field.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The index span of sample `s`.
+    #[inline]
+    pub fn sample(&self, s: usize) -> &[u32] {
+        &self.indices[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Iterates over per-sample spans.
+    pub fn iter_samples(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.batch_size()).map(move |s| self.sample(s))
+    }
+
+    /// Number of distinct indices in the field (the quantity Figure 4b
+    /// contrasts with batch size).
+    pub fn unique_count(&self) -> usize {
+        let mut sorted: Vec<u32> = self.indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Applies an index bijection in place (used by `el-reorder`).
+    pub fn remap(&mut self, bijection: &[u32]) {
+        for idx in &mut self.indices {
+            *idx = bijection[*idx as usize];
+        }
+    }
+
+    /// Validates CSR invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must contain at least the sentinel".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if !self.offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.indices.len() {
+            return Err("final offset must equal indices length".into());
+        }
+        Ok(())
+    }
+}
+
+/// One training mini-batch.
+#[derive(Clone, Debug)]
+pub struct MiniBatch {
+    /// Dense features, row-major `batch_size x num_dense`.
+    pub dense: Vec<f32>,
+    /// Number of dense features per sample.
+    pub num_dense: usize,
+    /// One sparse field per embedding table.
+    pub fields: Vec<SparseField>,
+    /// Click labels in `{0.0, 1.0}`.
+    pub labels: Vec<f32>,
+}
+
+impl MiniBatch {
+    /// Number of samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Dense feature row of sample `s`.
+    #[inline]
+    pub fn dense_row(&self, s: usize) -> &[f32] {
+        &self.dense[s * self.num_dense..(s + 1) * self.num_dense]
+    }
+
+    /// Total sparse lookups across all fields.
+    pub fn total_lookups(&self) -> usize {
+        self.fields.iter().map(SparseField::nnz).sum()
+    }
+
+    /// Validates shape invariants across dense, sparse and label parts.
+    pub fn validate(&self) -> Result<(), String> {
+        let b = self.batch_size();
+        if self.num_dense > 0 && self.dense.len() != b * self.num_dense {
+            return Err(format!(
+                "dense buffer holds {} values, expected {}",
+                self.dense.len(),
+                b * self.num_dense
+            ));
+        }
+        for (t, f) in self.fields.iter().enumerate() {
+            f.validate().map_err(|e| format!("field {t}: {e}"))?;
+            if f.batch_size() != b {
+                return Err(format!("field {t} has batch size {} != {b}", f.batch_size()));
+            }
+        }
+        if !self.labels.iter().all(|&y| y == 0.0 || y == 1.0) {
+            return Err("labels must be binary".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> SparseField {
+        SparseField::from_samples(&[vec![1, 2], vec![], vec![2, 2, 5]])
+    }
+
+    #[test]
+    fn csr_layout_round_trips() {
+        let f = field();
+        assert_eq!(f.batch_size(), 3);
+        assert_eq!(f.nnz(), 5);
+        assert_eq!(f.sample(0), &[1, 2]);
+        assert_eq!(f.sample(1), &[] as &[u32]);
+        assert_eq!(f.sample(2), &[2, 2, 5]);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn unique_count_dedups() {
+        assert_eq!(field().unique_count(), 3); // {1, 2, 5}
+    }
+
+    #[test]
+    fn remap_applies_bijection() {
+        let mut f = field();
+        let mut bij: Vec<u32> = (0..6).collect();
+        bij.swap(2, 5);
+        f.remap(&bij);
+        assert_eq!(f.sample(0), &[1, 5]);
+        assert_eq!(f.sample(2), &[5, 5, 2]);
+    }
+
+    #[test]
+    fn validate_catches_broken_offsets() {
+        let f = SparseField { indices: vec![1, 2], offsets: vec![0, 3] };
+        assert!(f.validate().is_err());
+        let f = SparseField { indices: vec![1, 2], offsets: vec![1, 2] };
+        assert!(f.validate().is_err());
+        let f = SparseField { indices: vec![], offsets: vec![] };
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn minibatch_validation() {
+        let mb = MiniBatch {
+            dense: vec![0.0; 6],
+            num_dense: 2,
+            fields: vec![field()],
+            labels: vec![0.0, 1.0, 1.0],
+        };
+        mb.validate().unwrap();
+
+        let bad = MiniBatch {
+            dense: vec![0.0; 5],
+            num_dense: 2,
+            fields: vec![],
+            labels: vec![0.0, 1.0, 1.0],
+        };
+        assert!(bad.validate().is_err());
+
+        let bad_label = MiniBatch {
+            dense: vec![],
+            num_dense: 0,
+            fields: vec![],
+            labels: vec![0.5],
+        };
+        assert!(bad_label.validate().is_err());
+    }
+
+    #[test]
+    fn iter_samples_covers_all() {
+        let f = field();
+        let collected: Vec<&[u32]> = f.iter_samples().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], &[2, 2, 5]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Batch loading.
+//!
+//! The paper replaces PyTorch's dataloader with NVTabular's high-performance
+//! loader so data supply never bottlenecks training. [`BatchLoader`] plays
+//! that role here: batches are pre-generated on a background thread pool and
+//! handed to the trainer through a bounded buffer, so benchmarks measure
+//! training, not generation.
+
+use crate::batch::MiniBatch;
+use crate::synthetic::SyntheticDataset;
+use std::collections::VecDeque;
+
+/// Iterator over dataset batches with simple read-ahead.
+///
+/// Generation is deterministic, so read-ahead never changes results — it
+/// only keeps the trainer fed (the NVTabular role in the paper's setup).
+pub struct BatchLoader {
+    dataset: SyntheticDataset,
+    batch_size: usize,
+    next_batch: u64,
+    end_batch: u64,
+    lookahead: usize,
+    buffer: VecDeque<MiniBatch>,
+}
+
+impl BatchLoader {
+    /// A loader over batches `[first, first + count)`.
+    pub fn new(dataset: SyntheticDataset, batch_size: usize, first: u64, count: u64) -> Self {
+        Self {
+            dataset,
+            batch_size,
+            next_batch: first,
+            end_batch: first + count,
+            lookahead: 4,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// A loader covering the dataset's full sample budget.
+    pub fn full(dataset: SyntheticDataset, batch_size: usize) -> Self {
+        let count = dataset.num_batches(batch_size) as u64;
+        Self::new(dataset, batch_size, 0, count)
+    }
+
+    /// Overrides the read-ahead window.
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Batches remaining (buffered + not yet generated).
+    pub fn remaining(&self) -> u64 {
+        (self.end_batch - self.next_batch) + self.buffer.len() as u64
+    }
+
+    fn refill(&mut self) {
+        use rayon::prelude::*;
+        let want = self.lookahead.saturating_sub(self.buffer.len());
+        let avail = (self.end_batch - self.next_batch) as usize;
+        let take = want.min(avail);
+        if take == 0 {
+            return;
+        }
+        let first = self.next_batch;
+        let ds = &self.dataset;
+        let bs = self.batch_size;
+        let generated: Vec<MiniBatch> =
+            (0..take as u64).into_par_iter().map(|i| ds.batch(first + i, bs)).collect();
+        self.buffer.extend(generated);
+        self.next_batch += take as u64;
+    }
+}
+
+impl Iterator for BatchLoader {
+    type Item = MiniBatch;
+
+    fn next(&mut self) -> Option<MiniBatch> {
+        if self.buffer.is_empty() {
+            self.refill();
+        }
+        self.buffer.pop_front()
+    }
+}
+
+/// Splits a batch range into train and evaluation portions (the paper's
+/// day-based splits collapsed to batch counts).
+pub fn train_eval_split(total_batches: u64, eval_fraction: f64) -> (u64, u64) {
+    let eval = ((total_batches as f64) * eval_fraction).round() as u64;
+    (total_batches - eval, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatasetSpec;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(DatasetSpec::toy(2, 100, 10_000), 11)
+    }
+
+    #[test]
+    fn loader_yields_exact_count() {
+        let loader = BatchLoader::new(dataset(), 32, 0, 7);
+        assert_eq!(loader.count(), 7);
+    }
+
+    #[test]
+    fn loader_matches_direct_generation() {
+        let d = dataset();
+        let loader = BatchLoader::new(d.clone(), 32, 3, 4);
+        for (i, got) in loader.enumerate() {
+            let want = d.batch(3 + i as u64, 32);
+            assert_eq!(got.labels, want.labels);
+            assert_eq!(got.fields[0].indices, want.fields[0].indices);
+        }
+    }
+
+    #[test]
+    fn lookahead_does_not_change_results() {
+        let d = dataset();
+        let a: Vec<_> = BatchLoader::new(d.clone(), 16, 0, 10).with_lookahead(1).collect();
+        let b: Vec<_> = BatchLoader::new(d, 16, 0, 10).with_lookahead(8).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+
+    #[test]
+    fn remaining_tracks_progress() {
+        let mut loader = BatchLoader::new(dataset(), 16, 0, 5);
+        assert_eq!(loader.remaining(), 5);
+        let _ = loader.next();
+        assert_eq!(loader.remaining(), 4);
+    }
+
+    #[test]
+    fn split_is_consistent() {
+        let (train, eval) = train_eval_split(100, 0.1);
+        assert_eq!(train + eval, 100);
+        assert_eq!(eval, 10);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset statistics — the measurements behind paper Figure 4.
+//!
+//! * [`AccessHistogram`] accumulates per-index access counts and reports the
+//!   cumulative-access curve of Figure 4a ("a small proportion of embeddings
+//!   accounts for the majority of embedding access").
+//! * [`unique_per_batch`] measures the batch-size vs unique-indices gap of
+//!   Figure 4b, which motivates in-advance gradient aggregation.
+
+use crate::batch::MiniBatch;
+
+/// Per-index access counters for one embedding table.
+#[derive(Clone, Debug)]
+pub struct AccessHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AccessHistogram {
+    /// A histogram for a table with `cardinality` rows.
+    pub fn new(cardinality: usize) -> Self {
+        Self { counts: vec![0; cardinality], total: 0 }
+    }
+
+    /// Records every access of table `field` across the batch.
+    pub fn record(&mut self, batch: &MiniBatch, field: usize) {
+        for &i in &batch.fields[field].indices {
+            self.counts[i as usize] += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Records raw indices.
+    pub fn record_indices(&mut self, indices: &[u32]) {
+        for &i in indices {
+            self.counts[i as usize] += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Total recorded accesses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Access counts sorted descending (popularity order).
+    pub fn sorted_counts(&self) -> Vec<u64> {
+        let mut c = self.counts.clone();
+        c.sort_unstable_by(|a, b| b.cmp(a));
+        c
+    }
+
+    /// Indices sorted by descending access frequency — the `Fre_order` input
+    /// of paper Algorithm 2.
+    pub fn frequency_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.counts.len() as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.counts[i as usize]));
+        order
+    }
+
+    /// Cumulative access share of the top `fraction` of indices
+    /// (Figure 4a's y-axis for a given x).
+    pub fn cumulative_share(&self, fraction: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.counts.len() as f64 * fraction).ceil() as usize).min(self.counts.len());
+        let sorted = self.sorted_counts();
+        let top: u64 = sorted[..k].iter().sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The full CDF sampled at `points` evenly spaced fractions; the series
+    /// plotted in Figure 4a.
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        let sorted = self.sorted_counts();
+        let mut running = 0u64;
+        let mut prefix = Vec::with_capacity(sorted.len());
+        for c in &sorted {
+            running += c;
+            prefix.push(running);
+        }
+        (1..=points)
+            .map(|p| {
+                let frac = p as f64 / points as f64;
+                let k = ((sorted.len() as f64 * frac).ceil() as usize).clamp(1, sorted.len());
+                let share = if self.total == 0 {
+                    0.0
+                } else {
+                    prefix[k - 1] as f64 / self.total as f64
+                };
+                (frac, share)
+            })
+            .collect()
+    }
+}
+
+/// Average number of unique indices per batch for the given table across a
+/// set of batches (Figure 4b's y-axis).
+pub fn unique_per_batch(batches: &[MiniBatch], field: usize) -> f64 {
+    if batches.is_empty() {
+        return 0.0;
+    }
+    let sum: usize = batches.iter().map(|b| b.fields[field].unique_count()).sum();
+    sum as f64 / batches.len() as f64
+}
+
+/// Average unique indices per batch aggregated over all tables.
+pub fn mean_unique_per_batch(batches: &[MiniBatch]) -> f64 {
+    if batches.is_empty() || batches[0].fields.is_empty() {
+        return 0.0;
+    }
+    let tables = batches[0].fields.len();
+    (0..tables).map(|t| unique_per_batch(batches, t)).sum::<f64>() / tables as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DatasetSpec;
+    use crate::synthetic::SyntheticDataset;
+
+    #[test]
+    fn histogram_counts_accesses() {
+        let mut h = AccessHistogram::new(10);
+        h.record_indices(&[1, 1, 2, 9]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sorted_counts()[0], 2);
+    }
+
+    #[test]
+    fn frequency_order_ranks_hot_first() {
+        let mut h = AccessHistogram::new(4);
+        h.record_indices(&[3, 3, 3, 0, 0, 2]);
+        let order = h.frequency_order();
+        assert_eq!(order[0], 3);
+        assert_eq!(order[1], 0);
+    }
+
+    #[test]
+    fn cumulative_share_monotone_and_bounded() {
+        let d = SyntheticDataset::new(DatasetSpec::toy(1, 500, 10_000), 3);
+        let mut h = AccessHistogram::new(500);
+        for bi in 0..20 {
+            h.record(&d.batch(bi, 256), 0);
+        }
+        let mut prev = 0.0;
+        for (_, share) in h.cdf(10) {
+            assert!(share >= prev - 1e-12);
+            assert!(share <= 1.0 + 1e-12);
+            prev = share;
+        }
+        assert!((h.cumulative_share(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_data_shows_power_law() {
+        // Matches the Figure 4a observation: a small index fraction takes
+        // the bulk of accesses.
+        let d = SyntheticDataset::new(DatasetSpec::toy(1, 2000, 100_000), 5);
+        let mut h = AccessHistogram::new(2000);
+        for bi in 0..40 {
+            h.record(&d.batch(bi, 512), 0);
+        }
+        assert!(h.cumulative_share(0.1) > 0.5, "got {}", h.cumulative_share(0.1));
+    }
+
+    #[test]
+    fn unique_gap_grows_with_batch_size() {
+        // Figure 4b: unique/batch-size ratio shrinks as batches grow.
+        let d = SyntheticDataset::new(DatasetSpec::toy(1, 1000, 1_000_000), 7);
+        let small: Vec<_> = (0..4).map(|i| d.batch(i, 128)).collect();
+        let large: Vec<_> = (0..4).map(|i| d.batch(i, 2048)).collect();
+        let r_small = unique_per_batch(&small, 0) / (128.0 * 2.0);
+        let r_large = unique_per_batch(&large, 0) / (2048.0 * 2.0);
+        assert!(r_large < r_small, "expected ratio to shrink: {r_small} -> {r_large}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(unique_per_batch(&[], 0), 0.0);
+        assert_eq!(mean_unique_per_batch(&[]), 0.0);
+        let h = AccessHistogram::new(5);
+        assert_eq!(h.cumulative_share(0.5), 0.0);
+    }
+}

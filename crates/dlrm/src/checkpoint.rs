@@ -1,0 +1,215 @@
+//! Model checkpointing.
+//!
+//! Industry DLRM training runs for days; a training system needs durable
+//! snapshots. [`DlrmCheckpoint`] captures everything trainable (MLPs,
+//! dense tables, TT cores, optimizer choice) in a serde-serializable form;
+//! kernel workspaces and option flags that only affect speed are rebuilt
+//! on load.
+
+use crate::embedding_bag::EmbeddingBag;
+use crate::model::{DlrmModel, EmbeddingLayer};
+use crate::mlp::Mlp;
+use crate::optim::OptimizerKind;
+use el_core::{TtEmbeddingBag, TtOptions, TtWorkspace};
+use el_tensor::tt::TtCores;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serializable snapshot of one embedding layer.
+#[derive(Serialize, Deserialize)]
+pub enum TableCheckpoint {
+    /// Uncompressed table.
+    Dense(EmbeddingBag),
+    /// TT table: cores plus logical row count and kernel options.
+    Tt {
+        /// The trained cores.
+        cores: TtCores,
+        /// Logical rows (capacity may be padded above this).
+        num_rows: usize,
+        /// Kernel options to restore.
+        options: TtOptions,
+    },
+    /// Parameters live elsewhere; only the dimension is recorded.
+    Hosted {
+        /// Embedding dimension.
+        dim: usize,
+    },
+}
+
+/// Serializable snapshot of a whole model.
+#[derive(Serialize, Deserialize)]
+pub struct DlrmCheckpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Bottom MLP parameters.
+    pub bottom: Mlp,
+    /// Top MLP parameters.
+    pub top: Mlp,
+    /// Embedding layers.
+    pub tables: Vec<TableCheckpoint>,
+    /// Learning rate.
+    pub lr: f32,
+    /// Optimizer kind (Adagrad accumulators are intentionally not
+    /// persisted: restarting them is standard practice and keeps
+    /// checkpoints small).
+    pub optimizer: OptimizerKind,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl DlrmCheckpoint {
+    /// Captures a model.
+    pub fn capture(model: &DlrmModel) -> Self {
+        let tables = model
+            .tables
+            .iter()
+            .map(|t| match t {
+                EmbeddingLayer::Dense(bag) => TableCheckpoint::Dense(bag.clone()),
+                EmbeddingLayer::Tt(bag, _) => TableCheckpoint::Tt {
+                    cores: bag.cores().clone(),
+                    num_rows: bag.num_rows(),
+                    options: bag.options.clone(),
+                },
+                EmbeddingLayer::Hosted { dim } => TableCheckpoint::Hosted { dim: *dim },
+            })
+            .collect();
+        Self {
+            version: CHECKPOINT_VERSION,
+            bottom: model.bottom.clone(),
+            top: model.top.clone(),
+            tables,
+            lr: model.lr,
+            optimizer: model.optimizer,
+        }
+    }
+
+    /// Restores a model (fresh workspaces, fresh optimizer accumulators).
+    pub fn restore(self) -> DlrmModel {
+        assert_eq!(
+            self.version, CHECKPOINT_VERSION,
+            "unsupported checkpoint version {}",
+            self.version
+        );
+        let tables = self
+            .tables
+            .into_iter()
+            .map(|t| match t {
+                TableCheckpoint::Dense(bag) => EmbeddingLayer::Dense(bag),
+                TableCheckpoint::Tt { cores, num_rows, options } => EmbeddingLayer::Tt(
+                    Box::new(TtEmbeddingBag::from_cores(cores, num_rows).with_options(options)),
+                    TtWorkspace::new(),
+                ),
+                TableCheckpoint::Hosted { dim } => EmbeddingLayer::Hosted { dim },
+            })
+            .collect();
+        DlrmModel::from_parts(self.bottom, tables, self.top, self.lr, self.optimizer)
+    }
+
+    /// Serializes to a writer as JSON.
+    pub fn save(&self, w: impl Write) -> std::io::Result<()> {
+        serde_json::to_writer(w, self).map_err(std::io::Error::other)
+    }
+
+    /// Deserializes from a reader.
+    pub fn load(r: impl Read) -> std::io::Result<Self> {
+        serde_json::from_reader(r).map_err(std::io::Error::other)
+    }
+
+    /// Saves to a file path.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.save(std::io::BufWriter::new(f))
+    }
+
+    /// Loads from a file path.
+    pub fn load_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        Self::load(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DlrmConfig;
+    use el_data::{DatasetSpec, SyntheticDataset};
+    use rand::SeedableRng;
+
+    fn trained_model() -> (DlrmModel, SyntheticDataset) {
+        let mut spec = DatasetSpec::toy(3, 1500, 1_000_000);
+        spec.num_dense = 4;
+        let ds = SyntheticDataset::new(spec, 55);
+        let cfg = DlrmConfig {
+            num_dense: 4,
+            table_cardinalities: vec![1500; 3],
+            dim: 8,
+            bottom_hidden: vec![16],
+            top_hidden: vec![16],
+            tt_threshold: 1000, // all tables TT
+            tt_rank: 8,
+            lr: 0.05,
+            optimizer: OptimizerKind::Sgd,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut model = DlrmModel::new(&cfg, &mut rng);
+        for k in 0..5 {
+            let _ = model.train_step(&ds.batch(k, 64));
+        }
+        (model, ds)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (mut model, ds) = trained_model();
+        let batch = ds.batch(100, 32);
+        let before = model.predict(&batch);
+
+        let mut buf = Vec::new();
+        DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
+        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        let after = restored.predict(&batch);
+        assert_eq!(before, after, "restored model must predict identically");
+    }
+
+    #[test]
+    fn restored_model_keeps_training() {
+        let (model, ds) = trained_model();
+        let mut buf = Vec::new();
+        DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
+        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        let loss = restored.train_step(&ds.batch(50, 64));
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, ds) = trained_model();
+        let path = std::env::temp_dir().join("el_rec_ckpt_test.json");
+        DlrmCheckpoint::capture(&model).save_file(&path).unwrap();
+        let mut restored = DlrmCheckpoint::load_file(&path).unwrap().restore();
+        std::fs::remove_file(&path).ok();
+        let batch = ds.batch(7, 16);
+        assert!(restored.predict(&batch).iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (model, _) = trained_model();
+        let mut ckpt = DlrmCheckpoint::capture(&model);
+        ckpt.version = 999;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ckpt.restore()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn hosted_tables_round_trip_as_stubs() {
+        let (mut model, _) = trained_model();
+        model.tables[1] = EmbeddingLayer::Hosted { dim: 8 };
+        let mut buf = Vec::new();
+        DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
+        let restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        assert_eq!(restored.hosted_tables(), vec![1]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Uncompressed embedding bag — the `nn.EmbeddingBag(mode="sum")` baseline.
+//!
+//! Stores the full `rows x dim` table and trains it with sparse gradients:
+//! only rows touched by a batch are updated, exactly like the reference
+//! DLRM. This is the table the paper's DLRM/FAE baselines use, the
+//! comparison point of Table III (footprint) and the host-memory resident
+//! of the pipeline trainer.
+
+use el_tensor::Matrix;
+use rand::Rng;
+
+/// A dense embedding table with sum pooling over CSR `(indices, offsets)`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EmbeddingBag {
+    /// The table, `rows x dim`.
+    pub weight: Matrix,
+}
+
+/// Sparse gradient of an embedding bag: unique touched rows and their
+/// gradient rows (the payload pushed to the parameter server).
+#[derive(Clone, Debug, Default)]
+pub struct SparseGrad {
+    /// Unique touched row indices (sorted).
+    pub indices: Vec<u32>,
+    /// Gradient rows, `indices.len() x dim`, row-major.
+    pub values: Vec<f32>,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl EmbeddingBag {
+    /// A table initialized uniformly in `[-scale, scale]` (the reference
+    /// DLRM uses `scale = 1/sqrt(rows)`-style inits; any small scale works).
+    pub fn new(rows: usize, dim: usize, scale: f32, rng: &mut impl Rng) -> Self {
+        Self { weight: Matrix::uniform(rows, dim, scale, rng) }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Table footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.weight.footprint_bytes()
+    }
+
+    /// Sum-pooled lookup.
+    pub fn forward(&self, indices: &[u32], offsets: &[u32]) -> Matrix {
+        let dim = self.dim();
+        let batch = offsets.len() - 1;
+        let mut out = Matrix::zeros(batch, dim);
+        for s in 0..batch {
+            let dst = out.row_mut(s);
+            for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+                let row = self.weight.row(i as usize);
+                for (d, v) in dst.iter_mut().zip(row) {
+                    *d += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes the sparse gradient of a batch without touching weights.
+    pub fn sparse_grad(&self, indices: &[u32], offsets: &[u32], d_out: &Matrix) -> SparseGrad {
+        let dim = self.dim();
+        assert_eq!(d_out.cols(), dim);
+        assert_eq!(d_out.rows() + 1, offsets.len());
+        let mut unique: Vec<u32> = indices.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let slot_of = |i: u32| unique.binary_search(&i).expect("index seen in batch");
+        let mut values = vec![0.0f32; unique.len() * dim];
+        for s in 0..d_out.rows() {
+            let g = d_out.row(s);
+            for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+                let slot = slot_of(i);
+                for (v, gv) in values[slot * dim..(slot + 1) * dim].iter_mut().zip(g) {
+                    *v += gv;
+                }
+            }
+        }
+        SparseGrad { indices: unique, values, dim }
+    }
+
+    /// Applies a sparse gradient with SGD.
+    pub fn apply_sparse_grad(&mut self, grad: &SparseGrad, lr: f32) {
+        assert_eq!(grad.dim, self.dim());
+        for (slot, &i) in grad.indices.iter().enumerate() {
+            let row = self.weight.row_mut(i as usize);
+            let g = &grad.values[slot * grad.dim..(slot + 1) * grad.dim];
+            for (w, gv) in row.iter_mut().zip(g) {
+                *w -= lr * gv;
+            }
+        }
+    }
+
+    /// Convenience: backward + update in one call.
+    pub fn backward_sgd(&mut self, indices: &[u32], offsets: &[u32], d_out: &Matrix, lr: f32) {
+        let grad = self.sparse_grad(indices, offsets, d_out);
+        self.apply_sparse_grad(&grad, lr);
+    }
+
+    /// Backward + sparse-Adagrad update. The state must cover the whole
+    /// table (`Adagrad::new(rows * dim)`), but only touched rows pay.
+    pub fn backward_adagrad(
+        &mut self,
+        indices: &[u32],
+        offsets: &[u32],
+        d_out: &Matrix,
+        lr: f32,
+        state: &mut crate::optim::Adagrad,
+    ) {
+        let grad = self.sparse_grad(indices, offsets, d_out);
+        let dim = self.dim();
+        state.step_rows(self.weight.as_mut_slice(), dim, &grad.indices, &grad.values, lr);
+    }
+
+    /// Copies selected rows into a dense matrix (parameter-server pull).
+    pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(indices.len(), dim);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.weight.row(i as usize));
+        }
+        out
+    }
+
+    /// Overwrites selected rows (parameter-server push / cache sync).
+    pub fn scatter_rows(&mut self, indices: &[u32], rows: &Matrix) {
+        assert_eq!(rows.rows(), indices.len());
+        assert_eq!(rows.cols(), self.dim());
+        for (r, &i) in indices.iter().enumerate() {
+            self.weight.row_mut(i as usize).copy_from_slice(rows.row(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bag() -> EmbeddingBag {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        EmbeddingBag::new(10, 4, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn forward_sums_rows() {
+        let b = bag();
+        let out = b.forward(&[2, 5], &[0, 2]);
+        for c in 0..4 {
+            let expect = b.weight.get(2, c) + b.weight.get(5, c);
+            assert!((out.get(0, c) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_sample_gives_zero() {
+        let b = bag();
+        let out = b.forward(&[1], &[0, 0, 1]);
+        assert!(out.row(0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sparse_grad_aggregates_duplicates() {
+        let b = bag();
+        let d = Matrix::full(2, 4, 1.0);
+        // index 3 appears in both samples, and twice in sample 0
+        let g = b.sparse_grad(&[3, 3, 3, 7], &[0, 2, 4], &d);
+        assert_eq!(g.indices, vec![3, 7]);
+        // 3 lookups of index 3, each with gradient 1.0
+        assert!((g.values[0] - 3.0).abs() < 1e-6);
+        assert!((g.values[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_sgd_updates_only_touched_rows() {
+        let mut b = bag();
+        let before = b.weight.clone();
+        let d = Matrix::full(1, 4, 1.0);
+        b.backward_sgd(&[4], &[0, 1], &d, 0.1);
+        for r in 0..10 {
+            for c in 0..4 {
+                let delta = before.get(r, c) - b.weight.get(r, c);
+                if r == 4 {
+                    assert!((delta - 0.1).abs() < 1e-6);
+                } else {
+                    assert_eq!(delta, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut b = bag();
+        let rows = b.gather_rows(&[1, 8]);
+        let mut modified = rows.clone();
+        modified.scale(2.0);
+        b.scatter_rows(&[1, 8], &modified);
+        let again = b.gather_rows(&[1, 8]);
+        assert!(again.max_abs_diff(&modified) < 1e-6);
+    }
+
+    #[test]
+    fn matches_tt_bag_pooling_semantics() {
+        // Dense and TT bags must implement the same pooling contract.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let dense = EmbeddingBag::new(30, 8, 0.3, &mut rng);
+        let indices = [1u32, 5, 1, 9];
+        let offsets = [0u32, 3, 4];
+        let out = dense.forward(&indices, &offsets);
+        // sample 0 = row1 + row5 + row1
+        for c in 0..8 {
+            let expect =
+                2.0 * dense.weight.get(1, c) + dense.weight.get(5, c);
+            assert!((out.get(0, c) - expect).abs() < 1e-5);
+        }
+    }
+}

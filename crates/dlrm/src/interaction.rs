@@ -1,0 +1,182 @@
+//! Pairwise dot-product feature interaction (paper Figure 2).
+//!
+//! DLRM concatenates the bottom-MLP output with all embedding vectors into
+//! `F` features of dimension `d` per sample, computes the dot products of
+//! every unordered feature pair, and concatenates those `F*(F-1)/2` scalars
+//! with the bottom-MLP output as the top-MLP input.
+
+// The pair loops index `features[i]`/`features[j]` by position — the index
+// form is the direct transcription of the (i, j) pair enumeration.
+#![allow(clippy::needless_range_loop)]
+
+use el_tensor::Matrix;
+
+/// The feature-interaction layer; stateless, shapes fixed at construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Interaction {
+    /// Number of interacting features per sample (1 + number of tables).
+    pub num_features: usize,
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl Interaction {
+    /// An interaction over `num_features` features of width `dim`.
+    pub fn new(num_features: usize, dim: usize) -> Self {
+        assert!(num_features >= 2, "interaction needs at least two features");
+        Self { num_features, dim }
+    }
+
+    /// Number of feature pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.num_features * (self.num_features - 1) / 2
+    }
+
+    /// Output width: bottom-MLP passthrough + pair dot products.
+    pub fn out_dim(&self) -> usize {
+        self.dim + self.num_pairs()
+    }
+
+    /// Forward: `features[f]` is a `batch x dim` matrix (feature 0 is the
+    /// bottom-MLP output, which is also passed through).
+    pub fn forward(&self, features: &[&Matrix]) -> Matrix {
+        assert_eq!(features.len(), self.num_features);
+        let batch = features[0].rows();
+        for f in features {
+            assert_eq!(f.rows(), batch, "feature batch mismatch");
+            assert_eq!(f.cols(), self.dim, "feature dim mismatch");
+        }
+        let mut out = Matrix::zeros(batch, self.out_dim());
+        for s in 0..batch {
+            let dst = out.row_mut(s);
+            dst[..self.dim].copy_from_slice(features[0].row(s));
+            let mut p = self.dim;
+            for i in 0..self.num_features {
+                let fi = features[i].row(s);
+                for j in (i + 1)..self.num_features {
+                    let fj = features[j].row(s);
+                    let mut acc = 0.0f32;
+                    for (a, b) in fi.iter().zip(fj) {
+                        acc += a * b;
+                    }
+                    dst[p] = acc;
+                    p += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: splits `d_out` into per-feature gradients.
+    pub fn backward(&self, features: &[&Matrix], d_out: &Matrix) -> Vec<Matrix> {
+        assert_eq!(features.len(), self.num_features);
+        let batch = features[0].rows();
+        assert_eq!(d_out.rows(), batch);
+        assert_eq!(d_out.cols(), self.out_dim());
+
+        let mut grads: Vec<Matrix> =
+            (0..self.num_features).map(|_| Matrix::zeros(batch, self.dim)).collect();
+        for s in 0..batch {
+            let g = d_out.row(s);
+            // passthrough part
+            grads[0].row_mut(s).copy_from_slice(&g[..self.dim]);
+            let mut p = self.dim;
+            for i in 0..self.num_features {
+                for j in (i + 1)..self.num_features {
+                    let gp = g[p];
+                    p += 1;
+                    if gp == 0.0 {
+                        continue;
+                    }
+                    // d(f_i . f_j)/df_i = f_j and vice versa
+                    let fj = features[j].row(s).to_vec();
+                    let fi = features[i].row(s).to_vec();
+                    for (dst, v) in grads[i].row_mut(s).iter_mut().zip(&fj) {
+                        *dst += gp * v;
+                    }
+                    for (dst, v) in grads[j].row_mut(s).iter_mut().zip(&fi) {
+                        *dst += gp * v;
+                    }
+                }
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_layout_is_passthrough_then_pairs() {
+        let inter = Interaction::new(3, 2);
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let c = Matrix::from_vec(1, 2, vec![5.0, 6.0]);
+        let out = inter.forward(&[&a, &b, &c]);
+        assert_eq!(out.cols(), 2 + 3);
+        // passthrough
+        assert_eq!(&out.row(0)[..2], &[1.0, 2.0]);
+        // pairs in (0,1), (0,2), (1,2) order
+        assert_eq!(out.row(0)[2], 1.0 * 3.0 + 2.0 * 4.0);
+        assert_eq!(out.row(0)[3], 1.0 * 5.0 + 2.0 * 6.0);
+        assert_eq!(out.row(0)[4], 3.0 * 5.0 + 4.0 * 6.0);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let inter = Interaction::new(3, 4);
+        let feats: Vec<Matrix> =
+            (0..3).map(|_| Matrix::uniform(2, 4, 1.0, &mut rng)).collect();
+        let refs: Vec<&Matrix> = feats.iter().collect();
+        let gsel = Matrix::uniform(2, inter.out_dim(), 1.0, &mut rng);
+
+        let grads = inter.backward(&refs, &gsel);
+
+        let loss = |feats: &[Matrix]| -> f32 {
+            let refs: Vec<&Matrix> = feats.iter().collect();
+            inter
+                .forward(&refs)
+                .as_slice()
+                .iter()
+                .zip(gsel.as_slice())
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let eps = 1e-3;
+        for f in 0..3 {
+            for &(s, c) in &[(0usize, 0usize), (1, 3)] {
+                let mut pert = feats.clone();
+                let orig = pert[f].get(s, c);
+                pert[f].set(s, c, orig + eps);
+                let up = loss(&pert);
+                pert[f].set(s, c, orig - eps);
+                let down = loss(&pert);
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grads[f].get(s, c);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "feature {f} ({s},{c}): {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_formula() {
+        assert_eq!(Interaction::new(27, 16).num_pairs(), 27 * 26 / 2);
+        assert_eq!(Interaction::new(2, 16).num_pairs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn dim_mismatch_panics() {
+        let inter = Interaction::new(2, 4);
+        let a = Matrix::zeros(1, 4);
+        let b = Matrix::zeros(1, 3);
+        let _ = inter.forward(&[&a, &b]);
+    }
+}

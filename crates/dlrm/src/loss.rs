@@ -1,0 +1,107 @@
+//! Binary cross-entropy with logits — the CTR-prediction loss.
+
+use el_tensor::Matrix;
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Mean BCE-with-logits loss and its gradient.
+///
+/// `logits` is `batch x 1`; returns `(loss, d_logits)` with
+/// `d_logits = (sigmoid(z) - y) / batch` — the mean-reduction gradient the
+/// reference DLRM uses.
+pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
+    assert_eq!(logits.cols(), 1, "logits must be batch x 1");
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let batch = labels.len();
+    assert!(batch > 0, "empty batch");
+    let mut grad = Matrix::zeros(batch, 1);
+    let mut loss = 0.0f64;
+    for (s, &y) in labels.iter().enumerate() {
+        let z = logits.get(s, 0);
+        // log(1 + exp(-|z|)) + max(z, 0) - z*y  (stable form)
+        let l = z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        loss += l as f64;
+        grad.set(s, 0, (sigmoid(z) - y) / batch as f32);
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Probability predictions from logits.
+pub fn predict_proba(logits: &Matrix) -> Vec<f32> {
+    assert_eq!(logits.cols(), 1);
+    (0..logits.rows()).map(|s| sigmoid(logits.get(s, 0))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(5.0) + sigmoid(-5.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+    }
+
+    #[test]
+    fn perfect_predictions_have_low_loss() {
+        let logits = Matrix::from_vec(2, 1, vec![10.0, -10.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn wrong_predictions_have_high_loss() {
+        let logits = Matrix::from_vec(2, 1, vec![-10.0, 10.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let labels = [1.0f32, 0.0, 1.0];
+        let mut logits = Matrix::from_vec(3, 1, vec![0.3, -0.7, 1.2]);
+        let (_, grad) = bce_with_logits(&logits, &labels);
+        let eps = 1e-3;
+        for s in 0..3 {
+            let orig = logits.get(s, 0);
+            logits.set(s, 0, orig + eps);
+            let (up, _) = bce_with_logits(&logits, &labels);
+            logits.set(s, 0, orig - eps);
+            let (down, _) = bce_with_logits(&logits, &labels);
+            logits.set(s, 0, orig);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grad.get(s, 0)).abs() < 1e-3,
+                "sample {s}: {numeric} vs {}",
+                grad.get(s, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_stable_for_extreme_logits() {
+        let logits = Matrix::from_vec(2, 1, vec![1000.0, -1000.0]);
+        let (loss, grad) = bce_with_logits(&logits, &[0.0, 1.0]);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn predict_proba_maps_logits() {
+        let logits = Matrix::from_vec(2, 1, vec![0.0, 2.0]);
+        let p = predict_proba(&logits);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p[1] - sigmoid(2.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Evaluation metrics for CTR prediction (Table IV reports accuracy).
+
+/// Classification accuracy at threshold 0.5 (the paper's Table IV metric).
+pub fn accuracy(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let correct = probs
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
+        .count();
+    correct as f64 / probs.len() as f64
+}
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+pub fn auc(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    let pos = labels.iter().filter(|&&y| y >= 0.5).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // ranks of the scores, average rank for ties
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap());
+    let mut ranks = vec![0f64; probs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probs[order[j + 1]] == probs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 =
+        labels.iter().zip(&ranks).filter(|(y, _)| **y >= 0.5).map(|(_, r)| *r).sum();
+    (rank_sum - (pos * (pos + 1)) as f64 / 2.0) / (pos as f64 * neg as f64)
+}
+
+/// Mean binary log loss of probability predictions.
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-7f64;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            -(y as f64 * p.ln() + (1.0 - y as f64) * (1.0 - p).ln())
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_threshold_hits() {
+        let acc = accuracy(&[0.9, 0.1, 0.6, 0.4], &[1.0, 0.0, 0.0, 1.0]);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_perfect_ranking_is_one() {
+        let auc = auc(&[0.1, 0.2, 0.8, 0.9], &[0.0, 0.0, 1.0, 1.0]);
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_inverted_ranking_is_zero() {
+        let auc = auc(&[0.9, 0.8, 0.1, 0.2], &[0.0, 0.0, 1.0, 1.0]);
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_random_ties_is_half() {
+        let auc = auc(&[0.5, 0.5, 0.5, 0.5], &[0.0, 1.0, 0.0, 1.0]);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes_return_half() {
+        assert_eq!(auc(&[0.5, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.5, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct() {
+        let good = log_loss(&[0.99, 0.01], &[1.0, 0.0]);
+        let bad = log_loss(&[0.6, 0.4], &[1.0, 0.0]);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn log_loss_is_finite_at_extremes() {
+        assert!(log_loss(&[1.0, 0.0], &[0.0, 1.0]).is_finite());
+    }
+}

@@ -1,0 +1,773 @@
+//! The assembled DLRM (paper Figure 2) with pluggable embedding layers.
+//!
+//! Each sparse field is served by one [`EmbeddingLayer`]:
+//!
+//! * [`EmbeddingLayer::Dense`] — the uncompressed PyTorch-style table;
+//! * [`EmbeddingLayer::Tt`] — an Eff-TT table (the drop-in replacement the
+//!   paper advertises: swapping the variants is the entire migration);
+//! * [`EmbeddingLayer::Hosted`] — a table whose parameters live somewhere
+//!   else (host memory behind the parameter server); its pooled embeddings
+//!   arrive from outside and its gradients are handed back, which is how
+//!   the pipeline trainer of `el-pipeline` drives the model.
+
+use crate::embedding_bag::EmbeddingBag;
+use crate::interaction::Interaction;
+use crate::loss::{bce_with_logits, predict_proba};
+use crate::metrics;
+use crate::mlp::Mlp;
+use crate::optim::{Adagrad, OptimizerKind};
+use el_core::{TtConfig, TtEmbeddingBag, TtWorkspace};
+use el_data::{DatasetSpec, MiniBatch};
+use el_tensor::Matrix;
+use rand::Rng;
+
+/// One sparse field's embedding table.
+// Variant sizes intentionally differ: `Dense` embeds the table handle while
+// `Hosted` is a stub; boxing `Dense` would add an indirection on the hottest
+// lookup path.
+#[allow(clippy::large_enum_variant)]
+pub enum EmbeddingLayer {
+    /// Uncompressed table trained with sparse gradients.
+    Dense(EmbeddingBag),
+    /// Eff-TT compressed table with its kernel workspace.
+    Tt(Box<TtEmbeddingBag>, TtWorkspace),
+    /// Parameters live outside the model (host memory / parameter server).
+    Hosted {
+        /// Embedding dimension served by the external owner.
+        dim: usize,
+    },
+}
+
+impl EmbeddingLayer {
+    /// Embedding dimension of the layer.
+    pub fn dim(&self) -> usize {
+        match self {
+            EmbeddingLayer::Dense(b) => b.dim(),
+            EmbeddingLayer::Tt(b, _) => b.dim(),
+            EmbeddingLayer::Hosted { dim } => *dim,
+        }
+    }
+
+    /// Device-resident parameter bytes of the layer.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            EmbeddingLayer::Dense(b) => b.footprint_bytes(),
+            EmbeddingLayer::Tt(b, _) => b.footprint_bytes(),
+            EmbeddingLayer::Hosted { .. } => 0,
+        }
+    }
+}
+
+/// Model hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct DlrmConfig {
+    /// Number of dense features.
+    pub num_dense: usize,
+    /// Cardinality of each sparse field.
+    pub table_cardinalities: Vec<usize>,
+    /// Embedding dimension (all tables).
+    pub dim: usize,
+    /// Bottom-MLP hidden sizes (input/output added automatically).
+    pub bottom_hidden: Vec<usize>,
+    /// Top-MLP hidden sizes (input/output added automatically).
+    pub top_hidden: Vec<usize>,
+    /// Tables with at least this many rows are TT-compressed (the paper
+    /// compresses tables above 1M rows; scale accordingly).
+    pub tt_threshold: usize,
+    /// TT rank for compressed tables.
+    pub tt_rank: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Optimizer for every trainable component (the paper uses SGD, which
+    /// also enables the fused TT-core update; Adagrad matches the
+    /// reference DLRM's sparse-embedding default).
+    pub optimizer: OptimizerKind,
+}
+
+impl DlrmConfig {
+    /// A configuration matching a dataset spec with DLRM-default MLPs.
+    pub fn for_spec(spec: &DatasetSpec, dim: usize, tt_threshold: usize, tt_rank: usize) -> Self {
+        Self {
+            num_dense: spec.num_dense,
+            table_cardinalities: spec.table_cardinalities.clone(),
+            dim,
+            bottom_hidden: vec![64, 32],
+            top_hidden: vec![64, 32],
+            tt_threshold,
+            tt_rank,
+            lr: 0.05,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+}
+
+/// Metrics of one evaluation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalMetrics {
+    /// Accuracy at threshold 0.5 (Table IV).
+    pub accuracy: f64,
+    /// ROC AUC.
+    pub auc: f64,
+    /// Mean binary log loss.
+    pub log_loss: f64,
+}
+
+/// Result of a hybrid training step.
+pub struct StepOutput {
+    /// Mean BCE loss of the batch.
+    pub loss: f32,
+    /// Gradients of the pooled embeddings of each hosted table
+    /// (`(table, batch x dim)`), to be pushed to the parameter server.
+    pub hosted_grads: Vec<(usize, Matrix)>,
+}
+
+/// Per-component Adagrad state (allocated only when the model trains with
+/// [`OptimizerKind::Adagrad`]).
+pub struct AdagradStates {
+    /// One state per bottom-MLP layer.
+    pub bottom: Vec<Adagrad>,
+    /// One state per top-MLP layer.
+    pub top: Vec<Adagrad>,
+    /// One state per table: dense tables get a whole-table accumulator,
+    /// TT tables one accumulator per core.
+    pub tables: Vec<Vec<Adagrad>>,
+}
+
+/// The DLRM model.
+pub struct DlrmModel {
+    /// Bottom MLP: dense features -> `dim`.
+    pub bottom: Mlp,
+    /// One embedding layer per sparse field.
+    pub tables: Vec<EmbeddingLayer>,
+    /// Feature interaction.
+    pub interaction: Interaction,
+    /// Top MLP: interaction output -> logit.
+    pub top: Mlp,
+    /// Learning rate (shared by MLPs and embeddings).
+    pub lr: f32,
+    /// Which optimizer `train_step*` applies.
+    pub optimizer: OptimizerKind,
+    /// Adagrad accumulators; `None` under SGD.
+    opt_states: Option<AdagradStates>,
+}
+
+impl DlrmModel {
+    /// Builds a model, compressing large tables per the configuration.
+    pub fn new(config: &DlrmConfig, rng: &mut impl Rng) -> Self {
+        let mut bottom_sizes = vec![config.num_dense.max(1)];
+        bottom_sizes.extend_from_slice(&config.bottom_hidden);
+        bottom_sizes.push(config.dim);
+        let bottom = Mlp::new(&bottom_sizes, rng);
+
+        let tables: Vec<EmbeddingLayer> = config
+            .table_cardinalities
+            .iter()
+            .map(|&card| {
+                if card >= config.tt_threshold {
+                    let tt_cfg = TtConfig::new(card, config.dim, config.tt_rank);
+                    EmbeddingLayer::Tt(
+                        Box::new(TtEmbeddingBag::new(&tt_cfg, rng)),
+                        TtWorkspace::new(),
+                    )
+                } else {
+                    EmbeddingLayer::Dense(EmbeddingBag::new(card, config.dim, 0.05, rng))
+                }
+            })
+            .collect();
+
+        let interaction = Interaction::new(1 + tables.len(), config.dim);
+        let mut top_sizes = vec![interaction.out_dim()];
+        top_sizes.extend_from_slice(&config.top_hidden);
+        top_sizes.push(1);
+        let top = Mlp::new(&top_sizes, rng);
+
+        let opt_states = match config.optimizer {
+            OptimizerKind::Sgd => None,
+            OptimizerKind::Adagrad { eps } => {
+                let make = |mut states: Vec<Adagrad>| {
+                    for s in &mut states {
+                        s.eps = eps;
+                    }
+                    states
+                };
+                Some(AdagradStates {
+                    bottom: make(bottom.adagrad_states()),
+                    top: make(top.adagrad_states()),
+                    tables: tables
+                        .iter()
+                        .map(|t| {
+                            make(match t {
+                                EmbeddingLayer::Dense(b) => {
+                                    vec![Adagrad::new(b.weight.len())]
+                                }
+                                EmbeddingLayer::Tt(b, _) => b
+                                    .cores()
+                                    .cores
+                                    .iter()
+                                    .map(|c| Adagrad::new(c.len()))
+                                    .collect(),
+                                EmbeddingLayer::Hosted { .. } => Vec::new(),
+                            })
+                        })
+                        .collect(),
+                })
+            }
+        };
+
+        Self {
+            bottom,
+            tables,
+            interaction,
+            top,
+            lr: config.lr,
+            optimizer: config.optimizer,
+            opt_states,
+        }
+    }
+
+    /// Reassembles a model from pre-built components (checkpoint restore).
+    pub fn from_parts(
+        bottom: Mlp,
+        tables: Vec<EmbeddingLayer>,
+        top: Mlp,
+        lr: f32,
+        optimizer: OptimizerKind,
+    ) -> Self {
+        let dim = tables.first().map(EmbeddingLayer::dim).unwrap_or(bottom.out_dim());
+        let interaction = Interaction::new(1 + tables.len(), dim);
+        let opt_states = match optimizer {
+            OptimizerKind::Sgd => None,
+            OptimizerKind::Adagrad { eps } => {
+                let make = |mut states: Vec<Adagrad>| {
+                    for s in &mut states {
+                        s.eps = eps;
+                    }
+                    states
+                };
+                Some(AdagradStates {
+                    bottom: make(bottom.adagrad_states()),
+                    top: make(top.adagrad_states()),
+                    tables: tables
+                        .iter()
+                        .map(|t| {
+                            make(match t {
+                                EmbeddingLayer::Dense(b) => vec![Adagrad::new(b.weight.len())],
+                                EmbeddingLayer::Tt(b, _) => b
+                                    .cores()
+                                    .cores
+                                    .iter()
+                                    .map(|c| Adagrad::new(c.len()))
+                                    .collect(),
+                                EmbeddingLayer::Hosted { .. } => Vec::new(),
+                            })
+                        })
+                        .collect(),
+                })
+            }
+        };
+        Self { bottom, tables, interaction, top, lr, optimizer, opt_states }
+    }
+
+    /// Number of sparse fields.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table indices served by the parameter server.
+    pub fn hosted_tables(&self) -> Vec<usize> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, EmbeddingLayer::Hosted { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Device-resident embedding bytes (Table III's EL-Rec column).
+    pub fn embedding_footprint_bytes(&self) -> usize {
+        self.tables.iter().map(EmbeddingLayer::footprint_bytes).sum()
+    }
+
+    /// One SGD step over a batch where every table is model-resident.
+    pub fn train_step(&mut self, batch: &MiniBatch) -> f32 {
+        assert!(
+            self.hosted_tables().is_empty(),
+            "model has hosted tables; use train_step_hybrid"
+        );
+        self.train_step_hybrid(batch, &[]).loss
+    }
+
+    /// One SGD step where hosted tables' pooled embeddings are supplied by
+    /// the caller (parameter-server pull); returns their gradients for the
+    /// push path.
+    pub fn train_step_hybrid(
+        &mut self,
+        batch: &MiniBatch,
+        hosted_embeddings: &[(usize, Matrix)],
+    ) -> StepOutput {
+        let dense = self.dense_matrix(batch);
+        let z0 = self.bottom.forward(&dense);
+
+        // Embedding forward per table.
+        let embs: Vec<Matrix> = self.embedding_forward(batch, hosted_embeddings);
+
+        let mut features: Vec<&Matrix> = Vec::with_capacity(1 + embs.len());
+        features.push(&z0);
+        features.extend(embs.iter());
+        let inter_out = self.interaction.forward(&features);
+
+        let logits = self.top.forward(&inter_out);
+        let (loss, d_logits) = bce_with_logits(&logits, &batch.labels);
+
+        // Backward.
+        let d_inter = self.top.backward(&d_logits);
+        let feat_grads = self.interaction.backward(&features, &d_inter);
+        drop(features);
+
+        let mut hosted_grads = Vec::new();
+        let lr = self.lr;
+        for (t, grad) in feat_grads.iter().skip(1).enumerate() {
+            let field = &batch.fields[t];
+            match &mut self.tables[t] {
+                EmbeddingLayer::Dense(bag) => match &mut self.opt_states {
+                    None => bag.backward_sgd(&field.indices, &field.offsets, grad, lr),
+                    Some(states) => bag.backward_adagrad(
+                        &field.indices,
+                        &field.offsets,
+                        grad,
+                        lr,
+                        &mut states.tables[t][0],
+                    ),
+                },
+                EmbeddingLayer::Tt(bag, ws) => match &mut self.opt_states {
+                    None => bag.backward_sgd(grad, ws, lr),
+                    Some(states) => {
+                        // Adagrad needs materialized core gradients; the
+                        // fused-update shortcut is SGD-specific (paper
+                        // §III-B).
+                        bag.backward_grads(grad, ws);
+                        for (k, state) in states.tables[t].iter_mut().enumerate() {
+                            let grads = &ws.grads()[k];
+                            // state.step borrows core mutably
+                            let core = &mut bag.cores_mut().cores[k];
+                            state.step(core, grads, lr);
+                        }
+                    }
+                },
+                EmbeddingLayer::Hosted { .. } => {
+                    hosted_grads.push((t, grad.clone()));
+                }
+            }
+        }
+
+        let _ = self.bottom.backward(&feat_grads[0]);
+        match &mut self.opt_states {
+            None => {
+                self.top.step(lr);
+                self.bottom.step(lr);
+            }
+            Some(states) => {
+                self.top.step_adagrad(lr, &mut states.top);
+                self.bottom.step_adagrad(lr, &mut states.bottom);
+            }
+        }
+
+        StepOutput { loss, hosted_grads }
+    }
+
+    /// Length of the flat gradient vector produced by
+    /// [`DlrmModel::train_step_defer`].
+    pub fn grad_len(&self) -> usize {
+        let mut len = self.bottom.param_count() + self.top.param_count();
+        for t in &self.tables {
+            len += match t {
+                EmbeddingLayer::Dense(b) => b.weight.len(),
+                EmbeddingLayer::Tt(b, _) => b.param_count(),
+                EmbeddingLayer::Hosted { .. } => 0,
+            };
+        }
+        len
+    }
+
+    /// One training step that *collects* gradients instead of applying
+    /// them, for data-parallel training: the returned flat vector has a
+    /// fixed layout (bottom MLP, top MLP, then each table), so identical
+    /// replicas can all-reduce it and call
+    /// [`DlrmModel::apply_grad_vector`].
+    ///
+    /// Dense tables contribute their full (mostly zero) gradient so the
+    /// layout is worker-independent; use TT tables for anything large.
+    pub fn train_step_defer(&mut self, batch: &MiniBatch) -> (f32, Vec<f32>) {
+        assert!(self.hosted_tables().is_empty(), "hosted tables cannot be all-reduced");
+        assert!(
+            self.optimizer == OptimizerKind::Sgd,
+            "deferred (all-reduce) training applies plain SGD; switch the optimizer"
+        );
+        let dense = self.dense_matrix(batch);
+        let z0 = self.bottom.forward(&dense);
+        let embs = self.embedding_forward(batch, &[]);
+        let mut features: Vec<&Matrix> = Vec::with_capacity(1 + embs.len());
+        features.push(&z0);
+        features.extend(embs.iter());
+        let inter_out = self.interaction.forward(&features);
+        let logits = self.top.forward(&inter_out);
+        let (loss, d_logits) = bce_with_logits(&logits, &batch.labels);
+        let d_inter = self.top.backward(&d_logits);
+        let feat_grads = self.interaction.backward(&features, &d_inter);
+        drop(features);
+        let _ = self.bottom.backward(&feat_grads[0]);
+
+        let mut flat = Vec::with_capacity(self.grad_len());
+        flat.extend(self.bottom.export_grads());
+        flat.extend(self.top.export_grads());
+        for (t, grad) in feat_grads.iter().skip(1).enumerate() {
+            let field = &batch.fields[t];
+            match &mut self.tables[t] {
+                EmbeddingLayer::Dense(bag) => {
+                    let sparse = bag.sparse_grad(&field.indices, &field.offsets, grad);
+                    let mut full = vec![0.0f32; bag.weight.len()];
+                    let dim = bag.dim();
+                    for (slot, &i) in sparse.indices.iter().enumerate() {
+                        full[i as usize * dim..(i as usize + 1) * dim]
+                            .copy_from_slice(&sparse.values[slot * dim..(slot + 1) * dim]);
+                    }
+                    flat.extend(full);
+                }
+                EmbeddingLayer::Tt(bag, ws) => {
+                    bag.backward_grads(grad, ws);
+                    for g in ws.grads() {
+                        flat.extend_from_slice(g);
+                    }
+                }
+                EmbeddingLayer::Hosted { .. } => unreachable!(),
+            }
+        }
+        // MLP grads were exported; clear them so the next step starts clean.
+        self.bottom.import_grads(&vec![0.0; self.bottom.param_count()]);
+        self.top.import_grads(&vec![0.0; self.top.param_count()]);
+        debug_assert_eq!(flat.len(), self.grad_len());
+        (loss, flat)
+    }
+
+    /// Applies a flat gradient vector (layout of
+    /// [`DlrmModel::train_step_defer`]) with SGD.
+    pub fn apply_grad_vector(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.grad_len(), "gradient vector layout mismatch");
+        let lr = self.lr;
+        let mut off = 0;
+        let b = self.bottom.param_count();
+        self.bottom.import_grads(&flat[off..off + b]);
+        self.bottom.step(lr);
+        off += b;
+        let t = self.top.param_count();
+        self.top.import_grads(&flat[off..off + t]);
+        self.top.step(lr);
+        off += t;
+        for table in &mut self.tables {
+            match table {
+                EmbeddingLayer::Dense(bag) => {
+                    let n = bag.weight.len();
+                    for (w, g) in bag.weight.as_mut_slice().iter_mut().zip(&flat[off..off + n]) {
+                        *w -= lr * g;
+                    }
+                    off += n;
+                }
+                EmbeddingLayer::Tt(bag, _) => {
+                    for k in 0..bag.order() {
+                        let core = &mut bag.cores_mut().cores[k];
+                        let n = core.len();
+                        for (w, g) in core.iter_mut().zip(&flat[off..off + n]) {
+                            *w -= lr * g;
+                        }
+                        off += n;
+                    }
+                }
+                EmbeddingLayer::Hosted { .. } => {}
+            }
+        }
+        assert_eq!(off, flat.len());
+    }
+
+    /// Probability predictions for a batch (no parameter updates; TT
+    /// workspaces are still exercised because lookup shares the training
+    /// kernels).
+    pub fn predict(&mut self, batch: &MiniBatch) -> Vec<f32> {
+        let dense = self.dense_matrix(batch);
+        let z0 = self.bottom.predict(&dense);
+        let embs = self.embedding_forward(batch, &[]);
+        let mut features: Vec<&Matrix> = Vec::with_capacity(1 + embs.len());
+        features.push(&z0);
+        features.extend(embs.iter());
+        let inter_out = self.interaction.forward(&features);
+        let logits = self.top.predict(&inter_out);
+        predict_proba(&logits)
+    }
+
+    /// Evaluates accuracy / AUC / log-loss over batches.
+    pub fn evaluate(&mut self, batches: &[MiniBatch]) -> EvalMetrics {
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for b in batches {
+            probs.extend(self.predict(b));
+            labels.extend_from_slice(&b.labels);
+        }
+        EvalMetrics {
+            accuracy: metrics::accuracy(&probs, &labels),
+            auc: metrics::auc(&probs, &labels),
+            log_loss: metrics::log_loss(&probs, &labels),
+        }
+    }
+
+    fn embedding_forward(
+        &mut self,
+        batch: &MiniBatch,
+        hosted: &[(usize, Matrix)],
+    ) -> Vec<Matrix> {
+        assert_eq!(batch.fields.len(), self.tables.len(), "field/table count mismatch");
+        let mut out = Vec::with_capacity(self.tables.len());
+        for (t, field) in batch.fields.iter().enumerate() {
+            let emb = match &mut self.tables[t] {
+                EmbeddingLayer::Dense(bag) => bag.forward(&field.indices, &field.offsets),
+                EmbeddingLayer::Tt(bag, ws) => bag.forward(&field.indices, &field.offsets, ws),
+                EmbeddingLayer::Hosted { dim } => {
+                    let found = hosted
+                        .iter()
+                        .find(|(idx, _)| *idx == t)
+                        .unwrap_or_else(|| panic!("hosted table {t} missing its embeddings"));
+                    assert_eq!(found.1.rows(), batch.batch_size());
+                    assert_eq!(found.1.cols(), *dim);
+                    found.1.clone()
+                }
+            };
+            out.push(emb);
+        }
+        out
+    }
+
+    fn dense_matrix(&self, batch: &MiniBatch) -> Matrix {
+        if batch.num_dense == 0 {
+            // Bottom MLP still needs an input; feed a constant.
+            return Matrix::full(batch.batch_size(), self.bottom.in_dim(), 1.0);
+        }
+        Matrix::from_vec(batch.batch_size(), batch.num_dense, batch.dense.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_data::SyntheticDataset;
+    use rand::SeedableRng;
+
+    fn toy_config() -> DlrmConfig {
+        DlrmConfig {
+            num_dense: 4,
+            table_cardinalities: vec![100, 2000, 50],
+            dim: 8,
+            bottom_hidden: vec![16],
+            top_hidden: vec![16],
+            tt_threshold: 1000, // table 1 becomes TT
+            tt_rank: 8,
+            lr: 0.05,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+
+    fn toy_data() -> SyntheticDataset {
+        let mut spec = DatasetSpec::toy(3, 100, 100_000);
+        spec.table_cardinalities = vec![100, 2000, 50];
+        spec.num_dense = 4;
+        SyntheticDataset::new(spec, 77)
+    }
+
+    #[test]
+    fn model_mixes_dense_and_tt_tables() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let model = DlrmModel::new(&toy_config(), &mut rng);
+        assert!(matches!(model.tables[0], EmbeddingLayer::Dense(_)));
+        assert!(matches!(model.tables[1], EmbeddingLayer::Tt(_, _)));
+        assert!(matches!(model.tables[2], EmbeddingLayer::Dense(_)));
+    }
+
+    #[test]
+    fn train_step_runs_and_loss_is_finite() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        let batch = toy_data().batch(0, 64);
+        let loss = model.train_step(&batch);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        let data = toy_data();
+        let mut first = 0.0;
+        let mut smoothed_last = 0.0;
+        let n = 60;
+        for i in 0..n {
+            let batch = data.batch(i % 8, 128); // cycle a few batches
+            let loss = model.train_step(&batch);
+            if i == 0 {
+                first = loss;
+            }
+            if i >= n - 8 {
+                smoothed_last += loss / 8.0;
+            }
+        }
+        assert!(
+            smoothed_last < first * 0.98,
+            "loss did not improve: {first} -> {smoothed_last}"
+        );
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        let batch = toy_data().batch(0, 32);
+        let probs = model.predict(&batch);
+        assert_eq!(probs.len(), 32);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn evaluate_reports_sane_metrics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        let data = toy_data();
+        let batches: Vec<MiniBatch> = (0..4).map(|i| data.batch(100 + i, 64)).collect();
+        let m = model.evaluate(&batches);
+        assert!(m.accuracy > 0.0 && m.accuracy <= 1.0);
+        assert!(m.auc >= 0.0 && m.auc <= 1.0);
+        assert!(m.log_loss.is_finite());
+    }
+
+    #[test]
+    fn hybrid_step_returns_gradients_for_hosted_tables() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        model.tables[2] = EmbeddingLayer::Hosted { dim: 8 };
+        let batch = toy_data().batch(0, 16);
+        let external = Matrix::uniform(16, 8, 0.1, &mut rng);
+        let out = model.train_step_hybrid(&batch, &[(2, external)]);
+        assert!(out.loss.is_finite());
+        assert_eq!(out.hosted_grads.len(), 1);
+        assert_eq!(out.hosted_grads[0].0, 2);
+        assert_eq!(out.hosted_grads[0].1.rows(), 16);
+        // gradient actually flows: not all zeros
+        assert!(out.hosted_grads[0].1.as_slice().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing its embeddings")]
+    fn hybrid_step_requires_hosted_embeddings() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        model.tables[0] = EmbeddingLayer::Hosted { dim: 8 };
+        let batch = toy_data().batch(0, 4);
+        let _ = model.train_step_hybrid(&batch, &[]);
+    }
+
+    #[test]
+    fn deferred_step_equals_direct_step() {
+        // A single worker applying its own deferred gradients must match
+        // the in-place train_step exactly (same arithmetic, same order).
+        let batch = toy_data().batch(0, 32);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut direct = DlrmModel::new(&toy_config(), &mut rng);
+        if let EmbeddingLayer::Tt(bag, _) = &mut direct.tables[1] {
+            bag.options.fused_update = false;
+            bag.options.deterministic = true;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut deferred = DlrmModel::new(&toy_config(), &mut rng);
+        if let EmbeddingLayer::Tt(bag, _) = &mut deferred.tables[1] {
+            bag.options.deterministic = true;
+        }
+
+        let l1 = direct.train_step(&batch);
+        let (l2, flat) = deferred.train_step_defer(&batch);
+        assert!((l1 - l2).abs() < 1e-6);
+        deferred.apply_grad_vector(&flat);
+
+        let check = toy_data().batch(5, 16);
+        let p1 = direct.predict(&check);
+        let p2 = deferred.predict(&check);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grad_len_matches_vector() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut model = DlrmModel::new(&toy_config(), &mut rng);
+        let batch = toy_data().batch(0, 8);
+        let (_, flat) = model.train_step_defer(&batch);
+        assert_eq!(flat.len(), model.grad_len());
+    }
+
+    #[test]
+    fn adagrad_training_reduces_loss() {
+        let mut cfg = toy_config();
+        cfg.optimizer = OptimizerKind::Adagrad { eps: 1e-8 };
+        cfg.lr = 0.05;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut model = DlrmModel::new(&cfg, &mut rng);
+        let data = toy_data();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..50 {
+            let loss = model.train_step(&data.batch(i % 8, 128));
+            if i == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first, "adagrad did not learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn adagrad_differs_from_sgd_after_one_step() {
+        let batch = toy_data().batch(0, 64);
+        let run = |optimizer: OptimizerKind| {
+            let mut cfg = toy_config();
+            cfg.optimizer = optimizer;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+            let mut model = DlrmModel::new(&cfg, &mut rng);
+            let _ = model.train_step(&batch);
+            model.predict(&toy_data().batch(5, 16))
+        };
+        let sgd = run(OptimizerKind::Sgd);
+        let ada = run(OptimizerKind::Adagrad { eps: 1e-8 });
+        assert!(
+            sgd.iter().zip(&ada).any(|(a, b)| (a - b).abs() > 1e-6),
+            "optimizers should produce different parameter updates"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "plain SGD")]
+    fn deferred_step_rejects_adagrad() {
+        let mut cfg = toy_config();
+        cfg.optimizer = OptimizerKind::Adagrad { eps: 1e-8 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut model = DlrmModel::new(&cfg, &mut rng);
+        let _ = model.train_step_defer(&toy_data().batch(0, 8));
+    }
+
+    #[test]
+    fn tt_compression_shrinks_footprint() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let compressed = DlrmModel::new(&toy_config(), &mut rng);
+        let mut uncompressed_cfg = toy_config();
+        uncompressed_cfg.tt_threshold = usize::MAX;
+        let uncompressed = DlrmModel::new(&uncompressed_cfg, &mut rng);
+        assert!(
+            compressed.embedding_footprint_bytes() < uncompressed.embedding_footprint_bytes()
+        );
+    }
+}

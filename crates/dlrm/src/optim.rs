@@ -1,0 +1,143 @@
+//! Optimizers beyond plain SGD.
+//!
+//! The reference DLRM trains embeddings with (sparse) **Adagrad** in many
+//! production configurations; the paper's experiments use SGD, but a
+//! credible training system needs both. Adagrad state is a per-parameter
+//! accumulator of squared gradients:
+//!
+//! `acc += g^2;  w -= lr * g / (sqrt(acc) + eps)`
+//!
+//! Sparse variants touch only the rows a batch used, exactly like the
+//! sparse SGD updates.
+
+/// Dense Adagrad state over a flat parameter buffer.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Adagrad {
+    /// Squared-gradient accumulator, same length as the parameters.
+    pub accum: Vec<f32>,
+    /// Numerical floor.
+    pub eps: f32,
+}
+
+impl Adagrad {
+    /// Fresh state for `len` parameters.
+    pub fn new(len: usize) -> Self {
+        Self { accum: vec![0.0; len], eps: 1e-8 }
+    }
+
+    /// Applies one Adagrad step to `params` given `grads`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.accum.len(), "state length mismatch");
+        assert_eq!(params.len(), grads.len(), "gradient length mismatch");
+        for ((w, g), a) in params.iter_mut().zip(grads).zip(&mut self.accum) {
+            *a += g * g;
+            *w -= lr * g / (a.sqrt() + self.eps);
+        }
+    }
+
+    /// Applies a step to a subset of rows of a row-major table
+    /// (sparse Adagrad): `rows[i]` indexes both the table and the state.
+    pub fn step_rows(
+        &mut self,
+        table: &mut [f32],
+        dim: usize,
+        rows: &[u32],
+        grads: &[f32],
+        lr: f32,
+    ) {
+        assert_eq!(table.len(), self.accum.len());
+        assert_eq!(grads.len(), rows.len() * dim, "one gradient row per touched row");
+        for (slot, &r) in rows.iter().enumerate() {
+            let off = r as usize * dim;
+            let g_row = &grads[slot * dim..(slot + 1) * dim];
+            for (i, &g) in g_row.iter().enumerate() {
+                let a = &mut self.accum[off + i];
+                *a += g * g;
+                table[off + i] -= lr * g / (a.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// State footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.accum.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Which optimizer a model component uses.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
+pub enum OptimizerKind {
+    /// Plain SGD — what the paper evaluates (enables the fused TT update).
+    #[default]
+    Sgd,
+    /// Adagrad with the given epsilon.
+    Adagrad {
+        /// Numerical floor added to the accumulator root.
+        eps: f32,
+    },
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_a_signed_unit_step() {
+        // acc = g^2 => update = lr * g / (|g| + eps) ~ lr * sign(g)
+        let mut state = Adagrad::new(2);
+        let mut w = vec![0.0f32, 0.0];
+        state.step(&mut w, &[4.0, -0.25], 0.1);
+        assert!((w[0] + 0.1).abs() < 1e-4, "{}", w[0]);
+        assert!((w[1] - 0.1).abs() < 1e-4, "{}", w[1]);
+    }
+
+    #[test]
+    fn repeated_gradients_decay_the_step() {
+        let mut state = Adagrad::new(1);
+        let mut w = vec![0.0f32];
+        state.step(&mut w, &[1.0], 0.1);
+        let first = -w[0];
+        let before = w[0];
+        state.step(&mut w, &[1.0], 0.1);
+        let second = before - w[0];
+        assert!(second < first, "adagrad steps must shrink: {first} vs {second}");
+    }
+
+    #[test]
+    fn sparse_rows_update_only_touched_state() {
+        let mut state = Adagrad::new(3 * 2);
+        let mut table = vec![1.0f32; 6];
+        state.step_rows(&mut table, 2, &[2], &[1.0, 1.0], 0.5);
+        assert_eq!(&table[..4], &[1.0; 4]);
+        assert!(table[4] < 1.0 && table[5] < 1.0);
+        assert_eq!(&state.accum[..4], &[0.0; 4]);
+        assert_eq!(&state.accum[4..], &[1.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn mismatched_state_panics() {
+        let mut state = Adagrad::new(2);
+        let mut w = vec![0.0f32; 3];
+        state.step(&mut w, &[0.0; 3], 0.1);
+    }
+
+    #[test]
+    fn adagrad_adapts_to_gradient_scale() {
+        // two coordinates with wildly different gradient scales end up
+        // making similar progress — Adagrad's selling point for skewed
+        // embedding access.
+        let mut state = Adagrad::new(2);
+        let mut w = vec![0.0f32, 0.0];
+        for _ in 0..50 {
+            state.step(&mut w, &[100.0, 0.01], 0.1);
+        }
+        let ratio = w[0] / w[1];
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "adagrad should equalize progress, got ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # el-frameworks — baseline DLRM training frameworks
+//!
+//! Faithful *strategy-level* emulations of every framework the paper
+//! compares against, re-implemented on the shared substrate so the only
+//! differences are the design decisions the paper credits or blames:
+//!
+//! | Framework | Strategy (paper §VI-A) | Emulation |
+//! |---|---|---|
+//! | DLRM \[23\] | embeddings in host memory, synchronous PS | [`endtoend`] with every large table `Hosted`, strict alternation |
+//! | FAE \[24\]  | hot embeddings on device; cold batches pay the host | profiling pass -> hot set; cold batches pay gather/update + bus bytes |
+//! | TT-Rec \[20\] | TT compression, unoptimized kernels | Eff-TT tables with `TtOptions::tt_rec_baseline()` |
+//! | EL-Rec | Eff-TT + index reordering (+ pipeline for overflow) | the real thing |
+//! | HugeCTR \[18\] | row-wise model-parallel sharding | [`large_table`] comm/compute model on real kernels |
+//! | TorchRec \[40\] | column-wise sharding ("4D parallelism") | [`large_table`] |
+//!
+//! End-to-end comparisons report **measured** compute time plus **metered**
+//! communication converted to time through the device model (see
+//! `el-pipeline::device` and DESIGN.md's substitution table).
+
+pub mod endtoend;
+pub mod large_table;
+
+pub use endtoend::{run_framework, FrameworkKind, FrameworkReport, FrameworkRun, RunParams};
+pub use large_table::{large_table_throughput, LargeTableParams, ShardingStrategy};

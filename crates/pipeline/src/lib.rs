@@ -1,0 +1,34 @@
+//! # el-pipeline — the TT-based pipeline training system (paper §V)
+//!
+//! EL-Rec's system layer: a parameter-server architecture where MLPs and
+//! TT tables are replicated on workers while overflow embedding tables stay
+//! in host memory, served through a **pre-fetch queue** and a **gradient
+//! queue** so CPU-side gathering/updating overlaps GPU-side training.
+//!
+//! * [`device`] — the simulated-device cost model (HBM capacity, PCIe /
+//!   NVLink bandwidth, kernel-launch overhead) standing in for the paper's
+//!   V100/T4 testbeds; see DESIGN.md's substitution table,
+//! * [`cache`] — the embedding cache that resolves the read-after-write
+//!   conflict of pipelined training (paper §V-B, Figure 10), implemented
+//!   with version watermarks (provably equivalent to the paper's
+//!   life-cycle counters),
+//! * [`server`] — the host-memory parameter server with both queues,
+//! * [`trainer`] — the three-stage pipelined trainer (Figure 9) and its
+//!   sequential degenerate (queue depth 1, the Fig. 16 baseline),
+//! * [`parallel`] — data-parallel multi-worker training with gradient
+//!   all-reduce (the Fig. 12/13 EL-Rec configuration),
+//! * [`placement`] — the heterogeneous per-table planner (dense / TT-rank
+//!   ladder / hosted) that replaces TT-Rec's homogeneous compression.
+
+pub mod cache;
+pub mod device;
+pub mod parallel;
+pub mod placement;
+pub mod server;
+pub mod trainer;
+
+pub use cache::EmbeddingCache;
+pub use placement::{plan_placement, PlacementPlan, PlannerConfig, TablePlacement};
+pub use device::{CommMeter, DeviceSpec};
+pub use parallel::DataParallelTrainer;
+pub use trainer::{PipelineConfig, PipelineReport, PipelineTrainer};

@@ -1,0 +1,242 @@
+//! Data-parallel multi-worker training with gradient all-reduce.
+//!
+//! EL-Rec's multi-GPU mode (paper §V-A, Figures 12/13): because the Eff-TT
+//! table is small, it is *replicated* to every worker and trained data
+//! parallel; the only inter-device communication is the all-reduce of MLP
+//! and TT-core gradients after backward — no embedding exchange in the
+//! forward phase, which is exactly the advantage over model-parallel
+//! sharding (HugeCTR / TorchRec) that Figure 13 demonstrates.
+//!
+//! Workers are OS threads standing in for GPUs; the all-reduce volume is
+//! metered so the benches can charge it to the simulated interconnect.
+
+use crate::device::CommMeter;
+use el_data::SyntheticDataset;
+use el_dlrm::DlrmModel;
+use parking_lot::Mutex;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Averages equally-sized gradient buffers in place (the mathematical
+/// content of an all-reduce).
+pub fn allreduce_mean(buffers: &mut [Vec<f32>]) {
+    let n = buffers.len();
+    assert!(n > 0);
+    let len = buffers[0].len();
+    assert!(buffers.iter().all(|b| b.len() == len), "buffers must have equal length");
+    let scale = 1.0 / n as f32;
+    for i in 0..len {
+        let sum: f32 = buffers.iter().map(|b| b[i]).sum();
+        let avg = sum * scale;
+        for b in buffers.iter_mut() {
+            b[i] = avg;
+        }
+    }
+}
+
+/// Bytes one worker moves for a ring all-reduce of `elements` f32 values
+/// across `workers` participants (2·(W-1)/W·payload).
+pub fn ring_allreduce_bytes(elements: usize, workers: usize) -> u64 {
+    if workers <= 1 {
+        return 0;
+    }
+    let payload = (elements * std::mem::size_of::<f32>()) as f64;
+    (2.0 * (workers as f64 - 1.0) / workers as f64 * payload) as u64
+}
+
+/// Report of a data-parallel run.
+pub struct ParallelReport {
+    /// Mean per-step loss across workers.
+    pub losses: Vec<f32>,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Aggregate throughput in samples/second across all workers.
+    pub samples_per_sec: f64,
+    /// Per-worker communication accounting (all-reduce volume).
+    pub meter: CommMeter,
+    /// Final model state of worker 0 (all replicas agree up to float
+    /// reduction order).
+    pub model: DlrmModel,
+}
+
+/// Trains replicas of one model across `num_workers` threads.
+pub struct DataParallelTrainer {
+    /// Number of simulated devices.
+    pub num_workers: usize,
+}
+
+impl DataParallelTrainer {
+    /// A trainer over `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers >= 1);
+        Self { num_workers }
+    }
+
+    /// Runs `num_steps` synchronized steps; at step `s`, worker `w` trains
+    /// batch `first + s * W + w`. `build_replica` must return identical
+    /// models for every call (same seed).
+    pub fn train(
+        &self,
+        build_replica: impl Fn() -> DlrmModel + Sync,
+        dataset: &SyntheticDataset,
+        batch_size: usize,
+        first: u64,
+        num_steps: u64,
+    ) -> ParallelReport {
+        let w = self.num_workers;
+        let barrier = Barrier::new(w);
+        let grad_acc: Mutex<Vec<f32>> = Mutex::new(Vec::new());
+        let losses: Mutex<Vec<f32>> = Mutex::new(vec![0.0; num_steps as usize]);
+        let result: Mutex<Option<DlrmModel>> = Mutex::new(None);
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for wid in 0..w {
+                let barrier = &barrier;
+                let grad_acc = &grad_acc;
+                let losses = &losses;
+                let result = &result;
+                let build_replica = &build_replica;
+                scope.spawn(move || {
+                    let mut model = build_replica();
+                    let grad_len = model.grad_len();
+                    for s in 0..num_steps {
+                        let batch = dataset.batch(first + s * w as u64 + wid as u64, batch_size);
+                        let (loss, flat) = model.train_step_defer(&batch);
+                        {
+                            let mut acc = grad_acc.lock();
+                            if acc.is_empty() {
+                                acc.resize(grad_len, 0.0);
+                            }
+                            for (a, g) in acc.iter_mut().zip(&flat) {
+                                *a += g;
+                            }
+                            losses.lock()[s as usize] += loss / w as f32;
+                        }
+                        barrier.wait();
+                        if wid == 0 {
+                            let mut acc = grad_acc.lock();
+                            let scale = 1.0 / w as f32;
+                            for a in acc.iter_mut() {
+                                *a *= scale;
+                            }
+                        }
+                        barrier.wait();
+                        {
+                            let acc = grad_acc.lock();
+                            model.apply_grad_vector(&acc);
+                        }
+                        barrier.wait();
+                        if wid == 0 {
+                            grad_acc.lock().clear();
+                        }
+                        barrier.wait();
+                    }
+                    if wid == 0 {
+                        *result.lock() = Some(model);
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed();
+
+        let model = result.into_inner().expect("worker 0 must finish");
+        let mut meter = CommMeter::new();
+        meter.p2p(
+            (ring_allreduce_bytes(model.grad_len(), w) * num_steps) as usize,
+        );
+        let samples = num_steps as f64 * w as f64 * batch_size as f64;
+        ParallelReport {
+            losses: losses.into_inner(),
+            wall,
+            samples_per_sec: samples / wall.as_secs_f64(),
+            meter,
+            model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_data::DatasetSpec;
+    use el_dlrm::DlrmConfig;
+    use rand::SeedableRng;
+
+    fn dataset() -> SyntheticDataset {
+        let mut spec = DatasetSpec::toy(2, 300, 1_000_000);
+        spec.num_dense = 4;
+        SyntheticDataset::new(spec, 21)
+    }
+
+    fn config() -> DlrmConfig {
+        DlrmConfig {
+            num_dense: 4,
+            table_cardinalities: vec![300, 300],
+            dim: 8,
+            bottom_hidden: vec![16],
+            top_hidden: vec![16],
+            tt_threshold: 250, // both tables TT
+            tt_rank: 8,
+            lr: 0.05,
+            optimizer: el_dlrm::OptimizerKind::Sgd,
+        }
+    }
+
+    fn build() -> DlrmModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        DlrmModel::new(&config(), &mut rng)
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let mut bufs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        allreduce_mean(&mut bufs);
+        assert_eq!(bufs[0], vec![2.0, 3.0]);
+        assert_eq!(bufs[1], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn ring_volume_formula() {
+        assert_eq!(ring_allreduce_bytes(1000, 1), 0);
+        let b4 = ring_allreduce_bytes(1000, 4);
+        assert_eq!(b4, (2.0f64 * 3.0 / 4.0 * 4000.0) as u64);
+    }
+
+    #[test]
+    fn single_worker_matches_deferred_sequential() {
+        let ds = dataset();
+        let report = DataParallelTrainer::new(1).train(build, &ds, 32, 0, 5);
+
+        let mut reference = build();
+        let mut ref_losses = Vec::new();
+        for s in 0..5 {
+            let batch = ds.batch(s, 32);
+            let (loss, flat) = reference.train_step_defer(&batch);
+            reference.apply_grad_vector(&flat);
+            ref_losses.push(loss);
+        }
+        for (a, b) in report.losses.iter().zip(&ref_losses) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn four_workers_train_and_agree() {
+        let ds = dataset();
+        let report = DataParallelTrainer::new(4).train(build, &ds, 16, 0, 4);
+        assert_eq!(report.losses.len(), 4);
+        assert!(report.losses.iter().all(|l| l.is_finite() && *l > 0.0));
+        assert!(report.meter.p2p_bytes > 0);
+        assert!(report.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn parallel_loss_decreases_over_steps() {
+        let ds = dataset();
+        let report = DataParallelTrainer::new(2).train(build, &ds, 64, 0, 30);
+        let head: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = report.losses[25..].iter().sum::<f32>() / 5.0;
+        assert!(tail < head, "loss did not decrease: {head} -> {tail}");
+    }
+}

@@ -1,0 +1,474 @@
+//! The host-memory parameter server and its two queues (paper Figure 9).
+//!
+//! The CPU side owns the embedding tables that do not fit in device memory.
+//! It pre-fetches the rows the next batches will need into the bounded
+//! **pre-fetch queue** and applies the gradients workers push into the
+//! **gradient queue**. Queue depth 1 with strict alternation degrades the
+//! pipeline to the sequential baseline of Figure 16.
+
+use crate::device::{thread_cpu_time, CommMeter};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use el_data::{MiniBatch, SyntheticDataset};
+use el_dlrm::embedding_bag::{EmbeddingBag, SparseGrad};
+use el_tensor::Matrix as TMatrix;
+use el_tensor::Matrix;
+use std::time::Duration;
+
+/// How the server serves hosted tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// EL-Rec style: ship deduplicated unique rows; the worker pools them
+    /// and pushes aggregated per-row gradients. Compatible with pipelining
+    /// through the embedding cache.
+    UniqueRows,
+    /// Reference-DLRM style: the CPU performs the full `EmbeddingBag`
+    /// forward (pooling) and backward; pooled `batch x dim` activations and
+    /// gradients cross the bus. Strictly sequential — this is the paper's
+    /// DLRM (CPU+GPU) baseline.
+    PooledEmbeddings,
+}
+
+/// Rows pre-fetched for one batch, stamped with the server's progress.
+///
+/// Carries the mini-batch itself: the server doubles as the data loader
+/// (the NVTabular role in the paper's setup), so batch generation is part
+/// of the host stage the pipeline overlaps with device compute.
+#[derive(Clone, Debug)]
+pub struct PrefetchedBatch {
+    /// Sequence number of the batch these rows serve.
+    pub batch_seq: u64,
+    /// Number of gradient batches the server had applied when gathering —
+    /// the staleness stamp the embedding cache synchronizes against.
+    pub applied_through: u64,
+    /// The training batch itself.
+    pub batch: MiniBatch,
+    /// Per hosted table: `(table id, unique sorted indices, rows)`
+    /// (`UniqueRows` mode).
+    pub tables: Vec<(usize, Vec<u32>, Matrix)>,
+    /// Per hosted table: `(table id, pooled batch x dim embeddings)`
+    /// (`PooledEmbeddings` mode).
+    pub pooled: Vec<(usize, TMatrix)>,
+}
+
+impl PrefetchedBatch {
+    /// Bytes of embedding payload (the H2D traffic this transfer costs).
+    pub fn payload_bytes(&self) -> usize {
+        let unique: usize =
+            self.tables.iter().map(|(_, idx, rows)| idx.len() * 4 + rows.footprint_bytes()).sum();
+        let pooled: usize = self.pooled.iter().map(|(_, m)| m.footprint_bytes()).sum();
+        unique + pooled
+    }
+}
+
+/// Gradients pushed back for one batch.
+#[derive(Clone, Debug)]
+pub struct GradientPush {
+    /// Sequence number of the batch that produced these gradients.
+    pub batch_seq: u64,
+    /// Per hosted table: `(table id, aggregated sparse gradient)`
+    /// (`UniqueRows` mode).
+    pub tables: Vec<(usize, SparseGrad)>,
+    /// Per hosted table: `(table id, pooled-embedding gradient)`
+    /// (`PooledEmbeddings` mode; the server re-derives per-row updates).
+    pub pooled: Vec<(usize, TMatrix)>,
+}
+
+impl GradientPush {
+    /// Bytes of gradient payload (D2H traffic).
+    pub fn payload_bytes(&self) -> usize {
+        let unique: usize = self
+            .tables
+            .iter()
+            .map(|(_, g)| g.indices.len() * 4 + g.values.len() * 4)
+            .sum();
+        let pooled: usize = self.pooled.iter().map(|(_, m)| m.footprint_bytes()).sum();
+        unique + pooled
+    }
+}
+
+/// The host-side parameter server.
+pub struct HostServer {
+    /// Hosted tables: `(table id in the model, table)`.
+    pub tables: Vec<(usize, EmbeddingBag)>,
+    /// SGD learning rate applied to pushed gradients.
+    pub lr: f32,
+    /// Gradient batches applied so far.
+    pub applied: u64,
+    /// Communication accounting (what the PCIe link would carry).
+    pub meter: CommMeter,
+    /// Measured CPU time spent gathering and applying (the host-side cost
+    /// that stays at CPU speed in the simulated-device model).
+    pub cpu_time: Duration,
+    /// Measured CPU time spent generating batches (the data-loader role —
+    /// NVTabular in the paper's setup — reported separately because both
+    /// the paper's baselines and EL-Rec use the same loader).
+    pub gen_time: Duration,
+    /// Serving strategy.
+    pub mode: ServerMode,
+}
+
+/// Outcome of a completed server run.
+pub struct ServerReport {
+    /// The server with final table state.
+    pub server: HostServer,
+}
+
+impl HostServer {
+    /// A server hosting the given tables.
+    pub fn new(tables: Vec<(usize, EmbeddingBag)>, lr: f32) -> Self {
+        Self {
+            tables,
+            lr,
+            applied: 0,
+            meter: CommMeter::new(),
+            cpu_time: Duration::ZERO,
+            gen_time: Duration::ZERO,
+            mode: ServerMode::UniqueRows,
+        }
+    }
+
+    /// Switches the serving strategy (builder style).
+    pub fn with_mode(mut self, mode: ServerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Serves batch `seq` from every hosted table: unique rows
+    /// (`UniqueRows`) or CPU-pooled embeddings (`PooledEmbeddings`).
+    pub fn gather(&mut self, batch: MiniBatch, seq: u64) -> PrefetchedBatch {
+        let t0 = thread_cpu_time();
+        let mut tables = Vec::new();
+        let mut pooled = Vec::new();
+        match self.mode {
+            ServerMode::UniqueRows => {
+                tables = self
+                    .tables
+                    .iter()
+                    .map(|(t, bag)| {
+                        let field = &batch.fields[*t];
+                        let mut unique: Vec<u32> = field.indices.clone();
+                        unique.sort_unstable();
+                        unique.dedup();
+                        let rows = bag.gather_rows(&unique);
+                        (*t, unique, rows)
+                    })
+                    .collect();
+            }
+            ServerMode::PooledEmbeddings => {
+                pooled = self
+                    .tables
+                    .iter()
+                    .map(|(t, bag)| {
+                        let field = &batch.fields[*t];
+                        (*t, bag.forward(&field.indices, &field.offsets))
+                    })
+                    .collect();
+            }
+        }
+        let pf = PrefetchedBatch {
+            batch_seq: seq,
+            applied_through: self.applied,
+            batch,
+            tables,
+            pooled,
+        };
+        self.meter.h2d(pf.payload_bytes());
+        self.cpu_time += thread_cpu_time() - t0;
+        pf
+    }
+
+    /// Applies one pushed gradient batch with SGD.
+    pub fn apply(&mut self, push: &GradientPush) {
+        let t0 = thread_cpu_time();
+        assert_eq!(push.batch_seq, self.applied, "gradient batches must arrive in order");
+        self.meter.d2h(push.payload_bytes());
+        for (t, grad) in &push.tables {
+            let bag = &mut self
+                .tables
+                .iter_mut()
+                .find(|(id, _)| id == t)
+                .unwrap_or_else(|| panic!("gradient for unknown hosted table {t}"))
+                .1;
+            bag.apply_sparse_grad(grad, self.lr);
+        }
+        self.applied += 1;
+        self.cpu_time += thread_cpu_time() - t0;
+    }
+
+    /// Applies a pooled-gradient push (`PooledEmbeddings` mode): the full
+    /// `EmbeddingBag` backward runs on the CPU, exactly like the reference
+    /// DLRM baseline.
+    pub fn apply_pooled(&mut self, push: &GradientPush, batch: &MiniBatch) {
+        let t0 = thread_cpu_time();
+        assert_eq!(push.batch_seq, self.applied, "gradient batches must arrive in order");
+        self.meter.d2h(push.payload_bytes());
+        let lr = self.lr;
+        for (t, d_pooled) in &push.pooled {
+            let bag = &mut self
+                .tables
+                .iter_mut()
+                .find(|(id, _)| id == t)
+                .unwrap_or_else(|| panic!("gradient for unknown hosted table {t}"))
+                .1;
+            let field = &batch.fields[*t];
+            bag.backward_sgd(&field.indices, &field.offsets, d_pooled, lr);
+        }
+        self.applied += 1;
+        self.cpu_time += thread_cpu_time() - t0;
+    }
+
+    /// Runs the serving loop for `count` batches of `batch_size` starting
+    /// at `first`, pre-fetching through `prefetch_tx` and applying from
+    /// `grad_rx`. With `pipelined == false` the server blocks on every
+    /// batch's gradients before gathering the next (the Figure 16
+    /// "sequential" baseline).
+    #[allow(clippy::too_many_arguments)] // serving-loop wiring: queues + schedule
+    pub fn run(
+        mut self,
+        dataset: &SyntheticDataset,
+        first: u64,
+        count: u64,
+        batch_size: usize,
+        prefetch_tx: Sender<PrefetchedBatch>,
+        grad_rx: Receiver<GradientPush>,
+        pipelined: bool,
+    ) -> ServerReport {
+        assert!(
+            !(pipelined && self.mode == ServerMode::PooledEmbeddings),
+            "the pooled-embedding (reference DLRM) mode has no staleness protocol; \
+             run it sequentially"
+        );
+        for k in 0..count {
+            if pipelined {
+                // opportunistically absorb any pending gradients
+                while let Ok(push) = grad_rx.try_recv() {
+                    self.apply(&push);
+                }
+            }
+            let t0 = thread_cpu_time();
+            let batch = dataset.batch(first + k, batch_size);
+            self.gen_time += thread_cpu_time() - t0;
+            let batch_copy =
+                (self.mode == ServerMode::PooledEmbeddings).then(|| batch.clone());
+            let pf = self.gather(batch, k);
+            if prefetch_tx.send(pf).is_err() {
+                break; // worker gone
+            }
+            if !pipelined {
+                match grad_rx.recv() {
+                    Ok(push) => match &batch_copy {
+                        Some(b) => self.apply_pooled(&push, b),
+                        None => self.apply(&push),
+                    },
+                    Err(_) => break,
+                }
+            }
+        }
+        drop(prefetch_tx);
+        // Drain the tail so every update lands.
+        while self.applied < count {
+            match grad_rx.recv() {
+                Ok(push) => self.apply(&push),
+                Err(_) => break,
+            }
+        }
+        ServerReport { server: self }
+    }
+}
+
+/// Creates the bounded pre-fetch queue and the gradient queue of Figure 9.
+///
+/// The pre-fetch capacity is the paper's queue length: 1 degenerates the
+/// pipeline to sequential execution.
+pub fn make_queues(
+    prefetch_depth: usize,
+) -> (
+    Sender<PrefetchedBatch>,
+    Receiver<PrefetchedBatch>,
+    Sender<GradientPush>,
+    Receiver<GradientPush>,
+) {
+    let (ptx, prx) = bounded(prefetch_depth.max(1));
+    let (gtx, grx) = bounded(prefetch_depth.max(1) * 2);
+    (ptx, prx, gtx, grx)
+}
+
+/// Sum-pools pre-fetched unique rows into per-sample embeddings — the
+/// worker-side substitute for a local `EmbeddingBag::forward` when the
+/// table lives on the host.
+pub fn pool_prefetched(
+    indices: &[u32],
+    offsets: &[u32],
+    unique: &[u32],
+    rows: &Matrix,
+) -> Matrix {
+    let dim = rows.cols();
+    let batch = offsets.len() - 1;
+    let mut out = Matrix::zeros(batch, dim);
+    for s in 0..batch {
+        let dst = out.row_mut(s);
+        for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+            let slot = unique.binary_search(&i).expect("index missing from prefetch");
+            for (d, v) in dst.iter_mut().zip(rows.row(slot)) {
+                *d += v;
+            }
+        }
+    }
+    out
+}
+
+/// Aggregates a pooled-embedding gradient into per-unique-row gradients —
+/// the worker-side push payload builder.
+pub fn aggregate_to_unique(
+    indices: &[u32],
+    offsets: &[u32],
+    unique: &[u32],
+    d_out: &Matrix,
+) -> SparseGrad {
+    let dim = d_out.cols();
+    let mut values = vec![0.0f32; unique.len() * dim];
+    for s in 0..d_out.rows() {
+        let g = d_out.row(s);
+        for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+            let slot = unique.binary_search(&i).expect("index missing from prefetch");
+            for (v, gv) in values[slot * dim..(slot + 1) * dim].iter_mut().zip(g) {
+                *v += gv;
+            }
+        }
+    }
+    SparseGrad { indices: unique.to_vec(), values, dim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_data::DatasetSpec;
+    use rand::SeedableRng;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(DatasetSpec::toy(2, 50, 10_000), 3)
+    }
+
+    fn server() -> HostServer {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let tables = vec![
+            (0usize, EmbeddingBag::new(50, 8, 0.2, &mut rng)),
+            (1usize, EmbeddingBag::new(50, 8, 0.2, &mut rng)),
+        ];
+        HostServer::new(tables, 0.1)
+    }
+
+    #[test]
+    fn gather_returns_unique_sorted_rows() {
+        let mut s = server();
+        let batch = dataset().batch(0, 16);
+        let pf = s.gather(batch, 0);
+        assert_eq!(pf.tables.len(), 2);
+        for (t, unique, rows) in &pf.tables {
+            assert!(unique.windows(2).all(|w| w[0] < w[1]), "not sorted/unique");
+            assert_eq!(rows.rows(), unique.len());
+            let bag = &s.tables.iter().find(|(id, _)| id == t).unwrap().1;
+            for (r, &i) in unique.iter().enumerate() {
+                assert_eq!(rows.row(r), bag.weight.row(i as usize));
+            }
+        }
+        assert!(s.meter.h2d_bytes > 0);
+    }
+
+    #[test]
+    fn apply_updates_rows_in_order() {
+        let mut s = server();
+        let before = s.tables[0].1.weight.row(7).to_vec();
+        let push = GradientPush {
+            batch_seq: 0,
+            tables: vec![(
+                0,
+                SparseGrad { indices: vec![7], values: vec![1.0; 8], dim: 8 },
+            )],
+            pooled: vec![],
+        };
+        s.apply(&push);
+        let after = s.tables[0].1.weight.row(7);
+        for (b, a) in before.iter().zip(after) {
+            assert!((b - 0.1 - a).abs() < 1e-6);
+        }
+        assert_eq!(s.applied, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_push_panics() {
+        let mut s = server();
+        let push = GradientPush { batch_seq: 5, tables: vec![], pooled: vec![] };
+        s.apply(&push);
+    }
+
+    #[test]
+    fn pool_prefetched_matches_dense_bag() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bag = EmbeddingBag::new(20, 4, 0.3, &mut rng);
+        let indices = [3u32, 7, 3, 11];
+        let offsets = [0u32, 2, 4];
+        let want = bag.forward(&indices, &offsets);
+
+        let unique = vec![3u32, 7, 11];
+        let rows = bag.gather_rows(&unique);
+        let got = pool_prefetched(&indices, &offsets, &unique, &rows);
+        assert!(got.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_matches_sparse_grad() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bag = EmbeddingBag::new(20, 4, 0.3, &mut rng);
+        let indices = [3u32, 7, 3, 11];
+        let offsets = [0u32, 2, 4];
+        let d_out = Matrix::uniform(2, 4, 1.0, &mut rng);
+        let want = bag.sparse_grad(&indices, &offsets, &d_out);
+
+        let unique = vec![3u32, 7, 11];
+        let got = aggregate_to_unique(&indices, &offsets, &unique, &d_out);
+        assert_eq!(got.indices, want.indices);
+        for (a, b) in got.values.iter().zip(&want.values) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn run_loop_round_trips_with_a_fake_worker() {
+        let ds = dataset();
+        let (ptx, prx, gtx, grx) = make_queues(2);
+        let srv = server();
+        let before = srv.tables[0].1.weight.clone();
+
+        let handle = std::thread::spawn({
+            let ds = ds.clone();
+            move || srv.run(&ds, 0, 4, 8, ptx, grx, true)
+        });
+
+        // fake worker: push a unit gradient for everything prefetched
+        for _ in 0..4 {
+            let pf = prx.recv().unwrap();
+            let tables = pf
+                .tables
+                .iter()
+                .map(|(t, unique, rows)| {
+                    (
+                        *t,
+                        SparseGrad {
+                            indices: unique.clone(),
+                            values: vec![1.0; rows.len()],
+                            dim: rows.cols(),
+                        },
+                    )
+                })
+                .collect();
+            gtx.send(GradientPush { batch_seq: pf.batch_seq, tables, pooled: vec![] }).unwrap();
+        }
+        drop(gtx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.server.applied, 4);
+        // weights moved
+        assert!(report.server.tables[0].1.weight.max_abs_diff(&before) > 0.0);
+    }
+}

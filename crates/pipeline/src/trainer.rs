@@ -1,0 +1,301 @@
+//! The three-stage pipelined trainer (paper Figure 9 / Figure 10).
+//!
+//! One worker (device) trains the MLPs and TT tables; the host server
+//! gathers and updates host-resident embedding tables. The three stages —
+//! host gather, device compute, host update — overlap through the
+//! pre-fetch and gradient queues; the embedding cache keeps pre-fetched
+//! rows consistent (RAW conflict, §V-B).
+//!
+//! The pipelined and sequential modes are *numerically identical*: every
+//! value a pipelined worker trains on is bit-for-bit the value the
+//! sequential schedule would produce (the `pipeline_equivalence`
+//! integration test asserts this), so pipelining is pure performance.
+
+use crate::cache::EmbeddingCache;
+use crate::device::{thread_cpu_time, CommMeter};
+use crate::server::{
+    aggregate_to_unique, make_queues, pool_prefetched, GradientPush, HostServer,
+};
+use el_data::SyntheticDataset;
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_dlrm::DlrmModel;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Pipeline run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// First batch index in the dataset.
+    pub first_batch: u64,
+    /// Number of batches to train.
+    pub num_batches: u64,
+    /// Pre-fetch queue depth (the paper's queue length).
+    pub prefetch_depth: usize,
+    /// Overlap host and device stages; `false` reproduces the strict
+    /// sequential baseline regardless of queue depth.
+    pub pipelined: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 256,
+            first_batch: 0,
+            num_batches: 32,
+            prefetch_depth: 4,
+            pipelined: true,
+        }
+    }
+}
+
+/// Outcome of a pipeline training run.
+pub struct PipelineReport {
+    /// Per-batch training losses.
+    pub losses: Vec<f32>,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Training throughput in samples per second.
+    pub samples_per_sec: f64,
+    /// Stale pre-fetched rows the cache corrected.
+    pub stale_hits: u64,
+    /// Peak cache footprint across the run.
+    pub cache_peak_bytes: usize,
+    /// Server-side communication accounting.
+    pub server_meter: CommMeter,
+    /// Measured server CPU time (gather + update) — host-speed cost.
+    pub server_cpu: Duration,
+    /// Measured batch-generation CPU time (data-loader role).
+    pub loader_cpu: Duration,
+    /// Measured worker compute time (device-speed cost in the simulated
+    /// model).
+    pub worker_compute: Duration,
+    /// Final worker model state.
+    pub model: DlrmModel,
+    /// Final host-table state.
+    pub host_tables: Vec<(usize, EmbeddingBag)>,
+}
+
+/// Drives one worker plus the host parameter server.
+pub struct PipelineTrainer;
+
+impl PipelineTrainer {
+    /// Trains `model` (whose [`el_dlrm::EmbeddingLayer::Hosted`] tables are
+    /// owned by `server`) on `dataset` per `config`.
+    pub fn train(
+        mut model: DlrmModel,
+        server: HostServer,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+    ) -> PipelineReport {
+        let hosted = model.hosted_tables();
+        for (t, _) in &server.tables {
+            assert!(hosted.contains(t), "server hosts table {t} the model does not mark Hosted");
+        }
+        assert_eq!(hosted.len(), server.tables.len(), "every Hosted table needs a server side");
+
+        let lr = model.lr;
+        let depth = if config.pipelined { config.prefetch_depth } else { 1 };
+        let (ptx, prx, gtx, grx) = make_queues(depth);
+
+        let start = Instant::now();
+        let server_handle = std::thread::spawn({
+            let ds = dataset.clone();
+            let (first, count, bs, pipelined) =
+                (config.first_batch, config.num_batches, config.batch_size, config.pipelined);
+            move || server.run(&ds, first, count, bs, ptx, grx, pipelined)
+        });
+
+        let mut caches: HashMap<usize, EmbeddingCache> =
+            hosted.iter().map(|&t| (t, EmbeddingCache::new())).collect();
+        let mut losses = Vec::with_capacity(config.num_batches as usize);
+        let mut cache_peak = 0usize;
+        let mut worker_compute = Duration::ZERO;
+
+        for k in 0..config.num_batches {
+            let mut pf = prx.recv().expect("server ended early");
+            assert_eq!(pf.batch_seq, k);
+            let batch = std::mem::replace(
+                &mut pf.batch,
+                el_data::MiniBatch { dense: Vec::new(), num_dense: 0, fields: Vec::new(), labels: Vec::new() },
+            );
+
+            // Stage 1 (Figure 9): synchronize pre-fetched rows with the
+            // cache, then pool them into per-sample embeddings. In pooled
+            // (reference-DLRM) mode the CPU already pooled — use as is.
+            let pooled_mode = !pf.pooled.is_empty();
+            let mut hosted_embs = Vec::with_capacity(pf.tables.len() + pf.pooled.len());
+            for (t, unique, rows) in &mut pf.tables {
+                caches.get_mut(t).unwrap().sync(unique, rows, pf.applied_through);
+                let field = &batch.fields[*t];
+                hosted_embs.push((
+                    *t,
+                    pool_prefetched(&field.indices, &field.offsets, unique, rows),
+                ));
+            }
+            for (t, pooled) in &pf.pooled {
+                hosted_embs.push((*t, pooled.clone()));
+            }
+
+            // Device compute: MLPs + TT tables + interaction.
+            let t0 = thread_cpu_time();
+            let out = model.train_step_hybrid(&batch, &hosted_embs);
+            worker_compute += thread_cpu_time() - t0;
+            losses.push(out.loss);
+
+            // Stage 3: aggregate hosted gradients, refresh the cache with
+            // the post-update rows (bit-identical to what the server will
+            // hold) and push. Pooled mode ships the raw pooled gradient
+            // back instead (the CPU does the backward there).
+            let mut pushes = Vec::new();
+            let mut pooled_pushes = Vec::new();
+            for (t, d_emb) in &out.hosted_grads {
+                if pooled_mode {
+                    pooled_pushes.push((*t, d_emb.clone()));
+                    continue;
+                }
+                let field = &batch.fields[*t];
+                let (_, unique, rows) = pf
+                    .tables
+                    .iter()
+                    .find(|(id, _, _)| id == t)
+                    .expect("hosted gradient for a table that was not prefetched");
+                let grad = aggregate_to_unique(&field.indices, &field.offsets, unique, d_emb);
+                let mut updated = rows.clone();
+                for (slot, _) in unique.iter().enumerate() {
+                    let g = &grad.values[slot * grad.dim..(slot + 1) * grad.dim];
+                    for (w, gv) in updated.row_mut(slot).iter_mut().zip(g) {
+                        *w -= lr * gv;
+                    }
+                }
+                caches.get_mut(t).unwrap().insert(unique, &updated, k);
+                pushes.push((*t, grad));
+            }
+            gtx.send(GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes })
+                .expect("server ended early");
+
+            cache_peak =
+                cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
+        }
+        drop(gtx);
+
+        let report = server_handle.join().expect("server thread panicked");
+        let wall = start.elapsed();
+        let samples = config.num_batches as f64 * config.batch_size as f64;
+        PipelineReport {
+            losses,
+            wall,
+            samples_per_sec: samples / wall.as_secs_f64(),
+            stale_hits: caches.values().map(|c| c.stale_hits).sum(),
+            cache_peak_bytes: cache_peak,
+            server_meter: report.server.meter,
+            server_cpu: report.server.cpu_time,
+            loader_cpu: report.server.gen_time,
+            worker_compute,
+            model,
+            host_tables: report.server.tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_data::DatasetSpec;
+    use el_dlrm::{DlrmConfig, EmbeddingLayer};
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (DlrmModel, HostServer, SyntheticDataset) {
+        let mut spec = DatasetSpec::toy(3, 200, 1_000_000);
+        spec.num_dense = 4;
+        let dataset = SyntheticDataset::new(spec, 11);
+
+        let cfg = DlrmConfig {
+            num_dense: 4,
+            table_cardinalities: vec![200, 200, 200],
+            dim: 8,
+            bottom_hidden: vec![16],
+            top_hidden: vec![16],
+            tt_threshold: usize::MAX, // keep everything dense for this test
+            tt_rank: 8,
+            lr: 0.05,
+            optimizer: el_dlrm::OptimizerKind::Sgd,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut model = DlrmModel::new(&cfg, &mut rng);
+
+        // host tables 1 and 2; table 0 stays on the worker
+        let mut host = Vec::new();
+        for t in [1usize, 2] {
+            let dense = match std::mem::replace(
+                &mut model.tables[t],
+                EmbeddingLayer::Hosted { dim: 8 },
+            ) {
+                EmbeddingLayer::Dense(bag) => bag,
+                _ => unreachable!(),
+            };
+            host.push((t, dense));
+        }
+        (model, HostServer::new(host, 0.05), dataset)
+    }
+
+    fn run(pipelined: bool, depth: usize, seed: u64) -> PipelineReport {
+        let (model, server, dataset) = setup(seed);
+        let config = PipelineConfig {
+            batch_size: 64,
+            first_batch: 0,
+            num_batches: 12,
+            prefetch_depth: depth,
+            pipelined,
+        };
+        PipelineTrainer::train(model, server, &dataset, &config)
+    }
+
+    #[test]
+    fn losses_are_finite_and_counted() {
+        let r = run(true, 4, 1);
+        assert_eq!(r.losses.len(), 12);
+        assert!(r.losses.iter().all(|l| l.is_finite()));
+        assert!(r.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn pipelined_equals_sequential_bitwise() {
+        // The embedding cache must make pipelined training produce the
+        // exact parameter trajectory of sequential training.
+        let seq = run(false, 1, 2);
+        let pipe = run(true, 4, 2);
+        assert_eq!(seq.losses, pipe.losses, "loss trajectories diverged");
+        for ((ta, a), (tb, b)) in seq.host_tables.iter().zip(&pipe.host_tables) {
+            assert_eq!(ta, tb);
+            assert_eq!(
+                a.weight.as_slice(),
+                b.weight.as_slice(),
+                "host table {ta} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_run_hits_the_cache() {
+        // With skewed access and queue depth > 1, some prefetched rows must
+        // be stale and get corrected.
+        let r = run(true, 4, 3);
+        assert!(r.stale_hits > 0, "expected stale prefetches under pipelining");
+        assert!(r.cache_peak_bytes > 0);
+    }
+
+    #[test]
+    fn sequential_run_never_needs_the_cache() {
+        let r = run(false, 1, 4);
+        assert_eq!(r.stale_hits, 0, "sequential mode can never see stale rows");
+    }
+
+    #[test]
+    fn server_meter_accounts_transfers() {
+        let r = run(true, 2, 5);
+        assert!(r.server_meter.h2d_bytes > 0);
+        assert!(r.server_meter.d2h_bytes > 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Index co-occurrence graphs (paper Algorithm 2).
+//!
+//! Vertices are the non-hot indices of one embedding table; an edge
+//! connects two indices that appear in the same training batch, weighted by
+//! how often they do. Hot indices (top `hot_ratio` fraction by frequency)
+//! are excluded — the paper clamps them out because their placement is
+//! fixed by the global frequency ordering.
+//!
+//! Scalability note: Algorithm 2 emits *all* pairs of a batch
+//! (`self_combinations`), which is quadratic in batch size. Like the
+//! paper's offline generator we bound the work: when a batch contains more
+//! than [`IndexGraph::DENSE_PAIR_LIMIT`] distinct non-hot indices, each
+//! index is connected to a bounded sample of batch peers instead of all of
+//! them. Community structure survives sampling because edge *density*
+//! within communities, not individual edges, is what modularity detects.
+
+use rand::{Rng, SeedableRng};
+
+/// A weighted undirected graph over (a subset of) table indices, stored as
+/// CSR over *compacted* vertex ids with a mapping back to table indices.
+#[derive(Clone, Debug)]
+pub struct IndexGraph {
+    /// Table index of each vertex.
+    pub vertex_index: Vec<u32>,
+    /// CSR neighbor offsets.
+    pub offsets: Vec<u32>,
+    /// Neighbor vertex ids.
+    pub neighbors: Vec<u32>,
+    /// Edge weights, parallel to `neighbors`.
+    pub weights: Vec<f32>,
+}
+
+/// Incremental builder accumulating co-occurrence edges batch by batch.
+pub struct IndexGraphBuilder {
+    cardinality: usize,
+    /// table index -> vertex id (u32::MAX = not a vertex, i.e. hot or
+    /// never observed).
+    vertex_of: Vec<u32>,
+    vertex_index: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    rng: rand::rngs::StdRng,
+}
+
+impl IndexGraph {
+    /// Above this many distinct non-hot indices per batch, pair generation
+    /// switches from all-pairs to sampled peers.
+    pub const DENSE_PAIR_LIMIT: usize = 96;
+    /// Sampled peers per index in the sparse regime.
+    pub const SAMPLED_PEERS: usize = 8;
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_index.len()
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Total edge weight `m` (undirected).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().map(|&w| w as f64).sum::<f64>() / 2.0
+    }
+
+    /// Neighbors of vertex `v` with weights.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        self.neighbors[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Weighted degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> f64 {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        self.weights[lo..hi].iter().map(|&w| w as f64).sum()
+    }
+}
+
+impl IndexGraphBuilder {
+    /// A builder for a table with `cardinality` rows; `is_hot[i]` marks
+    /// indices excluded from the graph.
+    pub fn new(cardinality: usize, is_hot: &[bool], seed: u64) -> Self {
+        assert_eq!(is_hot.len(), cardinality);
+        Self {
+            cardinality,
+            vertex_of: is_hot
+                .iter()
+                .map(|&h| if h { u32::MAX } else { u32::MAX - 1 })
+                .collect(),
+            vertex_index: Vec::new(),
+            edges: Vec::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn vertex(&mut self, index: u32) -> Option<u32> {
+        match self.vertex_of[index as usize] {
+            u32::MAX => None, // hot
+            v if v == u32::MAX - 1 => {
+                let id = self.vertex_index.len() as u32;
+                self.vertex_of[index as usize] = id;
+                self.vertex_index.push(index);
+                Some(id)
+            }
+            v => Some(v),
+        }
+    }
+
+    /// Adds the co-occurrence edges of one batch's index list.
+    pub fn add_batch(&mut self, indices: &[u32]) {
+        // Distinct non-hot vertices of the batch.
+        let card = self.cardinality;
+        let mut verts: Vec<u32> = indices
+            .iter()
+            .filter(|&&i| (i as usize) < card)
+            .copied()
+            .collect::<Vec<u32>>()
+            .into_iter()
+            .filter_map(|i| self.vertex(i))
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        let n = verts.len();
+        if n < 2 {
+            return;
+        }
+        if n <= IndexGraph::DENSE_PAIR_LIMIT {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    self.edges.push((verts[a], verts[b]));
+                }
+            }
+        } else {
+            for a in 0..n {
+                for _ in 0..IndexGraph::SAMPLED_PEERS {
+                    let b = self.rng.gen_range(0..n - 1);
+                    let b = if b >= a { b + 1 } else { b };
+                    let (x, y) = (verts[a].min(verts[b]), verts[a].max(verts[b]));
+                    self.edges.push((x, y));
+                }
+            }
+        }
+    }
+
+    /// Finalizes the accumulated edges into a CSR graph, merging duplicate
+    /// pairs into weights.
+    pub fn build(mut self) -> IndexGraph {
+        let n = self.vertex_index.len();
+        // Merge duplicates: sort the canonicalized pair list.
+        self.edges.sort_unstable();
+        let mut merged: Vec<(u32, u32, f32)> = Vec::with_capacity(self.edges.len());
+        for &(a, b) in &self.edges {
+            match merged.last_mut() {
+                Some((x, y, w)) if *x == a && *y == b => *w += 1.0,
+                _ => merged.push((a, b, 1.0)),
+            }
+        }
+        // Symmetrize into CSR.
+        let mut deg = vec![0u32; n + 1];
+        for &(a, b, _) in &merged {
+            deg[a as usize + 1] += 1;
+            deg[b as usize + 1] += 1;
+        }
+        for i in 1..deg.len() {
+            deg[i] += deg[i - 1];
+        }
+        let offsets = deg.clone();
+        let mut cursor = deg;
+        let total = *offsets.last().unwrap() as usize;
+        let mut neighbors = vec![0u32; total];
+        let mut weights = vec![0f32; total];
+        for &(a, b, w) in &merged {
+            neighbors[cursor[a as usize] as usize] = b;
+            weights[cursor[a as usize] as usize] = w;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize] as usize] = a;
+            weights[cursor[b as usize] as usize] = w;
+            cursor[b as usize] += 1;
+        }
+        IndexGraph { vertex_index: self.vertex_index, offsets, neighbors, weights }
+    }
+}
+
+/// Builds the hot mask from per-index access counts: the top
+/// `hot_ratio` fraction by frequency among *observed* indices.
+pub fn hot_mask(counts: &[u64], hot_ratio: f64) -> Vec<bool> {
+    let hot_count = ((counts.len() as f64) * hot_ratio).floor() as usize;
+    let mut order: Vec<u32> = (0..counts.len() as u32).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(counts[i as usize]));
+    let mut mask = vec![false; counts.len()];
+    for &i in order.iter().take(hot_count) {
+        mask[i as usize] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_from_batches(card: usize, hot: &[bool], batches: &[&[u32]]) -> IndexGraph {
+        let mut b = IndexGraphBuilder::new(card, hot, 1);
+        for batch in batches {
+            b.add_batch(batch);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn all_pairs_for_small_batches() {
+        let g = build_from_batches(10, &[false; 10], &[&[1, 2, 3]]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3); // triangle
+    }
+
+    #[test]
+    fn repeated_cooccurrence_raises_weight() {
+        let g = build_from_batches(10, &[false; 10], &[&[1, 2], &[1, 2], &[1, 3]]);
+        // vertex of table index 1 is 0 (first observed)
+        let w12 = g
+            .neighbors(0)
+            .find(|&(nb, _)| g.vertex_index[nb as usize] == 2)
+            .map(|(_, w)| w)
+            .unwrap();
+        assert_eq!(w12, 2.0);
+        assert_eq!(g.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn hot_indices_are_excluded() {
+        let mut hot = vec![false; 10];
+        hot[1] = true;
+        let g = build_from_batches(10, &hot, &[&[1, 2, 3]]);
+        assert_eq!(g.num_vertices(), 2);
+        assert!(!g.vertex_index.contains(&1));
+    }
+
+    #[test]
+    fn duplicate_indices_within_batch_counted_once() {
+        let g = build_from_batches(10, &[false; 10], &[&[4, 4, 5, 5]]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 1.0);
+    }
+
+    #[test]
+    fn degree_sums_incident_weights() {
+        let g = build_from_batches(10, &[false; 10], &[&[1, 2], &[1, 3]]);
+        let v1 = g.vertex_index.iter().position(|&i| i == 1).unwrap();
+        assert_eq!(g.degree(v1), 2.0);
+    }
+
+    #[test]
+    fn large_batches_use_sampling_but_stay_connected() {
+        let indices: Vec<u32> = (0..200).collect();
+        let g = build_from_batches(200, &[false; 200], &[&indices]);
+        assert_eq!(g.num_vertices(), 200);
+        // sampling bounds the edge count well below all-pairs
+        assert!(g.num_edges() < 200 * 199 / 2);
+        assert!(g.num_edges() >= 200 * IndexGraph::SAMPLED_PEERS / 4);
+        // no isolated vertices: everyone sampled peers
+        for v in 0..200 {
+            assert!(g.degree(v) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hot_mask_selects_top_fraction() {
+        let counts = vec![5u64, 100, 2, 50, 1];
+        let mask = hot_mask(&counts, 0.4); // top 2 of 5
+        assert_eq!(mask, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn singleton_batches_add_nothing() {
+        let g = build_from_batches(10, &[false; 10], &[&[3], &[]]);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

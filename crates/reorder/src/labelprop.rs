@@ -1,0 +1,136 @@
+//! Label propagation — the fast community-detection alternative.
+//!
+//! Louvain (the paper's choice) maximizes modularity directly but costs
+//! multiple aggregation levels. Label propagation (Raghavan et al.) is the
+//! standard cheap alternative: every vertex repeatedly adopts the label
+//! carrying the largest incident edge weight; convergence takes a handful
+//! of sweeps and the result is *a* community structure, usually slightly
+//! worse in modularity but an order of magnitude faster to compute.
+//!
+//! The reorderer can be configured with either algorithm
+//! ([`crate::bijection::CommunityAlgorithm`]); the `reorder` criterion
+//! bench compares their cost, and [`tests`] their quality.
+
+use crate::graph::IndexGraph;
+use crate::louvain::Partition;
+use std::collections::HashMap;
+
+/// Runs synchronous-ish label propagation (in-place updates within a
+/// sweep, fixed vertex order for determinism).
+pub fn label_propagation(graph: &IndexGraph, max_sweeps: usize) -> Partition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Partition { community: Vec::new(), count: 0 };
+    }
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+
+    for _sweep in 0..max_sweeps {
+        let mut changed = 0usize;
+        for v in 0..n {
+            let mut weight_by_label: HashMap<u32, f64> = HashMap::new();
+            for (nb, w) in graph.neighbors(v) {
+                *weight_by_label.entry(labels[nb as usize]).or_insert(0.0) += w as f64;
+            }
+            if weight_by_label.is_empty() {
+                continue;
+            }
+            // deterministic argmax: highest weight, ties to smallest label
+            let current = labels[v];
+            let (best, best_w) = weight_by_label
+                .iter()
+                .map(|(&l, &w)| (l, w))
+                .fold((current, f64::MIN), |(bl, bw), (l, w)| {
+                    if w > bw + 1e-12 || (w >= bw - 1e-12 && l < bl) {
+                        (l, w)
+                    } else {
+                        (bl, bw)
+                    }
+                });
+            let _ = best_w;
+            if best != current {
+                labels[v] = best;
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    compact(labels)
+}
+
+fn compact(labels: Vec<u32>) -> Partition {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut community = labels;
+    for c in &mut community {
+        let next = remap.len() as u32;
+        *c = *remap.entry(*c).or_insert(next);
+    }
+    let count = remap.len();
+    Partition { community, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IndexGraphBuilder;
+    use crate::louvain::{louvain, modularity};
+
+    fn two_cliques() -> IndexGraph {
+        let mut b = IndexGraphBuilder::new(8, &[false; 8], 1);
+        for _ in 0..3 {
+            b.add_batch(&[0, 1, 2, 3]);
+            b.add_batch(&[4, 5, 6, 7]);
+        }
+        b.add_batch(&[3, 4]);
+        b.build()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques();
+        let p = label_propagation(&g, 16);
+        assert!(p.count >= 2, "expected at least two communities, got {}", p.count);
+        // the two cliques must not be merged
+        assert_ne!(p.community[0], p.community[7]);
+        // each clique's interior agrees
+        assert_eq!(p.community[0], p.community[1]);
+        assert_eq!(p.community[5], p.community[6]);
+    }
+
+    #[test]
+    fn quality_is_close_to_louvain_on_clean_structure() {
+        let g = two_cliques();
+        let q_lp = modularity(&g, &label_propagation(&g, 16));
+        let q_lv = modularity(&g, &louvain(&g));
+        assert!(
+            q_lp >= q_lv - 0.1,
+            "label propagation too far behind louvain: {q_lp} vs {q_lv}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = IndexGraphBuilder::new(4, &[false; 4], 1).build();
+        let p = label_propagation(&g, 8);
+        assert_eq!(p.count, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_cliques();
+        let a = label_propagation(&g, 16);
+        let b = label_propagation(&g, 16);
+        assert_eq!(a.community, b.community);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = two_cliques();
+        let p = label_propagation(&g, 16);
+        assert_eq!(p.community.len(), g.num_vertices());
+        let total: usize = p.members().iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+}

@@ -1,0 +1,302 @@
+//! Modularity-based community detection (Louvain method).
+//!
+//! The paper (§IV-C) partitions the index graph with the modularity-based
+//! community detection of Blondel et al. \[34\]/\[35\]; modularity `Q` (paper's
+//! definition, Newman \[36\]) measures how much denser intra-community edges
+//! are than a random graph with the same degrees. Louvain alternates:
+//!
+//! 1. **local moving** — greedily move vertices to the neighboring
+//!    community with the largest modularity gain until no move helps;
+//! 2. **aggregation** — collapse communities into super-vertices and
+//!    repeat on the condensed graph.
+
+use crate::graph::IndexGraph;
+use std::collections::HashMap;
+
+/// A community assignment over graph vertices.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Community id of each vertex (ids are contiguous, `0..num_communities`).
+    pub community: Vec<u32>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl Partition {
+    /// The trivial partition (every vertex its own community).
+    pub fn singleton(n: usize) -> Self {
+        Self { community: (0..n as u32).collect(), count: n }
+    }
+
+    /// Vertices of each community.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.community.iter().enumerate() {
+            out[c as usize].push(v as u32);
+        }
+        out
+    }
+
+    /// Renumbers community ids to be contiguous.
+    fn compact(mut self) -> Self {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        for c in &mut self.community {
+            let next = remap.len() as u32;
+            *c = *remap.entry(*c).or_insert(next);
+        }
+        self.count = remap.len();
+        self
+    }
+}
+
+/// Newman modularity of a partition:
+/// `Q = sum_c (e_c / m - (k_c / 2m)^2)` with `e_c` the intra-community
+/// weight, `k_c` the community degree and `m` the total edge weight.
+pub fn modularity(graph: &IndexGraph, partition: &Partition) -> f64 {
+    let m = graph.total_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut intra = vec![0f64; partition.count];
+    let mut degree = vec![0f64; partition.count];
+    for v in 0..graph.num_vertices() {
+        let cv = partition.community[v] as usize;
+        degree[cv] += graph.degree(v);
+        for (nb, w) in graph.neighbors(v) {
+            if partition.community[nb as usize] as usize == cv {
+                intra[cv] += w as f64; // counted twice, halved below
+            }
+        }
+    }
+    (0..partition.count)
+        .map(|c| intra[c] / (2.0 * m) - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Runs Louvain community detection; returns a partition with contiguous
+/// community ids.
+pub fn louvain(graph: &IndexGraph) -> Partition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Partition { community: Vec::new(), count: 0 };
+    }
+    // Working graph in adjacency-list form (aggregated levels need
+    // mutation).
+    let mut adj: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|v| graph.neighbors(v).map(|(nb, w)| (nb, w as f64)).collect())
+        .collect();
+    let mut self_loops = vec![0f64; n];
+    // membership of original vertices through all levels
+    let mut assignment: Vec<u32> = (0..n as u32).collect();
+
+    let mut total_m: f64 = graph.total_weight();
+    if total_m == 0.0 {
+        return Partition::singleton(n).compact();
+    }
+
+    for _level in 0..16 {
+        let (local, improved) = local_moving(&adj, &self_loops, total_m);
+        if !improved {
+            break;
+        }
+        // Map original vertices through this level's assignment.
+        for a in assignment.iter_mut() {
+            *a = local.community[*a as usize];
+        }
+        // Aggregate.
+        let count = local.count;
+        let mut new_adj: Vec<HashMap<u32, f64>> = vec![HashMap::new(); count];
+        let mut new_loops = vec![0f64; count];
+        for v in 0..adj.len() {
+            let cv = local.community[v];
+            new_loops[cv as usize] += self_loops[v];
+            for &(nb, w) in &adj[v] {
+                let cn = local.community[nb as usize];
+                if cn == cv {
+                    new_loops[cv as usize] += w / 2.0; // both endpoints visit
+                } else {
+                    *new_adj[cv as usize].entry(cn).or_insert(0.0) += w;
+                }
+            }
+        }
+        adj = new_adj
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(nb, _)| nb);
+                v
+            })
+            .collect();
+        self_loops = new_loops;
+        if adj.len() == 1 {
+            break;
+        }
+        // Total weight is invariant under aggregation; recompute to absorb
+        // floating error.
+        total_m = self_loops.iter().sum::<f64>()
+            + adj.iter().flat_map(|nbrs| nbrs.iter().map(|&(_, w)| w)).sum::<f64>() / 2.0;
+    }
+
+    Partition { community: assignment, count: 0 }.compact()
+}
+
+/// One round of greedy local moving. Returns the level-local partition and
+/// whether any move improved modularity.
+fn local_moving(
+    adj: &[Vec<(u32, f64)>],
+    self_loops: &[f64],
+    m: f64,
+) -> (Partition, bool) {
+    let n = adj.len();
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    // Community total degree (incl. self loops counted twice).
+    let degree: Vec<f64> = (0..n)
+        .map(|v| adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loops[v])
+        .collect();
+    let mut comm_degree = degree.clone();
+
+    let mut improved_any = false;
+    for _sweep in 0..32 {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let cv = community[v];
+            // Weights from v to each neighboring community.
+            let mut to_comm: HashMap<u32, f64> = HashMap::new();
+            for &(nb, w) in &adj[v] {
+                *to_comm.entry(community[nb as usize]).or_insert(0.0) += w;
+            }
+            let w_to_own = to_comm.get(&cv).copied().unwrap_or(0.0);
+            // Remove v from its community.
+            comm_degree[cv as usize] -= degree[v];
+            // Gain of joining community c: w_{v->c}/m - k_v * K_c / (2 m^2);
+            // compare against rejoining its own community.
+            let base = w_to_own / m
+                - degree[v] * comm_degree[cv as usize] / (2.0 * m * m);
+            let mut best_c = cv;
+            let mut best_gain = base;
+            for (&c, &w_vc) in &to_comm {
+                if c == cv {
+                    continue;
+                }
+                let gain = w_vc / m - degree[v] * comm_degree[c as usize] / (2.0 * m * m);
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            comm_degree[best_c as usize] += degree[v];
+            if best_c != cv {
+                community[v] = best_c;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+        improved_any = true;
+    }
+
+    let p = Partition { community, count: 0 }.compact();
+    (p, improved_any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IndexGraphBuilder;
+
+    /// Two K4 cliques joined by one edge.
+    fn two_cliques() -> IndexGraph {
+        let mut b = IndexGraphBuilder::new(8, &[false; 8], 1);
+        b.add_batch(&[0, 1, 2, 3]);
+        b.add_batch(&[0, 1, 2, 3]);
+        b.add_batch(&[4, 5, 6, 7]);
+        b.add_batch(&[4, 5, 6, 7]);
+        b.add_batch(&[3, 4]); // bridge
+        b.build()
+    }
+
+    #[test]
+    fn louvain_separates_two_cliques() {
+        let g = two_cliques();
+        let p = louvain(&g);
+        assert_eq!(p.count, 2, "expected two communities, got {}", p.count);
+        // vertices 0..4 (table indices 0..4) together, 4..8 together
+        let c0 = p.community[0];
+        for v in 0..4 {
+            assert_eq!(p.community[v], c0);
+        }
+        let c1 = p.community[4];
+        assert_ne!(c0, c1);
+        for v in 4..8 {
+            assert_eq!(p.community[v], c1);
+        }
+    }
+
+    #[test]
+    fn detected_partition_beats_singletons_and_whole() {
+        let g = two_cliques();
+        let detected = louvain(&g);
+        let q_detected = modularity(&g, &detected);
+        let q_singleton = modularity(&g, &Partition::singleton(8));
+        let whole = Partition { community: vec![0; 8], count: 1 };
+        let q_whole = modularity(&g, &whole);
+        assert!(q_detected > q_singleton);
+        assert!(q_detected > q_whole);
+        assert!(q_detected > 0.3, "Q = {q_detected}");
+    }
+
+    #[test]
+    fn modularity_of_whole_graph_is_zero() {
+        let g = two_cliques();
+        let whole = Partition { community: vec![0; 8], count: 1 };
+        assert!(modularity(&g, &whole).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let b = IndexGraphBuilder::new(4, &[false; 4], 1);
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.count, 0);
+        assert_eq!(modularity(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn edgeless_vertices_stay_singletons() {
+        let mut b = IndexGraphBuilder::new(6, &[false; 6], 1);
+        b.add_batch(&[0, 1]);
+        b.add_batch(&[2]); // observed but isolated: becomes a vertex only
+                           // if it co-occurs; singleton batches add nothing
+        let g = b.build();
+        let p = louvain(&g);
+        assert!(p.count >= 1);
+        // all vertices assigned
+        assert_eq!(p.community.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn partition_members_cover_all_vertices() {
+        let g = two_cliques();
+        let p = louvain(&g);
+        let members = p.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn three_communities_in_a_chain() {
+        // three K4 cliques chained with single bridges
+        let mut b = IndexGraphBuilder::new(12, &[false; 12], 1);
+        for _ in 0..3 {
+            b.add_batch(&[0, 1, 2, 3]);
+            b.add_batch(&[4, 5, 6, 7]);
+            b.add_batch(&[8, 9, 10, 11]);
+        }
+        b.add_batch(&[3, 4]);
+        b.add_batch(&[7, 8]);
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.count, 3);
+    }
+}

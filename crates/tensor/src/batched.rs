@@ -1,0 +1,250 @@
+//! Batched GEMM — the `cublasGemmBatchedEx` stand-in.
+//!
+//! EL-Rec's Algorithm 1 (parallel pointer preparation) produces three pointer
+//! lists `Ptr_a`, `Ptr_b`, `Ptr_c` and hands them to one batched-GEMM launch
+//! that executes every small product concurrently. This module reproduces
+//! that contract on the CPU:
+//!
+//! * operands live in three flat **arenas** (`a_arena`, `b_arena`, `c_arena`),
+//! * a [`GemmTask`] is a triple of element offsets into those arenas — the
+//!   safe-Rust analogue of a device pointer triple,
+//! * [`batched_gemm`] executes all tasks of a [`GemmBatch`] across the rayon
+//!   pool in one call.
+//!
+//! # Safety contract
+//!
+//! Like its CUDA counterpart, the batched kernel requires the *output*
+//! regions of all tasks to be pairwise disjoint; this is checked with an
+//! `O(t log t)` validation in debug builds and trusted in release builds.
+
+use crate::gemm::gemm_nn;
+use rayon::prelude::*;
+
+/// One small GEMM inside a batch: element offsets of A, B and C inside their
+/// respective arenas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmTask {
+    /// Offset of the `m x k` A block in the A arena.
+    pub a: usize,
+    /// Offset of the `k x n` B block in the B arena.
+    pub b: usize,
+    /// Offset of the `m x n` C block in the C arena.
+    pub c: usize,
+}
+
+/// A batch of equally-shaped GEMMs: `C_i = alpha * A_i * B_i + beta * C_i`.
+#[derive(Clone, Debug)]
+pub struct GemmBatch {
+    /// Rows of each A/C block.
+    pub m: usize,
+    /// Columns of each B/C block.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Scale on the product.
+    pub alpha: f32,
+    /// Scale on the existing C contents.
+    pub beta: f32,
+    /// The pointer list.
+    pub tasks: Vec<GemmTask>,
+}
+
+impl GemmBatch {
+    /// An empty batch of the given shape with `alpha = 1`, `beta = 0`.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        Self { m, n, k, alpha: 1.0, beta: 0.0, tasks: Vec::new() }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Queues one task.
+    pub fn push(&mut self, a: usize, b: usize, c: usize) {
+        self.tasks.push(GemmTask { a, b, c });
+    }
+
+    /// Total floating-point operations the batch performs (2·m·n·k each).
+    pub fn flops(&self) -> usize {
+        2 * self.m * self.n * self.k * self.tasks.len()
+    }
+}
+
+/// Wrapper that lets rayon move a raw pointer across threads. The
+/// disjointness contract of [`batched_gemm`] makes concurrent writes
+/// through it race-free.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Executes every task of `batch` over the rayon pool.
+///
+/// # Panics
+///
+/// Panics when a task reads or writes out of arena bounds, and — in debug
+/// builds — when two tasks' C regions overlap.
+pub fn batched_gemm(batch: &GemmBatch, a_arena: &[f32], b_arena: &[f32], c_arena: &mut [f32]) {
+    let (m, n, k) = (batch.m, batch.n, batch.k);
+    let (a_len, b_len, c_len) = (m * k, k * n, m * n);
+    if batch.tasks.is_empty() || c_len == 0 {
+        return;
+    }
+
+    for t in &batch.tasks {
+        assert!(t.a + a_len <= a_arena.len(), "A block out of bounds: off={} len={}", t.a, a_len);
+        assert!(t.b + b_len <= b_arena.len(), "B block out of bounds: off={} len={}", t.b, b_len);
+        assert!(t.c + c_len <= c_arena.len(), "C block out of bounds: off={} len={}", t.c, c_len);
+    }
+    debug_assert!(outputs_disjoint(&batch.tasks, c_len), "C regions of tasks must be disjoint");
+
+    let c_ptr = SendPtr(c_arena.as_mut_ptr());
+    let (alpha, beta) = (batch.alpha, batch.beta);
+
+    // One small GEMM is far below the fork/join break-even point, so tasks
+    // are processed in chunks; with_min_len keeps rayon from splitting to
+    // single tasks under work stealing.
+    batch.tasks.par_iter().with_min_len(16).for_each(|t| {
+        let a = &a_arena[t.a..t.a + a_len];
+        let b = &b_arena[t.b..t.b + b_len];
+        // SAFETY: bounds were validated above and C regions are disjoint by
+        // contract, so each task writes a region no other task touches.
+        let c = unsafe {
+            let base = c_ptr;
+            std::slice::from_raw_parts_mut(base.0.add(t.c), c_len)
+        };
+        gemm_nn(m, n, k, alpha, a, b, beta, c);
+    });
+}
+
+/// Sequential execution of the same batch; the oracle for tests and the
+/// fallback used when the caller is already inside a parallel region.
+pub fn batched_gemm_seq(batch: &GemmBatch, a_arena: &[f32], b_arena: &[f32], c_arena: &mut [f32]) {
+    let (m, n, k) = (batch.m, batch.n, batch.k);
+    let (a_len, b_len, c_len) = (m * k, k * n, m * n);
+    for t in &batch.tasks {
+        gemm_nn(
+            m,
+            n,
+            k,
+            batch.alpha,
+            &a_arena[t.a..t.a + a_len],
+            &b_arena[t.b..t.b + b_len],
+            batch.beta,
+            &mut c_arena[t.c..t.c + c_len],
+        );
+    }
+}
+
+fn outputs_disjoint(tasks: &[GemmTask], c_len: usize) -> bool {
+    let mut spans: Vec<(usize, usize)> = tasks.iter().map(|t| (t.c, t.c + c_len)).collect();
+    spans.sort_unstable();
+    spans.windows(2).all(|w| w[0].1 <= w[1].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let (m, n, k) = (4, 6, 5);
+        let count = 100;
+        let a_arena = rand_vec(m * k * count, &mut rng);
+        let b_arena = rand_vec(k * n * count, &mut rng);
+        let mut batch = GemmBatch::new(m, n, k);
+        for i in 0..count {
+            // shuffle the pointer association to exercise indirection
+            batch.push((count - 1 - i) * m * k, i * k * n, i * m * n);
+        }
+        let mut c_par = vec![0.0; m * n * count];
+        let mut c_seq = vec![0.0; m * n * count];
+        batched_gemm(&batch, &a_arena, &b_arena, &mut c_par);
+        batched_gemm_seq(&batch, &a_arena, &b_arena, &mut c_seq);
+        assert_eq!(c_par, c_seq);
+    }
+
+    #[test]
+    fn shared_inputs_are_allowed() {
+        // Many tasks reading the same A block (the whole point of the
+        // reuse buffer) must work.
+        let (m, n, k) = (2, 2, 2);
+        let a_arena = vec![1.0, 2.0, 3.0, 4.0];
+        let b_arena = vec![1.0, 0.0, 0.0, 1.0];
+        let mut batch = GemmBatch::new(m, n, k);
+        for i in 0..8 {
+            batch.push(0, 0, i * m * n);
+        }
+        let mut c = vec![0.0; m * n * 8];
+        batched_gemm(&batch, &a_arena, &b_arena, &mut c);
+        for i in 0..8 {
+            assert_eq!(&c[i * 4..(i + 1) * 4], &[1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn beta_accumulates_into_existing_c() {
+        let (m, n, k) = (1, 1, 1);
+        let a_arena = vec![3.0];
+        let b_arena = vec![4.0];
+        let mut c = vec![5.0];
+        let mut batch = GemmBatch::new(m, n, k);
+        batch.alpha = 2.0;
+        batch.beta = 1.0;
+        batch.push(0, 0, 0);
+        batched_gemm(&batch, &a_arena, &b_arena, &mut c);
+        assert_eq!(c[0], 2.0 * 12.0 + 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_task_panics() {
+        let mut batch = GemmBatch::new(2, 2, 2);
+        batch.push(100, 0, 0);
+        let a = vec![0.0; 4];
+        let b = vec![0.0; 4];
+        let mut c = vec![0.0; 4];
+        batched_gemm(&batch, &a, &b, &mut c);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_outputs_panic_in_debug() {
+        let mut batch = GemmBatch::new(2, 2, 2);
+        batch.push(0, 0, 0);
+        batch.push(0, 0, 2); // overlaps the first 2x2 block
+        let a = vec![0.0; 4];
+        let b = vec![0.0; 4];
+        let mut c = vec![0.0; 8];
+        batched_gemm(&batch, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let mut batch = GemmBatch::new(4, 4, 4);
+        batch.push(0, 0, 0);
+        batch.push(0, 0, 16);
+        assert_eq!(batch.flops(), 2 * 64 * 2);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let batch = GemmBatch::new(4, 4, 4);
+        let mut c = vec![7.0; 16];
+        batched_gemm(&batch, &[], &[], &mut c);
+        assert!(c.iter().all(|&x| x == 7.0));
+    }
+}

@@ -1,0 +1,405 @@
+//! GEMM kernels.
+//!
+//! The Eff-TT forward/backward passes are sequences of small dense
+//! matrix products. Three entry points are provided:
+//!
+//! * [`gemm_ref`] — textbook triple loop, the correctness oracle;
+//! * [`gemm`] — cache-blocked sequential kernel with a column-tiled inner
+//!   micro-kernel (the workhorse for the small TT-slice products);
+//! * [`par_gemm`] — rayon row-parallel wrapper for the larger MLP layers.
+//!
+//! All kernels compute `C = alpha * op(A) * op(B) + beta * C` on row-major
+//! slices, mirroring the BLAS `sgemm` contract closely enough that the
+//! higher layers read like their CUDA counterparts.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Transpose flag for a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Reference GEMM: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// `a` is `m x k` after `ta`, `b` is `k x n` after `tb`, `c` is `m x n`.
+/// Used as the oracle in tests and for tiny shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ref(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    match ta {
+        Trans::No => assert_eq!(a.len(), m * k, "A must be m x k"),
+        Trans::Yes => assert_eq!(a.len(), k * m, "A^T source must be k x m"),
+    }
+    match tb {
+        Trans::No => assert_eq!(b.len(), k * n, "B must be k x n"),
+        Trans::Yes => assert_eq!(b.len(), n * k, "B^T source must be n x k"),
+    }
+    let at = |i: usize, p: usize| match ta {
+        Trans::No => a[i * k + p],
+        Trans::Yes => a[p * m + i],
+    };
+    let bt = |p: usize, j: usize| match tb {
+        Trans::No => b[p * n + j],
+        Trans::Yes => b[j * k + p],
+    };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += at(i, p) * bt(p, j);
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Panel width of the blocked kernel. 64 f32 = one cache line quadruple;
+/// benchmarked as a good fit for the `n2*R2`-sized panels of TT slices.
+const NB: usize = 64;
+/// Depth blocking factor (along `k`).
+const KB: usize = 128;
+
+/// Blocked sequential GEMM on row-major, non-transposed operands:
+/// `C = alpha * A * B + beta * C`.
+///
+/// The loop order (i, p-block, j-block) streams rows of `B` from L1/L2 and
+/// keeps a row of `C` hot, which is the standard layout-friendly ordering
+/// for row-major data.
+// BLAS-style signature: callers read it like `sgemm`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else {
+            for x in c.iter_mut() {
+                *x *= beta;
+            }
+        }
+    }
+
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = KB.min(k - p0);
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = NB.min(n - j0);
+                for (pp, &av) in a_row[p0..p0 + pb].iter().enumerate() {
+                    let scaled = alpha * av;
+                    if scaled == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(p0 + pp) * n + j0..(p0 + pp) * n + j0 + jb];
+                    let c_blk = &mut c_row[j0..j0 + jb];
+                    for (cv, &bv) in c_blk.iter_mut().zip(b_row) {
+                        *cv += scaled * bv;
+                    }
+                }
+                j0 += jb;
+            }
+            p0 += pb;
+        }
+    }
+}
+
+/// General blocked GEMM with transpose flags.
+///
+/// The `Trans::No/No` case dispatches to the fast [`gemm_nn`]; transposed
+/// cases materialize the transposed operand once (they only occur on the
+/// backward pass where the operand is small) and then reuse the fast path.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    beta: f32,
+    c: &mut [f32],
+) {
+    match (ta, tb) {
+        (Trans::No, Trans::No) => gemm_nn(m, n, k, alpha, a, b, beta, c),
+        (Trans::Yes, Trans::No) => {
+            let at = transpose_buf(a, k, m);
+            gemm_nn(m, n, k, alpha, &at, b, beta, c);
+        }
+        (Trans::No, Trans::Yes) => {
+            let bt = transpose_buf(b, n, k);
+            gemm_nn(m, n, k, alpha, a, &bt, beta, c);
+        }
+        (Trans::Yes, Trans::Yes) => {
+            let at = transpose_buf(a, k, m);
+            let bt = transpose_buf(b, n, k);
+            gemm_nn(m, n, k, alpha, &at, &bt, beta, c);
+        }
+    }
+}
+
+/// Row-parallel GEMM for the large MLP products: `C = alpha*A*B + beta*C`.
+///
+/// Rows of `C` are independent, so the matrix is split into contiguous row
+/// bands processed by rayon. Falls back to the sequential kernel when the
+/// problem is too small to amortize fork/join.
+// BLAS-style signature: callers read it like `sgemm`.
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+
+    // ~1 MFLOP cutoff: below this the fork/join overhead dominates.
+    if m * n * k < 1 << 20 {
+        return gemm_nn(m, n, k, alpha, a, b, beta, c);
+    }
+
+    let band = (m / (rayon::current_num_threads() * 4)).max(8);
+    c.par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(bi, c_band)| {
+            let row0 = bi * band;
+            let rows = c_band.len() / n;
+            gemm_nn(rows, n, k, alpha, &a[row0 * k..(row0 + rows) * k], b, beta, c_band);
+        });
+}
+
+/// Accumulates `C += A^T * B` without materializing the transpose.
+///
+/// `a` is `p x m` (so `A^T` is `m x p`), `b` is `p x n`, `c` is `m x n`.
+/// The rank-1-update loop order streams rows of `a` and `b`, which is the
+/// layout-friendly schedule for row-major data; this is the workhorse of
+/// the TT core-gradient pass where `A^T` products dominate.
+pub fn add_at_b(p: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), p * m);
+    assert_eq!(b.len(), p * n);
+    assert_eq!(c.len(), m * n);
+    for row in 0..p {
+        let a_row = &a[row * m..(row + 1) * m];
+        let b_row = &b[row * n..(row + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Accumulates `C += A * B^T` without materializing the transpose.
+///
+/// `a` is `m x k`, `b` is `n x k` (so `B^T` is `k x n`), `c` is `m x n`.
+/// Entries of `C` are dot products of rows of `a` and `b`, so both operands
+/// stream contiguously. Used by the backward chain pass (`dP_{t-1} +=
+/// dP_t * G_t^T`).
+pub fn add_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// Matrix-level convenience wrapper: returns `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(
+        a.rows(),
+        b.cols(),
+        a.cols(),
+        1.0,
+        a.as_slice(),
+        b.as_slice(),
+        0.0,
+        c.as_mut_slice(),
+    );
+    c
+}
+
+fn transpose_buf(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(src.len(), rows * cols);
+    let mut out = vec![0.0f32; src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_odd_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 64, 64), (65, 63, 130), (2, 200, 2)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c_ref = rand_vec(m * n, &mut rng);
+            let mut c_blk = c_ref.clone();
+            gemm_ref(m, n, k, 0.7, &a, Trans::No, &b, Trans::No, 0.3, &mut c_ref);
+            gemm_nn(m, n, k, 0.7, &a, &b, 0.3, &mut c_blk);
+            assert_close(&c_ref, &c_blk, 1e-5);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (m, n, k) = (11, 7, 5);
+        for &(ta, tb) in &[
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a_len = m * k;
+            let b_len = k * n;
+            let a = rand_vec(a_len, &mut rng);
+            let b = rand_vec(b_len, &mut rng);
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_fast = vec![0.0; m * n];
+            gemm_ref(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_ref);
+            gemm(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_fast);
+            assert_close(&c_ref, &c_fast, 1e-5);
+        }
+    }
+
+    #[test]
+    fn par_gemm_matches_sequential_on_large_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (m, n, k) = (128, 96, 160);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c_seq = vec![0.0; m * n];
+        let mut c_par = vec![0.0; m * n];
+        gemm_nn(m, n, k, 1.0, &a, &b, 0.0, &mut c_seq);
+        par_gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c_par);
+        assert_close(&c_seq, &c_par, 1e-5);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_poison() {
+        // BLAS semantics: beta == 0 must overwrite C even if it holds NaN.
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![f32::NAN; 4];
+        gemm_nn(2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn add_at_b_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (p, m, n) = (7, 5, 9);
+        let a = rand_vec(p * m, &mut rng);
+        let b = rand_vec(p * n, &mut rng);
+        let mut c_fast = rand_vec(m * n, &mut rng);
+        let mut c_ref = c_fast.clone();
+        add_at_b(p, m, n, &a, &b, &mut c_fast);
+        gemm_ref(m, n, p, 1.0, &a, Trans::Yes, &b, Trans::No, 1.0, &mut c_ref);
+        assert_close(&c_ref, &c_fast, 1e-5);
+    }
+
+    #[test]
+    fn add_a_bt_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let (m, n, k) = (6, 8, 5);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(n * k, &mut rng);
+        let mut c_fast = rand_vec(m * n, &mut rng);
+        let mut c_ref = c_fast.clone();
+        add_a_bt(m, n, k, &a, &b, &mut c_fast);
+        gemm_ref(m, n, k, 1.0, &a, Trans::No, &b, Trans::Yes, 1.0, &mut c_ref);
+        assert_close(&c_ref, &c_fast, 1e-5);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = Matrix::uniform(6, 6, 1.0, &mut rng);
+        let i = Matrix::identity(6);
+        assert!(matmul(&a, &i).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&i, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Dimension factorization helpers.
+//!
+//! A TT table reshapes an `M x N` embedding table into a `d`-dimensional
+//! tensor with modes `(m_1 n_1) x ... x (m_d n_d)` where
+//! `M = m_1 * ... * m_d` and `N = n_1 * ... * n_d` (paper §II-B, Figure 3).
+//! Real cardinalities are rarely exact products, so — like TT-Rec — the row
+//! count is padded up to the nearest representable product. These helpers
+//! pick balanced factors with minimal padding.
+
+/// Splits `target` into `d` factors whose product is the smallest value
+/// `>= target` achievable with the greedy balanced scheme
+/// (`f_i = ceil(remaining^(1/(d-i)))`).
+///
+/// Balanced factors minimize both the padding and the per-core footprint
+/// `R * m_k * n_k * R`, which is why TT-Rec and EL-Rec use near-cubic-root
+/// splits for three cores.
+///
+/// # Panics
+/// Panics if `target == 0` or `d == 0`.
+pub fn balanced_factorization(target: usize, d: usize) -> Vec<usize> {
+    assert!(target > 0, "cannot factorize zero");
+    assert!(d > 0, "need at least one factor");
+    let mut factors = Vec::with_capacity(d);
+    let mut remaining = target as f64;
+    for i in 0..d {
+        let left = (d - i) as f64;
+        let f = remaining.powf(1.0 / left).ceil().max(1.0) as usize;
+        factors.push(f);
+        remaining = (remaining / f as f64).max(1.0);
+    }
+    // The greedy split can overshoot; shrink factors while the product still
+    // covers the target to cut padding.
+    loop {
+        let mut improved = false;
+        for i in 0..d {
+            if factors[i] > 1 {
+                let product_others: usize =
+                    factors.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, f)| *f).product();
+                if product_others * (factors[i] - 1) >= target {
+                    factors[i] -= 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    factors.sort_unstable();
+    factors
+}
+
+/// Exact factorization of `n` into `d` factors when possible, otherwise the
+/// padded balanced factorization. Exactness matters for the *column*
+/// dimension: padding `N` would change the embedding dimensionality.
+pub fn factorize(n: usize, d: usize) -> Vec<usize> {
+    if let Some(exact) = exact_factorization(n, d) {
+        return exact;
+    }
+    balanced_factorization(n, d)
+}
+
+/// Tries to split `n` into `d` factors with product exactly `n`, keeping the
+/// factors as balanced as the prime structure of `n` allows. Returns `None`
+/// when `n` has fewer than useful divisors (e.g. a large prime).
+pub fn exact_factorization(n: usize, d: usize) -> Option<Vec<usize>> {
+    assert!(n > 0 && d > 0);
+    if d == 1 {
+        return Some(vec![n]);
+    }
+    // Choose the divisor closest to n^(1/d), then recurse on the quotient.
+    let ideal = (n as f64).powf(1.0 / d as f64);
+    let mut best: Option<usize> = None;
+    let mut k = 1usize;
+    while k * k <= n {
+        if n.is_multiple_of(k) {
+            for cand in [k, n / k] {
+                if cand >= 1 && cand <= n {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            (cand as f64 - ideal).abs() < (b as f64 - ideal).abs()
+                        }
+                    };
+                    // a factor of 1 in a multi-way split wastes a core
+                    if better && (cand > 1 || n == 1) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    let f = best?;
+    if f == n && d > 1 && n > 1 {
+        // cannot split a prime further without a trailing run of 1s
+        return None;
+    }
+    let mut rest = exact_factorization(n / f, d - 1)?;
+    rest.push(f);
+    rest.sort_unstable();
+    Some(rest)
+}
+
+/// Number of padded rows introduced by representing `target` rows with the
+/// given factors.
+pub fn padding(target: usize, factors: &[usize]) -> usize {
+    let product: usize = factors.iter().product();
+    assert!(product >= target, "factors must cover the target");
+    product - target
+}
+
+/// Decomposes a flat index into mixed-radix digits (most-significant first),
+/// the per-core TT indices of paper Eq. 3:
+/// `i_k = (i / prod_{l>k} m_l) mod m_k`.
+#[inline]
+pub fn tt_indices(mut index: usize, dims: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(dims.len(), out.len());
+    for k in (0..dims.len()).rev() {
+        out[k] = index % dims[k];
+        index /= dims[k];
+    }
+    debug_assert_eq!(index, 0, "index exceeds the factorized capacity");
+}
+
+/// Recomposes mixed-radix digits back into a flat index.
+#[inline]
+pub fn flat_index(digits: &[usize], dims: &[usize]) -> usize {
+    debug_assert_eq!(digits.len(), dims.len());
+    let mut idx = 0usize;
+    for (d, m) in digits.iter().zip(dims) {
+        debug_assert!(d < m);
+        idx = idx * m + d;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_covers_and_is_tight_for_cubes() {
+        assert_eq!(balanced_factorization(1000, 3), vec![10, 10, 10]);
+        assert_eq!(balanced_factorization(8, 3), vec![2, 2, 2]);
+        assert_eq!(balanced_factorization(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn balanced_padding_is_small() {
+        // Criteo Kaggle's biggest table has ~10M rows.
+        let f = balanced_factorization(10_131_227, 3);
+        let p: usize = f.iter().product();
+        assert!(p >= 10_131_227);
+        assert!(p as f64 / 10_131_227_f64 <= 1.05, "padding above 5%: {f:?}");
+    }
+
+    #[test]
+    fn exact_factorization_of_composites() {
+        assert_eq!(exact_factorization(64, 3), Some(vec![4, 4, 4]));
+        assert_eq!(exact_factorization(128, 3), Some(vec![4, 4, 8]));
+        assert_eq!(exact_factorization(12, 2), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn exact_factorization_refuses_primes() {
+        assert_eq!(exact_factorization(13, 2), None);
+        assert_eq!(exact_factorization(13, 1), Some(vec![13]));
+    }
+
+    #[test]
+    fn tt_indices_round_trip_manual() {
+        let dims = [2, 3, 4];
+        let mut digits = [0usize; 3];
+        tt_indices(12 + 4 + 3, &dims, &mut digits);
+        assert_eq!(digits, [1, 1, 3]);
+        assert_eq!(flat_index(&digits, &dims), 19);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_balanced_always_covers(target in 1usize..5_000_000, d in 1usize..5) {
+            let f = balanced_factorization(target, d);
+            prop_assert_eq!(f.len(), d);
+            let p: usize = f.iter().product();
+            prop_assert!(p >= target);
+        }
+
+        #[test]
+        fn prop_tt_indices_round_trip(i in 0usize..10_000) {
+            let dims = [7usize, 11, 13, 3];
+            let cap: usize = dims.iter().product();
+            let i = i % cap;
+            let mut digits = [0usize; 4];
+            tt_indices(i, &dims, &mut digits);
+            prop_assert_eq!(flat_index(&digits, &dims), i);
+        }
+
+        #[test]
+        fn prop_exact_factorization_is_exact(n in 1usize..100_000, d in 1usize..4) {
+            if let Some(f) = exact_factorization(n, d) {
+                prop_assert_eq!(f.iter().product::<usize>(), n);
+                prop_assert_eq!(f.len(), d);
+            }
+        }
+    }
+}

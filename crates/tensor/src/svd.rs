@@ -1,0 +1,235 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! TT-SVD repeatedly factors tall-skinny unfoldings, for which one-sided
+//! Jacobi is simple, numerically robust and accurate to working precision.
+//! This is a substrate component: production EL-Rec never decomposes a
+//! trained table (cores are trained directly), but tests, the compression
+//! sweep example and `TtCores::from_dense` need a trustworthy SVD.
+
+// Jacobi rotations address two strided columns by index; iterator zips over
+// `w[p]`/`w[q]` simultaneously would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+
+/// A (thin) singular value decomposition `A = U * diag(s) * Vt`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m x r`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, non-increasing, length `r = min(m, n)`.
+    pub s: Vec<f32>,
+    /// Right singular vectors transposed, `r x n`, orthonormal rows.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` with one-sided Jacobi rotations.
+    pub fn compute(a: &Matrix) -> Svd {
+        if a.rows() >= a.cols() {
+            jacobi_tall(a)
+        } else {
+            // A = U S Vt  <=>  A^T = V S U^T
+            let t = jacobi_tall(&a.transpose());
+            Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() }
+        }
+    }
+
+    /// Truncates the decomposition to at most `rank` components.
+    pub fn truncate(mut self, rank: usize) -> Svd {
+        let r = rank.min(self.s.len());
+        self.s.truncate(r);
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut u = Matrix::zeros(m, r);
+        for i in 0..m {
+            u.row_mut(i).copy_from_slice(&self.u.row(i)[..r]);
+        }
+        let mut vt = Matrix::zeros(r, n);
+        for i in 0..r {
+            vt.row_mut(i).copy_from_slice(self.vt.row(i));
+        }
+        Svd { u, s: self.s, vt }
+    }
+
+    /// Reconstructs `U * diag(s) * Vt`.
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.s.len();
+        let mut scaled = self.vt.clone();
+        for i in 0..r {
+            let si = self.s[i];
+            for v in scaled.row_mut(i) {
+                *v *= si;
+            }
+        }
+        crate::gemm::matmul(&self.u, &scaled)
+    }
+
+    /// Number of retained components.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix: rotates column pairs of a
+/// working copy `W = A * V` until all pairs are orthogonal; then
+/// `s_j = ||W_j||`, `U_j = W_j / s_j`.
+fn jacobi_tall(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert!(m >= n);
+
+    // Column-major working copy: rotations touch whole columns.
+    let mut w: Vec<Vec<f32>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = Matrix::identity(n);
+
+    let eps = 1e-9f64;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let (x, y) = (w[p][i] as f64, w[q][i] as f64);
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off += apq.abs();
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let (cf, sf) = (c as f32, s as f32);
+                for i in 0..m {
+                    let (x, y) = (w[p][i], w[q][i]);
+                    w[p][i] = cf * x - sf * y;
+                    w[q][i] = sf * x + cf * y;
+                }
+                for i in 0..n {
+                    let (x, y) = (v.get(i, p), v.get(i, q));
+                    v.set(i, p, cf * x - sf * y);
+                    v.set(i, q, sf * x + cf * y);
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+
+    // Singular values and sort order.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = w
+        .iter()
+        .map(|col| col.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        let norm = norms[src];
+        s.push(norm as f32);
+        if norm > 0.0 {
+            for i in 0..m {
+                u.set(i, dst, (w[src][i] as f64 / norm) as f32);
+            }
+        }
+        for i in 0..n {
+            vt.set(dst, i, v.get(i, src));
+        }
+    }
+    Svd { u, s, vt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn reconstruction_error(a: &Matrix, svd: &Svd) -> f32 {
+        a.max_abs_diff(&svd.reconstruct())
+    }
+
+    #[test]
+    fn recovers_diagonal_singular_values() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { (3 - r) as f32 } else { 0.0 });
+        let svd = Svd::compute(&a);
+        assert!((svd.s[0] - 3.0).abs() < 1e-5);
+        assert!((svd.s[1] - 2.0).abs() < 1e-5);
+        assert!((svd.s[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstructs_random_tall_matrix() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Matrix::uniform(20, 7, 1.0, &mut rng);
+        let svd = Svd::compute(&a);
+        assert!(reconstruction_error(&a, &svd) < 1e-4, "err {}", reconstruction_error(&a, &svd));
+    }
+
+    #[test]
+    fn reconstructs_random_wide_matrix() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let a = Matrix::uniform(5, 18, 1.0, &mut rng);
+        let svd = Svd::compute(&a);
+        assert!(reconstruction_error(&a, &svd) < 1e-4);
+    }
+
+    #[test]
+    fn singular_values_non_increasing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let a = Matrix::uniform(12, 12, 1.0, &mut rng);
+        let svd = Svd::compute(&a);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn u_columns_orthonormal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let a = Matrix::uniform(15, 6, 1.0, &mut rng);
+        let svd = Svd::compute(&a);
+        let gram = crate::gemm::matmul(&svd.u.transpose(), &svd.u);
+        assert!(gram.max_abs_diff(&Matrix::identity(6)) < 1e-4);
+    }
+
+    #[test]
+    fn truncation_of_low_rank_matrix_is_exact() {
+        // rank-2 matrix: outer products
+        let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+        let x = Matrix::uniform(10, 2, 1.0, &mut rng);
+        let y = Matrix::uniform(2, 8, 1.0, &mut rng);
+        let a = crate::gemm::matmul(&x, &y);
+        let svd = Svd::compute(&a).truncate(2);
+        assert_eq!(svd.rank(), 2);
+        assert!(reconstruction_error(&a, &svd) < 1e-4);
+    }
+
+    #[test]
+    fn truncation_drops_smallest_components() {
+        let a = Matrix::from_fn(4, 4, |r, c| if r == c { (4 - r) as f32 } else { 0.0 });
+        let svd = Svd::compute(&a).truncate(2);
+        assert_eq!(svd.s.len(), 2);
+        assert!((svd.s[0] - 4.0).abs() < 1e-5);
+        let rec = svd.reconstruct();
+        // the two largest diagonal entries survive, the rest vanish
+        assert!((rec.get(0, 0) - 4.0).abs() < 1e-4);
+        assert!(rec.get(3, 3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_matrix_svd_is_zero() {
+        let a = Matrix::zeros(4, 3);
+        let svd = Svd::compute(&a);
+        assert!(svd.s.iter().all(|&s| s == 0.0));
+        assert!(reconstruction_error(&a, &svd) < 1e-7);
+    }
+}

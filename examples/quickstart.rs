@@ -1,0 +1,72 @@
+//! Quickstart: the Eff-TT table as an `EmbeddingBag` drop-in.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 1M-row embedding table compressed into three TT cores, looks
+//! up a batch, trains a few steps, and shows the footprint the compression
+//! saves — the paper's core promise in ~60 lines.
+
+use el_rec::core::{TtConfig, TtEmbeddingBag, TtWorkspace};
+use el_rec::tensor::Matrix;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // A 1M-row, 64-dimensional embedding table at TT rank 32.
+    let config = TtConfig::new(1_000_000, 64, 32);
+    let mut table = TtEmbeddingBag::new(&config, &mut rng);
+    let mut ws = TtWorkspace::new();
+
+    let dense_bytes = 1_000_000 * 64 * 4;
+    println!("dense table:  {:>12} bytes", dense_bytes);
+    println!("Eff-TT table: {:>12} bytes", table.footprint_bytes());
+    println!("compression:  {:>11.0}x", table.compression_ratio());
+    println!(
+        "TT factors:   rows {:?} x cols {:?}, ranks {:?}",
+        table.cores().row_dims,
+        table.cores().col_dims,
+        table.cores().ranks
+    );
+
+    // One batch in CSR (indices, offsets) form — the nn.EmbeddingBag
+    // contract: sample 0 pools rows {3, 999999}, sample 1 pools {3, 17, 17}.
+    let indices = [3u32, 999_999, 3, 17, 17];
+    let offsets = [0u32, 2, 5];
+    let pooled = table.forward(&indices, &offsets, &mut ws);
+    println!(
+        "\nlookup: batch of {} samples -> {}x{} pooled embeddings",
+        offsets.len() - 1,
+        pooled.rows(),
+        pooled.cols()
+    );
+
+    // Train the table to pull those pooled embeddings toward zero:
+    // d(0.5*||out||^2)/d(out) = out.
+    let mut norm_before = 0.0;
+    for step in 0..20 {
+        let out = table.forward(&indices, &offsets, &mut ws);
+        let norm = out.frobenius_norm();
+        if step == 0 {
+            norm_before = norm;
+        }
+        table.backward_sgd(&out, &mut ws, 0.05);
+    }
+    let out = table.forward(&indices, &offsets, &mut ws);
+    println!(
+        "training:     ||pooled|| {:.4} -> {:.4} after 20 SGD steps",
+        norm_before,
+        out.frobenius_norm()
+    );
+
+    // The same rows are recoverable individually (the reference path).
+    let mut row = vec![0.0f32; 64];
+    table.reconstruct_row(3, &mut row);
+    let direct = Matrix::from_vec(1, 64, row);
+    println!(
+        "row 3 reconstructs to a vector of norm {:.4}",
+        direct.frobenius_norm()
+    );
+}

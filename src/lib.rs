@@ -1,0 +1,34 @@
+//! # EL-Rec — Rust reproduction of the SC 2022 paper
+//!
+//! *"EL-Rec: Efficient Large-Scale Recommendation Model Training via
+//! Tensor-Train Embedding Table"* (Wang et al., SC 2022).
+//!
+//! This umbrella crate re-exports the workspace crates so downstream users
+//! can depend on one package:
+//!
+//! * [`tensor`] — dense linear algebra substrate (GEMM, batched GEMM, SVD,
+//!   TT-SVD),
+//! * [`data`] — synthetic DLRM workloads shaped like Avazu / Criteo Kaggle /
+//!   Criteo Terabyte,
+//! * [`core`] — the **Eff-TT table**: TT-compressed embedding tables with
+//!   intermediate-result reuse, in-advance gradient aggregation and fused
+//!   updates,
+//! * [`reorder`] — locality-based index reordering (index graph + Louvain
+//!   community detection),
+//! * [`dlrm`] — the DLRM model (MLPs, feature interaction, losses,
+//!   optimizers, dense `EmbeddingBag` baseline),
+//! * [`pipeline`] — the TT-based pipeline training system (parameter server,
+//!   pre-fetch/gradient queues, life-cycle embedding cache, all-reduce),
+//! * [`frameworks`] — baseline framework emulations used by the benchmark
+//!   harness (DLRM-PS, FAE, TT-Rec, HugeCTR-style, TorchRec-style).
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use el_core as core;
+pub use el_data as data;
+pub use el_dlrm as dlrm;
+pub use el_frameworks as frameworks;
+pub use el_pipeline as pipeline;
+pub use el_reorder as reorder;
+pub use el_tensor as tensor;

@@ -1,0 +1,99 @@
+//! Smoke tests of the `el-rec` CLI binary: every subcommand must run end
+//! to end, and train -> checkpoint -> eval must round-trip.
+
+use std::process::Command;
+
+fn el_rec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_el-rec"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = el_rec().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("train"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = el_rec().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn stats_reports_skew() {
+    let out = el_rec()
+        .args(["stats", "--dataset", "toy", "--scale", "0.05", "--batch-size", "128"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accesses"), "missing skew report: {text}");
+}
+
+#[test]
+fn plan_places_every_table() {
+    let out = el_rec()
+        .args(["plan", "--dataset", "kaggle", "--scale", "1.0", "--dim", "64", "--device", "t4"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("summary:"));
+    // 26 tables must all be listed
+    assert!(text.matches("table ").count() >= 26, "{text}");
+}
+
+#[test]
+fn train_checkpoint_eval_round_trip() {
+    let ckpt = std::env::temp_dir().join("el_rec_cli_test.json");
+    let out = el_rec()
+        .args([
+            "train",
+            "--dataset",
+            "toy",
+            "--batches",
+            "6",
+            "--batch-size",
+            "64",
+            "--optimizer",
+            "adagrad",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists(), "checkpoint file missing");
+
+    let out = el_rec()
+        .args([
+            "eval",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--dataset",
+            "toy",
+            "--batches",
+            "2",
+            "--batch-size",
+            "64",
+        ])
+        .output()
+        .expect("spawn");
+    std::fs::remove_file(&ckpt).ok();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy"), "{text}");
+    assert!(text.contains("auc"));
+}
+
+#[test]
+fn eval_without_checkpoint_fails_with_message() {
+    let out = el_rec().args(["eval"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --checkpoint"));
+}
