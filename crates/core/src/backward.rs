@@ -80,10 +80,26 @@ impl TtEmbeddingBag {
         let plan = match ws.plan.take() {
             Some(p) if p.dedup == want_dedup => p,
             Some(p) => {
-                let rebuilt = rebuild_plan(&p, &self.cores.row_dims, want_dedup);
-                let mut levels = std::mem::take(&mut ws.levels);
-                self.compute_levels(&rebuilt, &mut levels);
-                ws.levels = levels;
+                // Reconstruct the lookup index values from the forward plan
+                // (slot values are the original indices), re-analyze into
+                // the spare plan object, and park the forward plan as the
+                // next spare — both plan objects keep their capacity, so
+                // even the perpetual-rebuild baseline reaches a
+                // zero-allocation steady state.
+                let last = p.levels.last().expect("plans always have levels");
+                ws.index_scratch.clear();
+                ws.index_scratch
+                    .extend(p.lookup_slot.iter().map(|&s| last.values[s as usize] as u32));
+                let mut rebuilt = ws.alt_plan.take().unwrap_or_default();
+                rebuilt.build_into(
+                    &ws.index_scratch,
+                    &p.sample_offsets,
+                    &self.cores.row_dims,
+                    want_dedup,
+                    &mut ws.plan_scratch,
+                );
+                ws.alt_plan = Some(p);
+                self.compute_levels(&rebuilt, &mut ws.levels, &mut ws.batch);
                 rebuilt
             }
             None => panic!("backward requires a preceding forward on this workspace"),
@@ -191,19 +207,25 @@ impl TtEmbeddingBag {
             }
         };
 
-        // Each digit owns one slice of core t, so writes are disjoint.
+        // Each digit owns one slice of core t, so writes are disjoint. The
+        // per-slice gradient accumulator lives in thread-local storage so
+        // the steady-state backward pass performs no heap allocation.
         let accumulate = |g: usize, dst: &mut [f32], scale: f32| {
-            let mut tmp = vec![0.0f32; slice_t];
-            for &item in level.digit_groups.group(g) {
-                let parent = level.parent[item as usize] as usize;
-                let a = &p_arena[parent_off(parent)..][..width_prev];
-                let dp = &dcur[item as usize * width_t..][..width_t];
-                // A is (p_rows, r_prev); dP viewed as (p_rows, k_dim).
-                add_at_b(p_rows, r_prev, k_dim, a, dp, &mut tmp);
-            }
-            for (w, g) in dst.iter_mut().zip(&tmp) {
-                *w += scale * g;
-            }
+            CORE_GRAD_SCRATCH.with(|cell| {
+                let mut tmp = cell.borrow_mut();
+                tmp.clear();
+                tmp.resize(slice_t, 0.0);
+                for &item in level.digit_groups.group(g) {
+                    let parent = level.parent[item as usize] as usize;
+                    let a = &p_arena[parent_off(parent)..][..width_prev];
+                    let dp = &dcur[item as usize * width_t..][..width_t];
+                    // A is (p_rows, r_prev); dP viewed as (p_rows, k_dim).
+                    add_at_b(p_rows, r_prev, k_dim, a, dp, &mut tmp[..]);
+                }
+                for (w, g) in dst.iter_mut().zip(tmp.iter()) {
+                    *w += scale * g;
+                }
+            });
         };
 
         match mode {
@@ -274,13 +296,10 @@ enum UpdateMode {
     Materialize,
 }
 
-/// Re-derives a plan with a different dedup setting from an existing plan
-/// (lookup index values are recoverable from slot values).
-fn rebuild_plan(plan: &LookupPlan, dims: &[usize], dedup: bool) -> LookupPlan {
-    let last = plan.levels.last().expect("plans always have levels");
-    let indices: Vec<u32> =
-        plan.lookup_slot.iter().map(|&s| last.values[s as usize] as u32).collect();
-    LookupPlan::build(&indices, &plan.sample_offsets, dims, dedup)
+std::thread_local! {
+    /// Per-thread core-gradient slice accumulator for the core pass.
+    static CORE_GRAD_SCRATCH: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Splits `dlevels` at `t`, returning `(&mut dlevels[t-1], &dlevels[t])`.
@@ -416,7 +435,7 @@ mod tests {
 
         let mut first_loss = None;
         let mut last_loss = 0.0;
-        for _ in 0..200 {
+        for _ in 0..400 {
             let out = b.forward(&indices, &offsets, &mut ws);
             let mut d = out.clone();
             d.axpy(-1.0, &target);

@@ -8,7 +8,8 @@
 //! type, its construction and shared plumbing.
 
 use crate::config::{TtConfig, TtOptions};
-use crate::plan::LookupPlan;
+use crate::plan::{LookupPlan, PlanScratch};
+use el_tensor::batched::{GemmBatch, GemmTask};
 use el_tensor::tt::TtCores;
 use rand::Rng;
 
@@ -21,6 +22,15 @@ use rand::Rng;
 pub struct TtWorkspace {
     /// Plan of the most recent forward pass.
     pub(crate) plan: Option<LookupPlan>,
+    /// Spare plan cycled with `plan` when backward re-analyzes under a
+    /// different dedup setting; keeping both retains their capacity.
+    pub(crate) alt_plan: Option<LookupPlan>,
+    /// Sort/cursor scratch for plan construction.
+    pub(crate) plan_scratch: PlanScratch,
+    /// Index reconstruction scratch for backward plan rebuilds.
+    pub(crate) index_scratch: Vec<u32>,
+    /// Task list reused by every chained-GEMM launch.
+    pub(crate) batch: GemmBatch,
     /// Partial products per level; `levels[0]` stays empty (level 0 aliases
     /// core 0 slices).
     pub(crate) levels: Vec<Vec<f32>>,
@@ -69,6 +79,9 @@ impl TtWorkspace {
             + self.dlevels.iter().map(Vec::capacity).sum::<usize>()
             + self.grads.iter().map(Vec::capacity).sum::<usize>())
             * f
+            + self.batch.tasks.capacity() * std::mem::size_of::<GemmTask>()
+            + self.index_scratch.capacity() * std::mem::size_of::<u32>()
+            + self.plan_scratch.scratch_bytes()
     }
 }
 

@@ -30,6 +30,25 @@ impl TtEmbeddingBag {
     ///
     /// Returns a `batch_size x dim` matrix of pooled embeddings.
     pub fn forward(&self, indices: &[u32], offsets: &[u32], ws: &mut TtWorkspace) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(indices, offsets, ws, &mut out);
+        out
+    }
+
+    /// [`TtEmbeddingBag::forward`] into a caller-owned output matrix.
+    ///
+    /// `out` is reshaped (and zeroed) in place; together with the recycled
+    /// plan and level buffers in `ws` this makes the steady-state forward
+    /// pass allocation-free — the training loop passes the same `out` and
+    /// `ws` every batch and nothing reallocates once capacities have grown
+    /// to the batch shape.
+    pub fn forward_into(
+        &self,
+        indices: &[u32],
+        offsets: &[u32],
+        ws: &mut TtWorkspace,
+        out: &mut Matrix,
+    ) {
         for &i in indices {
             assert!(
                 (i as usize) < self.num_rows(),
@@ -38,11 +57,13 @@ impl TtEmbeddingBag {
             );
         }
         let dedup = self.options.forward == ForwardStrategy::Reuse;
-        let plan = LookupPlan::build(indices, offsets, &self.cores.row_dims, dedup);
-        self.compute_levels(&plan, &mut ws.levels);
-        let out = self.pool(&plan, ws.levels.last().map_or(&[][..], |b| &b[..]));
+        // Recycle whichever plan object is idle; build_into reuses all of
+        // its internal vectors.
+        let mut plan = ws.plan.take().or_else(|| ws.alt_plan.take()).unwrap_or_default();
+        plan.build_into(indices, offsets, &self.cores.row_dims, dedup, &mut ws.plan_scratch);
+        self.compute_levels(&plan, &mut ws.levels, &mut ws.batch);
+        self.pool_into(&plan, ws.levels.last().map_or(&[][..], |b| &b[..]), out);
         ws.plan = Some(plan);
-        out
     }
 
     /// Decompresses individual rows (one lookup per output row, no
@@ -57,7 +78,12 @@ impl TtEmbeddingBag {
     /// `bufs[t]` receives the level-`t` partial products; `bufs[0]` is left
     /// empty because level 0 aliases core-0 slices directly (no compute is
     /// needed for a single core).
-    pub(crate) fn compute_levels(&self, plan: &LookupPlan, bufs: &mut Vec<Vec<f32>>) {
+    pub(crate) fn compute_levels(
+        &self,
+        plan: &LookupPlan,
+        bufs: &mut Vec<Vec<f32>>,
+        batch: &mut GemmBatch,
+    ) {
         let d = self.order();
         bufs.resize_with(d, Vec::new);
         bufs[0].clear();
@@ -71,7 +97,7 @@ impl TtEmbeddingBag {
             let k = self.cores.ranks[t];
             let n = self.cores.col_dims[t] * self.cores.ranks[t + 1];
 
-            let mut batch = GemmBatch::new(m, n, k);
+            batch.reset(m, n, k);
             batch.tasks.reserve(level.len());
             let parent_width =
                 if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
@@ -89,21 +115,23 @@ impl TtEmbeddingBag {
             }
 
             let (prev, cur) = split_levels(bufs, t);
-            cur.clear();
-            cur.resize(level.len() * width, 0.0);
+            // Every slot is written by exactly one beta = 0 task covering
+            // its full width, so the buffer needs sizing, not zeroing.
+            debug_assert_eq!(m * n, width);
+            ensure_len_f32(cur, level.len() * width);
             let a_arena: &[f32] = if t == 1 { &self.cores.cores[0] } else { &prev[..] };
             if self.options.deterministic {
-                batched_gemm_seq(&batch, a_arena, &self.cores.cores[t], cur);
+                batched_gemm_seq(batch, a_arena, &self.cores.cores[t], cur);
             } else {
-                batched_gemm(&batch, a_arena, &self.cores.cores[t], cur);
+                batched_gemm(batch, a_arena, &self.cores.cores[t], cur);
             }
         }
     }
 
     /// Sum-pools decompressed rows into per-sample embeddings.
-    fn pool(&self, plan: &LookupPlan, rows: &[f32]) -> Matrix {
+    fn pool_into(&self, plan: &LookupPlan, rows: &[f32], out: &mut Matrix) {
         let n = self.dim();
-        let mut out = Matrix::zeros(plan.batch_size, n);
+        out.reset_zeroed(plan.batch_size, n);
         out.as_mut_slice()
             .par_chunks_mut(n)
             .enumerate()
@@ -117,7 +145,6 @@ impl TtEmbeddingBag {
                     }
                 }
             });
-        out
     }
 }
 
@@ -125,6 +152,17 @@ impl TtEmbeddingBag {
 fn split_levels(bufs: &mut [Vec<f32>], t: usize) -> (&Vec<f32>, &mut Vec<f32>) {
     let (lo, hi) = bufs.split_at_mut(t);
     (&lo[t - 1], &mut hi[0])
+}
+
+/// Sizes `buf` to exactly `len` elements without reallocating on shrink;
+/// growth within capacity only zero-fills the gap (which the batched GEMM
+/// overwrites anyway).
+fn ensure_len_f32(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    } else {
+        buf.truncate(len);
+    }
 }
 
 #[cfg(test)]

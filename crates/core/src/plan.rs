@@ -30,6 +30,17 @@ pub struct Csr {
     pub items: Vec<u32>,
 }
 
+/// Grow-only length adjustment that never reallocates in steady state and
+/// never zero-fills elements the caller is about to overwrite.
+#[inline]
+fn ensure_len_u32(v: &mut Vec<u32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0);
+    } else {
+        v.truncate(len);
+    }
+}
+
 impl Csr {
     /// Members of group `g`.
     #[inline]
@@ -44,21 +55,31 @@ impl Csr {
 
     /// Builds a CSR from `(group, item)` assignments given the group count.
     pub fn from_assignments(groups: usize, assignments: &[u32]) -> Csr {
-        let mut counts = vec![0u32; groups + 1];
+        let mut csr = Csr::default();
+        csr.rebuild(groups, assignments, &mut Vec::new());
+        csr
+    }
+
+    /// Rebuilds in place from `(group, item)` assignments, reusing the
+    /// offset/item allocations; `cursor` is caller-provided scratch so the
+    /// counting sort needs no allocation either.
+    pub fn rebuild(&mut self, groups: usize, assignments: &[u32], cursor: &mut Vec<u32>) {
+        self.offsets.clear();
+        self.offsets.resize(groups + 1, 0);
         for &g in assignments {
-            counts[g as usize + 1] += 1;
+            self.offsets[g as usize + 1] += 1;
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
+        for i in 1..self.offsets.len() {
+            self.offsets[i] += self.offsets[i - 1];
         }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut items = vec![0u32; assignments.len()];
+        cursor.clear();
+        cursor.extend_from_slice(&self.offsets[..groups]);
+        ensure_len_u32(&mut self.items, assignments.len());
         for (item, &g) in assignments.iter().enumerate() {
-            items[cursor[g as usize] as usize] = item as u32;
-            cursor[g as usize] += 1;
+            let slot = &mut cursor[g as usize];
+            self.items[*slot as usize] = item as u32;
+            *slot += 1;
         }
-        Csr { offsets, items }
     }
 }
 
@@ -67,7 +88,7 @@ impl Csr {
 /// Level `t` (0-based) holds the distinct index prefixes of depth `t + 1`;
 /// its slot `s` corresponds to the partial product
 /// `P_{t+1} = G_1[i_1] x ... x G_{t+1}[i_{t+1}]` for that prefix.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Level {
     /// Prefix value of each slot (sorted; unique iff the plan deduplicates).
     pub values: Vec<u64>,
@@ -95,8 +116,30 @@ impl Level {
     }
 }
 
+/// Reusable scratch for [`LookupPlan::build_into`], so steady-state plan
+/// analysis allocates nothing once its buffers have grown to the working
+/// batch size.
+#[derive(Clone, Debug, Default)]
+pub struct PlanScratch {
+    /// Lookup positions in index-sorted order.
+    order: Vec<u32>,
+    /// Parent prefix value per slot of the level being processed.
+    parent_values: Vec<u64>,
+    /// Counting-sort cursor for [`Csr::rebuild`].
+    cursor: Vec<u32>,
+}
+
+impl PlanScratch {
+    /// Bytes currently held by the scratch buffers.
+    pub fn scratch_bytes(&self) -> usize {
+        self.order.capacity() * std::mem::size_of::<u32>()
+            + self.parent_values.capacity() * std::mem::size_of::<u64>()
+            + self.cursor.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
 /// A fully-analyzed batch of embedding lookups.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LookupPlan {
     /// Row-dimension factors `m_k` the indices were decomposed against.
     pub dims: Vec<usize>,
@@ -128,6 +171,29 @@ impl LookupPlan {
     /// Panics if an index is out of the factorized capacity, or the CSR
     /// structure is malformed.
     pub fn build(indices: &[u32], offsets: &[u32], dims: &[usize], dedup: bool) -> LookupPlan {
+        let mut plan = LookupPlan::default();
+        plan.build_into(indices, offsets, dims, dedup, &mut PlanScratch::default());
+        plan
+    }
+
+    /// In-place variant of [`LookupPlan::build`]: re-analyzes a batch into
+    /// `self`, reusing every buffer the previous analysis left behind.
+    ///
+    /// Together with a caller-held [`PlanScratch`] this makes steady-state
+    /// pointer preparation allocation-free — the training hot loop builds
+    /// one plan per batch, so the plan object cycles through the workspace
+    /// instead of being reallocated.
+    ///
+    /// # Panics
+    /// Same contract as [`LookupPlan::build`].
+    pub fn build_into(
+        &mut self,
+        indices: &[u32],
+        offsets: &[u32],
+        dims: &[usize],
+        dedup: bool,
+        scratch: &mut PlanScratch,
+    ) {
         let d = dims.len();
         assert!(d >= 2, "TT tables need at least two cores");
         assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
@@ -140,109 +206,108 @@ impl LookupPlan {
         let nnz = indices.len();
         let batch_size = offsets.len() - 1;
 
-        // Divisors D[t] = prod_{l > t} m_l (1-based depth t): prefix at
-        // depth t of index i is i / D[t].
-        let mut divisors = vec![1u64; d];
-        for t in (0..d - 1).rev() {
-            divisors[t] = divisors[t + 1] * dims[t + 1] as u64;
-        }
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+        self.batch_size = batch_size;
+        self.nnz = nnz;
+        self.dedup = dedup;
+        self.sample_offsets.clear();
+        self.sample_offsets.extend_from_slice(offsets);
 
-        let mut sample_of_lookup = vec![0u32; nnz];
+        ensure_len_u32(&mut self.sample_of_lookup, nnz);
         for s in 0..batch_size {
             for j in offsets[s]..offsets[s + 1] {
-                sample_of_lookup[j as usize] = s as u32;
+                self.sample_of_lookup[j as usize] = s as u32;
             }
         }
 
         // Sort lookups by index value so duplicates (and shared prefixes)
         // are adjacent. `order[r]` is the lookup position at sorted rank r.
-        let mut order: Vec<u32> = (0..nnz as u32).collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(0..nnz as u32);
         order.sort_unstable_by_key(|&j| indices[j as usize]);
+
+        if self.levels.len() != d {
+            self.levels.clear();
+            self.levels.resize_with(d, Level::default);
+        }
 
         // Last level first: one slot per distinct index (dedup) or per
         // lookup (no dedup); record each lookup's slot.
-        let mut lookup_slot = vec![0u32; nnz];
-        let mut last_values: Vec<u64> = Vec::new();
-        for &j in &order {
-            let v = indices[j as usize] as u64;
-            assert!(v < capacity, "index {v} exceeds factorized capacity {capacity}");
-            let is_new = !dedup || last_values.last() != Some(&v);
-            if is_new {
-                last_values.push(v);
+        ensure_len_u32(&mut self.lookup_slot, nnz);
+        {
+            let last = &mut self.levels[d - 1];
+            last.values.clear();
+            for &j in order.iter() {
+                let v = indices[j as usize] as u64;
+                assert!(v < capacity, "index {v} exceeds factorized capacity {capacity}");
+                let is_new = !dedup || last.values.last() != Some(&v);
+                if is_new {
+                    last.values.push(v);
+                }
+                self.lookup_slot[j as usize] = (last.values.len() - 1) as u32;
             }
-            lookup_slot[j as usize] = (last_values.len() - 1) as u32;
         }
 
-        let slot_lookups = Csr::from_assignments(last_values.len(), &lookup_slot);
+        let num_slots = self.levels[d - 1].values.len();
+        self.slot_lookups.rebuild(num_slots, &self.lookup_slot, &mut scratch.cursor);
 
         // Build levels top-down from the sorted distinct values. At depth t
         // the prefix list of the (t+1)-deep level divided by m_{t+1} gives
         // the parent prefixes; equal prefixes collapse when deduplicating.
-        let mut levels: Vec<Level> = Vec::with_capacity(d);
-        let mut child_values = last_values;
         for t in (0..d).rev() {
-            // child_values currently holds depth t+1 prefixes.
             let m_t = dims[t] as u64;
-            let digit: Vec<u32> = child_values.iter().map(|&v| (v % m_t) as u32).collect();
-            let parent_values: Vec<u64> = child_values.iter().map(|&v| v / m_t).collect();
-            // Parent slots: parents are sorted because children are.
-            let (parent, parent_count) = if t == 0 {
-                (Vec::new(), 0usize)
+            let (head, tail) = self.levels.split_at_mut(t);
+            let cur = &mut tail[0];
+
+            cur.digit.clear();
+            cur.digit.extend(cur.values.iter().map(|&v| (v % m_t) as u32));
+
+            let parent_values = &mut scratch.parent_values;
+            parent_values.clear();
+            parent_values.extend(cur.values.iter().map(|&v| v / m_t));
+
+            if t == 0 {
+                cur.parent.clear();
+                cur.child_offsets.clear();
             } else {
-                let mut parent = Vec::with_capacity(child_values.len());
+                // Parent slots: parents are sorted because children are.
+                cur.parent.clear();
                 let mut distinct = 0usize;
                 let mut prev: Option<u64> = None;
-                for &pv in &parent_values {
+                for &pv in parent_values.iter() {
                     let is_new = !dedup || prev != Some(pv);
                     if is_new {
                         distinct += 1;
                         prev = Some(pv);
                     }
-                    parent.push((distinct - 1) as u32);
+                    cur.parent.push((distinct - 1) as u32);
                 }
-                (parent, distinct)
-            };
-            let child_offsets = if t == 0 {
-                Vec::new()
-            } else {
-                let mut co = vec![0u32; parent_count + 1];
-                for &p in &parent {
-                    co[p as usize + 1] += 1;
+                cur.child_offsets.clear();
+                cur.child_offsets.resize(distinct + 1, 0);
+                for &p in &cur.parent {
+                    cur.child_offsets[p as usize + 1] += 1;
                 }
-                for i in 1..co.len() {
-                    co[i] += co[i - 1];
+                for i in 1..cur.child_offsets.len() {
+                    cur.child_offsets[i] += cur.child_offsets[i - 1];
                 }
-                co
-            };
-            let digit_groups = Csr::from_assignments(dims[t], &digit);
-            levels.push(Level {
-                values: std::mem::take(&mut child_values),
-                parent,
-                digit,
-                child_offsets,
-                digit_groups,
-            });
-            // Prepare the next (shallower) level's value list.
-            if t > 0 {
-                let mut pv = parent_values;
+                // The shallower level's value list: deduped parent prefixes.
+                let prev_level = &mut head[t - 1];
+                prev_level.values.clear();
                 if dedup {
-                    pv.dedup();
+                    let mut last: Option<u64> = None;
+                    for &pv in parent_values.iter() {
+                        if last != Some(pv) {
+                            prev_level.values.push(pv);
+                            last = Some(pv);
+                        }
+                    }
+                } else {
+                    prev_level.values.extend_from_slice(parent_values);
                 }
-                child_values = pv;
             }
-        }
-        levels.reverse();
-
-        LookupPlan {
-            dims: dims.to_vec(),
-            batch_size,
-            nnz,
-            dedup,
-            lookup_slot,
-            sample_of_lookup,
-            sample_offsets: offsets.to_vec(),
-            slot_lookups,
-            levels,
+            cur.digit_groups.rebuild(dims[t], &cur.digit, &mut scratch.cursor);
         }
     }
 

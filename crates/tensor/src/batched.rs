@@ -18,6 +18,7 @@
 //! `O(t log t)` validation in debug builds and trusted in release builds.
 
 use crate::gemm::gemm_nn;
+use crate::micro::{self, Layout};
 use rayon::prelude::*;
 
 /// One small GEMM inside a batch: element offsets of A, B and C inside their
@@ -49,10 +50,29 @@ pub struct GemmBatch {
     pub tasks: Vec<GemmTask>,
 }
 
+impl Default for GemmBatch {
+    /// An empty degenerate-shape batch — a placeholder whose task list
+    /// capacity can be recycled via [`GemmBatch::reset`].
+    fn default() -> Self {
+        Self::new(0, 0, 0)
+    }
+}
+
 impl GemmBatch {
     /// An empty batch of the given shape with `alpha = 1`, `beta = 0`.
     pub fn new(m: usize, n: usize, k: usize) -> Self {
         Self { m, n, k, alpha: 1.0, beta: 0.0, tasks: Vec::new() }
+    }
+
+    /// Reshapes the batch in place for a new level, clearing the task list
+    /// but keeping its allocation (the zero-alloc hot-path hook).
+    pub fn reset(&mut self, m: usize, n: usize, k: usize) {
+        self.m = m;
+        self.n = n;
+        self.k = k;
+        self.alpha = 1.0;
+        self.beta = 0.0;
+        self.tasks.clear();
     }
 
     /// Number of queued tasks.
@@ -108,20 +128,70 @@ pub fn batched_gemm(batch: &GemmBatch, a_arena: &[f32], b_arena: &[f32], c_arena
     let (alpha, beta) = (batch.alpha, batch.beta);
 
     // One small GEMM is far below the fork/join break-even point, so tasks
-    // are processed in chunks; with_min_len keeps rayon from splitting to
-    // single tasks under work stealing.
-    batch.tasks.par_iter().with_min_len(16).for_each(|t| {
-        let a = &a_arena[t.a..t.a + a_len];
-        let b = &b_arena[t.b..t.b + b_len];
-        // SAFETY: bounds were validated above and C regions are disjoint by
-        // contract, so each task writes a region no other task touches.
-        let c = unsafe {
-            let base = c_ptr;
-            std::slice::from_raw_parts_mut(base.0.add(t.c), c_len)
-        };
-        gemm_nn(m, n, k, alpha, a, b, beta, c);
+    // are processed in chunks sized by flops: each chunk carries roughly
+    // CHUNK_FLOPS multiply-adds regardless of the per-task shape, so tiny
+    // TT-slice products coalesce into few forks while big tasks still
+    // spread across workers.
+    let task_flops = (m * n * k).max(1);
+    let chunk = (CHUNK_FLOPS / task_flops).max(1);
+    batch.tasks.par_chunks(chunk).for_each(|tasks| {
+        // Tasks are pushed in slot order, so tasks reading the same A block
+        // (all children of one chain slot) sit in contiguous runs. Each run
+        // reuses its A block: packed once for large shapes, or simply kept
+        // hot in L1 for the small TT-slice shapes.
+        let mut i = 0;
+        while i < tasks.len() {
+            let a_off = tasks[i].a;
+            let mut j = i + 1;
+            while j < tasks.len() && tasks[j].a == a_off {
+                j += 1;
+            }
+            let a = &a_arena[a_off..a_off + a_len];
+            let group = &tasks[i..j];
+            let packable =
+                group.len() > 1 && m * n * k >= micro::PACK_CUTOFF && k <= micro::KC;
+            if packable {
+                micro::with_packed_a(m, k, a, Layout::row_major(k), |a_pack| {
+                    for t in group {
+                        // SAFETY: bounds were validated above and C regions
+                        // are disjoint by contract, so each task writes a
+                        // region no other task touches.
+                        let c = unsafe {
+                            let base = c_ptr;
+                            std::slice::from_raw_parts_mut(base.0.add(t.c), c_len)
+                        };
+                        micro::gemm_prepacked_a(
+                            m,
+                            n,
+                            k,
+                            alpha,
+                            a_pack,
+                            &b_arena[t.b..t.b + b_len],
+                            Layout::row_major(n),
+                            beta,
+                            c,
+                        );
+                    }
+                });
+            } else {
+                for t in group {
+                    // SAFETY: as above — validated bounds, disjoint outputs.
+                    let c = unsafe {
+                        let base = c_ptr;
+                        std::slice::from_raw_parts_mut(base.0.add(t.c), c_len)
+                    };
+                    gemm_nn(m, n, k, alpha, a, &b_arena[t.b..t.b + b_len], beta, c);
+                }
+            }
+            i = j;
+        }
     });
 }
+
+/// Multiply-adds per parallel chunk of [`batched_gemm`]. Chunk boundaries
+/// may split a shared-A run; the split run just packs its A block twice,
+/// which is cheaper than materializing run boundaries up front.
+const CHUNK_FLOPS: usize = 1 << 21;
 
 /// Sequential execution of the same batch; the oracle for tests and the
 /// fallback used when the caller is already inside a parallel region.
@@ -230,6 +300,44 @@ mod tests {
         let b = vec![0.0; 4];
         let mut c = vec![0.0; 8];
         batched_gemm(&batch, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn shared_a_runs_take_packed_path() {
+        // Shapes above the packing cutoff with contiguous shared-A runs of
+        // varying length exercise the pack-once-per-group path against the
+        // sequential oracle.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, n, k) = (32, 128, 64); // m*n*k = 2^18 >= PACK_CUTOFF
+        let num_a = 3;
+        let count = 10;
+        let a_arena = rand_vec(m * k * num_a, &mut rng);
+        let b_arena = rand_vec(k * n * count, &mut rng);
+        let mut batch = GemmBatch::new(m, n, k);
+        // runs of length 4, 5, 1 over the three A blocks
+        for (i, &a_idx) in [0, 0, 0, 0, 1, 1, 1, 1, 1, 2].iter().enumerate() {
+            batch.push(a_idx * m * k, i * k * n, i * m * n);
+        }
+        let mut c_par = vec![0.0; m * n * count];
+        let mut c_seq = vec![0.0; m * n * count];
+        batched_gemm(&batch, &a_arena, &b_arena, &mut c_par);
+        batched_gemm_seq(&batch, &a_arena, &b_arena, &mut c_seq);
+        for (i, (x, y)) in c_par.iter().zip(&c_seq).enumerate() {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reset_keeps_task_capacity() {
+        let mut batch = GemmBatch::new(2, 2, 2);
+        for i in 0..100 {
+            batch.push(0, 0, i * 4);
+        }
+        let cap = batch.tasks.capacity();
+        batch.reset(3, 4, 5);
+        assert_eq!((batch.m, batch.n, batch.k), (3, 4, 5));
+        assert!(batch.is_empty());
+        assert_eq!(batch.tasks.capacity(), cap);
     }
 
     #[test]

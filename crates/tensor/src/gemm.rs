@@ -1,18 +1,26 @@
 //! GEMM kernels.
 //!
 //! The Eff-TT forward/backward passes are sequences of small dense
-//! matrix products. Three entry points are provided:
+//! matrix products, while the DLRM MLPs run a few large ones. The entry
+//! points:
 //!
 //! * [`gemm_ref`] — textbook triple loop, the correctness oracle;
-//! * [`gemm`] — cache-blocked sequential kernel with a column-tiled inner
-//!   micro-kernel (the workhorse for the small TT-slice products);
-//! * [`par_gemm`] — rayon row-parallel wrapper for the larger MLP layers.
+//! * [`gemm_nn`] — shape-dispatching sequential kernel: small products run
+//!   the L1-friendly axpy loop ([`gemm_nn_axpy`]), large ones the packed
+//!   register-blocked micro-kernel in [`crate::micro`];
+//! * [`gemm`] — adds transpose flags; transposed operands are absorbed by
+//!   the packing strides, never materialized;
+//! * [`par_gemm`] — rayon row-parallel wrapper with flop-sized bands for
+//!   the larger MLP layers.
 //!
 //! All kernels compute `C = alpha * op(A) * op(B) + beta * C` on row-major
 //! slices, mirroring the BLAS `sgemm` contract closely enough that the
-//! higher layers read like their CUDA counterparts.
+//! higher layers read like their CUDA counterparts. In particular `beta ==
+//! 0` overwrites `C` (NaN-safe) and zero operand entries still propagate
+//! NaN/Inf from the other operand — no value-dependent shortcuts.
 
 use crate::matrix::Matrix;
+use crate::micro::{self, Layout};
 use rayon::prelude::*;
 
 /// Transpose flag for a GEMM operand.
@@ -27,7 +35,7 @@ pub enum Trans {
 /// Reference GEMM: `C = alpha * op(A) * op(B) + beta * C`.
 ///
 /// `a` is `m x k` after `ta`, `b` is `k x n` after `tb`, `c` is `m x n`.
-/// Used as the oracle in tests and for tiny shapes.
+/// Used as the oracle in tests and for tiny transposed shapes.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_ref(
     m: usize,
@@ -69,21 +77,56 @@ pub fn gemm_ref(
     }
 }
 
-/// Panel width of the blocked kernel. 64 f32 = one cache line quadruple;
+/// Panel width of the axpy kernel. 64 f32 = one cache line quadruple;
 /// benchmarked as a good fit for the `n2*R2`-sized panels of TT slices.
 const NB: usize = 64;
-/// Depth blocking factor (along `k`).
+/// Depth blocking factor (along `k`) of the axpy kernel.
 const KB: usize = 128;
 
-/// Blocked sequential GEMM on row-major, non-transposed operands:
+/// `m*n*k` at which transposed operands switch from the reference loop to
+/// the packed kernel. Much lower than [`micro::PACK_CUTOFF`]: the strided
+/// reads of the reference loop are already painful at modest sizes, and
+/// packing absorbs the transpose for free.
+const TRANS_PACK_CUTOFF: usize = 1 << 12;
+
+/// Sequential GEMM on row-major, non-transposed operands:
 /// `C = alpha * A * B + beta * C`.
+///
+/// Dispatches on problem volume: at or above [`micro::PACK_CUTOFF`] the
+/// packed register-blocked kernel wins; below it the operands fit in L1
+/// and [`gemm_nn_axpy`] avoids the packing latency (the TT-slice products
+/// of the Eff-TT chain all land here).
+// BLAS-style signature: callers read it like `sgemm`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    if m * n * k >= micro::PACK_CUTOFF {
+        micro::gemm_packed(m, n, k, alpha, a, Layout::row_major(k), b, Layout::row_major(n), beta, c);
+    } else {
+        gemm_nn_axpy(m, n, k, alpha, a, b, beta, c);
+    }
+}
+
+/// Blocked axpy GEMM — the small-shape kernel (and the packed kernel's
+/// benchmark baseline).
 ///
 /// The loop order (i, p-block, j-block) streams rows of `B` from L1/L2 and
 /// keeps a row of `C` hot, which is the standard layout-friendly ordering
 /// for row-major data.
 // BLAS-style signature: callers read it like `sgemm`.
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_nn(
+pub fn gemm_nn_axpy(
     m: usize,
     n: usize,
     k: usize,
@@ -118,9 +161,6 @@ pub fn gemm_nn(
                 let jb = NB.min(n - j0);
                 for (pp, &av) in a_row[p0..p0 + pb].iter().enumerate() {
                     let scaled = alpha * av;
-                    if scaled == 0.0 {
-                        continue;
-                    }
                     let b_row = &b[(p0 + pp) * n + j0..(p0 + pp) * n + j0 + jb];
                     let c_blk = &mut c_row[j0..j0 + jb];
                     for (cv, &bv) in c_blk.iter_mut().zip(b_row) {
@@ -134,11 +174,12 @@ pub fn gemm_nn(
     }
 }
 
-/// General blocked GEMM with transpose flags.
+/// General GEMM with transpose flags.
 ///
-/// The `Trans::No/No` case dispatches to the fast [`gemm_nn`]; transposed
-/// cases materialize the transposed operand once (they only occur on the
-/// backward pass where the operand is small) and then reuse the fast path.
+/// The `Trans::No/No` case dispatches to [`gemm_nn`]. Transposed operands
+/// are consumed in place: above [`TRANS_PACK_CUTOFF`] the packed kernel
+/// absorbs the transpose into its packing strides, below it the reference
+/// loop reads through the strides directly — neither path allocates.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(
     m: usize,
@@ -152,29 +193,38 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
-    match (ta, tb) {
-        (Trans::No, Trans::No) => gemm_nn(m, n, k, alpha, a, b, beta, c),
-        (Trans::Yes, Trans::No) => {
-            let at = transpose_buf(a, k, m);
-            gemm_nn(m, n, k, alpha, &at, b, beta, c);
-        }
-        (Trans::No, Trans::Yes) => {
-            let bt = transpose_buf(b, n, k);
-            gemm_nn(m, n, k, alpha, a, &bt, beta, c);
-        }
-        (Trans::Yes, Trans::Yes) => {
-            let at = transpose_buf(a, k, m);
-            let bt = transpose_buf(b, n, k);
-            gemm_nn(m, n, k, alpha, &at, &bt, beta, c);
-        }
+    if ta == Trans::No && tb == Trans::No {
+        return gemm_nn(m, n, k, alpha, a, b, beta, c);
+    }
+    match ta {
+        Trans::No => assert_eq!(a.len(), m * k, "A must be m x k"),
+        Trans::Yes => assert_eq!(a.len(), k * m, "A^T source must be k x m"),
+    }
+    match tb {
+        Trans::No => assert_eq!(b.len(), k * n, "B must be k x n"),
+        Trans::Yes => assert_eq!(b.len(), n * k, "B^T source must be n x k"),
+    }
+    if m * n * k >= TRANS_PACK_CUTOFF {
+        let la = match ta {
+            Trans::No => Layout::row_major(k),
+            Trans::Yes => Layout::transposed(m),
+        };
+        let lb = match tb {
+            Trans::No => Layout::row_major(n),
+            Trans::Yes => Layout::transposed(k),
+        };
+        micro::gemm_packed(m, n, k, alpha, a, la, b, lb, beta, c);
+    } else {
+        gemm_ref(m, n, k, alpha, a, ta, b, tb, beta, c);
     }
 }
 
 /// Row-parallel GEMM for the large MLP products: `C = alpha*A*B + beta*C`.
 ///
-/// Rows of `C` are independent, so the matrix is split into contiguous row
-/// bands processed by rayon. Falls back to the sequential kernel when the
-/// problem is too small to amortize fork/join.
+/// Rows of `C` are split into contiguous bands sized by flops — each band
+/// carries roughly [`PAR_BAND_FLOPS`] multiply-adds, enough to amortize
+/// fork/join while leaving several chunks per worker for stealing. Falls
+/// back to the sequential kernel when the whole problem is too small.
 // BLAS-style signature: callers read it like `sgemm`.
 #[allow(clippy::too_many_arguments)]
 pub fn par_gemm(
@@ -196,7 +246,11 @@ pub fn par_gemm(
         return gemm_nn(m, n, k, alpha, a, b, beta, c);
     }
 
-    let band = (m / (rayon::current_num_threads() * 4)).max(8);
+    // Rows per band so that one band is ~PAR_BAND_FLOPS of work, capped so
+    // every worker still sees at least two chunks.
+    let by_flops = (PAR_BAND_FLOPS / (2 * n * k).max(1)).max(1);
+    let by_threads = m.div_ceil(rayon::current_num_threads() * 2).max(1);
+    let band = by_flops.min(by_threads);
     c.par_chunks_mut(band * n)
         .enumerate()
         .for_each(|(bi, c_band)| {
@@ -206,23 +260,29 @@ pub fn par_gemm(
         });
 }
 
+/// Work target per parallel band of [`par_gemm`] (multiply-adds).
+const PAR_BAND_FLOPS: usize = 1 << 22;
+
 /// Accumulates `C += A^T * B` without materializing the transpose.
 ///
 /// `a` is `p x m` (so `A^T` is `m x p`), `b` is `p x n`, `c` is `m x n`.
-/// The rank-1-update loop order streams rows of `a` and `b`, which is the
-/// layout-friendly schedule for row-major data; this is the workhorse of
-/// the TT core-gradient pass where `A^T` products dominate.
+/// Large products run the packed kernel (the transpose folds into the A
+/// packing); small ones use a rank-1-update loop that streams rows of `a`
+/// and `b`. This is the workhorse of the TT core-gradient pass where `A^T`
+/// products dominate.
 pub fn add_at_b(p: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), p * m);
     assert_eq!(b.len(), p * n);
     assert_eq!(c.len(), m * n);
+    if p * m * n >= micro::PACK_CUTOFF {
+        return micro::gemm_packed(
+            m, n, p, 1.0, a, Layout::transposed(m), b, Layout::row_major(n), 1.0, c,
+        );
+    }
     for row in 0..p {
         let a_row = &a[row * m..(row + 1) * m];
         let b_row = &b[row * n..(row + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let c_row = &mut c[i * n..(i + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += av * bv;
@@ -234,13 +294,19 @@ pub fn add_at_b(p: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
 /// Accumulates `C += A * B^T` without materializing the transpose.
 ///
 /// `a` is `m x k`, `b` is `n x k` (so `B^T` is `k x n`), `c` is `m x n`.
-/// Entries of `C` are dot products of rows of `a` and `b`, so both operands
-/// stream contiguously. Used by the backward chain pass (`dP_{t-1} +=
-/// dP_t * G_t^T`).
+/// Large products run the packed kernel (the transpose folds into the B
+/// packing); small ones compute entries of `C` as dot products of rows of
+/// `a` and `b`, so both operands stream contiguously. Used by the backward
+/// chain pass (`dP_{t-1} += dP_t * G_t^T`).
 pub fn add_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), n * k);
     assert_eq!(c.len(), m * n);
+    if m * n * k >= micro::PACK_CUTOFF {
+        return micro::gemm_packed(
+            m, n, k, 1.0, a, Layout::row_major(k), b, Layout::transposed(k), 1.0, c,
+        );
+    }
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -272,17 +338,6 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-fn transpose_buf(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    assert_eq!(src.len(), rows * cols);
-    let mut out = vec![0.0f32; src.len()];
-    for r in 0..rows {
-        for c in 0..cols {
-            out[c * rows + r] = src[r * cols + c];
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +360,7 @@ mod tests {
     #[test]
     fn blocked_matches_reference_on_odd_shapes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // spans both sides of the packing cutoff (64^3 is above it)
         for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 64, 64), (65, 63, 130), (2, 200, 2)] {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
@@ -317,23 +373,38 @@ mod tests {
     }
 
     #[test]
+    fn axpy_matches_reference_on_odd_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 64, 64), (65, 63, 130)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c_ref = rand_vec(m * n, &mut rng);
+            let mut c_axp = c_ref.clone();
+            gemm_ref(m, n, k, 0.7, &a, Trans::No, &b, Trans::No, 0.3, &mut c_ref);
+            gemm_nn_axpy(m, n, k, 0.7, &a, &b, 0.3, &mut c_axp);
+            assert_close(&c_ref, &c_axp, 1e-5);
+        }
+    }
+
+    #[test]
     fn transposed_variants_match_reference() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let (m, n, k) = (11, 7, 5);
-        for &(ta, tb) in &[
-            (Trans::Yes, Trans::No),
-            (Trans::No, Trans::Yes),
-            (Trans::Yes, Trans::Yes),
-        ] {
-            let a_len = m * k;
-            let b_len = k * n;
-            let a = rand_vec(a_len, &mut rng);
-            let b = rand_vec(b_len, &mut rng);
-            let mut c_ref = vec![0.0; m * n];
-            let mut c_fast = vec![0.0; m * n];
-            gemm_ref(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_ref);
-            gemm(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_fast);
-            assert_close(&c_ref, &c_fast, 1e-5);
+        // small shape exercises the strided reference path, large the
+        // packed path
+        for &(m, n, k) in &[(11, 7, 5), (40, 30, 20)] {
+            for &(ta, tb) in &[
+                (Trans::Yes, Trans::No),
+                (Trans::No, Trans::Yes),
+                (Trans::Yes, Trans::Yes),
+            ] {
+                let a = rand_vec(m * k, &mut rng);
+                let b = rand_vec(k * n, &mut rng);
+                let mut c_ref = vec![0.0; m * n];
+                let mut c_fast = vec![0.0; m * n];
+                gemm_ref(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_ref);
+                gemm(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_fast);
+                assert_close(&c_ref, &c_fast, 1e-5);
+            }
         }
     }
 
@@ -361,29 +432,56 @@ mod tests {
     }
 
     #[test]
+    fn zero_operand_entries_propagate_nan_and_inf() {
+        // Regression: the axpy kernel used to skip rank-1 updates whose A
+        // entry scaled to zero, silently suppressing NaN/Inf from B.
+        // IEEE-754: 0 * NaN = NaN and 0 * Inf = NaN, and BLAS performs the
+        // multiplication.
+        let a = vec![0.0f32];
+        let b = vec![f32::NAN];
+        let mut c = vec![1.0f32];
+        gemm_nn_axpy(1, 1, 1, 1.0, &a, &b, 1.0, &mut c);
+        assert!(c[0].is_nan(), "0 * NaN must poison C, got {}", c[0]);
+
+        let b = vec![f32::INFINITY];
+        let mut c = vec![1.0f32];
+        gemm_nn_axpy(1, 1, 1, 1.0, &a, &b, 1.0, &mut c);
+        assert!(c[0].is_nan(), "0 * Inf must poison C, got {}", c[0]);
+
+        // same contract for the fused accumulators
+        let mut c = vec![1.0f32];
+        add_at_b(1, 1, 1, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "add_at_b must not skip zero A entries");
+    }
+
+    #[test]
     fn add_at_b_matches_reference() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let (p, m, n) = (7, 5, 9);
-        let a = rand_vec(p * m, &mut rng);
-        let b = rand_vec(p * n, &mut rng);
-        let mut c_fast = rand_vec(m * n, &mut rng);
-        let mut c_ref = c_fast.clone();
-        add_at_b(p, m, n, &a, &b, &mut c_fast);
-        gemm_ref(m, n, p, 1.0, &a, Trans::Yes, &b, Trans::No, 1.0, &mut c_ref);
-        assert_close(&c_ref, &c_fast, 1e-5);
+        // small -> rank-1 loop; large -> packed kernel
+        for &(p, m, n) in &[(7, 5, 9), (64, 48, 64)] {
+            let a = rand_vec(p * m, &mut rng);
+            let b = rand_vec(p * n, &mut rng);
+            let mut c_fast = rand_vec(m * n, &mut rng);
+            let mut c_ref = c_fast.clone();
+            add_at_b(p, m, n, &a, &b, &mut c_fast);
+            gemm_ref(m, n, p, 1.0, &a, Trans::Yes, &b, Trans::No, 1.0, &mut c_ref);
+            assert_close(&c_ref, &c_fast, 1e-4);
+        }
     }
 
     #[test]
     fn add_a_bt_matches_reference() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let (m, n, k) = (6, 8, 5);
-        let a = rand_vec(m * k, &mut rng);
-        let b = rand_vec(n * k, &mut rng);
-        let mut c_fast = rand_vec(m * n, &mut rng);
-        let mut c_ref = c_fast.clone();
-        add_a_bt(m, n, k, &a, &b, &mut c_fast);
-        gemm_ref(m, n, k, 1.0, &a, Trans::No, &b, Trans::Yes, 1.0, &mut c_ref);
-        assert_close(&c_ref, &c_fast, 1e-5);
+        // small -> dot loop; large -> packed kernel
+        for &(m, n, k) in &[(6, 8, 5), (48, 64, 64)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(n * k, &mut rng);
+            let mut c_fast = rand_vec(m * n, &mut rng);
+            let mut c_ref = c_fast.clone();
+            add_a_bt(m, n, k, &a, &b, &mut c_fast);
+            gemm_ref(m, n, k, 1.0, &a, Trans::No, &b, Trans::Yes, 1.0, &mut c_ref);
+            assert_close(&c_ref, &c_fast, 1e-4);
+        }
     }
 
     #[test]

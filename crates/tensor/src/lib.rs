@@ -9,7 +9,10 @@
 //!
 //! * [`Matrix`] — a row-major owned `f32` matrix with the view/slicing
 //!   operations the TT kernels need,
-//! * [`gemm`] — sequential blocked and rayon-parallel GEMM kernels,
+//! * [`gemm`] — sequential and rayon-parallel GEMM entry points that
+//!   dispatch between a small-shape axpy loop and the packed kernel,
+//! * [`micro`] — the register-blocked packed (BLIS-style) GEMM
+//!   micro-kernel behind the large-shape paths,
 //! * [`batched`] — a batched-GEMM engine executing a *pointer list* of
 //!   equally-shaped small GEMMs over a thread pool (the
 //!   `cublasGemmBatchedEx` stand-in that EL-Rec's Algorithm 1 prepares
@@ -24,6 +27,7 @@
 pub mod batched;
 pub mod gemm;
 pub mod matrix;
+pub mod micro;
 pub mod shape;
 pub mod svd;
 pub mod tt;

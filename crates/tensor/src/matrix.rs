@@ -180,6 +180,18 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshapes in place to `rows x cols` with every element zeroed,
+    /// reusing the existing allocation when it is large enough. This is the
+    /// pooled-output reset of the zero-allocation training loop: after
+    /// warm-up a recycled output matrix never reallocates.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32

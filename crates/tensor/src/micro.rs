@@ -1,0 +1,539 @@
+//! Register-blocked packed GEMM micro-kernel (BLIS-style).
+//!
+//! The axpy kernel in [`crate::gemm`] streams `B` straight from memory and
+//! re-reads every `C` row once per `k`-block; past roughly 128³ it is bound
+//! by load bandwidth, not FLOPs. This module rebuilds the dense path around
+//! the classic three-loop-around-a-micro-kernel structure:
+//!
+//! * `A` is packed into **row panels** of [`MR`] rows, column-interleaved so
+//!   the micro-kernel reads it as one contiguous stream;
+//! * `B` is packed into **column panels** of [`NR`] columns, row-interleaved
+//!   the same way;
+//! * the inner [`MR`]`x`[`NR`] tile lives entirely in registers as a
+//!   fixed-size array accumulator that LLVM keeps in vector registers and —
+//!   under the AVX2+FMA feature gate — lowers to FMA instructions.
+//!
+//! Packing is parameterized by row/column **strides** ([`Layout`]), so a
+//! transposed operand costs nothing extra: the transpose is absorbed while
+//! packing instead of being materialized into a scratch matrix.
+//!
+//! Cache blocking follows BLIS: `KC x NR` slivers of packed `B` stream from
+//! L1, the `MC x KC` packed `A` block sits in L2, and the `KC x NC` packed
+//! `B` panel in L3. Pack buffers are thread-local and grow-only, so the
+//! steady-state hot path performs no heap allocation.
+
+use std::cell::RefCell;
+
+/// Rows per A panel / micro-tile. With `NR = 16` (two AVX2 vectors) the
+/// accumulator needs `6 x 2 = 12` vector registers, leaving room for two
+/// `B` loads and one `A` broadcast inside the 16-register x86-64 budget.
+pub const MR: usize = 6;
+/// Columns per B panel / micro-tile: two 8-lane f32 vectors.
+pub const NR: usize = 16;
+/// Depth of one packed block (`KC x NR` sliver = 16 KiB, half of L1d).
+pub const KC: usize = 256;
+/// Rows of one packed A block (multiple of `MR`; `MC x KC` = 120 KiB ≈ L2).
+pub const MC: usize = 120;
+/// Columns of one packed B panel (multiple of `NR`; `KC x NC` = 512 KiB).
+pub const NC: usize = 512;
+
+/// `m·n·k` at or above which packing pays for itself. Below it (notably the
+/// TT-slice products, whose `m·n·k` is a few thousand) the axpy kernel in
+/// [`crate::gemm`] wins because the operands already fit in L1.
+pub const PACK_CUTOFF: usize = 1 << 17;
+
+/// Strides describing how a logical `rows x cols` operand sits in its
+/// slice: element `(r, c)` lives at `r * rs + c * cs`.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Distance between vertically adjacent elements.
+    pub rs: usize,
+    /// Distance between horizontally adjacent elements.
+    pub cs: usize,
+}
+
+impl Layout {
+    /// Row-major storage with `cols` columns.
+    #[inline]
+    pub fn row_major(cols: usize) -> Self {
+        Layout { rs: cols, cs: 1 }
+    }
+
+    /// The logical transpose of a row-major operand with `stored_cols`
+    /// columns (i.e. the operand is consumed as `X^T` without copying).
+    #[inline]
+    pub fn transposed(stored_cols: usize) -> Self {
+        Layout { rs: 1, cs: stored_cols }
+    }
+}
+
+thread_local! {
+    static A_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static B_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Grow-only resize: reuses capacity, never shrinks, and only zero-fills
+/// bytes that have never been written (the pack routines overwrite every
+/// element they later read).
+#[inline]
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Packs the `mc x kc` block of `A` starting at `(i0, p0)` into MR-row
+/// panels: panel `pi` holds rows `i0 + pi*MR ..`, stored column by column
+/// (`buf[pi*MR*kc + p*MR + i]`). Short tail panels are zero-padded so the
+/// micro-kernel never branches on `mr`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(a: &[f32], la: Layout, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut [f32]) {
+    let mut dst = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let mr = MR.min(mc - ir);
+        let base = (i0 + ir) * la.rs + p0 * la.cs;
+        for p in 0..kc {
+            let col = base + p * la.cs;
+            for i in 0..mr {
+                buf[dst + i] = a[col + i * la.rs];
+            }
+            for i in mr..MR {
+                buf[dst + i] = 0.0;
+            }
+            dst += MR;
+        }
+        ir += MR;
+    }
+}
+
+/// Packs the `kc x nc` block of `B` starting at `(p0, j0)` into NR-column
+/// panels: panel `pj` holds columns `j0 + pj*NR ..`, stored row by row
+/// (`buf[pj*NR*kc + p*NR + j]`), zero-padded on the column tail.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(b: &[f32], lb: Layout, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f32]) {
+    let mut dst = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let nr = NR.min(nc - jr);
+        let base = p0 * lb.rs + (j0 + jr) * lb.cs;
+        for p in 0..kc {
+            let row = base + p * lb.rs;
+            for j in 0..nr {
+                buf[dst + j] = b[row + j * lb.cs];
+            }
+            for j in nr..NR {
+                buf[dst + j] = 0.0;
+            }
+            dst += NR;
+        }
+        jr += NR;
+    }
+}
+
+/// The register tile: `acc[i][j] += A_panel[p][i] * B_panel[p][j]` over the
+/// packed `kc` depth. `FMA` selects `mul_add` (a single vfmadd under the
+/// AVX2+FMA target feature) versus the portable mul-then-add form — calling
+/// `mul_add` without hardware FMA would fall back to a libm routine.
+#[inline(always)]
+fn ukr_body<const FMA: bool>(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let ap: &[f32; MR] = a[p * MR..p * MR + MR].try_into().unwrap();
+        let bp: &[f32; NR] = b[p * NR..p * NR + NR].try_into().unwrap();
+        for i in 0..MR {
+            let av = ap[i];
+            for j in 0..NR {
+                acc[i][j] = if FMA { av.mul_add(bp[j], acc[i][j]) } else { av * bp[j] + acc[i][j] };
+            }
+        }
+    }
+}
+
+/// AVX2+FMA monomorphization of the micro-kernel.
+///
+/// # Safety
+/// The caller must have verified AVX2 and FMA support at runtime.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn ukr_fma(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    ukr_body::<true>(kc, a, b, acc);
+}
+
+/// Portable micro-kernel (auto-vectorized with whatever the baseline
+/// target features allow).
+fn ukr_portable(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    ukr_body::<false>(kc, a, b, acc);
+}
+
+/// One-time runtime dispatch: true when the AVX2+FMA micro-kernel is safe
+/// to call on this machine.
+fn use_fma() -> bool {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let ok = std::is_x86_feature_detected!("avx2")
+                    && std::is_x86_feature_detected!("fma");
+                STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+#[inline]
+fn run_ukr(fma: bool, kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    if fma {
+        // SAFETY: `fma` is only true when use_fma() detected AVX2+FMA.
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        unsafe {
+            ukr_fma(kc, a, b, acc);
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        ukr_portable(kc, a, b, acc);
+    } else {
+        ukr_portable(kc, a, b, acc);
+    }
+}
+
+/// Spills the register tile into `C` (row-major, leading dimension `ldc`)
+/// at `(row0, col0)`, applying `alpha`/`beta` BLAS-style: `beta == 0`
+/// overwrites unconditionally (NaN-safe), `beta == 1` accumulates.
+#[allow(clippy::too_many_arguments)]
+fn write_tile(
+    acc: &[[f32; NR]; MR],
+    mr: usize,
+    nr: usize,
+    alpha: f32,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+) {
+    for (i, arow) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(row0 + i) * ldc + col0..][..nr];
+        if beta == 0.0 {
+            for (cv, &av) in crow.iter_mut().zip(arow) {
+                *cv = alpha * av;
+            }
+        } else if beta == 1.0 {
+            for (cv, &av) in crow.iter_mut().zip(arow) {
+                *cv += alpha * av;
+            }
+        } else {
+            for (cv, &av) in crow.iter_mut().zip(arow) {
+                *cv = alpha * av + beta * *cv;
+            }
+        }
+    }
+}
+
+/// `C *= beta` with BLAS semantics (`beta == 0` overwrites NaN).
+fn scale_c(beta: f32, c: &mut [f32]) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
+/// Packed GEMM: `C = alpha * A * B + beta * C` where `A` is a logical
+/// `m x k` operand described by `la`, `B` a logical `k x n` operand
+/// described by `lb`, and `C` is row-major `m x n`.
+///
+/// Transposed operands are handled by their [`Layout`] — packing reads
+/// through the strides, so no transpose is ever materialized. Degenerate
+/// shapes (`m`, `n` or `k` of 0) follow the BLAS contract.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        scale_c(beta, c);
+        return;
+    }
+    let fma = use_fma();
+    A_PACK.with(|ac| {
+        B_PACK.with(|bc| {
+            let a_buf = &mut *ac.borrow_mut();
+            let b_buf = &mut *bc.borrow_mut();
+            let mut jc = 0;
+            while jc < n {
+                let nc = NC.min(n - jc);
+                let nc_panels = nc.div_ceil(NR);
+                let mut pc = 0;
+                while pc < k {
+                    let kc = KC.min(k - pc);
+                    // beta applies once, on the first depth block; later
+                    // blocks accumulate.
+                    let beta_eff = if pc == 0 { beta } else { 1.0 };
+                    let b_need = nc_panels * NR * kc;
+                    ensure_len(b_buf, b_need);
+                    pack_b(b, lb, pc, kc, jc, nc, &mut b_buf[..b_need]);
+                    let mut ic = 0;
+                    while ic < m {
+                        let mc = MC.min(m - ic);
+                        let mc_panels = mc.div_ceil(MR);
+                        let a_need = mc_panels * MR * kc;
+                        ensure_len(a_buf, a_need);
+                        pack_a(a, la, ic, mc, pc, kc, &mut a_buf[..a_need]);
+                        macro_kernel(
+                            mc, nc, kc, alpha, beta_eff, &a_buf[..a_need], &b_buf[..b_need], c,
+                            n, ic, jc, fma,
+                        );
+                        ic += mc;
+                    }
+                    pc += kc;
+                }
+                jc += nc;
+            }
+        });
+    });
+}
+
+/// Drives the micro-kernel over one packed `mc x kc` A block and one packed
+/// `kc x nc` B panel, writing the `mc x nc` result block of `C` at
+/// `(row0, col0)`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f32,
+    beta: f32,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    fma: bool,
+) {
+    let mc_panels = mc.div_ceil(MR);
+    let nc_panels = nc.div_ceil(NR);
+    for pj in 0..nc_panels {
+        let jr = pj * NR;
+        let nr = NR.min(nc - jr);
+        let b_panel = &b_pack[pj * NR * kc..][..NR * kc];
+        for pi in 0..mc_panels {
+            let ir = pi * MR;
+            let mr = MR.min(mc - ir);
+            let a_panel = &a_pack[pi * MR * kc..][..MR * kc];
+            let mut acc = [[0.0f32; NR]; MR];
+            run_ukr(fma, kc, a_panel, b_panel, &mut acc);
+            write_tile(&acc, mr, nr, alpha, beta, c, ldc, row0 + ir, col0 + jr);
+        }
+    }
+}
+
+/// Packs an entire `m x k` A operand (requires `k <= KC`) into the
+/// thread-local A buffer and hands the packed panels to `f`.
+///
+/// This is the batched-GEMM reuse hook: when many tasks share one A block
+/// (the Eff-TT chain, where every child of a slot multiplies the same
+/// partial product), the block is packed once per group instead of once per
+/// task.
+pub fn with_packed_a<R>(
+    m: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    f: impl FnOnce(&[f32]) -> R,
+) -> R {
+    assert!(k <= KC, "shared-A packing requires k <= KC");
+    let need = m.div_ceil(MR) * MR * k;
+    A_PACK.with(|ac| {
+        let buf = &mut *ac.borrow_mut();
+        ensure_len(buf, need);
+        pack_a(a, la, 0, m, 0, k, &mut buf[..need]);
+        f(&buf[..need])
+    })
+}
+
+/// `C = alpha * A * B + beta * C` with `A` already packed by
+/// [`with_packed_a`] (so `k <= KC` and the whole depth is one block).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_a(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a_pack: &[f32],
+    b: &[f32],
+    lb: Layout,
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(k <= KC, "prepacked-A products require k <= KC");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    assert_eq!(a_pack.len(), m.div_ceil(MR) * MR * k, "A pack length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        scale_c(beta, c);
+        return;
+    }
+    let fma = use_fma();
+    B_PACK.with(|bc| {
+        let b_buf = &mut *bc.borrow_mut();
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let nc_panels = nc.div_ceil(NR);
+            let b_need = nc_panels * NR * k;
+            ensure_len(b_buf, b_need);
+            pack_b(b, lb, 0, k, jc, nc, &mut b_buf[..b_need]);
+            macro_kernel(m, nc, k, alpha, beta, a_pack, &b_buf[..b_need], c, n, 0, jc, fma);
+            jc += nc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_ref, Trans};
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matches_reference_across_tile_remainders() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        // shapes probing every edge: sub-tile, exact tiles, MR/NR/KC
+        // remainders, and multi-block m/n/k
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, KC + 1),
+            (MC, NC, KC),
+            (MC + 5, NC + 9, KC + 17),
+            (3, 300, 2),
+            (130, 70, 300),
+        ] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c_ref = rand_vec(m * n, &mut rng);
+            let mut c_pck = c_ref.clone();
+            gemm_ref(m, n, k, 0.9, &a, Trans::No, &b, Trans::No, 0.4, &mut c_ref);
+            gemm_packed(
+                m, n, k, 0.9, &a, Layout::row_major(k), &b, Layout::row_major(n), 0.4,
+                &mut c_pck,
+            );
+            assert_close(&c_ref, &c_pck, 1e-4);
+        }
+    }
+
+    #[test]
+    fn strided_layouts_absorb_transposes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (m, n, k) = (37, 29, 23);
+        for &(ta, tb) in &[
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let la = match ta {
+                Trans::No => Layout::row_major(k),
+                Trans::Yes => Layout::transposed(m),
+            };
+            let lb = match tb {
+                Trans::No => Layout::row_major(n),
+                Trans::Yes => Layout::transposed(k),
+            };
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_pck = vec![0.0; m * n];
+            gemm_ref(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c_ref);
+            gemm_packed(m, n, k, 1.0, &a, la, &b, lb, 0.0, &mut c_pck);
+            assert_close(&c_ref, &c_pck, 1e-4);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_follow_blas_contract() {
+        // m == 0 / n == 0: no-op; k == 0: C = beta * C with NaN-safe beta=0.
+        let mut c: Vec<f32> = vec![];
+        gemm_packed(0, 5, 3, 1.0, &[], Layout::row_major(3), &[0.0; 15], Layout::row_major(5), 0.0, &mut c);
+        let mut c = vec![f32::NAN; 6];
+        gemm_packed(2, 3, 0, 1.0, &[], Layout::row_major(0), &[], Layout::row_major(3), 0.0, &mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+        let mut c = vec![2.0; 6];
+        gemm_packed(2, 3, 0, 1.0, &[], Layout::row_major(0), &[], Layout::row_major(3), 0.5, &mut c);
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_poison() {
+        let (m, n, k) = (MR + 2, NR + 3, 9);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let mut c = vec![f32::NAN; m * n];
+        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b, Layout::row_major(n), 0.0, &mut c);
+        assert!(c.iter().all(|&x| (x - k as f32).abs() < 1e-5));
+    }
+
+    #[test]
+    fn prepacked_a_matches_full_packed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let (m, n, k) = (11, 600, 40);
+        let a = rand_vec(m * k, &mut rng);
+        let b1 = rand_vec(k * n, &mut rng);
+        let b2 = rand_vec(k * n, &mut rng);
+        let mut c_full = vec![0.0; m * n];
+        let mut c_pre1 = vec![0.0; m * n];
+        let mut c_pre2 = vec![0.0; m * n];
+        with_packed_a(m, k, &a, Layout::row_major(k), |apack| {
+            gemm_prepacked_a(m, n, k, 1.0, apack, &b1, Layout::row_major(n), 0.0, &mut c_pre1);
+            gemm_prepacked_a(m, n, k, 1.0, apack, &b2, Layout::row_major(n), 0.0, &mut c_pre2);
+        });
+        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b1, Layout::row_major(n), 0.0, &mut c_full);
+        assert_close(&c_full, &c_pre1, 1e-5);
+        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b2, Layout::row_major(n), 0.0, &mut c_full);
+        assert_close(&c_full, &c_pre2, 1e-5);
+    }
+
+    #[test]
+    fn block_constants_are_tile_aligned() {
+        assert_eq!(MC % MR, 0, "MC must hold whole A panels");
+        assert_eq!(NC % NR, 0, "NC must hold whole B panels");
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the `crossbeam::channel` API slice this workspace
+//! uses, layered over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Bounded MPSC sender (std's `SyncSender` under crossbeam's name).
+    pub type Sender<T> = mpsc::SyncSender<T>;
+    /// Receiver end of a bounded channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        mpsc::sync_channel(cap)
+    }
+
+    /// Creates an unbounded channel (std's asynchronous channel has an
+    /// unbounded buffer, but a different sender type than [`Sender`];
+    /// exposed under a distinct name to keep types honest).
+    pub fn unbounded<T>() -> (mpsc::Sender<T>, Receiver<T>) {
+        mpsc::channel()
+    }
+
+    /// Receives with a timeout (convenience mirror of crossbeam's
+    /// `recv_timeout`).
+    pub fn recv_timeout<T>(rx: &Receiver<T>, d: Duration) -> Result<T, RecvTimeoutError> {
+        rx.recv_timeout(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn senders_are_cloneable() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.iter().count(), 2);
+    }
+}

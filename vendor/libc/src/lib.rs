@@ -1,0 +1,58 @@
+//! Offline stand-in for the `libc` FFI slice this workspace uses: the
+//! `clock_gettime` entry point behind the device cost model's
+//! per-thread CPU-time measurement.
+
+#![allow(non_camel_case_types)]
+
+/// C `time_t`.
+pub type time_t = i64;
+/// C `long` on LP64 Linux.
+pub type c_long = i64;
+/// C `int`.
+pub type c_int = i32;
+/// `clockid_t` for `clock_gettime`.
+pub type clockid_t = c_int;
+
+/// C `struct timespec`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+/// Per-thread CPU-time clock id (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+/// Monotonic clock id (Linux value).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_advances() {
+        let mut a = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
+        assert_eq!(rc, 0);
+        // burn a little CPU so the clock must advance
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let mut b = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
+        assert_eq!(rc, 0);
+        let ns_a = a.tv_sec as i128 * 1_000_000_000 + a.tv_nsec as i128;
+        let ns_b = b.tv_sec as i128 * 1_000_000_000 + b.tv_nsec as i128;
+        assert!(ns_b > ns_a, "thread CPU clock did not advance");
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rand_distr 0.4` API slice this workspace
+//! uses: the [`Distribution`] trait and the [`Zipf`] distribution.
+
+use rand::Rng;
+
+/// Parameterized distribution producing samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Zipf parameters")
+    }
+}
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`.
+///
+/// Sampling rejects from the continuous majorizer `f(x) = min(1, x^-s)`
+/// with rank `k = floor(x) + 1` (Devroye's construction): the majorizer
+/// mass over `[k-1, k)` dominates `k^-s`, needs no per-instance tables,
+/// and is O(1) expected time for any cardinality — the property the
+/// synthetic dataset generator relies on for multi-million-row tables.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// `1 - s`; the integral of `x^-s` switches form at `q == 0`.
+    q: F,
+    /// Total majorizer mass `1 + integral_1^n x^-s dx`.
+    t: F,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n < 1 || !(s > 0.0) || !s.is_finite() {
+            return Err(ZipfError);
+        }
+        let n = n as f64;
+        let q = 1.0 - s;
+        let t = if q.abs() < 1e-12 { 1.0 + n.ln() } else { 1.0 + (n.powf(q) - 1.0) / q };
+        Ok(Self { n, s, q, t })
+    }
+
+    /// Inverse of the (unnormalized) majorizer CDF
+    /// `H(x) = x` for `x <= 1`, `1 + (x^q - 1)/q` beyond.
+    fn inv_cdf(&self, mass: f64) -> f64 {
+        if mass <= 1.0 {
+            mass
+        } else if self.q.abs() < 1e-12 {
+            (mass - 1.0).exp()
+        } else {
+            (1.0 + self.q * (mass - 1.0)).powf(1.0 / self.q)
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u = rng.gen_range(0.0f64..1.0);
+            let x = self.inv_cdf(u * self.t).min(self.n);
+            let k = (x.floor() + 1.0).min(self.n);
+            // ratio = P(k) / majorizer(x): 1 when x <= 1 (k == 1), else
+            // (k/x)^-s <= 1 because x < k.
+            let ratio = if x <= 1.0 { 1.0 } else { (x / k).powf(self.s) };
+            if rng.gen_range(0.0f64..1.0) <= ratio {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 1.1).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        for &(n, s) in &[(1u64, 1.0f64), (50, 1.1), (7, 0.6)] {
+            let z = Zipf::new(n, s).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..5000 {
+                let v = z.sample(&mut rng);
+                assert!((1.0..=n as f64).contains(&v), "sample {v} for n={n}");
+                assert_eq!(v, v.floor());
+            }
+        }
+    }
+
+    #[test]
+    fn frequencies_match_zipf_mass() {
+        let (n, s) = (100u64, 1.2f64);
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws = 200_000;
+        let mut counts = vec![0u32; n as usize + 1];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for k in [1u64, 2, 3, 10] {
+            let want = (k as f64).powf(-s) / norm;
+            let got = counts[k as usize] as f64 / draws as f64;
+            assert!(
+                (got - want).abs() < 0.1 * want + 0.002,
+                "P({k}): got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_exponent_works() {
+        // s == 1 hits the logarithmic branch of the majorizer.
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline **sequential** stand-in for the slice of the `rayon` API this
+//! workspace uses.
+//!
+//! Every `par_*` entry point returns a thin wrapper around the
+//! corresponding `std` iterator and executes on the calling thread. The
+//! kernels in this repo are written so that parallel execution is an
+//! optimization, never a semantic requirement (outputs are always
+//! write-disjoint), so the sequential shim is behavior-identical. On the
+//! single-core containers this repo is grown in it is also
+//! performance-identical, while keeping the call sites ready for the real
+//! rayon when the registry is reachable.
+
+/// Number of worker threads (always 1: the shim runs inline).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures (sequentially) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential "parallel" iterator: a transparent wrapper adding the
+/// rayon-specific combinators (`with_min_len`, …) to a std iterator.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    /// Chunking hint — a no-op for the sequential shim.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Chunking hint — a no-op for the sequential shim.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// See [`Iterator::enumerate`].
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// See [`Iterator::map`].
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// See [`Iterator::filter`].
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Zips with anything convertible to a (sequential) parallel iterator.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Consumes the iterator, applying `f` to each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Folds sequentially (rayon's reduce with an identity).
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// Conversion into a (sequential) parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Underlying std iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Performs the conversion.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for Par<I> {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+macro_rules! impl_into_par_for_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = std::ops::Range<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+    )*};
+}
+impl_into_par_for_range!(u32, u64, usize, i32, i64);
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `par_iter` / `par_iter_mut` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item;
+    /// Underlying std iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut` on mutably borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (a mutable reference).
+    type Item;
+    /// Underlying std iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// Chunked views of slices (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// See `[T]::chunks`.
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    /// See `[T]::windows`.
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(size))
+    }
+}
+
+/// Chunked mutable views of slices (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// See `[T]::chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_mutation_matches_sequential() {
+        let mut v: Vec<u32> = (0..17).collect();
+        v.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += 100 * i as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[4], 104);
+        assert_eq!(v[16], 416);
+    }
+
+    #[test]
+    fn zip_and_collect_work() {
+        let a = vec![1, 2, 3];
+        let out: Vec<i32> = a.par_iter().zip(vec![10, 20, 30]).map(|(x, y)| x + y).collect();
+        assert_eq!(out, vec![11, 22, 33]);
+        let sum: u64 = (0u64..5).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

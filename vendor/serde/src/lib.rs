@@ -1,0 +1,281 @@
+//! Offline stand-in for the `serde` API slice this workspace uses.
+//!
+//! Instead of real serde's zero-copy visitor architecture, this shim models
+//! serialization as conversion to/from a [`Value`] tree (the same model
+//! `serde_json::Value` uses). The derive macros in `serde_derive` generate
+//! `to_value`/`from_value` impls; `serde_json` prints and parses the tree.
+//! The data model matches serde's JSON encoding conventions (externally
+//! tagged enums, maps for named-field structs), so checkpoints written by
+//! this shim parse under real serde and vice versa.
+
+use std::fmt;
+
+/// A self-describing value tree (the serde data model, JSON-shaped).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64` or is
+    /// naturally unsigned).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map accessor.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence accessor.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor with integer coercion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a struct field (used by generated code).
+pub fn field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---- primitive impls --------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x)
+                        .map_err(|_| Error::custom("unsigned value out of i64 range"))?,
+                    Value::F64(x) if x.fract() == 0.0 => x as i64,
+                    _ => return Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: u64 = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) => u64::try_from(x)
+                        .map_err(|_| Error::custom("negative value for unsigned field"))?,
+                    Value::F64(x) if x.fract() == 0.0 && x >= 0.0 => x as u64,
+                    _ => return Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| Error::custom("expected number for f32"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip_and_coercion() {
+        let v = 42u32.to_value();
+        assert_eq!(v, Value::U64(42));
+        assert_eq!(i64::from_value(&v).unwrap(), 42);
+        assert!(u8::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+    }
+
+    #[test]
+    fn float_round_trip_is_exact_for_f32() {
+        let x = 0.1f32;
+        assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1.0f32, 2.0, 3.0].to_value();
+        assert_eq!(Vec::<f32>::from_value(&v).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(7)).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let m = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(field::<u32>(&m, "a").unwrap(), 1);
+        assert!(field::<u32>(&m, "b").is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Derive macros for the vendored serde shim, written against raw
+//! `proc_macro` token streams (the container has no syn/quote).
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//! non-generic structs with named fields, and non-generic enums with unit,
+//! newtype/tuple, and struct variants. The only recognized field attribute
+//! is `#[serde(skip)]` (omit on serialize, `Default::default()` on
+//! deserialize). Anything else panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// True for a `#[serde(...)]` attribute group containing the ident `skip`.
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner.stream().into_iter().any(|t| {
+            matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")
+        }),
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` attributes starting at `i`, noting `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, skip_flag: &mut bool) -> usize {
+    while i + 1 < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let TokenTree::Group(g) = &toks[i + 1] {
+                    if attr_is_serde_skip(g) {
+                        *skip_flag = true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Consumes a type (or any token run) up to a top-level `,`, tracking
+/// angle-bracket depth. Returns the index just past the comma (or the end).
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a `{ name: Type, ... }` named-field body.
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut skip = false;
+        i = skip_attrs(&toks, i, &mut skip);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive shim: expected `:` after field `{name}` (tuple structs are unsupported)"),
+        }
+        i = skip_to_comma(&toks, i);
+        out.push(Field { name, skip });
+    }
+    out
+}
+
+/// Counts elements of a tuple-variant `( ... )` body.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        n += 1;
+        i = skip_to_comma(&toks, i);
+    }
+    n
+}
+
+/// Parses an enum `{ Variant, Variant(T), Variant { f: T } }` body.
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut skip = false;
+        i = skip_attrs(&toks, i, &mut skip);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let kind = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_named_fields(g));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip a possible discriminant, then the separating comma
+        i = skip_to_comma(&toks, i);
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+/// Parses the derive input into the supported shape, or panics.
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut unused = false;
+    i = skip_attrs(&toks, i, &mut unused);
+    i = skip_vis(&toks, i);
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found `{other:?}`"),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found `{other:?}`"),
+    };
+    i += 1;
+    let body = match &toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is unsupported")
+        }
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (found {other:?}); \
+             tuple/unit structs are unsupported"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct { name, fields: parse_named_fields(&body) },
+        "enum" => Input::Enum { name, variants: parse_variants(&body) },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __m: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {body}\
+                         serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vn}(__f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = tuple_binders(*n);
+                        let elems = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Seq(vec![{elems}]))]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__fm.push((\"{0}\".to_string(), serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        let silence = fields
+                            .iter()
+                            .filter(|f| f.skip)
+                            .map(|f| format!("let _ = {};\n", f.name))
+                            .collect::<String>();
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {pat} }} => {{\n\
+                                 let mut __fm: Vec<(String, serde::Value)> = Vec::new();\n\
+                                 {silence}{pushes}\
+                                 serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(__fm))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{0}: serde::field(__m, \"{0}\")?,\n", f.name));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         let __m = match __v {{\n\
+                             serde::Value::Map(m) => m,\n\
+                             _ => return Err(serde::Error::custom(\"{name}: expected map\")),\n\
+                         }};\n\
+                         Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok(Self::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok(Self::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __s = match __inner {{\n\
+                                     serde::Value::Seq(s) if s.len() == {n} => s,\n\
+                                     _ => return Err(serde::Error::custom(\"{name}::{vn}: expected {n}-element sequence\")),\n\
+                                 }};\n\
+                                 Ok(Self::{vn}({elems}))\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: serde::field(__f, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __f = match __inner {{\n\
+                                     serde::Value::Map(f) => f,\n\
+                                     _ => return Err(serde::Error::custom(\"{name}::{vn}: expected map\")),\n\
+                                 }};\n\
+                                 Ok(Self::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            let mut outer_arms = String::new();
+            if !unit_arms.is_empty() {
+                outer_arms.push_str(&format!(
+                    "serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                     }},\n"
+                ));
+            }
+            if !data_arms.is_empty() {
+                outer_arms.push_str(&format!(
+                    "serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __inner) = (&__m[0].0, &__m[0].1);\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             other => Err(serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             {outer_arms}\
+                             _ => Err(serde::Error::custom(\"{name}: bad enum encoding\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for the `serde_json` API slice this workspace uses:
+//! JSON printing/parsing over the vendored serde shim's [`Value`] tree.
+//!
+//! Follows real serde_json's conventions where they matter for round trips:
+//! non-finite floats serialize as `null`; numbers parse back as the
+//! narrowest of i64/u64/f64; floats print via Rust's shortest round-trip
+//! `Display`, so `f32 -> f64 -> text -> f64 -> f32` is exact.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// JSON serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- printing ---------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `Display` for f64 is the shortest round-trip decimal form
+                // (and never scientific notation), so this is valid JSON.
+                let s = x.to_string();
+                out.push_str(&s);
+                // bare integers like `1` must stay floats on reparse only if
+                // the consumer asks for floats; serde's numeric coercion
+                // already handles that, so no ".0" suffix is needed.
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes a value to a JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes a value as JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    w.write_all(s.as_bytes()).map_err(|e| Error::msg(format!("io error: {e}")))
+}
+
+// ---- parsing ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, m: impl fmt::Display) -> Error {
+        Error::msg(format!("{m} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected byte `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input came from &str, so the
+                    // boundary math is safe)
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a JSON string into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Parses JSON from a reader into a typed value.
+pub fn from_reader<R: Read, T: Deserialize>(mut r: R) -> Result<T> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf).map_err(|e| Error::msg(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+/// Parses a JSON string into an untyped [`Value`].
+pub fn value_from_str(s: &str) -> Result<Value> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(from_str::<i32>("-3").unwrap(), -3);
+        assert_eq!(from_str::<f32>("0.25").unwrap(), 0.25);
+        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+    }
+
+    #[test]
+    fn f32_text_round_trip_is_exact() {
+        for &x in &[0.1f32, 1.0e-7, 3.4e38, -1.25, 7.0] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f32>(&s).unwrap(), x, "via {s}");
+        }
+    }
+
+    #[test]
+    fn nested_value_round_trip() {
+        // numbers that fit i64 reparse as I64; only above-i64 stays U64
+        let v = Value::Map(vec![
+            ("xs".to_string(), Value::Seq(vec![Value::I64(1), Value::F64(2.5)])),
+            ("big".to_string(), Value::U64(u64::MAX)),
+            ("s".to_string(), Value::Str("a\"b\\c\n\u{1f600}".to_string())),
+            ("none".to_string(), Value::Null),
+        ]);
+        let mut s = String::new();
+        write_value(&mut s, &v);
+        assert_eq!(value_from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u0041\\ud83d\\ude00\"").unwrap(), "A\u{1f600}");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert!(from_str::<f32>("null").is_err());
+        assert_eq!(from_str::<Option<f32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}
