@@ -1,6 +1,6 @@
 //! Fully-connected layer with explicit-cache backward.
 
-use el_tensor::gemm::{add_at_b, gemm, par_gemm, Trans};
+use el_tensor::gemm::{add_at_b, par_gemm, par_gemm_bt};
 use el_tensor::Matrix;
 use rand::Rng;
 
@@ -44,20 +44,10 @@ impl Linear {
         assert_eq!(x.cols(), self.in_dim(), "input dim mismatch");
         let (b, o, i) = (x.rows(), self.out_dim(), self.in_dim());
         let mut y = Matrix::zeros(b, o);
-        // y = x (b x i) * W^T (i x o): the packed kernel absorbs the
-        // transpose into its B-panel packing, so W is read in place.
-        gemm(
-            b,
-            o,
-            i,
-            1.0,
-            x.as_slice(),
-            Trans::No,
-            self.weight.as_slice(),
-            Trans::Yes,
-            0.0,
-            y.as_mut_slice(),
-        );
+        // y = x (b x i) * W^T (i x o): batch rows band out across the
+        // pool while the packed kernel absorbs the transpose into its
+        // B-panel packing, so W is read in place by every band.
+        par_gemm_bt(b, o, i, 1.0, x.as_slice(), self.weight.as_slice(), 0.0, y.as_mut_slice());
         let bias = &self.bias;
         for row in 0..b {
             let dst = &mut y.as_mut_slice()[row * o..(row + 1) * o];

@@ -263,6 +263,56 @@ pub fn par_gemm(
 /// Work target per parallel band of [`par_gemm`] (multiply-adds).
 const PAR_BAND_FLOPS: usize = 1 << 22;
 
+/// Row-parallel `C = alpha*A*B^T + beta*C` with `B` stored `n x k`
+/// row-major (the PyTorch `Linear` weight layout).
+///
+/// Bands of `C` rows run the transpose-absorbing packed kernel, so `B` is
+/// read in place by every band while the batch dimension fans out across
+/// the pool. Falls back to the sequential [`gemm`] path when the problem
+/// is too small to amortize dispatch.
+// BLAS-style signature: callers read it like `sgemm`.
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm_bt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+
+    if m * n * k < 1 << 20 {
+        return gemm(m, n, k, alpha, a, Trans::No, b, Trans::Yes, beta, c);
+    }
+
+    let by_flops = (PAR_BAND_FLOPS / (2 * n * k).max(1)).max(1);
+    let by_threads = m.div_ceil(rayon::current_num_threads() * 2).max(1);
+    let band = by_flops.min(by_threads);
+    c.par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(bi, c_band)| {
+            let row0 = bi * band;
+            let rows = c_band.len() / n;
+            gemm(
+                rows,
+                n,
+                k,
+                alpha,
+                &a[row0 * k..(row0 + rows) * k],
+                Trans::No,
+                b,
+                Trans::Yes,
+                beta,
+                c_band,
+            );
+        });
+}
+
 /// Accumulates `C += A^T * B` without materializing the transpose.
 ///
 /// `a` is `p x m` (so `A^T` is `m x p`), `b` is `p x n`, `c` is `m x n`.
@@ -419,6 +469,21 @@ mod tests {
         gemm_nn(m, n, k, 1.0, &a, &b, 0.0, &mut c_seq);
         par_gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c_par);
         assert_close(&c_seq, &c_par, 1e-5);
+    }
+
+    #[test]
+    fn par_gemm_bt_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        // Small shape takes the sequential fallback, large the banded path.
+        for &(m, n, k) in &[(9, 13, 7), (192, 80, 128)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(n * k, &mut rng); // n x k row-major, used as B^T
+            let mut c_ref = vec![0.5; m * n];
+            let mut c_par = vec![0.5; m * n];
+            gemm_ref(m, n, k, 1.5, &a, Trans::No, &b, Trans::Yes, 2.0, &mut c_ref);
+            par_gemm_bt(m, n, k, 1.5, &a, &b, 2.0, &mut c_par);
+            assert_close(&c_ref, &c_par, 1e-4);
+        }
     }
 
     #[test]

@@ -70,6 +70,10 @@ impl Layout {
 thread_local! {
     static A_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static B_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Dedicated buffer for `with_packed_a`: its borrow spans the caller's
+    // closure, so it must not be shared with the per-call `A_PACK` that
+    // `gemm_packed` borrows internally.
+    static A_SHARED_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Grow-only resize: reuses capacity, never shrinks, and only zero-fills
@@ -357,6 +361,13 @@ fn macro_kernel(
 /// (the Eff-TT chain, where every child of a slot multiplies the same
 /// partial product), the block is packed once per group instead of once per
 /// task.
+///
+/// The closure may freely call [`gemm_prepacked_a`], [`gemm_packed`] or
+/// [`gemm_nn`](crate::gemm::gemm_nn) — the shared pack lives in its own
+/// thread-local buffer, separate from the per-call scratch those kernels
+/// borrow. The one thing it must **not** do is call `with_packed_a` again
+/// on the same thread: that would overwrite (and double-borrow) the pack
+/// the outer closure is still reading.
 pub fn with_packed_a<R>(
     m: usize,
     k: usize,
@@ -366,7 +377,7 @@ pub fn with_packed_a<R>(
 ) -> R {
     assert!(k <= KC, "shared-A packing requires k <= KC");
     let need = m.div_ceil(MR) * MR * k;
-    A_PACK.with(|ac| {
+    A_SHARED_PACK.with(|ac| {
         let buf = &mut *ac.borrow_mut();
         ensure_len(buf, need);
         pack_a(a, la, 0, m, 0, k, &mut buf[..need]);
@@ -529,6 +540,36 @@ mod tests {
         assert_close(&c_full, &c_pre1, 1e-5);
         gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b2, Layout::row_major(n), 0.0, &mut c_full);
         assert_close(&c_full, &c_pre2, 1e-5);
+    }
+
+    #[test]
+    fn packed_gemm_inside_shared_a_closure_does_not_double_borrow() {
+        // Regression: with_packed_a once shared A_PACK with gemm_packed's
+        // internal scratch, so a packed product inside the closure hit a
+        // RefCell double-borrow. The inner shape is large enough that
+        // gemm_packed packs A (not just the axpy path).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let (m, n, k) = (8, 16, 12);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let (im, inn, ik) = (64, 64, 64);
+        let ia = rand_vec(im * ik, &mut rng);
+        let ib = rand_vec(ik * inn, &mut rng);
+        let mut c_outer = vec![0.0; m * n];
+        let mut c_inner = vec![0.0; im * inn];
+        with_packed_a(m, k, &a, Layout::row_major(k), |apack| {
+            gemm_packed(
+                im, inn, ik, 1.0, &ia, Layout::row_major(ik), &ib,
+                Layout::row_major(inn), 0.0, &mut c_inner,
+            );
+            gemm_prepacked_a(m, n, k, 1.0, apack, &b, Layout::row_major(n), 0.0, &mut c_outer);
+        });
+        let mut c_ref = vec![0.0; m * n];
+        gemm_ref(m, n, k, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c_ref);
+        assert_close(&c_ref, &c_outer, 1e-5);
+        let mut ci_ref = vec![0.0; im * inn];
+        gemm_ref(im, inn, ik, 1.0, &ia, Trans::No, &ib, Trans::No, 0.0, &mut ci_ref);
+        assert_close(&ci_ref, &c_inner, 1e-4);
     }
 
     #[test]

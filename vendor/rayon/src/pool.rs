@@ -1,0 +1,175 @@
+//! The shared worker pool behind the parallel iterators.
+//!
+//! One global injector queue (`Mutex<VecDeque>` + `Condvar`) feeds
+//! `current_num_threads() - 1` long-lived workers, spawned lazily on the
+//! first dispatch. Tasks carry a lifetime-erased `&dyn Fn(usize)` plus a
+//! part index and a pointer to the caller's stack-held [`Latch`]; the
+//! soundness contract is that the dispatching call **always** waits for its
+//! latch before returning or unwinding, so every borrow a task touches
+//! outlives the task.
+//!
+//! The waiting caller *helps*: while its latch is open it drains tasks from
+//! the queue (its own or anyone else's), which keeps a single-core host —
+//! where the pool has zero workers — fully functional and makes nested
+//! parallel calls deadlock-free by construction.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Countdown latch for one dispatched batch, owned by the caller's stack
+/// frame. `panicked` latches any task panic for re-raising on the caller.
+pub(crate) struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Self {
+        Latch { remaining: AtomicUsize::new(count), panicked: AtomicBool::new(false) }
+    }
+}
+
+/// A lifetime-erased unit of work: run `(*job)(index)`, then count down
+/// `latch`.
+struct Task {
+    job: *const (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: *const Latch,
+}
+
+// SAFETY: the pointers reference stack data of a caller that is blocked in
+// `wait` until `latch` reaches zero, and the pointees are `Sync`.
+unsafe impl Send for Task {}
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    cv: Condvar,
+}
+
+/// Number of threads that participate in parallel work (workers + the
+/// calling thread). `RAYON_NUM_THREADS` overrides the core count.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+fn shared() -> &'static Shared {
+    static S: OnceLock<&'static Shared> = OnceLock::new();
+    S.get_or_init(|| {
+        let s: &'static Shared =
+            Box::leak(Box::new(Shared { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() }));
+        for i in 0..current_num_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker(s))
+                .expect("failed to spawn rayon shim worker");
+        }
+        s
+    })
+}
+
+/// Erases the lifetime of a borrowed job closure so it can sit in the
+/// queue. Callers must uphold the wait-before-return contract (see module
+/// docs).
+pub(crate) fn erase_job<'a>(
+    job: &'a (dyn Fn(usize) + Sync + 'a),
+) -> *const (dyn Fn(usize) + Sync + 'static) {
+    // SAFETY: fat-pointer layout is identical across lifetimes; validity is
+    // the dispatching caller's wait-before-return obligation.
+    unsafe {
+        std::mem::transmute::<&'a (dyn Fn(usize) + Sync + 'a), &'static (dyn Fn(usize) + Sync)>(
+            job,
+        )
+    }
+}
+
+/// Enqueues `count` tasks running `job(1), …, job(count)` against `latch`.
+/// (Index 0 is reserved for the caller to run inline.)
+pub(crate) fn dispatch(
+    job: *const (dyn Fn(usize) + Sync),
+    latch: &Latch,
+    count: usize,
+) {
+    let s = shared();
+    {
+        let mut q = s.queue.lock().unwrap();
+        for index in 1..=count {
+            q.push_back(Task { job, index, latch: latch as *const Latch });
+        }
+    }
+    s.cv.notify_all();
+}
+
+/// Blocks until every task counted by `latch` has finished, helping drain
+/// the queue in the meantime; re-raises any task panic.
+pub(crate) fn wait(latch: &Latch) {
+    let s = shared();
+    loop {
+        if latch.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // Help: run whatever is queued (our batch or a nested one).
+        let task = {
+            let mut q = s.queue.lock().unwrap();
+            match q.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    // Re-check under the lock: completions decrement under
+                    // this same lock, so a zero latch can't be missed. The
+                    // timeout is belt-and-suspenders only.
+                    if latch.remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let _ = s.cv.wait_timeout(q, Duration::from_millis(1)).unwrap();
+                    None
+                }
+            }
+        };
+        if let Some(t) = task {
+            run_task(s, t);
+        }
+    }
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("a task in the parallel pool panicked");
+    }
+}
+
+fn run_task(s: &Shared, t: Task) {
+    // SAFETY: per the dispatch contract the job and latch outlive the task.
+    let job = unsafe { &*t.job };
+    let latch = unsafe { &*t.latch };
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(t.index))).is_ok();
+    if !ok {
+        latch.panicked.store(true, Ordering::Relaxed);
+    }
+    // Decrement under the queue lock so `wait`'s check-then-sleep cannot
+    // miss the final count-down, then wake every sleeper.
+    {
+        let _q = s.queue.lock().unwrap();
+        latch.remaining.fetch_sub(1, Ordering::Release);
+    }
+    s.cv.notify_all();
+}
+
+fn worker(s: &'static Shared) {
+    loop {
+        let task = {
+            let mut q = s.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = s.cv.wait(q).unwrap();
+            }
+        };
+        run_task(s, task);
+    }
+}
