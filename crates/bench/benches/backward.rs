@@ -27,7 +27,7 @@ fn bench_backward(c: &mut Criterion) {
         let field = &batch.fields[0];
         group.throughput(Throughput::Elements(field.nnz() as u64));
         for (name, options) in &variants {
-            group.bench_with_input(BenchmarkId::new(*name, bs), &bs, |b, _| {
+            group.bench_with_input(BenchmarkId::new(name, bs), &bs, |b, _| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(2);
                 let mut table =
                     TtEmbeddingBag::new(&config, &mut rng).with_options(options.clone());

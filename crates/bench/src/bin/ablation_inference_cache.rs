@@ -40,9 +40,7 @@ fn main() {
     }
     let base = t0.elapsed().as_secs_f64() / (reps as usize * batches.len()) as f64;
 
-    section(&format!(
-        "Ablation: persistent hot-prefix cache, inference on a {rows}-row table"
-    ));
+    section(&format!("Ablation: persistent hot-prefix cache, inference on a {rows}-row table"));
     let mut rows_out =
         vec![vec!["none (training kernel)".to_string(), fmt_secs(base), "-".into(), "-".into()]];
     for capacity in [256usize, 2048, 16384, 131072] {

@@ -22,10 +22,9 @@ fn setup(ds: &SyntheticDataset) -> (DlrmModel, HostServer) {
     let mut host = Vec::new();
     for (t, &card) in ds.spec().table_cardinalities.iter().enumerate() {
         if card >= 2_000 {
-            if let EmbeddingLayer::Dense(bag) = std::mem::replace(
-                &mut model.tables[t],
-                EmbeddingLayer::Hosted { dim: 16 },
-            ) {
+            if let EmbeddingLayer::Dense(bag) =
+                std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim: 16 })
+            {
                 host.push((t, bag));
             }
         }
@@ -54,11 +53,8 @@ fn main() {
         let host = report.server_cpu.as_secs_f64() / device.host_scale
             + report.server_meter.simulated_time(&device).as_secs_f64();
         let dev = report.worker_compute.as_secs_f64() / device.compute_scale;
-        let modeled = if depth > 1 {
-            host.max(dev) + host.min(dev) / num_batches as f64
-        } else {
-            host + dev
-        };
+        let modeled =
+            if depth > 1 { host.max(dev) + host.min(dev) / num_batches as f64 } else { host + dev };
         rows.push(vec![
             depth.to_string(),
             fmt_secs(modeled),

@@ -120,7 +120,10 @@ fn main() {
         let dlrm_time = dev_time_dlrm + dlrm_comm;
         dlrm_tp[i] = workers as f64 * batch_size as f64 / dlrm_time;
         rows.push(vec![
-            format!("DLRM ({workers} GPU{})", if workers > 1 { ", model-parallel emb" } else { "" }),
+            format!(
+                "DLRM ({workers} GPU{})",
+                if workers > 1 { ", model-parallel emb" } else { "" }
+            ),
             format!("{:.0}", dlrm_tp[i]),
         ]);
 

@@ -9,7 +9,9 @@
 //! * intermediate result reuse (−10%).
 
 use el_bench::{bench_batches, bench_scale, print_table, section};
-use el_core::{BackwardStrategy, ForwardStrategy, TtConfig, TtEmbeddingBag, TtOptions, TtWorkspace};
+use el_core::{
+    BackwardStrategy, ForwardStrategy, TtConfig, TtEmbeddingBag, TtOptions, TtWorkspace,
+};
 use el_data::{DatasetSpec, SyntheticDataset};
 use el_reorder::{ReorderConfig, Reorderer};
 use rand::SeedableRng;
@@ -21,12 +23,7 @@ struct Variant {
     reorder: bool,
 }
 
-fn throughput(
-    rows: usize,
-    variant: &Variant,
-    batch_size: usize,
-    num_batches: u64,
-) -> f64 {
+fn throughput(rows: usize, variant: &Variant, batch_size: usize, num_batches: u64) -> f64 {
     let mut spec = DatasetSpec::toy(1, rows, usize::MAX / 2);
     spec.indices_per_sample = 2;
     let ds = SyntheticDataset::new(spec, 101);
@@ -35,7 +32,10 @@ fn throughput(
     let bijection = if variant.reorder {
         let profile: Vec<_> = (0..6u64).map(|b| ds.batch(b, batch_size)).collect();
         let lists: Vec<&[u32]> = profile.iter().map(|b| &b.fields[0].indices[..]).collect();
-        Some(Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 1, ..ReorderConfig::default() }).fit(rows, &lists))
+        Some(
+            Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 1, ..ReorderConfig::default() })
+                .fit(rows, &lists),
+        )
     } else {
         None
     };
@@ -68,7 +68,11 @@ fn main() {
         .collect();
 
     let variants = [
-        Variant { name: "EL-Rec (all optimizations)", options: TtOptions::default(), reorder: true },
+        Variant {
+            name: "EL-Rec (all optimizations)",
+            options: TtOptions::default(),
+            reorder: true,
+        },
         Variant {
             name: "- in-advance aggregation",
             options: TtOptions { backward: BackwardStrategy::PerLookup, ..TtOptions::default() },
@@ -87,9 +91,7 @@ fn main() {
         },
     ];
 
-    section(&format!(
-        "Figure 14: optimization breakdown (throughput, samples/s; scale {scale})"
-    ));
+    section(&format!("Figure 14: optimization breakdown (throughput, samples/s; scale {scale})"));
     let mut rows_out = Vec::new();
     for &rows in &table_rows {
         let base = throughput(rows, &variants[0], batch_size, num_batches);
@@ -101,9 +103,8 @@ fn main() {
         }
         rows_out.push(cells);
     }
-    let headers: Vec<&str> = std::iter::once("table size")
-        .chain(variants.iter().map(|v| v.name))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("table size").chain(variants.iter().map(|v| v.name)).collect();
     print_table(&headers, &rows_out);
     println!(
         "paper: disabling in-advance aggregation costs ~52% throughput,\n\

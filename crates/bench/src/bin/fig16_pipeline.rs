@@ -51,16 +51,14 @@ fn setup(
     for (t, &card) in spec.table_cardinalities.iter().enumerate() {
         let device_resident = (tt && t == largest) || card < threshold;
         if !device_resident {
-            let dense = match std::mem::replace(
-                &mut model.tables[t],
-                EmbeddingLayer::Hosted { dim: 16 },
-            ) {
-                EmbeddingLayer::Dense(bag) => bag,
-                other => {
-                    model.tables[t] = other;
-                    continue;
-                }
-            };
+            let dense =
+                match std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim: 16 }) {
+                    EmbeddingLayer::Dense(bag) => bag,
+                    other => {
+                        model.tables[t] = other;
+                        continue;
+                    }
+                };
             host.push((t, dense));
         }
     }
@@ -97,13 +95,11 @@ fn main() {
 
         let host_stage = report.server_cpu.as_secs_f64() / device.host_scale
             + report.server_meter.simulated_time(&device).as_secs_f64();
-        let device_stage =
-            report.worker_compute.as_secs_f64() / device.compute_scale;
+        let device_stage = report.worker_compute.as_secs_f64() / device.compute_scale;
         let total = if pipelined {
             // stages overlap; the shorter one hides behind the longer,
             // plus one batch of pipeline fill
-            host_stage.max(device_stage)
-                + host_stage.min(device_stage) / num_batches as f64
+            host_stage.max(device_stage) + host_stage.min(device_stage) / num_batches as f64
         } else {
             host_stage + device_stage
         };

@@ -12,11 +12,7 @@ use el_reorder::{ReorderConfig, Reorderer};
 use rand::SeedableRng;
 use std::time::Instant;
 
-fn measure_forward(
-    table: &TtEmbeddingBag,
-    batches: &[(Vec<u32>, Vec<u32>)],
-    reps: u64,
-) -> f64 {
+fn measure_forward(table: &TtEmbeddingBag, batches: &[(Vec<u32>, Vec<u32>)], reps: u64) -> f64 {
     let mut ws = TtWorkspace::new();
     // warmup
     for (idx, off) in batches.iter().take(1) {
@@ -41,7 +37,9 @@ fn main() {
 
     let profile: Vec<_> = (0..6u64).map(|b| ds.batch(b, 2048)).collect();
     let lists: Vec<&[u32]> = profile.iter().map(|b| &b.fields[0].indices[..]).collect();
-    let bijection = Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 2, ..ReorderConfig::default() }).fit(rows, &lists);
+    let bijection =
+        Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 2, ..ReorderConfig::default() })
+            .fit(rows, &lists);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let config = TtConfig::new(rows, 32, 32);
@@ -78,10 +76,7 @@ fn main() {
             format!("{} ({})", fmt_secs(t_full), fmt_speedup(t_naive / t_full)),
         ]);
     }
-    print_table(
-        &["batch", "TT-Rec (naive)", "+ result reuse", "+ index reordering"],
-        &out,
-    );
+    print_table(&["batch", "TT-Rec (naive)", "+ result reuse", "+ index reordering"], &out);
     println!(
         "paper: 1.83x mean speedup over TT-Rec (1.75x from reuse, 1.05x from\n\
          reordering), increasing with batch size."

@@ -20,12 +20,8 @@ fn main() {
     let mut rows = Vec::new();
     for ds in &datasets {
         let spec = ds.spec();
-        let (table, &card) = spec
-            .table_cardinalities
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (table, &card) =
+            spec.table_cardinalities.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         let mut hist = AccessHistogram::new(card);
         for b in 0..40 {
             hist.record(&ds.batch(b, 1024), table);
@@ -46,12 +42,8 @@ fn main() {
     let mut rows = Vec::new();
     for ds in &datasets {
         let spec = ds.spec();
-        let (table, _) = spec
-            .table_cardinalities
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (table, _) =
+            spec.table_cardinalities.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         let mut row = vec![spec.name.clone()];
         for &bs in &batch_sizes {
             let batches: Vec<_> = (0..6).map(|i| ds.batch(i, bs)).collect();

@@ -29,8 +29,7 @@ fn main() {
             profile_batches: 6,
             ..RunParams::default()
         };
-        let eval: Vec<MiniBatch> =
-            (10_000..10_008u64).map(|b| ds.batch(b, 512)).collect();
+        let eval: Vec<MiniBatch> = (10_000..10_008u64).map(|b| ds.batch(b, 512)).collect();
         let mut cells = vec![ds.spec().name.clone()];
         for kind in FrameworkKind::all() {
             let mut run = run_framework(kind, ds, &params);

@@ -25,6 +25,8 @@
 //! on one machine; the paper-vs-measured comparison targets speedup
 //! *shapes*, not absolute numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 
 /// Prints a boxed section header.
@@ -103,18 +105,12 @@ pub fn fmt_speedup(x: f64) -> String {
 /// Reads a scale factor from `EL_BENCH_SCALE`, with an
 /// experiment-specific default.
 pub fn bench_scale(default: f64) -> f64 {
-    std::env::var("EL_BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("EL_BENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads an iteration override from `EL_BENCH_BATCHES`.
 pub fn bench_batches(default: u64) -> u64 {
-    std::env::var("EL_BENCH_BATCHES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("EL_BENCH_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 #[cfg(test)]

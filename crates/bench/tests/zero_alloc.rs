@@ -9,6 +9,8 @@
 //! batched-GEMM `outputs_disjoint` debug check, which allocates a sort
 //! buffer by design.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,19 +23,31 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to the System allocator plus a relaxed
+// atomic counter; layout handling and memory validity are exactly the
+// System allocator's.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, which does the real work.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged; the caller upholds
+        // GlobalAlloc's contract (non-zero size).
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was returned by `Self::alloc`/`Self::realloc`,
+        // i.e. by the System allocator, with this same `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout` come from this allocator (hence the
+        // System allocator); `new_size` validity is the caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
@@ -59,8 +73,7 @@ fn batch_pool(rows: usize, pool: usize, lookups: usize) -> Vec<(Vec<u32>, Vec<u3
 
 fn run_steady_state(options: TtOptions, label: &str) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut bag =
-        TtEmbeddingBag::new(&TtConfig::new(4096, 32, 8), &mut rng).with_options(options);
+    let mut bag = TtEmbeddingBag::new(&TtConfig::new(4096, 32, 8), &mut rng).with_options(options);
     let mut ws = TtWorkspace::new();
     let mut out = Matrix::zeros(0, 0);
     let pool = batch_pool(bag.num_rows(), 4, 256);

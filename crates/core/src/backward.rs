@@ -152,8 +152,7 @@ impl TtEmbeddingBag {
         let r_prev = self.cores.ranks[t];
         let k_dim = self.cores.col_dims[t] * self.cores.ranks[t + 1];
         let width_t = self.level_width(t);
-        let width_prev =
-            if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
+        let width_prev = if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
         let prev_count = plan.levels[t - 1].len();
         let slice_t = self.cores.slice_len(t);
         let core_t = &self.cores.cores[t];
@@ -188,8 +187,7 @@ impl TtEmbeddingBag {
         let r_prev = self.cores.ranks[t];
         let k_dim = self.cores.col_dims[t] * self.cores.ranks[t + 1];
         let width_t = self.level_width(t);
-        let width_prev =
-            if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
+        let width_prev = if t == 1 { self.cores.slice_len(0) } else { self.level_width(t - 1) };
         let slice_t = self.cores.slice_len(t);
         let dcur = &ws.dlevels[t];
         // P_{t-1}: core-0 slices at t == 1, otherwise the forward buffer.
@@ -339,11 +337,7 @@ mod tests {
 
         let loss = |b: &TtEmbeddingBag, ws: &mut TtWorkspace| -> f64 {
             let out = b.forward(&indices, &offsets, ws);
-            out.as_slice()
-                .iter()
-                .zip(w.as_slice())
-                .map(|(o, wv)| (*o as f64) * (*wv as f64))
-                .sum()
+            out.as_slice().iter().zip(w.as_slice()).map(|(o, wv)| (*o as f64) * (*wv as f64)).sum()
         };
 
         let eps = 1e-3f32;
@@ -495,11 +489,8 @@ mod tests {
         let got = ws.grads.clone();
 
         let mut pure = bag(12, 8, 3, 21);
-        pure.options = TtOptions {
-            fused_update: false,
-            deterministic: true,
-            ..TtOptions::default()
-        };
+        pure.options =
+            TtOptions { fused_update: false, deterministic: true, ..TtOptions::default() };
         let mut ws2 = TtWorkspace::new();
         let _ = pure.forward(&indices, &offsets, &mut ws2);
         pure.backward_grads(&d_out, &mut ws2);
@@ -515,8 +506,7 @@ mod tests {
     fn apply_grads_is_plain_sgd() {
         let mut b = bag(10, 4, 2, 22);
         let before = b.cores().cores.clone();
-        let grads: Vec<Vec<f32>> =
-            b.cores().cores.iter().map(|c| vec![1.0; c.len()]).collect();
+        let grads: Vec<Vec<f32>> = b.cores().cores.iter().map(|c| vec![1.0; c.len()]).collect();
         b.apply_grads(&grads, 0.1);
         for (c, orig) in b.cores().cores.iter().zip(&before) {
             for (x, o) in c.iter().zip(orig) {

@@ -106,16 +106,10 @@ impl TtConfig {
         // A rank cannot usefully exceed the dimensions of the unfolding it
         // connects; clamp so tiny tables do not waste parameters.
         for k in 1..d {
-            let left: usize = row_dims[..k]
-                .iter()
-                .zip(&col_dims[..k])
-                .map(|(m, n)| m * n)
-                .product();
-            let right: usize = row_dims[k..]
-                .iter()
-                .zip(&col_dims[k..])
-                .map(|(m, n)| m * n)
-                .product();
+            let left: usize =
+                row_dims[..k].iter().zip(&col_dims[..k]).map(|(m, n)| m * n).product();
+            let right: usize =
+                row_dims[k..].iter().zip(&col_dims[k..]).map(|(m, n)| m * n).product();
             ranks[k] = ranks[k].min(left).min(right);
         }
         Self { num_rows, dim, row_dims, col_dims, ranks, init_std: 0.05 }
@@ -188,9 +182,8 @@ mod tests {
     #[test]
     fn param_count_matches_core_shapes() {
         let c = TtConfig::new(1000, 64, 16);
-        let expected: usize = (0..3)
-            .map(|k| c.row_dims[k] * c.ranks[k] * c.col_dims[k] * c.ranks[k + 1])
-            .sum();
+        let expected: usize =
+            (0..3).map(|k| c.row_dims[k] * c.ranks[k] * c.col_dims[k] * c.ranks[k + 1]).sum();
         assert_eq!(c.param_count(), expected);
     }
 

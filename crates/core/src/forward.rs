@@ -50,11 +50,7 @@ impl TtEmbeddingBag {
         out: &mut Matrix,
     ) {
         for &i in indices {
-            assert!(
-                (i as usize) < self.num_rows(),
-                "index {i} out of {} rows",
-                self.num_rows()
-            );
+            assert!((i as usize) < self.num_rows(), "index {i} out of {} rows", self.num_rows());
         }
         let dedup = self.options.forward == ForwardStrategy::Reuse;
         // Recycle whichever plan object is idle; build_into reuses all of
@@ -132,19 +128,16 @@ impl TtEmbeddingBag {
     fn pool_into(&self, plan: &LookupPlan, rows: &[f32], out: &mut Matrix) {
         let n = self.dim();
         out.reset_zeroed(plan.batch_size, n);
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(s, dst)| {
-                let lo = plan.sample_offsets[s] as usize;
-                let hi = plan.sample_offsets[s + 1] as usize;
-                for &slot in &plan.lookup_slot[lo..hi] {
-                    let src = &rows[slot as usize * n..(slot as usize + 1) * n];
-                    for (d, v) in dst.iter_mut().zip(src) {
-                        *d += v;
-                    }
+        out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(s, dst)| {
+            let lo = plan.sample_offsets[s] as usize;
+            let hi = plan.sample_offsets[s + 1] as usize;
+            for &slot in &plan.lookup_slot[lo..hi] {
+                let src = &rows[slot as usize * n..(slot as usize + 1) * n];
+                for (d, v) in dst.iter_mut().zip(src) {
+                    *d += v;
                 }
-            });
+            }
+        });
     }
 }
 
@@ -211,7 +204,8 @@ mod tests {
         let mut ws = TtWorkspace::new();
 
         let mut naive = bag(100, 16, 8, 2);
-        naive.options = TtOptions { forward: crate::config::ForwardStrategy::Naive, ..TtOptions::default() };
+        naive.options =
+            TtOptions { forward: crate::config::ForwardStrategy::Naive, ..TtOptions::default() };
         let a = b.forward(&indices, &offsets, &mut ws);
         let c = naive.forward(&indices, &offsets, &mut ws);
         assert!(a.max_abs_diff(&c) < 1e-5);

@@ -236,11 +236,7 @@ mod tests {
             let offsets: Vec<u32> = (0..=50u32).collect();
             let _ = session.lookup(&indices, &offsets);
         }
-        assert!(
-            session.len() <= 16 + 1,
-            "cache exceeded capacity: {} entries",
-            session.len()
-        );
+        assert!(session.len() <= 16 + 1, "cache exceeded capacity: {} entries", session.len());
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! table.backward_sgd(&pooled, &mut ws, 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backward;
 pub mod bag;
 pub mod config;
@@ -47,8 +49,8 @@ pub mod inference;
 pub mod plan;
 
 pub use bag::{ReuseStats, TtEmbeddingBag, TtWorkspace};
-pub use inference::TtInferenceSession;
 pub use config::{BackwardStrategy, ForwardStrategy, TtConfig, TtOptions};
+pub use inference::TtInferenceSession;
 pub use plan::{Csr, Level, LookupPlan};
 
 #[cfg(test)]

@@ -376,8 +376,7 @@ mod tests {
         let lvl = &p.levels[2];
         assert_eq!(lvl.child_offsets, vec![0, 1, 3]);
         for (slot, &parent) in lvl.parent.iter().enumerate() {
-            let range =
-                lvl.child_offsets[parent as usize]..lvl.child_offsets[parent as usize + 1];
+            let range = lvl.child_offsets[parent as usize]..lvl.child_offsets[parent as usize + 1];
             assert!(range.contains(&(slot as u32)));
         }
     }
@@ -407,8 +406,7 @@ mod tests {
                     assert_eq!(p.lookup_slot[j as usize] as usize, slot);
                 }
             }
-            let total: usize =
-                (0..p.num_rows()).map(|s| p.slot_lookups.group(s).len()).sum();
+            let total: usize = (0..p.num_rows()).map(|s| p.slot_lookups.group(s).len()).sum();
             assert_eq!(total, p.nnz);
         }
     }

@@ -96,10 +96,7 @@ pub fn read_batches(
     Ok(batches)
 }
 
-fn records_to_batch(
-    records: &[AvazuRecord],
-    cardinalities: &[usize; AVAZU_SPARSE],
-) -> MiniBatch {
+fn records_to_batch(records: &[AvazuRecord], cardinalities: &[usize; AVAZU_SPARSE]) -> MiniBatch {
     let mut dense = Vec::with_capacity(records.len());
     let mut fields: Vec<SparseField> = (0..AVAZU_SPARSE)
         .map(|_| SparseField::with_capacity(records.len(), records.len()))

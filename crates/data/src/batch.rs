@@ -210,12 +210,8 @@ mod tests {
         };
         assert!(bad.validate().is_err());
 
-        let bad_label = MiniBatch {
-            dense: vec![],
-            num_dense: 0,
-            fields: vec![],
-            labels: vec![0.5],
-        };
+        let bad_label =
+            MiniBatch { dense: vec![], num_dense: 0, fields: vec![], labels: vec![0.5] };
         assert!(bad_label.validate().is_err());
     }
 

@@ -81,10 +81,7 @@ pub fn read_batches(
     Ok(batches)
 }
 
-fn records_to_batch(
-    records: &[CriteoRecord],
-    cardinalities: &[usize; CRITEO_SPARSE],
-) -> MiniBatch {
+fn records_to_batch(records: &[CriteoRecord], cardinalities: &[usize; CRITEO_SPARSE]) -> MiniBatch {
     let mut dense = Vec::with_capacity(records.len() * CRITEO_DENSE);
     let mut fields: Vec<SparseField> = (0..CRITEO_SPARSE)
         .map(|_| SparseField::with_capacity(records.len(), records.len()))

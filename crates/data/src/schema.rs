@@ -83,9 +83,9 @@ impl DatasetSpec {
         // Published per-field cardinalities of the Kaggle Display
         // Advertising Challenge data.
         let raw: [usize; 26] = [
-            1_460, 583, 10_131_227, 2_202_608, 305, 24, 12_517, 633, 3, 93_145, 5_683,
-            8_351_593, 3_194, 27, 14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15,
-            286_181, 105, 142_572,
+            1_460, 583, 10_131_227, 2_202_608, 305, 24, 12_517, 633, 3, 93_145, 5_683, 8_351_593,
+            3_194, 27, 14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15, 286_181, 105,
+            142_572,
         ];
         Self {
             name: format!("criteo-kaggle(x{scale})"),
@@ -103,9 +103,32 @@ impl DatasetSpec {
     pub fn criteo_terabyte(scale: f64) -> Self {
         // Published per-field cardinalities of the full 24-day log.
         let raw: [usize; 26] = [
-            227_605_432, 39_060, 17_295, 7_424, 20_265, 3, 7_122, 1_543, 63, 130_229_467,
-            3_067_956, 405_282, 10, 2_209, 11_938, 155, 4, 976, 14, 292_775_614, 40_790_948,
-            187_188_510, 590_152, 12_973, 108, 36,
+            227_605_432,
+            39_060,
+            17_295,
+            7_424,
+            20_265,
+            3,
+            7_122,
+            1_543,
+            63,
+            130_229_467,
+            3_067_956,
+            405_282,
+            10,
+            2_209,
+            11_938,
+            155,
+            4,
+            976,
+            14,
+            292_775_614,
+            40_790_948,
+            187_188_510,
+            590_152,
+            12_973,
+            108,
+            36,
         ];
         Self {
             name: format!("criteo-terabyte(x{scale})"),

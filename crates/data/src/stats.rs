@@ -83,11 +83,8 @@ impl AccessHistogram {
             .map(|p| {
                 let frac = p as f64 / points as f64;
                 let k = ((sorted.len() as f64 * frac).ceil() as usize).clamp(1, sorted.len());
-                let share = if self.total == 0 {
-                    0.0
-                } else {
-                    prefix[k - 1] as f64 / self.total as f64
-                };
+                let share =
+                    if self.total == 0 { 0.0 } else { prefix[k - 1] as f64 / self.total as f64 };
                 (frac, share)
             })
             .collect()

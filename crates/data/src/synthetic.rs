@@ -142,7 +142,9 @@ impl SyntheticDataset {
         let mut fields: Vec<SparseField> = self
             .tables
             .iter()
-            .map(|_| SparseField::with_capacity(batch_size, batch_size * self.spec.indices_per_sample))
+            .map(|_| {
+                SparseField::with_capacity(batch_size, batch_size * self.spec.indices_per_sample)
+            })
             .collect();
         let mut labels = Vec::with_capacity(batch_size);
         let mut sample_indices: Vec<u32> = Vec::with_capacity(self.spec.indices_per_sample);

@@ -7,8 +7,8 @@
 //! on load.
 
 use crate::embedding_bag::EmbeddingBag;
-use crate::model::{DlrmModel, EmbeddingLayer};
 use crate::mlp::Mlp;
+use crate::model::{DlrmModel, EmbeddingLayer};
 use crate::optim::OptimizerKind;
 use el_core::{TtEmbeddingBag, TtOptions, TtWorkspace};
 use el_tensor::tt::TtCores;

@@ -220,8 +220,7 @@ mod tests {
         let out = dense.forward(&indices, &offsets);
         // sample 0 = row1 + row5 + row1
         for c in 0..8 {
-            let expect =
-                2.0 * dense.weight.get(1, c) + dense.weight.get(5, c);
+            let expect = 2.0 * dense.weight.get(1, c) + dense.weight.get(5, c);
             assert!((out.get(0, c) - expect).abs() < 1e-5);
         }
     }

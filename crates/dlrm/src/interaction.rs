@@ -129,8 +129,7 @@ mod tests {
     fn gradient_check() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let inter = Interaction::new(3, 4);
-        let feats: Vec<Matrix> =
-            (0..3).map(|_| Matrix::uniform(2, 4, 1.0, &mut rng)).collect();
+        let feats: Vec<Matrix> = (0..3).map(|_| Matrix::uniform(2, 4, 1.0, &mut rng)).collect();
         let refs: Vec<&Matrix> = feats.iter().collect();
         let gsel = Matrix::uniform(2, inter.out_dim(), 1.0, &mut rng);
 
@@ -138,13 +137,7 @@ mod tests {
 
         let loss = |feats: &[Matrix]| -> f32 {
             let refs: Vec<&Matrix> = feats.iter().collect();
-            inter
-                .forward(&refs)
-                .as_slice()
-                .iter()
-                .zip(gsel.as_slice())
-                .map(|(y, g)| y * g)
-                .sum()
+            inter.forward(&refs).as_slice().iter().zip(gsel.as_slice()).map(|(y, g)| y * g).sum()
         };
         let eps = 1e-3;
         for f in 0..3 {

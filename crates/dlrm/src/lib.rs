@@ -16,6 +16,8 @@
 //!   Eff-TT embedding tables (the drop-in-replacement property of the
 //!   Eff-TT API).
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod embedding_bag;
 pub mod interaction;
@@ -29,7 +31,7 @@ pub mod quantized;
 
 pub use checkpoint::DlrmCheckpoint;
 pub use embedding_bag::EmbeddingBag;
-pub use optim::{Adagrad, OptimizerKind};
 pub use linear::Linear;
-pub use model::{DlrmConfig, DlrmModel, EmbeddingLayer};
 pub use mlp::Mlp;
+pub use model::{DlrmConfig, DlrmModel, EmbeddingLayer};
+pub use optim::{Adagrad, OptimizerKind};

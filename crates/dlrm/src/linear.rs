@@ -93,12 +93,8 @@ impl Linear {
         assert_eq!(state.accum.len(), self.param_count(), "adagrad state size mismatch");
         let eps = state.eps;
         let (acc_w, acc_b) = state.accum.split_at_mut(w);
-        for ((wv, g), a) in self
-            .weight
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.grad_weight.as_slice())
-            .zip(acc_w)
+        for ((wv, g), a) in
+            self.weight.as_mut_slice().iter_mut().zip(self.grad_weight.as_slice()).zip(acc_w)
         {
             *a += g * g;
             *wv -= lr * g / (a.sqrt() + eps);

@@ -6,11 +6,7 @@ pub fn accuracy(probs: &[f32], labels: &[f32]) -> f64 {
     if probs.is_empty() {
         return 0.0;
     }
-    let correct = probs
-        .iter()
-        .zip(labels)
-        .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
-        .count();
+    let correct = probs.iter().zip(labels).filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5)).count();
     correct as f64 / probs.len() as f64
 }
 

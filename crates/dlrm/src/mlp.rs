@@ -24,8 +24,7 @@ impl Mlp {
     /// Builds an MLP with the given layer sizes, e.g. `[13, 512, 64]`.
     pub fn new(sizes: &[usize], rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs at least one layer");
-        let layers =
-            sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect::<Vec<_>>();
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect::<Vec<_>>();
         Self { layers, inputs: Vec::new() }
     }
 

@@ -200,12 +200,9 @@ impl DlrmModel {
                                 EmbeddingLayer::Dense(b) => {
                                     vec![Adagrad::new(b.weight.len())]
                                 }
-                                EmbeddingLayer::Tt(b, _) => b
-                                    .cores()
-                                    .cores
-                                    .iter()
-                                    .map(|c| Adagrad::new(c.len()))
-                                    .collect(),
+                                EmbeddingLayer::Tt(b, _) => {
+                                    b.cores().cores.iter().map(|c| Adagrad::new(c.len())).collect()
+                                }
                                 EmbeddingLayer::Hosted { .. } => Vec::new(),
                             })
                         })
@@ -252,12 +249,9 @@ impl DlrmModel {
                         .map(|t| {
                             make(match t {
                                 EmbeddingLayer::Dense(b) => vec![Adagrad::new(b.weight.len())],
-                                EmbeddingLayer::Tt(b, _) => b
-                                    .cores()
-                                    .cores
-                                    .iter()
-                                    .map(|c| Adagrad::new(c.len()))
-                                    .collect(),
+                                EmbeddingLayer::Tt(b, _) => {
+                                    b.cores().cores.iter().map(|c| Adagrad::new(c.len())).collect()
+                                }
                                 EmbeddingLayer::Hosted { .. } => Vec::new(),
                             })
                         })
@@ -290,10 +284,7 @@ impl DlrmModel {
 
     /// One SGD step over a batch where every table is model-resident.
     pub fn train_step(&mut self, batch: &MiniBatch) -> f32 {
-        assert!(
-            self.hosted_tables().is_empty(),
-            "model has hosted tables; use train_step_hybrid"
-        );
+        assert!(self.hosted_tables().is_empty(), "model has hosted tables; use train_step_hybrid");
         self.train_step_hybrid(batch, &[]).loss
     }
 
@@ -518,11 +509,7 @@ impl DlrmModel {
         }
     }
 
-    fn embedding_forward(
-        &mut self,
-        batch: &MiniBatch,
-        hosted: &[(usize, Matrix)],
-    ) -> Vec<Matrix> {
+    fn embedding_forward(&mut self, batch: &MiniBatch, hosted: &[(usize, Matrix)]) -> Vec<Matrix> {
         assert_eq!(batch.fields.len(), self.tables.len(), "field/table count mismatch");
         let mut out = Vec::with_capacity(self.tables.len());
         for (t, field) in batch.fields.iter().enumerate() {
@@ -616,10 +603,7 @@ mod tests {
                 smoothed_last += loss / 8.0;
             }
         }
-        assert!(
-            smoothed_last < first * 0.98,
-            "loss did not improve: {first} -> {smoothed_last}"
-        );
+        assert!(smoothed_last < first * 0.98, "loss did not improve: {first} -> {smoothed_last}");
     }
 
     #[test]
@@ -766,8 +750,6 @@ mod tests {
         let mut uncompressed_cfg = toy_config();
         uncompressed_cfg.tt_threshold = usize::MAX;
         let uncompressed = DlrmModel::new(&uncompressed_cfg, &mut rng);
-        assert!(
-            compressed.embedding_footprint_bytes() < uncompressed.embedding_footprint_bytes()
-        );
+        assert!(compressed.embedding_footprint_bytes() < uncompressed.embedding_footprint_bytes());
     }
 }

@@ -65,8 +65,7 @@ impl Adagrad {
 }
 
 /// Which optimizer a model component uses.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize, Default)]
 pub enum OptimizerKind {
     /// Plain SGD — what the paper evaluates (enables the fused TT update).
     #[default]
@@ -77,7 +76,6 @@ pub enum OptimizerKind {
         eps: f32,
     },
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -135,9 +133,6 @@ mod tests {
             state.step(&mut w, &[100.0, 0.01], 0.1);
         }
         let ratio = w[0] / w[1];
-        assert!(
-            (0.5..2.0).contains(&ratio),
-            "adagrad should equalize progress, got ratio {ratio}"
-        );
+        assert!((0.5..2.0).contains(&ratio), "adagrad should equalize progress, got ratio {ratio}");
     }
 }

@@ -177,8 +177,7 @@ pub struct Bf16EmbeddingBag {
 impl Bf16EmbeddingBag {
     /// A randomly initialized bf16 table.
     pub fn new(rows: usize, dim: usize, scale: f32, rng: &mut impl Rng) -> Self {
-        let data =
-            (0..rows * dim).map(|_| f32_to_bf16(rng.gen_range(-scale..=scale))).collect();
+        let data = (0..rows * dim).map(|_| f32_to_bf16(rng.gen_range(-scale..=scale))).collect();
         Self { data, rows, dim }
     }
 
@@ -235,10 +234,7 @@ mod tests {
     fn bf16_round_trip_error_is_bounded() {
         for v in [0.0f32, 1.0, -1.0, 0.1234, -3.5e-3, 1024.5] {
             let r = bf16_to_f32(f32_to_bf16(v));
-            assert!(
-                (r - v).abs() <= v.abs() / 128.0 + 1e-30,
-                "bf16 error too large: {v} -> {r}"
-            );
+            assert!((r - v).abs() <= v.abs() / 128.0 + 1e-30, "bf16 error too large: {v} -> {r}");
         }
     }
 
@@ -298,12 +294,7 @@ mod tests {
         }
         let after = q.forward(&[3], &[0, 1]);
         // gradient of +1 should push every coordinate down
-        let moved = after
-            .as_slice()
-            .iter()
-            .zip(before.as_slice())
-            .filter(|(a, b)| a < b)
-            .count();
+        let moved = after.as_slice().iter().zip(before.as_slice()).filter(|(a, b)| a < b).count();
         assert!(moved >= 6, "most coordinates should decrease, moved {moved}");
     }
 

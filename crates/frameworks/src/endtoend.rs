@@ -125,8 +125,8 @@ impl FrameworkReport {
     /// divided by `gemm_scale`, gather-class by `gather_scale`, host
     /// compute unscaled, plus bus time.
     pub fn simulated_total(&self, device: &DeviceSpec) -> Duration {
-        let gemm = (self.device_wall.saturating_sub(self.device_gather)).as_secs_f64()
-            / device.gemm_scale;
+        let gemm =
+            (self.device_wall.saturating_sub(self.device_gather)).as_secs_f64() / device.gemm_scale;
         let gather = self.device_gather.as_secs_f64() / device.gather_scale;
         Duration::from_secs_f64(gemm + gather + self.cpu_wall.as_secs_f64() / device.host_scale)
             + self.meter.simulated_time(device)
@@ -184,8 +184,7 @@ pub fn run_framework(
 }
 
 fn base_config(dataset: &SyntheticDataset, params: &RunParams, tt_threshold: usize) -> DlrmConfig {
-    let mut cfg =
-        DlrmConfig::for_spec(dataset.spec(), params.dim, tt_threshold, params.tt_rank);
+    let mut cfg = DlrmConfig::for_spec(dataset.spec(), params.dim, tt_threshold, params.tt_rank);
     cfg.lr = params.lr;
     cfg.bottom_hidden = vec![32];
     cfg.top_hidden = vec![32];
@@ -305,10 +304,8 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
         let t_host = Instant::now();
         for &t in &large {
             let field = &batch.fields[t];
-            let mut rows_needed: Vec<u32> = cold_samples
-                .iter()
-                .flat_map(|&sidx| field.sample(sidx).iter().copied())
-                .collect();
+            let mut rows_needed: Vec<u32> =
+                cold_samples.iter().flat_map(|&sidx| field.sample(sidx).iter().copied()).collect();
             rows_needed.sort_unstable();
             rows_needed.dedup();
             if rows_needed.is_empty() {
@@ -329,10 +326,7 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
         device_wall += t_dev.elapsed();
     }
     let cold_frac = cold_sample_total as f64 / sample_total.max(1) as f64;
-    eprintln!(
-        "  [FAE] cold-sample fraction: {:.0}% (paper profiled ~25%)",
-        cold_frac * 100.0
-    );
+    eprintln!("  [FAE] cold-sample fraction: {:.0}% (paper profiled ~25%)", cold_frac * 100.0);
     // Estimate the gather-class share of device compute: dense embedding
     // forward (x2 for backward) on a representative batch, extrapolated.
     let probe = dataset.batch(params.first, params.batch_size);
@@ -344,16 +338,13 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
             std::hint::black_box(&out);
         }
     }
-    let device_gather = Duration::from_secs_f64(
-        t_emb.elapsed().as_secs_f64() * 2.0 * params.num_batches as f64,
-    )
-    .min(device_wall);
+    let device_gather =
+        Duration::from_secs_f64(t_emb.elapsed().as_secs_f64() * 2.0 * params.num_batches as f64)
+            .min(device_wall);
     let device_bytes: usize = large
         .iter()
         .map(|&t| {
-            ((spec.table_cardinalities[t] as f64 * params.fae_hot_ratio) as usize)
-                * params.dim
-                * 4
+            ((spec.table_cardinalities[t] as f64 * params.fae_hot_ratio) as usize) * params.dim * 4
         })
         .sum();
     let bijections = vec![None; model.num_tables()];
@@ -397,8 +388,7 @@ fn run_tt(
             .map(|b| dataset.batch(params.first + b, params.batch_size))
             .collect();
         for &t in &spec.large_tables(params.large_threshold) {
-            let lists: Vec<&[u32]> =
-                profile.iter().map(|b| &b.fields[t].indices[..]).collect();
+            let lists: Vec<&[u32]> = profile.iter().map(|b| &b.fields[t].indices[..]).collect();
             bijections[t] = Some(reorderer.fit(spec.table_cardinalities[t], &lists));
         }
     }
@@ -495,8 +485,7 @@ mod tests {
         let ttrec = run_framework(FrameworkKind::TtRec, &ds, &p);
         // FAE keeps full small tables + hot slices; TT-Rec compresses the
         // large ones outright. Both should be far below the dense total.
-        let dense_total: usize =
-            ds.spec().table_cardinalities.iter().map(|c| c * 8 * 4).sum();
+        let dense_total: usize = ds.spec().table_cardinalities.iter().map(|c| c * 8 * 4).sum();
         assert!(ttrec.report.device_embedding_bytes < dense_total);
         let _ = fae;
     }

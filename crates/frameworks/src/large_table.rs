@@ -200,8 +200,7 @@ fn dense_sharded(
     // gathers (batch*W)/W = batch rows per step -> per-device compute is
     // one measured batch. Column sharding: each device computes its dim/W
     // slice for ALL batch*W samples -> W measured (narrow) batches.
-    let per_device_compute =
-        if column_wise { c_batch * w } else { c_batch } / device.gather_scale;
+    let per_device_compute = if column_wise { c_batch * w } else { c_batch } / device.gather_scale;
 
     // All-to-all embeddings forward + gradients backward: per step the
     // fabric carries 2 * batchW * dim * 4 * (W-1)/W bytes, spread over W
@@ -210,8 +209,8 @@ fn dense_sharded(
     // critical path — the MLP cannot start before the exchange.
     let global_batch = params.batch_size * params.workers * params.lookups_per_sample;
     let a2a_total = 2.0 * (global_batch * params.dim * 4) as f64 * (w - 1.0) / w;
-    let per_device_comm = a2a_total / w / device.pcie_bps
-        + device.kernel_launch_s * 2.0 * (params.workers as f64);
+    let per_device_comm =
+        a2a_total / w / device.pcie_bps + device.kernel_launch_s * 2.0 * (params.workers as f64);
     let mut meter = CommMeter::new();
     meter.p2p((a2a_total * params.num_batches as f64) as usize);
     meter.launches(params.num_batches as usize * params.workers * 2);

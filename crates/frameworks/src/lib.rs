@@ -17,6 +17,8 @@
 //! communication converted to time through the device model (see
 //! `el-pipeline::device` and DESIGN.md's substitution table).
 
+#![forbid(unsafe_code)]
+
 pub mod endtoend;
 pub mod large_table;
 

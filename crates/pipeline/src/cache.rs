@@ -106,10 +106,7 @@ impl EmbeddingCache {
 
     /// Bytes held by cached rows (the memory the LC system bounds).
     pub fn footprint_bytes(&self) -> usize {
-        self.entries
-            .values()
-            .map(|(v, _)| v.len() * std::mem::size_of::<f32>() + 16)
-            .sum()
+        self.entries.values().map(|(v, _)| v.len() * std::mem::size_of::<f32>() + 16).sum()
     }
 }
 

@@ -20,6 +20,8 @@
 //! * [`placement`] — the heterogeneous per-table planner (dense / TT-rank
 //!   ladder / hosted) that replaces TT-Rec's homogeneous compression.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod device;
 pub mod parallel;
@@ -28,7 +30,7 @@ pub mod server;
 pub mod trainer;
 
 pub use cache::EmbeddingCache;
-pub use placement::{plan_placement, PlacementPlan, PlannerConfig, TablePlacement};
 pub use device::{CommMeter, DeviceSpec};
 pub use parallel::DataParallelTrainer;
+pub use placement::{plan_placement, PlacementPlan, PlannerConfig, TablePlacement};
 pub use trainer::{PipelineConfig, PipelineReport, PipelineTrainer};

@@ -142,9 +142,7 @@ impl DataParallelTrainer {
 
         let model = result.into_inner().expect("worker 0 must finish");
         let mut meter = CommMeter::new();
-        meter.p2p(
-            (ring_allreduce_bytes(model.grad_len(), w) * num_steps) as usize,
-        );
+        meter.p2p((ring_allreduce_bytes(model.grad_len(), w) * num_steps) as usize);
         let samples = num_steps as f64 * w as f64 * batch_size as f64;
         ParallelReport {
             losses: losses.into_inner(),

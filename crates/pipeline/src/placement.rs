@@ -18,8 +18,8 @@
 
 use crate::device::DeviceSpec;
 use crate::server::HostServer;
-use el_dlrm::{DlrmModel, EmbeddingLayer};
 use el_core::TtConfig;
+use el_dlrm::{DlrmModel, EmbeddingLayer};
 
 /// Where one table's parameters live.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,8 +105,7 @@ pub fn plan_placement(
     let budget = (device.hbm_bytes as f64 * config.hbm_fraction) as usize;
 
     let dense_bytes = |card: usize| card * dim * 4;
-    let tt_bytes =
-        |card: usize, rank: usize| TtConfig::new(card, dim, rank).param_count() * 4;
+    let tt_bytes = |card: usize, rank: usize| TtConfig::new(card, dim, rank).param_count() * 4;
 
     let mut placements = vec![TablePlacement::Hosted; profiles.len()];
     let mut device_bytes = 0usize;
@@ -220,10 +219,7 @@ pub fn apply_plan(
                 );
             }
             TablePlacement::Hosted => {
-                match std::mem::replace(
-                    &mut model.tables[t],
-                    EmbeddingLayer::Hosted { dim },
-                ) {
+                match std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim }) {
                     EmbeddingLayer::Dense(bag) => host.push((t, bag)),
                     _ => panic!("apply_plan expects a fully dense model"),
                 }
@@ -295,11 +291,8 @@ mod tests {
     #[test]
     fn impossible_budgets_spill_to_host() {
         let device = DeviceSpec::tiny(1 << 20); // 1 MB: nothing fits
-        let config = PlannerConfig {
-            dense_cutoff_bytes: 1 << 10,
-            rank_ladder: vec![32],
-            hbm_fraction: 0.5,
-        };
+        let config =
+            PlannerConfig { dense_cutoff_bytes: 1 << 10, rank_ladder: vec![32], hbm_fraction: 0.5 };
         let plan = plan_placement(&profiles(&[50_000_000, 80_000_000]), 128, &device, &config);
         assert_eq!(plan.class_counts(), (0, 0, 2));
         assert!(plan.host_bytes > 0);

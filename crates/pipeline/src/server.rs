@@ -76,11 +76,8 @@ pub struct GradientPush {
 impl GradientPush {
     /// Bytes of gradient payload (D2H traffic).
     pub fn payload_bytes(&self) -> usize {
-        let unique: usize = self
-            .tables
-            .iter()
-            .map(|(_, g)| g.indices.len() * 4 + g.values.len() * 4)
-            .sum();
+        let unique: usize =
+            self.tables.iter().map(|(_, g)| g.indices.len() * 4 + g.values.len() * 4).sum();
         let pooled: usize = self.pooled.iter().map(|(_, m)| m.footprint_bytes()).sum();
         unique + pooled
     }
@@ -248,8 +245,7 @@ impl HostServer {
             let t0 = thread_cpu_time();
             let batch = dataset.batch(first + k, batch_size);
             self.gen_time += thread_cpu_time() - t0;
-            let batch_copy =
-                (self.mode == ServerMode::PooledEmbeddings).then(|| batch.clone());
+            let batch_copy = (self.mode == ServerMode::PooledEmbeddings).then(|| batch.clone());
             let pf = self.gather(batch, k);
             if prefetch_tx.send(pf).is_err() {
                 break; // worker gone
@@ -296,12 +292,7 @@ pub fn make_queues(
 /// Sum-pools pre-fetched unique rows into per-sample embeddings — the
 /// worker-side substitute for a local `EmbeddingBag::forward` when the
 /// table lives on the host.
-pub fn pool_prefetched(
-    indices: &[u32],
-    offsets: &[u32],
-    unique: &[u32],
-    rows: &Matrix,
-) -> Matrix {
+pub fn pool_prefetched(indices: &[u32], offsets: &[u32], unique: &[u32], rows: &Matrix) -> Matrix {
     let dim = rows.cols();
     let batch = offsets.len() - 1;
     let mut out = Matrix::zeros(batch, dim);
@@ -381,10 +372,7 @@ mod tests {
         let before = s.tables[0].1.weight.row(7).to_vec();
         let push = GradientPush {
             batch_seq: 0,
-            tables: vec![(
-                0,
-                SparseGrad { indices: vec![7], values: vec![1.0; 8], dim: 8 },
-            )],
+            tables: vec![(0, SparseGrad { indices: vec![7], values: vec![1.0; 8], dim: 8 })],
             pooled: vec![],
         };
         s.apply(&push);

@@ -13,9 +13,7 @@
 
 use crate::cache::EmbeddingCache;
 use crate::device::{thread_cpu_time, CommMeter};
-use crate::server::{
-    aggregate_to_unique, make_queues, pool_prefetched, GradientPush, HostServer,
-};
+use crate::server::{aggregate_to_unique, make_queues, pool_prefetched, GradientPush, HostServer};
 use el_data::SyntheticDataset;
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_dlrm::DlrmModel;
@@ -118,7 +116,12 @@ impl PipelineTrainer {
             assert_eq!(pf.batch_seq, k);
             let batch = std::mem::replace(
                 &mut pf.batch,
-                el_data::MiniBatch { dense: Vec::new(), num_dense: 0, fields: Vec::new(), labels: Vec::new() },
+                el_data::MiniBatch {
+                    dense: Vec::new(),
+                    num_dense: 0,
+                    fields: Vec::new(),
+                    labels: Vec::new(),
+                },
             );
 
             // Stage 1 (Figure 9): synchronize pre-fetched rows with the
@@ -129,10 +132,8 @@ impl PipelineTrainer {
             for (t, unique, rows) in &mut pf.tables {
                 caches.get_mut(t).unwrap().sync(unique, rows, pf.applied_through);
                 let field = &batch.fields[*t];
-                hosted_embs.push((
-                    *t,
-                    pool_prefetched(&field.indices, &field.offsets, unique, rows),
-                ));
+                hosted_embs
+                    .push((*t, pool_prefetched(&field.indices, &field.offsets, unique, rows)));
             }
             for (t, pooled) in &pf.pooled {
                 hosted_embs.push((*t, pooled.clone()));
@@ -175,8 +176,7 @@ impl PipelineTrainer {
             gtx.send(GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes })
                 .expect("server ended early");
 
-            cache_peak =
-                cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
+            cache_peak = cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
         }
         drop(gtx);
 
@@ -228,13 +228,11 @@ mod tests {
         // host tables 1 and 2; table 0 stays on the worker
         let mut host = Vec::new();
         for t in [1usize, 2] {
-            let dense = match std::mem::replace(
-                &mut model.tables[t],
-                EmbeddingLayer::Hosted { dim: 8 },
-            ) {
-                EmbeddingLayer::Dense(bag) => bag,
-                _ => unreachable!(),
-            };
+            let dense =
+                match std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim: 8 }) {
+                    EmbeddingLayer::Dense(bag) => bag,
+                    _ => unreachable!(),
+                };
             host.push((t, dense));
         }
         (model, HostServer::new(host, 0.05), dataset)
@@ -269,11 +267,7 @@ mod tests {
         assert_eq!(seq.losses, pipe.losses, "loss trajectories diverged");
         for ((ta, a), (tb, b)) in seq.host_tables.iter().zip(&pipe.host_tables) {
             assert_eq!(ta, tb);
-            assert_eq!(
-                a.weight.as_slice(),
-                b.weight.as_slice(),
-                "host table {ta} diverged"
-            );
+            assert_eq!(a.weight.as_slice(), b.weight.as_slice(), "host table {ta} diverged");
         }
     }
 

@@ -195,10 +195,10 @@ mod tests {
 
     #[test]
     fn hot_indices_move_to_front_by_frequency() {
-        let r = Reorderer::new(ReorderConfig { hot_ratio: 0.2, seed: 1, ..ReorderConfig::default() });
+        let r =
+            Reorderer::new(ReorderConfig { hot_ratio: 0.2, seed: 1, ..ReorderConfig::default() });
         // index 7 hottest, index 3 second (hot_count = 2 of 10)
-        let batches: Vec<Vec<u32>> =
-            vec![vec![7, 7, 7, 3, 3, 1], vec![7, 3, 2], vec![7, 0]];
+        let batches: Vec<Vec<u32>> = vec![vec![7, 7, 7, 3, 3, 1], vec![7, 3, 2], vec![7, 0]];
         let refs: Vec<&[u32]> = batches.iter().map(|b| b.as_slice()).collect();
         let bij = r.fit(10, &refs);
         assert_eq!(bij.forward[7], 0);
@@ -208,7 +208,8 @@ mod tests {
     #[test]
     fn cooccurring_indices_become_neighbors() {
         // Two co-occurrence clusters scattered across the index space.
-        let r = Reorderer::new(ReorderConfig { hot_ratio: 0.0, seed: 2, ..ReorderConfig::default() });
+        let r =
+            Reorderer::new(ReorderConfig { hot_ratio: 0.0, seed: 2, ..ReorderConfig::default() });
         let a = [0u32, 17, 34, 51];
         let b = [8u32, 25, 42, 59];
         let mut batches: Vec<Vec<u32>> = Vec::new();
@@ -230,10 +231,7 @@ mod tests {
 
     #[test]
     fn apply_remaps_in_place() {
-        let bij = IndexBijection {
-            forward: vec![2, 0, 1],
-            inverse: vec![1, 2, 0],
-        };
+        let bij = IndexBijection { forward: vec![2, 0, 1], inverse: vec![1, 2, 0] };
         let mut idx = vec![0u32, 1, 2, 0];
         bij.apply(&mut idx);
         assert_eq!(idx, vec![2, 0, 1, 2]);

@@ -85,10 +85,7 @@ impl IndexGraphBuilder {
         assert_eq!(is_hot.len(), cardinality);
         Self {
             cardinality,
-            vertex_of: is_hot
-                .iter()
-                .map(|&h| if h { u32::MAX } else { u32::MAX - 1 })
-                .collect(),
+            vertex_of: is_hot.iter().map(|&h| if h { u32::MAX } else { u32::MAX - 1 }).collect(),
             vertex_index: Vec::new(),
             edges: Vec::new(),
             rng: rand::rngs::StdRng::seed_from_u64(seed),

@@ -9,7 +9,7 @@
 //!
 //! The reorderer can be configured with either algorithm
 //! ([`crate::bijection::CommunityAlgorithm`]); the `reorder` criterion
-//! bench compares their cost, and [`tests`] their quality.
+//! bench compares their cost, and the unit tests their quality.
 
 use crate::graph::IndexGraph;
 use crate::louvain::Partition;
@@ -36,16 +36,16 @@ pub fn label_propagation(graph: &IndexGraph, max_sweeps: usize) -> Partition {
             }
             // deterministic argmax: highest weight, ties to smallest label
             let current = labels[v];
-            let (best, best_w) = weight_by_label
-                .iter()
-                .map(|(&l, &w)| (l, w))
-                .fold((current, f64::MIN), |(bl, bw), (l, w)| {
+            let (best, best_w) = weight_by_label.iter().map(|(&l, &w)| (l, w)).fold(
+                (current, f64::MIN),
+                |(bl, bw), (l, w)| {
                     if w > bw + 1e-12 || (w >= bw - 1e-12 && l < bl) {
                         (l, w)
                     } else {
                         (bl, bw)
                     }
-                });
+                },
+            );
             let _ = best_w;
             if best != current {
                 labels[v] = best;
@@ -104,10 +104,7 @@ mod tests {
         let g = two_cliques();
         let q_lp = modularity(&g, &label_propagation(&g, 16));
         let q_lv = modularity(&g, &louvain(&g));
-        assert!(
-            q_lp >= q_lv - 0.1,
-            "label propagation too far behind louvain: {q_lp} vs {q_lv}"
-        );
+        assert!(q_lp >= q_lv - 0.1, "label propagation too far behind louvain: {q_lp} vs {q_lv}");
     }
 
     #[test]

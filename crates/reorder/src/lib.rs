@@ -18,6 +18,8 @@
 //! randomly initialized, relabeling rows before training is free — no data
 //! movement, no accuracy impact.
 
+#![forbid(unsafe_code)]
+
 pub mod bijection;
 pub mod graph;
 pub mod labelprop;
@@ -25,6 +27,6 @@ pub mod louvain;
 pub mod metrics;
 
 pub use bijection::{CommunityAlgorithm, IndexBijection, ReorderConfig, Reorderer};
-pub use labelprop::label_propagation;
 pub use graph::IndexGraph;
+pub use labelprop::label_propagation;
 pub use louvain::{louvain, modularity, Partition};

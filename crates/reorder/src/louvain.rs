@@ -68,9 +68,7 @@ pub fn modularity(graph: &IndexGraph, partition: &Partition) -> f64 {
             }
         }
     }
-    (0..partition.count)
-        .map(|c| intra[c] / (2.0 * m) - (degree[c] / (2.0 * m)).powi(2))
-        .sum()
+    (0..partition.count).map(|c| intra[c] / (2.0 * m) - (degree[c] / (2.0 * m)).powi(2)).sum()
 }
 
 /// Runs Louvain community detection; returns a partition with contiguous
@@ -82,9 +80,8 @@ pub fn louvain(graph: &IndexGraph) -> Partition {
     }
     // Working graph in adjacency-list form (aggregated levels need
     // mutation).
-    let mut adj: Vec<Vec<(u32, f64)>> = (0..n)
-        .map(|v| graph.neighbors(v).map(|(nb, w)| (nb, w as f64)).collect())
-        .collect();
+    let mut adj: Vec<Vec<(u32, f64)>> =
+        (0..n).map(|v| graph.neighbors(v).map(|(nb, w)| (nb, w as f64)).collect()).collect();
     let mut self_loops = vec![0f64; n];
     // membership of original vertices through all levels
     let mut assignment: Vec<u32> = (0..n as u32).collect();
@@ -142,17 +139,12 @@ pub fn louvain(graph: &IndexGraph) -> Partition {
 
 /// One round of greedy local moving. Returns the level-local partition and
 /// whether any move improved modularity.
-fn local_moving(
-    adj: &[Vec<(u32, f64)>],
-    self_loops: &[f64],
-    m: f64,
-) -> (Partition, bool) {
+fn local_moving(adj: &[Vec<(u32, f64)>], self_loops: &[f64], m: f64) -> (Partition, bool) {
     let n = adj.len();
     let mut community: Vec<u32> = (0..n as u32).collect();
     // Community total degree (incl. self loops counted twice).
-    let degree: Vec<f64> = (0..n)
-        .map(|v| adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loops[v])
-        .collect();
+    let degree: Vec<f64> =
+        (0..n).map(|v| adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loops[v]).collect();
     let mut comm_degree = degree.clone();
 
     let mut improved_any = false;
@@ -170,8 +162,7 @@ fn local_moving(
             comm_degree[cv as usize] -= degree[v];
             // Gain of joining community c: w_{v->c}/m - k_v * K_c / (2 m^2);
             // compare against rejoining its own community.
-            let base = w_to_own / m
-                - degree[v] * comm_degree[cv as usize] / (2.0 * m * m);
+            let base = w_to_own / m - degree[v] * comm_degree[cv as usize] / (2.0 * m * m);
             let mut best_c = cv;
             let mut best_gain = base;
             for (&c, &w_vc) in &to_comm {

@@ -107,9 +107,8 @@ mod tests {
     #[test]
     fn reordering_improves_reuse_on_clustered_workload() {
         // co-occurring clusters scattered through a 256-wide index space
-        let clusters: Vec<Vec<u32>> = (0..8)
-            .map(|c| (0..8).map(|j| (c + j * 8) as u32 * 4 % 256).collect())
-            .collect();
+        let clusters: Vec<Vec<u32>> =
+            (0..8).map(|c| (0..8).map(|j| (c + j * 8) as u32 * 4 % 256).collect()).collect();
         let mut batches: Vec<Vec<u32>> = Vec::new();
         for _ in 0..6 {
             for c in &clusters {
@@ -119,11 +118,11 @@ mod tests {
         let refs: Vec<&[u32]> = batches.iter().map(|b| b.as_slice()).collect();
         let before = mean_reuse_opportunity(&refs, 8);
 
-        let bij = Reorderer::new(ReorderConfig { hot_ratio: 0.0, seed: 3, ..ReorderConfig::default() }).fit(256, &refs);
-        let remapped: Vec<Vec<u32>> = batches
-            .iter()
-            .map(|b| b.iter().map(|&i| bij.forward[i as usize]).collect())
-            .collect();
+        let bij =
+            Reorderer::new(ReorderConfig { hot_ratio: 0.0, seed: 3, ..ReorderConfig::default() })
+                .fit(256, &refs);
+        let remapped: Vec<Vec<u32>> =
+            batches.iter().map(|b| b.iter().map(|&i| bij.forward[i as usize]).collect()).collect();
         let refs2: Vec<&[u32]> = remapped.iter().map(|b| b.as_slice()).collect();
         let after = mean_reuse_opportunity(&refs2, 8);
         assert!(

@@ -112,7 +112,18 @@ pub fn gemm_nn(
     assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
     if m * n * k >= micro::PACK_CUTOFF {
-        micro::gemm_packed(m, n, k, alpha, a, Layout::row_major(k), b, Layout::row_major(n), beta, c);
+        micro::gemm_packed(
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            Layout::row_major(k),
+            b,
+            Layout::row_major(n),
+            beta,
+            c,
+        );
     } else {
         gemm_nn_axpy(m, n, k, alpha, a, b, beta, c);
     }
@@ -177,7 +188,7 @@ pub fn gemm_nn_axpy(
 /// General GEMM with transpose flags.
 ///
 /// The `Trans::No/No` case dispatches to [`gemm_nn`]. Transposed operands
-/// are consumed in place: above [`TRANS_PACK_CUTOFF`] the packed kernel
+/// are consumed in place: above `TRANS_PACK_CUTOFF` the packed kernel
 /// absorbs the transpose into its packing strides, below it the reference
 /// loop reads through the strides directly — neither path allocates.
 #[allow(clippy::too_many_arguments)]
@@ -222,7 +233,7 @@ pub fn gemm(
 /// Row-parallel GEMM for the large MLP products: `C = alpha*A*B + beta*C`.
 ///
 /// Rows of `C` are split into contiguous bands sized by flops — each band
-/// carries roughly [`PAR_BAND_FLOPS`] multiply-adds, enough to amortize
+/// carries roughly `PAR_BAND_FLOPS` multiply-adds, enough to amortize
 /// fork/join while leaving several chunks per worker for stealing. Falls
 /// back to the sequential kernel when the whole problem is too small.
 // BLAS-style signature: callers read it like `sgemm`.
@@ -251,13 +262,11 @@ pub fn par_gemm(
     let by_flops = (PAR_BAND_FLOPS / (2 * n * k).max(1)).max(1);
     let by_threads = m.div_ceil(rayon::current_num_threads() * 2).max(1);
     let band = by_flops.min(by_threads);
-    c.par_chunks_mut(band * n)
-        .enumerate()
-        .for_each(|(bi, c_band)| {
-            let row0 = bi * band;
-            let rows = c_band.len() / n;
-            gemm_nn(rows, n, k, alpha, &a[row0 * k..(row0 + rows) * k], b, beta, c_band);
-        });
+    c.par_chunks_mut(band * n).enumerate().for_each(|(bi, c_band)| {
+        let row0 = bi * band;
+        let rows = c_band.len() / n;
+        gemm_nn(rows, n, k, alpha, &a[row0 * k..(row0 + rows) * k], b, beta, c_band);
+    });
 }
 
 /// Work target per parallel band of [`par_gemm`] (multiply-adds).
@@ -293,24 +302,22 @@ pub fn par_gemm_bt(
     let by_flops = (PAR_BAND_FLOPS / (2 * n * k).max(1)).max(1);
     let by_threads = m.div_ceil(rayon::current_num_threads() * 2).max(1);
     let band = by_flops.min(by_threads);
-    c.par_chunks_mut(band * n)
-        .enumerate()
-        .for_each(|(bi, c_band)| {
-            let row0 = bi * band;
-            let rows = c_band.len() / n;
-            gemm(
-                rows,
-                n,
-                k,
-                alpha,
-                &a[row0 * k..(row0 + rows) * k],
-                Trans::No,
-                b,
-                Trans::Yes,
-                beta,
-                c_band,
-            );
-        });
+    c.par_chunks_mut(band * n).enumerate().for_each(|(bi, c_band)| {
+        let row0 = bi * band;
+        let rows = c_band.len() / n;
+        gemm(
+            rows,
+            n,
+            k,
+            alpha,
+            &a[row0 * k..(row0 + rows) * k],
+            Trans::No,
+            b,
+            Trans::Yes,
+            beta,
+            c_band,
+        );
+    });
 }
 
 /// Accumulates `C += A^T * B` without materializing the transpose.
@@ -326,7 +333,16 @@ pub fn add_at_b(p: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert_eq!(c.len(), m * n);
     if p * m * n >= micro::PACK_CUTOFF {
         return micro::gemm_packed(
-            m, n, p, 1.0, a, Layout::transposed(m), b, Layout::row_major(n), 1.0, c,
+            m,
+            n,
+            p,
+            1.0,
+            a,
+            Layout::transposed(m),
+            b,
+            Layout::row_major(n),
+            1.0,
+            c,
         );
     }
     for row in 0..p {
@@ -354,7 +370,16 @@ pub fn add_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert_eq!(c.len(), m * n);
     if m * n * k >= micro::PACK_CUTOFF {
         return micro::gemm_packed(
-            m, n, k, 1.0, a, Layout::row_major(k), b, Layout::transposed(k), 1.0, c,
+            m,
+            n,
+            k,
+            1.0,
+            a,
+            Layout::row_major(k),
+            b,
+            Layout::transposed(k),
+            1.0,
+            c,
         );
     }
     for i in 0..m {
@@ -375,16 +400,7 @@ pub fn add_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let mut c = Matrix::zeros(a.rows(), b.cols());
-    gemm_nn(
-        a.rows(),
-        b.cols(),
-        a.cols(),
-        1.0,
-        a.as_slice(),
-        b.as_slice(),
-        0.0,
-        c.as_mut_slice(),
-    );
+    gemm_nn(a.rows(), b.cols(), a.cols(), 1.0, a.as_slice(), b.as_slice(), 0.0, c.as_mut_slice());
     c
 }
 
@@ -411,7 +427,9 @@ mod tests {
     fn blocked_matches_reference_on_odd_shapes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         // spans both sides of the packing cutoff (64^3 is above it)
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 64, 64), (65, 63, 130), (2, 200, 2)] {
+        for &(m, n, k) in
+            &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (64, 64, 64), (65, 63, 130), (2, 200, 2)]
+        {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let mut c_ref = rand_vec(m * n, &mut rng);
@@ -442,11 +460,9 @@ mod tests {
         // small shape exercises the strided reference path, large the
         // packed path
         for &(m, n, k) in &[(11, 7, 5), (40, 30, 20)] {
-            for &(ta, tb) in &[
-                (Trans::Yes, Trans::No),
-                (Trans::No, Trans::Yes),
-                (Trans::Yes, Trans::Yes),
-            ] {
+            for &(ta, tb) in
+                &[(Trans::Yes, Trans::No), (Trans::No, Trans::Yes), (Trans::Yes, Trans::Yes)]
+            {
                 let a = rand_vec(m * k, &mut rng);
                 let b = rand_vec(k * n, &mut rng);
                 let mut c_ref = vec![0.0; m * n];

@@ -24,6 +24,8 @@
 //! * [`shape`] — factorization helpers that split embedding-table dimensions
 //!   `M`/`N` into balanced TT factors.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod batched;
 pub mod gemm;
 pub mod matrix;

@@ -202,11 +202,7 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Extracts a sub-matrix (used by sharded-embedding baselines).
@@ -214,7 +210,8 @@ impl Matrix {
         assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..rows {
-            let src = &self.data[(row0 + r) * self.cols + col0..(row0 + r) * self.cols + col0 + cols];
+            let src =
+                &self.data[(row0 + r) * self.cols + col0..(row0 + r) * self.cols + col0 + cols];
             out.row_mut(r).copy_from_slice(src);
         }
         out

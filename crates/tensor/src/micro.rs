@@ -31,16 +31,21 @@ pub const MR: usize = 6;
 /// Columns per B panel / micro-tile: two 8-lane f32 vectors.
 pub const NR: usize = 16;
 /// Depth of one packed block (`KC x NR` sliver = 16 KiB, half of L1d).
-pub const KC: usize = 256;
+///
+/// Under Miri the cache-blocking constants shrink (`KC = 16`, `MC = 12`,
+/// `NC = 32`, `PACK_CUTOFF = 256`) so the multi-block loop structure and
+/// tail-panel arithmetic execute at interpreter-affordable sizes; the
+/// constants are performance tuning only, never correctness.
+pub const KC: usize = if cfg!(miri) { 16 } else { 256 };
 /// Rows of one packed A block (multiple of `MR`; `MC x KC` = 120 KiB ≈ L2).
-pub const MC: usize = 120;
+pub const MC: usize = if cfg!(miri) { 12 } else { 120 };
 /// Columns of one packed B panel (multiple of `NR`; `KC x NC` = 512 KiB).
-pub const NC: usize = 512;
+pub const NC: usize = if cfg!(miri) { 32 } else { 512 };
 
 /// `m·n·k` at or above which packing pays for itself. Below it (notably the
 /// TT-slice products, whose `m·n·k` is a few thousand) the axpy kernel in
 /// [`crate::gemm`] wins because the operands already fit in L1.
-pub const PACK_CUTOFF: usize = 1 << 17;
+pub const PACK_CUTOFF: usize = if cfg!(miri) { 1 << 8 } else { 1 << 17 };
 
 /// Strides describing how a logical `rows x cols` operand sits in its
 /// slice: element `(r, c)` lives at `r * rs + c * cs`.
@@ -169,9 +174,72 @@ fn ukr_portable(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     ukr_body::<false>(kc, a, b, acc);
 }
 
+/// Portable-kernel override state: 0 = consult `EL_FORCE_PORTABLE` (once),
+/// 1 = forced portable, 2 = hardware dispatch allowed.
+static FORCE_PORTABLE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// True when kernel dispatch must ignore hardware FMA and use the portable
+/// micro-kernel.
+///
+/// Controlled three ways, in priority order:
+/// 1. [`set_force_portable`] (test hook) — explicit `true`/`false` wins;
+/// 2. under Miri the portable kernel is always used, so the interpreter
+///    never executes `#[target_feature]` code its host may not model;
+/// 3. the `EL_FORCE_PORTABLE` environment variable (`1`/`true`/`yes`,
+///    consulted once): the production escape hatch, and how the analysis
+///    harness pins the packing + pointer-arithmetic paths onto code Miri
+///    can check.
+pub fn force_portable() -> bool {
+    use std::sync::atomic::Ordering;
+    if cfg!(miri) {
+        return true;
+    }
+    match FORCE_PORTABLE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("EL_FORCE_PORTABLE")
+                .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+                .unwrap_or(false);
+            FORCE_PORTABLE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Test hook overriding the `EL_FORCE_PORTABLE` decision (process-global).
+/// `Some(true)` forces the portable kernel, `Some(false)` re-enables
+/// hardware dispatch, `None` re-reads the environment on next use. Both
+/// kernels compute identical results, so flipping this concurrently with
+/// running GEMMs is benign.
+pub fn set_force_portable(on: Option<bool>) {
+    use std::sync::atomic::Ordering;
+    FORCE_PORTABLE.store(
+        match on {
+            Some(true) => 1,
+            Some(false) => 2,
+            None => 0,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Name of the micro-kernel the current dispatch decision selects — for
+/// logs and tests asserting the override took effect.
+pub fn active_kernel() -> &'static str {
+    if use_fma() {
+        "avx2+fma"
+    } else {
+        "portable"
+    }
+}
+
 /// One-time runtime dispatch: true when the AVX2+FMA micro-kernel is safe
-/// to call on this machine.
+/// to call on this machine (and no portable override is active).
 fn use_fma() -> bool {
+    if force_portable() {
+        return false;
+    }
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
     {
         use std::sync::atomic::{AtomicU8, Ordering};
@@ -180,8 +248,8 @@ fn use_fma() -> bool {
             1 => true,
             2 => false,
             _ => {
-                let ok = std::is_x86_feature_detected!("avx2")
-                    && std::is_x86_feature_detected!("fma");
+                let ok =
+                    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
                 STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
                 ok
             }
@@ -306,8 +374,18 @@ pub fn gemm_packed(
                         ensure_len(a_buf, a_need);
                         pack_a(a, la, ic, mc, pc, kc, &mut a_buf[..a_need]);
                         macro_kernel(
-                            mc, nc, kc, alpha, beta_eff, &a_buf[..a_need], &b_buf[..b_need], c,
-                            n, ic, jc, fma,
+                            mc,
+                            nc,
+                            kc,
+                            alpha,
+                            beta_eff,
+                            &a_buf[..a_need],
+                            &b_buf[..b_need],
+                            c,
+                            n,
+                            ic,
+                            jc,
+                            fma,
                         );
                         ic += mc;
                     }
@@ -446,6 +524,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "multi-second shapes; miri covers the same paths at small sizes")]
     fn packed_matches_reference_across_tile_remainders() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(41);
         // shapes probing every edge: sub-tile, exact tiles, MR/NR/KC
@@ -465,7 +544,15 @@ mod tests {
             let mut c_pck = c_ref.clone();
             gemm_ref(m, n, k, 0.9, &a, Trans::No, &b, Trans::No, 0.4, &mut c_ref);
             gemm_packed(
-                m, n, k, 0.9, &a, Layout::row_major(k), &b, Layout::row_major(n), 0.4,
+                m,
+                n,
+                k,
+                0.9,
+                &a,
+                Layout::row_major(k),
+                &b,
+                Layout::row_major(n),
+                0.4,
                 &mut c_pck,
             );
             assert_close(&c_ref, &c_pck, 1e-4);
@@ -475,12 +562,10 @@ mod tests {
     #[test]
     fn strided_layouts_absorb_transposes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let (m, n, k) = (37, 29, 23);
-        for &(ta, tb) in &[
-            (Trans::Yes, Trans::No),
-            (Trans::No, Trans::Yes),
-            (Trans::Yes, Trans::Yes),
-        ] {
+        let (m, n, k) = if cfg!(miri) { (9, 8, 7) } else { (37, 29, 23) };
+        for &(ta, tb) in
+            &[(Trans::Yes, Trans::No), (Trans::No, Trans::Yes), (Trans::Yes, Trans::Yes)]
+        {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let la = match ta {
@@ -503,12 +588,45 @@ mod tests {
     fn degenerate_shapes_follow_blas_contract() {
         // m == 0 / n == 0: no-op; k == 0: C = beta * C with NaN-safe beta=0.
         let mut c: Vec<f32> = vec![];
-        gemm_packed(0, 5, 3, 1.0, &[], Layout::row_major(3), &[0.0; 15], Layout::row_major(5), 0.0, &mut c);
+        gemm_packed(
+            0,
+            5,
+            3,
+            1.0,
+            &[],
+            Layout::row_major(3),
+            &[0.0; 15],
+            Layout::row_major(5),
+            0.0,
+            &mut c,
+        );
         let mut c = vec![f32::NAN; 6];
-        gemm_packed(2, 3, 0, 1.0, &[], Layout::row_major(0), &[], Layout::row_major(3), 0.0, &mut c);
+        gemm_packed(
+            2,
+            3,
+            0,
+            1.0,
+            &[],
+            Layout::row_major(0),
+            &[],
+            Layout::row_major(3),
+            0.0,
+            &mut c,
+        );
         assert!(c.iter().all(|&x| x == 0.0));
         let mut c = vec![2.0; 6];
-        gemm_packed(2, 3, 0, 1.0, &[], Layout::row_major(0), &[], Layout::row_major(3), 0.5, &mut c);
+        gemm_packed(
+            2,
+            3,
+            0,
+            1.0,
+            &[],
+            Layout::row_major(0),
+            &[],
+            Layout::row_major(3),
+            0.5,
+            &mut c,
+        );
         assert!(c.iter().all(|&x| x == 1.0));
     }
 
@@ -525,7 +643,9 @@ mod tests {
     #[test]
     fn prepacked_a_matches_full_packed() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(43);
-        let (m, n, k) = (11, 600, 40);
+        // `k` must stay within the (miri-shrunk) KC; `n` spans several NC
+        // panels either way.
+        let (m, n, k) = if cfg!(miri) { (5, 70, 12) } else { (11, 600, 40) };
         let a = rand_vec(m * k, &mut rng);
         let b1 = rand_vec(k * n, &mut rng);
         let b2 = rand_vec(k * n, &mut rng);
@@ -536,9 +656,31 @@ mod tests {
             gemm_prepacked_a(m, n, k, 1.0, apack, &b1, Layout::row_major(n), 0.0, &mut c_pre1);
             gemm_prepacked_a(m, n, k, 1.0, apack, &b2, Layout::row_major(n), 0.0, &mut c_pre2);
         });
-        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b1, Layout::row_major(n), 0.0, &mut c_full);
+        gemm_packed(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            Layout::row_major(k),
+            &b1,
+            Layout::row_major(n),
+            0.0,
+            &mut c_full,
+        );
         assert_close(&c_full, &c_pre1, 1e-5);
-        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b2, Layout::row_major(n), 0.0, &mut c_full);
+        gemm_packed(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            Layout::row_major(k),
+            &b2,
+            Layout::row_major(n),
+            0.0,
+            &mut c_full,
+        );
         assert_close(&c_full, &c_pre2, 1e-5);
     }
 
@@ -552,15 +694,23 @@ mod tests {
         let (m, n, k) = (8, 16, 12);
         let a = rand_vec(m * k, &mut rng);
         let b = rand_vec(k * n, &mut rng);
-        let (im, inn, ik) = (64, 64, 64);
+        let (im, inn, ik) = if cfg!(miri) { (16, 16, 16) } else { (64, 64, 64) };
         let ia = rand_vec(im * ik, &mut rng);
         let ib = rand_vec(ik * inn, &mut rng);
         let mut c_outer = vec![0.0; m * n];
         let mut c_inner = vec![0.0; im * inn];
         with_packed_a(m, k, &a, Layout::row_major(k), |apack| {
             gemm_packed(
-                im, inn, ik, 1.0, &ia, Layout::row_major(ik), &ib,
-                Layout::row_major(inn), 0.0, &mut c_inner,
+                im,
+                inn,
+                ik,
+                1.0,
+                &ia,
+                Layout::row_major(ik),
+                &ib,
+                Layout::row_major(inn),
+                0.0,
+                &mut c_inner,
             );
             gemm_prepacked_a(m, n, k, 1.0, apack, &b, Layout::row_major(n), 0.0, &mut c_outer);
         });
@@ -576,5 +726,90 @@ mod tests {
     fn block_constants_are_tile_aligned() {
         assert_eq!(MC % MR, 0, "MC must hold whole A panels");
         assert_eq!(NC % NR, 0, "NC must hold whole B panels");
+    }
+
+    /// Miri-sized sweep of the packing + tile arithmetic: shapes straddle
+    /// every boundary of the (miri-shrunk) MR/NR/KC/MC/NC grid, so the
+    /// multi-block loops, tail panels and zero-padding all execute under
+    /// the interpreter in a few thousand operations.
+    #[test]
+    fn small_shapes_cover_all_pack_boundaries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR - 1, NR - 1, 2),
+            (MR, NR, 3),
+            (MR + 1, NR + 1, KC.min(8) + 1),
+            (MC + 1, NC + 1, KC + 1),
+        ] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c_ref = rand_vec(m * n, &mut rng);
+            let mut c_pck = c_ref.clone();
+            gemm_ref(m, n, k, 1.1, &a, Trans::No, &b, Trans::No, 0.3, &mut c_ref);
+            gemm_packed(
+                m,
+                n,
+                k,
+                1.1,
+                &a,
+                Layout::row_major(k),
+                &b,
+                Layout::row_major(n),
+                0.3,
+                &mut c_pck,
+            );
+            assert_close(&c_ref, &c_pck, 1e-4);
+        }
+    }
+
+    /// The portable-kernel override: forcing it must flip the dispatch
+    /// decision (observable through [`active_kernel`]) without changing
+    /// results; resetting must restore the environment-driven default.
+    #[test]
+    fn force_portable_override_flips_dispatch_not_results() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+        let (m, n, k) = (MR + 2, NR + 2, 5);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c_hw = vec![0.0; m * n];
+        let mut c_po = vec![0.0; m * n];
+
+        set_force_portable(Some(false));
+        let hw_kernel = active_kernel();
+        gemm_packed(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            Layout::row_major(k),
+            &b,
+            Layout::row_major(n),
+            0.0,
+            &mut c_hw,
+        );
+
+        set_force_portable(Some(true));
+        assert_eq!(active_kernel(), "portable");
+        gemm_packed(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            Layout::row_major(k),
+            &b,
+            Layout::row_major(n),
+            0.0,
+            &mut c_po,
+        );
+
+        set_force_portable(None);
+        if cfg!(miri) {
+            // Miri pins dispatch to the portable kernel unconditionally.
+            assert_eq!(hw_kernel, "portable");
+        }
+        assert_close(&c_hw, &c_po, 1e-5);
     }
 }

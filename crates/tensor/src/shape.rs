@@ -78,9 +78,7 @@ pub fn exact_factorization(n: usize, d: usize) -> Option<Vec<usize>> {
                 if cand >= 1 && cand <= n {
                     let better = match best {
                         None => true,
-                        Some(b) => {
-                            (cand as f64 - ideal).abs() < (b as f64 - ideal).abs()
-                        }
+                        Some(b) => (cand as f64 - ideal).abs() < (b as f64 - ideal).abs(),
                     };
                     // a factor of 1 in a multi-way split wastes a core
                     if better && (cand > 1 || n == 1) {

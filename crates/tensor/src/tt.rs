@@ -94,8 +94,7 @@ impl TtCores {
         assert_eq!(ranks[d], 1, "R_d must be 1");
 
         let path_count: f64 = ranks.iter().map(|&r| r as f64).product();
-        let sigma =
-            ((target_std as f64).powi(2) / path_count).powf(1.0 / (2.0 * d as f64)) as f32;
+        let sigma = ((target_std as f64).powi(2) / path_count).powf(1.0 / (2.0 * d as f64)) as f32;
 
         let cores = (0..d)
             .map(|k| {
@@ -305,8 +304,7 @@ mod tests {
     #[test]
     fn random_cores_have_declared_shapes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let tt =
-            TtCores::random(vec![4, 5, 6], vec![2, 4, 4], vec![1, 8, 8, 1], 0.1, &mut rng);
+        let tt = TtCores::random(vec![4, 5, 6], vec![2, 4, 4], vec![1, 8, 8, 1], 0.1, &mut rng);
         assert_eq!(tt.order(), 3);
         assert_eq!(tt.row_capacity(), 120);
         assert_eq!(tt.embedding_dim(), 32);
@@ -319,19 +317,10 @@ mod tests {
     fn random_init_hits_target_std() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let target = 0.1f32;
-        let tt = TtCores::random(
-            vec![8, 8, 8],
-            vec![4, 4, 4],
-            vec![1, 16, 16, 1],
-            target,
-            &mut rng,
-        );
+        let tt =
+            TtCores::random(vec![8, 8, 8], vec![4, 4, 4], vec![1, 16, 16, 1], target, &mut rng);
         let dense = tt.reconstruct();
-        let var: f64 = dense
-            .as_slice()
-            .iter()
-            .map(|&x| (x as f64) * (x as f64))
-            .sum::<f64>()
+        let var: f64 = dense.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
             / dense.len() as f64;
         let std = var.sqrt() as f32;
         assert!(
@@ -391,10 +380,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let table = Matrix::uniform(6, 4, 1.0, &mut rng);
         let cores = TtCores::from_dense(&table, vec![2, 3], vec![2, 2], 16);
-        let err = cores
-            .reconstruct()
-            .submatrix(0, 0, 6, 4)
-            .max_abs_diff(&table);
+        let err = cores.reconstruct().submatrix(0, 0, 6, 4).max_abs_diff(&table);
         assert!(err < 1e-3);
     }
 
@@ -402,13 +388,8 @@ mod tests {
     fn footprint_is_much_smaller_than_dense() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         // 1M-row table at dim 64, rank 16
-        let tt = TtCores::random(
-            vec![100, 100, 100],
-            vec![4, 4, 4],
-            vec![1, 16, 16, 1],
-            0.1,
-            &mut rng,
-        );
+        let tt =
+            TtCores::random(vec![100, 100, 100], vec![4, 4, 4], vec![1, 16, 16, 1], 0.1, &mut rng);
         let dense_bytes = 1_000_000usize * 64 * 4;
         assert!(tt.footprint_bytes() * 50 < dense_bytes);
         assert!(tt.compression_ratio(1_000_000) > 50.0);

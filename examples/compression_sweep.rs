@@ -23,8 +23,7 @@ fn main() {
     // --- Part 1: TT-SVD of a structured matrix.
     println!("TT-SVD reconstruction error vs rank (64x32 structured table):");
     let table = Matrix::from_fn(64, 32, |r, c| {
-        ((r as f32) * 0.1).sin() * ((c as f32) * 0.2).cos()
-            + 0.01 * ((r * 31 + c * 7) % 13) as f32
+        ((r as f32) * 0.1).sin() * ((c as f32) * 0.2).cos() + 0.01 * ((r * 31 + c * 7) % 13) as f32
     });
     for rank in [1usize, 2, 4, 8, 16] {
         let dec = decompose(&table, 3, rank);

@@ -29,10 +29,9 @@ fn build(dataset: &SyntheticDataset) -> (DlrmModel, HostServer) {
     let mut host = Vec::new();
     for (t, &card) in dataset.spec().table_cardinalities.iter().enumerate() {
         if card >= 1000 {
-            if let EmbeddingLayer::Dense(bag) = std::mem::replace(
-                &mut model.tables[t],
-                EmbeddingLayer::Hosted { dim: 16 },
-            ) {
+            if let EmbeddingLayer::Dense(bag) =
+                std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim: 16 })
+            {
                 host.push((t, bag));
             }
         }
@@ -76,16 +75,9 @@ fn main() {
         pipe.losses.last().unwrap(),
         pipe.stale_hits
     );
-    println!(
-        "peak embedding-cache footprint: {:.1} KB",
-        pipe.cache_peak_bytes as f64 / 1e3
-    );
+    println!("peak embedding-cache footprint: {:.1} KB", pipe.cache_peak_bytes as f64 / 1e3);
 
-    let identical = seq
-        .losses
-        .iter()
-        .zip(&pipe.losses)
-        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let identical = seq.losses.iter().zip(&pipe.losses).all(|(a, b)| a.to_bits() == b.to_bits());
     println!(
         "\nloss trajectories bit-identical: {identical} \
          (the RAW-conflict cache at work — paper Figure 10)"

@@ -65,8 +65,5 @@ fn main() {
     let mut row = vec![0.0f32; 64];
     table.reconstruct_row(3, &mut row);
     let direct = Matrix::from_vec(1, 64, row);
-    println!(
-        "row 3 reconstructs to a vector of norm {:.4}",
-        direct.frobenius_norm()
-    );
+    println!("row 3 reconstructs to a vector of norm {:.4}", direct.frobenius_norm());
 }

@@ -25,6 +25,8 @@
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 pub use el_core as core;
 pub use el_data as data;
 pub use el_dlrm as dlrm;

@@ -10,13 +10,17 @@
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency set to the substrate crates.
 
+#![forbid(unsafe_code)]
+
 use el_rec::core::TtConfig;
 use el_rec::data::stats::AccessHistogram;
 use el_rec::data::{DatasetSpec, MiniBatch, SyntheticDataset};
 use el_rec::dlrm::checkpoint::DlrmCheckpoint;
 use el_rec::dlrm::{DlrmConfig, DlrmModel, OptimizerKind};
 use el_rec::pipeline::device::DeviceSpec;
-use el_rec::pipeline::placement::{plan_placement, uniform_profiles, PlannerConfig, TablePlacement};
+use el_rec::pipeline::placement::{
+    plan_placement, uniform_profiles, PlannerConfig, TablePlacement,
+};
 use el_rec::reorder::{ReorderConfig, Reorderer};
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -96,9 +100,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        let key = a
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --option, got {a:?}"))?;
+        let key = a.strip_prefix("--").ok_or_else(|| format!("expected --option, got {a:?}"))?;
         // boolean flags take no value
         if matches!(key, "reorder") {
             flags.push(key.to_string());
@@ -194,18 +196,13 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_eval(opts: &Opts) -> Result<(), String> {
-    let path = opts
-        .map
-        .get("checkpoint")
-        .ok_or("eval requires --checkpoint PATH")?;
-    let mut model = DlrmCheckpoint::load_file(path)
-        .map_err(|e| format!("loading checkpoint: {e}"))?
-        .restore();
+    let path = opts.map.get("checkpoint").ok_or("eval requires --checkpoint PATH")?;
+    let mut model =
+        DlrmCheckpoint::load_file(path).map_err(|e| format!("loading checkpoint: {e}"))?.restore();
     let ds = dataset_from(opts)?;
     let batches: u64 = opts.get("batches", 8)?;
     let batch_size: usize = opts.get("batch-size", 512)?;
-    let eval: Vec<MiniBatch> =
-        (0..batches).map(|b| ds.batch(1_000_000 + b, batch_size)).collect();
+    let eval: Vec<MiniBatch> = (0..batches).map(|b| ds.batch(1_000_000 + b, batch_size)).collect();
     let m = model.evaluate(&eval);
     println!(
         "accuracy {:.2}%  auc {:.4}  log-loss {:.4}  ({} samples)",

@@ -65,10 +65,7 @@ fn pipelined_training_is_bitwise_equal_to_sequential() {
     let seq = run(false, 1);
     for depth in [2usize, 4, 8] {
         let pipe = run(true, depth);
-        assert_eq!(
-            seq.losses, pipe.losses,
-            "loss trajectory diverged at queue depth {depth}"
-        );
+        assert_eq!(seq.losses, pipe.losses, "loss trajectory diverged at queue depth {depth}");
         for ((ta, a), (tb, b)) in seq.host_tables.iter().zip(&pipe.host_tables) {
             assert_eq!(ta, tb);
             assert_eq!(

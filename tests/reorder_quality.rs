@@ -18,7 +18,9 @@ fn reordering_raises_reuse_opportunity_on_synthetic_communities() {
     let ds = dataset(rows);
     let profile: Vec<_> = (0..8u64).map(|b| ds.batch(b, 1024)).collect();
     let lists: Vec<&[u32]> = profile.iter().map(|b| &b.fields[0].indices[..]).collect();
-    let bij = Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 1, ..ReorderConfig::default() }).fit(rows, &lists);
+    let bij =
+        Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 1, ..ReorderConfig::default() })
+            .fit(rows, &lists);
     bij.validate().unwrap();
 
     let eval: Vec<_> = (100..106u64).map(|b| ds.batch(b, 1024)).collect();
@@ -38,10 +40,7 @@ fn reordering_raises_reuse_opportunity_on_synthetic_communities() {
     let last = *cfg.row_dims.last().unwrap();
     let before = mean_reuse_opportunity(&raw_refs, last);
     let after = mean_reuse_opportunity(&new_refs, last);
-    assert!(
-        after > before,
-        "reordering should raise prefix sharing: {before:.4} -> {after:.4}"
-    );
+    assert!(after > before, "reordering should raise prefix sharing: {before:.4} -> {after:.4}");
 }
 
 #[test]
@@ -51,7 +50,9 @@ fn reordering_reduces_forward_gemm_tasks() {
     let ds = dataset(rows);
     let profile: Vec<_> = (0..8u64).map(|b| ds.batch(b, 2048)).collect();
     let lists: Vec<&[u32]> = profile.iter().map(|b| &b.fields[0].indices[..]).collect();
-    let bij = Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 2, ..ReorderConfig::default() }).fit(rows, &lists);
+    let bij =
+        Reorderer::new(ReorderConfig { hot_ratio: 0.05, seed: 2, ..ReorderConfig::default() })
+            .fit(rows, &lists);
 
     let cfg = TtConfig::new(rows, 32, 16);
     let batch = ds.batch(200, 2048);

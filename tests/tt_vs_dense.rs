@@ -33,11 +33,7 @@ fn tt_svd_bridge_preserves_pooled_lookups() {
     let offsets = [0u32, 3, 3, 6];
     let want = dense.forward(&indices, &offsets);
     let got = tt.forward(&indices, &offsets, &mut ws);
-    assert!(
-        got.max_abs_diff(&want) < 1e-3,
-        "TT-SVD bridge mismatch: {}",
-        got.max_abs_diff(&want)
-    );
+    assert!(got.max_abs_diff(&want) < 1e-3, "TT-SVD bridge mismatch: {}", got.max_abs_diff(&want));
 }
 
 #[test]
@@ -47,10 +43,8 @@ fn all_kernel_variants_agree_on_the_bridge() {
     let offsets = [0u32, 2, 6];
     let want = dense.forward(&indices, &offsets);
     for forward in [ForwardStrategy::Naive, ForwardStrategy::Reuse] {
-        let mut tt = TtEmbeddingBag::from_cores(tt.cores().clone(), 36).with_options(TtOptions {
-            forward,
-            ..TtOptions::default()
-        });
+        let mut tt = TtEmbeddingBag::from_cores(tt.cores().clone(), 36)
+            .with_options(TtOptions { forward, ..TtOptions::default() });
         let mut ws = TtWorkspace::new();
         let got = tt.forward(&indices, &offsets, &mut ws);
         assert!(got.max_abs_diff(&want) < 1e-3, "{forward:?} diverged");

@@ -8,6 +8,8 @@
 //! with the `CRITERION_BENCH_JSON` environment variable), which is what the
 //! per-PR perf tracking in this repo consumes.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -248,11 +250,7 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher),
     {
-        let mut group = BenchmarkGroup {
-            criterion: self,
-            name: String::new(),
-            throughput: None,
-        };
+        let mut group = BenchmarkGroup { criterion: self, name: String::new(), throughput: None };
         group.run_one(name.to_string(), f);
         self
     }
@@ -298,9 +296,7 @@ fn bench_binary_stem() -> String {
         .unwrap_or("bench")
         .to_string();
     match stem.rsplit_once('-') {
-        Some((base, hash))
-            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
-        {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
             base.to_string()
         }
         _ => stem,

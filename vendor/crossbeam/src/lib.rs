@@ -1,6 +1,8 @@
 //! Offline stand-in for the `crossbeam::channel` API slice this workspace
 //! uses, layered over `std::sync::mpsc`.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;

@@ -2,6 +2,7 @@
 //! `clock_gettime` entry point behind the device cost model's
 //! per-thread CPU-time measurement.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![allow(non_camel_case_types)]
 
 /// C `time_t`.
@@ -40,6 +41,7 @@ mod tests {
     #[test]
     fn thread_cpu_clock_advances() {
         let mut a = timespec::default();
+        // SAFETY: `&mut a` is a valid, writable timespec for the call.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
         assert_eq!(rc, 0);
         // burn a little CPU so the clock must advance
@@ -49,6 +51,7 @@ mod tests {
         }
         std::hint::black_box(acc);
         let mut b = timespec::default();
+        // SAFETY: `&mut b` is a valid, writable timespec for the call.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
         assert_eq!(rc, 0);
         let ns_a = a.tv_sec as i128 * 1_000_000_000 + a.tv_nsec as i128;

@@ -1,7 +1,12 @@
 //! Offline stand-in for the `parking_lot` API slice this workspace uses:
 //! `Mutex`/`RwLock` with guard-returning (non-`Result`) lock methods,
-//! layered over `std::sync`. Poisoned locks panic, which matches how the
-//! workspace treats a panicked worker as fatal.
+//! layered over `std::sync`. Like the real `parking_lot`, these locks do
+//! **not** poison: a panic while a guard is held unlocks the lock and the
+//! next acquirer sees the data as-is. (Poison-swallowing also keeps panic
+//! propagation deterministic — the original panic is the only one the
+//! caller observes, never a secondary `PoisonError` unwrap.)
+
+#![forbid(unsafe_code)]
 
 use std::sync;
 
@@ -25,9 +30,9 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, panicking if a previous holder panicked.
+    /// Acquires the lock; panicked previous holders do not poison it.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().expect("mutex poisoned by a panicked worker")
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Attempts the lock without blocking.
@@ -37,7 +42,7 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().expect("mutex poisoned by a panicked worker")
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -60,12 +65,12 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().expect("rwlock poisoned by a panicked worker")
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Acquires the exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().expect("rwlock poisoned by a panicked worker")
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -79,6 +84,25 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_poison() {
+        let m = Mutex::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("holder dies");
+        }));
+        assert!(r.is_err());
+        *m.lock() += 1; // must not panic: parking_lot locks never poison
+        assert_eq!(*m.lock(), 1);
+        let l = RwLock::new(5);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = l.write();
+            panic!("writer dies");
+        }));
+        assert!(r.is_err());
+        assert_eq!(*l.read(), 5);
     }
 
     #[test]

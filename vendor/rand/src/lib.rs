@@ -6,6 +6,8 @@
 //! but **not** the same stream as upstream `rand`'s ChaCha12, so seeded
 //! tests see different (still deterministic) data.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: everything derives from `next_u64`.
 pub trait RngCore {
     /// Next 64 uniformly random bits.

@@ -1,6 +1,8 @@
 //! Offline stand-in for the `rand_distr 0.4` API slice this workspace
 //! uses: the [`Distribution`] trait and the [`Zipf`] distribution.
 
+#![forbid(unsafe_code)]
+
 use rand::Rng;
 
 /// Parameterized distribution producing samples of `T`.
@@ -41,7 +43,7 @@ pub struct Zipf<F> {
 impl Zipf<f64> {
     /// Creates a Zipf distribution over `1..=n` with exponent `s > 0`.
     pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
-        if n < 1 || !(s > 0.0) || !s.is_finite() {
+        if n < 1 || s <= 0.0 || !s.is_finite() {
             return Err(ZipfError);
         }
         let n = n as f64;

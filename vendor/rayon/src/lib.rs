@@ -27,12 +27,15 @@
 //! * A panic inside a task is caught on the worker, the batch is drained to
 //!   completion, and the panic is re-raised on the calling thread.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 mod pool;
 
 pub use pool::current_num_threads;
+use pool::lock_unpoisoned;
 
 /// Runs both closures, potentially in parallel, and returns their results.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
@@ -48,8 +51,8 @@ where
     let slot_b = Mutex::new(Some(oper_b));
     let out_b: Mutex<Option<RB>> = Mutex::new(None);
     let job = |_i: usize| {
-        let f = slot_b.lock().unwrap().take().expect("join task ran twice");
-        *out_b.lock().unwrap() = Some(f());
+        let f = lock_unpoisoned(&slot_b).take().expect("join task ran twice");
+        *lock_unpoisoned(&out_b) = Some(f());
     };
     let latch = pool::Latch::new(1);
     // SAFETY (lifetime erasure): `wait` does not return until the task has
@@ -313,10 +316,7 @@ impl<P: Producer> Producer for EnumerateProducer<P> {
     }
     fn split_at(self, index: usize) -> (Self, Self) {
         let (l, r) = self.base.split_at(index);
-        (
-            Self { base: l, offset: self.offset },
-            Self { base: r, offset: self.offset + index },
-        )
+        (Self { base: l, offset: self.offset }, Self { base: r, offset: self.offset + index })
     }
     fn drain(self, mut each: impl FnMut(Self::Item)) {
         let mut i = self.offset;
@@ -531,8 +531,7 @@ fn run_parts<P: Producer, R: Send>(
     part_fn: &(impl Fn(P) -> R + Sync),
 ) -> Vec<R> {
     let n = p.len();
-    let parts =
-        pool::current_num_threads().min(MAX_PARTS).min(n.div_ceil(min_len.max(1))).max(1);
+    let parts = pool::current_num_threads().min(MAX_PARTS).min(n.div_ceil(min_len.max(1))).max(1);
     run_parts_impl(p, parts, part_fn)
 }
 
@@ -556,18 +555,18 @@ fn run_parts_impl<P: Producer, R: Send>(
         if i + 1 < parts {
             let take = left.div_ceil(parts - i);
             let (l, r) = cur.split_at(take);
-            *slot.lock().unwrap() = Some(l);
+            *lock_unpoisoned(slot) = Some(l);
             rem = Some(r);
             left -= take;
         } else {
-            *slot.lock().unwrap() = Some(cur);
+            *lock_unpoisoned(slot) = Some(cur);
         }
     }
 
     let job = |i: usize| {
-        let part = slots[i].lock().unwrap().take().expect("part claimed twice");
+        let part = lock_unpoisoned(&slots[i]).take().expect("part claimed twice");
         let r = part_fn(part);
-        *results[i].lock().unwrap() = Some(r);
+        *lock_unpoisoned(&results[i]) = Some(r);
     };
     let latch = pool::Latch::new(parts - 1);
     // SAFETY (lifetime erasure): `wait` below does not return until every
@@ -583,7 +582,7 @@ fn run_parts_impl<P: Producer, R: Send>(
     results
         .iter()
         .take(parts)
-        .map(|r| r.lock().unwrap().take().expect("missing part result"))
+        .map(|r| lock_unpoisoned(r).take().expect("missing part result"))
         .collect()
 }
 
@@ -764,6 +763,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k items is interpreter-hostile; small tests cover the protocol")]
     fn large_parallel_map_collect_is_ordered() {
         let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(out.len(), 10_000);
@@ -786,7 +786,7 @@ mod tests {
         let v: Vec<u32> = (0..20).collect();
         let sums: Vec<u32> = v.par_windows(3).map(|w| w.iter().sum()).collect();
         assert_eq!(sums.len(), 18);
-        assert_eq!(sums[0], 0 + 1 + 2);
+        assert_eq!(sums[0], 1 + 2);
         assert_eq!(sums[17], 17 + 18 + 19);
     }
 
@@ -795,14 +795,15 @@ mod tests {
     /// waiting, so this exercises dispatch, helping, and ordered results.
     #[test]
     fn forced_multi_part_execution_matches_sequential() {
-        let v: Vec<u64> = (0..1000).collect();
+        let n: u64 = if cfg!(miri) { 120 } else { 1000 };
+        let v: Vec<u64> = (0..n).collect();
         let parts = run_parts_impl(VecProducer { v }, 8, &|part: VecProducer<u64>| {
             let mut s = 0u64;
             part.drain(|x| s += x);
             s
         });
         assert_eq!(parts.len(), 8);
-        assert_eq!(parts.iter().sum::<u64>(), 999 * 1000 / 2);
+        assert_eq!(parts.iter().sum::<u64>(), (n - 1) * n / 2);
     }
 
     #[test]
@@ -814,6 +815,97 @@ mod tests {
             });
         });
         assert!(r.is_err(), "panic inside a part must reach the caller");
+    }
+
+    /// The pool's dispatch/latch/lifetime-erasure protocol, driven directly
+    /// at small task counts: a *borrowed* closure is erased to `'static`,
+    /// dispatched `count` times, and `wait` must not return before every
+    /// task ran exactly once. With zero workers (1-thread hosts, the Miri
+    /// default) the caller drains its own queue inside `wait`, so the whole
+    /// protocol — enqueue, erase, help, latch countdown — runs even there.
+    #[test]
+    fn pool_dispatch_latch_protocol_small_counts() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for count in 1..=4usize {
+            let hits: Vec<AtomicUsize> = (0..=count).map(|_| AtomicUsize::new(0)).collect();
+            let job = |i: usize| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            };
+            let latch = pool::Latch::new(count);
+            // SAFETY contract (wait-before-return) upheld right below.
+            pool::dispatch(pool::erase_job(&job), &latch, count);
+            pool::wait(&latch);
+            assert_eq!(hits[0].load(Ordering::Relaxed), 0, "index 0 belongs to the caller");
+            for (i, h) in hits.iter().enumerate().skip(1) {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} must run exactly once");
+            }
+        }
+    }
+
+    /// Every consumption strategy at miri-friendly sizes, with `min_len`
+    /// forcing multi-part splits whenever more than one thread exists.
+    #[test]
+    fn all_strategies_small_counts() {
+        let mut seen: Vec<u32> = {
+            let acc = Mutex::new(Vec::new());
+            (0u32..8).into_par_iter().with_min_len(1).for_each(|i| {
+                lock_unpoisoned(&acc).push(i);
+            });
+            acc.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        };
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u32>>());
+
+        let tripled: Vec<u64> = (0u64..9).into_par_iter().with_min_len(1).map(|i| i * 3).collect();
+        assert_eq!(tripled, (0..9).map(|i| i * 3).collect::<Vec<u64>>());
+
+        let total: u64 = (1u64..8).into_par_iter().with_min_len(1).sum();
+        assert_eq!(total, 28);
+
+        let max = (0i64..6).into_par_iter().with_min_len(1).reduce(|| i64::MIN, i64::max);
+        assert_eq!(max, 5);
+
+        let pairs: Vec<(usize, i32)> = vec![10, 20, 30].into_par_iter().enumerate().collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+
+        let zipped: Vec<i32> =
+            vec![1, 2, 3].into_par_iter().zip(vec![4, 5, 6]).map(|(a, b)| a * b).collect();
+        assert_eq!(zipped, vec![4, 10, 18]);
+
+        let odd: Vec<u32> = (0u32..10).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    }
+
+    /// Nested joins over borrowed state: the inner dispatches run while the
+    /// outer latch is still open, exercising the helping path and the
+    /// lifetime-erasure soundness argument two levels deep.
+    #[test]
+    fn nested_join_small_tree() {
+        fn tree_sum(v: &[u64]) -> u64 {
+            if v.len() <= 2 {
+                return v.iter().sum();
+            }
+            let mid = v.len() / 2;
+            let (a, b) = join(|| tree_sum(&v[..mid]), || tree_sum(&v[mid..]));
+            a + b
+        }
+        let v: Vec<u64> = (0..25).collect();
+        assert_eq!(tree_sum(&v), 300);
+    }
+
+    /// A panicking dispatched side of `join` must surface exactly one panic
+    /// on the caller and leave the pool fully reusable.
+    #[test]
+    fn join_panic_propagates_and_pool_survives() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 1, || -> i32 { panic!("boom in b") });
+        });
+        assert!(r.is_err(), "panic in the dispatched closure must reach the caller");
+        // Pool must still work afterwards.
+        let (a, b) = join(|| 2, || 3);
+        assert_eq!(a + b, 5);
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -15,8 +15,16 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex, ignoring poisoning: the pool catches task panics with
+/// `catch_unwind` before they can unwind through a held queue lock, and the
+/// panic is re-raised on the *caller* by [`wait`] — so a poisoned flag here
+/// carries no information and must never wedge the pool.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Countdown latch for one dispatched batch, owned by the caller's stack
 /// frame. `panicked` latches any task panic for re-raising on the caller.
@@ -53,11 +61,30 @@ struct Shared {
 pub fn current_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
+        match std::env::var("RAYON_NUM_THREADS") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                // A set-but-useless override is a configuration bug worth
+                // one loud line (the init runs once per process), not a
+                // silent fall-through to the core count.
+                _ => {
+                    eprintln!(
+                        "warning: RAYON_NUM_THREADS={raw:?} is not a positive integer; \
+                         falling back to the core count"
+                    );
+                    fallback()
+                }
+            },
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                eprintln!(
+                    "warning: RAYON_NUM_THREADS={raw:?} is not a positive integer; \
+                     falling back to the core count"
+                );
+                fallback()
+            }
+            Err(std::env::VarError::NotPresent) => fallback(),
+        }
     })
 }
 
@@ -85,22 +112,16 @@ pub(crate) fn erase_job<'a>(
     // SAFETY: fat-pointer layout is identical across lifetimes; validity is
     // the dispatching caller's wait-before-return obligation.
     unsafe {
-        std::mem::transmute::<&'a (dyn Fn(usize) + Sync + 'a), &'static (dyn Fn(usize) + Sync)>(
-            job,
-        )
+        std::mem::transmute::<&'a (dyn Fn(usize) + Sync + 'a), &'static (dyn Fn(usize) + Sync)>(job)
     }
 }
 
 /// Enqueues `count` tasks running `job(1), …, job(count)` against `latch`.
 /// (Index 0 is reserved for the caller to run inline.)
-pub(crate) fn dispatch(
-    job: *const (dyn Fn(usize) + Sync),
-    latch: &Latch,
-    count: usize,
-) {
+pub(crate) fn dispatch(job: *const (dyn Fn(usize) + Sync), latch: &Latch, count: usize) {
     let s = shared();
     {
-        let mut q = s.queue.lock().unwrap();
+        let mut q = lock_unpoisoned(&s.queue);
         for index in 1..=count {
             q.push_back(Task { job, index, latch: latch as *const Latch });
         }
@@ -118,7 +139,7 @@ pub(crate) fn wait(latch: &Latch) {
         }
         // Help: run whatever is queued (our batch or a nested one).
         let task = {
-            let mut q = s.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&s.queue);
             match q.pop_front() {
                 Some(t) => Some(t),
                 None => {
@@ -128,7 +149,9 @@ pub(crate) fn wait(latch: &Latch) {
                     if latch.remaining.load(Ordering::Acquire) == 0 {
                         break;
                     }
-                    let _ = s.cv.wait_timeout(q, Duration::from_millis(1)).unwrap();
+                    let _ =
+                        s.cv.wait_timeout(q, Duration::from_millis(1))
+                            .unwrap_or_else(PoisonError::into_inner);
                     None
                 }
             }
@@ -145,6 +168,7 @@ pub(crate) fn wait(latch: &Latch) {
 fn run_task(s: &Shared, t: Task) {
     // SAFETY: per the dispatch contract the job and latch outlive the task.
     let job = unsafe { &*t.job };
+    // SAFETY: same dispatch contract — the latch lives until `wait` returns.
     let latch = unsafe { &*t.latch };
     let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(t.index))).is_ok();
     if !ok {
@@ -153,7 +177,7 @@ fn run_task(s: &Shared, t: Task) {
     // Decrement under the queue lock so `wait`'s check-then-sleep cannot
     // miss the final count-down, then wake every sleeper.
     {
-        let _q = s.queue.lock().unwrap();
+        let _q = lock_unpoisoned(&s.queue);
         latch.remaining.fetch_sub(1, Ordering::Release);
     }
     s.cv.notify_all();
@@ -162,12 +186,12 @@ fn run_task(s: &Shared, t: Task) {
 fn worker(s: &'static Shared) {
     loop {
         let task = {
-            let mut q = s.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&s.queue);
             loop {
                 if let Some(t) = q.pop_front() {
                     break t;
                 }
-                q = s.cv.wait(q).unwrap();
+                q = s.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         run_task(s, task);

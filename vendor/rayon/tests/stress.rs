@@ -1,0 +1,249 @@
+//! Deterministic-seed concurrency stress harness for the vendored pool.
+//!
+//! The pool's soundness story (lifetime-erased tasks + a caller that always
+//! waits) is exactly the kind of claim that only breaks under concurrency,
+//! so this harness drives it hard in four shapes:
+//!
+//! 1. **nested `join` trees** — inner dispatches run while outer latches
+//!    are open, stacking lifetime-erasure frames;
+//! 2. **disjoint parallel mutation** — `par_chunks_mut` writers verified
+//!    cell by cell;
+//! 3. **concurrent dispatchers** — several OS threads issue parallel work
+//!    against the one shared queue, so callers routinely drain *other*
+//!    callers' tasks while waiting on their own latch;
+//! 4. **panic propagation** — a panicking leaf inside nested `join` must
+//!    surface exactly one panic at the caller and leave the pool reusable
+//!    (a double panic would abort the child process, which the parent
+//!    harness would report as a failure).
+//!
+//! Thread-count coverage: the pool sizes itself once per process from
+//! `RAYON_NUM_THREADS`, so the `stress_pool_at_N_threads` tests re-exec
+//! this test binary as a subprocess with the override set to 1, 2, 4 and 8
+//! and run every scenario there. The same scenarios also run in-process
+//! (at the ambient thread count, Miri-compatible) via
+//! `stress_scenarios_inline`.
+//!
+//! All scenario data derives from fixed seeds through a splitmix64 stream —
+//! reruns see identical inputs, so a failure reproduces.
+//!
+//! Under ThreadSanitizer (`cargo xtask tsan`) the subprocess tests give the
+//! race detector 1/2/4/8-thread interleavings of the dispatch, latch and
+//! help-drain protocol.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+/// splitmix64: tiny, seedable, and good enough to decorrelate scenario
+/// inputs across iterations.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Recursive join-tree sum over a borrowed slice.
+fn tree_sum(v: &[u64]) -> u64 {
+    if v.len() <= 4 {
+        return v.iter().sum();
+    }
+    let mid = v.len() / 2;
+    let (a, b) = rayon::join(|| tree_sum(&v[..mid]), || tree_sum(&v[mid..]));
+    a.wrapping_add(b)
+}
+
+fn scenario_nested_join(seed: u64, len: usize) {
+    let mut rng = SplitMix(seed);
+    let v: Vec<u64> = (0..len).map(|_| rng.next() % 1000).collect();
+    let expect: u64 = v.iter().sum();
+    assert_eq!(tree_sum(&v), expect, "nested join tree lost or doubled work (seed {seed})");
+}
+
+fn scenario_disjoint_chunks(seed: u64, len: usize) {
+    let mut rng = SplitMix(seed);
+    let chunk = 1 + (rng.next() as usize % 7);
+    let mut v = vec![u64::MAX; len];
+    v.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| {
+        for x in c {
+            *x = i as u64;
+        }
+    });
+    for (j, &x) in v.iter().enumerate() {
+        assert_eq!(x, (j / chunk) as u64, "chunk write misplaced (seed {seed})");
+    }
+}
+
+fn scenario_concurrent_dispatchers(seed: u64, dispatchers: usize, len: usize) {
+    let total = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for d in 0..dispatchers {
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix(seed.wrapping_add(d as u64));
+            let v: Vec<u64> = (0..len).map(|_| rng.next() % 100).collect();
+            // Each dispatcher mixes strategies so several latch protocols
+            // are in flight against the shared queue at once.
+            let s1: u64 = v.par_iter().with_min_len(1).map(|&x| x).sum();
+            let s2 = tree_sum(&v);
+            let s3 = v.par_iter().with_min_len(1).map(|&x| x).reduce(|| 0, u64::wrapping_add);
+            assert_eq!(s1, s2);
+            assert_eq!(s2, s3);
+            total.fetch_add(s1 as usize, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().expect("dispatcher thread panicked");
+    }
+    assert!(total.load(Ordering::Relaxed) > 0);
+}
+
+/// The panic-propagation satellite: a panicking task inside a nested join
+/// must propagate exactly one panic to the caller (observed as one `Err`
+/// from `catch_unwind`; a second in-flight panic would abort the process)
+/// and the pool must stay reusable afterwards.
+fn scenario_panic_propagation(seed: u64, len: usize) {
+    let mut rng = SplitMix(seed);
+    let poison = rng.next() % len as u64;
+    let v: Vec<u64> = (0..len as u64).collect();
+
+    fn walk(v: &[u64], poison: u64) {
+        if v.len() <= 3 {
+            for &x in v {
+                assert!(x != poison, "stress poison {poison}");
+            }
+            return;
+        }
+        let mid = v.len() / 2;
+        rayon::join(|| walk(&v[..mid], poison), || walk(&v[mid..], poison));
+    }
+
+    let r = catch_unwind(AssertUnwindSafe(|| walk(&v, poison)));
+    assert!(r.is_err(), "poisoned nested join must panic (seed {seed})");
+
+    // Reusability: the same pool must still produce correct results.
+    assert_eq!(tree_sum(&v), v.iter().sum::<u64>(), "pool unusable after panic (seed {seed})");
+}
+
+/// One full pass over every scenario; `scale` shrinks the workload for
+/// interpreter (Miri) runs.
+fn run_all_scenarios(iterations: u64, scale: usize) {
+    for it in 0..iterations {
+        let base = 0xe1_5ec0_u64.wrapping_add(it.wrapping_mul(0x1000_0001));
+        scenario_nested_join(base, 64 * scale);
+        scenario_disjoint_chunks(base ^ 1, 97 * scale);
+        scenario_concurrent_dispatchers(base ^ 2, 4, 32 * scale);
+        scenario_panic_propagation(base ^ 3, 24 * scale);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process entry points
+// ---------------------------------------------------------------------------
+
+/// The scenarios at the ambient thread count — also the Miri entry point
+/// (`cargo xtask miri` runs it once with the queue-only single-thread pool
+/// and once with workers enabled).
+#[test]
+fn stress_scenarios_inline() {
+    if cfg!(miri) {
+        run_all_scenarios(1, 1);
+    } else {
+        run_all_scenarios(8, 4);
+    }
+}
+
+/// Subprocess body: runs only when the parent harness re-execs this binary
+/// with `EL_STRESS_CHILD` set, at the pinned `RAYON_NUM_THREADS`.
+#[test]
+fn stress_child() {
+    if std::env::var("EL_STRESS_CHILD").is_err() {
+        return; // not a child: the stress_pool_at_*_threads tests drive this
+    }
+    if let Ok(expect) = std::env::var("EL_EXPECT_THREADS") {
+        let expect: usize = expect.parse().expect("EL_EXPECT_THREADS must be an integer");
+        assert_eq!(
+            rayon::current_num_threads(),
+            expect,
+            "RAYON_NUM_THREADS override was not honored"
+        );
+    }
+    run_all_scenarios(6, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess harness
+// ---------------------------------------------------------------------------
+
+/// Re-execs this test binary with the pool pinned to `threads`, running
+/// `child_test` there, and returns the child's stderr on success.
+fn run_child(threads: &str, expect_threads: Option<usize>, child_test: &str) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.args([child_test, "--exact", "--nocapture"])
+        .env("EL_STRESS_CHILD", "1")
+        .env("RAYON_NUM_THREADS", threads)
+        .env_remove("EL_EXPECT_THREADS");
+    if let Some(n) = expect_threads {
+        cmd.env("EL_EXPECT_THREADS", n.to_string());
+    }
+    let out = cmd.output().expect("spawning stress child failed");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "stress child (RAYON_NUM_THREADS={threads}) failed: {}\n--- stdout\n{}\n--- stderr\n{stderr}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+    );
+    stderr
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "miri cannot spawn subprocesses")]
+fn stress_pool_at_1_thread() {
+    run_child("1", Some(1), "stress_child");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "miri cannot spawn subprocesses")]
+fn stress_pool_at_2_threads() {
+    run_child("2", Some(2), "stress_child");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "miri cannot spawn subprocesses")]
+fn stress_pool_at_4_threads() {
+    run_child("4", Some(4), "stress_child");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "miri cannot spawn subprocesses")]
+fn stress_pool_at_8_threads() {
+    run_child("8", Some(8), "stress_child");
+}
+
+/// The `RAYON_NUM_THREADS` misconfiguration warning (satellite): a child
+/// with an unparseable or zero override must warn once on stderr and fall
+/// back to the core count, not silently misconfigure the pool.
+#[test]
+#[cfg_attr(miri, ignore = "miri cannot spawn subprocesses")]
+fn bogus_thread_override_warns_once_and_falls_back() {
+    for bogus in ["0", "zebra", " -3 ", ""] {
+        let stderr = run_child(bogus, None, "stress_child");
+        let warnings = stderr.matches("warning: RAYON_NUM_THREADS").count();
+        assert_eq!(
+            warnings, 1,
+            "expected exactly one warning for RAYON_NUM_THREADS={bogus:?}, stderr:\n{stderr}"
+        );
+    }
+}

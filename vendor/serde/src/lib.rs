@@ -8,6 +8,8 @@
 //! tagged enums, maps for named-field structs), so checkpoints written by
 //! this shim parse under real serde and vice versa.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A self-describing value tree (the serde data model, JSON-shaped).

@@ -7,6 +7,8 @@
 //! is `#[serde(skip)]` (omit on serialize, `Default::default()` on
 //! deserialize). Anything else panics with a clear message at compile time.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 struct Field {
@@ -38,9 +40,10 @@ fn attr_is_serde_skip(attr: &Group) -> bool {
         _ => return false,
     }
     match it.next() {
-        Some(TokenTree::Group(inner)) => inner.stream().into_iter().any(|t| {
-            matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")
-        }),
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
         _ => false,
     }
 }
@@ -255,11 +258,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let pat = fields
-                            .iter()
-                            .map(|f| f.name.as_str())
-                            .collect::<Vec<_>>()
-                            .join(", ");
+                        let pat =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let mut pushes = String::new();
                         for f in fields.iter().filter(|f| !f.skip) {
                             pushes.push_str(&format!(
@@ -302,10 +302,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let mut inits = String::new();
             for f in &fields {
                 if f.skip {
-                    inits.push_str(&format!(
-                        "{}: ::std::default::Default::default(),\n",
-                        f.name
-                    ));
+                    inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
                 } else {
                     inits.push_str(&format!("{0}: serde::field(__m, \"{0}\")?,\n", f.name));
                 }
@@ -328,9 +325,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             for v in &variants {
                 let vn = &v.name;
                 match &v.kind {
-                    VariantKind::Unit => unit_arms.push_str(&format!(
-                        "\"{vn}\" => Ok(Self::{vn}),\n"
-                    )),
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok(Self::{vn}),\n"))
+                    }
                     VariantKind::Tuple(1) => data_arms.push_str(&format!(
                         "\"{vn}\" => Ok(Self::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
                     )),

@@ -6,6 +6,8 @@
 //! narrowest of i64/u64/f64; floats print via Rust's shortest round-trip
 //! `Display`, so `f32 -> f64 -> text -> f64 -> f32` is exact.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::io::{Read, Write};
@@ -272,9 +274,7 @@ impl<'a> Parser<'a> {
                                     .ok_or_else(|| self.err("invalid unicode escape"))?,
                             );
                         }
-                        other => {
-                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 Some(_) => {
@@ -371,7 +371,7 @@ mod tests {
         assert_eq!(to_string(&-3i32).unwrap(), "-3");
         assert_eq!(from_str::<i32>("-3").unwrap(), -3);
         assert_eq!(from_str::<f32>("0.25").unwrap(), 0.25);
-        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+        assert!(from_str::<bool>(" true ").unwrap());
     }
 
     #[test]

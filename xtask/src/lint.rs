@@ -1,0 +1,557 @@
+//! Source-level invariant lints.
+//!
+//! These checks encode repo conventions the compiler cannot express:
+//!
+//! 1. **`SAFETY` comments** — every occurrence of the `unsafe` keyword in
+//!    code must be justified by an adjacent `// SAFETY`-prefixed comment
+//!    (or a `/// # Safety` doc section) explaining why the invariants
+//!    hold.
+//! 2. **`deny(unsafe_op_in_unsafe_fn)`** — every compilation unit that
+//!    contains `unsafe` must carry the attribute on its crate root, so
+//!    unsafe operations are always wrapped in (and attributable to) an
+//!    explicit `unsafe {}` block.
+//! 3. **`forbid(unsafe_code)`** — library crates that are unsafe-free must
+//!    say so irrevocably, turning any future creep of `unsafe` into a
+//!    compile error reviewed on purpose.
+//! 4. **no `unwrap()`/`expect()` on lock results in library code** — lock
+//!    poisoning is either meaningful (then it deserves handling) or noise
+//!    (then `unwrap_or_else(PoisonError::into_inner)`); a bare unwrap
+//!    turns one worker panic into a cascading wedge.
+//! 5. **vendored-crate drift** — `vendor/` content must match the checked
+//!    in FNV-1a manifest (see [`crate::hash`]), so silent edits to the
+//!    "frozen" stand-ins fail CI instead of hiding in a large diff.
+//!
+//! The scanner is deliberately *textual* (a stripped-line tokenizer, not a
+//! full parser): it strips `//` comments, string/char literals and block
+//! comments before matching, which is exact on rustfmt-formatted code. The
+//! one known blind spot is multi-line raw string literals containing Rust
+//! code — the repo avoids those (and the lint's own tests construct such
+//! content with `format!` instead).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, pointing at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in (repo-relative when produced by [`run`]).
+    pub file: PathBuf,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: usize,
+    /// Short rule identifier (stable, greppable).
+    pub rule: &'static str,
+    /// Human explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line sanitizing
+// ---------------------------------------------------------------------------
+
+/// Strips string literals, char literals, `//` comments and `/* */` block
+/// comments from the lines of a file, so token searches only see code.
+/// Returns one sanitized string per input line (same line numbering).
+pub fn sanitize_lines(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // String state persists across lines: ordinary string literals may span
+    // lines in Rust (with or without a trailing `\`).
+    let mut in_string = false;
+    for line in content.lines() {
+        let mut s = String::with_capacity(line.len());
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            if in_string {
+                match c {
+                    '\\' => {
+                        chars.next(); // skip escaped char
+                    }
+                    '"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '\'' => {
+                    // Char literal or lifetime. A lifetime ('a) has no
+                    // closing quote; a char literal does. Consume a char
+                    // literal (incl. '\x' escapes); leave lifetimes alone.
+                    let mut look = chars.clone();
+                    match look.next() {
+                        Some('\\') => {
+                            // escaped char literal: skip to closing quote
+                            while let Some(c2) = chars.next() {
+                                if c2 == '\\' {
+                                    chars.next();
+                                } else if c2 == '\'' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some(_) if look.next() == Some('\'') => {
+                            chars.next();
+                            chars.next();
+                        }
+                        _ => s.push(c), // lifetime marker; keep
+                    }
+                }
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                _ => s.push(c),
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// True when `needle` occurs in `hay` as a standalone word (neighbors are
+/// not identifier characters).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !hay[..at].chars().next_back().is_some_and(ident);
+        let after_ok = !hay[at + needle.len()..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// The keyword, assembled so the lint's own source never contains a bare
+/// code-position token of it.
+fn unsafe_kw() -> &'static str {
+    "unsafe"
+}
+
+/// True when the (unsanitized) line carries a `SAFETY` justification or a
+/// `# Safety` doc heading in a comment.
+fn is_safety_comment(raw_line: &str) -> bool {
+    let t = raw_line.trim_start();
+    if let Some(rest) = t.strip_prefix("//") {
+        let rest = rest.trim_start_matches(['/', '!']).trim_start();
+        rest.starts_with("SAFETY") || rest.starts_with("# Safety")
+    } else {
+        false
+    }
+}
+
+/// Rule 1: every code occurrence of the `unsafe` keyword needs an adjacent
+/// `// SAFETY` comment — on the same line, or directly above with only
+/// comment/attribute lines in between.
+pub fn safety_comment_violations(file: &Path, content: &str) -> Vec<Violation> {
+    let raw: Vec<&str> = content.lines().collect();
+    let code = sanitize_lines(content);
+    let mut out = Vec::new();
+    for (i, line) in code.iter().enumerate() {
+        if !contains_word(line, unsafe_kw()) {
+            continue;
+        }
+        // Same-line trailing justification?
+        if raw[i].contains("SAFETY") {
+            continue;
+        }
+        // Walk upward through contiguous comment/attribute lines (and the
+        // unsafe construct's own preceding signature lines are *not*
+        // skipped: the comment must sit directly on the construct).
+        let mut justified = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = raw[j].trim_start();
+            if is_safety_comment(raw[j]) {
+                justified = true;
+                break;
+            }
+            if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+                continue;
+            }
+            break;
+        }
+        if !justified {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "safety-comment",
+                msg: format!("`{}` without an adjacent `// SAFETY:` justification", unsafe_kw()),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Compilation units and crate-root attributes
+// ---------------------------------------------------------------------------
+
+/// A compilation unit: one crate root plus every file compiled into it.
+#[derive(Debug)]
+pub struct Unit {
+    /// The crate root file (`lib.rs`, `main.rs`, a test/bench/example/bin).
+    pub root: PathBuf,
+    /// All files of the unit, root included.
+    pub files: Vec<PathBuf>,
+    /// Whether rule 3 (`forbid(unsafe_code)` when unsafe-free) applies —
+    /// true for `lib.rs`/`main.rs` roots, not for tests/benches/bins.
+    pub wants_forbid: bool,
+}
+
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files_under(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn files_in_dir_flat(dir: &Path) -> Vec<PathBuf> {
+    let mut v = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return v };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_file() && p.extension().is_some_and(|e| e == "rs") {
+            v.push(p);
+        }
+    }
+    v.sort();
+    v
+}
+
+/// Collects the compilation units of one cargo package directory.
+pub fn package_units(pkg: &Path) -> Vec<Unit> {
+    let mut units = Vec::new();
+    let src = pkg.join("src");
+    let lib = src.join("lib.rs");
+    let main = src.join("main.rs");
+    if lib.is_file() {
+        let mut files = Vec::new();
+        rs_files_under(&src, &mut files);
+        files.retain(|p| *p != main && !p.starts_with(src.join("bin")));
+        units.push(Unit { root: lib, files, wants_forbid: true });
+    }
+    if main.is_file() {
+        units.push(Unit { root: main.clone(), files: vec![main], wants_forbid: true });
+    }
+    for root in files_in_dir_flat(&src.join("bin")) {
+        units.push(Unit { root: root.clone(), files: vec![root], wants_forbid: false });
+    }
+    for dir in ["tests", "benches", "examples"] {
+        for root in files_in_dir_flat(&pkg.join(dir)) {
+            units.push(Unit { root: root.clone(), files: vec![root], wants_forbid: false });
+        }
+    }
+    units
+}
+
+/// Rules 2 and 3 over one unit: unsafe-using units must `deny` unsafe ops
+/// in unsafe fns at the root; unsafe-free lib/main roots must `forbid`
+/// unsafe code outright.
+pub fn attribute_violations(unit: &Unit) -> Vec<Violation> {
+    let mut uses_unsafe = false;
+    for f in &unit.files {
+        let Ok(content) = std::fs::read_to_string(f) else { continue };
+        if sanitize_lines(&content).iter().any(|l| contains_word(l, unsafe_kw())) {
+            uses_unsafe = true;
+            break;
+        }
+    }
+    let Ok(root_content) = std::fs::read_to_string(&unit.root) else {
+        return vec![Violation {
+            file: unit.root.clone(),
+            line: 0,
+            rule: "crate-attrs",
+            msg: "crate root unreadable".into(),
+        }];
+    };
+    let has = |attr: &str| root_content.lines().any(|l| l.trim() == attr);
+    let deny_attr = format!("#![deny({}_op_in_{}_fn)]", unsafe_kw(), unsafe_kw());
+    let forbid_attr = format!("#![forbid({}_code)]", unsafe_kw());
+    let mut out = Vec::new();
+    if uses_unsafe && !has(&deny_attr) {
+        out.push(Violation {
+            file: unit.root.clone(),
+            line: 0,
+            rule: "deny-unsafe-op",
+            msg: format!("unit uses `{}` but its root lacks `{deny_attr}`", unsafe_kw()),
+        });
+    }
+    if !uses_unsafe && unit.wants_forbid && !has(&forbid_attr) {
+        out.push(Violation {
+            file: unit.root.clone(),
+            line: 0,
+            rule: "forbid-unsafe",
+            msg: format!("{}-free crate root lacks `{forbid_attr}`", unsafe_kw()),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lock-result unwraps
+// ---------------------------------------------------------------------------
+
+/// Rule 4: `.lock()/.read()/.write()` immediately followed by
+/// `.unwrap()`/`.expect(` in library code. Checking stops at the first
+/// `#[cfg(test)]` line — test modules sit at the bottom of files in this
+/// repo, and tests may legitimately assert on poisoning.
+pub fn lock_unwrap_violations(file: &Path, content: &str) -> Vec<Violation> {
+    const ACQUIRERS: [&str; 3] = [".lock()", ".read()", ".write()"];
+    const SINKS: [&str; 2] = [".unwrap()", ".expect("];
+    let mut out = Vec::new();
+    for (i, line) in sanitize_lines(content).iter().enumerate() {
+        if content.lines().nth(i).is_some_and(|raw| raw.trim() == "#[cfg(test)]") {
+            break;
+        }
+        for acq in ACQUIRERS {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(acq) {
+                let rest = &line[start + pos + acq.len()..];
+                if SINKS.iter().any(|s| rest.starts_with(s)) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: i + 1,
+                        rule: "lock-unwrap",
+                        msg: format!(
+                            "`{acq}` result unwrapped in library code; handle poisoning \
+                             explicitly (e.g. `unwrap_or_else(PoisonError::into_inner)`)"
+                        ),
+                    });
+                }
+                start += pos + acq.len();
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Whole-repo driver
+// ---------------------------------------------------------------------------
+
+fn package_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf(), root.join("xtask")];
+    for parent in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(parent)) else { continue };
+        let mut v: Vec<_> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        v.sort();
+        dirs.extend(v);
+    }
+    dirs
+}
+
+/// Runs every lint over the repo rooted at `root`; returns all findings.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_path_buf();
+    for pkg in package_dirs(root) {
+        for unit in package_units(&pkg) {
+            for v in attribute_violations(&unit) {
+                out.push(Violation { file: rel(&v.file), ..v });
+            }
+            let in_src = unit.root.parent().is_some_and(|d| d.ends_with("src"))
+                || unit.root.parent().is_some_and(|d| d.ends_with("bin"));
+            for f in &unit.files {
+                let Ok(content) = std::fs::read_to_string(f) else { continue };
+                for v in safety_comment_violations(&rel(f), &content) {
+                    out.push(v);
+                }
+                if in_src {
+                    for v in lock_unwrap_violations(&rel(f), &content) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+    out.extend(crate::hash::drift_violations(root));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a line containing the unsafe keyword in code position without
+    /// the lint's own source carrying one.
+    fn kw() -> String {
+        ["un", "safe"].concat()
+    }
+
+    #[test]
+    fn sanitizer_strips_strings_comments_and_chars() {
+        let content = format!(
+            "let a = \"{} {{}}\"; // {} in comment\nlet b = '\\n'; /* {} */ let c = 1;",
+            kw(),
+            kw(),
+            kw()
+        );
+        let lines = sanitize_lines(&content);
+        assert!(!lines[0].contains(&kw()), "string/comment content leaked: {:?}", lines[0]);
+        assert!(lines[1].contains("let c = 1"));
+        assert!(!lines[1].contains(&kw()));
+    }
+
+    #[test]
+    fn sanitizer_tracks_strings_across_lines() {
+        let content = format!("let s = \"first\n {} second\n third\"; let x = 3;", kw());
+        let lines = sanitize_lines(&content);
+        assert!(!lines[1].contains(&kw()), "multi-line string content leaked: {:?}", lines[1]);
+        assert!(lines[2].contains("let x = 3"));
+    }
+
+    #[test]
+    fn sanitizer_handles_multiline_block_comments() {
+        let content = format!("/*\n {} {{ bad }}\n*/\nlet x = 2;", kw());
+        let lines = sanitize_lines(&content);
+        assert!(!lines[1].contains(&kw()));
+        assert_eq!(lines[3], "let x = 2;");
+    }
+
+    #[test]
+    fn keyword_matches_are_word_bounded() {
+        assert!(contains_word(&format!("{} {{", kw()), &kw()));
+        assert!(contains_word(&format!("pub {} fn f()", kw()), &kw()));
+        assert!(!contains_word(&format!("#![deny({}_op_in_{}_fn)]", kw(), kw()), &kw()));
+        assert!(!contains_word(&format!("{}_code", kw()), &kw()));
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let content = format!("fn f() {{\n    {} {{ g() }}\n}}\n", kw());
+        let v = safety_comment_violations(Path::new("a.rs"), &content);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_satisfies() {
+        let above = format!("// SAFETY: g is fine\n{} {{ g() }}\n", kw());
+        assert!(safety_comment_violations(Path::new("a.rs"), &above).is_empty());
+        let trailing = format!("{} {{ g() }} // SAFETY: g is fine\n", kw());
+        assert!(safety_comment_violations(Path::new("a.rs"), &trailing).is_empty());
+        let parenthetical = format!("// SAFETY (lifetime erasure): ok\n{} {{ g() }}\n", kw());
+        assert!(safety_comment_violations(Path::new("a.rs"), &parenthetical).is_empty());
+    }
+
+    #[test]
+    fn attributes_between_comment_and_construct_are_transparent() {
+        let content = format!(
+            "/// docs\n/// # Safety\n/// caller checked\n#[inline]\npub {} fn f() {{}}\n",
+            kw()
+        );
+        assert!(safety_comment_violations(Path::new("a.rs"), &content).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_justification_chain() {
+        let content = format!("// SAFETY: stale note\n\n{} {{ g() }}\n", kw());
+        assert_eq!(safety_comment_violations(Path::new("a.rs"), &content).len(), 1);
+    }
+
+    #[test]
+    fn lock_unwrap_patterns_are_flagged_outside_tests() {
+        let bad = format!("let g = m.lock().{}();\n", "unwrap");
+        let v = lock_unwrap_violations(Path::new("a.rs"), &bad);
+        assert_eq!(v.len(), 1, "{bad:?} must be flagged");
+        let bad2 = format!("let g = m.read().{}(\"poisoned\");\n", "expect");
+        assert_eq!(lock_unwrap_violations(Path::new("a.rs"), &bad2).len(), 1);
+        let good = "let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n";
+        assert!(lock_unwrap_violations(Path::new("a.rs"), good).is_empty());
+        let in_tests =
+            format!("#[cfg(test)]\nmod tests {{\n let g = m.lock().{}();\n}}\n", "unwrap");
+        assert!(lock_unwrap_violations(Path::new("a.rs"), &in_tests).is_empty());
+    }
+
+    /// Temp-tree helper for unit-collection tests.
+    struct TempTree(PathBuf);
+
+    impl TempTree {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("xtask-lint-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempTree(dir)
+        }
+
+        fn write(&self, rel: &str, content: &str) -> PathBuf {
+            let p = self.0.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(&p, content).unwrap();
+            p
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn seeded_violation_fails_and_clean_unit_passes() {
+        let t = TempTree::new("attrs");
+        // Seeded violation: module uses unsafe, root lacks the deny attr.
+        t.write("pkg/src/lib.rs", "mod m;\n");
+        t.write(
+            "pkg/src/m.rs",
+            &format!("pub fn f() {{\n    // SAFETY: seeded\n    {} {{}}\n}}\n", kw()),
+        );
+        t.write("pkg/Cargo.toml", "[package]\nname = \"pkg\"\n");
+        let units = package_units(&t.0.join("pkg"));
+        assert_eq!(units.len(), 1);
+        let v = attribute_violations(&units[0]);
+        assert_eq!(v.len(), 1, "seeded deny-attr violation must be caught: {v:?}");
+        assert_eq!(v[0].rule, "deny-unsafe-op");
+
+        // Fix the root: violation disappears.
+        t.write("pkg/src/lib.rs", &format!("#![deny({}_op_in_{}_fn)]\nmod m;\n", kw(), kw()));
+        let units = package_units(&t.0.join("pkg"));
+        assert!(attribute_violations(&units[0]).is_empty());
+    }
+
+    #[test]
+    fn unsafe_free_lib_requires_forbid_but_tests_do_not() {
+        let t = TempTree::new("forbid");
+        t.write("pkg/src/lib.rs", "pub fn f() {}\n");
+        t.write("pkg/tests/t.rs", "#[test]\nfn t() {}\n");
+        let units = package_units(&t.0.join("pkg"));
+        assert_eq!(units.len(), 2);
+        let (lib, test): (Vec<_>, Vec<_>) = units.iter().partition(|u| u.root.ends_with("lib.rs"));
+        let v = attribute_violations(lib[0]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+        assert!(attribute_violations(test[0]).is_empty());
+    }
+}
