@@ -1,0 +1,220 @@
+//! End-to-end training-throughput harness: samples/second of the full DLRM
+//! training loop across batch sizes × analysis modes × rayon thread counts.
+//!
+//! The three modes isolate the tentpole optimizations:
+//!
+//! * `sequential` — inline sequential pointer preparation (the baseline);
+//! * `parallel` — inline `LookupPlan::par_build_into` (Algorithm 1 run on
+//!   the rayon pool);
+//! * `parallel_overlap` — parallel analysis of batch `i+1` on the plan
+//!   prefetcher while batch `i` computes (paper §V overlap).
+//!
+//! Thread counts are swept by re-executing this binary with
+//! `RAYON_NUM_THREADS` set (the pool reads the variable once at startup,
+//! so an in-process sweep is impossible). The parent process merges every
+//! child's rows into `BENCH_train_throughput.json`, tagging each row with
+//! its thread count for provenance. Each row also carries the cumulative
+//! TT stage timers (analysis / forward / backward nanoseconds), so the
+//! JSON shows *where* a configuration spends its time, not just how fast
+//! it is.
+//!
+//! `--test` (as passed by `cargo bench -- --test` or the CI quick job)
+//! shrinks the matrix and step counts so the harness finishes in seconds;
+//! it still writes the JSON artifact.
+
+use el_data::{DatasetSpec, MiniBatch, SyntheticDataset};
+use el_dlrm::{DlrmConfig, DlrmModel, EmbeddingLayer, OptimizerKind};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    mode: &'static str,
+    batch_size: usize,
+    threads: usize,
+    samples_per_sec: f64,
+    steps: usize,
+    analysis_ns: u64,
+    forward_ns: u64,
+    backward_ns: u64,
+}
+
+const MODES: [&str; 3] = ["sequential", "parallel", "parallel_overlap"];
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn build_model(rows: usize, dim: usize) -> DlrmModel {
+    let cfg = DlrmConfig {
+        num_dense: 4,
+        table_cardinalities: vec![rows, rows],
+        dim,
+        bottom_hidden: vec![16],
+        top_hidden: vec![16],
+        tt_threshold: 0, // every table TT-compressed
+        tt_rank: 8,
+        lr: 0.05,
+        optimizer: OptimizerKind::Sgd,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    DlrmModel::new(&cfg, &mut rng)
+}
+
+/// Trains `steps` batches in `mode`, returning throughput + stage timers.
+fn run_one(mode: &'static str, pool: &[MiniBatch], steps: usize, threads: usize) -> Row {
+    let batch_size = pool[0].batch_size();
+    let mut model = build_model(200_000, 32);
+    let overlap = mode == "parallel_overlap";
+    for t in &mut model.tables {
+        if let EmbeddingLayer::Tt(bag, _) = t {
+            bag.options.parallel_analysis = mode != "sequential";
+        }
+    }
+    if overlap {
+        model.enable_plan_overlap();
+    }
+
+    // Warm-up: one pass over the pool grows every workspace buffer.
+    for batch in pool {
+        model.train_step(batch);
+    }
+    model.reset_stage_timers();
+
+    if overlap {
+        model.prefetch_plans(&pool[0]);
+    }
+    let t0 = Instant::now();
+    for s in 0..steps {
+        if overlap {
+            model.prefetch_plans(&pool[(s + 1) % pool.len()]);
+        }
+        model.train_step(&pool[s % pool.len()]);
+    }
+    let elapsed = t0.elapsed();
+    let timers = model.stage_timers();
+
+    Row {
+        mode,
+        batch_size,
+        threads,
+        samples_per_sec: (steps * batch_size) as f64 / elapsed.as_secs_f64(),
+        steps,
+        analysis_ns: timers.analysis_ns,
+        forward_ns: timers.forward_ns,
+        backward_ns: timers.backward_ns,
+    }
+}
+
+/// The per-process sweep: every (batch size, mode) at this thread count.
+fn child_main(threads: usize, out_path: &str) {
+    let quick = quick_mode();
+    let batch_sizes: &[usize] = if quick { &[2048] } else { &[512, 2048, 4096] };
+
+    let mut spec = DatasetSpec::toy(2, 200_000, usize::MAX / 2);
+    spec.indices_per_sample = 4;
+    let ds = SyntheticDataset::new(spec, 17);
+
+    let mut rows = Vec::new();
+    for &bs in batch_sizes {
+        let pool: Vec<MiniBatch> = (0..8).map(|i| ds.batch(i, bs)).collect();
+        let steps = if quick { 4 } else { (32_768 / bs).max(8) };
+        // Best-of-N: wall-clock throughput on a shared box is noisy in the
+        // slow direction only, so the fastest repetition is the estimate
+        // closest to the machine's true capability for each mode.
+        let reps = if quick { 1 } else { 3 };
+        for mode in MODES {
+            let row = (0..reps)
+                .map(|_| run_one(mode, &pool, steps, threads))
+                .max_by(|a, b| a.samples_per_sec.total_cmp(&b.samples_per_sec))
+                .expect("at least one repetition");
+            eprintln!(
+                "train_throughput/{}/bs{}/t{}: {:.0} samples/s \
+                 (analysis {:.1} ms, forward {:.1} ms, backward {:.1} ms over {} steps)",
+                row.mode,
+                row.batch_size,
+                row.threads,
+                row.samples_per_sec,
+                row.analysis_ns as f64 / 1e6,
+                row.forward_ns as f64 / 1e6,
+                row.backward_ns as f64 / 1e6,
+                row.steps,
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::write(out_path, render_json(&rows)).expect("writing child results failed");
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"id\":\"train_throughput/{}/bs{}/t{}\",\"mode\":\"{}\",\
+             \"batch_size\":{},\"rayon_threads\":{},\"samples_per_sec\":{:.1},\
+             \"steps\":{},\"analysis_ns\":{},\"forward_ns\":{},\"backward_ns\":{}}}",
+            r.mode,
+            r.batch_size,
+            r.threads,
+            r.mode,
+            r.batch_size,
+            r.threads,
+            r.samples_per_sec,
+            r.steps,
+            r.analysis_ns,
+            r.forward_ns,
+            r.backward_ns,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn main() {
+    if let Ok(out_path) = std::env::var("EL_BENCH_CHILD_OUT") {
+        let threads: usize = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .expect("child runs need RAYON_NUM_THREADS");
+        child_main(threads, &out_path);
+        return;
+    }
+
+    let quick = quick_mode();
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+    let exe = std::env::current_exe().expect("cannot locate the bench binary");
+
+    // One child process per thread count: the rayon pool sizes itself from
+    // RAYON_NUM_THREADS exactly once, so the sweep cannot run in-process.
+    let mut merged = String::from("[\n");
+    let mut first = true;
+    for &t in thread_counts {
+        let out_path = format!("train_throughput.t{t}.partial.json");
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.env("RAYON_NUM_THREADS", t.to_string()).env("EL_BENCH_CHILD_OUT", &out_path);
+        if quick {
+            cmd.arg("--test");
+        }
+        let status = cmd.status().expect("spawning the bench child failed");
+        assert!(status.success(), "bench child for {t} thread(s) failed: {status}");
+        let body = std::fs::read_to_string(&out_path).expect("child wrote no results");
+        let _ = std::fs::remove_file(&out_path);
+        let inner = body.trim().trim_start_matches('[').trim_end_matches(']').trim();
+        if !inner.is_empty() {
+            if !first {
+                merged.push_str(",\n");
+            }
+            merged.push_str(inner);
+            first = false;
+        }
+    }
+    merged.push_str("\n]\n");
+
+    let path = std::env::var("CRITERION_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_train_throughput.json".to_string());
+    std::fs::write(&path, merged).expect("writing the merged summary failed");
+    println!("wrote merged train-throughput results to {path}");
+}

@@ -48,6 +48,7 @@ fn main() {
             num_batches,
             prefetch_depth: depth,
             pipelined: depth > 1,
+            overlap_analysis: depth > 1,
         };
         let report = PipelineTrainer::train(model, server, &ds, &config);
         let host = report.server_cpu.as_secs_f64() / device.host_scale

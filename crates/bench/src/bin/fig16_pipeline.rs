@@ -90,6 +90,7 @@ fn main() {
             num_batches,
             prefetch_depth: depth,
             pipelined,
+            overlap_analysis: pipelined,
         };
         let report = PipelineTrainer::train(model, server, &ds, &config);
 

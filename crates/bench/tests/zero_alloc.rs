@@ -72,23 +72,54 @@ fn batch_pool(rows: usize, pool: usize, lookups: usize) -> Vec<(Vec<u32>, Vec<u3
 }
 
 fn run_steady_state(options: TtOptions, label: &str) {
+    run_steady_state_sized(options, 256, false, label);
+}
+
+fn run_steady_state_sized(options: TtOptions, lookups: usize, overlap: bool, label: &str) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut bag = TtEmbeddingBag::new(&TtConfig::new(4096, 32, 8), &mut rng).with_options(options);
     let mut ws = TtWorkspace::new();
     let mut out = Matrix::zeros(0, 0);
-    let pool = batch_pool(bag.num_rows(), 4, 256);
+    let pool = batch_pool(bag.num_rows(), 4, lookups);
 
-    // Warm-up: two passes over the pool grow every buffer to its steady
-    // shape (the second pass exercises the plan ping-pong on rebuilds).
+    // Warm-up pass with inline analysis: grows the consumer-side plan
+    // scratch so even a prefetch miss in the measured pass (a dropped
+    // queue slot) would not allocate.
+    for (indices, offsets) in &pool {
+        bag.forward_into(indices, offsets, &mut ws, &mut out);
+        bag.backward_sgd(&out, &mut ws, 0.01);
+    }
+
+    if overlap {
+        ws.enable_plan_prefetch();
+    }
+    // `prefetch(b0); loop { prefetch(b_{i+1}); step(b_i) }` — the trainer's
+    // overlap pattern. The spin keeps the queue strictly ordered so every
+    // take is a hit (a dropped prefetch would desynchronize the FIFO).
+    let queue = |i: usize, bag: &TtEmbeddingBag, ws: &TtWorkspace| {
+        if overlap {
+            let (ni, no) = &pool[i % pool.len()];
+            while !bag.prefetch_plan(ni, no, ws) {
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    // Warm-up: two passes over the pool grow every buffer (including the
+    // prefetcher's recycled job buffers) to its steady shape; the second
+    // pass exercises the plan ping-pong on rebuilds.
+    queue(0, &bag, &ws);
     for _ in 0..2 {
-        for (indices, offsets) in &pool {
+        for (i, (indices, offsets)) in pool.iter().enumerate() {
+            queue(i + 1, &bag, &ws);
             bag.forward_into(indices, offsets, &mut ws, &mut out);
             bag.backward_sgd(&out, &mut ws, 0.01);
         }
     }
 
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    for (indices, offsets) in &pool {
+    for (i, (indices, offsets)) in pool.iter().enumerate() {
+        queue(i + 1, &bag, &ws);
         bag.forward_into(indices, offsets, &mut ws, &mut out);
         bag.backward_sgd(&out, &mut ws, 0.01);
     }
@@ -114,8 +145,47 @@ fn reuse_aggregated_fused_path_is_allocation_free() {
             backward: BackwardStrategy::Aggregated,
             fused_update: true,
             deterministic: false,
+            parallel_analysis: false,
         },
         "reuse/aggregated/fused",
+    );
+}
+
+#[test]
+fn parallel_analysis_path_is_allocation_free() {
+    // 8192 lookups per batch puts analysis above PAR_BUILD_CUTOFF, so the
+    // rayon-parallel builder runs; its sharded histograms and the pool's
+    // injector queue must all reach a steady shape.
+    run_steady_state_sized(
+        TtOptions {
+            forward: ForwardStrategy::Reuse,
+            backward: BackwardStrategy::Aggregated,
+            fused_update: true,
+            deterministic: false,
+            parallel_analysis: true,
+        },
+        8192,
+        false,
+        "parallel analysis",
+    );
+}
+
+#[test]
+fn prefetcher_overlapped_loop_is_allocation_free() {
+    // The full overlap pattern: batch i+1's plan builds on the prefetcher
+    // while batch i trains. Recycled job buffers keep the cycle free of
+    // allocation on both sides of the hand-off.
+    run_steady_state_sized(
+        TtOptions {
+            forward: ForwardStrategy::Reuse,
+            backward: BackwardStrategy::Aggregated,
+            fused_update: true,
+            deterministic: false,
+            parallel_analysis: true,
+        },
+        8192,
+        true,
+        "prefetcher overlap",
     );
 }
 
@@ -127,6 +197,7 @@ fn unfused_materialized_gradients_are_allocation_free() {
             backward: BackwardStrategy::Aggregated,
             fused_update: false,
             deterministic: false,
+            parallel_analysis: false,
         },
         "reuse/aggregated/unfused",
     );
@@ -142,6 +213,7 @@ fn strategy_mismatch_rebuild_path_is_allocation_free() {
             backward: BackwardStrategy::Aggregated,
             fused_update: true,
             deterministic: false,
+            parallel_analysis: false,
         },
         "naive-forward/aggregated-backward rebuild",
     );

@@ -86,24 +86,37 @@ impl TtEmbeddingBag {
                 // next spare — both plan objects keep their capacity, so
                 // even the perpetual-rebuild baseline reaches a
                 // zero-allocation steady state.
+                let analysis = crate::timing::probe();
                 let last = p.levels.last().expect("plans always have levels");
                 ws.index_scratch.clear();
                 ws.index_scratch
                     .extend(p.lookup_slot.iter().map(|&s| last.values[s as usize] as u32));
                 let mut rebuilt = ws.alt_plan.take().unwrap_or_default();
-                rebuilt.build_into(
-                    &ws.index_scratch,
-                    &p.sample_offsets,
-                    &self.cores.row_dims,
-                    want_dedup,
-                    &mut ws.plan_scratch,
-                );
+                if self.options.parallel_analysis {
+                    rebuilt.par_build_into(
+                        &ws.index_scratch,
+                        &p.sample_offsets,
+                        &self.cores.row_dims,
+                        want_dedup,
+                        &mut ws.plan_scratch,
+                    );
+                } else {
+                    rebuilt.build_into(
+                        &ws.index_scratch,
+                        &p.sample_offsets,
+                        &self.cores.row_dims,
+                        want_dedup,
+                        &mut ws.plan_scratch,
+                    );
+                }
                 ws.alt_plan = Some(p);
+                analysis.accumulate(&mut ws.timers.analysis_ns);
                 self.compute_levels(&rebuilt, &mut ws.levels, &mut ws.batch);
                 rebuilt
             }
             None => panic!("backward requires a preceding forward on this workspace"),
         };
+        let bwd = crate::timing::probe();
         assert_eq!(d_out.rows(), plan.batch_size, "gradient batch size mismatch");
         assert_eq!(d_out.cols(), n, "gradient dim mismatch");
 
@@ -142,6 +155,7 @@ impl TtEmbeddingBag {
         }
         self.level0_pass(&plan, ws, mode);
 
+        bwd.accumulate(&mut ws.timers.backward_ns);
         ws.plan = Some(plan);
     }
 
@@ -482,6 +496,7 @@ mod tests {
             backward: BackwardStrategy::Aggregated,
             fused_update: false,
             deterministic: true,
+            parallel_analysis: true,
         };
         let mut ws = TtWorkspace::new();
         let _ = mixed.forward(&indices, &offsets, &mut ws);

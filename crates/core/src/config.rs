@@ -39,6 +39,11 @@ pub struct TtOptions {
     /// Run level kernels sequentially in slot order, making backward sums
     /// bit-reproducible (used by the pipeline equivalence tests).
     pub deterministic: bool,
+    /// Prepare lookup pointers with the rayon-parallel builder
+    /// (`LookupPlan::par_build_into`, paper Algorithm 1 run in parallel).
+    /// Bit-identical to the sequential builder and safe to leave on: below
+    /// the size cutoff (or on a one-thread pool) the sequential path runs.
+    pub parallel_analysis: bool,
 }
 
 impl Default for TtOptions {
@@ -48,18 +53,22 @@ impl Default for TtOptions {
             backward: BackwardStrategy::Aggregated,
             fused_update: true,
             deterministic: false,
+            parallel_analysis: true,
         }
     }
 }
 
 impl TtOptions {
     /// The TT-Rec baseline: no reuse, per-lookup gradients, unfused update.
+    /// (Pointer preparation stays parallel — the paper's baseline differs in
+    /// kernel strategy, not in how the host prepares pointers.)
     pub fn tt_rec_baseline() -> Self {
         Self {
             forward: ForwardStrategy::Naive,
             backward: BackwardStrategy::PerLookup,
             fused_update: false,
             deterministic: false,
+            parallel_analysis: true,
         }
     }
 }

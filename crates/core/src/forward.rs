@@ -53,13 +53,61 @@ impl TtEmbeddingBag {
             assert!((i as usize) < self.num_rows(), "index {i} out of {} rows", self.num_rows());
         }
         let dedup = self.options.forward == ForwardStrategy::Reuse;
-        // Recycle whichever plan object is idle; build_into reuses all of
+        // Recycle whichever plan object is idle; the builders reuse all of
         // its internal vectors.
+        let analysis = crate::timing::probe();
         let mut plan = ws.plan.take().or_else(|| ws.alt_plan.take()).unwrap_or_default();
-        plan.build_into(indices, offsets, &self.cores.row_dims, dedup, &mut ws.plan_scratch);
+        // A prefetched plan is used only after verifying it was built from
+        // exactly this batch; any miss falls back to the inline build, so
+        // overlap cannot change results.
+        let prefetched = match &ws.prefetcher {
+            Some(pf) => pf.take(&mut plan, indices, offsets, &self.cores.row_dims, dedup),
+            None => false,
+        };
+        if !prefetched {
+            if self.options.parallel_analysis {
+                plan.par_build_into(
+                    indices,
+                    offsets,
+                    &self.cores.row_dims,
+                    dedup,
+                    &mut ws.plan_scratch,
+                );
+            } else {
+                plan.build_into(
+                    indices,
+                    offsets,
+                    &self.cores.row_dims,
+                    dedup,
+                    &mut ws.plan_scratch,
+                );
+            }
+        }
+        analysis.accumulate(&mut ws.timers.analysis_ns);
+
+        let fwd = crate::timing::probe();
         self.compute_levels(&plan, &mut ws.levels, &mut ws.batch);
         self.pool_into(&plan, ws.levels.last().map_or(&[][..], |b| &b[..]), out);
+        fwd.accumulate(&mut ws.timers.forward_ns);
+        ws.timers.batches += 1;
         ws.plan = Some(plan);
+    }
+
+    /// Queues analysis of a *future* batch on the workspace's prefetcher so
+    /// it overlaps the current batch's compute (paper §V). A no-op without
+    /// an installed prefetcher; returns whether the batch was queued.
+    pub fn prefetch_plan(&self, indices: &[u32], offsets: &[u32], ws: &TtWorkspace) -> bool {
+        let dedup = self.options.forward == ForwardStrategy::Reuse;
+        match &ws.prefetcher {
+            Some(pf) => pf.prefetch(
+                indices,
+                offsets,
+                &self.cores.row_dims,
+                dedup,
+                self.options.parallel_analysis,
+            ),
+            None => false,
+        }
     }
 
     /// Decompresses individual rows (one lookup per output row, no

@@ -24,18 +24,35 @@ use el_tensor::gemm::gemm_nn;
 use el_tensor::Matrix;
 use std::collections::HashMap;
 
-/// A cached partial product with its last-use tick.
-struct Entry {
+/// One cached partial product in the slot slab.
+struct Slot {
+    prefix: u64,
     product: Vec<f32>,
-    last_used: u64,
+    /// Second-chance bit: set on every use, cleared (once) by the clock
+    /// sweep before a slot becomes an eviction candidate.
+    referenced: bool,
 }
 
 /// Frozen-table lookup session with cross-batch prefix caching.
+///
+/// Eviction is clock/second-chance over a fixed slot slab: every miss at
+/// capacity advances a hand over the slots, skipping (and un-marking)
+/// recently referenced entries and reclaiming the first unmarked one — O(1)
+/// amortized, no per-entry timestamps, no full-map sweeps. The reclaimed
+/// slot's product buffer is reused in place, so a full session reaches a
+/// steady state with no per-miss allocation beyond `HashMap` churn.
 pub struct TtInferenceSession<'a> {
     table: &'a TtEmbeddingBag,
-    cache: HashMap<u64, Entry>,
+    /// prefix -> slot index.
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    /// Clock hand: next eviction candidate.
+    hand: usize,
     capacity: usize,
-    tick: u64,
+    /// Ping-pong scratch for prefix-chain products (reused across misses).
+    chain_ping: Vec<f32>,
+    chain_pong: Vec<f32>,
+    digit_scratch: Vec<usize>,
     /// Prefix products served from the cache.
     pub hits: u64,
     /// Prefix products computed fresh.
@@ -46,11 +63,16 @@ impl<'a> TtInferenceSession<'a> {
     /// A session over `table` caching at most `capacity` prefix products.
     pub fn new(table: &'a TtEmbeddingBag, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
+        let reserve = capacity.min(1 << 20);
         Self {
             table,
-            cache: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(reserve),
+            slots: Vec::with_capacity(reserve),
+            hand: 0,
             capacity,
-            tick: 0,
+            chain_ping: Vec::new(),
+            chain_pong: Vec::new(),
+            digit_scratch: Vec::new(),
             hits: 0,
             misses: 0,
         }
@@ -68,57 +90,59 @@ impl<'a> TtInferenceSession<'a> {
 
     /// Live cache entries.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.slots.len()
     }
 
     /// True when the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.slots.is_empty()
     }
 
     /// Cache footprint in bytes.
     pub fn footprint_bytes(&self) -> usize {
         let d = self.table.order();
         let width = self.table.level_width(d.saturating_sub(2));
-        self.cache.len() * (width * 4 + 24)
+        self.slots.len() * (width * 4 + std::mem::size_of::<Slot>())
     }
 
     /// Sum-pooled lookup with the same semantics as
     /// [`TtEmbeddingBag::forward`], but served through the prefix cache.
     pub fn lookup(&mut self, indices: &[u32], offsets: &[u32]) -> Matrix {
-        let cores = self.table.cores();
-        let d = self.table.order();
-        let n = self.table.dim();
-        self.tick += 1;
+        let table = self.table;
+        let cores = table.cores();
+        let d = table.order();
+        let n = table.dim();
 
         let plan = LookupPlan::build(indices, offsets, &cores.row_dims, true);
         let uniques = &plan.levels[d - 1];
         let m_last = *cores.row_dims.last().unwrap() as u64;
 
         // Resolve every unique index's prefix product, cache-first.
-        let prefix_width = self.table.level_width(d - 2);
+        let prefix_width = table.level_width(d - 2);
         let rows_per_prefix = prefix_width / cores.ranks[d - 1];
         let mut rows = vec![0.0f32; uniques.len() * n];
         let slice_last = cores.slice_len(d - 1);
         for (slot, &value) in uniques.values.iter().enumerate() {
             let prefix = value / m_last;
             let digit_last = (value % m_last) as usize;
-            if !self.cache.contains_key(&prefix) {
-                self.misses += 1;
-                let product = compute_prefix_chain(self.table, prefix);
-                self.insert(prefix, product);
-            } else {
-                self.hits += 1;
-            }
-            let entry = self.cache.get_mut(&prefix).expect("just ensured");
-            entry.last_used = self.tick;
+            let cached = match self.map.get(&prefix) {
+                Some(&s) => {
+                    self.hits += 1;
+                    self.slots[s as usize].referenced = true;
+                    s as usize
+                }
+                None => {
+                    self.misses += 1;
+                    self.admit(prefix)
+                }
+            };
             // row = P_{d-1} (rows_per_prefix x R_{d-1}) * G_d[digit]
             gemm_nn(
                 rows_per_prefix,
                 cores.col_dims[d - 1],
                 cores.ranks[d - 1],
                 1.0,
-                &entry.product,
+                &self.slots[cached].product,
                 &cores.cores[d - 1][digit_last * slice_last..(digit_last + 1) * slice_last],
                 0.0,
                 &mut rows[slot * n..(slot + 1) * n],
@@ -140,37 +164,80 @@ impl<'a> TtInferenceSession<'a> {
         out
     }
 
-    fn insert(&mut self, prefix: u64, product: Vec<f32>) {
-        if self.cache.len() >= self.capacity {
-            // Evict the least-recently-used quarter in one sweep — O(n)
-            // amortized over many inserts, no auxiliary structures.
-            let mut ticks: Vec<u64> = self.cache.values().map(|e| e.last_used).collect();
-            ticks.sort_unstable();
-            let cutoff = ticks[ticks.len() / 4];
-            self.cache.retain(|_, e| e.last_used > cutoff);
+    /// Computes `prefix`'s product and caches it, evicting with the clock
+    /// hand when at capacity. Returns the slot index.
+    fn admit(&mut self, prefix: u64) -> usize {
+        self.compute_prefix_chain(prefix);
+        let idx = if self.slots.len() < self.capacity {
+            // New entries start unreferenced: they must be touched again
+            // before the hand returns or they are the next to go, which is
+            // what keeps one-shot cold prefixes from displacing hot ones.
+            self.slots.push(Slot { prefix, product: Vec::new(), referenced: false });
+            self.slots.len() - 1
+        } else {
+            // Second chance: skip referenced slots (clearing their bit) so
+            // anything touched since the last sweep survives one more lap.
+            // Terminates within two laps — the first lap clears every bit.
+            loop {
+                if self.hand >= self.slots.len() {
+                    self.hand = 0;
+                }
+                if !self.slots[self.hand].referenced {
+                    break;
+                }
+                self.slots[self.hand].referenced = false;
+                self.hand += 1;
+            }
+            let idx = self.hand;
+            self.hand += 1;
+            self.map.remove(&self.slots[idx].prefix);
+            self.slots[idx].prefix = prefix;
+            self.slots[idx].referenced = false;
+            idx
+        };
+        // Move the product into the slot's recycled buffer.
+        let slot = &mut self.slots[idx];
+        slot.product.clear();
+        slot.product.extend_from_slice(&self.chain_ping);
+        self.map.insert(prefix, idx as u32);
+        idx
+    }
+
+    /// Computes `P_{d-1} = G_1[i_1] x ... x G_{d-1}[i_{d-1}]` for one
+    /// prefix into `self.chain_ping`, ping-ponging through session-owned
+    /// scratch so repeated misses allocate nothing once warmed up.
+    fn compute_prefix_chain(&mut self, prefix: u64) {
+        let cores = self.table.cores();
+        let d = cores.order();
+        self.digit_scratch.resize(d - 1, 0);
+        el_tensor::shape::tt_indices(
+            prefix as usize,
+            &cores.row_dims[..d - 1],
+            &mut self.digit_scratch,
+        );
+
+        self.chain_ping.clear();
+        self.chain_ping.extend_from_slice(cores.slice(0, self.digit_scratch[0]));
+        let mut p = cores.col_dims[0];
+        for k in 1..d - 1 {
+            let r_in = cores.ranks[k];
+            let cols = cores.col_dims[k] * cores.ranks[k + 1];
+            self.chain_pong.clear();
+            self.chain_pong.resize(p * cols, 0.0);
+            gemm_nn(
+                p,
+                cols,
+                r_in,
+                1.0,
+                &self.chain_ping,
+                cores.slice(k, self.digit_scratch[k]),
+                0.0,
+                &mut self.chain_pong,
+            );
+            p *= cores.col_dims[k];
+            std::mem::swap(&mut self.chain_ping, &mut self.chain_pong);
         }
-        self.cache.insert(prefix, Entry { product, last_used: self.tick });
     }
-}
-
-/// Computes `P_{d-1} = G_1[i_1] x ... x G_{d-1}[i_{d-1}]` for one prefix.
-fn compute_prefix_chain(table: &TtEmbeddingBag, prefix: u64) -> Vec<f32> {
-    let cores = table.cores();
-    let d = cores.order();
-    let mut digits = vec![0usize; d - 1];
-    el_tensor::shape::tt_indices(prefix as usize, &cores.row_dims[..d - 1], &mut digits);
-
-    let mut cur: Vec<f32> = cores.slice(0, digits[0]).to_vec();
-    let mut p = cores.col_dims[0];
-    for k in 1..d - 1 {
-        let r_in = cores.ranks[k];
-        let cols = cores.col_dims[k] * cores.ranks[k + 1];
-        let mut next = vec![0.0f32; p * cols];
-        gemm_nn(p, cols, r_in, 1.0, &cur, cores.slice(k, digits[k]), 0.0, &mut next);
-        p *= cores.col_dims[k];
-        cur = next;
-    }
-    cur
 }
 
 #[cfg(test)]
@@ -252,6 +319,29 @@ mod tests {
             let got = session.lookup(&indices, &offsets);
             assert!(got.max_abs_diff(&want) < 1e-5);
         }
+    }
+
+    #[test]
+    fn clock_eviction_keeps_hot_prefixes_resident() {
+        let t = table(4_096, 8);
+        let m_last = *t.cores().row_dims.last().unwrap() as u32;
+        // capacity 4 with 32 rotating cold prefixes: the cold stream always
+        // misses, but the hot prefix is referenced every round so the
+        // second-chance bit must keep it resident throughout.
+        let mut session = TtInferenceSession::new(&t, 4);
+        let rounds = 64u32;
+        for round in 0..rounds {
+            let cold = (round % 32 + 1) * m_last; // distinct prefix per round
+            let indices = [0u32, cold];
+            let offsets = [0u32, 2];
+            let _ = session.lookup(&indices, &offsets);
+        }
+        assert!(
+            session.hits >= u64::from(rounds) - 1,
+            "hot prefix was evicted: only {} hits over {rounds} rounds",
+            session.hits
+        );
+        assert!(session.len() <= 4);
     }
 
     #[test]

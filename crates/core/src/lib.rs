@@ -47,11 +47,15 @@ pub mod config;
 pub mod forward;
 pub mod inference;
 pub mod plan;
+pub mod prefetch;
+pub mod timing;
 
 pub use bag::{ReuseStats, TtEmbeddingBag, TtWorkspace};
 pub use config::{BackwardStrategy, ForwardStrategy, TtConfig, TtOptions};
 pub use inference::TtInferenceSession;
-pub use plan::{Csr, Level, LookupPlan};
+pub use plan::{Csr, Level, LookupPlan, PAR_BUILD_CUTOFF};
+pub use prefetch::PlanPrefetcher;
+pub use timing::{set_timing_enabled, StageTimers};
 
 #[cfg(test)]
 mod proptests;

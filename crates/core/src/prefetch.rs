@@ -1,0 +1,335 @@
+//! Double-buffered plan prefetching — paper §V's overlap of host-side
+//! pointer preparation with device compute, in CPU terms: batch `i+1`'s
+//! [`LookupPlan`] is built on the rayon pool while batch `i`'s
+//! forward/backward GEMMs run.
+//!
+//! A [`PlanPrefetcher`] owns one coordinator thread and a small state
+//! machine of recycled [`Job`] buffers (std `mpsc` channels allocate per
+//! send, so hand-off goes through a `Mutex`/`Condvar` pair instead — the
+//! steady-state prefetch cycle allocates nothing once buffers have grown).
+//! The coordinator itself only shepherds jobs; the actual build fans out
+//! onto the shared rayon pool through `par_build_into`.
+//!
+//! Correctness is unconditional: the consumer hands the *actual* batch to
+//! [`PlanPrefetcher::take`], which verifies it against the job's private
+//! input copy and reports a miss on any difference — the caller then builds
+//! inline. A hit returns a plan bit-identical to an inline build, so
+//! enabling overlap can never change training results.
+
+use crate::plan::{LookupPlan, PlanScratch};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// One analysis job: a private copy of the batch plus the plan being
+/// rebuilt. Jobs cycle through the spare pool so their buffers are reused.
+#[derive(Default)]
+struct Job {
+    indices: Vec<u32>,
+    offsets: Vec<u32>,
+    dims: Vec<usize>,
+    dedup: bool,
+    parallel: bool,
+    plan: LookupPlan,
+}
+
+#[derive(Default)]
+struct Slots {
+    /// Job queued by the consumer, not yet picked up by the coordinator.
+    request: Option<Job>,
+    /// Finished job awaiting hand-off.
+    ready: Option<Job>,
+    /// A build panicked; the consumer must observe this as a miss.
+    ready_failed: bool,
+    /// Recycled job buffers (bounded by the queue depth of two).
+    spare: Vec<Job>,
+    /// Jobs queued but not yet taken (at most two: one ready, one queued).
+    pending: u32,
+    shutdown: bool,
+}
+
+struct Shared {
+    slots: Mutex<Slots>,
+    cv: Condvar,
+}
+
+fn lock(m: &Mutex<Slots>) -> MutexGuard<'_, Slots> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, Slots>) -> MutexGuard<'a, Slots> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Builds lookup plans one batch ahead of the training loop.
+pub struct PlanPrefetcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Default for PlanPrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanPrefetcher {
+    /// Spawns the coordinator thread (builds run on the shared rayon pool).
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared { slots: Mutex::new(Slots::default()), cv: Condvar::new() });
+        let for_worker = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("plan-prefetch".into())
+            .spawn(move || worker_loop(&for_worker))
+            .expect("spawning the plan prefetch coordinator failed");
+        PlanPrefetcher { shared, worker: Some(worker) }
+    }
+
+    /// Queues analysis of a future batch. Returns `false` (and queues
+    /// nothing) when the queue is full — the consumer will then simply
+    /// build that batch inline, so dropping a prefetch is always safe.
+    ///
+    /// A full queue means `pending >= 2`. An *occupied request slot* with
+    /// `pending < 2` is different: the coordinator simply has not claimed
+    /// the previous request yet, and will within its next loop turn — so
+    /// this call waits that transient out instead of dropping. Dropping
+    /// here would desynchronize the caller's prefetch/take FIFO and turn
+    /// every later take into a miss that discards a fully built plan.
+    pub fn prefetch(
+        &self,
+        indices: &[u32],
+        offsets: &[u32],
+        dims: &[usize],
+        dedup: bool,
+        parallel: bool,
+    ) -> bool {
+        let mut g = lock(&self.shared.slots);
+        loop {
+            if g.shutdown || g.pending >= 2 {
+                return false;
+            }
+            if g.request.is_none() {
+                break;
+            }
+            g = wait(&self.shared.cv, g);
+        }
+        let mut job = g.spare.pop().unwrap_or_default();
+        job.indices.clear();
+        job.indices.extend_from_slice(indices);
+        job.offsets.clear();
+        job.offsets.extend_from_slice(offsets);
+        job.dims.clear();
+        job.dims.extend_from_slice(dims);
+        job.dedup = dedup;
+        job.parallel = parallel;
+        g.request = Some(job);
+        g.pending += 1;
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Claims the oldest prefetched plan *if* it was built from exactly
+    /// `(indices, offsets, dims, dedup)`; on a hit the plan is swapped into
+    /// `plan` (the previous contents go back into the recycling pool) and
+    /// `true` is returned. Any mismatch, build panic, or empty queue is a
+    /// miss: `false`, with `plan` untouched.
+    ///
+    /// Blocks until the pending build finishes — that wait is the residual
+    /// (non-overlapped) analysis cost and is what the stage timers record.
+    pub fn take(
+        &self,
+        plan: &mut LookupPlan,
+        indices: &[u32],
+        offsets: &[u32],
+        dims: &[usize],
+        dedup: bool,
+    ) -> bool {
+        let mut job = {
+            let mut g = lock(&self.shared.slots);
+            if g.pending == 0 {
+                return false;
+            }
+            loop {
+                if let Some(job) = g.ready.take() {
+                    g.pending -= 1;
+                    self.shared.cv.notify_all();
+                    break job;
+                }
+                if g.ready_failed {
+                    g.ready_failed = false;
+                    g.pending -= 1;
+                    self.shared.cv.notify_all();
+                    return false;
+                }
+                if g.shutdown {
+                    return false;
+                }
+                g = wait(&self.shared.cv, g);
+            }
+        };
+        let hit = job.dedup == dedup
+            && job.dims == dims
+            && job.offsets == offsets
+            && job.indices == indices;
+        if hit {
+            std::mem::swap(&mut job.plan, plan);
+        }
+        lock(&self.shared.slots).spare.push(job);
+        hit
+    }
+
+    /// Number of queued-but-unclaimed prefetches (0, 1 or 2).
+    pub fn pending(&self) -> usize {
+        lock(&self.shared.slots).pending as usize
+    }
+}
+
+impl Drop for PlanPrefetcher {
+    fn drop(&mut self) {
+        {
+            let mut g = lock(&self.shared.slots);
+            g.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = PlanScratch::default();
+    loop {
+        // Wait for a job.
+        let mut job = {
+            let mut g = lock(&shared.slots);
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if let Some(job) = g.request.take() {
+                    // A producer may be waiting for the request slot.
+                    shared.cv.notify_all();
+                    break job;
+                }
+                g = wait(&shared.cv, g);
+            }
+        };
+        // Build outside the lock; the parallel builder fans out onto the
+        // rayon pool. A panic (e.g. an out-of-capacity index) is converted
+        // into a miss — the consumer's inline rebuild will then surface the
+        // same panic with its proper message on the training thread.
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if job.parallel {
+                job.plan.par_build_into(
+                    &job.indices,
+                    &job.offsets,
+                    &job.dims,
+                    job.dedup,
+                    &mut scratch,
+                );
+            } else {
+                job.plan.build_into(&job.indices, &job.offsets, &job.dims, job.dedup, &mut scratch);
+            }
+        }))
+        .is_ok();
+        // Publish once the hand-off slot is free.
+        let mut g = lock(&shared.slots);
+        while g.ready.is_some() || g.ready_failed {
+            if g.shutdown {
+                return;
+            }
+            g = wait(&shared.cv, g);
+        }
+        if built {
+            g.ready = Some(job);
+        } else {
+            g.ready_failed = true;
+            g.spare.push(job);
+        }
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize, rows: u32, shift: u64) -> (Vec<u32>, Vec<u32>) {
+        let indices: Vec<u32> =
+            (0..n).map(|i| ((i as u64 * 48271 + shift) % rows as u64) as u32).collect();
+        (indices, vec![0, (n / 2) as u32, n as u32])
+    }
+
+    #[test]
+    fn prefetched_plan_is_bit_identical_to_inline_build() {
+        let pf = PlanPrefetcher::new();
+        let dims = vec![8usize, 8, 8];
+        let (indices, offsets) = batch(6000, 500, 0);
+        assert!(pf.prefetch(&indices, &offsets, &dims, true, true));
+        let mut got = LookupPlan::default();
+        assert!(pf.take(&mut got, &indices, &offsets, &dims, true));
+        let want = LookupPlan::build(&indices, &offsets, &dims, true);
+        crate::plan::assert_plans_identical(&want, &got);
+        assert_eq!(pf.pending(), 0);
+    }
+
+    #[test]
+    fn queue_depth_two_pipelines_batches_in_order() {
+        let pf = PlanPrefetcher::new();
+        let dims = vec![8usize, 8, 8];
+        let (i0, o0) = batch(5000, 400, 1);
+        let (i1, o1) = batch(5000, 400, 2);
+        assert!(pf.prefetch(&i0, &o0, &dims, true, true));
+        // Second prefetch may race the coordinator picking up the first; it
+        // is allowed to be dropped, in which case we re-queue after taking.
+        let queued_second = pf.prefetch(&i1, &o1, &dims, true, true);
+        let mut p0 = LookupPlan::default();
+        assert!(pf.take(&mut p0, &i0, &o0, &dims, true));
+        if !queued_second {
+            assert!(pf.prefetch(&i1, &o1, &dims, true, true));
+        }
+        let mut p1 = LookupPlan::default();
+        assert!(pf.take(&mut p1, &i1, &o1, &dims, true));
+        crate::plan::assert_plans_identical(&LookupPlan::build(&i0, &o0, &dims, true), &p0);
+        crate::plan::assert_plans_identical(&LookupPlan::build(&i1, &o1, &dims, true), &p1);
+    }
+
+    #[test]
+    fn mismatched_batch_is_a_miss() {
+        let pf = PlanPrefetcher::new();
+        let dims = vec![8usize, 8, 8];
+        let (indices, offsets) = batch(5000, 500, 3);
+        assert!(pf.prefetch(&indices, &offsets, &dims, true, true));
+        let mut other = indices.clone();
+        other[17] ^= 1;
+        let mut plan = LookupPlan::default();
+        assert!(!pf.take(&mut plan, &other, &offsets, &dims, true));
+        // dedup flag mismatch is a miss too
+        assert!(pf.prefetch(&indices, &offsets, &dims, true, true));
+        assert!(!pf.take(&mut plan, &indices, &offsets, &dims, false));
+        // and the plan object was left untouched
+        assert_eq!(plan.nnz, 0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_miss_not_hang() {
+        let pf = PlanPrefetcher::new();
+        let dims = vec![2usize, 2, 2];
+        let indices = vec![9u32; 5000]; // exceeds capacity 8
+        let offsets = vec![0u32, 5000];
+        assert!(pf.prefetch(&indices, &offsets, &dims, true, true));
+        let mut plan = LookupPlan::default();
+        assert!(!pf.take(&mut plan, &indices, &offsets, &dims, true));
+        // prefetcher keeps working after a failed build
+        let (good_i, good_o) = batch(4096, 8, 0);
+        assert!(pf.prefetch(&good_i, &good_o, &dims, true, true));
+        assert!(pf.take(&mut plan, &good_i, &good_o, &dims, true));
+    }
+
+    #[test]
+    fn take_without_prefetch_returns_immediately() {
+        let pf = PlanPrefetcher::new();
+        let mut plan = LookupPlan::default();
+        assert!(!pf.take(&mut plan, &[1], &[0, 1], &[2, 2, 2], true));
+    }
+}

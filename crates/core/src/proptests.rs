@@ -127,6 +127,37 @@ proptest! {
         }
     }
 
+    /// The parallel plan builder is bit-identical to the sequential one on
+    /// arbitrary shapes and index streams, for both dedup settings. Goes
+    /// through `par_build_impl` so the size cutoff cannot mask divergence,
+    /// and recycles one plan/scratch pair across cases so dirty-state reuse
+    /// is part of the property.
+    #[test]
+    fn parallel_plan_build_is_bit_identical(
+        (indices, offsets) in arb_batch(4000),
+        dims in prop_oneof![
+            Just(vec![8usize, 8, 8]),
+            Just(vec![4usize, 8, 16]),
+            Just(vec![16usize, 16]),
+            Just(vec![4usize, 4, 4, 4]),
+        ],
+        dedup in proptest::bool::ANY,
+    ) {
+        let capacity: usize = dims.iter().product();
+        let indices: Vec<u32> = indices.iter().map(|&i| i % capacity as u32).collect();
+
+        let want = LookupPlan::build(&indices, &offsets, &dims, dedup);
+        let mut got = LookupPlan::default();
+        let mut scratch = crate::plan::PlanScratch::default();
+        got.par_build_impl(&indices, &offsets, &dims, dedup, &mut scratch);
+        crate::plan::assert_plans_identical(&want, &got);
+
+        // and again into the now-dirty plan with the opposite dedup setting
+        let want2 = LookupPlan::build(&indices, &offsets, &dims, !dedup);
+        got.par_build_impl(&indices, &offsets, &dims, !dedup, &mut scratch);
+        crate::plan::assert_plans_identical(&want2, &got);
+    }
+
     /// Plan invariants hold for arbitrary batches: every lookup maps to a
     /// slot holding its value; parents chain consistently; digit groups
     /// partition each level.

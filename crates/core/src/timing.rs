@@ -1,0 +1,117 @@
+//! Consolidated stage timing for the training hot path.
+//!
+//! EL-Rec's §V argument is about *where* a train step spends its time —
+//! batch analysis (pointer preparation) versus the forward GEMM chain
+//! versus backward — so [`TtWorkspace`](crate::TtWorkspace) carries a
+//! [`StageTimers`] record updated by the kernels through this module.
+//!
+//! All `Instant::now()` calls of the library hot loops live here (enforced
+//! by `cargo xtask lint`'s `instant-now` rule), behind one runtime switch:
+//! [`set_timing_enabled`]`(false)` turns every probe into a no-op, so the
+//! counters cost nothing when nobody is reading them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TIMING_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables stage timing (cheap relaxed flag).
+pub fn set_timing_enabled(on: bool) {
+    TIMING_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether stage timing is currently enabled.
+pub fn timing_enabled() -> bool {
+    TIMING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// An in-flight stage measurement; resolves into a counter on
+/// [`StageProbe::accumulate`].
+#[must_use]
+pub struct StageProbe(Option<Instant>);
+
+/// Starts a stage probe (no-op while timing is disabled).
+pub fn probe() -> StageProbe {
+    StageProbe(timing_enabled().then(Instant::now))
+}
+
+impl StageProbe {
+    /// Adds the elapsed nanoseconds since the probe started to `counter`.
+    pub fn accumulate(self, counter: &mut u64) {
+        if let Some(t0) = self.0 {
+            *counter += t0.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+/// Cumulative per-stage wall time of one workspace, in nanoseconds.
+///
+/// `analysis_ns` counts pointer preparation — including any time spent
+/// waiting on a plan prefetcher, so overlap shows up as analysis time
+/// *shrinking* relative to the inline build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimers {
+    /// Batch analysis: plan build or prefetcher hand-off wait.
+    pub analysis_ns: u64,
+    /// Forward chain GEMMs + pooling.
+    pub forward_ns: u64,
+    /// Backward aggregation, chain and core-gradient passes.
+    pub backward_ns: u64,
+    /// Forward passes measured.
+    pub batches: u64,
+}
+
+impl StageTimers {
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = StageTimers::default();
+    }
+
+    /// Sum of all stage counters.
+    pub fn total_ns(&self) -> u64 {
+        self.analysis_ns + self.forward_ns + self.backward_ns
+    }
+
+    /// Accumulates another record into this one.
+    pub fn merge(&mut self, other: &StageTimers) {
+        self.analysis_ns += other.analysis_ns;
+        self.forward_ns += other.forward_ns;
+        self.backward_ns += other.backward_ns;
+        self.batches += other.batches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers both switch states: tests run concurrently and the
+    // flag is global, so splitting would race.
+    #[test]
+    fn probes_follow_the_global_switch() {
+        set_timing_enabled(true);
+        let mut ns = 0u64;
+        let p = probe();
+        std::hint::black_box((0..10_000u64).sum::<u64>());
+        p.accumulate(&mut ns);
+        assert!(ns > 0);
+
+        set_timing_enabled(false);
+        assert!(!timing_enabled());
+        let mut off = 0u64;
+        probe().accumulate(&mut off);
+        assert_eq!(off, 0);
+        set_timing_enabled(true);
+    }
+
+    #[test]
+    fn timers_merge_and_reset() {
+        let mut a = StageTimers { analysis_ns: 1, forward_ns: 2, backward_ns: 3, batches: 1 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 12);
+        assert_eq!(a.batches, 2);
+        a.reset();
+        assert_eq!(a, StageTimers::default());
+    }
+}

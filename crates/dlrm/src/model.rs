@@ -16,7 +16,7 @@ use crate::loss::{bce_with_logits, predict_proba};
 use crate::metrics;
 use crate::mlp::Mlp;
 use crate::optim::{Adagrad, OptimizerKind};
-use el_core::{TtConfig, TtEmbeddingBag, TtWorkspace};
+use el_core::{StageTimers, TtConfig, TtEmbeddingBag, TtWorkspace};
 use el_data::{DatasetSpec, MiniBatch};
 use el_tensor::Matrix;
 use rand::Rng;
@@ -280,6 +280,61 @@ impl DlrmModel {
     /// Device-resident embedding bytes (Table III's EL-Rec column).
     pub fn embedding_footprint_bytes(&self) -> usize {
         self.tables.iter().map(EmbeddingLayer::footprint_bytes).sum()
+    }
+
+    /// Installs a plan prefetcher on every TT table's workspace so batch
+    /// analysis can overlap model compute (paper §V). Idempotent; without a
+    /// matching [`DlrmModel::prefetch_plans`] call the prefetchers idle and
+    /// analysis stays inline.
+    pub fn enable_plan_overlap(&mut self) {
+        for t in &mut self.tables {
+            if let EmbeddingLayer::Tt(_, ws) = t {
+                ws.enable_plan_prefetch();
+            }
+        }
+    }
+
+    /// Removes the prefetchers installed by
+    /// [`DlrmModel::enable_plan_overlap`], joining their threads.
+    pub fn disable_plan_overlap(&mut self) {
+        for t in &mut self.tables {
+            if let EmbeddingLayer::Tt(_, ws) = t {
+                ws.disable_plan_prefetch();
+            }
+        }
+    }
+
+    /// Queues pointer preparation of a *future* batch on every TT table's
+    /// prefetcher. Safe to call speculatively: a table without overlap
+    /// enabled, a full queue, or a batch that never arrives just means the
+    /// corresponding forward analyzes inline.
+    pub fn prefetch_plans(&self, batch: &MiniBatch) {
+        for (t, field) in batch.fields.iter().enumerate() {
+            if let EmbeddingLayer::Tt(bag, ws) = &self.tables[t] {
+                let _ = bag.prefetch_plan(&field.indices, &field.offsets, ws);
+            }
+        }
+    }
+
+    /// Stage timers summed over all TT tables (analysis vs forward vs
+    /// backward wall time).
+    pub fn stage_timers(&self) -> StageTimers {
+        let mut total = StageTimers::default();
+        for t in &self.tables {
+            if let EmbeddingLayer::Tt(_, ws) = t {
+                total.merge(&ws.stage_timers());
+            }
+        }
+        total
+    }
+
+    /// Zeroes every TT table's stage timers.
+    pub fn reset_stage_timers(&mut self) {
+        for t in &mut self.tables {
+            if let EmbeddingLayer::Tt(_, ws) = t {
+                ws.reset_stage_timers();
+            }
+        }
     }
 
     /// One SGD step over a batch where every table is model-resident.
@@ -741,6 +796,40 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
         let mut model = DlrmModel::new(&cfg, &mut rng);
         let _ = model.train_step_defer(&toy_data().batch(0, 8));
+    }
+
+    #[test]
+    fn overlapped_training_is_bit_identical_to_inline() {
+        // With plan prefetch enabled and the next batch queued before each
+        // step, training must follow the exact same arithmetic as the
+        // inline-analysis model (prefetched plans are bit-identical).
+        let data = toy_data();
+        let batches: Vec<MiniBatch> = (0..6).map(|i| data.batch(i, 64)).collect();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut inline = DlrmModel::new(&toy_config(), &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut overlapped = DlrmModel::new(&toy_config(), &mut rng);
+        overlapped.enable_plan_overlap();
+
+        overlapped.prefetch_plans(&batches[0]);
+        for (i, batch) in batches.iter().enumerate() {
+            if let Some(next) = batches.get(i + 1) {
+                overlapped.prefetch_plans(next);
+            }
+            let l1 = inline.train_step(batch);
+            let l2 = overlapped.train_step(batch);
+            assert_eq!(l1.to_bits(), l2.to_bits(), "losses diverged at step {i}");
+        }
+        assert!(overlapped.stage_timers().batches > 0);
+        overlapped.disable_plan_overlap();
+
+        let check = data.batch(9, 32);
+        let p1 = inline.predict(&check);
+        let p2 = overlapped.predict(&check);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

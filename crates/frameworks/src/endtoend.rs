@@ -222,6 +222,7 @@ fn run_dlrm_ps(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
         num_batches: params.num_batches,
         prefetch_depth: 1,
         pipelined: false,
+        overlap_analysis: false,
     };
     let report = PipelineTrainer::train(model, server, dataset, &pipe_cfg);
     let mut model = report.model;
@@ -301,6 +302,8 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
         cold_sample_total += cold_samples.len();
         sample_total += batch.batch_size();
 
+        // TIMING: per-batch framework-simulation metric (host gather wall),
+        // reported in the run summary — this crate's purpose is measurement.
         let t_host = Instant::now();
         for &t in &large {
             let field = &batch.fields[t];
@@ -321,6 +324,7 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
         }
         cpu_wall += t_host.elapsed();
 
+        // TIMING: simulated-device wall of the train step, reported.
         let t_dev = Instant::now();
         losses.push(model.train_step(&batch));
         device_wall += t_dev.elapsed();
@@ -330,6 +334,7 @@ fn run_fae(dataset: &SyntheticDataset, params: &RunParams) -> FrameworkRun {
     // Estimate the gather-class share of device compute: dense embedding
     // forward (x2 for backward) on a representative batch, extrapolated.
     let probe = dataset.batch(params.first, params.batch_size);
+    // TIMING: one-off gather-share probe after the measured loop.
     let t_emb = Instant::now();
     for (t, table) in model.tables.iter().enumerate() {
         if let EmbeddingLayer::Dense(bag) = table {
@@ -399,6 +404,7 @@ fn run_tt(
     }
 
     let mut losses = Vec::new();
+    // TIMING: end-to-end wall of the framework run, reported.
     let start = Instant::now();
     for k in 0..params.num_batches {
         let mut batch = dataset.batch(params.first + k, params.batch_size);

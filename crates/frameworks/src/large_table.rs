@@ -145,6 +145,8 @@ fn elrec_tt(params: &LargeTableParams, device: &DeviceSpec) -> LargeTableResult 
     let offsets: Vec<u32> =
         (0..=params.batch_size as u32).map(|s| s * params.lookups_per_sample as u32).collect();
 
+    // TIMING: calibrates the simulated per-step TT cost; this is the
+    // measurement the whole projection rests on.
     let start = Instant::now();
     for k in 0..params.num_batches {
         let indices = zipf_batch(params, params.rows, k);
@@ -187,6 +189,7 @@ fn dense_sharded(
     let offsets: Vec<u32> =
         (0..=params.batch_size as u32).map(|s| s * params.lookups_per_sample as u32).collect();
 
+    // TIMING: calibrates the simulated dense gather/scatter cost.
     let start = Instant::now();
     for k in 0..params.num_batches {
         let indices = zipf_batch(params, params.measured_rows, k);

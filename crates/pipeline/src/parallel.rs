@@ -63,13 +63,18 @@ pub struct ParallelReport {
 pub struct DataParallelTrainer {
     /// Number of simulated devices.
     pub num_workers: usize,
+    /// Overlap TT pointer preparation with compute: each worker generates
+    /// batch `s+1` and queues its lookup plans before training batch `s`.
+    /// Prefetched plans are bit-identical to inline builds, so the
+    /// all-reduce trajectory is unchanged.
+    pub overlap_analysis: bool,
 }
 
 impl DataParallelTrainer {
-    /// A trainer over `num_workers` workers.
+    /// A trainer over `num_workers` workers (analysis overlap on).
     pub fn new(num_workers: usize) -> Self {
         assert!(num_workers >= 1);
-        Self { num_workers }
+        Self { num_workers, overlap_analysis: true }
     }
 
     /// Runs `num_steps` synchronized steps; at step `s`, worker `w` trains
@@ -89,6 +94,7 @@ impl DataParallelTrainer {
         let losses: Mutex<Vec<f32>> = Mutex::new(vec![0.0; num_steps as usize]);
         let result: Mutex<Option<DlrmModel>> = Mutex::new(None);
 
+        // TIMING: end-to-end wall clock of the run, reported to the caller.
         let start = Instant::now();
         std::thread::scope(|scope| {
             for wid in 0..w {
@@ -97,12 +103,33 @@ impl DataParallelTrainer {
                 let losses = &losses;
                 let result = &result;
                 let build_replica = &build_replica;
+                let overlap = self.overlap_analysis;
                 scope.spawn(move || {
                     let mut model = build_replica();
+                    if overlap {
+                        model.enable_plan_overlap();
+                    }
                     let grad_len = model.grad_len();
+                    let mut batch = dataset.batch(first + wid as u64, batch_size);
+                    if overlap {
+                        model.prefetch_plans(&batch);
+                    }
                     for s in 0..num_steps {
-                        let batch = dataset.batch(first + s * w as u64 + wid as u64, batch_size);
+                        // Generate the next step's batch early and queue its
+                        // TT plan analysis so it builds while this step's
+                        // forward/backward runs.
+                        let next = (s + 1 < num_steps).then(|| {
+                            dataset.batch(first + (s + 1) * w as u64 + wid as u64, batch_size)
+                        });
+                        if overlap {
+                            if let Some(n) = &next {
+                                model.prefetch_plans(n);
+                            }
+                        }
                         let (loss, flat) = model.train_step_defer(&batch);
+                        if let Some(n) = next {
+                            batch = n;
+                        }
                         {
                             let mut acc = grad_acc.lock();
                             if acc.is_empty() {
@@ -227,6 +254,18 @@ mod tests {
         assert!(report.losses.iter().all(|l| l.is_finite() && *l > 0.0));
         assert!(report.meter.p2p_bytes > 0);
         assert!(report.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn overlap_analysis_does_not_change_the_trajectory() {
+        // TT tables with plan prefetch enabled must follow the exact loss
+        // trajectory of inline analysis (prefetched plans are bit-identical).
+        let ds = dataset();
+        let mut inline = DataParallelTrainer::new(2);
+        inline.overlap_analysis = false;
+        let base = inline.train(build, &ds, 32, 0, 6);
+        let overlapped = DataParallelTrainer::new(2).train(build, &ds, 32, 0, 6);
+        assert_eq!(base.losses, overlapped.losses, "overlap changed the trajectory");
     }
 
     #[test]

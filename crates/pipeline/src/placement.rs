@@ -373,6 +373,7 @@ mod tests {
             num_batches: 3,
             prefetch_depth: 2,
             pipelined: true,
+            overlap_analysis: true,
         };
         let report = crate::trainer::PipelineTrainer::train(model, server, &ds, &config);
         assert!(report.losses.iter().all(|l| l.is_finite()));

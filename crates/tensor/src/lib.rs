@@ -31,6 +31,7 @@ pub mod gemm;
 pub mod matrix;
 pub mod micro;
 pub mod shape;
+pub mod shard;
 pub mod svd;
 pub mod tt;
 

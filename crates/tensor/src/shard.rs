@@ -1,0 +1,383 @@
+//! Sharded partitioning primitives behind EL-Rec's *parallel pointer
+//! preparation* (paper Algorithm 1).
+//!
+//! `LookupPlan` construction in `el-core` is a chain of counting sorts,
+//! run-length dedups and permutation scatters. Parallelizing those needs
+//! concurrent writes to disjoint positions of one output buffer — a pattern
+//! safe Rust slices cannot express directly. This module packages it behind
+//! a *sound* safe API so `el-core` can stay `#![forbid(unsafe_code)]`:
+//!
+//! * [`AtomicWriter`] reinterprets an exclusive `&mut [u32]`/`&mut [u64]`
+//!   borrow as a slice of relaxed atomics. Disjoint writes cost the same as
+//!   plain stores on x86/aarch64, and even a buggy caller that writes one
+//!   position twice gets an unspecified *value*, never undefined behaviour;
+//! * [`sharded_counting_sort`] is a stable parallel counting sort that is
+//!   bit-identical to the sequential histogram + cursor scatter
+//!   (`Csr::rebuild`) for any group assignment;
+//! * [`for_each_segment_mut`] hands out disjoint variable-length segments of
+//!   one slice to rayon via `split_at_mut` recursion (no `unsafe` at all).
+//!
+//! Synchronization: all writers run inside one rayon `join`/dispatch scope,
+//! whose latch handshake gives the caller a happens-before edge over every
+//! relaxed store before it reads the buffer again.
+
+use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// Scalar with an atomic twin of identical size, alignment and bit
+/// representation (a documented guarantee of `std::sync::atomic`).
+pub trait AtomicScalar: Copy + sealed::Sealed {
+    /// The matching atomic type (`AtomicU32` for `u32`, ...).
+    type Atomic: Sync;
+    /// Relaxed store of `v` into `slot`.
+    fn relaxed_store(slot: &Self::Atomic, v: Self);
+}
+
+impl AtomicScalar for u32 {
+    type Atomic = AtomicU32;
+    #[inline]
+    fn relaxed_store(slot: &Self::Atomic, v: Self) {
+        slot.store(v, Ordering::Relaxed);
+    }
+}
+
+impl AtomicScalar for u64 {
+    type Atomic = AtomicU64;
+    #[inline]
+    fn relaxed_store(slot: &Self::Atomic, v: Self) {
+        slot.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Shared-reference scatter writer over an exclusively borrowed slice.
+///
+/// Concurrent `set` calls to *distinct* positions are exactly as fast as
+/// plain stores; concurrent calls to the *same* position are still defined
+/// (last write in modification order wins), so this type is sound for any
+/// caller — correctness of the written values is the caller's business,
+/// memory safety is not.
+pub struct AtomicWriter<'a, T: AtomicScalar> {
+    cells: &'a [T::Atomic],
+}
+
+impl<'a, T: AtomicScalar> AtomicWriter<'a, T> {
+    /// Wraps `slice` for the writer's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        let ptr = slice.as_mut_ptr() as *const T::Atomic;
+        // SAFETY: `T::Atomic` has the same size, alignment and bit validity
+        // as `T` (std guarantee), the exclusive borrow rules out any other
+        // access for 'a, and all further access goes through atomic
+        // operations, so aliasing reads/writes are defined.
+        let cells = unsafe { std::slice::from_raw_parts(ptr, len) };
+        AtomicWriter { cells }
+    }
+
+    /// Number of wrapped elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Stores `v` at position `i` (relaxed; bounds-checked).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::relaxed_store(&self.cells[i], v);
+    }
+}
+
+/// Caps the shard count: beyond this the per-shard histograms cost more
+/// than they recover in parallelism.
+pub const MAX_SHARDS: usize = 64;
+
+/// Number of contiguous parts worth splitting `n` items into when each part
+/// should keep at least `min_len` items: bounded by the pool width and
+/// [`MAX_SHARDS`], never zero.
+pub fn num_parts(n: usize, min_len: usize) -> usize {
+    let by_size = n / min_len.max(1);
+    rayon::current_num_threads().min(by_size).clamp(1, MAX_SHARDS)
+}
+
+/// The `p`-th of `parts` balanced contiguous ranges covering `0..n`
+/// (lengths differ by at most one, earlier parts take the remainder).
+pub fn part_range(n: usize, parts: usize, p: usize) -> Range<usize> {
+    debug_assert!(p < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = p * base + p.min(rem);
+    let len = base + usize::from(p < rem);
+    start..start + len
+}
+
+/// Stable parallel counting sort of the item ids `0..n` into `groups`
+/// buckets.
+///
+/// `group_of(i)` assigns item `i` to a group (must be `< groups`; checked).
+/// On return `offsets` holds `groups + 1` boundaries and
+/// `items[offsets[g]..offsets[g+1]]` lists group `g`'s items in ascending
+/// id order — bit-identical to the sequential histogram + cursor scatter
+/// for *any* assignment, because shard cursors are laid out part-minor
+/// within each group.
+///
+/// `part_counts` is grow-only scratch (`parts * groups` entries).
+pub fn sharded_counting_sort<F>(
+    n: usize,
+    groups: usize,
+    group_of: F,
+    offsets: &mut Vec<u32>,
+    items: &mut Vec<u32>,
+    part_counts: &mut Vec<u32>,
+) where
+    F: Fn(usize) -> u32 + Sync,
+{
+    assert!(n <= u32::MAX as usize, "item ids must fit in u32");
+    let parts = num_parts(n, 1024);
+    let want = parts * groups;
+    if part_counts.len() < want {
+        part_counts.resize(want, 0);
+    } else {
+        part_counts.truncate(want);
+    }
+
+    // Phase 1: per-part histograms (group assignments validated here).
+    part_counts.par_chunks_mut(groups).enumerate().for_each(|(p, row)| {
+        row.fill(0);
+        for i in part_range(n, parts, p) {
+            let g = group_of(i) as usize;
+            assert!(g < groups, "group {g} out of {groups} groups");
+            row[g] += 1;
+        }
+    });
+
+    // Phase 2: exclusive prefix over (group, part) pairs, part-minor within
+    // each group — this ordering is what makes the scatter stable.
+    offsets.clear();
+    offsets.resize(groups + 1, 0);
+    let mut total = 0u32;
+    for g in 0..groups {
+        for p in 0..parts {
+            let c = part_counts[p * groups + g];
+            part_counts[p * groups + g] = total;
+            total += c;
+        }
+        offsets[g + 1] = total;
+    }
+
+    // Phase 3: scatter through per-part cursors. Even if `group_of` were
+    // impure across phases the writes stay defined (atomic), merely
+    // producing an unspecified permutation.
+    if items.len() < n {
+        items.resize(n, 0);
+    } else {
+        items.truncate(n);
+    }
+    let writer = AtomicWriter::new(&mut items[..]);
+    part_counts.par_chunks_mut(groups).enumerate().for_each(|(p, cursors)| {
+        for i in part_range(n, parts, p) {
+            let g = group_of(i) as usize;
+            assert!(g < groups, "group {g} out of {groups} groups");
+            let pos = cursors[g];
+            cursors[g] = pos + 1;
+            writer.set(pos as usize, i as u32);
+        }
+    });
+}
+
+/// Runs `f(segment_index, segment)` over the disjoint segments
+/// `data[bounds[s] - bounds[0] .. bounds[s+1] - bounds[0]]` in parallel.
+///
+/// `bounds` must be non-decreasing and span exactly `data` (checked); the
+/// segments are handed out by `split_at_mut` recursion, so this is entirely
+/// safe code.
+pub fn for_each_segment_mut<T, F>(data: &mut [T], bounds: &[u32], f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(!bounds.is_empty(), "bounds need at least one entry");
+    assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds must be non-decreasing");
+    let base = bounds[0];
+    assert_eq!((bounds[bounds.len() - 1] - base) as usize, data.len(), "bounds must span data");
+    segment_recurse(data, bounds, base, 0, f);
+}
+
+fn segment_recurse<T, F>(data: &mut [T], bounds: &[u32], base: u32, first_seg: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let segs = bounds.len() - 1;
+    if segs == 0 {
+        return;
+    }
+    // Below ~4k elements the join overhead dominates any parallel win.
+    if segs == 1 || data.len() <= 4096 {
+        let mut rest = data;
+        for s in 0..segs {
+            let len = (bounds[s + 1] - bounds[s]) as usize;
+            let (seg, tail) = rest.split_at_mut(len);
+            f(first_seg + s, seg);
+            rest = tail;
+        }
+        return;
+    }
+    let mid = segs / 2;
+    let cut = (bounds[mid] - base) as usize;
+    let (lo, hi) = data.split_at_mut(cut);
+    rayon::join(
+        || segment_recurse(lo, &bounds[..=mid], base, first_seg, f),
+        || segment_recurse(hi, &bounds[mid..], bounds[mid], first_seg + mid, f),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for parts in 1..=9 {
+                let mut next = 0;
+                for p in 0..parts {
+                    let r = part_range(n, parts, p);
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_writer_scatters() {
+        let mut v = vec![0u32; 100];
+        {
+            let w = AtomicWriter::new(&mut v);
+            (0..100usize).into_par_iter().for_each(|i| w.set(i, (99 - i) as u32));
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x as usize, 99 - i);
+        }
+    }
+
+    #[test]
+    fn atomic_writer_u64() {
+        let mut v = vec![0u64; 10];
+        {
+            let w = AtomicWriter::new(&mut v);
+            w.set(3, u64::MAX);
+            assert_eq!(w.len(), 10);
+        }
+        assert_eq!(v[3], u64::MAX);
+    }
+
+    /// Sequential reference: the `Csr::rebuild` counting sort.
+    fn reference_sort(n: usize, groups: usize, assign: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = vec![0u32; groups + 1];
+        for &g in assign {
+            offsets[g as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..groups].to_vec();
+        let mut items = vec![0u32; n];
+        for (i, &g) in assign.iter().enumerate() {
+            let c = &mut cursor[g as usize];
+            items[*c as usize] = i as u32;
+            *c += 1;
+        }
+        (offsets, items)
+    }
+
+    #[test]
+    fn counting_sort_matches_sequential_reference() {
+        let n = 10_000;
+        let groups = 37;
+        let assign: Vec<u32> = (0..n).map(|i| ((i * 2654435761usize) % groups) as u32).collect();
+        let (want_off, want_items) = reference_sort(n, groups, &assign);
+        let (mut off, mut items, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sharded_counting_sort(n, groups, |i| assign[i], &mut off, &mut items, &mut scratch);
+        assert_eq!(off, want_off);
+        assert_eq!(items, want_items);
+    }
+
+    #[test]
+    fn counting_sort_is_stable_within_groups() {
+        let n = 5000;
+        let assign: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let (mut off, mut items, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sharded_counting_sort(n, 3, |i| assign[i], &mut off, &mut items, &mut scratch);
+        for g in 0..3 {
+            let seg = &items[off[g] as usize..off[g + 1] as usize];
+            assert!(seg.windows(2).all(|w| w[0] < w[1]), "group {g} not in ascending id order");
+        }
+    }
+
+    #[test]
+    fn counting_sort_empty_and_single() {
+        let (mut off, mut items, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sharded_counting_sort(0, 4, |_| 0, &mut off, &mut items, &mut scratch);
+        assert_eq!(off, vec![0, 0, 0, 0, 0]);
+        assert!(items.is_empty());
+        sharded_counting_sort(1, 2, |_| 1, &mut off, &mut items, &mut scratch);
+        assert_eq!(off, vec![0, 0, 1]);
+        assert_eq!(items, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn counting_sort_rejects_out_of_range_groups() {
+        let (mut off, mut items, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sharded_counting_sort(4, 2, |_| 7, &mut off, &mut items, &mut scratch);
+    }
+
+    #[test]
+    fn segments_receive_disjoint_slices() {
+        let mut data: Vec<u32> = (0..20_000u32).collect();
+        let bounds: Vec<u32> = vec![0, 5, 5, 9000, 9001, 17000, 20_000];
+        for_each_segment_mut(&mut data, &bounds, &|s, seg| {
+            assert_eq!(seg.len(), (bounds[s + 1] - bounds[s]) as usize);
+            if !seg.is_empty() {
+                assert_eq!(seg[0], bounds[s]);
+            }
+            seg.reverse();
+        });
+        // every segment reversed exactly once
+        for s in 0..bounds.len() - 1 {
+            let (lo, hi) = (bounds[s] as usize, bounds[s + 1] as usize);
+            let seg = &data[lo..hi];
+            assert!(seg.iter().rev().map(|&x| x as usize).eq(lo..hi));
+        }
+    }
+
+    #[test]
+    fn segment_sort_equals_global_sort() {
+        // bucketed sort: partition by top bits, then sort each bucket —
+        // must equal one global sort.
+        let n = 30_000usize;
+        let keys: Vec<u32> = (0..n).map(|i| ((i * 48271) % 65537) as u32).collect();
+        let buckets = 16u32;
+        let bucket_of = |i: usize| keys[i] * buckets / 65537;
+        let (mut off, mut items, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sharded_counting_sort(n, buckets as usize, bucket_of, &mut off, &mut items, &mut scratch);
+        for_each_segment_mut(&mut items, &off, &|_, seg| {
+            seg.sort_unstable_by_key(|&i| (keys[i as usize], i));
+        });
+        let mut want: Vec<u32> = (0..n as u32).collect();
+        want.sort_unstable_by_key(|&i| (keys[i as usize], i));
+        assert_eq!(items, want);
+    }
+}

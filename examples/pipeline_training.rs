@@ -56,6 +56,7 @@ fn main() {
             num_batches: 30,
             prefetch_depth: depth,
             pipelined,
+            overlap_analysis: pipelined,
         };
         PipelineTrainer::train(model, server, &dataset, &config)
     };

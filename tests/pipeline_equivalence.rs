@@ -56,6 +56,7 @@ fn run(pipelined: bool, depth: usize) -> PipelineReport {
         num_batches: 20,
         prefetch_depth: depth,
         pipelined,
+        overlap_analysis: pipelined,
     };
     PipelineTrainer::train(model, server, &dataset(), &config)
 }
@@ -121,6 +122,7 @@ fn pooled_mode_trains_the_same_model_as_unique_rows() {
         num_batches: 20,
         prefetch_depth: 1,
         pipelined: false,
+        overlap_analysis: false,
     };
     let pooled = PipelineTrainer::train(model, server, &dataset(), &config);
 

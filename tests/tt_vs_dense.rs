@@ -78,6 +78,7 @@ fn gradient_updates_match_between_strategy_pairs() {
         backward: BackwardStrategy::PerLookup,
         fused_update: false,
         deterministic: false,
+        parallel_analysis: true,
     });
     for (a, b) in eff.iter().zip(&ttrec) {
         for (x, y) in a.iter().zip(b) {

@@ -62,16 +62,31 @@ struct BenchResult {
     throughput: Option<Throughput>,
 }
 
+/// True when the binary was invoked with `--test` (as `cargo bench --
+/// --test` does): each benchmark runs exactly once as a smoke check and no
+/// measurements are reported — real criterion's test mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Measurement driver passed to benchmark closures.
 pub struct Bencher {
     sample_size: usize,
     measured_ns: Option<f64>,
     iters_per_sample: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `f`, storing the median per-iteration latency.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            // Smoke-run the closure once; leave no measurement behind.
+            black_box(f());
+            self.measured_ns = Some(0.0);
+            self.iters_per_sample = 1;
+            return;
+        }
         // Warm-up / calibration: grow the per-sample iteration count until a
         // sample takes ~5 ms (covers icache + branch predictor warm-up).
         let mut iters = 1u64;
@@ -172,16 +187,22 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let test = test_mode();
         let mut bencher = Bencher {
             sample_size: self.criterion.sample_size,
             measured_ns: None,
             iters_per_sample: 0,
+            test_mode: test,
         };
         f(&mut bencher);
         let Some(ns) = bencher.measured_ns else {
             eprintln!("warning: benchmark {id} never called Bencher::iter");
             return;
         };
+        if test {
+            println!("Testing {id}: ok");
+            return;
+        }
         let mut line = format!("{id:<48} time: [{}]", format_time(ns));
         if let Some(tp) = self.throughput {
             line.push_str(&format!("  thrpt: [{}]", format_throughput(tp, ns)));

@@ -20,6 +20,11 @@
 //! 5. **vendored-crate drift** — `vendor/` content must match the checked
 //!    in FNV-1a manifest (see [`crate::hash`]), so silent edits to the
 //!    "frozen" stand-ins fail CI instead of hiding in a large diff.
+//! 6. **no `Instant::now()` in library code** — wall-clock probes in hot
+//!    loops cost a vDSO call per use and creep in silently; library crates
+//!    must route timing through `el-core`'s `timing` module (which owns the
+//!    enable/disable switch), or justify a direct read with an adjacent
+//!    `// TIMING:` comment explaining why it is off the hot path.
 //!
 //! The scanner is deliberately *textual* (a stripped-line tokenizer, not a
 //! full parser): it strips `//` comments, string/char literals and block
@@ -351,6 +356,61 @@ pub fn lock_unwrap_violations(file: &Path, content: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// Instant::now() in library code
+// ---------------------------------------------------------------------------
+
+/// True when the (unsanitized) line carries a `// TIMING:` justification.
+fn is_timing_comment(raw_line: &str) -> bool {
+    let t = raw_line.trim_start();
+    t.strip_prefix("//")
+        .map(|rest| rest.trim_start_matches(['/', '!']).trim_start())
+        .is_some_and(|rest| rest.starts_with("TIMING"))
+}
+
+/// Rule 6: `Instant::now()` in library sources needs an adjacent
+/// `// TIMING:` comment — same line or directly above, with only
+/// comment/attribute lines in between (the `SAFETY` walk-up, verbatim).
+/// `src/timing.rs` is the sanctioned home of clock reads and is exempted
+/// by the driver, not here.
+pub fn instant_now_violations(file: &Path, content: &str) -> Vec<Violation> {
+    let raw: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in sanitize_lines(content).iter().enumerate() {
+        if !line.contains("Instant::now()") {
+            continue;
+        }
+        if raw[i].contains("TIMING") {
+            continue;
+        }
+        let mut justified = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = raw[j].trim_start();
+            if is_timing_comment(raw[j]) {
+                justified = true;
+                break;
+            }
+            if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+                continue;
+            }
+            break;
+        }
+        if !justified {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "instant-now",
+                msg: "`Instant::now()` in library code; use the `timing` module, or \
+                      justify with an adjacent `// TIMING:` comment"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Whole-repo driver
 // ---------------------------------------------------------------------------
 
@@ -374,6 +434,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
     let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_path_buf();
     for pkg in package_dirs(root) {
+        let lib_crate = pkg.starts_with(root.join("crates"));
         for unit in package_units(&pkg) {
             for v in attribute_violations(&unit) {
                 out.push(Violation { file: rel(&v.file), ..v });
@@ -388,6 +449,14 @@ pub fn run(root: &Path) -> Vec<Violation> {
                 if in_src {
                     for v in lock_unwrap_violations(&rel(f), &content) {
                         out.push(v);
+                    }
+                    // Benchmark/CLI binaries under src/bin are measurement
+                    // harnesses; the clock-read rule is for library code.
+                    let in_bin = f.starts_with(pkg.join("src").join("bin"));
+                    if lib_crate && !in_bin && !f.ends_with("src/timing.rs") {
+                        for v in instant_now_violations(&rel(f), &content) {
+                            out.push(v);
+                        }
                     }
                 }
             }
@@ -491,6 +560,27 @@ mod tests {
         let in_tests =
             format!("#[cfg(test)]\nmod tests {{\n let g = m.lock().{}();\n}}\n", "unwrap");
         assert!(lock_unwrap_violations(Path::new("a.rs"), &in_tests).is_empty());
+    }
+
+    #[test]
+    fn instant_now_without_timing_comment_is_flagged() {
+        let bad = "fn f() {\n    let t = Instant::now();\n}\n";
+        let v = instant_now_violations(Path::new("a.rs"), bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "instant-now");
+    }
+
+    #[test]
+    fn timing_comment_above_or_trailing_satisfies_instant_now() {
+        let above = "// TIMING: once per run, off the hot path\nlet t = Instant::now();\n";
+        assert!(instant_now_violations(Path::new("a.rs"), above).is_empty());
+        let trailing = "let t = Instant::now(); // TIMING: cold start-up stamp\n";
+        assert!(instant_now_violations(Path::new("a.rs"), trailing).is_empty());
+        let comment_only = "// mentions Instant::now() in prose\n";
+        assert!(instant_now_violations(Path::new("a.rs"), comment_only).is_empty());
+        let blank_breaks = "// TIMING: stale\n\nlet t = Instant::now();\n";
+        assert_eq!(instant_now_violations(Path::new("a.rs"), blank_breaks).len(), 1);
     }
 
     /// Temp-tree helper for unit-collection tests.
