@@ -4,7 +4,7 @@
 //! forward/backward GEMMs run.
 //!
 //! A [`PlanPrefetcher`] owns one coordinator thread and a small state
-//! machine of recycled [`Job`] buffers (std `mpsc` channels allocate per
+//! machine of recycled `Job` buffers (std `mpsc` channels allocate per
 //! send, so hand-off goes through a `Mutex`/`Condvar` pair instead — the
 //! steady-state prefetch cycle allocates nothing once buffers have grown).
 //! The coordinator itself only shepherds jobs; the actual build fans out

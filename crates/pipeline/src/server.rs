@@ -7,12 +7,66 @@
 //! pipeline to the sequential baseline of Figure 16.
 
 use crate::device::{thread_cpu_time, CommMeter};
+use crossbeam::channel::TrySendError;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use el_data::{MiniBatch, SyntheticDataset};
 use el_dlrm::embedding_bag::{EmbeddingBag, SparseGrad};
 use el_tensor::Matrix as TMatrix;
 use el_tensor::Matrix;
+use std::fmt;
 use std::time::Duration;
+
+/// Typed failures of the serving loop and the gradient-application
+/// protocol. These replace the panics that used to hide in `run` and
+/// `apply`: a production parameter server must degrade, not abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// `PooledEmbeddings` mode was asked to run pipelined. The pooled
+    /// (reference-DLRM) path has no staleness protocol — the CPU does the
+    /// full forward/backward — so any staleness the pipeline introduces is
+    /// staleness it cannot provide for.
+    PooledNeedsSequential,
+    /// A gradient push arrived for a batch beyond the next one the server
+    /// can apply; the caller must buffer and retry once the gap fills.
+    GradientGap {
+        /// Sequence number the push carries.
+        got: u64,
+        /// Sequence number the server needs next.
+        expected: u64,
+    },
+    /// A gradient push referenced a table this server does not host.
+    UnknownTable(usize),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::PooledNeedsSequential => write!(
+                f,
+                "the pooled-embedding (reference DLRM) mode has no staleness protocol; \
+                 run it sequentially"
+            ),
+            ServerError::GradientGap { got, expected } => {
+                write!(f, "gradient push for batch {got} arrived before batch {expected}")
+            }
+            ServerError::UnknownTable(t) => {
+                write!(f, "gradient for unknown hosted table {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What [`HostServer::apply_checked`] did with a push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The push was the next in sequence and has been applied.
+    Applied,
+    /// The push was for an already-applied batch (a retransmission); the
+    /// tables were left untouched, making re-delivery idempotent.
+    Duplicate,
+}
 
 /// How the server serves hosted tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -175,21 +229,62 @@ impl HostServer {
     }
 
     /// Applies one pushed gradient batch with SGD.
+    ///
+    /// Panicking wrapper around [`HostServer::apply_checked`] for callers
+    /// on a FIFO channel, where out-of-order or duplicate delivery is a
+    /// programming error rather than a network condition.
     pub fn apply(&mut self, push: &GradientPush) {
-        let t0 = thread_cpu_time();
         assert_eq!(push.batch_seq, self.applied, "gradient batches must arrive in order");
+        match self.apply_checked(push) {
+            Ok(ApplyOutcome::Applied) => {}
+            Ok(ApplyOutcome::Duplicate) | Err(ServerError::GradientGap { .. }) => {
+                unreachable!("seq equality was asserted above")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Applies one pushed gradient batch with SGD, tolerating the delivery
+    /// faults an unreliable link can introduce:
+    ///
+    /// * a push for an **already-applied** batch (a retransmission) is
+    ///   ignored and reported as [`ApplyOutcome::Duplicate`] — application
+    ///   is idempotent per sequence number, which is what makes
+    ///   at-least-once delivery safe;
+    /// * a push **beyond** the next expected batch returns
+    ///   [`ServerError::GradientGap`] so the caller can buffer it and
+    ///   retry once the gap fills — the tables are never touched out of
+    ///   order;
+    /// * a push for an unknown table returns [`ServerError::UnknownTable`]
+    ///   without applying anything.
+    ///
+    /// Delivered bytes are metered even for duplicates: they crossed the
+    /// bus whether or not they changed state.
+    pub fn apply_checked(&mut self, push: &GradientPush) -> Result<ApplyOutcome, ServerError> {
+        let t0 = thread_cpu_time();
         self.meter.d2h(push.payload_bytes());
+        if push.batch_seq < self.applied {
+            self.cpu_time += thread_cpu_time() - t0;
+            return Ok(ApplyOutcome::Duplicate);
+        }
+        if push.batch_seq > self.applied {
+            self.cpu_time += thread_cpu_time() - t0;
+            return Err(ServerError::GradientGap { got: push.batch_seq, expected: self.applied });
+        }
+        for (t, _) in &push.tables {
+            if !self.tables.iter().any(|(id, _)| id == t) {
+                self.cpu_time += thread_cpu_time() - t0;
+                return Err(ServerError::UnknownTable(*t));
+            }
+        }
         for (t, grad) in &push.tables {
-            let bag = &mut self
-                .tables
-                .iter_mut()
-                .find(|(id, _)| id == t)
-                .unwrap_or_else(|| panic!("gradient for unknown hosted table {t}"))
-                .1;
+            let bag =
+                &mut self.tables.iter_mut().find(|(id, _)| id == t).expect("validated above").1;
             bag.apply_sparse_grad(grad, self.lr);
         }
         self.applied += 1;
         self.cpu_time += thread_cpu_time() - t0;
+        Ok(ApplyOutcome::Applied)
     }
 
     /// Applies a pooled-gradient push (`PooledEmbeddings` mode): the full
@@ -219,9 +314,14 @@ impl HostServer {
     /// `grad_rx`. With `pipelined == false` the server blocks on every
     /// batch's gradients before gathering the next (the Figure 16
     /// "sequential" baseline).
+    ///
+    /// Panicking wrapper around [`ServingLoop::new`]: a mode/schedule
+    /// combination the protocol cannot serve (pipelined
+    /// `PooledEmbeddings`) aborts here. Callers that want the typed error
+    /// construct the [`ServingLoop`] themselves.
     #[allow(clippy::too_many_arguments)] // serving-loop wiring: queues + schedule
     pub fn run(
-        mut self,
+        self,
         dataset: &SyntheticDataset,
         first: u64,
         count: u64,
@@ -230,46 +330,130 @@ impl HostServer {
         grad_rx: Receiver<GradientPush>,
         pipelined: bool,
     ) -> ServerReport {
-        assert!(
-            !(pipelined && self.mode == ServerMode::PooledEmbeddings),
-            "the pooled-embedding (reference DLRM) mode has no staleness protocol; \
-             run it sequentially"
-        );
+        let schedule = ServingSchedule { first, count, batch_size, pipelined };
+        let serving = ServingLoop::new(self, schedule).unwrap_or_else(|e| panic!("{e}"));
+        serving.run(dataset, prefetch_tx, grad_rx)
+    }
+}
+
+/// The batch schedule one [`ServingLoop`] serves.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingSchedule {
+    /// First batch index in the dataset.
+    pub first: u64,
+    /// Number of batches to serve.
+    pub count: u64,
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// Overlap gathering with gradient application; `false` blocks on
+    /// every batch's gradients before gathering the next.
+    pub pipelined: bool,
+}
+
+/// The serving loop, constructed separately from being run so that
+/// mode/schedule combinations the staleness protocol cannot serve are a
+/// typed error at construction time — not a panic mid-training.
+pub struct ServingLoop {
+    server: HostServer,
+    schedule: ServingSchedule,
+}
+
+impl ServingLoop {
+    /// Validates that `server`'s mode can serve `schedule`.
+    ///
+    /// `PooledEmbeddings` mode runs the full embedding forward/backward on
+    /// the CPU and therefore has no staleness protocol: asked for a
+    /// pipelined schedule — any schedule with staleness it cannot provide
+    /// for — it returns [`ServerError::PooledNeedsSequential`].
+    pub fn new(server: HostServer, schedule: ServingSchedule) -> Result<Self, ServerError> {
+        if schedule.pipelined && server.mode == ServerMode::PooledEmbeddings {
+            return Err(ServerError::PooledNeedsSequential);
+        }
+        Ok(Self { server, schedule })
+    }
+
+    /// Runs the loop to completion: gather/pre-fetch every scheduled
+    /// batch, apply pushed gradients, then perform the shutdown handshake
+    /// — drain the gradient queue until every push the worker delivered
+    /// has been applied or the worker hangs up. Worker disappearance at
+    /// any point degrades to a clean early return, never a panic or a
+    /// wedge.
+    pub fn run(
+        self,
+        dataset: &SyntheticDataset,
+        prefetch_tx: Sender<PrefetchedBatch>,
+        grad_rx: Receiver<GradientPush>,
+    ) -> ServerReport {
+        let ServingLoop { mut server, schedule } = self;
+        let ServingSchedule { first, count, batch_size, pipelined } = schedule;
         for k in 0..count {
             if pipelined {
                 // opportunistically absorb any pending gradients
                 while let Ok(push) = grad_rx.try_recv() {
-                    self.apply(&push);
+                    server.apply(&push);
                 }
             }
             let t0 = thread_cpu_time();
             let batch = dataset.batch(first + k, batch_size);
-            self.gen_time += thread_cpu_time() - t0;
-            let batch_copy = (self.mode == ServerMode::PooledEmbeddings).then(|| batch.clone());
-            let pf = self.gather(batch, k);
+            server.gen_time += thread_cpu_time() - t0;
+            let batch_copy = (server.mode == ServerMode::PooledEmbeddings).then(|| batch.clone());
+            let pf = server.gather(batch, k);
             if prefetch_tx.send(pf).is_err() {
                 break; // worker gone
             }
             if !pipelined {
                 match grad_rx.recv() {
                     Ok(push) => match &batch_copy {
-                        Some(b) => self.apply_pooled(&push, b),
-                        None => self.apply(&push),
+                        Some(b) => server.apply_pooled(&push, b),
+                        None => server.apply(&push),
                     },
                     Err(_) => break,
                 }
             }
         }
         drop(prefetch_tx);
-        // Drain the tail so every update lands.
-        while self.applied < count {
+        // Shutdown handshake: drain the tail so every update the worker
+        // managed to push lands. `apply_checked` (not `apply`) keeps a
+        // retransmitting worker from panicking the server on a duplicate.
+        while server.applied < count {
             match grad_rx.recv() {
-                Ok(push) => self.apply(&push),
+                Ok(push) => match server.apply_checked(&push) {
+                    Ok(_) => {}
+                    Err(e) => panic!("FIFO gradient queue delivered an unappliable push: {e}"),
+                },
                 Err(_) => break,
             }
         }
-        ServerReport { server: self }
+        ServerReport { server }
     }
+}
+
+/// Sends `value` with bounded retry and exponential backoff, for queues
+/// that may be transiently saturated (a stalled consumer). Returns the
+/// value on failure so the caller can degrade gracefully:
+///
+/// * the receiver hung up — retrying is pointless, fail immediately;
+/// * the queue stayed full through every attempt — the consumer is wedged
+///   or lagging beyond the backoff budget (~1 s at 16 attempts: 100 µs
+///   doubling, capped at 200 ms per sleep), and the caller should stop
+///   pushing rather than block forever.
+pub fn send_with_retry<T>(tx: &Sender<T>, value: T, max_attempts: u32) -> Result<(), T> {
+    let mut value = value;
+    let mut backoff = Duration::from_micros(100);
+    for attempt in 0..max_attempts.max(1) {
+        match tx.try_send(value) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(v)) => return Err(v),
+            Err(TrySendError::Full(v)) => {
+                value = v;
+                if attempt + 1 < max_attempts.max(1) {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+    Err(value)
 }
 
 /// Creates the bounded pre-fetch queue and the gradient queue of Figure 9.
@@ -420,6 +604,93 @@ mod tests {
         for (a, b) in got.values.iter().zip(&want.values) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn apply_checked_dedups_and_reports_gaps() {
+        let mut s = server();
+        let push = GradientPush {
+            batch_seq: 0,
+            tables: vec![(0, SparseGrad { indices: vec![7], values: vec![1.0; 8], dim: 8 })],
+            pooled: vec![],
+        };
+        assert_eq!(s.apply_checked(&push), Ok(ApplyOutcome::Applied));
+        let after_first = s.tables[0].1.weight.row(7).to_vec();
+        // retransmission of the same push: idempotent, tables untouched
+        assert_eq!(s.apply_checked(&push), Ok(ApplyOutcome::Duplicate));
+        assert_eq!(s.tables[0].1.weight.row(7), after_first.as_slice());
+        assert_eq!(s.applied, 1);
+        // a push from the future is a gap, not an application
+        let future = GradientPush { batch_seq: 3, tables: vec![], pooled: vec![] };
+        assert_eq!(s.apply_checked(&future), Err(ServerError::GradientGap { got: 3, expected: 1 }));
+        assert_eq!(s.applied, 1);
+    }
+
+    #[test]
+    fn apply_checked_rejects_unknown_tables_without_applying() {
+        let mut s = server();
+        let before = s.tables[0].1.weight.row(7).to_vec();
+        let push = GradientPush {
+            batch_seq: 0,
+            tables: vec![
+                (0, SparseGrad { indices: vec![7], values: vec![1.0; 8], dim: 8 }),
+                (9, SparseGrad { indices: vec![1], values: vec![1.0; 8], dim: 8 }),
+            ],
+            pooled: vec![],
+        };
+        assert_eq!(s.apply_checked(&push), Err(ServerError::UnknownTable(9)));
+        // validation is up-front: table 0 must not have been half-applied
+        assert_eq!(s.tables[0].1.weight.row(7), before.as_slice());
+        assert_eq!(s.applied, 0);
+    }
+
+    #[test]
+    fn pipelined_pooled_mode_is_a_typed_constructor_error() {
+        let s = server().with_mode(ServerMode::PooledEmbeddings);
+        let schedule = ServingSchedule { first: 0, count: 4, batch_size: 8, pipelined: true };
+        match ServingLoop::new(s, schedule) {
+            Err(ServerError::PooledNeedsSequential) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("pipelined pooled mode must be rejected"),
+        }
+        // the same mode with a sequential schedule is fine
+        let s = server().with_mode(ServerMode::PooledEmbeddings);
+        let schedule = ServingSchedule { first: 0, count: 4, batch_size: 8, pipelined: false };
+        assert!(ServingLoop::new(s, schedule).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no staleness protocol")]
+    fn run_wrapper_still_panics_on_pooled_pipelined() {
+        let ds = dataset();
+        let (ptx, _prx, _gtx, grx) = make_queues(2);
+        let s = server().with_mode(ServerMode::PooledEmbeddings);
+        let _ = s.run(&ds, 0, 4, 8, ptx, grx, true);
+    }
+
+    #[test]
+    fn send_with_retry_recovers_from_transient_saturation() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap(); // saturate
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let first = rx.recv().unwrap();
+            let second = rx.recv().unwrap();
+            (first, second)
+        });
+        assert!(send_with_retry(&tx, 2, 16).is_ok(), "retry must outlast a 5 ms stall");
+        assert_eq!(consumer.join().unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn send_with_retry_gives_up_on_wedged_and_gone_consumers() {
+        // wedged: receiver alive but never consuming — bounded attempts
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert_eq!(send_with_retry(&tx, 3, 2), Err(3));
+        drop(rx);
+        // gone: fail immediately, value handed back
+        assert_eq!(send_with_retry(&tx, 4, 1_000_000), Err(4));
     }
 
     #[test]

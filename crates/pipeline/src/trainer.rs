@@ -13,7 +13,9 @@
 
 use crate::cache::EmbeddingCache;
 use crate::device::{thread_cpu_time, CommMeter};
-use crate::server::{aggregate_to_unique, make_queues, pool_prefetched, GradientPush, HostServer};
+use crate::server::{
+    aggregate_to_unique, make_queues, pool_prefetched, send_with_retry, GradientPush, HostServer,
+};
 use el_data::SyntheticDataset;
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_dlrm::DlrmModel;
@@ -56,6 +58,11 @@ impl Default for PipelineConfig {
 
 /// Outcome of a pipeline training run.
 pub struct PipelineReport {
+    /// Batches the worker actually trained. Equal to the configured
+    /// `num_batches` on a clean run; smaller when the server disappeared
+    /// or the gradient queue stayed saturated beyond the retry budget and
+    /// the worker degraded to an early stop.
+    pub completed_batches: u64,
     /// Per-batch training losses.
     pub losses: Vec<f32>,
     /// End-to-end wall time.
@@ -122,7 +129,12 @@ impl PipelineTrainer {
         let mut worker_compute = Duration::ZERO;
 
         for k in 0..config.num_batches {
-            let mut pf = prx.recv().expect("server ended early");
+            // A vanished server (its thread died or dropped the queue) is a
+            // degraded early stop for the worker, not a panic: the partial
+            // report still carries every batch that trained.
+            let Ok(mut pf) = prx.recv() else {
+                break;
+            };
             assert_eq!(pf.batch_seq, k);
             let batch = std::mem::replace(
                 &mut pf.batch,
@@ -189,8 +201,14 @@ impl PipelineTrainer {
                 caches.get_mut(t).unwrap().insert(unique, &updated, k);
                 pushes.push((*t, grad));
             }
-            gtx.send(GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes })
-                .expect("server ended early");
+            // Bounded retry with backoff: a transiently saturated gradient
+            // queue is ridden out, a wedged or vanished server ends the
+            // run gracefully after the retry budget instead of blocking
+            // this worker forever.
+            let push = GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes };
+            if send_with_retry(&gtx, push, 16).is_err() {
+                break;
+            }
 
             cache_peak = cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
         }
@@ -198,8 +216,10 @@ impl PipelineTrainer {
 
         let report = server_handle.join().expect("server thread panicked");
         let wall = start.elapsed();
-        let samples = config.num_batches as f64 * config.batch_size as f64;
+        let completed_batches = losses.len() as u64;
+        let samples = completed_batches as f64 * config.batch_size as f64;
         PipelineReport {
+            completed_batches,
             losses,
             wall,
             samples_per_sec: samples / wall.as_secs_f64(),
@@ -271,6 +291,7 @@ mod tests {
     fn losses_are_finite_and_counted() {
         let r = run(true, 4, 1);
         assert_eq!(r.losses.len(), 12);
+        assert_eq!(r.completed_batches, 12);
         assert!(r.losses.iter().all(|l| l.is_finite()));
         assert!(r.samples_per_sec > 0.0);
     }

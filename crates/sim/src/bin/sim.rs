@@ -1,0 +1,134 @@
+//! CLI driver for the pipeline simulator (`cargo xtask sim`).
+//!
+//! Two modes:
+//!
+//! * `sim --seed N` — replay one seed with full diagnostics: the derived
+//!   fault plan, the outcome, and every invariant verdict. This is the
+//!   reproduction path DESIGN.md §10 documents for failing sweep seeds.
+//! * `sim --sweep COUNT [--start S]` — sweep seeds `S .. S+COUNT`
+//!   (CI runs this). On a violation the failure record — seed, plan,
+//!   violation, reproduction command — is printed and written to
+//!   `target/sim/failure-seed-N.txt` for artifact upload, and the
+//!   process exits non-zero.
+
+use el_sim::{check_run, run_sweep, sequential_prefix, FaultPlan, Outcome, SimConfig};
+use std::process::ExitCode;
+
+/// Parsed command-line request.
+struct Args {
+    /// Replay exactly this seed (wins over sweep mode).
+    seed: Option<u64>,
+    /// Sweep this many seeds.
+    sweep: u64,
+    /// First sweep seed.
+    start: u64,
+    /// Batches per run.
+    batches: u64,
+    /// Staleness bound override.
+    bound: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: None, sweep: 100, start: 0, batches: 24, bound: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = Some(grab("--seed")?),
+            "--sweep" => args.sweep = grab("--sweep")?,
+            "--start" => args.start = grab("--start")?,
+            "--batches" => args.batches = grab("--batches")?,
+            "--bound" => args.bound = Some(grab("--bound")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: sim [--seed N | --sweep COUNT [--start S]] [--batches N] [--bound B]
+  --seed N      replay one seed with full diagnostics
+  --sweep COUNT invariant-check COUNT seeds (default mode, COUNT=100)
+  --start S     first seed of the sweep (default 0)
+  --batches N   batches per simulated run (default 24)
+  --bound B     staleness bound override (default 6)";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = SimConfig { num_batches: args.batches, ..SimConfig::default() };
+    if let Some(b) = args.bound {
+        cfg.staleness_bound = b;
+    }
+
+    if let Some(seed) = args.seed {
+        return replay_one(&cfg, seed);
+    }
+
+    println!(
+        "sweeping {} seeds from {} ({} batches, staleness bound {})",
+        args.sweep, args.start, cfg.num_batches, cfg.staleness_bound
+    );
+    match run_sweep(&cfg, args.start, args.sweep) {
+        Ok(s) => {
+            println!(
+                "clean: {} seeds ({} completed, {} stalled by fatal faults), \
+                 {} faults injected, {} stale rows corrected",
+                s.seeds, s.completed, s.stalled, s.faults_injected, s.stale_hits
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("INVARIANT VIOLATION\n{failure}");
+            let path = format!("target/sim/failure-seed-{}.txt", failure.seed);
+            if std::fs::create_dir_all("target/sim")
+                .and_then(|()| std::fs::write(&path, format!("{failure}\n")))
+                .is_ok()
+            {
+                eprintln!("failure record written to {path}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one seed and prints everything a debugging session needs.
+fn replay_one(cfg: &SimConfig, seed: u64) -> ExitCode {
+    let plan = FaultPlan::from_seed(seed, cfg.num_batches);
+    println!("seed {seed} — fault plan:\n{plan}");
+    let oracle = sequential_prefix(cfg);
+    match check_run(cfg, &plan, seed, &oracle) {
+        Ok(report) => {
+            let outcome = match report.outcome {
+                Outcome::Completed => "completed",
+                Outcome::Stalled => "stalled (fatal fault)",
+                Outcome::OutOfBudget => "out of event budget",
+            };
+            println!(
+                "{outcome}: applied {}/{} batches in {} virtual ticks ({} events)",
+                report.applied, cfg.num_batches, report.final_tick, report.events_processed
+            );
+            println!(
+                "tables digest {:#018x} — matches sequential oracle at prefix {}",
+                report.table_digest, report.applied
+            );
+            println!("{} stale prefetched rows corrected by the worker cache", report.stale_hits);
+            println!("all invariants hold (exactly-once, staleness bound, replay, oracle)");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Seeded fault plans.
+//!
+//! A [`FaultPlan`] is the complete, replayable description of everything
+//! that goes wrong in one simulated run: which actor fails, when, and how
+//! the unreliable gradient link mangles deliveries. Plans are either built
+//! explicitly (the hand-written failure-injection tests) or derived
+//! deterministically from a seed ([`FaultPlan::from_seed`]), so a failing
+//! sweep seed reproduces bit-for-bit with `cargo xtask sim --seed N`.
+
+use crate::clock::splitmix64;
+use std::fmt;
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker pauses for `ticks` before computing batch `at_batch`.
+    WorkerStall {
+        /// Batch whose compute is delayed.
+        at_batch: u64,
+        /// Stall length in virtual ticks.
+        ticks: u64,
+    },
+    /// The worker dies the moment it dequeues batch `at_batch` — nothing
+    /// after that batch is computed, pushed, or retried.
+    WorkerDeath {
+        /// First batch the worker never trains.
+        at_batch: u64,
+    },
+    /// The server dies after applying `after_applied` gradient batches:
+    /// no more gathering, applying, or acknowledging.
+    ServerDeath {
+        /// Number of applied batches after which the server vanishes.
+        after_applied: u64,
+    },
+    /// Delivery of pre-fetched batch `batch` to the worker is delayed by
+    /// an extra `ticks`.
+    PrefetchDelay {
+        /// Delayed batch.
+        batch: u64,
+        /// Extra delivery latency in ticks.
+        ticks: u64,
+    },
+    /// The server's gradient intake is saturated during
+    /// `[start, start + ticks)`: every push delivery in the window
+    /// bounces and must be retransmitted.
+    GradQueueSaturation {
+        /// First saturated tick.
+        start: u64,
+        /// Window length in ticks.
+        ticks: u64,
+    },
+    /// The `delivery`-th transmission (1-based) of the gradient push for
+    /// batch `seq` is dropped by the link.
+    DropPush {
+        /// Batch whose push is affected.
+        seq: u64,
+        /// Which transmission attempt is dropped.
+        delivery: u32,
+    },
+    /// The `delivery`-th transmission of the gradient push for batch
+    /// `seq` is duplicated by the link: it arrives twice.
+    DuplicatePush {
+        /// Batch whose push is affected.
+        seq: u64,
+        /// Which transmission attempt is duplicated.
+        delivery: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::WorkerStall { at_batch, ticks } => {
+                write!(f, "worker stalls {ticks} ticks before batch {at_batch}")
+            }
+            Fault::WorkerDeath { at_batch } => write!(f, "worker dies at batch {at_batch}"),
+            Fault::ServerDeath { after_applied } => {
+                write!(f, "server dies after applying {after_applied} batches")
+            }
+            Fault::PrefetchDelay { batch, ticks } => {
+                write!(f, "prefetch of batch {batch} delayed {ticks} ticks")
+            }
+            Fault::GradQueueSaturation { start, ticks } => {
+                write!(f, "gradient queue saturated during ticks [{start}, {})", start + ticks)
+            }
+            Fault::DropPush { seq, delivery } => {
+                write!(f, "delivery {delivery} of push {seq} dropped")
+            }
+            Fault::DuplicatePush { seq, delivery } => {
+                write!(f, "delivery {delivery} of push {seq} duplicated")
+            }
+        }
+    }
+}
+
+/// A replayable set of faults for one simulated run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected faults, in generation order.
+    pub faults: Vec<Fault>,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "(fault-free)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "- {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultPlan {
+    /// The empty (fault-free) plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan containing exactly the given faults.
+    pub fn with(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// Derives a plan deterministically from `seed` for a run of
+    /// `num_batches`. Between zero and three faults are drawn; every
+    /// parameter comes from a splitmix64 stream of the seed, so the same
+    /// seed always yields the same plan.
+    pub fn from_seed(seed: u64, num_batches: u64) -> Self {
+        let mut ctr = seed ^ 0xFA01_7FA0_17FA_017F;
+        let mut draw = move || {
+            ctr = ctr.wrapping_add(1);
+            splitmix64(ctr)
+        };
+        let n = num_batches.max(1);
+        let count = (draw() % 4) as usize; // 0..=3 faults
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let fault = match draw() % 7 {
+                0 => Fault::WorkerStall { at_batch: draw() % n, ticks: 1 + draw() % 64 },
+                1 => Fault::WorkerDeath { at_batch: draw() % n },
+                2 => Fault::ServerDeath { after_applied: draw() % n },
+                3 => Fault::PrefetchDelay { batch: draw() % n, ticks: 1 + draw() % 48 },
+                4 => Fault::GradQueueSaturation {
+                    // runs take roughly 10 ticks per batch; place the
+                    // window somewhere it can actually bite
+                    start: draw() % (n * 10),
+                    ticks: 5 + draw() % 60,
+                },
+                5 => Fault::DropPush { seq: draw() % n, delivery: 1 + (draw() % 2) as u32 },
+                _ => Fault::DuplicatePush { seq: draw() % n, delivery: 1 + (draw() % 2) as u32 },
+            };
+            faults.push(fault);
+        }
+        Self { faults }
+    }
+
+    /// Stall ticks injected before computing `batch`, if any (summed over
+    /// duplicate entries).
+    pub fn stall_before(&self, batch: u64) -> Option<u64> {
+        let total: u64 = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::WorkerStall { at_batch, ticks } if *at_batch == batch => Some(*ticks),
+                _ => None,
+            })
+            .sum();
+        (total > 0).then_some(total)
+    }
+
+    /// True when the worker dies upon dequeuing `batch`.
+    pub fn kills_worker_at(&self, batch: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::WorkerDeath { at_batch } if *at_batch == batch))
+    }
+
+    /// The applied-count after which the server dies, if any (the
+    /// earliest wins when several are injected).
+    pub fn server_death_after(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ServerDeath { after_applied } => Some(*after_applied),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Extra prefetch-delivery latency for `batch`.
+    pub fn prefetch_delay(&self, batch: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PrefetchDelay { batch: b, ticks } if *b == batch => Some(*ticks),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// True when the gradient intake is saturated at virtual tick `t`.
+    pub fn saturated_at(&self, t: u64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::GradQueueSaturation { start, ticks } => t >= *start && t < *start + *ticks,
+            _ => false,
+        })
+    }
+
+    /// True when transmission `delivery` of push `seq` is dropped.
+    pub fn drops(&self, seq: u64, delivery: u32) -> bool {
+        self.faults.iter().any(
+            |f| matches!(f, Fault::DropPush { seq: s, delivery: d } if *s == seq && *d == delivery),
+        )
+    }
+
+    /// True when transmission `delivery` of push `seq` is duplicated.
+    pub fn duplicates(&self, seq: u64, delivery: u32) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f,
+                Fault::DuplicatePush { seq: s, delivery: d } if *s == seq && *d == delivery)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..200u64 {
+            assert_eq!(FaultPlan::from_seed(seed, 24), FaultPlan::from_seed(seed, 24));
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_kind() {
+        let mut kinds = [false; 7];
+        for seed in 0..500u64 {
+            for f in &FaultPlan::from_seed(seed, 24).faults {
+                let k = match f {
+                    Fault::WorkerStall { .. } => 0,
+                    Fault::WorkerDeath { .. } => 1,
+                    Fault::ServerDeath { .. } => 2,
+                    Fault::PrefetchDelay { .. } => 3,
+                    Fault::GradQueueSaturation { .. } => 4,
+                    Fault::DropPush { .. } => 5,
+                    Fault::DuplicatePush { .. } => 6,
+                };
+                kinds[k] = true;
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "500 seeds must cover all kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn some_seeds_are_fault_free() {
+        assert!(
+            (0..100u64).any(|s| FaultPlan::from_seed(s, 24).faults.is_empty()),
+            "the sweep must include fault-free baselines"
+        );
+    }
+
+    #[test]
+    fn queries_answer_from_the_plan() {
+        let plan = FaultPlan::with(vec![
+            Fault::WorkerStall { at_batch: 3, ticks: 10 },
+            Fault::WorkerDeath { at_batch: 7 },
+            Fault::ServerDeath { after_applied: 5 },
+            Fault::PrefetchDelay { batch: 2, ticks: 9 },
+            Fault::GradQueueSaturation { start: 100, ticks: 20 },
+            Fault::DropPush { seq: 4, delivery: 1 },
+            Fault::DuplicatePush { seq: 6, delivery: 2 },
+        ]);
+        assert_eq!(plan.stall_before(3), Some(10));
+        assert_eq!(plan.stall_before(4), None);
+        assert!(plan.kills_worker_at(7) && !plan.kills_worker_at(6));
+        assert_eq!(plan.server_death_after(), Some(5));
+        assert_eq!(plan.prefetch_delay(2), 9);
+        assert_eq!(plan.prefetch_delay(3), 0);
+        assert!(plan.saturated_at(100) && plan.saturated_at(119) && !plan.saturated_at(120));
+        assert!(plan.drops(4, 1) && !plan.drops(4, 2));
+        assert!(plan.duplicates(6, 2) && !plan.duplicates(6, 1));
+    }
+
+    #[test]
+    fn display_round_trips_the_story() {
+        let plan = FaultPlan::with(vec![Fault::WorkerDeath { at_batch: 7 }]);
+        assert_eq!(plan.to_string(), "- worker dies at batch 7");
+        assert_eq!(FaultPlan::none().to_string(), "(fault-free)");
+    }
+}

@@ -1,0 +1,302 @@
+//! The staleness-protocol invariant checker.
+//!
+//! Four families of invariants, checked after (not during) a run so the
+//! simulation itself stays an unjudged reproduction of events:
+//!
+//! 1. **exactly-once** — every acknowledged push was applied, and pushes
+//!    were applied exactly once, in sequence order, no matter how the
+//!    link dropped, duplicated or reordered deliveries;
+//! 2. **staleness bound** — every `PrefetchedBatch` stamp satisfies
+//!    `batch_seq − applied_through ≤ staleness_bound`, and the stamps are
+//!    monotone across gathers (the server's `applied` never regresses);
+//! 3. **schedule independence** — the final tables at `applied = k` are
+//!    byte-identical to the sequential oracle's prefix digest at `k`
+//!    ([`crate::oracle`]);
+//! 4. **replay determinism** — the same `(config, plan, seed)` reproduces
+//!    the same trace and the same final bytes.
+
+use crate::fault::FaultPlan;
+use crate::oracle::Oracle;
+use crate::sim::{run, Outcome, SimConfig, SimReport};
+use crate::trace::TraceEvent;
+use std::fmt;
+
+/// A detected invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A push was applied more than once (exactly-once broken).
+    AppliedTwice {
+        /// Re-applied batch.
+        seq: u64,
+    },
+    /// Applies skipped or reordered sequence numbers.
+    AppliedOutOfOrder {
+        /// Batch that was applied.
+        seq: u64,
+        /// Batch that should have been next.
+        expected: u64,
+    },
+    /// The worker was acknowledged for a push the server never applied.
+    AckedWithoutApply {
+        /// Acknowledged batch.
+        seq: u64,
+    },
+    /// A batch was gathered or trained with a stamp beyond the bound.
+    StalenessExceeded {
+        /// Batch sequence number.
+        seq: u64,
+        /// The stamp it carried.
+        applied_through: u64,
+        /// The configured bound.
+        bound: u64,
+    },
+    /// `applied_through` regressed between successive gathers.
+    StampRegressed {
+        /// Batch whose stamp regressed.
+        seq: u64,
+        /// The regressed stamp.
+        applied_through: u64,
+        /// The previous (higher) stamp.
+        prev: u64,
+    },
+    /// Final tables differ from the sequential oracle at the same
+    /// applied count — the pipeline computed something sequential
+    /// training would not have.
+    OracleMismatch {
+        /// Applied batches at termination.
+        applied: u64,
+        /// Digest the run produced.
+        got: u64,
+        /// Digest the oracle requires.
+        want: u64,
+    },
+    /// Two runs of the same `(config, plan, seed)` diverged.
+    ReplayDiverged {
+        /// The replayed schedule seed.
+        seed: u64,
+    },
+    /// A run claimed completion without applying every batch.
+    IncompleteCompletion {
+        /// Batches actually applied.
+        applied: u64,
+        /// Batches scheduled.
+        expected: u64,
+    },
+    /// The run exhausted its event budget — a livelock.
+    OutOfBudget,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AppliedTwice { seq } => write!(f, "push {seq} applied more than once"),
+            Violation::AppliedOutOfOrder { seq, expected } => {
+                write!(f, "push {seq} applied while {expected} was next in order")
+            }
+            Violation::AckedWithoutApply { seq } => {
+                write!(f, "push {seq} acknowledged but never applied")
+            }
+            Violation::StalenessExceeded { seq, applied_through, bound } => write!(
+                f,
+                "batch {seq} stamped applied_through={applied_through}, \
+                 staleness {} exceeds bound {bound}",
+                seq - applied_through
+            ),
+            Violation::StampRegressed { seq, applied_through, prev } => write!(
+                f,
+                "batch {seq} stamped applied_through={applied_through} after a stamp of {prev}"
+            ),
+            Violation::OracleMismatch { applied, got, want } => write!(
+                f,
+                "tables at applied={applied} digest to {got:#018x}, \
+                 sequential oracle requires {want:#018x}"
+            ),
+            Violation::ReplayDiverged { seed } => {
+                write!(f, "replay of schedule seed {seed} diverged")
+            }
+            Violation::IncompleteCompletion { applied, expected } => {
+                write!(f, "run completed with {applied}/{expected} batches applied")
+            }
+            Violation::OutOfBudget => write!(f, "event budget exhausted (livelock)"),
+        }
+    }
+}
+
+/// Checks the trace-level invariants (exactly-once, staleness bound,
+/// stamp monotonicity, outcome consistency) of one finished run.
+pub fn check_trace(report: &SimReport, cfg: &SimConfig) -> Result<(), Violation> {
+    if report.outcome == Outcome::OutOfBudget {
+        return Err(Violation::OutOfBudget);
+    }
+    let mut next_apply = 0u64;
+    let mut last_stamp = 0u64;
+    for e in &report.trace.events {
+        match *e {
+            TraceEvent::Applied { seq } => {
+                if seq < next_apply {
+                    return Err(Violation::AppliedTwice { seq });
+                }
+                if seq > next_apply {
+                    return Err(Violation::AppliedOutOfOrder { seq, expected: next_apply });
+                }
+                next_apply += 1;
+            }
+            TraceEvent::Acked { seq } if seq >= next_apply => {
+                return Err(Violation::AckedWithoutApply { seq });
+            }
+            TraceEvent::Gathered { seq, applied_through } => {
+                if seq - applied_through > cfg.staleness_bound {
+                    return Err(Violation::StalenessExceeded {
+                        seq,
+                        applied_through,
+                        bound: cfg.staleness_bound,
+                    });
+                }
+                if applied_through < last_stamp {
+                    return Err(Violation::StampRegressed {
+                        seq,
+                        applied_through,
+                        prev: last_stamp,
+                    });
+                }
+                last_stamp = applied_through;
+            }
+            TraceEvent::PrefetchSynced { seq, applied_through }
+                if seq - applied_through > cfg.staleness_bound =>
+            {
+                return Err(Violation::StalenessExceeded {
+                    seq,
+                    applied_through,
+                    bound: cfg.staleness_bound,
+                });
+            }
+            _ => {}
+        }
+    }
+    if next_apply != report.applied {
+        // the trace and the server disagree about progress
+        return Err(Violation::AppliedOutOfOrder { seq: report.applied, expected: next_apply });
+    }
+    if report.outcome == Outcome::Completed && report.applied != cfg.num_batches {
+        return Err(Violation::IncompleteCompletion {
+            applied: report.applied,
+            expected: cfg.num_batches,
+        });
+    }
+    Ok(())
+}
+
+/// Checks schedule independence: the run's final tables must digest to
+/// the oracle's prefix at the same applied count — even for runs a fault
+/// cut short.
+pub fn check_against_oracle(report: &SimReport, oracle: &Oracle) -> Result<(), Violation> {
+    let want = oracle.prefix_digests[report.applied as usize];
+    if report.table_digest != want {
+        return Err(Violation::OracleMismatch {
+            applied: report.applied,
+            got: report.table_digest,
+            want,
+        });
+    }
+    Ok(())
+}
+
+/// Runs `(cfg, plan, seed)` twice, demands bit-identical traces and
+/// tables, then checks every trace- and oracle-level invariant on the
+/// result. This is the full per-seed verdict the sweep and the CLI use.
+pub fn check_run(
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+    oracle: &Oracle,
+) -> Result<SimReport, Violation> {
+    let a = run(cfg, plan, schedule_seed);
+    let b = run(cfg, plan, schedule_seed);
+    if a.trace != b.trace || a.table_digest != b.table_digest || a.final_tick != b.final_tick {
+        return Err(Violation::ReplayDiverged { seed: schedule_seed });
+    }
+    check_trace(&a, cfg)?;
+    check_against_oracle(&a, oracle)?;
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use crate::oracle::sequential_prefix;
+
+    #[test]
+    fn fault_free_run_passes_every_check() {
+        let cfg = SimConfig::default();
+        let oracle = sequential_prefix(&cfg);
+        let report = check_run(&cfg, &FaultPlan::none(), 1, &oracle).expect("clean run");
+        assert_eq!(report.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn faulted_runs_still_match_the_oracle_prefix() {
+        let cfg = SimConfig::default();
+        let oracle = sequential_prefix(&cfg);
+        for plan in [
+            FaultPlan::with(vec![Fault::WorkerDeath { at_batch: 9 }]),
+            FaultPlan::with(vec![Fault::ServerDeath { after_applied: 4 }]),
+            FaultPlan::with(vec![
+                Fault::DropPush { seq: 1, delivery: 1 },
+                Fault::GradQueueSaturation { start: 20, ticks: 30 },
+            ]),
+        ] {
+            let report = check_run(&cfg, &plan, 77, &oracle)
+                .unwrap_or_else(|v| panic!("plan [{plan}] violated: {v}"));
+            // partial progress still matches the sequential prefix exactly
+            assert_eq!(report.table_digest, oracle.prefix_digests[report.applied as usize]);
+        }
+    }
+
+    #[test]
+    fn checker_catches_a_double_apply() {
+        let cfg = SimConfig::default();
+        let mut report = run(&cfg, &FaultPlan::none(), 1);
+        report.trace.push(TraceEvent::Applied { seq: 3 });
+        assert_eq!(check_trace(&report, &cfg), Err(Violation::AppliedTwice { seq: 3 }));
+    }
+
+    #[test]
+    fn checker_catches_a_stale_stamp() {
+        let cfg = SimConfig::default();
+        let mut report = run(&cfg, &FaultPlan::none(), 1);
+        report
+            .trace
+            .push(TraceEvent::Gathered { seq: 23, applied_through: 23 - cfg.staleness_bound - 1 });
+        assert!(matches!(
+            check_trace(&report, &cfg),
+            Err(Violation::StalenessExceeded { seq: 23, .. })
+        ));
+    }
+
+    #[test]
+    fn checker_catches_a_phantom_ack() {
+        let cfg = SimConfig { num_batches: 0, ..SimConfig::default() };
+        let mut report = run(&cfg, &FaultPlan::none(), 1);
+        report.trace.push(TraceEvent::Acked { seq: 5 });
+        assert_eq!(check_trace(&report, &cfg), Err(Violation::AckedWithoutApply { seq: 5 }));
+    }
+
+    #[test]
+    fn checker_catches_table_corruption() {
+        let cfg = SimConfig::default();
+        let oracle = sequential_prefix(&cfg);
+        let mut report = run(&cfg, &FaultPlan::none(), 1);
+        report.table_digest ^= 1;
+        assert!(matches!(
+            check_against_oracle(&report, &oracle),
+            Err(Violation::OracleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_render_for_humans() {
+        let v = Violation::StalenessExceeded { seq: 9, applied_through: 1, bound: 6 };
+        assert!(v.to_string().contains("staleness 8 exceeds bound 6"));
+    }
+}

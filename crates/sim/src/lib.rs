@@ -1,0 +1,46 @@
+//! # el-sim — deterministic pipeline simulator with seeded fault injection
+//!
+//! The pipelined parameter server (`el-pipeline`, paper §V) is tested
+//! end-to-end by real threads, which can only witness the interleavings
+//! the OS scheduler happens to produce. This crate removes the scheduler:
+//! a virtual clock and a seeded discrete-event queue ([`clock`]) drive
+//! the *real* `HostServer`, `EmbeddingCache` and pooling/aggregation
+//! kernels through arbitrary interleavings, while a seeded [`fault::FaultPlan`]
+//! injects worker stalls and deaths, server death, prefetch delays,
+//! gradient-queue saturation, and dropped/duplicated gradient deliveries.
+//!
+//! Every run is a pure function of `(SimConfig, FaultPlan, seed)` — no
+//! threads, no wall clock — so a failing seed from a CI sweep replays
+//! bit-for-bit on any machine (`cargo xtask sim --seed N`).
+//!
+//! * [`clock`] — virtual time, deterministic event scheduling, splitmix64,
+//! * [`fault`] — the fault model and seeded plan derivation,
+//! * [`trace`] — the observable protocol history of a run,
+//! * [`sim`] — the simulation itself (host, worker, unreliable links),
+//! * [`oracle`] — the sequential reference with per-batch prefix digests,
+//! * [`invariants`] — exactly-once / staleness-bound / schedule-independence
+//!   / replay-determinism checking,
+//! * [`sweep`] — the seed-sweep harness CI runs.
+//!
+//! See DESIGN.md §10 for the fault model and the invariant statements.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod fault;
+pub mod invariants;
+pub mod oracle;
+pub mod sim;
+pub mod sweep;
+pub mod trace;
+
+#[cfg(test)]
+mod proptests;
+
+pub use fault::{Fault, FaultPlan};
+pub use invariants::{check_against_oracle, check_run, check_trace, Violation};
+pub use oracle::{sequential_prefix, Oracle};
+pub use sim::{digest_tables, run, Outcome, SimConfig, SimReport};
+pub use sweep::{run_sweep, SweepFailure, SweepSummary};
+pub use trace::{Trace, TraceEvent};

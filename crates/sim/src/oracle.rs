@@ -1,0 +1,74 @@
+//! The sequential reference execution.
+//!
+//! The embedding cache's contract (DESIGN.md §5) is that pipelined
+//! training computes *exactly* what sequential training computes — the
+//! cache corrects every stale pre-fetched row before the worker touches
+//! it. The oracle runs the same model universe strictly sequentially
+//! (gather → train → apply, one batch at a time, staleness always zero)
+//! and records a table digest after every applied batch. Any simulated
+//! run, however contorted its interleaving and whatever faults cut it
+//! short at `applied = k`, must land on `prefix_digests[k]` exactly —
+//! this single check subsumes exactly-once delivery *and* cache
+//! correctness, because a lost, duplicated or stale-input push would
+//! each perturb the final bytes.
+
+use crate::sim::{build_dataset, build_tables, digest_tables, worker_push, SimConfig};
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_pipeline::cache::EmbeddingCache;
+use el_pipeline::server::{ApplyOutcome, HostServer};
+
+/// The sequential reference for one [`SimConfig`].
+pub struct Oracle {
+    /// `prefix_digests[k]` is the table digest after `k` applied batches;
+    /// index 0 is the initial (untrained) tables. Length `num_batches + 1`.
+    pub prefix_digests: Vec<u64>,
+    /// The tables after all batches, for byte-level diffing in reports.
+    pub final_tables: Vec<(usize, EmbeddingBag)>,
+}
+
+/// Runs the sequential reference and captures every prefix digest.
+pub fn sequential_prefix(cfg: &SimConfig) -> Oracle {
+    let dataset = build_dataset(cfg);
+    let mut server = HostServer::new(build_tables(cfg), cfg.lr);
+    let mut caches: Vec<(usize, EmbeddingCache)> =
+        (0..cfg.num_tables).map(|t| (t, EmbeddingCache::new())).collect();
+    let mut prefix_digests = Vec::with_capacity(cfg.num_batches as usize + 1);
+    prefix_digests.push(digest_tables(&server.tables));
+    for k in 0..cfg.num_batches {
+        let batch = dataset.batch(k, cfg.batch_size);
+        let mut pf = server.gather(batch, k);
+        debug_assert_eq!(pf.applied_through, k, "sequential gather is never stale");
+        let push = worker_push(&mut pf, &mut caches, cfg.lr, cfg.model_seed);
+        match server.apply_checked(&push) {
+            Ok(ApplyOutcome::Applied) => {}
+            other => unreachable!("sequential apply of batch {k} failed: {other:?}"),
+        }
+        prefix_digests.push(digest_tables(&server.tables));
+    }
+    Oracle { prefix_digests, final_tables: server.tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_digests_are_distinct_and_deterministic() {
+        let cfg = SimConfig::default();
+        let a = sequential_prefix(&cfg);
+        let b = sequential_prefix(&cfg);
+        assert_eq!(a.prefix_digests, b.prefix_digests);
+        assert_eq!(a.prefix_digests.len() as u64, cfg.num_batches + 1);
+        // every batch must actually move the tables
+        for w in a.prefix_digests.windows(2) {
+            assert_ne!(w[0], w[1], "an applied batch left the tables untouched");
+        }
+    }
+
+    #[test]
+    fn oracle_depends_on_the_model_seed() {
+        let a = sequential_prefix(&SimConfig::default());
+        let b = sequential_prefix(&SimConfig { model_seed: 12, ..SimConfig::default() });
+        assert_ne!(a.prefix_digests.last(), b.prefix_digests.last());
+    }
+}

@@ -1,0 +1,588 @@
+//! The discrete-event pipeline simulation.
+//!
+//! One virtual host (the real [`HostServer`]), one virtual worker (the
+//! real [`EmbeddingCache`] plus the real pooling/aggregation helpers from
+//! `el_pipeline::server`), and three virtual links — prefetch delivery,
+//! gradient delivery, acknowledgement — with seeded latency jitter. The
+//! gradient link is *unreliable*: a [`FaultPlan`] may drop or duplicate
+//! individual deliveries, so the worker runs an at-least-once protocol
+//! (retransmit with exponential backoff until acknowledged) and the
+//! server an idempotent intake ([`HostServer::apply_checked`]: duplicates
+//! ignored, out-of-order pushes buffered until the gap fills).
+//!
+//! The worker's gradient is a deterministic *pseudo-loss* of the pooled
+//! embeddings (`d = 0.05 · pooled + bias(seq, table)`). Because it
+//! depends on the embedding values the worker trains on, any staleness
+//! the embedding cache fails to correct changes the pushed gradients and
+//! therefore the final tables — which is exactly what the
+//! schedule-independence check in [`crate::invariants`] detects.
+//!
+//! No real threads, no wall-clock reads: every run is a pure function of
+//! `(SimConfig, FaultPlan, schedule_seed)`, so any failing seed replays
+//! bit-for-bit.
+
+use crate::clock::{splitmix64, EventQueue};
+use crate::fault::FaultPlan;
+use crate::trace::{Trace, TraceEvent};
+use el_data::{DatasetSpec, SyntheticDataset};
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_pipeline::cache::EmbeddingCache;
+use el_pipeline::server::{
+    aggregate_to_unique, pool_prefetched, ApplyOutcome, GradientPush, HostServer, PrefetchedBatch,
+};
+use el_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Base latency of prefetch delivery (host → worker), in ticks.
+const PREFETCH_LATENCY: u64 = 3;
+/// Base latency of one training step's compute, in ticks.
+const COMPUTE_LATENCY: u64 = 4;
+/// Base latency of gradient-push delivery (worker → host), in ticks.
+const PUSH_LATENCY: u64 = 3;
+/// Base latency of acknowledgement delivery (host → worker), in ticks.
+const ACK_LATENCY: u64 = 2;
+/// Initial retransmission timeout; doubles per attempt.
+const RETRY_TIMEOUT: u64 = 24;
+/// Retransmissions before the worker gives a push up and halts.
+const MAX_RETRIES: u32 = 8;
+/// Exclusive upper bound of the per-message latency jitter.
+const JITTER: u64 = 4;
+
+/// Static configuration of one simulated run (everything except the
+/// faults and the schedule seed).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Seed of the model/data universe: synthetic dataset, initial table
+    /// weights, pseudo-loss constants.
+    pub model_seed: u64,
+    /// Batches to train.
+    pub num_batches: u64,
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// Pre-fetch queue capacity (the paper's queue length).
+    pub prefetch_depth: usize,
+    /// Gradient-intake buffer capacity; deliveries beyond it bounce.
+    pub grad_capacity: usize,
+    /// Maximum tolerated staleness: the host refuses to gather batch `k`
+    /// until `k - applied <= staleness_bound`, so every `PrefetchedBatch`
+    /// stamp satisfies `batch_seq - applied_through <= staleness_bound`.
+    pub staleness_bound: u64,
+    /// Hosted embedding tables.
+    pub num_tables: usize,
+    /// Rows per hosted table.
+    pub rows_per_table: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// SGD learning rate (worker prediction and server application).
+    pub lr: f32,
+    /// Safety cap on processed events; exceeding it is an error outcome.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            model_seed: 11,
+            num_batches: 24,
+            batch_size: 16,
+            prefetch_depth: 4,
+            grad_capacity: 8,
+            staleness_bound: 6,
+            num_tables: 2,
+            rows_per_table: 100,
+            dim: 8,
+            lr: 0.05,
+            max_events: 100_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every scheduled batch was gathered, trained, pushed and applied.
+    Completed,
+    /// The event queue drained with work outstanding — an actor died or
+    /// gave up, and the rest of the pipeline wound down cleanly.
+    Stalled,
+    /// The event budget was exhausted (a livelock; always a bug).
+    OutOfBudget,
+}
+
+/// Result of one simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Gradient batches the server applied.
+    pub applied: u64,
+    /// Full protocol trace, in virtual-time order.
+    pub trace: Trace,
+    /// FNV-1a digest over the final table weights (byte-identity proxy).
+    pub table_digest: u64,
+    /// The final hosted tables.
+    pub tables: Vec<(usize, EmbeddingBag)>,
+    /// Stale pre-fetched rows the worker's cache corrected.
+    pub stale_hits: u64,
+    /// Virtual time at termination.
+    pub final_tick: u64,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// The synthetic dataset a config describes (shared with the oracle).
+pub(crate) fn build_dataset(cfg: &SimConfig) -> SyntheticDataset {
+    let spec = DatasetSpec::toy(cfg.num_tables, cfg.rows_per_table, 1_000_000);
+    SyntheticDataset::new(spec, cfg.model_seed)
+}
+
+/// The hosted tables a config describes (shared with the oracle).
+pub(crate) fn build_tables(cfg: &SimConfig) -> Vec<(usize, EmbeddingBag)> {
+    let mut rng = StdRng::seed_from_u64(cfg.model_seed ^ 0x7AB1_E5EE_D000_0001);
+    (0..cfg.num_tables)
+        .map(|t| (t, EmbeddingBag::new(cfg.rows_per_table, cfg.dim, 0.2, &mut rng)))
+        .collect()
+}
+
+/// The deterministic pseudo-loss gradient for one pooled activation: an
+/// affine function of the values, so wrong (stale) inputs produce wrong
+/// pushes and surface in the schedule-independence check.
+fn pseudo_loss_grad(pooled: &Matrix, seq: u64, table: usize, model_seed: u64) -> Matrix {
+    let h = splitmix64(model_seed ^ seq.wrapping_mul(0x9E37_79B9).wrapping_add(table as u64));
+    let bias = ((h % 1024) as f32 - 512.0) / 20_480.0;
+    let data = pooled.as_slice().iter().map(|v| 0.05 * v + bias).collect();
+    Matrix::from_vec(pooled.rows(), pooled.cols(), data)
+}
+
+/// One worker training step over a pre-fetched batch: cache sync, pool,
+/// pseudo-loss gradient, per-unique-row aggregation, predicted-update
+/// cache refresh — the exact stage-1/stage-3 sequence of
+/// `el_pipeline::trainer`. Shared by the simulation and the sequential
+/// oracle (which runs it with staleness zero).
+pub(crate) fn worker_push(
+    pf: &mut PrefetchedBatch,
+    caches: &mut [(usize, EmbeddingCache)],
+    lr: f32,
+    model_seed: u64,
+) -> GradientPush {
+    let mut tables = Vec::with_capacity(pf.tables.len());
+    for (t, unique, rows) in &mut pf.tables {
+        let cache =
+            &mut caches.iter_mut().find(|(id, _)| id == t).expect("cache per hosted table").1;
+        cache.sync(unique, rows, pf.applied_through);
+        let field = &pf.batch.fields[*t];
+        let pooled = pool_prefetched(&field.indices, &field.offsets, unique, rows);
+        let d_out = pseudo_loss_grad(&pooled, pf.batch_seq, *t, model_seed);
+        let grad = aggregate_to_unique(&field.indices, &field.offsets, unique, &d_out);
+        let mut updated = rows.clone();
+        for slot in 0..unique.len() {
+            let g = &grad.values[slot * grad.dim..(slot + 1) * grad.dim];
+            for (w, gv) in updated.row_mut(slot).iter_mut().zip(g) {
+                *w -= lr * gv;
+            }
+        }
+        cache.insert(unique, &updated, pf.batch_seq);
+        tables.push((*t, grad));
+    }
+    GradientPush { batch_seq: pf.batch_seq, tables, pooled: Vec::new() }
+}
+
+/// FNV-1a digest of table ids and weight bit patterns — the
+/// byte-identity proxy the determinism checks compare.
+pub fn digest_tables(tables: &[(usize, EmbeddingBag)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (t, bag) in tables {
+        mix(*t as u64);
+        for &v in bag.weight.as_slice() {
+            mix(u64::from(v.to_bits()));
+        }
+    }
+    h
+}
+
+/// In-flight gradient push awaiting acknowledgement.
+struct UnackedPush {
+    push: GradientPush,
+    /// Retransmission attempts fired so far.
+    attempts: u32,
+    /// Transmissions issued (1-based delivery counter for fault matching).
+    deliveries: u32,
+}
+
+/// Events on the virtual timeline.
+enum Ev {
+    /// A pre-fetched batch reaches the worker.
+    PrefetchArrive(Box<PrefetchedBatch>),
+    /// A worker stall window ends.
+    StallOver,
+    /// The worker finishes computing a batch.
+    ComputeDone(u64),
+    /// A gradient-push delivery reaches the server.
+    PushArrive(Box<GradientPush>),
+    /// An acknowledgement reaches the worker.
+    AckArrive(u64),
+    /// The worker's retransmission timer for a push fires.
+    RetryFire(u64),
+}
+
+/// The running simulation state.
+struct Simulation {
+    cfg: SimConfig,
+    plan: FaultPlan,
+    q: EventQueue<Ev>,
+    rng: StdRng,
+    dataset: SyntheticDataset,
+    trace: Trace,
+    // host
+    server: HostServer,
+    server_alive: bool,
+    next_gather: u64,
+    pending: BTreeMap<u64, GradientPush>,
+    occupancy: usize,
+    // worker
+    worker_alive: bool,
+    stalled: bool,
+    stalls_done: BTreeSet<u64>,
+    inbox: BTreeMap<u64, PrefetchedBatch>,
+    next_train: u64,
+    computing: Option<GradientPush>,
+    caches: Vec<(usize, EmbeddingCache)>,
+    unacked: BTreeMap<u64, UnackedPush>,
+}
+
+/// Runs one simulation to termination.
+pub fn run(cfg: &SimConfig, plan: &FaultPlan, schedule_seed: u64) -> SimReport {
+    let sim = Simulation {
+        cfg: *cfg,
+        plan: plan.clone(),
+        q: EventQueue::new(),
+        rng: StdRng::seed_from_u64(cfg.model_seed ^ splitmix64(schedule_seed)),
+        dataset: build_dataset(cfg),
+        trace: Trace::default(),
+        server: HostServer::new(build_tables(cfg), cfg.lr),
+        server_alive: true,
+        next_gather: 0,
+        pending: BTreeMap::new(),
+        occupancy: 0,
+        worker_alive: true,
+        stalled: false,
+        stalls_done: BTreeSet::new(),
+        inbox: BTreeMap::new(),
+        next_train: 0,
+        computing: None,
+        caches: (0..cfg.num_tables).map(|t| (t, EmbeddingCache::new())).collect(),
+        unacked: BTreeMap::new(),
+    };
+    sim.drive()
+}
+
+impl Simulation {
+    fn jitter(&mut self) -> u64 {
+        self.rng.gen_range(0..JITTER)
+    }
+
+    fn drive(mut self) -> SimReport {
+        let mut events = 0u64;
+        let mut out_of_budget = false;
+        self.step();
+        while let Some(ev) = self.q.pop() {
+            events += 1;
+            if events > self.cfg.max_events {
+                out_of_budget = true;
+                break;
+            }
+            self.handle(ev);
+            self.step();
+        }
+        let outcome = if out_of_budget {
+            Outcome::OutOfBudget
+        } else if self.server.applied == self.cfg.num_batches {
+            Outcome::Completed
+        } else {
+            Outcome::Stalled
+        };
+        let stale_hits = self.caches.iter().map(|(_, c)| c.stale_hits).sum();
+        SimReport {
+            outcome,
+            applied: self.server.applied,
+            table_digest: digest_tables(&self.server.tables),
+            tables: std::mem::take(&mut self.server.tables),
+            stale_hits,
+            final_tick: self.q.now(),
+            events_processed: events,
+            trace: self.trace,
+        }
+    }
+
+    /// Runs every immediately-enabled action: server applies, server
+    /// gathers, worker starts compute. Called after each event so no
+    /// wake-up can be missed — enabling conditions only change when some
+    /// event fires.
+    fn step(&mut self) {
+        self.drain_pending();
+        self.host_gather();
+        self.worker_start();
+    }
+
+    /// Applies buffered pushes in order until a gap (or server death).
+    fn drain_pending(&mut self) {
+        while self.server_alive {
+            if let Some(death) = self.plan.server_death_after() {
+                if self.server.applied >= death {
+                    self.server_alive = false;
+                    self.trace.push(TraceEvent::ServerDied { applied: self.server.applied });
+                    self.pending.clear();
+                    return;
+                }
+            }
+            let next = self.server.applied;
+            let Some(push) = self.pending.remove(&next) else { return };
+            match self.server.apply_checked(&push) {
+                Ok(ApplyOutcome::Applied) => {
+                    self.trace.push(TraceEvent::Applied { seq: next });
+                    self.schedule_ack(next);
+                }
+                other => unreachable!("in-order drain of seq {next} must apply, got {other:?}"),
+            }
+        }
+    }
+
+    /// Gathers while the pre-fetch queue has room and the staleness gate
+    /// allows: batch `k` may only be gathered once `k - applied` is
+    /// within the configured bound, which is what makes the bound a
+    /// protocol *guarantee* rather than an accident of queue sizing.
+    fn host_gather(&mut self) {
+        while self.server_alive
+            && self.next_gather < self.cfg.num_batches
+            && self.occupancy < self.cfg.prefetch_depth
+            && self.next_gather - self.server.applied <= self.cfg.staleness_bound
+        {
+            let k = self.next_gather;
+            let batch = self.dataset.batch(k, self.cfg.batch_size);
+            let pf = self.server.gather(batch, k);
+            self.trace.push(TraceEvent::Gathered { seq: k, applied_through: pf.applied_through });
+            let delay = PREFETCH_LATENCY + self.jitter() + self.plan.prefetch_delay(k);
+            self.q.schedule(delay, Ev::PrefetchArrive(Box::new(pf)));
+            self.occupancy += 1;
+            self.next_gather += 1;
+        }
+    }
+
+    /// Starts computing the next in-order batch if the worker is idle.
+    /// The prefetch link preserves FIFO order toward the worker: batches
+    /// are consumed strictly by sequence number even when jitter delivers
+    /// them out of order.
+    fn worker_start(&mut self) {
+        if !self.worker_alive || self.stalled || self.computing.is_some() {
+            return;
+        }
+        let Some(mut pf) = self.inbox.remove(&self.next_train) else { return };
+        let seq = pf.batch_seq;
+        if self.plan.kills_worker_at(seq) {
+            self.worker_alive = false;
+            self.trace.push(TraceEvent::WorkerDied { at_batch: seq });
+            self.inbox.clear();
+            return;
+        }
+        if !self.stalls_done.contains(&seq) {
+            if let Some(ticks) = self.plan.stall_before(seq) {
+                self.stalls_done.insert(seq);
+                self.stalled = true;
+                self.inbox.insert(seq, pf); // resume from here after the stall
+                self.q.schedule(ticks, Ev::StallOver);
+                return;
+            }
+        }
+        self.occupancy -= 1;
+        self.trace.push(TraceEvent::PrefetchSynced { seq, applied_through: pf.applied_through });
+        let push = worker_push(&mut pf, &mut self.caches, self.cfg.lr, self.cfg.model_seed);
+        self.computing = Some(push);
+        self.next_train += 1;
+        let delay = COMPUTE_LATENCY + self.jitter();
+        self.q.schedule(delay, Ev::ComputeDone(seq));
+    }
+
+    /// Issues one transmission of the push for `seq` (subject to the
+    /// plan's drop/duplicate faults) and arms the retransmission timer.
+    fn transmit(&mut self, seq: u64) {
+        let Some(ent) = self.unacked.get_mut(&seq) else { return };
+        ent.deliveries += 1;
+        let delivery = ent.deliveries;
+        let attempts = ent.attempts;
+        let push = ent.push.clone();
+        self.trace.push(TraceEvent::PushSent { seq, delivery });
+        if !self.plan.drops(seq, delivery) {
+            let d = PUSH_LATENCY + self.jitter();
+            self.q.schedule(d, Ev::PushArrive(Box::new(push.clone())));
+        }
+        if self.plan.duplicates(seq, delivery) {
+            let d = PUSH_LATENCY + 1 + self.jitter();
+            self.q.schedule(d, Ev::PushArrive(Box::new(push)));
+        }
+        let timeout = RETRY_TIMEOUT << attempts.min(8);
+        self.q.schedule(timeout, Ev::RetryFire(seq));
+    }
+
+    fn schedule_ack(&mut self, seq: u64) {
+        let d = ACK_LATENCY + self.jitter();
+        self.q.schedule(d, Ev::AckArrive(seq));
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::PrefetchArrive(pf) => {
+                if self.worker_alive {
+                    self.inbox.insert(pf.batch_seq, *pf);
+                }
+            }
+            Ev::StallOver => {
+                self.stalled = false;
+            }
+            Ev::ComputeDone(seq) => {
+                let push = self.computing.take().expect("ComputeDone without compute");
+                debug_assert_eq!(push.batch_seq, seq);
+                self.unacked.insert(seq, UnackedPush { push, attempts: 0, deliveries: 0 });
+                self.transmit(seq);
+            }
+            Ev::PushArrive(push) => {
+                if !self.server_alive {
+                    return;
+                }
+                let seq = push.batch_seq;
+                self.trace.push(TraceEvent::PushDelivered { seq });
+                let duplicate = seq < self.server.applied || self.pending.contains_key(&seq);
+                if duplicate {
+                    self.trace.push(TraceEvent::DuplicateIgnored { seq });
+                    if seq < self.server.applied {
+                        // already applied: re-acknowledge so the worker
+                        // stops retransmitting (exactly-once is preserved
+                        // because application, not delivery, is deduped)
+                        self.schedule_ack(seq);
+                    }
+                    return;
+                }
+                if self.plan.saturated_at(self.q.now())
+                    || self.pending.len() >= self.cfg.grad_capacity
+                {
+                    self.trace.push(TraceEvent::PushBounced { seq });
+                    return;
+                }
+                self.pending.insert(seq, *push);
+            }
+            Ev::AckArrive(seq) => {
+                if self.worker_alive && self.unacked.remove(&seq).is_some() {
+                    self.trace.push(TraceEvent::Acked { seq });
+                }
+            }
+            Ev::RetryFire(seq) => {
+                if !self.worker_alive || !self.unacked.contains_key(&seq) {
+                    return;
+                }
+                let ent = self.unacked.get_mut(&seq).expect("checked above");
+                ent.attempts += 1;
+                if ent.attempts > MAX_RETRIES {
+                    // retry budget exhausted (the server is gone or the
+                    // queue stayed saturated): degrade, don't livelock
+                    self.unacked.remove(&seq);
+                    self.trace.push(TraceEvent::GaveUp { seq });
+                    self.worker_alive = false;
+                } else {
+                    self.transmit(seq);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+
+    #[test]
+    fn fault_free_run_completes() {
+        let cfg = SimConfig::default();
+        let r = run(&cfg, &FaultPlan::none(), 1);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.applied, cfg.num_batches);
+        assert_eq!(r.trace.count(|e| matches!(e, TraceEvent::Applied { .. })), 24);
+        assert!(!r.trace.any(|e| matches!(e, TraceEvent::PushBounced { .. })));
+        assert!(r.stale_hits > 0, "pipelining must actually create staleness to correct");
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let cfg = SimConfig::default();
+        for seed in [0u64, 7, 42] {
+            let plan = FaultPlan::from_seed(seed, cfg.num_batches);
+            let a = run(&cfg, &plan, seed);
+            let b = run(&cfg, &plan, seed);
+            assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+            assert_eq!(a.table_digest, b.table_digest, "tables diverged for seed {seed}");
+            assert_eq!(a.final_tick, b.final_tick);
+        }
+    }
+
+    #[test]
+    fn worker_death_stalls_the_run_cleanly() {
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::with(vec![Fault::WorkerDeath { at_batch: 5 }]);
+        let r = run(&cfg, &plan, 3);
+        assert_eq!(r.outcome, Outcome::Stalled);
+        assert_eq!(r.applied, 5, "batches 0..5 trained and applied, nothing after");
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::WorkerDied { at_batch: 5 })));
+    }
+
+    #[test]
+    fn saturation_bounces_then_recovers() {
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::with(vec![Fault::GradQueueSaturation { start: 10, ticks: 40 }]);
+        let r = run(&cfg, &plan, 9);
+        assert_eq!(r.outcome, Outcome::Completed, "retries must ride out the window");
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::PushBounced { .. })));
+    }
+
+    #[test]
+    fn dropped_and_duplicated_pushes_are_absorbed() {
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::with(vec![
+            Fault::DropPush { seq: 2, delivery: 1 },
+            Fault::DuplicatePush { seq: 3, delivery: 1 },
+        ]);
+        let r = run(&cfg, &plan, 4);
+        assert_eq!(r.outcome, Outcome::Completed);
+        // the drop forced a retransmission of push 2
+        assert!(r.trace.count(|e| matches!(e, TraceEvent::PushSent { seq: 2, .. })) >= 2);
+        // the duplicate of push 3 was delivered twice but applied once
+        assert_eq!(r.trace.count(|e| matches!(e, TraceEvent::Applied { seq: 3 })), 1);
+    }
+
+    #[test]
+    fn staleness_gate_holds_on_every_stamp() {
+        let cfg = SimConfig { staleness_bound: 2, ..SimConfig::default() };
+        let r = run(&cfg, &FaultPlan::none(), 5);
+        assert_eq!(r.outcome, Outcome::Completed);
+        for e in &r.trace.events {
+            if let TraceEvent::Gathered { seq, applied_through } = e {
+                assert!(seq - applied_through <= 2, "stamp violates bound: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_different_tables() {
+        let cfg = SimConfig::default();
+        let a = run(&cfg, &FaultPlan::none(), 1);
+        let shorter = SimConfig { num_batches: 12, ..cfg };
+        let b = run(&shorter, &FaultPlan::none(), 1);
+        assert_ne!(a.table_digest, b.table_digest);
+    }
+}

@@ -1,0 +1,105 @@
+//! Seed sweeps — the CI harness over the simulator.
+//!
+//! Each seed derives a [`FaultPlan`] and a schedule seed, runs the full
+//! per-seed verdict ([`crate::invariants::check_run`]: replay twice,
+//! check every invariant, compare against the sequential oracle), and the
+//! first violation stops the sweep with everything needed to reproduce
+//! it: the seed, the derived plan, and the violation itself. `cargo xtask
+//! sim --seed N` replays exactly that run.
+
+use crate::fault::FaultPlan;
+use crate::invariants::{check_run, Violation};
+use crate::oracle::sequential_prefix;
+use crate::sim::{Outcome, SimConfig};
+use std::fmt;
+
+/// The reproduction record of a failed sweep seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepFailure {
+    /// The failing seed (derives both the plan and the schedule).
+    pub seed: u64,
+    /// The fault plan that seed derived.
+    pub plan: FaultPlan,
+    /// What went wrong.
+    pub violation: Violation,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed: {}", self.seed)?;
+        writeln!(f, "violation: {}", self.violation)?;
+        writeln!(f, "fault plan:")?;
+        writeln!(f, "{}", self.plan)?;
+        write!(f, "reproduce with: cargo xtask sim --seed {}", self.seed)
+    }
+}
+
+/// Aggregate statistics of a clean sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Runs that trained every batch.
+    pub completed: u64,
+    /// Runs a fault legitimately cut short.
+    pub stalled: u64,
+    /// Total faults injected across all plans.
+    pub faults_injected: u64,
+    /// Total stale pre-fetched rows the worker caches corrected.
+    pub stale_hits: u64,
+}
+
+/// Sweeps seeds `start .. start + count`, stopping at the first
+/// violation. The oracle is computed once — every seed shares the same
+/// model universe and differs only in faults and scheduling, which is
+/// precisely the schedule-independence claim under test.
+pub fn run_sweep(cfg: &SimConfig, start: u64, count: u64) -> Result<SweepSummary, SweepFailure> {
+    let oracle = sequential_prefix(cfg);
+    let mut summary = SweepSummary::default();
+    for seed in start..start.saturating_add(count) {
+        let plan = FaultPlan::from_seed(seed, cfg.num_batches);
+        match check_run(cfg, &plan, seed, &oracle) {
+            Ok(report) => {
+                summary.seeds += 1;
+                summary.faults_injected += plan.faults.len() as u64;
+                summary.stale_hits += report.stale_hits;
+                match report.outcome {
+                    Outcome::Completed => summary.completed += 1,
+                    Outcome::Stalled => summary.stalled += 1,
+                    Outcome::OutOfBudget => unreachable!("check_run rejects budget overruns"),
+                }
+            }
+            Err(violation) => return Err(SweepFailure { seed, plan, violation }),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quick_sweep_is_clean_and_diverse() {
+        let cfg = SimConfig::default();
+        let summary = run_sweep(&cfg, 0, 40).unwrap_or_else(|f| panic!("sweep failed:\n{f}"));
+        assert_eq!(summary.seeds, 40);
+        assert_eq!(summary.seeds, summary.completed + summary.stalled);
+        assert!(summary.completed > 0, "some seeds must complete");
+        assert!(summary.stalled > 0, "some seeds must hit fatal faults");
+        assert!(summary.faults_injected > 0, "plans must actually inject faults");
+        assert!(summary.stale_hits > 0, "pipelining must exercise the cache");
+    }
+
+    #[test]
+    fn failures_print_a_reproduction_recipe() {
+        let f = SweepFailure {
+            seed: 17,
+            plan: FaultPlan::from_seed(17, 24),
+            violation: Violation::OutOfBudget,
+        };
+        let text = f.to_string();
+        assert!(text.contains("seed: 17"));
+        assert!(text.contains("cargo xtask sim --seed 17"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The observable history of one simulated run.
+//!
+//! Every protocol-relevant action appends a [`TraceEvent`]; the invariant
+//! checker consumes the trace after the run. Traces derive `PartialEq` so
+//! replay determinism can be asserted structurally, not just on final
+//! state.
+
+/// One observed protocol action, in virtual-time order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The server gathered batch `seq`, stamping it with its progress.
+    Gathered {
+        /// Batch sequence number.
+        seq: u64,
+        /// Gradient batches the server had applied at gather time.
+        applied_through: u64,
+    },
+    /// The worker synchronized batch `seq`'s pre-fetched rows against its
+    /// embedding cache and began computing.
+    PrefetchSynced {
+        /// Batch sequence number.
+        seq: u64,
+        /// The staleness stamp the batch carried.
+        applied_through: u64,
+    },
+    /// The worker transmitted the push for batch `seq` (attempt
+    /// `delivery`, 1-based).
+    PushSent {
+        /// Batch sequence number.
+        seq: u64,
+        /// Transmission attempt.
+        delivery: u32,
+    },
+    /// A push delivery for batch `seq` reached the server.
+    PushDelivered {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A delivered push bounced off a saturated gradient intake.
+    PushBounced {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A delivered push duplicated one already applied or buffered; it
+    /// was ignored (and re-acknowledged if already applied).
+    DuplicateIgnored {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The server applied the push for batch `seq` to its tables.
+    Applied {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The worker received the server's acknowledgement for batch `seq`.
+    Acked {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The worker exhausted its retry budget for batch `seq` and stopped.
+    GaveUp {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The worker died (fault injection).
+    WorkerDied {
+        /// Batch it died on.
+        at_batch: u64,
+    },
+    /// The server died (fault injection).
+    ServerDied {
+        /// Batches it had applied when it died.
+        applied: u64,
+    },
+}
+
+/// The full history of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in virtual-time order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Appends an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// Number of events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// True when any event matches `pred`.
+    pub fn any(&self, pred: impl Fn(&TraceEvent) -> bool) -> bool {
+        self.events.iter().any(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_any_filter() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::Applied { seq: 0 });
+        t.push(TraceEvent::Applied { seq: 1 });
+        t.push(TraceEvent::Acked { seq: 0 });
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Applied { .. })), 2);
+        assert!(t.any(|e| matches!(e, TraceEvent::Acked { seq: 0 })));
+        assert!(!t.any(|e| matches!(e, TraceEvent::GaveUp { .. })));
+    }
+}

@@ -19,6 +19,8 @@
 //!   optimizers, dense `EmbeddingBag` baseline),
 //! * [`pipeline`] — the TT-based pipeline training system (parameter server,
 //!   pre-fetch/gradient queues, life-cycle embedding cache, all-reduce),
+//! * [`sim`] — deterministic discrete-event simulator for the pipeline with
+//!   seeded fault injection and staleness-invariant checking,
 //! * [`frameworks`] — baseline framework emulations used by the benchmark
 //!   harness (DLRM-PS, FAE, TT-Rec, HugeCTR-style, TorchRec-style).
 //!
@@ -33,4 +35,5 @@ pub use el_dlrm as dlrm;
 pub use el_frameworks as frameworks;
 pub use el_pipeline as pipeline;
 pub use el_reorder as reorder;
+pub use el_sim as sim;
 pub use el_tensor as tensor;

@@ -124,3 +124,68 @@ fn bounded_prefetch_queue_applies_backpressure() {
     );
     let _ = first;
 }
+
+// ---------------------------------------------------------------------------
+// Simulator-based failure injection: the cases below drive the same
+// HostServer/EmbeddingCache protocol through the deterministic
+// discrete-event simulator (`el_rec::sim`), where faults are expressed as
+// replayable FaultPlans instead of racing real threads against sleeps.
+// ---------------------------------------------------------------------------
+
+use el_rec::sim::{
+    check_run, run as sim_run, sequential_prefix, Fault, FaultPlan, Outcome, SimConfig, TraceEvent,
+};
+
+#[test]
+fn worker_death_mid_epoch_replays_byte_identical() {
+    // the acceptance criterion: a seeded plan that kills the worker
+    // mid-epoch must replay to byte-identical final embedding tables.
+    let cfg = SimConfig::default();
+    let plan = FaultPlan::with(vec![Fault::WorkerDeath { at_batch: cfg.num_batches / 2 }]);
+    let a = sim_run(&cfg, &plan, 0xD1E);
+    let b = sim_run(&cfg, &plan, 0xD1E);
+    assert_eq!(a.outcome, Outcome::Stalled);
+    assert_eq!(a.applied, cfg.num_batches / 2, "everything before the death must be applied");
+    assert_eq!(a.table_digest, b.table_digest, "replay must reproduce the digest");
+    for ((ta, bag_a), (tb, bag_b)) in a.tables.iter().zip(&b.tables) {
+        assert_eq!(ta, tb);
+        let bytes_a: Vec<u32> = bag_a.weight.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bytes_b: Vec<u32> = bag_b.weight.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bytes_a, bytes_b, "table {ta} diverged between replays");
+    }
+    assert_eq!(a.trace, b.trace, "the full event history must replay identically");
+}
+
+#[test]
+fn server_death_mid_epoch_preserves_applied_prefix() {
+    let cfg = SimConfig::default();
+    let oracle = sequential_prefix(&cfg);
+    let plan = FaultPlan::with(vec![Fault::ServerDeath { after_applied: 7 }]);
+    let report = check_run(&cfg, &plan, 21, &oracle).expect("invariants must survive the death");
+    assert_eq!(report.outcome, Outcome::Stalled);
+    assert_eq!(report.applied, 7);
+    assert!(report.trace.any(|e| matches!(e, TraceEvent::ServerDied { applied: 7 })));
+    // the worker notices via retry exhaustion and halts instead of spinning
+    assert!(report.trace.any(|e| matches!(e, TraceEvent::GaveUp { .. })));
+    // what was applied is exactly the sequential prefix
+    assert_eq!(report.table_digest, oracle.prefix_digests[7]);
+}
+
+#[test]
+fn gradient_queue_saturation_is_ridden_out_by_retries() {
+    let cfg = SimConfig::default();
+    let oracle = sequential_prefix(&cfg);
+    let plan = FaultPlan::with(vec![
+        Fault::GradQueueSaturation { start: 8, ticks: 50 },
+        Fault::DropPush { seq: 0, delivery: 1 },
+    ]);
+    let report = check_run(&cfg, &plan, 4, &oracle).expect("saturation must not break invariants");
+    assert_eq!(report.outcome, Outcome::Completed, "retries must outlast the window");
+    assert!(
+        report.trace.any(|e| matches!(e, TraceEvent::PushBounced { .. })),
+        "the window must actually bounce deliveries"
+    );
+    // every batch still applied exactly once, in order
+    let applied = report.trace.count(|e| matches!(e, TraceEvent::Applied { .. }));
+    assert_eq!(applied as u64, cfg.num_batches);
+}

@@ -7,7 +7,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Bounded MPSC sender (std's `SyncSender` under crossbeam's name).
     pub type Sender<T> = mpsc::SyncSender<T>;

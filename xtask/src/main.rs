@@ -13,6 +13,10 @@
 //! * `tsan` — run the pool stress harness under ThreadSanitizer. Needs
 //!   nightly + the `rust-src` component (`-Zbuild-std`); same
 //!   skip-when-unavailable / fail-on-findings policy.
+//! * `sim [args...]` — run the deterministic pipeline simulator
+//!   (`crates/sim`): `--sweep N` for a seed sweep (CI mode), `--seed N`
+//!   to replay one failing seed with full diagnostics. Arguments pass
+//!   through to the `sim` binary; see DESIGN.md §10.
 //!
 //! The exact invocations these commands issue are documented in DESIGN.md
 //! ("Safety & analysis architecture").
@@ -42,7 +46,8 @@ fn usage() -> ExitCode {
          vendor-hash [--update]  verify (or regenerate) vendor/MANIFEST.fnv1a\n  \
          miri                 run the Miri unsafe-surface subset (needs nightly miri)\n  \
          tsan                 run the pool stress harness under ThreadSanitizer\n                       \
-         (needs nightly + rust-src)"
+         (needs nightly + rust-src)\n  \
+         sim [args...]        run the pipeline simulator (--sweep N | --seed N)"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
         Some("vendor-hash") => cmd_vendor_hash(&root, args.iter().any(|a| a == "--update")),
         Some("miri") => cmd_miri(&root),
         Some("tsan") => cmd_tsan(&root),
+        Some("sim") => cmd_sim(&root, &args[1..]),
         Some("help") | None => usage(),
         Some(other) => {
             eprintln!("error: unknown xtask command `{other}`\n");
@@ -98,6 +104,21 @@ fn cmd_vendor_hash(root: &Path, do_update: bool) -> ExitCode {
             eprintln!("{v}");
         }
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_sim(root: &Path, pass_through: &[String]) -> ExitCode {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--quiet", "--release", "-p", "el-sim", "--bin", "sim", "--"])
+        .args(pass_through);
+    match status_of(&mut cmd) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask sim: spawning cargo failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
