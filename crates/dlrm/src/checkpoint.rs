@@ -2,19 +2,131 @@
 //!
 //! Industry DLRM training runs for days; a training system needs durable
 //! snapshots. [`DlrmCheckpoint`] captures everything trainable (MLPs,
-//! dense tables, TT cores, optimizer choice) in a serde-serializable form;
-//! kernel workspaces and option flags that only affect speed are rebuilt
-//! on load.
+//! dense tables, TT cores, optimizer choice **and** optimizer
+//! accumulators) in a serde-serializable form; kernel workspaces and
+//! option flags that only affect speed are rebuilt on load.
+//!
+//! Two durability properties this module owns (DESIGN.md §11):
+//!
+//! * **Typed failure** — [`DlrmCheckpoint::restore`] returns a
+//!   [`CkptError`] instead of panicking, so a corrupt or future-versioned
+//!   file degrades into an error the caller can route around (e.g. fall
+//!   back to an older checkpoint).
+//! * **Atomic replacement** — [`DlrmCheckpoint::save_file`] goes through
+//!   [`atomic_write`] (temp file → fsync → rename → fsync directory), so
+//!   a crash mid-save can never destroy the previous checkpoint: the
+//!   target path always holds either the old bytes or the new bytes.
+//!
+//! Hosted tables are still serialized as dimension stubs *here* because
+//! their parameters live in the parameter server; the full
+//! training-state capture (server tables, push stamps, loader cursor) is
+//! `el_pipeline::ckpt::TrainingCheckpoint`, which embeds this checkpoint.
 
 use crate::embedding_bag::EmbeddingBag;
 use crate::mlp::Mlp;
-use crate::model::{DlrmModel, EmbeddingLayer};
+use crate::model::{AdagradStates, DlrmModel, EmbeddingLayer};
 use crate::optim::OptimizerKind;
 use el_core::{TtEmbeddingBag, TtOptions, TtWorkspace};
 use el_tensor::tt::TtCores;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// Typed checkpoint failure: corruption, versioning and IO are distinct
+/// conditions with distinct recoveries (fall back to an older file, warn
+/// and upgrade, retry the mount), so they must not collapse into one
+/// opaque `io::Error` — and never into a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CkptError {
+    /// The bytes are not a valid checkpoint: bad magic, framing that runs
+    /// past the end of the file, a checksum mismatch, or a payload that
+    /// fails to deserialize. Carries a human-readable reason.
+    Corrupt(String),
+    /// The checkpoint's format version is not supported by this build.
+    Version {
+        /// Version recorded in the file.
+        got: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The checkpoint is well-formed but inconsistent with the model it
+    /// is being restored into (e.g. optimizer state of the wrong shape).
+    StateMismatch(String),
+    /// The underlying storage failed (message of the OS error).
+    Io(String),
+    /// A checkpoint store scan found no checkpoint that passes
+    /// verification.
+    NoValidCheckpoint,
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CkptError::Version { got, supported } => {
+                write!(f, "unsupported checkpoint version {got} (this build reads <= {supported})")
+            }
+            CkptError::StateMismatch(why) => {
+                write!(f, "checkpoint does not fit the model: {why}")
+            }
+            CkptError::Io(why) => write!(f, "checkpoint IO failed: {why}"),
+            CkptError::NoValidCheckpoint => write!(f, "no valid checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e.to_string())
+    }
+}
+
+/// Writes `bytes` to `path` atomically with respect to crashes:
+///
+/// 1. write to a fresh temp file in the **same directory** (rename must
+///    not cross filesystems),
+/// 2. `fsync` the temp file (contents durable before the name switch),
+/// 3. `rename` over the target (POSIX rename replaces atomically),
+/// 4. `fsync` the directory (the new directory entry itself durable).
+///
+/// A crash at any point leaves the target path holding either the
+/// complete old bytes or the complete new bytes — never a torn mix, and
+/// never nothing. This is the write path every checkpoint save uses.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write target has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Directory fsync makes the rename itself durable. Not every
+        // filesystem supports opening a directory for sync; failures to
+        // *open* are ignored (best effort), sync failures are not.
+        if let Ok(d) = std::fs::File::open(&dir) {
+            d.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// Serializable snapshot of one embedding layer.
 #[derive(Serialize, Deserialize)]
@@ -30,7 +142,9 @@ pub enum TableCheckpoint {
         /// Kernel options to restore.
         options: TtOptions,
     },
-    /// Parameters live elsewhere; only the dimension is recorded.
+    /// Parameters live elsewhere; only the dimension is recorded. The
+    /// owning parameter server's state is captured separately
+    /// (`el_pipeline::ckpt::ServerCheckpoint`).
     Hosted {
         /// Embedding dimension.
         dim: usize,
@@ -50,19 +164,26 @@ pub struct DlrmCheckpoint {
     pub tables: Vec<TableCheckpoint>,
     /// Learning rate.
     pub lr: f32,
-    /// Optimizer kind (Adagrad accumulators are intentionally not
-    /// persisted: restarting them is standard practice and keeps
-    /// checkpoints small).
+    /// Optimizer kind.
     pub optimizer: OptimizerKind,
+    /// Adagrad accumulators (format v2; `None` for SGD models and for v1
+    /// files, which dropped them). Absent accumulators on an Adagrad
+    /// model restart from zero with a logged warning — the resumed run is
+    /// then *not* byte-identical to an uninterrupted one.
+    #[serde(default)]
+    pub opt_states: Option<AdagradStates>,
 }
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// * v1 — parameters only; Adagrad accumulators intentionally dropped.
+/// * v2 — adds `opt_states` so an Adagrad run resumes byte-identically.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 impl DlrmCheckpoint {
-    /// Captures a model.
+    /// Captures a model, including optimizer accumulators.
     pub fn capture(model: &DlrmModel) -> Self {
-        let tables = model
+        let tables: Vec<TableCheckpoint> = model
             .tables
             .iter()
             .map(|t| match t {
@@ -75,6 +196,20 @@ impl DlrmCheckpoint {
                 EmbeddingLayer::Hosted { dim } => TableCheckpoint::Hosted { dim: *dim },
             })
             .collect();
+        let mut opt_states = model.opt_states().cloned();
+        if let Some(states) = &mut opt_states {
+            // Hosted tables train server-side (plain SGD on the parameter
+            // server); any worker-side accumulator entry for them is a
+            // leftover from before the table was hoisted and must not be
+            // persisted — restore builds hosted entries empty.
+            for (i, t) in model.tables.iter().enumerate() {
+                if matches!(t, EmbeddingLayer::Hosted { .. }) {
+                    if let Some(entry) = states.tables.get_mut(i) {
+                        entry.clear();
+                    }
+                }
+            }
+        }
         Self {
             version: CHECKPOINT_VERSION,
             bottom: model.bottom.clone(),
@@ -82,16 +217,16 @@ impl DlrmCheckpoint {
             tables,
             lr: model.lr,
             optimizer: model.optimizer,
+            opt_states,
         }
     }
 
-    /// Restores a model (fresh workspaces, fresh optimizer accumulators).
-    pub fn restore(self) -> DlrmModel {
-        assert_eq!(
-            self.version, CHECKPOINT_VERSION,
-            "unsupported checkpoint version {}",
-            self.version
-        );
+    /// Restores a model (fresh workspaces; optimizer accumulators from
+    /// the checkpoint when present, restarted with a warning otherwise).
+    pub fn restore(self) -> Result<DlrmModel, CkptError> {
+        if self.version == 0 || self.version > CHECKPOINT_VERSION {
+            return Err(CkptError::Version { got: self.version, supported: CHECKPOINT_VERSION });
+        }
         let tables = self
             .tables
             .into_iter()
@@ -104,7 +239,23 @@ impl DlrmCheckpoint {
                 TableCheckpoint::Hosted { dim } => EmbeddingLayer::Hosted { dim },
             })
             .collect();
-        DlrmModel::from_parts(self.bottom, tables, self.top, self.lr, self.optimizer)
+        if matches!(self.optimizer, OptimizerKind::Adagrad { .. }) && self.opt_states.is_none() {
+            eprintln!(
+                "warning: checkpoint (format v{}) carries no Adagrad accumulators; \
+                 restarting them — the resumed trajectory will diverge from the \
+                 original run",
+                self.version
+            );
+        }
+        DlrmModel::from_parts_with_states(
+            self.bottom,
+            tables,
+            self.top,
+            self.lr,
+            self.optimizer,
+            self.opt_states,
+        )
+        .map_err(CkptError::StateMismatch)
     }
 
     /// Serializes to a writer as JSON.
@@ -112,15 +263,29 @@ impl DlrmCheckpoint {
         serde_json::to_writer(w, self).map_err(std::io::Error::other)
     }
 
+    /// Serializes to a byte vector (the payload checkpoint stores frame).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.save(&mut buf).expect("serializing to a Vec cannot fail");
+        buf
+    }
+
     /// Deserializes from a reader.
     pub fn load(r: impl Read) -> std::io::Result<Self> {
         serde_json::from_reader(r).map_err(std::io::Error::other)
     }
 
-    /// Saves to a file path.
+    /// Deserializes from bytes with a typed corruption error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| CkptError::Corrupt(format!("model payload not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| CkptError::Corrupt(format!("model payload: {e}")))
+    }
+
+    /// Saves to a file path atomically (see [`atomic_write`]): a crash
+    /// mid-save leaves any previous checkpoint at `path` intact.
     pub fn save_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let f = std::fs::File::create(path)?;
-        self.save(std::io::BufWriter::new(f))
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Loads from a file path.
@@ -137,7 +302,7 @@ mod tests {
     use el_data::{DatasetSpec, SyntheticDataset};
     use rand::SeedableRng;
 
-    fn trained_model() -> (DlrmModel, SyntheticDataset) {
+    fn trained_model_with(optimizer: OptimizerKind) -> (DlrmModel, SyntheticDataset) {
         let mut spec = DatasetSpec::toy(3, 1500, 1_000_000);
         spec.num_dense = 4;
         let ds = SyntheticDataset::new(spec, 55);
@@ -150,7 +315,7 @@ mod tests {
             tt_threshold: 1000, // all tables TT
             tt_rank: 8,
             lr: 0.05,
-            optimizer: OptimizerKind::Sgd,
+            optimizer,
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut model = DlrmModel::new(&cfg, &mut rng);
@@ -158,6 +323,10 @@ mod tests {
             let _ = model.train_step(&ds.batch(k, 64));
         }
         (model, ds)
+    }
+
+    fn trained_model() -> (DlrmModel, SyntheticDataset) {
+        trained_model_with(OptimizerKind::Sgd)
     }
 
     #[test]
@@ -168,7 +337,7 @@ mod tests {
 
         let mut buf = Vec::new();
         DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
-        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore().unwrap();
         let after = restored.predict(&batch);
         assert_eq!(before, after, "restored model must predict identically");
     }
@@ -178,7 +347,7 @@ mod tests {
         let (model, ds) = trained_model();
         let mut buf = Vec::new();
         DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
-        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        let mut restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore().unwrap();
         let loss = restored.train_step(&ds.batch(50, 64));
         assert!(loss.is_finite());
     }
@@ -188,19 +357,48 @@ mod tests {
         let (model, ds) = trained_model();
         let path = std::env::temp_dir().join("el_rec_ckpt_test.json");
         DlrmCheckpoint::capture(&model).save_file(&path).unwrap();
-        let mut restored = DlrmCheckpoint::load_file(&path).unwrap().restore();
+        let mut restored = DlrmCheckpoint::load_file(&path).unwrap().restore().unwrap();
         std::fs::remove_file(&path).ok();
         let batch = ds.batch(7, 16);
         assert!(restored.predict(&batch).iter().all(|p| p.is_finite()));
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn save_file_replaces_without_truncating_first() {
+        // The old save path opened the target with File::create (truncate
+        // in place) — a crash mid-write destroyed the only copy. The
+        // atomic path must leave the previous file fully intact until the
+        // rename, so after any number of re-saves the file is a complete,
+        // loadable checkpoint and no temp litter remains.
+        let (model, _) = trained_model();
+        let dir = std::env::temp_dir().join(format!("el_rec_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        for _ in 0..3 {
+            DlrmCheckpoint::capture(&model).save_file(&path).unwrap();
+            let restored = DlrmCheckpoint::load_file(&path).unwrap().restore();
+            assert!(restored.is_ok(), "every save must leave a loadable file");
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "ckpt.json")
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
         let (model, _) = trained_model();
         let mut ckpt = DlrmCheckpoint::capture(&model);
         ckpt.version = 999;
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ckpt.restore()));
-        assert!(r.is_err());
+        match ckpt.restore() {
+            Err(CkptError::Version { got: 999, supported }) => {
+                assert_eq!(supported, CHECKPOINT_VERSION)
+            }
+            other => panic!("expected a version error, got {:?}", other.map(|_| "a model")),
+        }
     }
 
     #[test]
@@ -209,7 +407,69 @@ mod tests {
         model.tables[1] = EmbeddingLayer::Hosted { dim: 8 };
         let mut buf = Vec::new();
         DlrmCheckpoint::capture(&model).save(&mut buf).unwrap();
-        let restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore();
+        let restored = DlrmCheckpoint::load(&buf[..]).unwrap().restore().unwrap();
         assert_eq!(restored.hosted_tables(), vec![1]);
+    }
+
+    #[test]
+    fn adagrad_accumulators_resume_byte_identically() {
+        // Uninterrupted: train 5 + 3 more batches. Interrupted: train 5,
+        // checkpoint, restore, train the same 3. With persisted
+        // accumulators both must follow the same bit-exact trajectory.
+        let (mut oracle, ds) = trained_model_with(OptimizerKind::Adagrad { eps: 1e-8 });
+        let ckpt = DlrmCheckpoint::capture(&oracle);
+        assert!(ckpt.opt_states.is_some(), "v2 must capture Adagrad state");
+        let bytes = ckpt.to_bytes();
+        let mut resumed = DlrmCheckpoint::from_bytes(&bytes).unwrap().restore().unwrap();
+        for k in 5..8 {
+            let a = oracle.train_step(&ds.batch(k, 64));
+            let b = resumed.train_step(&ds.batch(k, 64));
+            assert_eq!(a.to_bits(), b.to_bits(), "loss diverged at batch {k}");
+        }
+        let check = ds.batch(99, 32);
+        for (a, b) in oracle.predict(&check).iter().zip(resumed.predict(&check)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "predictions diverged after resume");
+        }
+    }
+
+    #[test]
+    fn v1_checkpoint_loads_with_restarted_accumulators() {
+        // A v1 file has version: 1 and no opt_states field at all. It
+        // must load (not panic), with accumulators restarted.
+        let (model, ds) = trained_model_with(OptimizerKind::Adagrad { eps: 1e-8 });
+        let mut ckpt = DlrmCheckpoint::capture(&model);
+        ckpt.version = 1;
+        ckpt.opt_states = None;
+        let json = String::from_utf8(ckpt.to_bytes()).unwrap();
+        assert!(!json.contains("\"opt_states\":{"), "v1 surrogate must not carry state");
+        let mut restored = DlrmCheckpoint::from_bytes(json.as_bytes()).unwrap().restore().unwrap();
+        let fresh = restored.opt_states().expect("adagrad model rebuilds state");
+        assert!(
+            fresh.bottom.iter().all(|s| s.accum.iter().all(|&a| a == 0.0)),
+            "v1 load must restart accumulators from zero"
+        );
+        assert!(restored.train_step(&ds.batch(9, 32)).is_finite());
+    }
+
+    #[test]
+    fn mismatched_opt_states_are_rejected() {
+        let (model, _) = trained_model_with(OptimizerKind::Adagrad { eps: 1e-8 });
+        let (other, _) = trained_model_with(OptimizerKind::Adagrad { eps: 1e-8 });
+        let mut ckpt = DlrmCheckpoint::capture(&model);
+        let mut wrong = other.opt_states().unwrap().clone();
+        wrong.bottom[0].accum.push(0.0); // shape no longer fits
+        ckpt.opt_states = Some(wrong);
+        match ckpt.restore() {
+            Err(CkptError::StateMismatch(_)) => {}
+            other => panic!("expected StateMismatch, got {:?}", other.map(|_| "a model")),
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_a_typed_error() {
+        match DlrmCheckpoint::from_bytes(b"{ not json") {
+            Err(CkptError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| "a model")),
+        }
     }
 }

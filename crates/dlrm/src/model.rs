@@ -123,6 +123,11 @@ pub struct StepOutput {
 
 /// Per-component Adagrad state (allocated only when the model trains with
 /// [`OptimizerKind::Adagrad`]).
+///
+/// Serializable because a durable checkpoint must carry it: restarting the
+/// accumulators changes every subsequent step size, so a resumed run could
+/// never be byte-identical to an uninterrupted one without this state.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AdagradStates {
     /// One state per bottom-MLP layer.
     pub bottom: Vec<Adagrad>,
@@ -260,6 +265,67 @@ impl DlrmModel {
             }
         };
         Self { bottom, tables, interaction, top, lr, optimizer, opt_states }
+    }
+
+    /// Reassembles a model and installs previously captured optimizer
+    /// state (checkpoint restore, format v2). `states == None` behaves
+    /// like [`DlrmModel::from_parts`]: fresh accumulators.
+    pub fn from_parts_with_states(
+        bottom: Mlp,
+        tables: Vec<EmbeddingLayer>,
+        top: Mlp,
+        lr: f32,
+        optimizer: OptimizerKind,
+        states: Option<AdagradStates>,
+    ) -> Result<Self, String> {
+        let mut model = Self::from_parts(bottom, tables, top, lr, optimizer);
+        if let Some(states) = states {
+            model.install_opt_states(states)?;
+        }
+        Ok(model)
+    }
+
+    /// The model's Adagrad accumulators, if it trains with Adagrad.
+    pub fn opt_states(&self) -> Option<&AdagradStates> {
+        self.opt_states.as_ref()
+    }
+
+    /// Replaces the optimizer accumulators with captured ones, validating
+    /// that every component's state length matches this model's shape.
+    pub fn install_opt_states(&mut self, states: AdagradStates) -> Result<(), String> {
+        let Some(fresh) = self.opt_states.as_ref() else {
+            return Err("optimizer state supplied for an SGD model".into());
+        };
+        let describe = |what: &str, got: usize, want: usize| {
+            format!("{what}: captured state has {got} entries, model needs {want}")
+        };
+        if states.bottom.len() != fresh.bottom.len() {
+            return Err(describe("bottom MLP", states.bottom.len(), fresh.bottom.len()));
+        }
+        if states.top.len() != fresh.top.len() {
+            return Err(describe("top MLP", states.top.len(), fresh.top.len()));
+        }
+        if states.tables.len() != fresh.tables.len() {
+            return Err(describe("tables", states.tables.len(), fresh.tables.len()));
+        }
+        let pairs = states
+            .bottom
+            .iter()
+            .zip(&fresh.bottom)
+            .chain(states.top.iter().zip(&fresh.top))
+            .chain(states.tables.iter().flatten().zip(fresh.tables.iter().flatten()));
+        for (got, want) in pairs {
+            if got.accum.len() != want.accum.len() {
+                return Err(describe("accumulator", got.accum.len(), want.accum.len()));
+            }
+        }
+        for (got, want) in states.tables.iter().zip(&fresh.tables) {
+            if got.len() != want.len() {
+                return Err(describe("table cores", got.len(), want.len()));
+            }
+        }
+        self.opt_states = Some(states);
+        Ok(())
     }
 
     /// Number of sparse fields.

@@ -11,7 +11,7 @@
 //! sparse SGD updates.
 
 /// Dense Adagrad state over a flat parameter buffer.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Adagrad {
     /// Squared-gradient accumulator, same length as the parameters.
     pub accum: Vec<f32>,

@@ -1,0 +1,981 @@
+//! Crash-consistent checkpoint store for pipeline training (DESIGN.md §11).
+//!
+//! [`el_dlrm::checkpoint::DlrmCheckpoint`] snapshots the *worker* model.
+//! This module captures the rest of the training state — the
+//! [`HostServer`]'s hosted tables and applied-gradient stamp, and the
+//! per-worker batch cursors — and makes the whole thing durable:
+//!
+//! * **Framed format** — sections (`meta`, `model`, `server`, `workers`)
+//!   each carry an FNV-1a checksum, and the file ends in a whole-file
+//!   checksum trailer, so *any* single-byte flip or truncation is detected
+//!   and surfaces as a typed [`CkptError::Corrupt`] — never a panic, never
+//!   a silently wrong model.
+//! * **Atomic write protocol** — temp file → fsync file → rename → fsync
+//!   directory, expressed over a pluggable [`Storage`] trait at
+//!   protocol-step granularity so the simulator can crash between every
+//!   step and tear the temp write itself.
+//! * **Store semantics** — [`CkptStore`] names checkpoints by a
+//!   monotonically increasing sequence number, retains the newest K,
+//!   maintains an advisory manifest, and recovers by *scanning* for the
+//!   newest checkpoint that passes verification ([`CkptStore::latest_valid`])
+//!   rather than trusting any single file.
+//!
+//! What is *not* in a checkpoint: kernel workspaces, plan prefetchers,
+//! caches, queues — all rebuilt on resume — and the [`crate::server::ServerMode`],
+//! which is run configuration the caller re-supplies.
+
+use crate::server::HostServer;
+use el_dlrm::checkpoint::DlrmCheckpoint;
+use el_dlrm::embedding_bag::EmbeddingBag;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub use el_dlrm::checkpoint::{atomic_write, CkptError};
+
+// ---------------------------------------------------------------------------
+// FNV-1a checksums
+// ---------------------------------------------------------------------------
+
+/// Streaming FNV-1a (64-bit). Every byte fed through `update` permutes the
+/// state bijectively (xor, then multiply by an odd prime), so two inputs
+/// differing in any single byte can never collide — exactly the property
+/// the corruption matrix needs from a non-cryptographic checksum.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Final digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Framed container format
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every framed checkpoint file.
+pub const FRAME_MAGIC: [u8; 4] = *b"ELCK";
+/// Container layout version (independent of the payload formats inside).
+pub const FRAME_VERSION: u32 = 1;
+
+/// A named payload inside the framed container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (`meta`, `model`, ...).
+    pub name: String,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes sections into the framed byte layout:
+///
+/// ```text
+/// "ELCK" | version u32 | nsections u32
+/// per section: name_len u32 | name | payload_len u64 | payload
+///            | fnv1a(name ++ payload) u64
+/// trailer: fnv1a(everything above) u64          (all integers little-endian)
+/// ```
+pub fn encode_frames(sections: &[Section]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for s in sections {
+        out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.name.as_bytes());
+        out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&s.payload);
+        let mut h = Fnv1a::new();
+        h.update(s.name.as_bytes());
+        h.update(&s.payload);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+    }
+    out.extend_from_slice(&fnv1a(&out).to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian reader; every overrun is a typed
+/// corruption error, never a slice panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CkptError::Corrupt(format!("{what} runs past end of file")))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Decodes a framed container, verifying the whole-file trailer *first*
+/// (so arbitrary corruption is caught before any structural parsing) and
+/// then each section checksum.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<Section>, CkptError> {
+    if bytes.len() < FRAME_MAGIC.len() + 4 + 4 + 8 {
+        return Err(CkptError::Corrupt(format!("file too short ({} bytes)", bytes.len())));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let got = fnv1a(body);
+    if got != want {
+        return Err(CkptError::Corrupt(format!(
+            "whole-file checksum mismatch (stored {want:#018x}, computed {got:#018x})"
+        )));
+    }
+    let mut cur = Cursor { bytes: body, pos: 0 };
+    if cur.take(4, "magic")? != FRAME_MAGIC {
+        return Err(CkptError::Corrupt("bad magic (not a checkpoint file)".into()));
+    }
+    let version = cur.u32("frame version")?;
+    if version == 0 || version > FRAME_VERSION {
+        return Err(CkptError::Version { got: version, supported: FRAME_VERSION });
+    }
+    let nsections = cur.u32("section count")?;
+    if nsections > 1 << 16 {
+        return Err(CkptError::Corrupt(format!("implausible section count {nsections}")));
+    }
+    let mut sections = Vec::with_capacity(nsections as usize);
+    for i in 0..nsections {
+        let name_len = cur.u32("section name length")?;
+        if name_len > 1 << 12 {
+            return Err(CkptError::Corrupt(format!("implausible name length {name_len}")));
+        }
+        let name = std::str::from_utf8(cur.take(name_len as usize, "section name")?)
+            .map_err(|_| CkptError::Corrupt(format!("section {i} name is not UTF-8")))?
+            .to_owned();
+        let payload_len = cur.u64("payload length")?;
+        let payload = cur.take(payload_len as usize, "section payload")?.to_vec();
+        let want = cur.u64("section checksum")?;
+        let mut h = Fnv1a::new();
+        h.update(name.as_bytes());
+        h.update(&payload);
+        if h.finish() != want {
+            return Err(CkptError::Corrupt(format!("section `{name}` checksum mismatch")));
+        }
+        sections.push(Section { name, payload });
+    }
+    if cur.pos != body.len() {
+        return Err(CkptError::Corrupt(format!(
+            "{} trailing bytes after last section",
+            body.len() - cur.pos
+        )));
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------------
+// Training-state payloads
+// ---------------------------------------------------------------------------
+
+/// Payload format version of [`TrainingCheckpoint`] (the `meta` section).
+pub const TRAINING_CKPT_FORMAT: u32 = 1;
+
+/// The `meta` section.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptMeta {
+    format: u32,
+    next_batch: u64,
+}
+
+/// One hosted table with its id in the worker model. (A named struct
+/// rather than a `(usize, EmbeddingBag)` tuple because the vendored serde
+/// derives only cover structs and enums.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HostedTableCheckpoint {
+    /// Table index in the worker model.
+    pub id: usize,
+    /// The hosted table.
+    pub table: EmbeddingBag,
+}
+
+/// Snapshot of a [`HostServer`]: hosted tables, learning rate, and the
+/// applied-gradient stamp (the push-sequence watermark workers staleness-
+/// synchronize against).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerCheckpoint {
+    /// Hosted tables with their model table ids.
+    pub tables: Vec<HostedTableCheckpoint>,
+    /// Learning rate applied to pushed gradients.
+    pub lr: f32,
+    /// Gradient batches applied so far.
+    pub applied: u64,
+}
+
+impl ServerCheckpoint {
+    /// Captures a server's durable state.
+    pub fn capture(server: &HostServer) -> Self {
+        Self {
+            tables: server
+                .tables
+                .iter()
+                .map(|(id, table)| HostedTableCheckpoint { id: *id, table: table.clone() })
+                .collect(),
+            lr: server.lr,
+            applied: server.applied,
+        }
+    }
+
+    /// Rebuilds a server (fresh meters/timers; `applied` restored so
+    /// staleness stamps continue from where the run stopped — callers that
+    /// renumber batch sequences from zero, like the pipeline trainer's
+    /// per-segment schedule, reset it themselves).
+    pub fn restore(self) -> HostServer {
+        let tables = self.tables.into_iter().map(|h| (h.id, h.table)).collect();
+        let mut server = HostServer::new(tables, self.lr);
+        server.applied = self.applied;
+        server
+    }
+}
+
+/// Per-worker loader cursor: the next dataset batch this worker would
+/// train. Staleness bookkeeping (cache watermarks) is rebuilt from the
+/// server's `applied` stamp on resume, so the cursor is the only state a
+/// worker contributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCursor {
+    /// Worker index.
+    pub worker: usize,
+    /// Next dataset batch index this worker trains.
+    pub next_batch: u64,
+}
+
+/// Everything needed to continue a training run byte-identically:
+/// worker model (with optimizer accumulators), server state, and the
+/// loader cursor(s).
+pub struct TrainingCheckpoint {
+    /// Worker model snapshot (format v2: includes Adagrad accumulators).
+    pub model: DlrmCheckpoint,
+    /// Host parameter-server state; `None` when no tables are hosted.
+    pub server: Option<ServerCheckpoint>,
+    /// Next dataset batch index the (single-trainer) run would train.
+    pub next_batch: u64,
+    /// Per-worker cursors for multi-worker runs (empty for the single
+    /// pipeline trainer, which uses `next_batch`).
+    pub workers: Vec<WorkerCursor>,
+}
+
+impl TrainingCheckpoint {
+    /// Serializes into the framed container.
+    pub fn to_framed_bytes(&self) -> Vec<u8> {
+        fn json<T: serde::Serialize>(v: &T) -> Vec<u8> {
+            serde_json::to_vec(v).expect("serializing to a Vec cannot fail")
+        }
+        let meta = CkptMeta { format: TRAINING_CKPT_FORMAT, next_batch: self.next_batch };
+        let sections = vec![
+            Section { name: "meta".into(), payload: json(&meta) },
+            Section { name: "model".into(), payload: self.model.to_bytes() },
+            Section { name: "server".into(), payload: json(&self.server) },
+            Section { name: "workers".into(), payload: json(&self.workers) },
+        ];
+        encode_frames(&sections)
+    }
+
+    /// Decodes and fully verifies a framed container.
+    pub fn from_framed_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let sections = decode_frames(bytes)?;
+        let find = |name: &str| -> Result<&[u8], CkptError> {
+            sections
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.payload.as_slice())
+                .ok_or_else(|| CkptError::Corrupt(format!("missing `{name}` section")))
+        };
+        let meta: CkptMeta = parse_json(find("meta")?, "meta")?;
+        if meta.format == 0 || meta.format > TRAINING_CKPT_FORMAT {
+            return Err(CkptError::Version { got: meta.format, supported: TRAINING_CKPT_FORMAT });
+        }
+        Ok(Self {
+            model: DlrmCheckpoint::from_bytes(find("model")?)?,
+            server: parse_json(find("server")?, "server")?,
+            next_batch: meta.next_batch,
+            workers: parse_json(find("workers")?, "workers")?,
+        })
+    }
+}
+
+/// JSON-parses a section payload with a typed corruption error.
+fn parse_json<T: serde::Deserialize>(bytes: &[u8], what: &str) -> Result<T, CkptError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| CkptError::Corrupt(format!("`{what}` section not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| CkptError::Corrupt(format!("`{what}` section: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Storage: the atomic-protocol surface
+// ---------------------------------------------------------------------------
+
+/// Flat-namespace storage at atomic-protocol-step granularity. Durability
+/// is explicit: `write_file` alone promises nothing across a crash;
+/// `sync_file` makes a file's contents durable; `rename`/`remove_file`
+/// are namespace edits that become durable at the next `sync_dir`.
+///
+/// The production implementation is [`FsStorage`]; [`MemStorage`] models
+/// the same semantics deterministically in memory so the simulator can
+/// crash between any two steps and inspect what actually survived.
+pub trait Storage: Send + Sync {
+    /// Creates or replaces `name` with `bytes` (volatile until synced).
+    fn write_file(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError>;
+    /// Makes `name`'s current contents (and its existence) durable.
+    fn sync_file(&self, name: &str) -> Result<(), CkptError>;
+    /// Atomically renames `from` to `to` (durable at next `sync_dir`).
+    fn rename(&self, from: &str, to: &str) -> Result<(), CkptError>;
+    /// Makes all pending namespace edits durable.
+    fn sync_dir(&self) -> Result<(), CkptError>;
+    /// Reads a file's current contents.
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, CkptError>;
+    /// Lists current file names (any order).
+    fn list(&self) -> Result<Vec<String>, CkptError>;
+    /// Removes `name` (durable at next `sync_dir`).
+    fn remove_file(&self, name: &str) -> Result<(), CkptError>;
+}
+
+impl<S: Storage + ?Sized> Storage for Arc<S> {
+    fn write_file(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        (**self).write_file(name, bytes)
+    }
+    fn sync_file(&self, name: &str) -> Result<(), CkptError> {
+        (**self).sync_file(name)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), CkptError> {
+        (**self).rename(from, to)
+    }
+    fn sync_dir(&self) -> Result<(), CkptError> {
+        (**self).sync_dir()
+    }
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        (**self).read_file(name)
+    }
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        (**self).list()
+    }
+    fn remove_file(&self, name: &str) -> Result<(), CkptError> {
+        (**self).remove_file(name)
+    }
+}
+
+/// Real-filesystem storage rooted at a directory.
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, CkptError> {
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(CkptError::Io(format!("invalid storage name `{name}`")));
+        }
+        Ok(self.root.join(name))
+    }
+}
+
+impl Storage for FsStorage {
+    fn write_file(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        Ok(std::fs::write(self.path(name)?, bytes)?)
+    }
+
+    fn sync_file(&self, name: &str) -> Result<(), CkptError> {
+        Ok(std::fs::File::open(self.path(name)?)?.sync_all()?)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), CkptError> {
+        Ok(std::fs::rename(self.path(from)?, self.path(to)?)?)
+    }
+
+    fn sync_dir(&self) -> Result<(), CkptError> {
+        // Some filesystems refuse to open a directory for writing; opening
+        // read-only for fsync is the portable idiom. Failure to *open* is
+        // best-effort tolerated, a failing sync is not.
+        match std::fs::File::open(&self.root) {
+            Ok(d) => Ok(d.sync_all()?),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        Ok(std::fs::read(self.path(name)?)?)
+    }
+
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(CkptError::from)? {
+            let entry = entry.map_err(CkptError::from)?;
+            if entry.file_type().map_err(CkptError::from)?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove_file(&self, name: &str) -> Result<(), CkptError> {
+        Ok(std::fs::remove_file(self.path(name)?)?)
+    }
+}
+
+/// A pending namespace edit not yet made durable by `sync_dir`.
+#[derive(Clone, Debug)]
+enum NsOp {
+    Rename { from: String, to: String },
+    Remove(String),
+}
+
+#[derive(Default)]
+struct MemState {
+    /// What a running process sees.
+    current: BTreeMap<String, Vec<u8>>,
+    /// What survives a crash.
+    durable: BTreeMap<String, Vec<u8>>,
+    /// Namespace edits applied to `current` but not yet to `durable`.
+    pending_ns: Vec<NsOp>,
+}
+
+/// Deterministic in-memory storage with an explicit durability model:
+/// `current` is the live view, `durable` is what a crash reverts to.
+/// Contents become durable at `sync_file`; renames/removals at `sync_dir`.
+/// Share one `Arc<MemStorage>` between a store and a fault injector, call
+/// [`MemStorage::crash`] to simulate power loss, then reopen a store on
+/// the surviving state.
+#[derive(Default)]
+pub struct MemStorage {
+    state: Mutex<MemState>,
+}
+
+impl MemStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates power loss: the live view reverts to exactly what had
+    /// been made durable; pending namespace edits are lost.
+    pub fn crash(&self) {
+        let mut st = self.state.lock();
+        st.current = st.durable.clone();
+        st.pending_ns.clear();
+    }
+
+    /// Snapshot of the durable view (what a post-crash scan would see).
+    pub fn durable_snapshot(&self) -> BTreeMap<String, Vec<u8>> {
+        self.state.lock().durable.clone()
+    }
+
+    /// Overwrites a file in **both** views — the hook torn-write/bit-flip
+    /// injection uses to model corruption that reached the platter.
+    pub fn corrupt_file(&self, name: &str, bytes: Vec<u8>) {
+        let mut st = self.state.lock();
+        st.current.insert(name.to_owned(), bytes.clone());
+        st.durable.insert(name.to_owned(), bytes);
+    }
+}
+
+impl Storage for MemStorage {
+    fn write_file(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        self.state.lock().current.insert(name.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn sync_file(&self, name: &str) -> Result<(), CkptError> {
+        let mut st = self.state.lock();
+        let bytes = st
+            .current
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CkptError::Io(format!("sync_file: no such file `{name}`")))?;
+        st.durable.insert(name.to_owned(), bytes);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), CkptError> {
+        let mut st = self.state.lock();
+        let bytes = st
+            .current
+            .remove(from)
+            .ok_or_else(|| CkptError::Io(format!("rename: no such file `{from}`")))?;
+        st.current.insert(to.to_owned(), bytes);
+        st.pending_ns.push(NsOp::Rename { from: from.to_owned(), to: to.to_owned() });
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> Result<(), CkptError> {
+        let mut st = self.state.lock();
+        let ops = std::mem::take(&mut st.pending_ns);
+        for op in ops {
+            match op {
+                // A renamed file keeps whatever durability its contents
+                // had: synced contents follow the name, unsynced contents
+                // stay lost-on-crash.
+                NsOp::Rename { from, to } => {
+                    if let Some(bytes) = st.durable.remove(&from) {
+                        st.durable.insert(to, bytes);
+                    }
+                }
+                NsOp::Remove(name) => {
+                    st.durable.remove(&name);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        self.state
+            .lock()
+            .current
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CkptError::Io(format!("read: no such file `{name}`")))
+    }
+
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        Ok(self.state.lock().current.keys().cloned().collect())
+    }
+
+    fn remove_file(&self, name: &str) -> Result<(), CkptError> {
+        let mut st = self.state.lock();
+        st.current
+            .remove(name)
+            .ok_or_else(|| CkptError::Io(format!("remove: no such file `{name}`")))?;
+        st.pending_ns.push(NsOp::Remove(name.to_owned()));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The checkpoint store
+// ---------------------------------------------------------------------------
+
+/// Advisory index of the store's contents, itself written atomically.
+/// Recovery never *trusts* it — [`CkptStore::latest_valid`] scans and
+/// verifies actual checkpoint files — but tooling uses it to cross-check
+/// (`ckpt verify` reports drift) and humans use it to see the store state
+/// without decoding every file.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Entries, oldest first.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// One checkpoint the manifest knows about.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// File name in the store.
+    pub name: String,
+    /// Monotonic sequence number parsed from the name.
+    pub seq: u64,
+    /// File size in bytes.
+    pub bytes: usize,
+    /// Whole-file FNV-1a digest.
+    pub checksum: u64,
+}
+
+/// Result of verifying one checkpoint file.
+#[derive(Clone, Debug)]
+pub struct CkptInfo {
+    /// File size in bytes.
+    pub bytes: usize,
+    /// Whole-file FNV-1a digest.
+    pub checksum: u64,
+    /// `(section name, payload bytes)` in file order.
+    pub sections: Vec<(String, usize)>,
+    /// The loader cursor the checkpoint would resume at.
+    pub next_batch: u64,
+    /// Number of hosted server tables captured.
+    pub server_tables: usize,
+}
+
+/// File name of the advisory manifest.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+fn ckpt_name(seq: u64) -> String {
+    format!("ckpt-{seq:08}.elck")
+}
+
+fn parse_ckpt_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".elck")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A retention-managed checkpoint store over any [`Storage`].
+pub struct CkptStore<S: Storage> {
+    storage: S,
+    retain: usize,
+    next_seq: u64,
+}
+
+impl<S: Storage> CkptStore<S> {
+    /// Opens a store, deriving the next sequence number from the files
+    /// actually present (a stale or missing manifest cannot confuse it).
+    /// `retain` is clamped to at least 1.
+    pub fn open(storage: S, retain: usize) -> Result<Self, CkptError> {
+        let next_seq =
+            storage.list()?.iter().filter_map(|n| parse_ckpt_name(n)).max().map_or(0, |m| m + 1);
+        Ok(Self { storage, retain: retain.max(1), next_seq })
+    }
+
+    /// The underlying storage.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Saves a checkpoint with the full atomic protocol, applies
+    /// retention, and rewrites the manifest. Returns the durable file
+    /// name. Any error leaves previously saved checkpoints untouched.
+    pub fn save(&mut self, ckpt: &TrainingCheckpoint) -> Result<String, CkptError> {
+        self.save_bytes(&ckpt.to_framed_bytes())
+    }
+
+    /// [`CkptStore::save`] for any pre-framed payload (the simulator
+    /// stores its own checkpoint schema through the same store): temp
+    /// write → fsync → rename → fsync dir, then retention + manifest.
+    pub fn save_bytes(&mut self, bytes: &[u8]) -> Result<String, CkptError> {
+        let name = ckpt_name(self.next_seq);
+        let tmp = format!("{name}.tmp");
+        self.storage.write_file(&tmp, bytes)?;
+        self.storage.sync_file(&tmp)?;
+        self.storage.rename(&tmp, &name)?;
+        self.storage.sync_dir()?;
+        // The checkpoint is durable from here on; retention and the
+        // manifest are follow-up work whose failure must not lose it.
+        self.next_seq += 1;
+        self.apply_retention()?;
+        self.write_manifest()?;
+        Ok(name)
+    }
+
+    fn apply_retention(&mut self) -> Result<(), CkptError> {
+        let mut seqs: Vec<u64> =
+            self.storage.list()?.iter().filter_map(|n| parse_ckpt_name(n)).collect();
+        seqs.sort_unstable();
+        let excess = seqs.len().saturating_sub(self.retain);
+        for &seq in &seqs[..excess] {
+            self.storage.remove_file(&ckpt_name(seq))?;
+        }
+        if excess > 0 {
+            self.storage.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    fn write_manifest(&self) -> Result<(), CkptError> {
+        let manifest = self.scan_manifest()?;
+        let bytes = serde_json::to_vec(&manifest).expect("manifest serializes");
+        let tmp = format!("{MANIFEST_NAME}.tmp");
+        self.storage.write_file(&tmp, &bytes)?;
+        self.storage.sync_file(&tmp)?;
+        self.storage.rename(&tmp, MANIFEST_NAME)?;
+        self.storage.sync_dir()
+    }
+
+    /// Builds a manifest by scanning the storage (entries for every
+    /// present checkpoint file, valid or not).
+    pub fn scan_manifest(&self) -> Result<Manifest, CkptError> {
+        let mut entries = Vec::new();
+        let mut names: Vec<(u64, String)> = self
+            .storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_ckpt_name(&n).map(|seq| (seq, n)))
+            .collect();
+        names.sort_unstable();
+        for (seq, name) in names {
+            let bytes = self.storage.read_file(&name)?;
+            entries.push(ManifestEntry { name, seq, bytes: bytes.len(), checksum: fnv1a(&bytes) });
+        }
+        Ok(Manifest { entries })
+    }
+
+    /// Reads the stored manifest, if present and parseable (advisory:
+    /// corruption here is reported as `None`, never an error).
+    pub fn read_manifest(&self) -> Option<Manifest> {
+        let bytes = self.storage.read_file(MANIFEST_NAME).ok()?;
+        let text = std::str::from_utf8(&bytes).ok()?;
+        serde_json::from_str(text).ok()
+    }
+
+    /// Checkpoint file names present, newest first.
+    pub fn names_newest_first(&self) -> Result<Vec<String>, CkptError> {
+        let mut seqs: Vec<u64> =
+            self.storage.list()?.iter().filter_map(|n| parse_ckpt_name(n)).collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(seqs.into_iter().map(ckpt_name).collect())
+    }
+
+    /// Scans newest-to-oldest for the first checkpoint that passes full
+    /// verification (trailer, section checksums, payload decode) and
+    /// returns it. Corrupt or torn files are skipped — that is the
+    /// fallback path the corruption matrix exercises.
+    pub fn latest_valid(&self) -> Result<(String, TrainingCheckpoint), CkptError> {
+        self.latest_valid_with(TrainingCheckpoint::from_framed_bytes)
+    }
+
+    /// [`CkptStore::latest_valid`] for any payload schema stored through
+    /// [`CkptStore::save_bytes`]: `decode` must fully validate the bytes
+    /// (the simulator passes its own checkpoint decoder).
+    pub fn latest_valid_with<T>(
+        &self,
+        decode: impl Fn(&[u8]) -> Result<T, CkptError>,
+    ) -> Result<(String, T), CkptError> {
+        for name in self.names_newest_first()? {
+            let Ok(bytes) = self.storage.read_file(&name) else { continue };
+            if let Ok(ckpt) = decode(&bytes) {
+                return Ok((name, ckpt));
+            }
+        }
+        Err(CkptError::NoValidCheckpoint)
+    }
+
+    /// Fully verifies one checkpoint file by name.
+    pub fn verify(&self, name: &str) -> Result<CkptInfo, CkptError> {
+        let bytes = self.storage.read_file(name)?;
+        verify_bytes(&bytes)
+    }
+}
+
+/// Fully verifies checkpoint bytes: frame trailer, per-section checksums,
+/// and payload decode. Returns a summary on success. Files with a `model`
+/// section are decoded as a full [`TrainingCheckpoint`]; files without one
+/// (e.g. simulator checkpoints stored through [`CkptStore::save_bytes`])
+/// are verified at the frame + `meta` level.
+pub fn verify_bytes(bytes: &[u8]) -> Result<CkptInfo, CkptError> {
+    let sections = decode_frames(bytes)?;
+    let summary: Vec<(String, usize)> =
+        sections.iter().map(|s| (s.name.clone(), s.payload.len())).collect();
+    let (next_batch, server_tables) = if sections.iter().any(|s| s.name == "model") {
+        let ckpt = TrainingCheckpoint::from_framed_bytes(bytes)?;
+        (ckpt.next_batch, ckpt.server.map_or(0, |s| s.tables.len()))
+    } else {
+        let meta = sections
+            .iter()
+            .find(|s| s.name == "meta")
+            .ok_or_else(|| CkptError::Corrupt("missing `meta` section".into()))?;
+        let meta: CkptMeta = parse_json(&meta.payload, "meta")?;
+        if meta.format == 0 || meta.format > TRAINING_CKPT_FORMAT {
+            return Err(CkptError::Version { got: meta.format, supported: TRAINING_CKPT_FORMAT });
+        }
+        (meta.next_batch, 0)
+    };
+    Ok(CkptInfo {
+        bytes: bytes.len(),
+        checksum: fnv1a(bytes),
+        sections: summary,
+        next_batch,
+        server_tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ckpt(next_batch: u64) -> TrainingCheckpoint {
+        use el_dlrm::{DlrmConfig, DlrmModel};
+        use rand::SeedableRng;
+        let cfg = DlrmConfig {
+            num_dense: 2,
+            table_cardinalities: vec![50, 50],
+            dim: 4,
+            bottom_hidden: vec![8],
+            top_hidden: vec![8],
+            tt_threshold: usize::MAX,
+            tt_rank: 4,
+            lr: 0.05,
+            optimizer: el_dlrm::OptimizerKind::Sgd,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let model = DlrmModel::new(&cfg, &mut rng);
+        TrainingCheckpoint {
+            model: DlrmCheckpoint::capture(&model),
+            server: None,
+            next_batch,
+            workers: vec![WorkerCursor { worker: 0, next_batch }],
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let sections = vec![
+            Section { name: "a".into(), payload: vec![1, 2, 3] },
+            Section { name: "empty".into(), payload: vec![] },
+        ];
+        let bytes = encode_frames(&sections);
+        assert_eq!(decode_frames(&bytes).unwrap(), sections);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_frames(&[Section { name: "s".into(), payload: vec![7; 64] }]);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(decode_frames(&bad), Err(CkptError::Corrupt(_))),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_frames(&[Section { name: "s".into(), payload: vec![9; 32] }]);
+        for len in 0..bytes.len() {
+            assert!(
+                matches!(decode_frames(&bytes[..len]), Err(CkptError::Corrupt(_))),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_storage_crash_semantics() {
+        let s = MemStorage::new();
+        s.write_file("a.tmp", b"hello").unwrap();
+        s.crash();
+        assert!(s.read_file("a.tmp").is_err(), "unsynced write must not survive a crash");
+
+        s.write_file("a.tmp", b"hello").unwrap();
+        s.sync_file("a.tmp").unwrap();
+        s.rename("a.tmp", "a").unwrap();
+        s.crash(); // rename not yet sync_dir'ed
+        assert_eq!(s.read_file("a.tmp").unwrap(), b"hello", "synced temp survives");
+        assert!(s.read_file("a").is_err(), "unsynced rename must not survive");
+
+        s.rename("a.tmp", "a").unwrap();
+        s.sync_dir().unwrap();
+        s.crash();
+        assert_eq!(s.read_file("a").unwrap(), b"hello", "synced rename survives");
+        assert!(s.read_file("a.tmp").is_err());
+    }
+
+    #[test]
+    fn store_saves_and_recovers_latest_valid() {
+        let storage = Arc::new(MemStorage::new());
+        let mut store = CkptStore::open(Arc::clone(&storage), 3).unwrap();
+        for b in [4u64, 8, 12] {
+            store.save(&tiny_ckpt(b)).unwrap();
+        }
+        let (name, ckpt) = store.latest_valid().unwrap();
+        assert_eq!(name, "ckpt-00000002.elck");
+        assert_eq!(ckpt.next_batch, 12);
+    }
+
+    #[test]
+    fn retention_keeps_newest_k() {
+        let storage = Arc::new(MemStorage::new());
+        let mut store = CkptStore::open(Arc::clone(&storage), 2).unwrap();
+        for b in 0..5u64 {
+            store.save(&tiny_ckpt(b)).unwrap();
+        }
+        let names = store.names_newest_first().unwrap();
+        assert_eq!(names, vec!["ckpt-00000004.elck", "ckpt-00000003.elck"]);
+        let manifest = store.read_manifest().expect("manifest present");
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.entries.last().unwrap().seq, 4);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let storage = Arc::new(MemStorage::new());
+        let mut store = CkptStore::open(Arc::clone(&storage), 4).unwrap();
+        store.save(&tiny_ckpt(5)).unwrap();
+        let newest = store.save(&tiny_ckpt(9)).unwrap();
+        let mut bytes = storage.read_file(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        storage.corrupt_file(&newest, bytes);
+        let (name, ckpt) = store.latest_valid().unwrap();
+        assert_eq!(name, "ckpt-00000000.elck");
+        assert_eq!(ckpt.next_batch, 5);
+    }
+
+    #[test]
+    fn reopen_after_crash_continues_sequence() {
+        let storage = Arc::new(MemStorage::new());
+        let mut store = CkptStore::open(Arc::clone(&storage), 3).unwrap();
+        store.save(&tiny_ckpt(1)).unwrap();
+        store.save(&tiny_ckpt(2)).unwrap();
+        drop(store);
+        storage.crash();
+        let mut store = CkptStore::open(Arc::clone(&storage), 3).unwrap();
+        let name = store.save(&tiny_ckpt(3)).unwrap();
+        assert_eq!(name, "ckpt-00000002.elck");
+        assert_eq!(store.latest_valid().unwrap().1.next_batch, 3);
+    }
+
+    #[test]
+    fn fs_storage_full_protocol_round_trip() {
+        let dir = std::env::temp_dir().join(format!("el_ckpt_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = FsStorage::open(&dir).unwrap();
+        let mut store = CkptStore::open(storage, 2).unwrap();
+        let name = store.save(&tiny_ckpt(7)).unwrap();
+        let info = store.verify(&name).unwrap();
+        assert_eq!(info.next_batch, 7);
+        assert!(info.sections.iter().any(|(n, _)| n == "model"));
+        assert_eq!(store.latest_valid().unwrap().1.next_batch, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_bytes_rejects_garbage() {
+        assert!(matches!(verify_bytes(b"not a checkpoint"), Err(CkptError::Corrupt(_))));
+        assert!(matches!(verify_bytes(b""), Err(CkptError::Corrupt(_))));
+    }
+}

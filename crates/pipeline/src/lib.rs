@@ -23,6 +23,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
+pub mod ckpt;
 pub mod device;
 pub mod parallel;
 pub mod placement;
@@ -30,6 +31,7 @@ pub mod server;
 pub mod trainer;
 
 pub use cache::EmbeddingCache;
+pub use ckpt::{CkptError, CkptStore, FsStorage, MemStorage, Storage, TrainingCheckpoint};
 pub use device::{CommMeter, DeviceSpec};
 pub use parallel::DataParallelTrainer;
 pub use placement::{plan_placement, PlacementPlan, PlannerConfig, TablePlacement};

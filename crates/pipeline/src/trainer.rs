@@ -12,11 +12,15 @@
 //! integration test asserts this), so pipelining is pure performance.
 
 use crate::cache::EmbeddingCache;
+use crate::ckpt::{
+    CkptError, CkptStore, HostedTableCheckpoint, ServerCheckpoint, Storage, TrainingCheckpoint,
+};
 use crate::device::{thread_cpu_time, CommMeter};
 use crate::server::{
     aggregate_to_unique, make_queues, pool_prefetched, send_with_retry, GradientPush, HostServer,
 };
 use el_data::SyntheticDataset;
+use el_dlrm::checkpoint::DlrmCheckpoint;
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_dlrm::DlrmModel;
 use std::collections::HashMap;
@@ -233,6 +237,158 @@ impl PipelineTrainer {
             host_tables: report.server.tables,
         }
     }
+
+    /// Captures the full training state as of `next_batch` (the next
+    /// dataset batch an uninterrupted run would train): worker model with
+    /// optimizer accumulators, hosted tables, and the loader cursor.
+    pub fn capture(
+        model: &DlrmModel,
+        host_tables: &[(usize, EmbeddingBag)],
+        lr: f32,
+        next_batch: u64,
+    ) -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            model: DlrmCheckpoint::capture(model),
+            server: Some(ServerCheckpoint {
+                tables: host_tables
+                    .iter()
+                    .map(|(id, table)| HostedTableCheckpoint { id: *id, table: table.clone() })
+                    .collect(),
+                lr,
+                applied: next_batch,
+            }),
+            next_batch,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Resumes an interrupted run from a checkpoint and trains the
+    /// remaining batches of the schedule described by `config` (the
+    /// *original* run's config: the checkpoint's cursor must fall inside
+    /// `[first_batch, first_batch + num_batches]`).
+    ///
+    /// The restored trajectory is byte-identical to the uninterrupted
+    /// one: the model carries its optimizer accumulators, hosted tables
+    /// resume at their exact values, and the loader fast-forwards to the
+    /// cursor. Queues, caches and the plan prefetcher are rebuilt —
+    /// they hold no state that affects training values (the embedding
+    /// cache only ever *corrects toward* server truth, and a fresh
+    /// segment starts from server truth).
+    pub fn resume_from(
+        ckpt: TrainingCheckpoint,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+    ) -> Result<PipelineReport, CkptError> {
+        let end = config.first_batch + config.num_batches;
+        if ckpt.next_batch < config.first_batch || ckpt.next_batch > end {
+            return Err(CkptError::StateMismatch(format!(
+                "checkpoint cursor {} outside the run schedule [{}, {end}]",
+                ckpt.next_batch, config.first_batch
+            )));
+        }
+        let model = ckpt.model.restore()?;
+        let mut server = match ckpt.server {
+            Some(s) => s.restore(),
+            None => HostServer::new(Vec::new(), model.lr),
+        };
+        // The pipeline numbers pushes relative to each serving schedule,
+        // so a resumed segment starts its gradient sequence at zero; the
+        // checkpoint's absolute `applied` stamp is for consumers that use
+        // absolute sequence numbers (the simulator).
+        server.applied = 0;
+        let remaining = PipelineConfig {
+            first_batch: ckpt.next_batch,
+            num_batches: end - ckpt.next_batch,
+            ..*config
+        };
+        Ok(Self::train(model, server, dataset, &remaining))
+    }
+
+    /// Trains the full schedule in segments of `every` batches, saving a
+    /// durable checkpoint into `store` after each segment. Returns the
+    /// aggregate report plus the saved checkpoint names (oldest first).
+    ///
+    /// Because pipelined training is bit-identical to sequential training
+    /// and each segment restarts from exactly the state the previous one
+    /// ended with, the final model is byte-identical to a single
+    /// uninterrupted `train` call — checkpointing is pure durability.
+    pub fn train_with_checkpoints<S: Storage>(
+        model: DlrmModel,
+        server: HostServer,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+        store: &mut CkptStore<S>,
+        every: u64,
+    ) -> Result<(PipelineReport, Vec<String>), CkptError> {
+        assert!(every > 0, "checkpoint interval must be at least one batch");
+        let lr = server.lr;
+        let mode = server.mode;
+        let end = config.first_batch + config.num_batches;
+
+        let mut saved = Vec::new();
+        let mut cursor = config.first_batch;
+        let mut next_model = model;
+        let mut next_server = server;
+
+        let mut losses = Vec::new();
+        let mut wall = Duration::ZERO;
+        let mut stale_hits = 0u64;
+        let mut cache_peak = 0usize;
+        let mut meter = CommMeter::default();
+        let mut server_cpu = Duration::ZERO;
+        let mut loader_cpu = Duration::ZERO;
+        let mut worker_compute = Duration::ZERO;
+
+        loop {
+            let seg = every.min(end - cursor);
+            let seg_cfg = PipelineConfig { first_batch: cursor, num_batches: seg, ..*config };
+            let report = Self::train(next_model, next_server, dataset, &seg_cfg);
+            cursor += report.completed_batches;
+
+            losses.extend_from_slice(&report.losses);
+            wall += report.wall;
+            stale_hits += report.stale_hits;
+            cache_peak = cache_peak.max(report.cache_peak_bytes);
+            meter.h2d_bytes += report.server_meter.h2d_bytes;
+            meter.d2h_bytes += report.server_meter.d2h_bytes;
+            meter.p2p_bytes += report.server_meter.p2p_bytes;
+            meter.kernel_launches += report.server_meter.kernel_launches;
+            server_cpu += report.server_cpu;
+            loader_cpu += report.loader_cpu;
+            worker_compute += report.worker_compute;
+
+            let degraded = report.completed_batches < seg;
+            saved.push(store.save(&Self::capture(
+                &report.model,
+                &report.host_tables,
+                lr,
+                cursor,
+            ))?);
+            if cursor >= end || degraded || report.completed_batches == 0 {
+                let completed_batches = losses.len() as u64;
+                let samples = completed_batches as f64 * config.batch_size as f64;
+                let final_report = PipelineReport {
+                    completed_batches,
+                    losses,
+                    wall,
+                    samples_per_sec: samples / wall.as_secs_f64(),
+                    stale_hits,
+                    cache_peak_bytes: cache_peak,
+                    server_meter: meter,
+                    server_cpu,
+                    loader_cpu,
+                    worker_compute,
+                    model: report.model,
+                    host_tables: report.host_tables,
+                };
+                return Ok((final_report, saved));
+            }
+            next_model = report.model;
+            let mut server = HostServer::new(report.host_tables, lr);
+            server.mode = mode;
+            next_server = server;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,20 +399,31 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(seed: u64) -> (DlrmModel, HostServer, SyntheticDataset) {
+        setup_with(seed, el_dlrm::OptimizerKind::Sgd, usize::MAX)
+    }
+
+    fn setup_with(
+        seed: u64,
+        optimizer: el_dlrm::OptimizerKind,
+        tt_threshold: usize,
+    ) -> (DlrmModel, HostServer, SyntheticDataset) {
+        // Table 0 has the largest cardinality so a finite `tt_threshold`
+        // can make it TT while tables 1/2 stay dense (and get hosted).
         let mut spec = DatasetSpec::toy(3, 200, 1_000_000);
         spec.num_dense = 4;
+        spec.table_cardinalities = vec![400, 200, 200];
         let dataset = SyntheticDataset::new(spec, 11);
 
         let cfg = DlrmConfig {
             num_dense: 4,
-            table_cardinalities: vec![200, 200, 200],
+            table_cardinalities: vec![400, 200, 200],
             dim: 8,
             bottom_hidden: vec![16],
             top_hidden: vec![16],
-            tt_threshold: usize::MAX, // keep everything dense for this test
+            tt_threshold,
             tt_rank: 8,
             lr: 0.05,
-            optimizer: el_dlrm::OptimizerKind::Sgd,
+            optimizer,
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut model = DlrmModel::new(&cfg, &mut rng);
@@ -329,5 +496,113 @@ mod tests {
         let r = run(true, 2, 5);
         assert!(r.server_meter.h2d_bytes > 0);
         assert!(r.server_meter.d2h_bytes > 0);
+    }
+
+    /// Trains `total` batches uninterrupted, and the same schedule
+    /// interrupted at `cut` (checkpoint through the framed byte format,
+    /// then `resume_from`), asserting the two end in byte-identical
+    /// state: loss trajectory, worker model (including optimizer
+    /// accumulators, via the v2 checkpoint bytes) and hosted tables.
+    fn assert_resume_identical(optimizer: el_dlrm::OptimizerKind, tt_threshold: usize, cut: u64) {
+        let total = 12u64;
+        let config = PipelineConfig {
+            batch_size: 64,
+            first_batch: 0,
+            num_batches: total,
+            prefetch_depth: 4,
+            pipelined: true,
+            overlap_analysis: true,
+        };
+
+        let (model, server, dataset) = setup_with(21, optimizer, tt_threshold);
+        let oracle = PipelineTrainer::train(model, server, &dataset, &config);
+
+        let (model, server, dataset) = setup_with(21, optimizer, tt_threshold);
+        let head_cfg = PipelineConfig { num_batches: cut, ..config };
+        let head = PipelineTrainer::train(model, server, &dataset, &head_cfg);
+        assert_eq!(head.completed_batches, cut);
+        let ckpt = PipelineTrainer::capture(&head.model, &head.host_tables, 0.05, cut);
+        // Round-trip through the durable byte format: what resumes is
+        // exactly what a post-crash recovery would decode from storage.
+        let ckpt =
+            crate::ckpt::TrainingCheckpoint::from_framed_bytes(&ckpt.to_framed_bytes()).unwrap();
+        let tail = PipelineTrainer::resume_from(ckpt, &dataset, &config).unwrap();
+        assert_eq!(tail.completed_batches, total - cut);
+
+        let mut losses = head.losses.clone();
+        losses.extend_from_slice(&tail.losses);
+        assert_eq!(oracle.losses, losses, "loss trajectory diverged after resume");
+        assert_eq!(
+            DlrmCheckpoint::capture(&oracle.model).to_bytes(),
+            DlrmCheckpoint::capture(&tail.model).to_bytes(),
+            "worker model state diverged after resume"
+        );
+        for ((ta, a), (tb, b)) in oracle.host_tables.iter().zip(&tail.host_tables) {
+            assert_eq!(ta, tb);
+            assert_eq!(a.weight.as_slice(), b.weight.as_slice(), "host table {ta} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_is_byte_identical_dense_sgd() {
+        assert_resume_identical(el_dlrm::OptimizerKind::Sgd, usize::MAX, 5);
+    }
+
+    #[test]
+    fn resume_is_byte_identical_tt_adagrad() {
+        // TT table 0 + Adagrad exercises the v2 accumulator persistence:
+        // without it the tail run would re-start accumulators and diverge.
+        assert_resume_identical(el_dlrm::OptimizerKind::Adagrad { eps: 1e-8 }, 300, 7);
+    }
+
+    #[test]
+    fn resume_rejects_cursor_outside_schedule() {
+        let (model, _, _) = setup(3);
+        let ckpt = PipelineTrainer::capture(&model, &[], 0.05, 99);
+        let (_, _, dataset) = setup(3);
+        let config = PipelineConfig { num_batches: 12, ..PipelineConfig::default() };
+        match PipelineTrainer::resume_from(ckpt, &dataset, &config) {
+            Err(CkptError::StateMismatch(_)) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("cursor beyond the schedule must be rejected"),
+        }
+    }
+
+    #[test]
+    fn segmented_checkpointing_matches_uninterrupted_run() {
+        use crate::ckpt::{CkptStore, MemStorage};
+        use std::sync::Arc;
+
+        let config = PipelineConfig {
+            batch_size: 64,
+            first_batch: 0,
+            num_batches: 12,
+            prefetch_depth: 4,
+            pipelined: true,
+            overlap_analysis: true,
+        };
+        let (model, server, dataset) = setup(31);
+        let oracle = PipelineTrainer::train(model, server, &dataset, &config);
+
+        let (model, server, dataset) = setup(31);
+        let storage = Arc::new(MemStorage::new());
+        let mut store = CkptStore::open(Arc::clone(&storage), 2).unwrap();
+        let (report, saved) = PipelineTrainer::train_with_checkpoints(
+            model, server, &dataset, &config, &mut store, 5,
+        )
+        .unwrap();
+
+        assert_eq!(saved.len(), 3, "segments of 5+5+2 batches");
+        assert_eq!(report.completed_batches, 12);
+        assert_eq!(oracle.losses, report.losses, "checkpointing must not change training");
+        assert_eq!(
+            DlrmCheckpoint::capture(&oracle.model).to_bytes(),
+            DlrmCheckpoint::capture(&report.model).to_bytes(),
+        );
+        // The store scans back the newest valid checkpoint: the final one.
+        let (_, latest) = store.latest_valid().unwrap();
+        assert_eq!(latest.next_batch, 12);
+        // Retention kept only the newest 2 of the 3 saved.
+        assert_eq!(store.names_newest_first().unwrap().len(), 2);
     }
 }

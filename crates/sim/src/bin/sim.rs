@@ -1,6 +1,6 @@
 //! CLI driver for the pipeline simulator (`cargo xtask sim`).
 //!
-//! Two modes:
+//! Four modes:
 //!
 //! * `sim --seed N` — replay one seed with full diagnostics: the derived
 //!   fault plan, the outcome, and every invariant verdict. This is the
@@ -10,26 +10,53 @@
 //!   violation, reproduction command — is printed and written to
 //!   `target/sim/failure-seed-N.txt` for artifact upload, and the
 //!   process exits non-zero.
+//! * `sim --crash-seed N` — replay one crash-recovery scenario: crash the
+//!   process (plus seeded storage faults: mid-protocol deaths, torn
+//!   writes, at-rest rot), recover from the surviving checkpoints, resume,
+//!   and verify the final tables against the sequential oracle.
+//! * `sim --crash-sweep COUNT [--start S]` — sweep crash-recovery seeds;
+//!   failures land in `target/sim/crash-failure-seed-N.txt`.
 
-use el_sim::{check_run, run_sweep, sequential_prefix, FaultPlan, Outcome, SimConfig};
+use el_sim::{
+    check_recovery, check_run, crash_plans_for_seed, run_crash_sweep, run_sweep, sequential_prefix,
+    FaultPlan, Outcome, RecoveryConfig, SimConfig, TraceEvent,
+};
 use std::process::ExitCode;
 
 /// Parsed command-line request.
 struct Args {
     /// Replay exactly this seed (wins over sweep mode).
     seed: Option<u64>,
+    /// Replay exactly this crash-recovery seed.
+    crash_seed: Option<u64>,
     /// Sweep this many seeds.
     sweep: u64,
+    /// Sweep this many crash-recovery seeds instead of plain seeds.
+    crash_sweep: Option<u64>,
     /// First sweep seed.
     start: u64,
     /// Batches per run.
     batches: u64,
     /// Staleness bound override.
     bound: Option<u64>,
+    /// Checkpoint cadence for crash-recovery modes.
+    every: u64,
+    /// Checkpoints retained for crash-recovery modes.
+    retain: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seed: None, sweep: 100, start: 0, batches: 24, bound: None };
+    let mut args = Args {
+        seed: None,
+        crash_seed: None,
+        sweep: 100,
+        crash_sweep: None,
+        start: 0,
+        batches: 24,
+        bound: None,
+        every: 4,
+        retain: 2,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut grab = |name: &str| -> Result<u64, String> {
@@ -40,10 +67,14 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--seed" => args.seed = Some(grab("--seed")?),
+            "--crash-seed" => args.crash_seed = Some(grab("--crash-seed")?),
             "--sweep" => args.sweep = grab("--sweep")?,
+            "--crash-sweep" => args.crash_sweep = Some(grab("--crash-sweep")?),
             "--start" => args.start = grab("--start")?,
             "--batches" => args.batches = grab("--batches")?,
             "--bound" => args.bound = Some(grab("--bound")?),
+            "--every" => args.every = grab("--every")?.max(1),
+            "--retain" => args.retain = grab("--retain")?.max(1) as usize,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -51,12 +82,17 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: sim [--seed N | --sweep COUNT [--start S]] [--batches N] [--bound B]
-  --seed N      replay one seed with full diagnostics
-  --sweep COUNT invariant-check COUNT seeds (default mode, COUNT=100)
-  --start S     first seed of the sweep (default 0)
-  --batches N   batches per simulated run (default 24)
-  --bound B     staleness bound override (default 6)";
+const USAGE: &str = "usage: sim [--seed N | --sweep COUNT | --crash-seed N | --crash-sweep COUNT]
+           [--start S] [--batches N] [--bound B] [--every K] [--retain R]
+  --seed N          replay one seed with full diagnostics
+  --sweep COUNT     invariant-check COUNT seeds (default mode, COUNT=100)
+  --crash-seed N    replay one crash-recovery scenario with full diagnostics
+  --crash-sweep COUNT  invariant-check COUNT crash-recovery seeds
+  --start S         first seed of the sweep (default 0)
+  --batches N       batches per simulated run (default 24)
+  --bound B         staleness bound override (default 6)
+  --every K         checkpoint cadence in applied batches (crash modes, default 4)
+  --retain R        checkpoints retained by the store (crash modes, default 2)";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -70,9 +106,16 @@ fn main() -> ExitCode {
     if let Some(b) = args.bound {
         cfg.staleness_bound = b;
     }
+    let rc = RecoveryConfig { sim: cfg, ckpt_every: args.every, retain: args.retain };
 
     if let Some(seed) = args.seed {
         return replay_one(&cfg, seed);
+    }
+    if let Some(seed) = args.crash_seed {
+        return replay_crash(&rc, seed);
+    }
+    if let Some(count) = args.crash_sweep {
+        return crash_sweep(&rc, args.start, count);
     }
 
     println!(
@@ -90,15 +133,31 @@ fn main() -> ExitCode {
         }
         Err(failure) => {
             eprintln!("INVARIANT VIOLATION\n{failure}");
-            let path = format!("target/sim/failure-seed-{}.txt", failure.seed);
-            if std::fs::create_dir_all("target/sim")
-                .and_then(|()| std::fs::write(&path, format!("{failure}\n")))
-                .is_ok()
-            {
-                eprintln!("failure record written to {path}");
-            }
+            write_failure_record(
+                &format!("target/sim/failure-seed-{}.txt", failure.seed),
+                &failure.to_string(),
+            );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Writes a failure record for CI artifact upload (best effort).
+fn write_failure_record(path: &str, contents: &str) {
+    if std::fs::create_dir_all("target/sim")
+        .and_then(|()| std::fs::write(path, format!("{contents}\n")))
+        .is_ok()
+    {
+        eprintln!("failure record written to {path}");
+    }
+}
+
+fn outcome_name(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Completed => "completed",
+        Outcome::Stalled => "stalled (fatal fault)",
+        Outcome::OutOfBudget => "out of event budget",
+        Outcome::Crashed => "crashed (process death)",
     }
 }
 
@@ -109,14 +168,13 @@ fn replay_one(cfg: &SimConfig, seed: u64) -> ExitCode {
     let oracle = sequential_prefix(cfg);
     match check_run(cfg, &plan, seed, &oracle) {
         Ok(report) => {
-            let outcome = match report.outcome {
-                Outcome::Completed => "completed",
-                Outcome::Stalled => "stalled (fatal fault)",
-                Outcome::OutOfBudget => "out of event budget",
-            };
             println!(
-                "{outcome}: applied {}/{} batches in {} virtual ticks ({} events)",
-                report.applied, cfg.num_batches, report.final_tick, report.events_processed
+                "{}: applied {}/{} batches in {} virtual ticks ({} events)",
+                outcome_name(report.outcome),
+                report.applied,
+                cfg.num_batches,
+                report.final_tick,
+                report.events_processed
             );
             println!(
                 "tables digest {:#018x} — matches sequential oracle at prefix {}",
@@ -128,6 +186,84 @@ fn replay_one(cfg: &SimConfig, seed: u64) -> ExitCode {
         }
         Err(v) => {
             eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one crash-recovery scenario with full diagnostics.
+fn replay_crash(rc: &RecoveryConfig, seed: u64) -> ExitCode {
+    let (plan, storage_plan) = crash_plans_for_seed(seed, rc.sim.num_batches);
+    println!("crash seed {seed} — fault plan:\n{plan}");
+    println!("storage-fault plan:\n{storage_plan}");
+    let oracle = sequential_prefix(&rc.sim);
+    match check_recovery(rc, &plan, &storage_plan, seed, &oracle) {
+        Ok(report) => {
+            let saved =
+                report.phase1.trace.count(|e| matches!(e, TraceEvent::CheckpointSaved { .. }));
+            println!(
+                "phase 1 {}: applied {}/{} batches, {} checkpoints saved",
+                outcome_name(report.phase1.outcome),
+                report.phase1.applied,
+                rc.sim.num_batches,
+                saved
+            );
+            match (&report.phase2, &report.restored_from) {
+                (None, _) => println!("no recovery needed"),
+                (Some(p2), Some(name)) => println!(
+                    "recovered from {name} (applied={}), phase 2 {}: applied {}/{}",
+                    report.resumed_applied,
+                    outcome_name(p2.outcome),
+                    p2.applied,
+                    rc.sim.num_batches
+                ),
+                (Some(p2), None) => println!(
+                    "no valid checkpoint survived — cold restart, phase 2 {}: applied {}/{}",
+                    outcome_name(p2.outcome),
+                    p2.applied,
+                    rc.sim.num_batches
+                ),
+            }
+            println!(
+                "final tables digest {:#018x} — byte-identical to the sequential oracle",
+                report.final_digest
+            );
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sweeps crash-recovery seeds (CI's crash/torn-write matrix).
+fn crash_sweep(rc: &RecoveryConfig, start: u64, count: u64) -> ExitCode {
+    println!(
+        "crash-sweeping {} seeds from {} ({} batches, checkpoint every {}, retain {})",
+        count, start, rc.sim.num_batches, rc.ckpt_every, rc.retain
+    );
+    match run_crash_sweep(rc, start, count) {
+        Ok(s) => {
+            println!(
+                "clean: {} seeds ({} crashed, {} resumed from checkpoint, {} cold restarts), \
+                 {} checkpoints saved, {} saves died mid-protocol, {} storage faults injected",
+                s.seeds,
+                s.crashed,
+                s.resumed,
+                s.cold_restarts,
+                s.checkpoints_saved,
+                s.saves_failed,
+                s.storage_faults
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("INVARIANT VIOLATION\n{failure}");
+            write_failure_record(
+                &format!("target/sim/crash-failure-seed-{}.txt", failure.seed),
+                &failure.to_string(),
+            );
             ExitCode::FAILURE
         }
     }

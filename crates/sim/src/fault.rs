@@ -65,6 +65,14 @@ pub enum Fault {
         /// Which transmission attempt is duplicated.
         delivery: u32,
     },
+    /// The whole process (server *and* worker) dies once the server has
+    /// applied `after_applied` gradient batches. Recovery — reopening the
+    /// checkpoint store and resuming — is driven by
+    /// [`crate::recovery::run_with_recovery`], not by the run itself.
+    Crash {
+        /// Number of applied batches after which the process dies.
+        after_applied: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -88,6 +96,9 @@ impl fmt::Display for Fault {
             }
             Fault::DuplicatePush { seq, delivery } => {
                 write!(f, "delivery {delivery} of push {seq} duplicated")
+            }
+            Fault::Crash { after_applied } => {
+                write!(f, "process crashes after applying {after_applied} batches")
             }
         }
     }
@@ -140,7 +151,7 @@ impl FaultPlan {
         let count = (draw() % 4) as usize; // 0..=3 faults
         let mut faults = Vec::with_capacity(count);
         for _ in 0..count {
-            let fault = match draw() % 7 {
+            let fault = match draw() % 8 {
                 0 => Fault::WorkerStall { at_batch: draw() % n, ticks: 1 + draw() % 64 },
                 1 => Fault::WorkerDeath { at_batch: draw() % n },
                 2 => Fault::ServerDeath { after_applied: draw() % n },
@@ -152,7 +163,8 @@ impl FaultPlan {
                     ticks: 5 + draw() % 60,
                 },
                 5 => Fault::DropPush { seq: draw() % n, delivery: 1 + (draw() % 2) as u32 },
-                _ => Fault::DuplicatePush { seq: draw() % n, delivery: 1 + (draw() % 2) as u32 },
+                6 => Fault::DuplicatePush { seq: draw() % n, delivery: 1 + (draw() % 2) as u32 },
+                _ => Fault::Crash { after_applied: draw() % n },
             };
             faults.push(fault);
         }
@@ -225,6 +237,18 @@ impl FaultPlan {
                 Fault::DuplicatePush { seq: s, delivery: d } if *s == seq && *d == delivery)
         })
     }
+
+    /// The applied-count after which the whole process crashes, if any
+    /// (the earliest wins when several are injected).
+    pub fn crash_after(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Crash { after_applied } => Some(*after_applied),
+                _ => None,
+            })
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +264,7 @@ mod tests {
 
     #[test]
     fn seeds_cover_every_fault_kind() {
-        let mut kinds = [false; 7];
+        let mut kinds = [false; 8];
         for seed in 0..500u64 {
             for f in &FaultPlan::from_seed(seed, 24).faults {
                 let k = match f {
@@ -251,6 +275,7 @@ mod tests {
                     Fault::GradQueueSaturation { .. } => 4,
                     Fault::DropPush { .. } => 5,
                     Fault::DuplicatePush { .. } => 6,
+                    Fault::Crash { .. } => 7,
                 };
                 kinds[k] = true;
             }
@@ -276,6 +301,7 @@ mod tests {
             Fault::GradQueueSaturation { start: 100, ticks: 20 },
             Fault::DropPush { seq: 4, delivery: 1 },
             Fault::DuplicatePush { seq: 6, delivery: 2 },
+            Fault::Crash { after_applied: 9 },
         ]);
         assert_eq!(plan.stall_before(3), Some(10));
         assert_eq!(plan.stall_before(4), None);
@@ -286,6 +312,8 @@ mod tests {
         assert!(plan.saturated_at(100) && plan.saturated_at(119) && !plan.saturated_at(120));
         assert!(plan.drops(4, 1) && !plan.drops(4, 2));
         assert!(plan.duplicates(6, 2) && !plan.duplicates(6, 1));
+        assert_eq!(plan.crash_after(), Some(9));
+        assert_eq!(FaultPlan::none().crash_after(), None);
     }
 
     #[test]

@@ -84,6 +84,21 @@ pub enum Violation {
     },
     /// The run exhausted its event budget — a livelock.
     OutOfBudget,
+    /// A crash-recovered run failed to finish the schedule.
+    RecoveryIncomplete {
+        /// Batches applied when the recovered run ended.
+        applied: u64,
+        /// Batches scheduled.
+        expected: u64,
+    },
+    /// A crash-recovered run finished with tables that differ from the
+    /// sequential oracle — recovery lost or corrupted training state.
+    RecoveryDiverged {
+        /// Digest the recovered run produced.
+        got: u64,
+        /// Digest the oracle requires.
+        want: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -118,6 +133,14 @@ impl fmt::Display for Violation {
                 write!(f, "run completed with {applied}/{expected} batches applied")
             }
             Violation::OutOfBudget => write!(f, "event budget exhausted (livelock)"),
+            Violation::RecoveryIncomplete { applied, expected } => {
+                write!(f, "recovered run ended with {applied}/{expected} batches applied")
+            }
+            Violation::RecoveryDiverged { got, want } => write!(
+                f,
+                "recovered run's tables digest to {got:#018x}, \
+                 sequential oracle requires {want:#018x}"
+            ),
         }
     }
 }

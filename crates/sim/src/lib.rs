@@ -20,7 +20,11 @@
 //! * [`oracle`] — the sequential reference with per-batch prefix digests,
 //! * [`invariants`] — exactly-once / staleness-bound / schedule-independence
 //!   / replay-determinism checking,
-//! * [`sweep`] — the seed-sweep harness CI runs.
+//! * [`sweep`] — the seed-sweep harness CI runs,
+//! * [`storage`] — fault-injecting checkpoint storage (crashes between
+//!   atomic-protocol steps, torn writes, at-rest rot),
+//! * [`recovery`] — crash → recover → resume scenarios and the crash
+//!   sweep (checkpoint durability, DESIGN.md §11).
 //!
 //! See DESIGN.md §10 for the fault model and the invariant statements.
 
@@ -31,7 +35,9 @@ pub mod clock;
 pub mod fault;
 pub mod invariants;
 pub mod oracle;
+pub mod recovery;
 pub mod sim;
+pub mod storage;
 pub mod sweep;
 pub mod trace;
 
@@ -41,6 +47,13 @@ mod proptests;
 pub use fault::{Fault, FaultPlan};
 pub use invariants::{check_against_oracle, check_run, check_trace, Violation};
 pub use oracle::{sequential_prefix, Oracle};
-pub use sim::{digest_tables, run, Outcome, SimConfig, SimReport};
+pub use recovery::{
+    check_recovery, crash_plans_for_seed, run_crash_sweep, run_with_recovery, CrashSweepFailure,
+    CrashSweepSummary, RecoveryConfig, RecoveryReport, SimCheckpoint,
+};
+pub use sim::{
+    digest_tables, run, run_session, CkptSink, Outcome, ResumeState, SimConfig, SimReport,
+};
+pub use storage::{FaultyStorage, StorageFault, StorageFaultPlan};
 pub use sweep::{run_sweep, SweepFailure, SweepSummary};
 pub use trace::{Trace, TraceEvent};

@@ -27,6 +27,7 @@ use crate::trace::{Trace, TraceEvent};
 use el_data::{DatasetSpec, SyntheticDataset};
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_pipeline::cache::EmbeddingCache;
+use el_pipeline::ckpt::CkptError;
 use el_pipeline::server::{
     aggregate_to_unique, pool_prefetched, ApplyOutcome, GradientPush, HostServer, PrefetchedBatch,
 };
@@ -109,6 +110,11 @@ pub enum Outcome {
     Stalled,
     /// The event budget was exhausted (a livelock; always a bug).
     OutOfBudget,
+    /// The whole process died — a [`crate::fault::Fault::Crash`] fired or
+    /// a checkpoint save failed mid-protocol. Only what the checkpoint
+    /// store made durable survives; [`crate::recovery`] drives the
+    /// restart.
+    Crashed,
 }
 
 /// Result of one simulated run.
@@ -208,6 +214,28 @@ pub fn digest_tables(tables: &[(usize, EmbeddingBag)]) -> u64 {
     h
 }
 
+/// Durable state a restarted session resumes from: the hosted tables and
+/// the applied-batch watermark of the newest valid checkpoint (or the
+/// initial tables and zero for a cold restart). The simulator uses
+/// *absolute* batch sequence numbers, so resuming sets the gather, train
+/// and apply cursors all to `applied`.
+#[derive(Clone, Debug)]
+pub struct ResumeState {
+    /// Hosted tables as of the checkpoint.
+    pub tables: Vec<(usize, EmbeddingBag)>,
+    /// Gradient batches applied when the checkpoint was taken.
+    pub applied: u64,
+}
+
+/// Where a running session saves checkpoints. The simulator calls
+/// [`CkptSink::save`] synchronously from the server's apply path; an
+/// error means the process died mid-save (the store's atomic protocol
+/// decides what survived) and the run ends [`Outcome::Crashed`].
+pub trait CkptSink {
+    /// Persists `(applied, tables)` durably.
+    fn save(&mut self, applied: u64, tables: &[(usize, EmbeddingBag)]) -> Result<(), CkptError>;
+}
+
 /// In-flight gradient push awaiting acknowledgement.
 struct UnackedPush {
     push: GradientPush,
@@ -234,7 +262,7 @@ enum Ev {
 }
 
 /// The running simulation state.
-struct Simulation {
+struct Simulation<'a> {
     cfg: SimConfig,
     plan: FaultPlan,
     q: EventQueue<Ev>,
@@ -256,35 +284,64 @@ struct Simulation {
     computing: Option<GradientPush>,
     caches: Vec<(usize, EmbeddingCache)>,
     unacked: BTreeMap<u64, UnackedPush>,
+    // durability
+    ckpt: Option<(&'a mut dyn CkptSink, u64)>,
+    crashed: bool,
 }
 
 /// Runs one simulation to termination.
 pub fn run(cfg: &SimConfig, plan: &FaultPlan, schedule_seed: u64) -> SimReport {
+    run_session(cfg, plan, schedule_seed, None, None)
+}
+
+/// Runs one *session*: [`run`] plus durability. `resume` continues from a
+/// recovered checkpoint instead of the initial tables; `ckpt` saves a
+/// checkpoint through the sink every `every` applied batches (a failed
+/// save kills the process). Either may be `None`; `run` is the
+/// `(None, None)` special case.
+pub fn run_session(
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+    resume: Option<ResumeState>,
+    ckpt: Option<(&mut dyn CkptSink, u64)>,
+) -> SimReport {
+    let mut server = HostServer::new(build_tables(cfg), cfg.lr);
+    let mut start = 0u64;
+    let mut trace = Trace::default();
+    if let Some(rs) = resume {
+        start = rs.applied;
+        server = HostServer::new(rs.tables, cfg.lr);
+        server.applied = rs.applied;
+        trace.push(TraceEvent::Resumed { applied: rs.applied });
+    }
     let sim = Simulation {
         cfg: *cfg,
         plan: plan.clone(),
         q: EventQueue::new(),
         rng: StdRng::seed_from_u64(cfg.model_seed ^ splitmix64(schedule_seed)),
         dataset: build_dataset(cfg),
-        trace: Trace::default(),
-        server: HostServer::new(build_tables(cfg), cfg.lr),
+        trace,
+        server,
         server_alive: true,
-        next_gather: 0,
+        next_gather: start,
         pending: BTreeMap::new(),
         occupancy: 0,
         worker_alive: true,
         stalled: false,
         stalls_done: BTreeSet::new(),
         inbox: BTreeMap::new(),
-        next_train: 0,
+        next_train: start,
         computing: None,
         caches: (0..cfg.num_tables).map(|t| (t, EmbeddingCache::new())).collect(),
         unacked: BTreeMap::new(),
+        ckpt,
+        crashed: false,
     };
     sim.drive()
 }
 
-impl Simulation {
+impl Simulation<'_> {
     fn jitter(&mut self) -> u64 {
         self.rng.gen_range(0..JITTER)
     }
@@ -304,6 +361,8 @@ impl Simulation {
         }
         let outcome = if out_of_budget {
             Outcome::OutOfBudget
+        } else if self.crashed {
+            Outcome::Crashed
         } else if self.server.applied == self.cfg.num_batches {
             Outcome::Completed
         } else {
@@ -332,9 +391,28 @@ impl Simulation {
         self.worker_start();
     }
 
+    /// Kills both actors at once: the process is gone. Only checkpointed
+    /// (durable) state survives into a [`crate::recovery`] restart.
+    fn crash_now(&mut self) {
+        self.crashed = true;
+        self.server_alive = false;
+        self.worker_alive = false;
+        self.trace.push(TraceEvent::CrashInjected { applied: self.server.applied });
+        self.pending.clear();
+        self.inbox.clear();
+        self.computing = None;
+        self.unacked.clear();
+    }
+
     /// Applies buffered pushes in order until a gap (or server death).
     fn drain_pending(&mut self) {
         while self.server_alive {
+            if let Some(crash) = self.plan.crash_after() {
+                if self.server.applied >= crash && !self.crashed {
+                    self.crash_now();
+                    return;
+                }
+            }
             if let Some(death) = self.plan.server_death_after() {
                 if self.server.applied >= death {
                     self.server_alive = false;
@@ -351,6 +429,26 @@ impl Simulation {
                     self.schedule_ack(next);
                 }
                 other => unreachable!("in-order drain of seq {next} must apply, got {other:?}"),
+            }
+            self.maybe_checkpoint();
+        }
+    }
+
+    /// Saves a checkpoint when the apply watermark hits the cadence. A
+    /// sink error is a process death mid-save: whatever the store's
+    /// atomic protocol made durable before the failing step is all a
+    /// restart will find.
+    fn maybe_checkpoint(&mut self) {
+        let applied = self.server.applied;
+        let Some((sink, every)) = self.ckpt.as_mut() else { return };
+        if !applied.is_multiple_of(*every) {
+            return;
+        }
+        match sink.save(applied, &self.server.tables) {
+            Ok(()) => self.trace.push(TraceEvent::CheckpointSaved { applied }),
+            Err(_) => {
+                self.trace.push(TraceEvent::CheckpointFailed { applied });
+                self.crash_now();
             }
         }
     }
@@ -447,6 +545,10 @@ impl Simulation {
                 self.stalled = false;
             }
             Ev::ComputeDone(seq) => {
+                if !self.worker_alive {
+                    // a crash killed the worker mid-compute
+                    return;
+                }
                 let push = self.computing.take().expect("ComputeDone without compute");
                 debug_assert_eq!(push.batch_seq, seq);
                 self.unacked.insert(seq, UnackedPush { push, attempts: 0, deliveries: 0 });

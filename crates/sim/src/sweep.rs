@@ -65,7 +65,10 @@ pub fn run_sweep(cfg: &SimConfig, start: u64, count: u64) -> Result<SweepSummary
                 summary.stale_hits += report.stale_hits;
                 match report.outcome {
                     Outcome::Completed => summary.completed += 1,
-                    Outcome::Stalled => summary.stalled += 1,
+                    // a crash without recovery is just another fatal
+                    // fault; crash *recovery* is swept separately by
+                    // `crate::recovery::run_crash_sweep`
+                    Outcome::Stalled | Outcome::Crashed => summary.stalled += 1,
                     Outcome::OutOfBudget => unreachable!("check_run rejects budget overruns"),
                 }
             }

@@ -72,6 +72,29 @@ pub enum TraceEvent {
         /// Batches it had applied when it died.
         applied: u64,
     },
+    /// A checkpoint was made durable through the session's sink.
+    CheckpointSaved {
+        /// Applied-batch watermark the checkpoint captured.
+        applied: u64,
+    },
+    /// A checkpoint save failed mid-protocol (storage fault); the
+    /// process died with it.
+    CheckpointFailed {
+        /// Applied-batch watermark of the attempted checkpoint.
+        applied: u64,
+    },
+    /// The whole process crashed (fault injection).
+    CrashInjected {
+        /// Batches applied when the process died.
+        applied: u64,
+    },
+    /// The session resumed from recovered durable state instead of the
+    /// initial tables.
+    Resumed {
+        /// Applied-batch watermark of the recovered checkpoint (zero for
+        /// a cold restart).
+        applied: u64,
+    },
 }
 
 /// The full history of one run.

@@ -197,8 +197,10 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
 
 fn cmd_eval(opts: &Opts) -> Result<(), String> {
     let path = opts.map.get("checkpoint").ok_or("eval requires --checkpoint PATH")?;
-    let mut model =
-        DlrmCheckpoint::load_file(path).map_err(|e| format!("loading checkpoint: {e}"))?.restore();
+    let mut model = DlrmCheckpoint::load_file(path)
+        .map_err(|e| format!("loading checkpoint: {e}"))?
+        .restore()
+        .map_err(|e| format!("restoring checkpoint: {e}"))?;
     let ds = dataset_from(opts)?;
     let batches: u64 = opts.get("batches", 8)?;
     let batch_size: usize = opts.get("batch-size", 512)?;

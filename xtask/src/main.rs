@@ -15,8 +15,15 @@
 //!   skip-when-unavailable / fail-on-findings policy.
 //! * `sim [args...]` — run the deterministic pipeline simulator
 //!   (`crates/sim`): `--sweep N` for a seed sweep (CI mode), `--seed N`
-//!   to replay one failing seed with full diagnostics. Arguments pass
-//!   through to the `sim` binary; see DESIGN.md §10.
+//!   to replay one failing seed with full diagnostics, `--crash-sweep N`
+//!   for the crash-recovery sweep (process crashes, torn checkpoint
+//!   writes, at-rest rot), `--crash-seed N` to replay one crash-recovery
+//!   scenario. Arguments pass through to the `sim` binary; see DESIGN.md
+//!   §10–§11.
+//! * `ckpt [args...]` — checkpoint tooling: `verify <path>` fully checks
+//!   one `.elck` file or a whole store directory, `ls <dir>` lists a
+//!   store, `bench` measures checkpoint size and save/restore time.
+//!   Arguments pass through to the `ckpt` binary; see DESIGN.md §11.
 //!
 //! The exact invocations these commands issue are documented in DESIGN.md
 //! ("Safety & analysis architecture").
@@ -47,7 +54,9 @@ fn usage() -> ExitCode {
          miri                 run the Miri unsafe-surface subset (needs nightly miri)\n  \
          tsan                 run the pool stress harness under ThreadSanitizer\n                       \
          (needs nightly + rust-src)\n  \
-         sim [args...]        run the pipeline simulator (--sweep N | --seed N)"
+         sim [args...]        run the pipeline simulator (--sweep N | --seed N |\n                       \
+         --crash-sweep N | --crash-seed N)\n  \
+         ckpt [args...]       checkpoint tooling (verify <path> | ls <dir> | bench)"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +70,7 @@ fn main() -> ExitCode {
         Some("miri") => cmd_miri(&root),
         Some("tsan") => cmd_tsan(&root),
         Some("sim") => cmd_sim(&root, &args[1..]),
+        Some("ckpt") => cmd_ckpt(&root, &args[1..]),
         Some("help") | None => usage(),
         Some(other) => {
             eprintln!("error: unknown xtask command `{other}`\n");
@@ -117,6 +127,21 @@ fn cmd_sim(root: &Path, pass_through: &[String]) -> ExitCode {
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("xtask sim: spawning cargo failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ckpt(root: &Path, pass_through: &[String]) -> ExitCode {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--quiet", "--release", "-p", "el-pipeline", "--bin", "ckpt", "--"])
+        .args(pass_through);
+    match status_of(&mut cmd) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask ckpt: spawning cargo failed: {e}");
             ExitCode::FAILURE
         }
     }
