@@ -44,7 +44,7 @@ fn bench_backward(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(10).provenance(el_bench::provenance_fields());
     targets = bench_backward
 }
 criterion_main!(benches);

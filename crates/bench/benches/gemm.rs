@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use el_tensor::batched::{batched_gemm, batched_gemm_seq, GemmBatch};
 use el_tensor::gemm::{gemm, gemm_nn, gemm_nn_axpy, gemm_ref, Trans};
-use el_tensor::micro::{gemm_packed, Layout};
+use el_tensor::micro::{gemm_packed, set_kernel, Kernel, Layout};
 use rand::{Rng, SeedableRng};
 
 fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
@@ -67,6 +67,45 @@ fn bench_packed_vs_axpy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same packed GEMM under every micro-kernel this CPU supports — the
+/// dispatch-tier comparison behind the `EL_KERNEL` override. Each variant
+/// is pinned with `set_kernel` for the duration of its measurements, so the
+/// rows differ only in the inner kernel (packing and blocking identical).
+fn bench_kernel_sweep(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("gemm_kernels");
+    for &n in &[128usize, 256, 384] {
+        let a = rand_vec(n * n, &mut rng);
+        let b = rand_vec(n * n, &mut rng);
+        let mut cbuf = vec![0.0f32; n * n];
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        for kernel in Kernel::ALL {
+            if !kernel.supported() {
+                continue;
+            }
+            set_kernel(Some(kernel));
+            group.bench_with_input(BenchmarkId::new(kernel.name(), n), &n, |bch, _| {
+                bch.iter(|| {
+                    gemm_packed(
+                        n,
+                        n,
+                        n,
+                        1.0,
+                        &a,
+                        Layout::row_major(n),
+                        &b,
+                        Layout::row_major(n),
+                        0.0,
+                        &mut cbuf,
+                    )
+                });
+            });
+            set_kernel(None);
+        }
+    }
+    group.finish();
+}
+
 /// MLP-layer shapes (DLRM top/bottom nets): batch x out x in with the
 /// weight matrix read transposed in place — the Linear::forward path.
 fn bench_mlp_shapes(c: &mut Criterion) {
@@ -111,7 +150,8 @@ fn bench_batched_gemm(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_single_gemm, bench_packed_vs_axpy, bench_mlp_shapes, bench_batched_gemm
+    config = Criterion::default().sample_size(10).provenance(el_bench::provenance_fields());
+    targets = bench_single_gemm, bench_packed_vs_axpy, bench_kernel_sweep, bench_mlp_shapes,
+        bench_batched_gemm
 }
 criterion_main!(benches);

@@ -48,7 +48,7 @@ fn bench_lookup(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(10).provenance(el_bench::provenance_fields());
     targets = bench_lookup
 }
 criterion_main!(benches);

@@ -65,7 +65,7 @@ fn bench_reorder_pipeline(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(10).provenance(el_bench::provenance_fields());
     targets = bench_plan_build, bench_reorder_pipeline
 }
 criterion_main!(benches);

@@ -1,13 +1,16 @@
 //! End-to-end training-throughput harness: samples/second of the full DLRM
 //! training loop across batch sizes × analysis modes × rayon thread counts.
 //!
-//! The three modes isolate the tentpole optimizations:
+//! The four modes isolate the tentpole optimizations:
 //!
 //! * `sequential` — inline sequential pointer preparation (the baseline);
 //! * `parallel` — inline `LookupPlan::par_build_into` (Algorithm 1 run on
 //!   the rayon pool);
 //! * `parallel_overlap` — parallel analysis of batch `i+1` on the plan
-//!   prefetcher while batch `i` computes (paper §V overlap).
+//!   prefetcher while batch `i` computes (paper §V overlap);
+//! * `parallel_fused` — parallel analysis plus the fused pooled-lookup+GEMM
+//!   forward (the last chain level and sum pooling in one pass, per-lookup
+//!   rows never materialized).
 //!
 //! Thread counts are swept by re-executing this binary with
 //! `RAYON_NUM_THREADS` set (the pool reads the variable once at startup,
@@ -37,9 +40,11 @@ struct Row {
     analysis_ns: u64,
     forward_ns: u64,
     backward_ns: u64,
+    kernel: &'static str,
+    cpu_features: String,
 }
 
-const MODES: [&str; 3] = ["sequential", "parallel", "parallel_overlap"];
+const MODES: [&str; 4] = ["sequential", "parallel", "parallel_overlap", "parallel_fused"];
 
 fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--test")
@@ -69,6 +74,7 @@ fn run_one(mode: &'static str, pool: &[MiniBatch], steps: usize, threads: usize)
     for t in &mut model.tables {
         if let EmbeddingLayer::Tt(bag, _) = t {
             bag.options.parallel_analysis = mode != "sequential";
+            bag.options.fused_pooling = mode == "parallel_fused";
         }
     }
     if overlap {
@@ -103,6 +109,8 @@ fn run_one(mode: &'static str, pool: &[MiniBatch], steps: usize, threads: usize)
         analysis_ns: timers.analysis_ns,
         forward_ns: timers.forward_ns,
         backward_ns: timers.backward_ns,
+        kernel: el_tensor::micro::active_kernel(),
+        cpu_features: el_tensor::micro::cpu_features(),
     }
 }
 
@@ -155,7 +163,8 @@ fn render_json(rows: &[Row]) -> String {
         out.push_str(&format!(
             "  {{\"id\":\"train_throughput/{}/bs{}/t{}\",\"mode\":\"{}\",\
              \"batch_size\":{},\"rayon_threads\":{},\"samples_per_sec\":{:.1},\
-             \"steps\":{},\"analysis_ns\":{},\"forward_ns\":{},\"backward_ns\":{}}}",
+             \"steps\":{},\"analysis_ns\":{},\"forward_ns\":{},\"backward_ns\":{},\
+             \"kernel\":\"{}\",\"cpu_features\":\"{}\"}}",
             r.mode,
             r.batch_size,
             r.threads,
@@ -167,6 +176,8 @@ fn render_json(rows: &[Row]) -> String {
             r.analysis_ns,
             r.forward_ns,
             r.backward_ns,
+            r.kernel,
+            r.cpu_features,
         ));
     }
     out.push_str("\n]\n");

@@ -29,6 +29,18 @@
 
 use std::fmt::Display;
 
+/// Provenance fields for `BENCH_*.json` rows: which micro-kernel variant
+/// was dispatched, what the host CPU supports, and how wide the rayon pool
+/// is. Attached via `Criterion::provenance` so every recorded number can be
+/// traced to the code path and machine that produced it.
+pub fn provenance_fields() -> Vec<(String, String)> {
+    vec![
+        ("kernel".to_string(), el_tensor::micro::active_kernel().to_string()),
+        ("cpu_features".to_string(), el_tensor::micro::cpu_features()),
+        ("rayon_threads".to_string(), rayon::current_num_threads().to_string()),
+    ]
+}
+
 /// Prints a boxed section header.
 pub fn section(title: &str) {
     println!();

@@ -117,13 +117,27 @@ fn run_steady_state_sized(options: TtOptions, lookups: usize, overlap: bool, lab
         }
     }
 
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    for (i, (indices, offsets)) in pool.iter().enumerate() {
-        queue(i + 1, &bag, &ws);
-        bag.forward_into(indices, offsets, &mut ws, &mut out);
-        bag.backward_sgd(&out, &mut ws, 0.01);
+    // The counter is process-global, so a one-time lazy initialization on a
+    // harness thread (e.g. libtest's coordinator parking for the first time)
+    // can land inside the window — observed as a rare 2-allocation blip from
+    // a thread other than this one. Steady state is idempotent: re-measuring
+    // over the same pool is an equally valid observation, and only one-shot
+    // foreign noise passes a retry — a real per-iteration allocation in the
+    // hot path (on any thread, including rayon workers and the prefetch
+    // coordinator) fails every attempt.
+    let mut new_allocs = 0;
+    for _attempt in 0..3 {
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for (i, (indices, offsets)) in pool.iter().enumerate() {
+            queue(i + 1, &bag, &ws);
+            bag.forward_into(indices, offsets, &mut ws, &mut out);
+            bag.backward_sgd(&out, &mut ws, 0.01);
+        }
+        new_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        if new_allocs == 0 {
+            break;
+        }
     }
-    let new_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
 
     if cfg!(debug_assertions) {
         // Debug builds allocate inside debug_assert! checks; just make sure
@@ -146,6 +160,7 @@ fn reuse_aggregated_fused_path_is_allocation_free() {
             fused_update: true,
             deterministic: false,
             parallel_analysis: false,
+            fused_pooling: false,
         },
         "reuse/aggregated/fused",
     );
@@ -163,6 +178,7 @@ fn parallel_analysis_path_is_allocation_free() {
             fused_update: true,
             deterministic: false,
             parallel_analysis: true,
+            fused_pooling: false,
         },
         8192,
         false,
@@ -182,6 +198,7 @@ fn prefetcher_overlapped_loop_is_allocation_free() {
             fused_update: true,
             deterministic: false,
             parallel_analysis: true,
+            fused_pooling: false,
         },
         8192,
         true,
@@ -198,8 +215,27 @@ fn unfused_materialized_gradients_are_allocation_free() {
             fused_update: false,
             deterministic: false,
             parallel_analysis: false,
+            fused_pooling: false,
         },
         "reuse/aggregated/unfused",
+    );
+}
+
+#[test]
+fn fused_pooling_path_is_allocation_free() {
+    // The fused lookup+GEMM pooling path keeps its per-thread digit-group
+    // scratch in thread-local storage, so the steady state stays free of
+    // allocation just like the materialize-then-pool path.
+    run_steady_state(
+        TtOptions {
+            forward: ForwardStrategy::Reuse,
+            backward: BackwardStrategy::Aggregated,
+            fused_update: true,
+            deterministic: false,
+            parallel_analysis: false,
+            fused_pooling: true,
+        },
+        "reuse/aggregated/fused-pooling",
     );
 }
 
@@ -214,6 +250,7 @@ fn strategy_mismatch_rebuild_path_is_allocation_free() {
             fused_update: true,
             deterministic: false,
             parallel_analysis: false,
+            fused_pooling: false,
         },
         "naive-forward/aggregated-backward rebuild",
     );

@@ -497,6 +497,7 @@ mod tests {
             fused_update: false,
             deterministic: true,
             parallel_analysis: true,
+            fused_pooling: false,
         };
         let mut ws = TtWorkspace::new();
         let _ = mixed.forward(&indices, &offsets, &mut ws);

@@ -44,6 +44,15 @@ pub struct TtOptions {
     /// Bit-identical to the sequential builder and safe to leave on: below
     /// the size cutoff (or on a one-thread pool) the sequential path runs.
     pub parallel_analysis: bool,
+    /// Fuse the final chain level and sum-pooling into one pass: the
+    /// per-lookup TT product rows are pooled inside the packed kernel's
+    /// A-panel loader (`el_tensor::batched::pooled_gemm`), so the
+    /// `(slots x dim)` last-level buffer is never written or re-read.
+    /// Forward results match the materialize-then-pool path up to f32
+    /// summation order. Defaults off; `#[serde(default)]` keeps configs
+    /// from before this field readable.
+    #[serde(default)]
+    pub fused_pooling: bool,
 }
 
 impl Default for TtOptions {
@@ -54,6 +63,7 @@ impl Default for TtOptions {
             fused_update: true,
             deterministic: false,
             parallel_analysis: true,
+            fused_pooling: false,
         }
     }
 }
@@ -69,6 +79,7 @@ impl TtOptions {
             fused_update: false,
             deterministic: false,
             parallel_analysis: true,
+            fused_pooling: false,
         }
     }
 }

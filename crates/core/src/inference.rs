@@ -24,10 +24,93 @@ use el_tensor::gemm::gemm_nn;
 use el_tensor::Matrix;
 use std::collections::HashMap;
 
+/// Numeric storage of the cached prefix products (training stays f32; this
+/// only affects the inference cache). Low-bit storage shrinks the resident
+/// cache — the embedding-compression direction the paper's §I calls
+/// "feasible for inference" — at a bounded accuracy cost (see the
+/// divergence proptests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InferencePrecision {
+    /// Full-precision products; bit-identical to the training forward.
+    #[default]
+    F32,
+    /// bfloat16 products (2x smaller cache, ~2^-8 relative error).
+    Bf16,
+    /// int8 products with per-product affine parameters (4x smaller cache).
+    Int8,
+}
+
+/// Storage of one cached prefix product, in the session's precision.
+enum ProductStore {
+    F32(Vec<f32>),
+    Bf16(Vec<u16>),
+    Int8 { codes: Vec<i8>, scale: f32, zero: f32 },
+}
+
+impl ProductStore {
+    fn empty(precision: InferencePrecision) -> Self {
+        match precision {
+            InferencePrecision::F32 => ProductStore::F32(Vec::new()),
+            InferencePrecision::Bf16 => ProductStore::Bf16(Vec::new()),
+            InferencePrecision::Int8 => {
+                ProductStore::Int8 { codes: Vec::new(), scale: 1.0, zero: 0.0 }
+            }
+        }
+    }
+
+    /// Encodes `src` into this store, recycling the existing buffer. The
+    /// variant is fixed at slot creation (one precision per session).
+    fn store(&mut self, src: &[f32]) {
+        match self {
+            ProductStore::F32(buf) => {
+                buf.clear();
+                buf.extend_from_slice(src);
+            }
+            ProductStore::Bf16(buf) => {
+                buf.clear();
+                buf.extend(src.iter().map(|&v| crate::quantized::f32_to_bf16(v)));
+            }
+            ProductStore::Int8 { codes, scale, zero } => {
+                let (s, z) = crate::quantized::row_params(src);
+                *scale = s;
+                *zero = z;
+                codes.clear();
+                codes.extend(src.iter().map(|&v| crate::quantized::quantize(v, s, z)));
+            }
+        }
+    }
+
+    /// Decodes into `out` (`out.len()` must equal the stored length).
+    fn dequantize_into(&self, out: &mut [f32]) {
+        match self {
+            ProductStore::F32(buf) => out.copy_from_slice(buf),
+            ProductStore::Bf16(buf) => {
+                for (o, &q) in out.iter_mut().zip(buf) {
+                    *o = crate::quantized::bf16_to_f32(q);
+                }
+            }
+            ProductStore::Int8 { codes, scale, zero } => {
+                for (o, &q) in out.iter_mut().zip(codes) {
+                    *o = q as f32 * scale + zero;
+                }
+            }
+        }
+    }
+
+    /// Heap bytes of the stored product (+ affine parameters for int8).
+    fn bytes(&self) -> usize {
+        match self {
+            ProductStore::F32(buf) => buf.len() * 4,
+            ProductStore::Bf16(buf) => buf.len() * 2,
+            ProductStore::Int8 { codes, .. } => codes.len() + 8,
+        }
+    }
+}
+
 /// One cached partial product in the slot slab.
 struct Slot {
     prefix: u64,
-    product: Vec<f32>,
+    product: ProductStore,
     /// Second-chance bit: set on every use, cleared (once) by the clock
     /// sweep before a slot becomes an eviction candidate.
     referenced: bool,
@@ -49,10 +132,15 @@ pub struct TtInferenceSession<'a> {
     /// Clock hand: next eviction candidate.
     hand: usize,
     capacity: usize,
+    /// Storage precision of the cached prefix products.
+    precision: InferencePrecision,
     /// Ping-pong scratch for prefix-chain products (reused across misses).
     chain_ping: Vec<f32>,
     chain_pong: Vec<f32>,
     digit_scratch: Vec<usize>,
+    /// Per-unique decoded prefix products, snapshotted at resolution time
+    /// (reused across lookups).
+    dequant_arena: Vec<f32>,
     /// Prefix products served from the cache.
     pub hits: u64,
     /// Prefix products computed fresh.
@@ -60,8 +148,21 @@ pub struct TtInferenceSession<'a> {
 }
 
 impl<'a> TtInferenceSession<'a> {
-    /// A session over `table` caching at most `capacity` prefix products.
+    /// A full-precision session over `table` caching at most `capacity`
+    /// prefix products.
     pub fn new(table: &'a TtEmbeddingBag, capacity: usize) -> Self {
+        Self::with_precision(table, capacity, InferencePrecision::F32)
+    }
+
+    /// A session whose cached products are stored in `precision`. Training
+    /// is untouched (the table stays f32); only the inference cache and the
+    /// lookups served from it take the quantization error, which the
+    /// divergence proptests bound.
+    pub fn with_precision(
+        table: &'a TtEmbeddingBag,
+        capacity: usize,
+        precision: InferencePrecision,
+    ) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         let reserve = capacity.min(1 << 20);
         Self {
@@ -70,12 +171,19 @@ impl<'a> TtInferenceSession<'a> {
             slots: Vec::with_capacity(reserve),
             hand: 0,
             capacity,
+            precision,
             chain_ping: Vec::new(),
             chain_pong: Vec::new(),
             digit_scratch: Vec::new(),
+            dequant_arena: Vec::new(),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Storage precision of the cached products.
+    pub fn precision(&self) -> InferencePrecision {
+        self.precision
     }
 
     /// Cache hit rate so far.
@@ -98,11 +206,9 @@ impl<'a> TtInferenceSession<'a> {
         self.slots.is_empty()
     }
 
-    /// Cache footprint in bytes.
+    /// Cache footprint in bytes, per the actual storage precision.
     pub fn footprint_bytes(&self) -> usize {
-        let d = self.table.order();
-        let width = self.table.level_width(d.saturating_sub(2));
-        self.slots.len() * (width * 4 + std::mem::size_of::<Slot>())
+        self.slots.iter().map(|s| s.product.bytes() + std::mem::size_of::<Slot>()).sum()
     }
 
     /// Sum-pooled lookup with the same semantics as
@@ -117,14 +223,18 @@ impl<'a> TtInferenceSession<'a> {
         let uniques = &plan.levels[d - 1];
         let m_last = *cores.row_dims.last().unwrap() as u64;
 
-        // Resolve every unique index's prefix product, cache-first.
+        // Pass 1: resolve every unique index's prefix product, cache-first,
+        // decoding each unique product (once per unique, not per lookup)
+        // into the recycled arena.
         let prefix_width = table.level_width(d - 2);
         let rows_per_prefix = prefix_width / cores.ranks[d - 1];
-        let mut rows = vec![0.0f32; uniques.len() * n];
         let slice_last = cores.slice_len(d - 1);
+        // The product is snapshotted into the arena at resolution time
+        // because a later admit in the same batch may evict this slot (the
+        // clock hand does not know about in-flight resolutions).
+        self.dequant_arena.resize(uniques.len() * prefix_width, 0.0);
         for (slot, &value) in uniques.values.iter().enumerate() {
             let prefix = value / m_last;
-            let digit_last = (value % m_last) as usize;
             let cached = match self.map.get(&prefix) {
                 Some(&s) => {
                     self.hits += 1;
@@ -136,29 +246,34 @@ impl<'a> TtInferenceSession<'a> {
                     self.admit(prefix)
                 }
             };
-            // row = P_{d-1} (rows_per_prefix x R_{d-1}) * G_d[digit]
-            gemm_nn(
-                rows_per_prefix,
-                cores.col_dims[d - 1],
-                cores.ranks[d - 1],
-                1.0,
-                &self.slots[cached].product,
-                &cores.cores[d - 1][digit_last * slice_last..(digit_last + 1) * slice_last],
-                0.0,
-                &mut rows[slot * n..(slot + 1) * n],
-            );
+            self.slots[cached]
+                .product
+                .dequantize_into(&mut self.dequant_arena[slot * prefix_width..][..prefix_width]);
         }
 
-        // Pooling, identical to the training kernel.
+        // Pass 2: pooling fused into the final chain GEMM — each lookup's
+        // `P_{d-1} (rows_per_prefix x R_{d-1}) * G_d[digit]` accumulates
+        // (beta = 1) straight into its sample's output row, so the
+        // `(uniques x dim)` row matrix of the former two-phase schedule is
+        // never materialized.
         let mut out = Matrix::zeros(plan.batch_size, n);
         for s in 0..plan.batch_size {
             let dst = out.row_mut(s);
             let lo = plan.sample_offsets[s] as usize;
             let hi = plan.sample_offsets[s + 1] as usize;
             for &slot in &plan.lookup_slot[lo..hi] {
-                for (dv, rv) in dst.iter_mut().zip(&rows[slot as usize * n..]) {
-                    *dv += rv;
-                }
+                let slot = slot as usize;
+                let digit_last = (uniques.values[slot] % m_last) as usize;
+                gemm_nn(
+                    rows_per_prefix,
+                    cores.col_dims[d - 1],
+                    cores.ranks[d - 1],
+                    1.0,
+                    &self.dequant_arena[slot * prefix_width..][..prefix_width],
+                    &cores.cores[d - 1][digit_last * slice_last..(digit_last + 1) * slice_last],
+                    1.0,
+                    dst,
+                );
             }
         }
         out
@@ -172,7 +287,11 @@ impl<'a> TtInferenceSession<'a> {
             // New entries start unreferenced: they must be touched again
             // before the hand returns or they are the next to go, which is
             // what keeps one-shot cold prefixes from displacing hot ones.
-            self.slots.push(Slot { prefix, product: Vec::new(), referenced: false });
+            self.slots.push(Slot {
+                prefix,
+                product: ProductStore::empty(self.precision),
+                referenced: false,
+            });
             self.slots.len() - 1
         } else {
             // Second chance: skip referenced slots (clearing their bit) so
@@ -195,10 +314,10 @@ impl<'a> TtInferenceSession<'a> {
             self.slots[idx].referenced = false;
             idx
         };
-        // Move the product into the slot's recycled buffer.
+        // Encode the product into the slot's recycled buffer, in the
+        // session's storage precision.
         let slot = &mut self.slots[idx];
-        slot.product.clear();
-        slot.product.extend_from_slice(&self.chain_ping);
+        slot.product.store(&self.chain_ping);
         self.map.insert(prefix, idx as u32);
         idx
     }
@@ -266,6 +385,66 @@ mod tests {
         assert!(cold.max_abs_diff(&want) < 1e-5);
         assert!(warm.max_abs_diff(&want) < 1e-5);
         assert!(session.hits > 0, "second pass must hit the cache");
+    }
+
+    #[test]
+    fn bf16_session_divergence_is_bounded() {
+        let t = table(500, 9);
+        let mut ws = TtWorkspace::new();
+        let mut session = TtInferenceSession::with_precision(&t, 64, InferencePrecision::Bf16);
+        assert_eq!(session.precision(), InferencePrecision::Bf16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for _ in 0..5 {
+            let indices: Vec<u32> = (0..40).map(|_| rng.gen_range(0..500)).collect();
+            let offsets: Vec<u32> = (0..=10).map(|s| s * 4).collect();
+            let want = t.forward(&indices, &offsets, &mut ws);
+            let got = session.lookup(&indices, &offsets);
+            let scale = want.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            assert!(
+                got.max_abs_diff(&want) < 0.02 * scale,
+                "bf16 diverged by {} (scale {scale})",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn int8_session_divergence_is_bounded() {
+        let t = table(500, 11);
+        let mut ws = TtWorkspace::new();
+        let mut session = TtInferenceSession::with_precision(&t, 64, InferencePrecision::Int8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..5 {
+            let indices: Vec<u32> = (0..40).map(|_| rng.gen_range(0..500)).collect();
+            let offsets: Vec<u32> = (0..=10).map(|s| s * 4).collect();
+            let want = t.forward(&indices, &offsets, &mut ws);
+            let got = session.lookup(&indices, &offsets);
+            let scale = want.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            assert!(
+                got.max_abs_diff(&want) < 0.05 * scale,
+                "int8 diverged by {} (scale {scale})",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_sessions_shrink_the_cache_footprint() {
+        let t = table(2_000, 13);
+        let indices: Vec<u32> = (0..256).collect();
+        let offsets: Vec<u32> = (0..=256u32).collect();
+        let foot = |precision| {
+            let mut s = TtInferenceSession::with_precision(&t, 1024, precision);
+            let _ = s.lookup(&indices, &offsets);
+            (s.footprint_bytes(), s.len())
+        };
+        let (f32b, n32) = foot(InferencePrecision::F32);
+        let (bf16b, n16) = foot(InferencePrecision::Bf16);
+        let (int8b, n8) = foot(InferencePrecision::Int8);
+        assert_eq!(n32, n16);
+        assert_eq!(n32, n8);
+        assert!(bf16b < f32b, "bf16 cache {bf16b} should be smaller than f32 {f32b}");
+        assert!(int8b < bf16b, "int8 cache {int8b} should be smaller than bf16 {bf16b}");
     }
 
     #[test]

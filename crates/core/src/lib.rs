@@ -48,13 +48,15 @@ pub mod forward;
 pub mod inference;
 pub mod plan;
 pub mod prefetch;
+pub mod quantized;
 pub mod timing;
 
 pub use bag::{ReuseStats, TtEmbeddingBag, TtWorkspace};
 pub use config::{BackwardStrategy, ForwardStrategy, TtConfig, TtOptions};
-pub use inference::TtInferenceSession;
+pub use inference::{InferencePrecision, TtInferenceSession};
 pub use plan::{Csr, Level, LookupPlan, PAR_BUILD_CUTOFF};
 pub use prefetch::PlanPrefetcher;
+pub use quantized::{Bf16EmbeddingBag, QuantizedEmbeddingBag};
 pub use timing::{set_timing_enabled, StageTimers};
 
 #[cfg(test)]

@@ -90,6 +90,64 @@ proptest! {
         }
     }
 
+    /// The fused pooled-lookup+GEMM path matches the materialize-then-pool
+    /// path on arbitrary shapes, strategies, and batches.
+    #[test]
+    fn fused_pooling_matches_materialized_pooling(
+        (config, seed) in arb_config().prop_flat_map(|c| (Just(c), 0u64..1000)),
+        (indices, offsets) in arb_batch(1_000_000),
+        naive in proptest::bool::ANY,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let plain = TtEmbeddingBag::new(&config, &mut rng).with_options(TtOptions {
+            forward: if naive { ForwardStrategy::Naive } else { ForwardStrategy::Reuse },
+            ..TtOptions::default()
+        });
+        let fused = TtEmbeddingBag::from_cores(plain.cores().clone(), config.num_rows)
+            .with_options(TtOptions { fused_pooling: true, ..plain.options.clone() });
+        let indices: Vec<u32> =
+            indices.iter().map(|&i| i % config.num_rows as u32).collect();
+
+        let mut ws = TtWorkspace::new();
+        let a = plain.forward(&indices, &offsets, &mut ws);
+        let b = fused.forward(&indices, &offsets, &mut ws);
+        prop_assert!(
+            a.max_abs_diff(&b) < 1e-4,
+            "fused pooling diverged by {}", a.max_abs_diff(&b)
+        );
+    }
+
+    /// Quantized inference sessions diverge from the f32 forward by a
+    /// bounded amount on arbitrary shapes and batches: bf16 within 2% and
+    /// int8 within 6% of the output magnitude.
+    #[test]
+    fn quantized_inference_divergence_is_bounded(
+        (config, seed) in arb_config().prop_flat_map(|c| (Just(c), 0u64..1000)),
+        (indices, offsets) in arb_batch(1_000_000),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let table = TtEmbeddingBag::new(&config, &mut rng);
+        let indices: Vec<u32> =
+            indices.iter().map(|&i| i % config.num_rows as u32).collect();
+
+        let mut ws = TtWorkspace::new();
+        let want = table.forward(&indices, &offsets, &mut ws);
+        let scale = want.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (precision, tol) in [
+            (crate::inference::InferencePrecision::F32, 1e-5),
+            (crate::inference::InferencePrecision::Bf16, 0.02),
+            (crate::inference::InferencePrecision::Int8, 0.06),
+        ] {
+            let mut session =
+                crate::inference::TtInferenceSession::with_precision(&table, 32, precision);
+            let got = session.lookup(&indices, &offsets);
+            prop_assert!(
+                got.max_abs_diff(&want) < tol * scale,
+                "{precision:?} diverged by {} (scale {scale})", got.max_abs_diff(&want)
+            );
+        }
+    }
+
     /// Aggregated and per-lookup backward produce matching gradients on
     /// arbitrary batches.
     #[test]

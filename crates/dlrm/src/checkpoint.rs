@@ -149,6 +149,10 @@ pub enum TableCheckpoint {
         /// Embedding dimension.
         dim: usize,
     },
+    /// int8-quantized table (codes plus per-row affine parameters).
+    Quantized(el_core::quantized::QuantizedEmbeddingBag),
+    /// bfloat16-storage table.
+    Bf16(el_core::quantized::Bf16EmbeddingBag),
 }
 
 /// Serializable snapshot of a whole model.
@@ -194,6 +198,8 @@ impl DlrmCheckpoint {
                     options: bag.options.clone(),
                 },
                 EmbeddingLayer::Hosted { dim } => TableCheckpoint::Hosted { dim: *dim },
+                EmbeddingLayer::Quantized(bag) => TableCheckpoint::Quantized(bag.clone()),
+                EmbeddingLayer::Bf16(bag) => TableCheckpoint::Bf16(bag.clone()),
             })
             .collect();
         let mut opt_states = model.opt_states().cloned();
@@ -237,6 +243,8 @@ impl DlrmCheckpoint {
                     TtWorkspace::new(),
                 ),
                 TableCheckpoint::Hosted { dim } => EmbeddingLayer::Hosted { dim },
+                TableCheckpoint::Quantized(bag) => EmbeddingLayer::Quantized(bag),
+                TableCheckpoint::Bf16(bag) => EmbeddingLayer::Bf16(bag),
             })
             .collect();
         if matches!(self.optimizer, OptimizerKind::Adagrad { .. }) && self.opt_states.is_none() {
@@ -399,6 +407,26 @@ mod tests {
             }
             other => panic!("expected a version error, got {:?}", other.map(|_| "a model")),
         }
+    }
+
+    #[test]
+    fn low_bit_tables_round_trip() {
+        let (mut model, ds) = trained_model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        model.tables[0] = EmbeddingLayer::Quantized(
+            el_core::quantized::QuantizedEmbeddingBag::new(1500, 8, 0.1, &mut rng),
+        );
+        model.tables[2] =
+            EmbeddingLayer::Bf16(el_core::quantized::Bf16EmbeddingBag::new(1500, 8, 0.1, &mut rng));
+        let batch = ds.batch(3, 32);
+        let want = model.predict(&batch);
+        let bytes = DlrmCheckpoint::capture(&model).to_bytes();
+        let mut restored =
+            DlrmCheckpoint::from_bytes(&bytes).expect("parse").restore().expect("restore");
+        assert!(matches!(restored.tables[0], EmbeddingLayer::Quantized(_)));
+        assert!(matches!(restored.tables[2], EmbeddingLayer::Bf16(_)));
+        let got = restored.predict(&batch);
+        assert_eq!(want, got, "low-bit tables must restore bit-exactly");
     }
 
     #[test]

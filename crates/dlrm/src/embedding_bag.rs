@@ -200,6 +200,28 @@ mod tests {
     }
 
     #[test]
+    fn tiny_interior_updates_vanish_under_int8_but_not_f32() {
+        // The §I claim in miniature: an update far below the quantization
+        // step on an *interior* coordinate (row min/max unchanged, so the
+        // affine parameters stay put) is lost by int8 round-tripping; full
+        // f32 storage retains it. This is the mechanism behind quantized
+        // training's accuracy erosion. Lives here (not in el_core's
+        // quantized module) because the f32 side is this crate's dense bag.
+        let dense = Matrix::from_vec(1, 4, vec![-0.5, 0.1, 0.2, 0.5]);
+        let mut q = el_core::quantized::QuantizedEmbeddingBag::from_dense(&dense);
+        let mut f = EmbeddingBag { weight: dense.clone() };
+        let grad = Matrix::from_vec(1, 4, vec![0.0, 1e-5, 0.0, 0.0]);
+        let q_before = q.forward(&[0], &[0, 1]);
+        let f_before = f.forward(&[0], &[0, 1]);
+        q.backward_sgd(&[0], &[0, 1], &grad, 0.1);
+        f.backward_sgd(&[0], &[0, 1], &grad, 0.1);
+        let q_delta = q.forward(&[0], &[0, 1]).max_abs_diff(&q_before);
+        let f_delta = f.forward(&[0], &[0, 1]).max_abs_diff(&f_before);
+        assert_eq!(q_delta, 0.0, "int8 should swallow a sub-step interior update");
+        assert!(f_delta > 0.0, "f32 retains it");
+    }
+
+    #[test]
     fn gather_scatter_round_trip() {
         let mut b = bag();
         let rows = b.gather_rows(&[1, 8]);

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod optim;
-pub mod quantized;
+pub use el_core::quantized;
 
 pub use checkpoint::DlrmCheckpoint;
 pub use embedding_bag::EmbeddingBag;

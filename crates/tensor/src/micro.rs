@@ -1,4 +1,5 @@
-//! Register-blocked packed GEMM micro-kernel (BLIS-style).
+//! Register-blocked packed GEMM micro-kernel (BLIS-style) with a runtime
+//! kernel registry.
 //!
 //! The axpy kernel in [`crate::gemm`] streams `B` straight from memory and
 //! re-reads every `C` row once per `k`-block; past roughly 128³ it is bound
@@ -9,13 +10,23 @@
 //!   the micro-kernel reads it as one contiguous stream;
 //! * `B` is packed into **column panels** of [`NR`] columns, row-interleaved
 //!   the same way;
-//! * the inner [`MR`]`x`[`NR`] tile lives entirely in registers as a
-//!   fixed-size array accumulator that LLVM keeps in vector registers and —
-//!   under the AVX2+FMA feature gate — lowers to FMA instructions.
+//! * the inner [`MR`]`x`[`NR`] tile lives entirely in registers.
+//!
+//! The register tile itself is provided by one of several interchangeable
+//! micro-kernels (the [`Kernel`] registry, DESIGN.md §2.2): a portable
+//! scalar form, an auto-vectorized FMA form, and hand-written AVX2 /
+//! AVX-512 / NEON intrinsics kernels. Dispatch is decided once per GEMM
+//! from runtime CPU detection, overridable via the `EL_KERNEL` environment
+//! variable (`portable|autovec|avx2|avx512|neon`), the legacy
+//! `EL_FORCE_PORTABLE` escape hatch, or the [`set_kernel`] test hook.
 //!
 //! Packing is parameterized by row/column **strides** ([`Layout`]), so a
 //! transposed operand costs nothing extra: the transpose is absorbed while
-//! packing instead of being materialized into a scratch matrix.
+//! packing instead of being materialized into a scratch matrix. The
+//! summed-A variant ([`pack_a_sum`]) goes one step further and folds a
+//! *sum of blocks* — addressed by caller-supplied arena offsets, e.g. the
+//! CSR slot lists of a lookup plan — into the panels while packing, so a
+//! pooled operand is never materialized outside the pack buffer.
 //!
 //! Cache blocking follows BLIS: `KC x NR` slivers of packed `B` stream from
 //! L1, the `MC x KC` packed `A` block sits in L2, and the `KC x NC` packed
@@ -23,6 +34,7 @@
 //! steady-state hot path performs no heap allocation.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Rows per A panel / micro-tile. With `NR = 16` (two AVX2 vectors) the
 /// accumulator needs `6 x 2 = 12` vector registers, leaving room for two
@@ -79,6 +91,9 @@ thread_local! {
     // closure, so it must not be shared with the per-call `A_PACK` that
     // `gemm_packed` borrows internally.
     static A_SHARED_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Same story for `with_packed_a_sum` (the fused-pooling loader), which
+    // may run inside code that also uses `with_packed_a`.
+    static A_SUM_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Grow-only resize: reuses capacity, never shrinks, and only zero-fills
@@ -116,6 +131,40 @@ fn pack_a(a: &[f32], la: Layout, i0: usize, mc: usize, p0: usize, kc: usize, buf
     }
 }
 
+/// Packs the elementwise **sum** of several row-major `m x k` blocks of
+/// `arena` (block `b` starting at `offsets[b]`) into MR-row panels with the
+/// exact layout of `pack_a`.
+///
+/// This is the fused-pooling A-panel loader: the offsets come straight from
+/// a lookup plan's CSR slot lists, so the pooled operand (the sum of
+/// per-lookup TT partial products) is consumed here and never materialized
+/// outside the pack buffer.
+pub fn pack_a_sum(arena: &[f32], offsets: &[usize], m: usize, k: usize, buf: &mut [f32]) {
+    for &off in offsets {
+        assert!(off + m * k <= arena.len(), "summed A block escapes its arena");
+    }
+    let mut dst = 0;
+    let mut ir = 0;
+    while ir < m {
+        let mr = MR.min(m - ir);
+        for p in 0..k {
+            for i in 0..mr {
+                let idx = (ir + i) * k + p;
+                let mut acc = 0.0f32;
+                for &off in offsets {
+                    acc += arena[off + idx];
+                }
+                buf[dst + i] = acc;
+            }
+            for i in mr..MR {
+                buf[dst + i] = 0.0;
+            }
+            dst += MR;
+        }
+        ir += MR;
+    }
+}
+
 /// Packs the `kc x nc` block of `B` starting at `(p0, j0)` into NR-column
 /// panels: panel `pj` holds columns `j0 + pj*NR ..`, stored row by row
 /// (`buf[pj*NR*kc + p*NR + j]`), zero-padded on the column tail.
@@ -140,6 +189,10 @@ fn pack_b(b: &[f32], lb: Layout, p0: usize, kc: usize, j0: usize, nc: usize, buf
     }
 }
 
+// ---------------------------------------------------------------------------
+// Micro-kernel implementations
+// ---------------------------------------------------------------------------
+
 /// The register tile: `acc[i][j] += A_panel[p][i] * B_panel[p][j]` over the
 /// packed `kc` depth. `FMA` selects `mul_add` (a single vfmadd under the
 /// AVX2+FMA target feature) versus the portable mul-then-add form — calling
@@ -158,7 +211,9 @@ fn ukr_body<const FMA: bool>(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; N
     }
 }
 
-/// AVX2+FMA monomorphization of the micro-kernel.
+/// AVX2+FMA monomorphization of the scalar micro-kernel body — the
+/// "autovec" registry tier, kept as a baseline the hand-written kernels
+/// must beat.
 ///
 /// # Safety
 /// The caller must have verified AVX2 and FMA support at runtime.
@@ -174,105 +229,439 @@ fn ukr_portable(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     ukr_body::<false>(kc, a, b, acc);
 }
 
-/// Portable-kernel override state: 0 = consult `EL_FORCE_PORTABLE` (once),
-/// 1 = forced portable, 2 = hardware dispatch allowed.
-static FORCE_PORTABLE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
-
-/// True when kernel dispatch must ignore hardware FMA and use the portable
-/// micro-kernel.
+/// Hand-written AVX2+FMA micro-kernel: the `MR x NR` tile held in twelve
+/// `__m256` accumulators, one broadcast + two FMAs per (row, depth) step,
+/// depth loop unrolled by four.
 ///
-/// Controlled three ways, in priority order:
-/// 1. [`set_force_portable`] (test hook) — explicit `true`/`false` wins;
-/// 2. under Miri the portable kernel is always used, so the interpreter
-///    never executes `#[target_feature]` code its host may not model;
-/// 3. the `EL_FORCE_PORTABLE` environment variable (`1`/`true`/`yes`,
-///    consulted once): the production escape hatch, and how the analysis
-///    harness pins the packing + pointer-arithmetic paths onto code Miri
-///    can check.
-pub fn force_portable() -> bool {
-    use std::sync::atomic::Ordering;
-    if cfg!(miri) {
-        return true;
-    }
-    match FORCE_PORTABLE.load(Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => {
-            let on = std::env::var("EL_FORCE_PORTABLE")
-                .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
-                .unwrap_or(false);
-            FORCE_PORTABLE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
-            on
+/// Per-element arithmetic (one fused multiply-add per accumulation, depth
+/// ascending) is identical to [`ukr_fma`], so the two produce bit-equal
+/// tiles; only the instruction schedule differs.
+///
+/// # Safety
+/// The caller must have verified AVX2 and FMA support at runtime
+/// (`is_x86_feature_detected!`) before calling; in-bounds access is
+/// guaranteed by the panel-length assert on entry.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn ukr_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    assert!(a.len() >= kc * MR && b.len() >= kc * NR, "packed panel shorter than kc");
+    // SAFETY: every load/store below stays in bounds — `a[p*MR + i]` with
+    // `p < kc`, `i < MR` and the 8-wide loads at `b[p*NR]`/`b[p*NR + 8]`
+    // with `NR == 16` are covered by the length assert above; `acc` rows
+    // are `[f32; NR]` so the two 8-wide spills per row fit exactly. The
+    // AVX2/FMA instructions themselves are available per this function's
+    // caller contract.
+    unsafe {
+        let mut t: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        for (i, row) in acc.iter().enumerate() {
+            t[i][0] = _mm256_loadu_ps(row.as_ptr());
+            t[i][1] = _mm256_loadu_ps(row.as_ptr().add(8));
+        }
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        macro_rules! step {
+            ($p:expr) => {{
+                let p = $p;
+                let b0 = _mm256_loadu_ps(bp.add(p * NR));
+                let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+                for (i, tr) in t.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(p * MR + i));
+                    tr[0] = _mm256_fmadd_ps(av, b0, tr[0]);
+                    tr[1] = _mm256_fmadd_ps(av, b1, tr[1]);
+                }
+            }};
+        }
+        let mut p = 0;
+        while p + 4 <= kc {
+            step!(p);
+            step!(p + 1);
+            step!(p + 2);
+            step!(p + 3);
+            p += 4;
+        }
+        while p < kc {
+            step!(p);
+            p += 1;
+        }
+        for (i, row) in acc.iter_mut().enumerate() {
+            _mm256_storeu_ps(row.as_mut_ptr(), t[i][0]);
+            _mm256_storeu_ps(row.as_mut_ptr().add(8), t[i][1]);
         }
     }
 }
 
-/// Test hook overriding the `EL_FORCE_PORTABLE` decision (process-global).
-/// `Some(true)` forces the portable kernel, `Some(false)` re-enables
-/// hardware dispatch, `None` re-reads the environment on next use. Both
-/// kernels compute identical results, so flipping this concurrently with
-/// running GEMMs is benign.
-pub fn set_force_portable(on: Option<bool>) {
-    use std::sync::atomic::Ordering;
-    FORCE_PORTABLE.store(
-        match on {
-            Some(true) => 1,
-            Some(false) => 2,
-            None => 0,
-        },
-        Ordering::Relaxed,
-    );
-}
+/// Hand-written AVX-512F micro-kernel: one 16-lane `__m512` accumulator per
+/// tile row (`NR == 16`), so the whole `MR x NR` tile is six zmm registers
+/// and each depth step is one broadcast + one FMA per row.
+///
+/// Same per-element arithmetic as `ukr_fma`/`ukr_avx2` (bit-equal
+/// results); never auto-selected — see [`Kernel::Avx512`].
+///
+/// # Safety
+/// The caller must have verified AVX-512F support at runtime
+/// (`is_x86_feature_detected!`) before calling; in-bounds access is
+/// guaranteed by the panel-length assert on entry.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_avx512(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
 
-/// Name of the micro-kernel the current dispatch decision selects — for
-/// logs and tests asserting the override took effect.
-pub fn active_kernel() -> &'static str {
-    if use_fma() {
-        "avx2+fma"
-    } else {
-        "portable"
+    assert!(a.len() >= kc * MR && b.len() >= kc * NR, "packed panel shorter than kc");
+    // SAFETY: the 16-wide loads at `b[p*NR]` (`NR == 16`) and scalar reads
+    // `a[p*MR + i]` with `p < kc`, `i < MR` are covered by the length
+    // assert above, and each `acc` row is exactly one 16-lane spill. The
+    // AVX-512F instructions are available per this function's caller
+    // contract.
+    unsafe {
+        let mut t: [__m512; MR] = [_mm512_setzero_ps(); MR];
+        for (i, row) in acc.iter().enumerate() {
+            t[i] = _mm512_loadu_ps(row.as_ptr());
+        }
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        macro_rules! step {
+            ($p:expr) => {{
+                let p = $p;
+                let bv = _mm512_loadu_ps(bp.add(p * NR));
+                for (i, tr) in t.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add(p * MR + i));
+                    *tr = _mm512_fmadd_ps(av, bv, *tr);
+                }
+            }};
+        }
+        let mut p = 0;
+        while p + 4 <= kc {
+            step!(p);
+            step!(p + 1);
+            step!(p + 2);
+            step!(p + 3);
+            p += 4;
+        }
+        while p < kc {
+            step!(p);
+            p += 1;
+        }
+        for (i, row) in acc.iter_mut().enumerate() {
+            _mm512_storeu_ps(row.as_mut_ptr(), t[i]);
+        }
     }
 }
 
-/// One-time runtime dispatch: true when the AVX2+FMA micro-kernel is safe
-/// to call on this machine (and no portable override is active).
-fn use_fma() -> bool {
-    if force_portable() {
-        return false;
-    }
-    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-    {
-        use std::sync::atomic::{AtomicU8, Ordering};
-        static STATE: AtomicU8 = AtomicU8::new(0);
-        match STATE.load(Ordering::Relaxed) {
-            1 => true,
-            2 => false,
-            _ => {
-                let ok =
-                    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
-                STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
-                ok
+/// Hand-written NEON micro-kernel for aarch64: four 4-lane `float32x4_t`
+/// vectors per tile row (24 q-registers of accumulator out of 32), one
+/// broadcast + four FMAs per (row, depth) step.
+///
+/// Same per-element arithmetic as the other FMA-contracted kernels
+/// (`vfmaq_f32` is fused), so results are bit-equal to [`ukr_fma`].
+///
+/// # Safety
+/// The caller must only dispatch this on aarch64, where NEON is a baseline
+/// target feature; in-bounds access is guaranteed by the panel-length
+/// assert on entry.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn ukr_neon(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use core::arch::aarch64::*;
+
+    assert!(a.len() >= kc * MR && b.len() >= kc * NR, "packed panel shorter than kc");
+    // SAFETY: the four 4-wide loads per depth step at `b[p*NR + 4h]`
+    // (`NR == 16`, `h < 4`) and scalar reads `a[p*MR + i]` with `p < kc`,
+    // `i < MR` are covered by the length assert above; each `acc` row takes
+    // exactly four 4-lane spills. NEON is a baseline aarch64 feature per
+    // this function's caller contract.
+    unsafe {
+        let mut t: [[float32x4_t; 4]; MR] = [[vdupq_n_f32(0.0); 4]; MR];
+        for (i, row) in acc.iter().enumerate() {
+            for (h, lane) in t[i].iter_mut().enumerate() {
+                *lane = vld1q_f32(row.as_ptr().add(4 * h));
+            }
+        }
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for p in 0..kc {
+            let b0 = vld1q_f32(bp.add(p * NR));
+            let b1 = vld1q_f32(bp.add(p * NR + 4));
+            let b2 = vld1q_f32(bp.add(p * NR + 8));
+            let b3 = vld1q_f32(bp.add(p * NR + 12));
+            for (i, tr) in t.iter_mut().enumerate() {
+                let av = vdupq_n_f32(*ap.add(p * MR + i));
+                tr[0] = vfmaq_f32(tr[0], av, b0);
+                tr[1] = vfmaq_f32(tr[1], av, b1);
+                tr[2] = vfmaq_f32(tr[2], av, b2);
+                tr[3] = vfmaq_f32(tr[3], av, b3);
+            }
+        }
+        for (i, row) in acc.iter_mut().enumerate() {
+            for (h, lane) in t[i].iter().enumerate() {
+                vst1q_f32(row.as_mut_ptr().add(4 * h), *lane);
             }
         }
     }
-    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+}
+
+// ---------------------------------------------------------------------------
+// Kernel registry & dispatch
+// ---------------------------------------------------------------------------
+
+/// The selectable micro-kernel implementations (DESIGN.md §2.2).
+///
+/// Discriminant values double as the wire encoding of the dispatch atomics
+/// (0 and 1 are reserved for "no override" / "auto-detect forced").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kernel {
+    /// Scalar mul-then-add body, baseline target features only. The one
+    /// kernel every platform (and Miri) can run.
+    Portable = 2,
+    /// The scalar body compiled under AVX2+FMA and auto-vectorized by LLVM
+    /// — the previous default "fast" tier, kept as the yardstick the
+    /// hand-written kernels must beat.
+    Autovec = 3,
+    /// Hand-written AVX2+FMA intrinsics kernel (`ukr_avx2`).
+    Avx2 = 4,
+    /// Hand-written AVX-512F intrinsics kernel. Opt-in only (`EL_KERNEL=
+    /// avx512` or [`set_kernel`]): license-based downclocking can make
+    /// 512-bit vectors a net loss on mixed workloads, so auto-detection
+    /// never selects it.
+    Avx512 = 5,
+    /// Hand-written NEON intrinsics kernel, auto-selected on aarch64.
+    Neon = 6,
+}
+
+impl Kernel {
+    /// Every registry entry, in override-name order.
+    pub const ALL: [Kernel; 5] =
+        [Kernel::Portable, Kernel::Autovec, Kernel::Avx2, Kernel::Avx512, Kernel::Neon];
+
+    /// The provenance / `EL_KERNEL` name of this kernel.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Portable => "portable",
+            Kernel::Autovec => "autovec+fma",
+            Kernel::Avx2 => "avx2",
+            Kernel::Avx512 => "avx512",
+            Kernel::Neon => "neon",
+        }
+    }
+
+    /// Parses an `EL_KERNEL` value (the provenance spelling `autovec+fma`
+    /// is accepted alongside the short form).
+    pub fn from_name(s: &str) -> Option<Kernel> {
+        match s {
+            "portable" => Some(Kernel::Portable),
+            "autovec" | "autovec+fma" => Some(Kernel::Autovec),
+            "avx2" => Some(Kernel::Avx2),
+            "avx512" => Some(Kernel::Avx512),
+            "neon" => Some(Kernel::Neon),
+            _ => None,
+        }
+    }
+
+    /// True when this kernel's CPU-feature contract holds on the running
+    /// machine, i.e. dispatching it is sound.
+    pub fn supported(self) -> bool {
+        match self {
+            Kernel::Portable => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            Kernel::Autovec | Kernel::Avx2 => {
+                std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+            }
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            Kernel::Avx512 => std::is_x86_feature_detected!("avx512f"),
+            Kernel::Neon => cfg!(target_arch = "aarch64"),
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            Kernel::Autovec | Kernel::Avx2 | Kernel::Avx512 => false,
+        }
+    }
+}
+
+/// Kernel-override state: 0 = none (consult the environment, cached in
+/// [`ENV_KERNEL`]), 1 = auto-detection forced (ignore the environment),
+/// otherwise the discriminant of the forced [`Kernel`].
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// Cached environment decision: 0 = not yet resolved, otherwise a
+/// [`Kernel`] discriminant.
+static ENV_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+fn decode(v: u8) -> Kernel {
+    match v {
+        3 => Kernel::Autovec,
+        4 => Kernel::Avx2,
+        5 => Kernel::Avx512,
+        6 => Kernel::Neon,
+        _ => Kernel::Portable,
+    }
+}
+
+/// The micro-kernel the current dispatch decision selects.
+///
+/// Priority order:
+/// 1. under Miri the portable kernel is always used, so the interpreter
+///    never executes `#[target_feature]` code its host may not model;
+/// 2. the [`set_kernel`] / [`set_force_portable`] test hooks;
+/// 3. the `EL_KERNEL` environment variable (consulted once) — an unknown
+///    or unsupported-on-this-host value falls back to auto-detection, so a
+///    shared CI matrix can set it unconditionally;
+/// 4. `EL_FORCE_PORTABLE` (`1`/`true`/`yes`, consulted once): the legacy
+///    escape hatch, and how the analysis harness pins the packing +
+///    pointer-arithmetic paths onto code Miri can check;
+/// 5. auto-detection: the fastest hand-written kernel whose CPU-feature
+///    contract holds (AVX2 on x86 with AVX2+FMA, NEON on aarch64),
+///    otherwise portable. AVX-512 is never auto-selected.
+pub fn selected_kernel() -> Kernel {
+    if cfg!(miri) {
+        return Kernel::Portable;
+    }
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_kernel(),
+        1 => auto_kernel(),
+        v => decode(v),
+    }
+}
+
+fn env_kernel() -> Kernel {
+    match ENV_KERNEL.load(Ordering::Relaxed) {
+        0 => {
+            let k = resolve_env_kernel();
+            ENV_KERNEL.store(k as u8, Ordering::Relaxed);
+            k
+        }
+        v => decode(v),
+    }
+}
+
+fn resolve_env_kernel() -> Kernel {
+    if let Ok(v) = std::env::var("EL_KERNEL") {
+        if let Some(k) = Kernel::from_name(v.trim()) {
+            if k.supported() {
+                return k;
+            }
+        }
+    }
+    if std::env::var("EL_FORCE_PORTABLE")
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+        .unwrap_or(false)
     {
-        false
+        return Kernel::Portable;
+    }
+    auto_kernel()
+}
+
+fn auto_kernel() -> Kernel {
+    if Kernel::Avx2.supported() {
+        return Kernel::Avx2;
+    }
+    if Kernel::Neon.supported() {
+        return Kernel::Neon;
+    }
+    Kernel::Portable
+}
+
+/// Test/bench hook pinning kernel dispatch to `kernel` (process-global), or
+/// — with `None` — clearing every override *and* the cached `EL_KERNEL` /
+/// `EL_FORCE_PORTABLE` decision so the environment is re-read on next use.
+///
+/// Panics when the requested kernel's CPU-feature contract does not hold on
+/// this machine: the hook exists for tests and benches, which must skip
+/// unsupported variants rather than silently measure a fallback. All
+/// kernels compute identical results (within FMA-contraction rounding), so
+/// flipping the hook concurrently with running GEMMs is benign.
+pub fn set_kernel(kernel: Option<Kernel>) {
+    match kernel {
+        Some(k) => {
+            assert!(k.supported(), "kernel `{}` is not supported on this host", k.name());
+            KERNEL_OVERRIDE.store(k as u8, Ordering::Relaxed);
+        }
+        None => {
+            KERNEL_OVERRIDE.store(0, Ordering::Relaxed);
+            ENV_KERNEL.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// True when kernel dispatch currently resolves to the portable kernel.
+pub fn force_portable() -> bool {
+    selected_kernel() == Kernel::Portable
+}
+
+/// Legacy test hook predating the [`Kernel`] registry, kept because the
+/// analysis harness and older tests use it: `Some(true)` forces the
+/// portable kernel, `Some(false)` forces auto-detection (hardware
+/// dispatch), `None` re-reads the environment on next use.
+pub fn set_force_portable(on: Option<bool>) {
+    match on {
+        Some(true) => KERNEL_OVERRIDE.store(Kernel::Portable as u8, Ordering::Relaxed),
+        Some(false) => KERNEL_OVERRIDE.store(1, Ordering::Relaxed),
+        None => set_kernel(None),
+    }
+}
+
+/// Name of the micro-kernel the current dispatch decision selects — for
+/// logs, benchmark provenance, and tests asserting an override took
+/// effect.
+pub fn active_kernel() -> &'static str {
+    selected_kernel().name()
+}
+
+/// Comma-separated list of the SIMD CPU features detected at runtime on
+/// this machine — recorded as provenance next to benchmark numbers.
+pub fn cpu_features() -> String {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        let mut out = Vec::new();
+        for (name, on) in [
+            ("avx2", std::is_x86_feature_detected!("avx2")),
+            ("fma", std::is_x86_feature_detected!("fma")),
+            ("avx512f", std::is_x86_feature_detected!("avx512f")),
+        ] {
+            if on {
+                out.push(name);
+            }
+        }
+        out.join(",")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon".to_string()
+    }
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        String::new()
     }
 }
 
 #[inline]
-fn run_ukr(fma: bool, kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
-    if fma {
-        // SAFETY: `fma` is only true when use_fma() detected AVX2+FMA.
+fn run_ukr(kern: Kernel, kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    match kern {
+        Kernel::Portable => ukr_portable(kc, a, b, acc),
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-        unsafe {
-            ukr_fma(kc, a, b, acc);
-        }
-        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
-        ukr_portable(kc, a, b, acc);
-    } else {
-        ukr_portable(kc, a, b, acc);
+        // SAFETY: dispatch only yields Autovec after `Kernel::supported`
+        // verified AVX2+FMA at runtime (set_kernel asserts it; env/auto
+        // selection checks it), meeting ukr_fma's caller contract.
+        Kernel::Autovec => unsafe { ukr_fma(kc, a, b, acc) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above — Avx2 is only selectable after runtime
+        // detection of AVX2+FMA.
+        Kernel::Avx2 => unsafe { ukr_avx2(kc, a, b, acc) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: Avx512 is only selectable after runtime detection of
+        // AVX-512F (it is never auto-selected).
+        Kernel::Avx512 => unsafe { ukr_avx512(kc, a, b, acc) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon is only selectable on aarch64, where NEON is a
+        // baseline feature of the target.
+        Kernel::Neon => unsafe { ukr_neon(kc, a, b, acc) },
+        // A kernel compiled out on this target (cross-arch names that slip
+        // past the supported() gates) degrades to the portable tile.
+        _ => ukr_portable(kc, a, b, acc),
     }
 }
 
@@ -348,7 +737,7 @@ pub fn gemm_packed(
         scale_c(beta, c);
         return;
     }
-    let fma = use_fma();
+    let kern = selected_kernel();
     A_PACK.with(|ac| {
         B_PACK.with(|bc| {
             let a_buf = &mut *ac.borrow_mut();
@@ -385,7 +774,7 @@ pub fn gemm_packed(
                             n,
                             ic,
                             jc,
-                            fma,
+                            kern,
                         );
                         ic += mc;
                     }
@@ -413,7 +802,7 @@ fn macro_kernel(
     ldc: usize,
     row0: usize,
     col0: usize,
-    fma: bool,
+    kern: Kernel,
 ) {
     let mc_panels = mc.div_ceil(MR);
     let nc_panels = nc.div_ceil(NR);
@@ -426,7 +815,7 @@ fn macro_kernel(
             let mr = MR.min(mc - ir);
             let a_panel = &a_pack[pi * MR * kc..][..MR * kc];
             let mut acc = [[0.0f32; NR]; MR];
-            run_ukr(fma, kc, a_panel, b_panel, &mut acc);
+            run_ukr(kern, kc, a_panel, b_panel, &mut acc);
             write_tile(&acc, mr, nr, alpha, beta, c, ldc, row0 + ir, col0 + jr);
         }
     }
@@ -463,8 +852,35 @@ pub fn with_packed_a<R>(
     })
 }
 
+/// Packs the sum of the row-major `m x k` blocks of `arena` addressed by
+/// `offsets` (see [`pack_a_sum`]; requires `k <= KC`) into a dedicated
+/// thread-local buffer and hands the packed panels to `f` — the
+/// fused-pooling entry point: the pooled operand exists only inside the
+/// pack buffer.
+///
+/// Like [`with_packed_a`] this must not be re-entered on the same thread,
+/// but the two compose freely with each other (separate buffers), so a
+/// fused-pooling product may run inside a shared-A batch group.
+pub fn with_packed_a_sum<R>(
+    m: usize,
+    k: usize,
+    arena: &[f32],
+    offsets: &[usize],
+    f: impl FnOnce(&[f32]) -> R,
+) -> R {
+    assert!(k <= KC, "summed-A packing requires k <= KC");
+    let need = m.div_ceil(MR) * MR * k;
+    A_SUM_PACK.with(|ac| {
+        let buf = &mut *ac.borrow_mut();
+        ensure_len(buf, need);
+        pack_a_sum(arena, offsets, m, k, &mut buf[..need]);
+        f(&buf[..need])
+    })
+}
+
 /// `C = alpha * A * B + beta * C` with `A` already packed by
-/// [`with_packed_a`] (so `k <= KC` and the whole depth is one block).
+/// [`with_packed_a`] or [`with_packed_a_sum`] (so `k <= KC` and the whole
+/// depth is one block).
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_prepacked_a(
     m: usize,
@@ -487,7 +903,7 @@ pub fn gemm_prepacked_a(
         scale_c(beta, c);
         return;
     }
-    let fma = use_fma();
+    let kern = selected_kernel();
     B_PACK.with(|bc| {
         let b_buf = &mut *bc.borrow_mut();
         let mut jc = 0;
@@ -497,7 +913,7 @@ pub fn gemm_prepacked_a(
             let b_need = nc_panels * NR * k;
             ensure_len(b_buf, b_need);
             pack_b(b, lb, 0, k, jc, nc, &mut b_buf[..b_need]);
-            macro_kernel(m, nc, k, alpha, beta, a_pack, &b_buf[..b_need], c, n, 0, jc, fma);
+            macro_kernel(m, nc, k, alpha, beta, a_pack, &b_buf[..b_need], c, n, 0, jc, kern);
             jc += nc;
         }
     });
@@ -508,6 +924,11 @@ mod tests {
     use super::*;
     use crate::gemm::{gemm_ref, Trans};
     use rand::{Rng, SeedableRng};
+
+    /// Dispatch state is process-global; every test that mutates it (via
+    /// `set_kernel` / `set_force_portable`) holds this lock so concurrent
+    /// tests never observe each other's overrides mid-assertion.
+    static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
         (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
@@ -768,6 +1189,7 @@ mod tests {
     /// results; resetting must restore the environment-driven default.
     #[test]
     fn force_portable_override_flips_dispatch_not_results() {
+        let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let mut rng = rand::rngs::StdRng::seed_from_u64(46);
         let (m, n, k) = (MR + 2, NR + 2, 5);
         let a = rand_vec(m * k, &mut rng);
@@ -811,5 +1233,179 @@ mod tests {
             assert_eq!(hw_kernel, "portable");
         }
         assert_close(&c_hw, &c_po, 1e-5);
+    }
+
+    /// The registry hook: each supported kernel can be pinned, reports its
+    /// own name, and produces results matching the reference.
+    #[test]
+    fn kernel_override_hook_selects_each_supported_variant() {
+        let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        let (m, n, k) = if cfg!(miri) { (7, 17, 9) } else { (MR * 3 + 1, NR * 2 + 3, 33) };
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c_ref = vec![0.0; m * n];
+        gemm_ref(m, n, k, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c_ref);
+        for kern in Kernel::ALL {
+            if !kern.supported() || cfg!(miri) {
+                continue;
+            }
+            set_kernel(Some(kern));
+            assert_eq!(active_kernel(), kern.name());
+            let mut c = vec![0.0; m * n];
+            gemm_packed(
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                Layout::row_major(k),
+                &b,
+                Layout::row_major(n),
+                0.0,
+                &mut c,
+            );
+            assert_close(&c_ref, &c, 1e-4);
+        }
+        set_kernel(None);
+        // Portable is supported everywhere, including under Miri's pin.
+        assert!(Kernel::Portable.supported());
+    }
+
+    /// Every kernel name round-trips through the `EL_KERNEL` parser.
+    #[test]
+    fn kernel_names_round_trip() {
+        for kern in Kernel::ALL {
+            assert_eq!(Kernel::from_name(kern.name()), Some(kern));
+        }
+        assert_eq!(Kernel::from_name("autovec"), Some(Kernel::Autovec));
+        assert_eq!(Kernel::from_name("sse9000"), None);
+    }
+
+    /// Register-tile agreement at the micro-kernel level, across depths
+    /// that exercise the 4x unroll and its remainders: every
+    /// FMA-contracted variant (autovec / avx2 / avx512 / neon) is
+    /// **bit-exact** against the others (identical per-element operation
+    /// order), and each stays within one rounding step per accumulation of
+    /// the portable mul-then-add kernel.
+    #[test]
+    #[cfg_attr(miri, ignore = "SIMD kernels are never dispatched under miri")]
+    fn micro_tile_variants_agree_within_per_step_ulp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(48);
+        for &kc in &[1usize, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 100, KC] {
+            let a = rand_vec(kc * MR, &mut rng);
+            let b = rand_vec(kc * NR, &mut rng);
+            let mut init = [[0.0f32; NR]; MR];
+            for row in init.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = rng.gen_range(-1.0..1.0);
+                }
+            }
+
+            let mut portable = init;
+            ukr_portable(kc, &a, &b, &mut portable);
+
+            // Per-element bound: the portable kernel rounds each product
+            // before adding where the fused kernels do not — at most one
+            // extra rounding per accumulation step, i.e. eps * sum|a*b|.
+            let mut bound = [[0.0f32; NR]; MR];
+            for p in 0..kc {
+                for i in 0..MR {
+                    for j in 0..NR {
+                        bound[i][j] += (a[p * MR + i] * b[p * NR + j]).abs();
+                    }
+                }
+            }
+
+            let mut fused_tiles: Vec<[[f32; NR]; MR]> = Vec::new();
+            for kern in [Kernel::Autovec, Kernel::Avx2, Kernel::Avx512, Kernel::Neon] {
+                if !kern.supported() {
+                    continue;
+                }
+                let mut acc = init;
+                run_ukr(kern, kc, &a, &b, &mut acc);
+                for i in 0..MR {
+                    for j in 0..NR {
+                        let diff = (acc[i][j] - portable[i][j]).abs();
+                        let tol = f32::EPSILON * (kc as f32 + 1.0) * (bound[i][j] + 1.0);
+                        assert!(
+                            diff <= tol,
+                            "{}: tile ({i},{j}) kc={kc}: |{} - {}| = {diff} > {tol}",
+                            kern.name(),
+                            acc[i][j],
+                            portable[i][j],
+                        );
+                    }
+                }
+                fused_tiles.push(acc);
+            }
+            for pair in fused_tiles.windows(2) {
+                for (i, (ra, rb)) in pair[0].iter().zip(&pair[1]).enumerate() {
+                    for (j, (va, vb)) in ra.iter().zip(rb).enumerate() {
+                        assert_eq!(
+                            va.to_bits(),
+                            vb.to_bits(),
+                            "FMA-contracted kernels must be bit-exact at ({i},{j}), kc={kc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `pack_a_sum` over one block is exactly `pack_a`, and over several
+    /// blocks equals packing the materialized sum — including zero-padded
+    /// row tails.
+    #[test]
+    fn pack_a_sum_matches_materialized_sum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(49);
+        for &(m, k, blocks) in &[(1usize, 1usize, 1usize), (MR, 3, 2), (MR + 2, 7, 4), (13, 5, 3)] {
+            let arena = rand_vec(blocks * m * k + 11, &mut rng);
+            // deliberately overlapping / unordered offsets
+            let offsets: Vec<usize> = (0..blocks).rev().map(|b| b * m * k + (b % 2) * 3).collect();
+            let mut summed = vec![0.0f32; m * k];
+            for &off in &offsets {
+                for (s, &v) in summed.iter_mut().zip(&arena[off..off + m * k]) {
+                    *s += v;
+                }
+            }
+            let need = m.div_ceil(MR) * MR * k;
+            let mut want = vec![f32::NAN; need];
+            pack_a(&summed, Layout::row_major(k), 0, m, 0, k, &mut want);
+            let mut got = vec![f32::NAN; need];
+            pack_a_sum(&arena, &offsets, m, k, &mut got);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() <= 1e-5, "packed index {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    /// A fused-pooling product via `with_packed_a_sum` + `gemm_prepacked_a`
+    /// equals materializing the pooled operand and multiplying it, and the
+    /// loader composes with `with_packed_a` on the same thread.
+    #[test]
+    fn with_packed_a_sum_matches_materialize_then_multiply() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let (m, n, k, blocks) = if cfg!(miri) { (5, 20, 6, 3) } else { (11, 100, 24, 5) };
+        let arena = rand_vec(blocks * m * k, &mut rng);
+        let offsets: Vec<usize> = (0..blocks).map(|b| b * m * k).collect();
+        let b = rand_vec(k * n, &mut rng);
+        let mut summed = vec![0.0f32; m * k];
+        for &off in &offsets {
+            for (s, &v) in summed.iter_mut().zip(&arena[off..off + m * k]) {
+                *s += v;
+            }
+        }
+        let mut want = rand_vec(m * n, &mut rng);
+        let mut got = want.clone();
+        gemm_ref(m, n, k, 1.0, &summed, Trans::No, &b, Trans::No, 1.0, &mut want);
+        with_packed_a(m, k, &arena[..m * k], Layout::row_major(k), |_outer| {
+            // composition check: the sum loader must not disturb an open
+            // shared-A pack
+            with_packed_a_sum(m, k, &arena, &offsets, |apack| {
+                gemm_prepacked_a(m, n, k, 1.0, apack, &b, Layout::row_major(n), 1.0, &mut got);
+            });
+        });
+        assert_close(&want, &got, 1e-4);
     }
 }

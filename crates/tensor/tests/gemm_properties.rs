@@ -5,7 +5,7 @@
 
 use el_tensor::batched::{batched_gemm, batched_gemm_seq, GemmBatch};
 use el_tensor::gemm::{add_a_bt, add_at_b, gemm, gemm_nn, gemm_ref, par_gemm, Trans};
-use el_tensor::micro::{gemm_packed, Layout, MR, NR};
+use el_tensor::micro::{self, gemm_packed, Kernel, Layout, MR, NR};
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random fill so failures reproduce exactly.
@@ -200,6 +200,88 @@ proptest! {
         let t = tol(&want, k);
         for (g, w) in got.iter().zip(&want) {
             prop_assert!((g - w).abs() <= t, "{g} vs {w}");
+        }
+    }
+
+    /// Every supported micro-kernel variant agrees with the portable
+    /// reference within a per-accumulation-step f32 ulp bound, on tail
+    /// shapes that exercise partial MR x NR tiles and depth remainders.
+    /// Runs the portable baseline first so the property also holds under
+    /// `EL_FORCE_PORTABLE=1` / Miri (where only Portable is exercised).
+    #[test]
+    fn kernel_variants_agree_with_portable(
+        m in arb_dim(),
+        n in arb_dim(),
+        k in arb_dim(),
+        seed in 0u64..1000,
+    ) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xABCD, k * n);
+
+        micro::set_kernel(Some(Kernel::Portable));
+        let mut want = vec![0.0f32; m * n];
+        gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b, Layout::row_major(n), 0.0, &mut want);
+
+        for kernel in Kernel::ALL {
+            if !kernel.supported() {
+                continue;
+            }
+            micro::set_kernel(Some(kernel));
+            let mut got = vec![0.0f32; m * n];
+            gemm_packed(m, n, k, 1.0, &a, Layout::row_major(k), &b, Layout::row_major(n), 0.0, &mut got);
+            micro::set_kernel(None);
+            // One f32 rounding step per accumulation: |err| <= eps * (k+1)
+            // * (sum |a_ip * b_pj| + 1), the same bound the unit suite
+            // enforces per kernel.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut mag = 1.0f32;
+                    for p in 0..k {
+                        mag += (a[i * k + p] * b[p * n + j]).abs();
+                    }
+                    let bound = f32::EPSILON * (k as f32 + 1.0) * mag;
+                    let diff = (got[i * n + j] - want[i * n + j]).abs();
+                    prop_assert!(
+                        diff <= bound,
+                        "{}: c[{i},{j}] diverged by {diff} (bound {bound})",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+        micro::set_kernel(None);
+    }
+
+    /// `pooled_gemm` (CSR-pooled A panels consumed inside the kernel)
+    /// matches materialize-then-multiply on arbitrary shapes and offset
+    /// lists, including repeated and overlapping panels.
+    #[test]
+    fn pooled_gemm_matches_materialized_sum(
+        m in arb_dim(),
+        n in arb_dim(),
+        k in arb_dim(),
+        seed in 0u64..1000,
+        panel_picks in proptest::collection::vec(0usize..8, 0..10),
+    ) {
+        let panels = 8usize;
+        let arena = fill(seed, panels.max(1) * m * k);
+        let b = fill(seed ^ 0x5A5A, k * n);
+        let offsets: Vec<usize> = panel_picks.iter().map(|&p| p * m * k).collect();
+
+        let mut a_sum = vec![0.0f32; m * k];
+        for &off in &offsets {
+            for (s, &v) in a_sum.iter_mut().zip(&arena[off..off + m * k]) {
+                *s += v;
+            }
+        }
+        let mut want = fill(seed ^ 0x777, m * n);
+        let mut got = want.clone();
+        gemm_ref(m, n, k, 1.0, &a_sum, Trans::No, &b, Trans::No, 1.0, &mut want);
+        el_tensor::batched::pooled_gemm(m, n, k, &arena, &offsets, &b, &mut got);
+
+        let bound = tol(&want, k * offsets.len().max(1));
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() <= bound, "c[{i}]: {g} vs {w}");
         }
     }
 }

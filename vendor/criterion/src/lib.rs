@@ -245,11 +245,12 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     sample_size: usize,
     results: Vec<BenchResult>,
+    provenance: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10, results: Vec::new() }
+        Criterion { sample_size: 10, results: Vec::new(), provenance: Vec::new() }
     }
 }
 
@@ -257,6 +258,15 @@ impl Criterion {
     /// Sets the number of samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n;
+        self
+    }
+
+    /// Attaches provenance fields (kernel variant, CPU features, thread
+    /// count, ...) emitted verbatim into every JSON result row, so a
+    /// `BENCH_*.json` number can always be traced to the code path and
+    /// machine that produced it.
+    pub fn provenance(mut self, fields: Vec<(String, String)>) -> Self {
+        self.provenance = fields;
         self
     }
 
@@ -295,9 +305,13 @@ impl Criterion {
             };
             out.push_str(&format!(
                 "  {{\"id\":\"{}\",\"median_ns\":{},\"samples\":{},\"iters_per_sample\":{},\
-                 \"throughput_kind\":{},\"throughput_per_iter\":{}}}",
+                 \"throughput_kind\":{},\"throughput_per_iter\":{}",
                 r.id, r.median_ns, r.samples, r.iters_per_sample, tp_kind, tp_count
             ));
+            for (key, value) in &self.provenance {
+                out.push_str(&format!(",\"{}\":\"{}\"", escape_json(key), escape_json(value)));
+            }
+            out.push('}');
         }
         out.push_str("\n]\n");
         match std::fs::write(&path, &out) {
@@ -306,6 +320,22 @@ impl Criterion {
         }
         self.results.clear();
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Benchmark binary stem with cargo's trailing `-<hash>` stripped.
@@ -368,6 +398,12 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert!(c.results[0].median_ns > 0.0);
         c.results.clear(); // avoid writing a JSON file from the unit test
+    }
+
+    #[test]
+    fn provenance_fields_are_escaped() {
+        assert_eq!(escape_json("avx2+fma"), "avx2+fma");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
     }
 
     #[test]

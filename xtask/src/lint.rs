@@ -411,6 +411,59 @@ pub fn instant_now_violations(file: &Path, content: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// target_feature caller contracts
+// ---------------------------------------------------------------------------
+
+/// Rule 7: every `#[target_feature]` function must document its caller
+/// contract — a `# Safety` doc heading that mentions the *caller* — because
+/// calling such a function from code compiled without the feature is UB,
+/// and the obligation lives at every call site, not in the body. The walk
+/// mirrors the `SAFETY` rule: contiguous doc/attribute lines directly above
+/// the attribute.
+pub fn target_feature_violations(file: &Path, content: &str) -> Vec<Violation> {
+    let raw: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in sanitize_lines(content).iter().enumerate() {
+        if !line.contains("#[target_feature") {
+            continue;
+        }
+        let mut has_heading = false;
+        let mut names_caller = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = raw[j].trim_start();
+            if t.starts_with("///") || t.starts_with("//!") || t.starts_with("//") {
+                let body = t.trim_start_matches('/').trim_start_matches('!').trim_start();
+                if body.starts_with("# Safety") {
+                    has_heading = true;
+                }
+                if body.to_ascii_lowercase().contains("caller") {
+                    names_caller = true;
+                }
+                continue;
+            }
+            if t.starts_with("#[") || t.starts_with("#![") {
+                continue;
+            }
+            break;
+        }
+        if !(has_heading && names_caller) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "target-feature-contract",
+                msg: "`#[target_feature]` function without a `# Safety` doc section \
+                      naming the caller's obligation (the CPU-support precondition \
+                      binds every call site)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Whole-repo driver
 // ---------------------------------------------------------------------------
 
@@ -444,6 +497,9 @@ pub fn run(root: &Path) -> Vec<Violation> {
             for f in &unit.files {
                 let Ok(content) = std::fs::read_to_string(f) else { continue };
                 for v in safety_comment_violations(&rel(f), &content) {
+                    out.push(v);
+                }
+                for v in target_feature_violations(&rel(f), &content) {
                     out.push(v);
                 }
                 if in_src {
@@ -531,6 +587,37 @@ mod tests {
         assert!(safety_comment_violations(Path::new("a.rs"), &trailing).is_empty());
         let parenthetical = format!("// SAFETY (lifetime erasure): ok\n{} {{ g() }}\n", kw());
         assert!(safety_comment_violations(Path::new("a.rs"), &parenthetical).is_empty());
+    }
+
+    #[test]
+    fn target_feature_without_contract_is_flagged() {
+        let bare = format!("#[target_feature(enable = \"avx2\")]\n{} fn kernel() {{}}\n", kw());
+        let v = target_feature_violations(Path::new("k.rs"), &bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "target-feature-contract");
+        assert_eq!(v[0].line, 1);
+
+        // A `# Safety` heading that never names the caller is not a
+        // contract — the obligation must be pinned to call sites.
+        let headed = format!(
+            "/// # Safety\n/// avx2 must exist.\n#[target_feature(enable = \"avx2\")]\n\
+             {} fn kernel() {{}}\n",
+            kw()
+        );
+        assert_eq!(target_feature_violations(Path::new("k.rs"), &headed).len(), 1);
+    }
+
+    #[test]
+    fn target_feature_with_caller_contract_passes() {
+        let good = format!(
+            "/// Fancy kernel.\n///\n/// # Safety\n/// The caller must verify AVX2 support \
+             first.\n#[inline]\n#[target_feature(enable = \"avx2\")]\n{} fn kernel() {{}}\n",
+            kw()
+        );
+        assert!(target_feature_violations(Path::new("k.rs"), &good).is_empty());
+        // the attribute inside a string/comment is not code
+        let quoted = "let s = \"#[target_feature(enable)]\";\n";
+        assert!(target_feature_violations(Path::new("k.rs"), quoted).is_empty());
     }
 
     #[test]
