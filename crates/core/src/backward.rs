@@ -87,6 +87,7 @@ impl TtEmbeddingBag {
                 // even the perpetual-rebuild baseline reaches a
                 // zero-allocation steady state.
                 let analysis = crate::timing::probe();
+                // PANIC-OK: every built plan carries >= 2 levels (asserted in build).
                 let last = p.levels.last().expect("plans always have levels");
                 ws.index_scratch.clear();
                 ws.index_scratch
@@ -114,6 +115,7 @@ impl TtEmbeddingBag {
                 self.compute_levels(&rebuilt, &mut ws.levels, &mut ws.batch);
                 rebuilt
             }
+            // PANIC-OK: documented API contract — backward without forward is a caller bug.
             None => panic!("backward requires a preceding forward on this workspace"),
         };
         let bwd = crate::timing::probe();

@@ -66,6 +66,7 @@ impl TtEmbeddingBag {
     /// pass allocation-free — the training loop passes the same `out` and
     /// `ws` every batch and nothing reallocates once capacities have grown
     /// to the batch shape.
+    // CONTRACT: zero-alloc
     pub fn forward_into(
         &self,
         indices: &[u32],
@@ -237,6 +238,7 @@ impl TtEmbeddingBag {
     /// accumulation into the output rows themselves. The pass is
     /// sequential — inline scatter trades thread-parallelism for zero
     /// materialization — and therefore deterministic.
+    // CONTRACT: zero-alloc
     fn fused_pool_into(&self, plan: &LookupPlan, bufs: &[Vec<f32>], out: &mut Matrix) {
         let d = self.order();
         let t = d - 1;

@@ -216,6 +216,7 @@ impl LookupPlan {
     ///
     /// # Panics
     /// Same contract as [`LookupPlan::build`].
+    // CONTRACT: zero-alloc
     pub fn build_into(
         &mut self,
         indices: &[u32],
@@ -228,7 +229,7 @@ impl LookupPlan {
         assert!(d >= 2, "TT tables need at least two cores");
         assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            *offsets.last().unwrap() as usize, // PANIC-OK: non-empty asserted above
             indices.len(),
             "offsets must cover all indices"
         );
@@ -360,6 +361,7 @@ impl LookupPlan {
     ///
     /// # Panics
     /// Same contract as [`LookupPlan::build`].
+    // CONTRACT: zero-alloc
     pub fn par_build_into(
         &mut self,
         indices: &[u32],
@@ -390,7 +392,7 @@ impl LookupPlan {
         assert!(d >= 2, "TT tables need at least two cores");
         assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            *offsets.last().unwrap() as usize, // PANIC-OK: non-empty asserted above
             indices.len(),
             "offsets must cover all indices"
         );
@@ -447,6 +449,7 @@ impl LookupPlan {
         let viol = scratch.order.partition_point(|&j| (indices[j as usize] as u64) < capacity);
         if viol < nnz {
             let v = indices[scratch.order[viol] as usize] as u64;
+            // PANIC-OK: documented contract panic — mirrors the sequential builder.
             panic!("index {v} exceeds factorized capacity {capacity}");
         }
 

@@ -80,7 +80,7 @@ impl PlanPrefetcher {
         let worker = std::thread::Builder::new()
             .name("plan-prefetch".into())
             .spawn(move || worker_loop(&for_worker))
-            .expect("spawning the plan prefetch coordinator failed");
+            .expect("spawning the plan prefetch coordinator failed"); // PANIC-OK: startup-only OS failure
         PlanPrefetcher { shared, worker: Some(worker) }
     }
 
@@ -135,6 +135,7 @@ impl PlanPrefetcher {
     ///
     /// Blocks until the pending build finishes — that wait is the residual
     /// (non-overlapped) analysis cost and is what the stage timers record.
+    // CONTRACT: zero-alloc
     pub fn take(
         &self,
         plan: &mut LookupPlan,

@@ -107,7 +107,7 @@ impl QuantizedEmbeddingBag {
         for s in 0..d_out.rows() {
             let g = d_out.row(s);
             for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
-                let slot = unique.binary_search(&i).expect("seen");
+                let slot = unique.binary_search(&i).expect("seen"); // PANIC-OK: `unique` built from these indices
                 for (v, gv) in grads[slot * dim..(slot + 1) * dim].iter_mut().zip(g) {
                     *v += gv;
                 }

@@ -92,7 +92,7 @@ impl TableSampler {
     fn sample_from_group(&self, g: u64, rng: &mut impl Rng) -> u32 {
         let group_size = (self.cardinality / self.groups).max(1);
         // within-group popularity is also skewed
-        let within = Zipf::new(group_size, 1.05).expect("valid zipf");
+        let within = Zipf::new(group_size, 1.05).expect("valid zipf"); // PANIC-OK: constant parameters
         let j = within.sample(rng) as u64 - 1;
         let rank = j * self.groups + (g % self.groups);
         self.scatter(rank.min(self.cardinality - 1))

@@ -75,6 +75,7 @@ impl EmbeddingBag {
         let mut unique: Vec<u32> = indices.to_vec();
         unique.sort_unstable();
         unique.dedup();
+        // PANIC-OK: `unique` is built from exactly these indices above.
         let slot_of = |i: u32| unique.binary_search(&i).expect("index seen in batch");
         let mut values = vec![0.0f32; unique.len() * dim];
         for s in 0..d_out.rows() {

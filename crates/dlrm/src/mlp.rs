@@ -30,12 +30,12 @@ impl Mlp {
 
     /// Input feature count.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().unwrap().in_dim()
+        self.layers.first().unwrap().in_dim() // PANIC-OK: constructor guarantees >= 1 layer
     }
 
     /// Output feature count.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        self.layers.last().unwrap().out_dim() // PANIC-OK: constructor guarantees >= 1 layer
     }
 
     /// Forward pass, caching activations for backward.

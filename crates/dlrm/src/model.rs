@@ -682,6 +682,7 @@ impl DlrmModel {
                     let found = hosted
                         .iter()
                         .find(|(idx, _)| *idx == t)
+                        // PANIC-OK: trainer ships every hosted table with each batch.
                         .unwrap_or_else(|| panic!("hosted table {t} missing its embeddings"));
                     assert_eq!(found.1.rows(), batch.batch_size());
                     assert_eq!(found.1.cols(), *dim);

@@ -238,8 +238,9 @@ impl HostServer {
         match self.apply_checked(push) {
             Ok(ApplyOutcome::Applied) => {}
             Ok(ApplyOutcome::Duplicate) | Err(ServerError::GradientGap { .. }) => {
-                unreachable!("seq equality was asserted above")
+                unreachable!("seq equality was asserted above") // PANIC-OK: seq asserted above
             }
+            // PANIC-OK: `apply` is the documented panic-on-error strict variant.
             Err(e) => panic!("{e}"),
         }
     }
@@ -279,6 +280,7 @@ impl HostServer {
         }
         for (t, grad) in &push.tables {
             let bag =
+                // PANIC-OK: every table id was validated in the loop above.
                 &mut self.tables.iter_mut().find(|(id, _)| id == t).expect("validated above").1;
             bag.apply_sparse_grad(grad, self.lr);
         }
@@ -300,6 +302,7 @@ impl HostServer {
                 .tables
                 .iter_mut()
                 .find(|(id, _)| id == t)
+                // PANIC-OK: a pooled gradient for a non-hosted table is a protocol bug.
                 .unwrap_or_else(|| panic!("gradient for unknown hosted table {t}"))
                 .1;
             let field = &batch.fields[*t];
@@ -331,6 +334,7 @@ impl HostServer {
         pipelined: bool,
     ) -> ServerReport {
         let schedule = ServingSchedule { first, count, batch_size, pipelined };
+        // PANIC-OK: `run` is the documented panic-on-bad-schedule strict wrapper.
         let serving = ServingLoop::new(self, schedule).unwrap_or_else(|e| panic!("{e}"));
         serving.run(dataset, prefetch_tx, grad_rx)
     }
@@ -378,6 +382,7 @@ impl ServingLoop {
     /// has been applied or the worker hangs up. Worker disappearance at
     /// any point degrades to a clean early return, never a panic or a
     /// wedge.
+    // CONTRACT: panic-free
     pub fn run(
         self,
         dataset: &SyntheticDataset,
@@ -419,6 +424,7 @@ impl ServingLoop {
             match grad_rx.recv() {
                 Ok(push) => match server.apply_checked(&push) {
                     Ok(_) => {}
+                    // PANIC-OK: an in-process FIFO delivering a gap is a protocol bug.
                     Err(e) => panic!("FIFO gradient queue delivered an unappliable push: {e}"),
                 },
                 Err(_) => break,
@@ -483,6 +489,7 @@ pub fn pool_prefetched(indices: &[u32], offsets: &[u32], unique: &[u32], rows: &
     for s in 0..batch {
         let dst = out.row_mut(s);
         for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+            // PANIC-OK: `unique` covers every batch index by construction.
             let slot = unique.binary_search(&i).expect("index missing from prefetch");
             for (d, v) in dst.iter_mut().zip(rows.row(slot)) {
                 *d += v;
@@ -505,6 +512,7 @@ pub fn aggregate_to_unique(
     for s in 0..d_out.rows() {
         let g = d_out.row(s);
         for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+            // PANIC-OK: `unique` covers every batch index by construction.
             let slot = unique.binary_search(&i).expect("index missing from prefetch");
             for (v, gv) in values[slot * dim..(slot + 1) * dim].iter_mut().zip(g) {
                 *v += gv;

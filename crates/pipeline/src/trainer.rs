@@ -98,6 +98,7 @@ pub struct PipelineTrainer;
 impl PipelineTrainer {
     /// Trains `model` (whose [`el_dlrm::EmbeddingLayer::Hosted`] tables are
     /// owned by `server`) on `dataset` per `config`.
+    // CONTRACT: panic-free
     pub fn train(
         mut model: DlrmModel,
         server: HostServer,
@@ -162,6 +163,7 @@ impl PipelineTrainer {
             let pooled_mode = !pf.pooled.is_empty();
             let mut hosted_embs = Vec::with_capacity(pf.tables.len() + pf.pooled.len());
             for (t, unique, rows) in &mut pf.tables {
+                // PANIC-OK: a cache was created for every hosted table at startup.
                 caches.get_mut(t).unwrap().sync(unique, rows, pf.applied_through);
                 let field = &batch.fields[*t];
                 hosted_embs
@@ -193,6 +195,7 @@ impl PipelineTrainer {
                     .tables
                     .iter()
                     .find(|(id, _, _)| id == t)
+                    // PANIC-OK: hosted tables and prefetched tables are the same set.
                     .expect("hosted gradient for a table that was not prefetched");
                 let grad = aggregate_to_unique(&field.indices, &field.offsets, unique, d_emb);
                 let mut updated = rows.clone();
@@ -202,6 +205,7 @@ impl PipelineTrainer {
                         *w -= lr * gv;
                     }
                 }
+                // PANIC-OK: a cache was created for every hosted table at startup.
                 caches.get_mut(t).unwrap().insert(unique, &updated, k);
                 pushes.push((*t, grad));
             }
@@ -218,6 +222,7 @@ impl PipelineTrainer {
         }
         drop(gtx);
 
+        // PANIC-OK: deliberately propagates a server-thread panic to the caller.
         let report = server_handle.join().expect("server thread panicked");
         let wall = start.elapsed();
         let completed_batches = losses.len() as u64;

@@ -1,0 +1,267 @@
+//! The ratcheted violation baseline.
+//!
+//! Findings are keyed line-number-independently by `(rule, file, context,
+//! detail)` with a count, so reformatting or unrelated edits don't churn
+//! the baseline, but adding a second identical violation in the same fn
+//! does fail. The committed `analysis-baseline.toml` is the ratchet:
+//!
+//! - a finding **not** in the baseline (or exceeding its count) is a *new
+//!   violation* → fail;
+//! - a baseline row with **no** matching finding (or an inflated count)
+//!   is *stale* → fail, forcing `--update-baseline` so fixes shrink the
+//!   committed file and the codebase monotonically improves;
+//! - findings covered by the baseline are tolerated (reported in the
+//!   artifact, not fatal).
+//!
+//! The TOML subset is hand-rolled (xtask has no dependencies): an array
+//! of `[[violation]]` tables with bare `key = "value"` / `key = int`
+//! pairs, written sorted so regeneration is deterministic.
+
+use super::Finding;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Baseline key -> tolerated count.
+pub type Baseline = BTreeMap<(String, String, String, String), usize>;
+
+/// Result of diffing current findings against the baseline.
+pub struct Diff {
+    /// Human-readable blocking problems (new violations, stale rows).
+    pub problems: Vec<String>,
+    pub tolerated: usize,
+    pub new_count: usize,
+    pub stale_count: usize,
+}
+
+fn key(f: &Finding) -> (String, String, String, String) {
+    (f.rule.clone(), f.file.clone(), f.context.clone(), f.detail.clone())
+}
+
+/// Groups findings into baseline form.
+pub fn keyed(findings: &[Finding]) -> Baseline {
+    let mut out = Baseline::new();
+    for f in findings {
+        *out.entry(key(f)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Renders findings as a sorted `analysis-baseline.toml`.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# Tolerated pre-existing findings for `cargo xtask analyze` (the ratchet).\n\
+         # New violations fail the build; fixing one requires shrinking this file\n\
+         # via `cargo xtask analyze --update-baseline`. Keys are line-independent:\n\
+         # (rule, file, enclosing context, detail) with an occurrence count.\n",
+    );
+    for ((rule, file, context, detail), count) in keyed(findings) {
+        out.push_str("\n[[violation]]\n");
+        out.push_str(&format!("rule = \"{}\"\n", escape(&rule)));
+        out.push_str(&format!("file = \"{}\"\n", escape(&file)));
+        out.push_str(&format!("context = \"{}\"\n", escape(&context)));
+        out.push_str(&format!("detail = \"{}\"\n", escape(&detail)));
+        out.push_str(&format!("count = {count}\n"));
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Loads the baseline; a missing file is an empty baseline (fresh repos
+/// start strict).
+pub fn load(path: &Path) -> Baseline {
+    match fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(_) => Baseline::new(),
+    }
+}
+
+/// Parses the `[[violation]]` subset written by [`render`].
+pub fn parse(text: &str) -> Baseline {
+    let mut out = Baseline::new();
+    let mut cur: BTreeMap<String, String> = BTreeMap::new();
+    let mut in_violation = false;
+    let flush = |cur: &mut BTreeMap<String, String>, out: &mut Baseline| {
+        if cur.is_empty() {
+            return;
+        }
+        let get = |k: &str| cur.get(k).cloned().unwrap_or_default();
+        let count = cur.get("count").and_then(|c| c.parse().ok()).unwrap_or(1);
+        let k = (get("rule"), get("file"), get("context"), get("detail"));
+        *out.entry(k).or_insert(0) += count;
+        cur.clear();
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[violation]]" {
+            flush(&mut cur, &mut out);
+            in_violation = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut cur, &mut out);
+            in_violation = false;
+            continue;
+        }
+        if !in_violation {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let k = line[..eq].trim().to_string();
+            let v = line[eq + 1..].trim();
+            let v = v
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(unescape)
+                .unwrap_or_else(|| v.to_string());
+            cur.insert(k, v);
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+/// Diffs current findings against the baseline; see module docs for the
+/// ratchet rules.
+pub fn check(findings: &[Finding], base: &Baseline) -> Diff {
+    let cur = keyed(findings);
+    let mut problems = Vec::new();
+    let mut tolerated = 0usize;
+    let mut new_count = 0usize;
+    let mut stale_count = 0usize;
+
+    for (k, &n) in &cur {
+        let allowed = base.get(k).copied().unwrap_or(0);
+        tolerated += n.min(allowed);
+        if n > allowed {
+            let extra = n - allowed;
+            new_count += extra;
+            // attach the full diagnostics (with chains) for the offending key
+            for f in findings.iter().filter(|f| key(f) == *k).take(extra.max(1)) {
+                problems.push(format!("NEW violation ({extra} over baseline {allowed}): {f}"));
+            }
+        }
+    }
+    for (k, &allowed) in base {
+        let n = cur.get(k).copied().unwrap_or(0);
+        if n < allowed {
+            stale_count += allowed - n;
+            problems.push(format!(
+                "STALE baseline row (baseline {allowed}, found {n}): [{}] {} — context `{}`, detail `{}`; \
+                 run `cargo xtask analyze --update-baseline` to shrink the ratchet",
+                k.0, k.1, k.2, k.3
+            ));
+        }
+    }
+    Diff { problems, tolerated, new_count, stale_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, context: &str, detail: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            context: context.into(),
+            detail: detail.into(),
+            line: 1,
+            msg: format!("{rule} in {context}"),
+            chain: vec!["root (a.rs:1)".into()],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let fs = vec![
+            finding("panic-path", "crates/p/src/lib.rs", "run", "train reaches unwrap()"),
+            finding("panic-path", "crates/p/src/lib.rs", "run", "train reaches unwrap()"),
+            finding("env-registry", "crates/b/src/lib.rs", "", "unregistered EL_X"),
+        ];
+        let text = render(&fs);
+        let parsed = parse(&text);
+        assert_eq!(parsed, keyed(&fs));
+        assert_eq!(
+            parsed[&(
+                "panic-path".into(),
+                "crates/p/src/lib.rs".into(),
+                "run".into(),
+                "train reaches unwrap()".into()
+            )],
+            2
+        );
+    }
+
+    #[test]
+    fn clean_run_against_matching_baseline() {
+        let fs = vec![finding("r", "f", "c", "d")];
+        let base = keyed(&fs);
+        let d = check(&fs, &base);
+        assert!(d.problems.is_empty(), "{:?}", d.problems);
+        assert_eq!(d.tolerated, 1);
+    }
+
+    #[test]
+    fn new_violation_fails() {
+        let base = keyed(&[finding("r", "f", "c", "d")]);
+        let fs = vec![finding("r", "f", "c", "d"), finding("r", "f", "c2", "d")];
+        let d = check(&fs, &base);
+        assert_eq!(d.new_count, 1);
+        assert!(d.problems.iter().any(|p| p.contains("NEW violation")), "{:?}", d.problems);
+        // the diagnostic carries the chain
+        assert!(d.problems.iter().any(|p| p.contains("root (a.rs:1)")), "{:?}", d.problems);
+    }
+
+    #[test]
+    fn count_growth_on_same_key_fails() {
+        let base = keyed(&[finding("r", "f", "c", "d")]);
+        let fs = vec![finding("r", "f", "c", "d"), finding("r", "f", "c", "d")];
+        let d = check(&fs, &base);
+        assert_eq!(d.new_count, 1);
+    }
+
+    #[test]
+    fn fixed_violation_makes_baseline_stale() {
+        let base = keyed(&[finding("r", "f", "c", "d")]);
+        let d = check(&[], &base);
+        assert_eq!(d.stale_count, 1);
+        assert!(d.problems.iter().any(|p| p.contains("STALE baseline row")), "{:?}", d.problems);
+    }
+
+    #[test]
+    fn empty_baseline_is_strict() {
+        let fs = vec![finding("r", "f", "c", "d")];
+        let d = check(&fs, &Baseline::new());
+        assert_eq!(d.new_count, 1);
+        assert!(!d.problems.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_roundtrip() {
+        let f = finding("r", "f", "c", "reaches `panic!(\"boom\")`");
+        let parsed = parse(&render(std::slice::from_ref(&f)));
+        assert_eq!(parsed, keyed(&[f]));
+    }
+}

@@ -1,0 +1,200 @@
+//! Env-var registry drift check: every literal `env::var("EL_…")` /
+//! `env::var("RAYON_…")` read in the tree must have a row in
+//! `docs/env-vars.md`, and every registry row must correspond to a real
+//! read (stale rows fail too). Registry rows are markdown-table rows whose
+//! first cell is the backticked variable name; the description cell must
+//! be non-empty.
+//!
+//! The scan covers root `src/`, `crates/*` (including `benches/`),
+//! `xtask/src/`, and `vendor/*/src/` — vendored rayon reads
+//! `RAYON_NUM_THREADS`, which is very much part of this workspace's knob
+//! surface. Files are pre-filtered by a cheap substring probe, then
+//! confirmed at token level so a var name inside a comment or doc string
+//! does not count as a read.
+
+use super::model::Workspace;
+use super::parser::parse_file;
+use super::Finding;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Prefixes in scope for the registry.
+const PREFIXES: &[&str] = &["EL_", "RAYON_"];
+
+fn in_scope(name: &str) -> bool {
+    PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Parses `docs/env-vars.md` table rows: `| \`NAME\` | … | description |`.
+/// Returns name -> (line, description non-empty).
+pub fn parse_registry(text: &str) -> BTreeMap<String, (u32, bool)> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let first = cells[0];
+        let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        if !in_scope(name) {
+            continue;
+        }
+        let described = cells.last().is_some_and(|d| !d.is_empty() && !d.chars().all(|c| c == '-'));
+        out.insert(name.to_string(), (i as u32 + 1, described));
+    }
+    out
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+}
+
+/// Directories scanned for env reads, relative to the repo root.
+fn scan_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src"), root.join("xtask").join("src")];
+    for parent in ["crates", "vendor"] {
+        if let Ok(rd) = fs::read_dir(root.join(parent)) {
+            let mut subs: Vec<PathBuf> =
+                rd.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+            subs.sort();
+            for s in subs {
+                if parent == "crates" {
+                    dirs.push(s.join("src"));
+                    dirs.push(s.join("benches"));
+                } else {
+                    dirs.push(s.join("src"));
+                }
+            }
+        }
+    }
+    dirs
+}
+
+/// All in-scope literal env reads under the scan dirs: name -> [(file, line)].
+pub fn collect_reads(root: &Path) -> BTreeMap<String, Vec<(String, u32)>> {
+    let mut reads: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    for dir in scan_dirs(root) {
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = fs::read_dir(&d) else { continue };
+            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            paths.sort();
+            for p in paths {
+                if p.is_dir() {
+                    stack.push(p);
+                    continue;
+                }
+                if p.extension().and_then(|s| s.to_str()) != Some("rs") {
+                    continue;
+                }
+                let Ok(text) = fs::read_to_string(&p) else { continue };
+                // cheap pre-filter before the token-level parse
+                if !PREFIXES.iter().any(|pre| text.contains(pre)) {
+                    continue;
+                }
+                let parsed = parse_file(&rel(root, &p), &text);
+                for r in parsed.env_reads {
+                    if in_scope(&r.name) {
+                        reads.entry(r.name).or_default().push((parsed.path.clone(), r.line));
+                    }
+                }
+            }
+        }
+    }
+    reads
+}
+
+pub fn check(root: &Path, _ws: &Workspace) -> Vec<Finding> {
+    let registry_path = root.join("docs").join("env-vars.md");
+    let registry_file = "docs/env-vars.md".to_string();
+    let registry = match fs::read_to_string(&registry_path) {
+        Ok(text) => parse_registry(&text),
+        Err(_) => BTreeMap::new(),
+    };
+    let reads = collect_reads(root);
+
+    let mut findings = Vec::new();
+    for (name, sites) in &reads {
+        match registry.get(name) {
+            None => {
+                let (file, line) = sites[0].clone();
+                findings.push(Finding {
+                    rule: "env-registry".into(),
+                    file,
+                    context: String::new(),
+                    detail: format!("unregistered {name}"),
+                    line,
+                    msg: format!(
+                        "env var `{name}` is read here but has no row in docs/env-vars.md"
+                    ),
+                    chain: sites.iter().map(|(f, l)| format!("read at {f}:{l}")).collect(),
+                });
+            }
+            Some((reg_line, described)) if !described => {
+                findings.push(Finding {
+                    rule: "env-registry".into(),
+                    file: registry_file.clone(),
+                    context: String::new(),
+                    detail: format!("undescribed {name}"),
+                    line: *reg_line,
+                    msg: format!("registry row for `{name}` has an empty description"),
+                    chain: Vec::new(),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, (reg_line, _)) in &registry {
+        if !reads.contains_key(name) {
+            findings.push(Finding {
+                rule: "env-registry".into(),
+                file: registry_file.clone(),
+                context: String::new(),
+                detail: format!("stale {name}"),
+                line: *reg_line,
+                msg: format!(
+                    "registry row for `{name}` matches no literal env read in the tree — remove it or fix the read"
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_table_parses() {
+        let md = "\
+# Env vars
+
+| Variable | Read in | Description |
+|---|---|---|
+| `EL_KERNEL` | crates/tensor | Pins the micro-kernel tier. |
+| `EL_EMPTY` | somewhere | |
+| `PATH` | n/a | out of scope |
+";
+        let reg = parse_registry(md);
+        assert_eq!(reg.len(), 2, "{reg:?}");
+        assert!(reg["EL_KERNEL"].1);
+        assert!(!reg["EL_EMPTY"].1, "empty description detected");
+        assert!(!reg.contains_key("PATH"));
+    }
+
+    #[test]
+    fn separator_row_is_not_a_description() {
+        let md = "| `EL_X` | --- |\n";
+        let reg = parse_registry(md);
+        assert!(!reg["EL_X"].1);
+    }
+}

@@ -1,0 +1,166 @@
+//! `cargo xtask analyze` — token-level workspace static analysis.
+//!
+//! Pipeline: [`lexer`] tokenizes each source file, [`parser`] builds a
+//! per-file item model, [`model`] assembles the workspace (crate dep
+//! graph + call-graph indexes), then the rule modules run:
+//!
+//! - [`alloc`] — `// CONTRACT: zero-alloc` reachability: annotated fns
+//!   must not transitively reach a curated allocating-fn list.
+//! - [`panics`] — `// CONTRACT: panic-free` audit: no `unwrap`/`expect`/
+//!   `panic!`-family site reachable from annotated loops unless it carries
+//!   an adjacent `// PANIC-OK: <reason>`.
+//! - [`envreg`] — every literal `env::var("EL_…"/"RAYON_…")` read must be
+//!   registered in `docs/env-vars.md`, and registry rows must not go stale.
+//! - [`rules`] — the legacy `xtask lint` rules (SAFETY adjacency,
+//!   `lock().unwrap()`, `Instant::now`, `target_feature` caller
+//!   obligations) re-implemented on tokens so strings/comments can neither
+//!   trigger nor suppress them.
+//!
+//! Findings are diffed against the committed `analysis-baseline.toml`
+//! ratchet ([`baseline`]): pre-existing violations are tolerated, new ones
+//! fail, and fixed ones must be removed from the baseline (also checked),
+//! so the codebase monotonically improves.
+
+pub mod alloc;
+pub mod baseline;
+pub mod envreg;
+pub mod lexer;
+pub mod model;
+pub mod panics;
+pub mod parser;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// One analysis finding. `rule`/`file`/`context`/`detail` form the
+/// line-number-independent baseline key; `line`/`msg`/`chain` are for the
+/// human diagnostic only.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rule: String,
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// Enclosing function (qualified) or other stable anchor; empty when
+    /// the finding has no natural context.
+    pub context: String,
+    /// What was found (sink name, panic kind, env-var name, …) — stable
+    /// across line moves.
+    pub detail: String,
+    pub line: u32,
+    pub msg: String,
+    /// Call chain for reachability rules (root first), pre-rendered.
+    pub chain: Vec<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)?;
+        for step in &self.chain {
+            write!(f, "\n    {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a full analysis run.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Counts per rule, for the summary line.
+    pub fns_analyzed: usize,
+    pub crates_analyzed: usize,
+}
+
+/// Runs every analysis over the repo at `root`. Does not consult the
+/// baseline — callers diff via [`baseline::check`].
+pub fn run_analyses(root: &Path) -> Report {
+    let ws = model::build_workspace(root);
+    let mut findings = Vec::new();
+    findings.extend(alloc::check(&ws));
+    findings.extend(panics::check(&ws));
+    findings.extend(envreg::check(root, &ws));
+    findings.extend(rules::check(root));
+    findings.sort();
+    findings.dedup();
+    let fns_analyzed = ws.all_fns().count();
+    Report { findings, fns_analyzed, crates_analyzed: ws.crates.len() }
+}
+
+/// Full `cargo xtask analyze` entry point: run, diff against the
+/// baseline, write the report artifact, print diagnostics. Returns
+/// `Err(count)` with the number of blocking problems when the build
+/// should fail.
+pub fn run(root: &Path, update_baseline: bool) -> Result<(), usize> {
+    let report = run_analyses(root);
+    let baseline_path = root.join("analysis-baseline.toml");
+
+    if update_baseline {
+        let text = baseline::render(&report.findings);
+        fs::write(&baseline_path, text).expect("writing analysis-baseline.toml");
+        println!(
+            "analyze: baseline regenerated with {} tolerated finding(s) across {} crate(s), {} fn(s)",
+            report.findings.len(),
+            report.crates_analyzed,
+            report.fns_analyzed
+        );
+        write_artifact(root, &report, &[]);
+        return Ok(());
+    }
+
+    let base = baseline::load(&baseline_path);
+    let diff = baseline::check(&report.findings, &base);
+
+    write_artifact(root, &report, &diff.problems);
+
+    for p in &diff.problems {
+        eprintln!("{p}");
+    }
+    println!(
+        "analyze: {} crate(s), {} fn(s), {} finding(s) ({} tolerated by baseline, {} new, {} stale baseline row(s))",
+        report.crates_analyzed,
+        report.fns_analyzed,
+        report.findings.len(),
+        diff.tolerated,
+        diff.new_count,
+        diff.stale_count
+    );
+    if diff.problems.is_empty() {
+        Ok(())
+    } else {
+        eprintln!(
+            "analyze: FAILED — fix the new finding(s), add `// PANIC-OK: <reason>` / registry rows where justified, or run `cargo xtask analyze --update-baseline` for stale rows"
+        );
+        Err(diff.problems.len())
+    }
+}
+
+/// Writes `target/analyze/report.txt` (the CI artifact) with every
+/// finding and every blocking problem.
+fn write_artifact(root: &Path, report: &Report, problems: &[String]) {
+    let dir = root.join("target").join("analyze");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "analyze report: {} crate(s), {} fn(s), {} finding(s)\n\n",
+        report.crates_analyzed,
+        report.fns_analyzed,
+        report.findings.len()
+    ));
+    if !problems.is_empty() {
+        out.push_str("== blocking problems ==\n");
+        for p in problems {
+            out.push_str(p);
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out.push_str("== all findings (including baseline-tolerated) ==\n");
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    let _ = fs::write(dir.join("report.txt"), out);
+}

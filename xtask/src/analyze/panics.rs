@@ -1,0 +1,143 @@
+//! Panic-path audit: fns annotated `// CONTRACT: panic-free` (the
+//! pipeline trainer loop, the serving loop) must not transitively reach
+//! an `unwrap()`, `expect()`, or `panic!`-family macro in library code —
+//! unless the site carries an adjacent `// PANIC-OK: <reason>`
+//! justification. `assert!`/`assert_eq!` are deliberately *not* panic
+//! sites: asserts state invariants and are part of the crash-consistency
+//! story (fail fast, recover from checkpoint), whereas a stray `unwrap`
+//! is usually an unhandled error path.
+
+use super::model::{FnId, Workspace};
+use super::Finding;
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let roots: Vec<FnId> = ws
+        .all_fns()
+        .filter(|(_, f)| f.contracts.panic_free && !f.is_test)
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut findings = Vec::new();
+    for root in roots {
+        let reached = ws.reach(&[root]);
+        let root_name = ws.fn_item(root).qualified.clone();
+        let mut ids: Vec<FnId> = reached.keys().copied().collect();
+        ids.sort_by_key(|id| (ws.file(*id).path.clone(), ws.fn_item(*id).line));
+        for id in ids {
+            let item = ws.fn_item(id);
+            if item.is_test {
+                continue;
+            }
+            for site in &item.panic_sites {
+                if site.allow_reason.is_some() {
+                    continue;
+                }
+                let what = match &site.macro_name {
+                    Some(m) => format!("{m}!"),
+                    None => site.kind.label().to_string(),
+                };
+                let mut chain: Vec<String> = ws
+                    .chain_to(&reached, id)
+                    .into_iter()
+                    .map(|(name, file, line)| format!("{name} ({file}:{line})"))
+                    .collect();
+                chain.push(format!("-> {} ({}:{})", what, ws.file(id).path, site.line));
+                findings.push(Finding {
+                    rule: "panic-path".into(),
+                    file: ws.file(id).path.clone(),
+                    context: item.qualified.clone(),
+                    detail: format!("{root_name} reaches {what}"),
+                    line: site.line,
+                    msg: format!(
+                        "{what} reachable from `// CONTRACT: panic-free` fn `{root_name}` without a `// PANIC-OK:` justification"
+                    ),
+                    chain,
+                });
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup_by(|a, b| {
+        (&a.rule, &a.file, &a.context, &a.detail, a.line)
+            == (&b.rule, &b.file, &b.context, &b.detail, b.line)
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::model::workspace_from_sources;
+
+    #[test]
+    fn reachable_unwrap_flagged_with_chain() {
+        let ws = workspace_from_sources(&[(
+            "p",
+            &[],
+            &[(
+                "crates/p/src/lib.rs",
+                "// CONTRACT: panic-free\npub fn train() { step(); }\npub fn step() { let x: Option<u32> = None; x.unwrap(); }\n",
+            )],
+        )]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("unwrap"));
+        let chain = f[0].chain.join(" | ");
+        assert!(chain.contains("train") && chain.contains("step"), "{chain}");
+    }
+
+    #[test]
+    fn panic_ok_suppresses() {
+        let ws = workspace_from_sources(&[(
+            "p",
+            &[],
+            &[(
+                "crates/p/src/lib.rs",
+                "// CONTRACT: panic-free\npub fn train() { step(); }\npub fn step() { let x = Some(1u32); x.unwrap(); // PANIC-OK: constructed Some above\n}\n",
+            )],
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_not_panic_sites() {
+        let ws = workspace_from_sources(&[(
+            "p",
+            &[],
+            &[(
+                "crates/p/src/lib.rs",
+                "// CONTRACT: panic-free\npub fn train(n: usize) { assert!(n > 0); assert_eq!(n % 2, 0); }\n",
+            )],
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_two_hops_deep() {
+        let ws = workspace_from_sources(&[
+            ("core", &[], &[("crates/core/src/lib.rs", "pub fn inner() { panic!(\"boom\"); }\n")]),
+            (
+                "pipe",
+                &["core"],
+                &[(
+                    "crates/pipe/src/lib.rs",
+                    "// CONTRACT: panic-free\npub fn run() { mid(); }\npub fn mid() { inner(); }\n",
+                )],
+            ),
+        ]);
+        let f = check(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].detail.contains("panic!"), "{:?}", f[0]);
+        assert!(f[0].file.contains("core"), "cross-crate reach: {:?}", f[0]);
+    }
+
+    #[test]
+    fn unannotated_loop_not_audited() {
+        let ws = workspace_from_sources(&[(
+            "p",
+            &[],
+            &[("crates/p/src/lib.rs", "pub fn run() { let x: Option<u32> = None; x.unwrap(); }\n")],
+        )]);
+        assert!(check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! The legacy `xtask lint` rules, re-implemented on the token stream.
+//!
+//! Same conventions, stronger matching: the regex/stripped-line versions
+//! in [`crate::lint`] can be fooled by multi-line raw strings containing
+//! Rust code (their documented blind spot) and accept a same-line
+//! `"SAFETY"` *string* as a justification. Here every trigger is a token
+//! and every justification is a comment token, so strings and comments
+//! can neither trigger nor suppress a rule.
+//!
+//! Rules ported (the crate-attribute and vendor-drift checks stay in
+//! `lint`, which `cargo xtask lint` still runs for parity):
+//!
+//! - `safety-comment` — the unsafe keyword at a code position needs an
+//!   adjacent `// SAFETY:` comment (same line, or directly above across
+//!   comment/attribute lines).
+//! - `lock-unwrap` — `.lock()/.read()/.write()` immediately unwrapped in
+//!   non-test library code.
+//! - `instant-now` — `Instant::now()` in library crates outside
+//!   `src/timing.rs`/`src/bin` needs an adjacent `// TIMING:` comment.
+//! - `target-feature-contract` — `#[target_feature]` fns must carry a
+//!   `# Safety` doc heading that names the caller's obligation.
+
+use super::parser::{parse_file, ParsedFile};
+use super::Finding;
+use crate::lint::{package_dirs, package_units};
+use std::fs;
+use std::path::Path;
+
+/// Strips doc-comment decoration (`/`, `!`, `*`) and leading whitespace
+/// from a comment token's text.
+fn comment_body(text: &str) -> &str {
+    text.trim_start().trim_start_matches(['/', '!', '*']).trim_start()
+}
+
+fn is_safety_comment(text: &str) -> bool {
+    let b = comment_body(text);
+    b.starts_with("SAFETY") || b.starts_with("# Safety")
+}
+
+fn is_timing_comment(text: &str) -> bool {
+    comment_body(text).starts_with("TIMING")
+}
+
+/// Adjacency walk shared by `safety-comment` and `instant-now`: justified
+/// when `pred` holds for a comment on `line` itself, or on a comment-only
+/// line walked up from it across contiguous comment/attribute lines. A
+/// code line stops the walk — a trailing comment on someone else's
+/// statement is not an adjacent justification.
+fn justified(pf: &ParsedFile, line: u32, pred: impl Fn(&str) -> bool) -> bool {
+    if pf.comment_lines.get(&line).is_some_and(|c| pred(c)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if pf.is_comment_only_line(l) {
+            if pred(&pf.comment_lines[&l]) {
+                return true;
+            }
+            continue;
+        }
+        if pf.attr_lines.contains(&l) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// `safety-comment` over one parsed file.
+pub fn safety_findings(pf: &ParsedFile) -> Vec<Finding> {
+    let kw = ["un", "safe"].concat();
+    pf.unsafe_lines
+        .iter()
+        .filter(|&&l| !justified(pf, l, |c| c.contains("SAFETY") || is_safety_comment(c)))
+        .map(|&l| Finding {
+            rule: "safety-comment".into(),
+            file: pf.path.clone(),
+            context: enclosing_fn(pf, l),
+            detail: format!("{kw} keyword"),
+            line: l,
+            msg: format!("`{kw}` without an adjacent `// SAFETY:` justification"),
+            chain: Vec::new(),
+        })
+        .collect()
+}
+
+/// `lock-unwrap` over one parsed file.
+pub fn lock_findings(pf: &ParsedFile) -> Vec<Finding> {
+    pf.locks
+        .iter()
+        .filter(|l| l.unwrapped && !l.in_test)
+        .map(|l| Finding {
+            rule: "lock-unwrap".into(),
+            file: pf.path.clone(),
+            context: enclosing_fn(pf, l.line),
+            detail: format!(".{}().unwrap", l.method),
+            line: l.line,
+            msg: format!(
+                "`.{}()` result unwrapped in library code; handle poisoning explicitly \
+                 (e.g. `unwrap_or_else(PoisonError::into_inner)`)",
+                l.method
+            ),
+            chain: Vec::new(),
+        })
+        .collect()
+}
+
+/// `instant-now` over one parsed file.
+pub fn instant_findings(pf: &ParsedFile) -> Vec<Finding> {
+    pf.instant_now
+        .iter()
+        .filter(|(l, in_test)| !in_test && !justified(pf, *l, is_timing_comment))
+        .map(|(l, _)| Finding {
+            rule: "instant-now".into(),
+            file: pf.path.clone(),
+            context: enclosing_fn(pf, *l),
+            detail: "Instant::now".into(),
+            line: *l,
+            msg: "`Instant::now()` in library code; use the `timing` module, or justify \
+                  with an adjacent `// TIMING:` comment"
+                .into(),
+            chain: Vec::new(),
+        })
+        .collect()
+}
+
+/// `target-feature-contract` over one parsed file: the fn's attached docs
+/// must contain a `# Safety` heading and name the caller.
+pub fn target_feature_findings(pf: &ParsedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &pf.fns {
+        if !f.has_target_feature() {
+            continue;
+        }
+        let has_heading = f.docs.iter().any(|d| comment_body(d).starts_with("# Safety"));
+        let names_caller = f.docs.iter().any(|d| d.to_ascii_lowercase().contains("caller"));
+        if !(has_heading && names_caller) {
+            out.push(Finding {
+                rule: "target-feature-contract".into(),
+                file: pf.path.clone(),
+                context: f.qualified.clone(),
+                detail: "missing caller obligation".into(),
+                line: f.line,
+                msg: "`#[target_feature]` function without a `# Safety` doc section \
+                      naming the caller's obligation (the CPU-support precondition \
+                      binds every call site)"
+                    .into(),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Finds the qualified name of the fn whose span covers `line` (for the
+/// baseline key); empty when outside any fn.
+fn enclosing_fn(pf: &ParsedFile, line: u32) -> String {
+    pf.fns
+        .iter()
+        .filter(|f| f.line <= line && line <= f.end_line.max(f.line))
+        .min_by_key(|f| f.end_line.max(f.line) - f.line)
+        .map(|f| f.qualified.clone())
+        .unwrap_or_default()
+}
+
+/// Runs the ported rules over every package in the repo, mirroring the
+/// legacy driver's scopes: safety + target-feature everywhere, lock-unwrap
+/// in `src/`, instant-now in `crates/*` lib sources outside `src/bin` and
+/// `src/timing.rs`.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+    for pkg in package_dirs(root) {
+        let lib_crate = pkg.starts_with(root.join("crates"));
+        for unit in package_units(&pkg) {
+            let in_src = unit.root.parent().is_some_and(|d| d.ends_with("src"))
+                || unit.root.parent().is_some_and(|d| d.ends_with("bin"));
+            for f in &unit.files {
+                let Ok(content) = fs::read_to_string(f) else { continue };
+                let pf = parse_file(&rel(f), &content);
+                out.extend(safety_findings(&pf));
+                out.extend(target_feature_findings(&pf));
+                if in_src {
+                    out.extend(lock_findings(&pf));
+                    let in_bin = f.starts_with(pkg.join("src").join("bin"));
+                    if lib_crate && !in_bin && !f.ends_with("src/timing.rs") {
+                        out.extend(instant_findings(&pf));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parser::parse_file;
+
+    fn kw() -> String {
+        ["un", "safe"].concat()
+    }
+
+    #[test]
+    fn safety_string_cannot_suppress() {
+        // The legacy rule accepted any raw-line "SAFETY" occurrence — even
+        // inside a string literal on the same line. Token-level must not.
+        let src = format!("pub fn f() {{ let s = \"SAFETY\"; {} {{ }} }}", kw());
+        let pf = parse_file("a.rs", &src);
+        let v = safety_findings(&pf);
+        assert_eq!(v.len(), 1, "string must not justify: {v:?}");
+    }
+
+    #[test]
+    fn safety_comment_same_line_or_above() {
+        let above = format!("pub fn f() {{\n    // SAFETY: checked\n    {} {{ }}\n}}", kw());
+        assert!(safety_findings(&parse_file("a.rs", &above)).is_empty());
+        let trailing = format!("pub fn f() {{ {} {{ }} /* SAFETY: checked */ }}", kw());
+        assert!(safety_findings(&parse_file("a.rs", &trailing)).is_empty());
+        let blank_breaks = format!("pub fn f() {{\n    // SAFETY: stale\n\n    {} {{ }}\n}}", kw());
+        assert_eq!(safety_findings(&parse_file("a.rs", &blank_breaks)).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_raw_string_is_not_code() {
+        // The legacy scanner's documented blind spot: multi-line raw
+        // strings containing Rust code.
+        let src = format!("pub fn f() {{ let s = r#\"\n{} {{ }}\n\"#; drop(s); }}", kw());
+        assert!(safety_findings(&parse_file("a.rs", &src)).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_token_rule() {
+        let src = "pub fn f(m: &std::sync::Mutex<u32>) { let _g = m.lock().unwrap(); }";
+        let v = lock_findings(&parse_file("a.rs", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].context, "f");
+        let ok = "pub fn f(m: &std::sync::Mutex<u32>) { let _g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }";
+        assert!(lock_findings(&parse_file("a.rs", ok)).is_empty());
+        let in_str = "pub fn f() { let s = \".lock().unwrap()\"; drop(s); }";
+        assert!(lock_findings(&parse_file("a.rs", in_str)).is_empty());
+    }
+
+    #[test]
+    fn instant_now_token_rule() {
+        let bad = "pub fn f() { let _t = Instant::now(); }";
+        assert_eq!(instant_findings(&parse_file("a.rs", bad)).len(), 1);
+        let good =
+            "pub fn f() {\n    // TIMING: cold startup stamp\n    let _t = Instant::now();\n}";
+        assert!(instant_findings(&parse_file("a.rs", good)).is_empty());
+        let prose = "// mentions Instant::now() in prose\npub fn f() {}";
+        assert!(instant_findings(&parse_file("a.rs", prose)).is_empty());
+    }
+
+    #[test]
+    fn target_feature_contract_token_rule() {
+        let bare = format!("#[target_feature(enable = \"avx2\")]\npub {} fn k() {{}}", kw());
+        let pf = parse_file("k.rs", &bare);
+        let v = target_feature_findings(&pf);
+        assert_eq!(v.len(), 1, "{:?}", pf.fns);
+        // heading without naming the caller is still a violation
+        let headed = format!(
+            "/// # Safety\n/// avx2 must exist.\n#[target_feature(enable = \"avx2\")]\npub {} fn k() {{}}",
+            kw()
+        );
+        assert_eq!(target_feature_findings(&parse_file("k.rs", &headed)).len(), 1);
+        let good = format!(
+            "/// # Safety\n/// The caller must verify AVX2 support first.\n#[target_feature(enable = \"avx2\")]\npub {} fn k() {{}}",
+            kw()
+        );
+        assert!(target_feature_findings(&parse_file("k.rs", &good)).is_empty());
+        // attribute text inside a string is not an attribute
+        let quoted = "pub fn f() { let s = \"#[target_feature(enable)]\"; drop(s); }";
+        assert!(target_feature_findings(&parse_file("k.rs", quoted)).is_empty());
+    }
+}

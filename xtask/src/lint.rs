@@ -467,7 +467,7 @@ pub fn target_feature_violations(file: &Path, content: &str) -> Vec<Violation> {
 // Whole-repo driver
 // ---------------------------------------------------------------------------
 
-fn package_dirs(root: &Path) -> Vec<PathBuf> {
+pub fn package_dirs(root: &Path) -> Vec<PathBuf> {
     let mut dirs = vec![root.to_path_buf(), root.join("xtask")];
     for parent in ["crates", "vendor"] {
         let Ok(entries) = std::fs::read_dir(root.join(parent)) else { continue };

@@ -3,7 +3,17 @@
 //! Commands:
 //!
 //! * `lint` — the custom source-level lints of [`lint`] plus the vendored
-//!   crate drift check of [`hash`]; exits nonzero on any finding.
+//!   crate drift check of [`hash`]; exits nonzero on any finding. Also
+//!   runs the token-level `analyze` engine, so the old rules and their
+//!   stronger ports stay in lockstep.
+//! * `analyze [--update-baseline]` — the token-level workspace analyzer
+//!   ([`xtask::analyze`]): zero-alloc reachability for `// CONTRACT:
+//!   zero-alloc` fns, panic-path audit for `// CONTRACT: panic-free`
+//!   loops, env-var registry drift against `docs/env-vars.md`, and the
+//!   token-level ports of the legacy lints. Findings are diffed against
+//!   the `analysis-baseline.toml` ratchet; `--update-baseline`
+//!   regenerates it. Writes `target/analyze/report.txt` (the CI
+//!   artifact).
 //! * `vendor-hash [--update]` — verify (or regenerate) the FNV-1a content
 //!   manifest `vendor/MANIFEST.fnv1a`.
 //! * `miri` — run the Miri-sized unsafe-surface test subset under Miri.
@@ -30,8 +40,7 @@
 
 #![forbid(unsafe_code)]
 
-mod hash;
-mod lint;
+use xtask::{analyze, hash, lint};
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -49,7 +58,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         lint                 run custom source lints + vendor drift check\n  \
+         lint                 run custom source lints + vendor drift check + analyzer\n  \
+         analyze [--update-baseline]  token-level workspace analysis vs the\n                       \
+         analysis-baseline.toml ratchet\n  \
          vendor-hash [--update]  verify (or regenerate) vendor/MANIFEST.fnv1a\n  \
          miri                 run the Miri unsafe-surface subset (needs nightly miri)\n  \
          tsan                 run the pool stress harness under ThreadSanitizer\n                       \
@@ -66,6 +77,7 @@ fn main() -> ExitCode {
     let root = repo_root();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&root),
+        Some("analyze") => cmd_analyze(&root, args.iter().any(|a| a == "--update-baseline")),
         Some("vendor-hash") => cmd_vendor_hash(&root, args.iter().any(|a| a == "--update")),
         Some("miri") => cmd_miri(&root),
         Some("tsan") => cmd_tsan(&root),
@@ -81,15 +93,27 @@ fn main() -> ExitCode {
 
 fn cmd_lint(root: &Path) -> ExitCode {
     let violations = lint::run(root);
-    if violations.is_empty() {
-        println!("xtask lint: clean");
-        return ExitCode::SUCCESS;
-    }
     for v in &violations {
         eprintln!("{v}");
     }
-    eprintln!("xtask lint: {} violation(s)", violations.len());
+    // `lint` is an alias for old-rule parity *plus* the token-level
+    // engine: the legacy rules and their stronger ports run in lockstep.
+    let analyze_ok = analyze::run(root, false).is_ok();
+    if violations.is_empty() && analyze_ok {
+        println!("xtask lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    if !violations.is_empty() {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+    }
     ExitCode::FAILURE
+}
+
+fn cmd_analyze(root: &Path, update_baseline: bool) -> ExitCode {
+    match analyze::run(root, update_baseline) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(_) => ExitCode::FAILURE,
+    }
 }
 
 fn cmd_vendor_hash(root: &Path, do_update: bool) -> ExitCode {

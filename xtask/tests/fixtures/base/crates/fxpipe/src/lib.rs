@@ -1,0 +1,10 @@
+//! Analyzer fixture pipeline crate: the panic-free contract root lives
+//! here so violations seeded into `fxcore` are reported with a
+//! cross-crate call chain.
+
+use fxcore::step;
+
+// CONTRACT: panic-free
+pub fn drive(xs: &[f32]) -> f32 {
+    step(xs)
+}
