@@ -19,10 +19,11 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::bag::TtEmbeddingBag;
-use crate::plan::LookupPlan;
+use crate::plan::{LookupPlan, PlanScratch};
 use el_tensor::gemm::gemm_nn;
 use el_tensor::Matrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Numeric storage of the cached prefix products (training stays f32; this
 /// only affects the inference cache). Low-bit storage shrinks the resident
@@ -141,10 +142,19 @@ pub struct TtInferenceSession<'a> {
     /// Per-unique decoded prefix products, snapshotted at resolution time
     /// (reused across lookups).
     dequant_arena: Vec<f32>,
-    /// Prefix products served from the cache.
-    pub hits: u64,
+    /// Recycled batch analysis (plan + sort scratch) so steady-state
+    /// [`TtInferenceSession::lookup_into`] allocates nothing.
+    plan: LookupPlan,
+    plan_scratch: PlanScratch,
+    /// Prefix products served from the cache. Atomics so a serving tier can
+    /// snapshot counters through a shared reference while the session is
+    /// parked between batches; all updates go through `&mut self` and use
+    /// relaxed ordering (they are statistics, not synchronization).
+    hits: AtomicU64,
     /// Prefix products computed fresh.
-    pub misses: u64,
+    misses: AtomicU64,
+    /// Cached products displaced by the clock hand.
+    evictions: AtomicU64,
 }
 
 impl<'a> TtInferenceSession<'a> {
@@ -176,8 +186,11 @@ impl<'a> TtInferenceSession<'a> {
             chain_pong: Vec::new(),
             digit_scratch: Vec::new(),
             dequant_arena: Vec::new(),
-            hits: 0,
-            misses: 0,
+            plan: LookupPlan::default(),
+            plan_scratch: PlanScratch::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -186,13 +199,40 @@ impl<'a> TtInferenceSession<'a> {
         self.precision
     }
 
+    /// Embedding dimension of the served table.
+    pub fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    /// Unique rows of the most recent batch (0 before any lookup) — the
+    /// cross-request dedup the serving tier reports.
+    pub fn last_unique_rows(&self) -> usize {
+        self.plan.num_rows()
+    }
+
+    /// Prefix products served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Prefix products computed fresh so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached products displaced by the clock hand so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Cache hit rate so far.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let (hits, misses) = (self.hits(), self.misses());
+        let total = hits + misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
 
@@ -213,14 +253,42 @@ impl<'a> TtInferenceSession<'a> {
 
     /// Sum-pooled lookup with the same semantics as
     /// [`TtEmbeddingBag::forward`], but served through the prefix cache.
+    ///
+    /// Allocates the output matrix; the serving hot path uses
+    /// [`TtInferenceSession::lookup_into`] instead.
     pub fn lookup(&mut self, indices: &[u32], offsets: &[u32]) -> Matrix {
+        let batch_size = offsets.len().saturating_sub(1);
+        let mut out = Matrix::zeros(batch_size, self.table.dim());
+        self.lookup_into(indices, offsets, out.as_mut_slice());
+        out
+    }
+
+    /// Allocation-free twin of [`TtInferenceSession::lookup`]: serves the
+    /// batch through the prefix cache into caller-provided `out`
+    /// (`batch_size * dim` floats, row-major, overwritten). Batch analysis
+    /// recycles the session-owned plan, so once the cache and scratch have
+    /// grown to the working batch shape the steady state allocates nothing
+    /// beyond `HashMap` churn on cold prefixes.
+    ///
+    /// # Panics
+    /// Panics if the CSR structure is malformed (see [`LookupPlan::build`])
+    /// or `out` does not match `batch_size * dim`.
+    // CONTRACT: zero-alloc
+    pub fn lookup_into(&mut self, indices: &[u32], offsets: &[u32], out: &mut [f32]) {
         let table = self.table;
         let cores = table.cores();
         let d = table.order();
         let n = table.dim();
 
-        let plan = LookupPlan::build(indices, offsets, &cores.row_dims, true);
+        // The plan cycles through the session so analysis reuses the
+        // previous batch's buffers (mem::take is a pointer swap, not an
+        // allocation).
+        let mut plan = std::mem::take(&mut self.plan);
+        let mut scratch = std::mem::take(&mut self.plan_scratch);
+        plan.build_into(indices, offsets, &cores.row_dims, true, &mut scratch);
+        assert_eq!(out.len(), plan.batch_size * n, "output buffer shape mismatch");
         let uniques = &plan.levels[d - 1];
+        // PANIC-OK: row_dims is non-empty (build_into asserts d >= 2).
         let m_last = *cores.row_dims.last().unwrap() as u64;
 
         // Pass 1: resolve every unique index's prefix product, cache-first,
@@ -237,12 +305,12 @@ impl<'a> TtInferenceSession<'a> {
             let prefix = value / m_last;
             let cached = match self.map.get(&prefix) {
                 Some(&s) => {
-                    self.hits += 1;
+                    *self.hits.get_mut() += 1;
                     self.slots[s as usize].referenced = true;
                     s as usize
                 }
                 None => {
-                    self.misses += 1;
+                    *self.misses.get_mut() += 1;
                     self.admit(prefix)
                 }
             };
@@ -256,9 +324,9 @@ impl<'a> TtInferenceSession<'a> {
         // (beta = 1) straight into its sample's output row, so the
         // `(uniques x dim)` row matrix of the former two-phase schedule is
         // never materialized.
-        let mut out = Matrix::zeros(plan.batch_size, n);
+        out.fill(0.0);
         for s in 0..plan.batch_size {
-            let dst = out.row_mut(s);
+            let dst = &mut out[s * n..(s + 1) * n];
             let lo = plan.sample_offsets[s] as usize;
             let hi = plan.sample_offsets[s + 1] as usize;
             for &slot in &plan.lookup_slot[lo..hi] {
@@ -276,7 +344,8 @@ impl<'a> TtInferenceSession<'a> {
                 );
             }
         }
-        out
+        self.plan = plan;
+        self.plan_scratch = scratch;
     }
 
     /// Computes `prefix`'s product and caches it, evicting with the clock
@@ -309,6 +378,7 @@ impl<'a> TtInferenceSession<'a> {
             }
             let idx = self.hand;
             self.hand += 1;
+            *self.evictions.get_mut() += 1;
             self.map.remove(&self.slots[idx].prefix);
             self.slots[idx].prefix = prefix;
             self.slots[idx].referenced = false;
@@ -384,7 +454,7 @@ mod tests {
         let warm = session.lookup(&indices, &offsets);
         assert!(cold.max_abs_diff(&want) < 1e-5);
         assert!(warm.max_abs_diff(&want) < 1e-5);
-        assert!(session.hits > 0, "second pass must hit the cache");
+        assert!(session.hits() > 0, "second pass must hit the cache");
     }
 
     #[test]
@@ -516,11 +586,12 @@ mod tests {
             let _ = session.lookup(&indices, &offsets);
         }
         assert!(
-            session.hits >= u64::from(rounds) - 1,
+            session.hits() >= u64::from(rounds) - 1,
             "hot prefix was evicted: only {} hits over {rounds} rounds",
-            session.hits
+            session.hits()
         );
         assert!(session.len() <= 4);
+        assert!(session.evictions() > 0, "cold stream at capacity 4 must evict");
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Open-loop serving load generator.
+//!
+//! Drives the serving tier the way a latency benchmark must be driven: the
+//! arrival schedule is drawn *ahead of time* from a Poisson process at the
+//! offered rate, independent of how fast the server answers. Closed-loop
+//! generators (issue, wait, issue) implicitly apply back-pressure and hide
+//! queueing delay — the "coordinated omission" trap — whereas an open-loop
+//! trace keeps arriving on schedule, so p99/p999 reflect what a real user
+//! population would see.
+//!
+//! Index popularity follows the same scattered-Zipf model as
+//! [`crate::synthetic`]: ranks are Zipf-distributed and mapped through a
+//! coprime multiplicative permutation so popular indices carry no locality
+//! in their raw values. Generation is deterministic in the seed, which the
+//! serving equivalence tests rely on.
+
+use crate::synthetic::{coprime_multiplier, mix};
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+/// Parameters of an open-loop request stream.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Offered load in requests per second (arrivals keep this rate no
+    /// matter how slowly requests complete).
+    pub offered_rps: f64,
+    /// Embedding-table cardinality the indices are drawn from.
+    pub num_rows: usize,
+    /// Sparse lookups per request (multi-hot width).
+    pub indices_per_request: usize,
+    /// Zipf exponent of the index popularity distribution.
+    pub zipf_exponent: f64,
+    /// Tenants requests are spread over (uniformly).
+    pub num_tenants: usize,
+    /// Master seed; equal seeds yield bit-identical traces.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            offered_rps: 1_000.0,
+            num_rows: 100_000,
+            indices_per_request: 16,
+            zipf_exponent: 1.05,
+            num_tenants: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One generated request: when it arrives, who sent it, what it looks up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// Arrival time in nanoseconds since the start of the trace.
+    pub arrive_ns: u64,
+    /// Owning tenant, `0..num_tenants`.
+    pub tenant: u32,
+    /// Sparse lookup indices (one pooled sample).
+    pub indices: Vec<u32>,
+}
+
+/// Deterministic open-loop Poisson/Zipf request generator.
+pub struct OpenLoopGen {
+    cfg: OpenLoopConfig,
+    rng: rand::rngs::StdRng,
+    zipf: Zipf<f64>,
+    /// Rank -> index scattering multiplier (coprime with `num_rows`).
+    mult: u64,
+    clock_ns: u64,
+}
+
+impl OpenLoopGen {
+    /// A generator over `cfg`, deterministically derived from `cfg.seed`.
+    ///
+    /// # Panics
+    /// Panics when the offered rate is not positive or a dimension is zero.
+    pub fn new(cfg: OpenLoopConfig) -> Self {
+        assert!(cfg.offered_rps > 0.0, "offered rate must be positive");
+        assert!(cfg.num_rows > 0, "table must have rows");
+        assert!(cfg.indices_per_request > 0, "requests must look something up");
+        assert!(cfg.num_tenants > 0, "at least one tenant");
+        let card = cfg.num_rows as u64;
+        let zipf = Zipf::new(card, cfg.zipf_exponent).expect("valid zipf parameters"); // PANIC-OK: asserted above
+        let rng = rand::rngs::StdRng::seed_from_u64(mix(cfg.seed, 0x10AD_6E4E));
+        let mult = coprime_multiplier(card, mix(cfg.seed, 0x5CA7));
+        Self { cfg, rng, zipf, mult, clock_ns: 0 }
+    }
+
+    /// The configuration this stream follows.
+    pub fn config(&self) -> &OpenLoopConfig {
+        &self.cfg
+    }
+
+    /// Draws the next request, advancing the arrival clock by an
+    /// exponentially distributed inter-arrival gap (Poisson arrivals at the
+    /// offered rate).
+    pub fn next_request(&mut self) -> GenRequest {
+        // Inverse-CDF sample of Exp(rate); 1-u in (0,1] keeps ln finite.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let gap_s = -(1.0 - u).ln() / self.cfg.offered_rps;
+        self.clock_ns += (gap_s * 1e9) as u64;
+        let tenant = self.rng.gen_range(0..self.cfg.num_tenants as u32);
+        let card = self.cfg.num_rows as u64;
+        let indices = (0..self.cfg.indices_per_request)
+            .map(|_| {
+                let rank = self.zipf.sample(&mut self.rng) as u64 - 1;
+                ((rank % card).wrapping_mul(self.mult) % card) as u32
+            })
+            .collect();
+        GenRequest { arrive_ns: self.clock_ns, tenant, indices }
+    }
+
+    /// Materializes the first `count` arrivals as a trace (the bench draws
+    /// the whole schedule before starting the clock, as open loop demands).
+    pub fn trace(&mut self, count: usize) -> Vec<GenRequest> {
+        (0..count).map(|_| self.next_request()).collect()
+    }
+}
+
+impl Iterator for OpenLoopGen {
+    type Item = GenRequest;
+
+    fn next(&mut self) -> Option<GenRequest> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            offered_rps: 10_000.0,
+            num_rows: 5_000,
+            indices_per_request: 8,
+            zipf_exponent: 1.05,
+            num_tenants: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn equal_seeds_yield_identical_traces() {
+        let a = OpenLoopGen::new(cfg(7)).trace(500);
+        let b = OpenLoopGen::new(cfg(7)).trace(500);
+        assert_eq!(a, b, "open-loop trace must be a pure function of the seed");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = OpenLoopGen::new(cfg(7)).trace(100);
+        let b = OpenLoopGen::new(cfg(8)).trace(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_near_the_offered_rate() {
+        let trace = OpenLoopGen::new(cfg(42)).trace(20_000);
+        for w in trace.windows(2) {
+            assert!(w[0].arrive_ns <= w[1].arrive_ns);
+        }
+        let span_s = trace.last().unwrap().arrive_ns as f64 / 1e9;
+        let rate = trace.len() as f64 / span_s;
+        assert!(
+            (rate - 10_000.0).abs() < 500.0,
+            "measured arrival rate {rate} too far from offered 10000"
+        );
+    }
+
+    #[test]
+    fn indices_stay_in_range_and_are_skewed() {
+        let trace = OpenLoopGen::new(cfg(9)).trace(4_000);
+        let mut counts = vec![0usize; 5_000];
+        for r in &trace {
+            assert!(r.tenant < 3);
+            assert_eq!(r.indices.len(), 8);
+            for &i in &r.indices {
+                assert!((i as usize) < 5_000);
+                counts[i as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts[..500].iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.5,
+            "zipf skew missing: top-10% share {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn all_tenants_receive_traffic() {
+        let trace = OpenLoopGen::new(cfg(3)).trace(1_000);
+        let mut seen = [false; 3];
+        for r in &trace {
+            seen[r.tenant as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform tenant draw missed a tenant");
+    }
+}

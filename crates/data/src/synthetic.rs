@@ -61,17 +61,10 @@ struct TableSampler {
 impl TableSampler {
     fn new(cardinality: usize, exponent: f64, table_seed: u64) -> Self {
         let card = cardinality.max(1) as u64;
-        // Any odd multiplier > 1 coprime with the cardinality scatters ranks.
-        let mut mult = (0x9E37_79B9_7F4A_7C15u64 ^ table_seed) % card;
-        mult = mult.max(1) | 1;
-        while gcd(mult, card) != 1 {
-            mult = (mult + 2) % card.max(3);
-            mult = mult.max(1) | 1;
-        }
         Self {
             cardinality: card,
             zipf: Zipf::new(card, exponent).expect("valid zipf parameters"),
-            mult,
+            mult: coprime_multiplier(card, table_seed),
             groups: (GROUPS_PER_TABLE as u64).min(card),
         }
     }
@@ -190,8 +183,20 @@ fn index_weight(table: u64, idx: u32) -> f32 {
     ((h >> 11) as f64 / (1u64 << 53) as f64 * 0.7 - 0.35) as f32
 }
 
+/// Any odd multiplier > 1 coprime with the cardinality scatters popularity
+/// ranks through the index space (shared with [`crate::loadgen`]).
+pub(crate) fn coprime_multiplier(card: u64, seed: u64) -> u64 {
+    let mut mult = (0x9E37_79B9_7F4A_7C15u64 ^ seed) % card;
+    mult = mult.max(1) | 1;
+    while gcd(mult, card) != 1 {
+        mult = (mult + 2) % card.max(3);
+        mult = mult.max(1) | 1;
+    }
+    mult
+}
+
 /// SplitMix64-style mixer for deriving independent streams.
-fn mix(a: u64, b: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

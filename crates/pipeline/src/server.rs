@@ -322,6 +322,12 @@ impl HostServer {
     /// combination the protocol cannot serve (pipelined
     /// `PooledEmbeddings`) aborts here. Callers that want the typed error
     /// construct the [`ServingLoop`] themselves.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a ServingLoop via ServingLoop::new (or use \
+                PipelineTrainer::try_train) for the typed ServerError instead \
+                of a panic"
+    )]
     #[allow(clippy::too_many_arguments)] // serving-loop wiring: queues + schedule
     pub fn run(
         self,
@@ -669,6 +675,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "no staleness protocol")]
+    #[allow(deprecated)] // the panic behavior under test is the reason it is deprecated
     fn run_wrapper_still_panics_on_pooled_pipelined() {
         let ds = dataset();
         let (ptx, _prx, _gtx, grx) = make_queues(2);
@@ -708,9 +715,11 @@ mod tests {
         let srv = server();
         let before = srv.tables[0].1.weight.clone();
 
+        let schedule = ServingSchedule { first: 0, count: 4, batch_size: 8, pipelined: true };
+        let serving = ServingLoop::new(srv, schedule).unwrap();
         let handle = std::thread::spawn({
             let ds = ds.clone();
-            move || srv.run(&ds, 0, 4, 8, ptx, grx, true)
+            move || serving.run(&ds, ptx, grx)
         });
 
         // fake worker: push a unit gradient for everything prefetched

@@ -18,6 +18,7 @@ use crate::ckpt::{
 use crate::device::{thread_cpu_time, CommMeter};
 use crate::server::{
     aggregate_to_unique, make_queues, pool_prefetched, send_with_retry, GradientPush, HostServer,
+    ServerError, ServingLoop, ServingSchedule,
 };
 use el_data::SyntheticDataset;
 use el_dlrm::checkpoint::DlrmCheckpoint;
@@ -98,18 +99,45 @@ pub struct PipelineTrainer;
 impl PipelineTrainer {
     /// Trains `model` (whose [`el_dlrm::EmbeddingLayer::Hosted`] tables are
     /// owned by `server`) on `dataset` per `config`.
-    // CONTRACT: panic-free
+    ///
+    /// Strict wrapper around [`PipelineTrainer::try_train`]: a
+    /// mode/schedule combination the staleness protocol cannot serve
+    /// panics here instead of returning the typed error.
     pub fn train(
-        mut model: DlrmModel,
+        model: DlrmModel,
         server: HostServer,
         dataset: &SyntheticDataset,
         config: &PipelineConfig,
     ) -> PipelineReport {
+        Self::try_train(model, server, dataset, config)
+            // PANIC-OK: `train` is the documented panic-on-bad-schedule strict wrapper.
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains `model` per `config`, rejecting a mode/schedule combination
+    /// the server's staleness protocol cannot serve as a typed
+    /// [`ServerError`] at construction time — before any thread spawns or
+    /// any batch trains.
+    // CONTRACT: panic-free
+    pub fn try_train(
+        mut model: DlrmModel,
+        server: HostServer,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+    ) -> Result<PipelineReport, ServerError> {
         let hosted = model.hosted_tables();
         for (t, _) in &server.tables {
             assert!(hosted.contains(t), "server hosts table {t} the model does not mark Hosted");
         }
         assert_eq!(hosted.len(), server.tables.len(), "every Hosted table needs a server side");
+
+        let schedule = ServingSchedule {
+            first: config.first_batch,
+            count: config.num_batches,
+            batch_size: config.batch_size,
+            pipelined: config.pipelined,
+        };
+        let serving = ServingLoop::new(server, schedule)?;
 
         let lr = model.lr;
         let depth = if config.pipelined { config.prefetch_depth } else { 1 };
@@ -122,9 +150,7 @@ impl PipelineTrainer {
         let start = Instant::now();
         let server_handle = std::thread::spawn({
             let ds = dataset.clone();
-            let (first, count, bs, pipelined) =
-                (config.first_batch, config.num_batches, config.batch_size, config.pipelined);
-            move || server.run(&ds, first, count, bs, ptx, grx, pipelined)
+            move || serving.run(&ds, ptx, grx)
         });
 
         let mut caches: HashMap<usize, EmbeddingCache> =
@@ -227,7 +253,7 @@ impl PipelineTrainer {
         let wall = start.elapsed();
         let completed_batches = losses.len() as u64;
         let samples = completed_batches as f64 * config.batch_size as f64;
-        PipelineReport {
+        Ok(PipelineReport {
             completed_batches,
             losses,
             wall,
@@ -240,7 +266,7 @@ impl PipelineTrainer {
             worker_compute,
             model,
             host_tables: report.server.tables,
-        }
+        })
     }
 
     /// Captures the full training state as of `next_batch` (the next
@@ -457,6 +483,18 @@ mod tests {
             overlap_analysis: pipelined,
         };
         PipelineTrainer::train(model, server, &dataset, &config)
+    }
+
+    #[test]
+    fn try_train_rejects_unservable_schedules_before_spawning() {
+        let (model, server, dataset) = setup(9);
+        let server = server.with_mode(crate::server::ServerMode::PooledEmbeddings);
+        let config = PipelineConfig { pipelined: true, ..PipelineConfig::default() };
+        match PipelineTrainer::try_train(model, server, &dataset, &config) {
+            Err(ServerError::PooledNeedsSequential) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("pipelined pooled mode must be rejected"),
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Cross-request coalescing: many small requests, one deduplicated lookup.
+//!
+//! Each serving request is one pooled sample. The [`Coalescer`] lays the
+//! queued requests out as a single CSR batch and serves it through
+//! [`TtInferenceSession::lookup_into`], whose `LookupPlan` collapses
+//! duplicate rows *across requests* to a single contraction — the paper's
+//! Algorithm 1 dedup, applied to the concurrent request stream instead of a
+//! training batch. Every buffer involved is recycled, so the per-batch hot
+//! path allocates nothing in steady state (statically checked by the
+//! `// CONTRACT: zero-alloc` analyzer pass).
+
+use el_core::TtInferenceSession;
+
+/// One in-flight inference request: a pooled multi-hot lookup owned by a
+/// tenant. The `indices` and `out` buffers travel with the request through
+/// queue, batch and response, so the client can recycle them round-trip.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeRequest {
+    /// Owning tenant (indexes the server's tenant table).
+    pub tenant: u32,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Sparse lookup indices (one pooled sample).
+    pub indices: Vec<u32>,
+    /// Pooled embedding row, filled by the server (`dim` floats).
+    pub out: Vec<f32>,
+    /// Server-clock nanoseconds at admission.
+    pub submit_ns: u64,
+}
+
+/// A completed request plus its completion stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeResponse {
+    /// The request, its `out` buffer now holding the pooled embedding.
+    pub req: ServeRequest,
+    /// Server-clock nanoseconds at completion.
+    pub done_ns: u64,
+}
+
+/// Recycled CSR assembly for one worker.
+///
+/// Thread-free and side-effect-free apart from the session it serves
+/// through, which keeps it directly testable: the coalesced-equals-
+/// sequential proptests drive it without any queues or threads.
+#[derive(Default)]
+pub struct Coalescer {
+    indices: Vec<u32>,
+    offsets: Vec<u32>,
+    flat_out: Vec<f32>,
+    /// Lookups (nnz) coalesced so far, across all batches.
+    total_lookups: u64,
+    /// Unique rows actually contracted, across all batches.
+    total_unique_rows: u64,
+}
+
+impl Coalescer {
+    /// An empty coalescer; buffers grow to the working batch shape on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves `reqs` as one deduplicated batch through `session`, writing
+    /// each request's pooled row into its own `out` buffer.
+    ///
+    /// Steady-state allocation-free: the CSR assembly, the batch analysis
+    /// inside the session and the scatter back to per-request buffers all
+    /// reuse grown capacity (request `out` buffers are recycled by the
+    /// round-tripping client).
+    ///
+    /// # Panics
+    /// Panics if a request's indices are out of the table's factorized
+    /// capacity (the session's documented contract).
+    // CONTRACT: zero-alloc
+    pub fn process_into(
+        &mut self,
+        session: &mut TtInferenceSession<'_>,
+        reqs: &mut [ServeRequest],
+    ) {
+        let n = session.dim();
+        self.indices.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        for r in reqs.iter() {
+            self.indices.extend_from_slice(&r.indices);
+            self.offsets.push(self.indices.len() as u32);
+        }
+        self.flat_out.resize(reqs.len() * n, 0.0);
+        session.lookup_into(&self.indices, &self.offsets, &mut self.flat_out);
+        for (s, r) in reqs.iter_mut().enumerate() {
+            r.out.clear();
+            r.out.extend_from_slice(&self.flat_out[s * n..(s + 1) * n]);
+        }
+        self.total_lookups += self.indices.len() as u64;
+        self.total_unique_rows += session.last_unique_rows() as u64;
+    }
+
+    /// Total lookups coalesced so far.
+    pub fn total_lookups(&self) -> u64 {
+        self.total_lookups
+    }
+
+    /// Total unique rows contracted so far; `total_lookups - total_unique_rows`
+    /// is the chain work the cross-request dedup removed.
+    pub fn total_unique_rows(&self) -> u64 {
+        self.total_unique_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_core::{TtConfig, TtEmbeddingBag};
+    use rand::SeedableRng;
+
+    fn table() -> TtEmbeddingBag {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        TtEmbeddingBag::new(&TtConfig::new(1_000, 16, 8), &mut rng)
+    }
+
+    fn req(tenant: u32, id: u64, indices: &[u32]) -> ServeRequest {
+        ServeRequest { tenant, id, indices: indices.to_vec(), out: Vec::new(), submit_ns: 0 }
+    }
+
+    #[test]
+    fn coalesced_equals_sequential_lookup() {
+        let t = table();
+        let mut batch_session = TtInferenceSession::new(&t, 64);
+        let mut seq_session = TtInferenceSession::new(&t, 64);
+        let mut co = Coalescer::new();
+        let mut reqs = [req(0, 0, &[3, 999, 3]), req(1, 1, &[77, 120]), req(0, 2, &[77, 3, 500])];
+        co.process_into(&mut batch_session, &mut reqs);
+        for r in &reqs {
+            let m = seq_session.lookup(&r.indices, &[0, r.indices.len() as u32]);
+            assert_eq!(r.out.as_slice(), m.as_slice(), "request {} diverged", r.id);
+        }
+    }
+
+    #[test]
+    fn dedup_statistics_count_shared_rows() {
+        let t = table();
+        let mut session = TtInferenceSession::new(&t, 64);
+        let mut co = Coalescer::new();
+        // 6 lookups, only 2 distinct rows across the requests
+        let mut reqs = [req(0, 0, &[5, 9, 5]), req(1, 1, &[9, 5, 9])];
+        co.process_into(&mut session, &mut reqs);
+        assert_eq!(co.total_lookups(), 6);
+        assert_eq!(co.total_unique_rows(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let t = table();
+        let mut session = TtInferenceSession::new(&t, 64);
+        let mut co = Coalescer::new();
+        co.process_into(&mut session, &mut []);
+        assert_eq!(co.total_lookups(), 0);
+    }
+
+    #[test]
+    fn out_buffers_are_overwritten_not_appended() {
+        let t = table();
+        let mut session = TtInferenceSession::new(&t, 64);
+        let mut co = Coalescer::new();
+        let mut reqs = [req(0, 0, &[1, 2])];
+        reqs[0].out = vec![9.0; 64]; // stale garbage from a previous trip
+        co.process_into(&mut session, &mut reqs);
+        assert_eq!(reqs[0].out.len(), t.dim());
+    }
+}

@@ -1,0 +1,42 @@
+//! # el-serve
+//!
+//! Online serving tier over the frozen-table inference path: turns a
+//! concurrent stream of small per-user requests into batched, deduplicated
+//! TT lookups.
+//!
+//! EL-Rec's Algorithm 1 dedups shared TT index prefixes *within* one
+//! training batch. At serving time the same redundancy exists *across*
+//! concurrent requests — power-law traffic means many in-flight requests
+//! touch the same hot rows — so coalescing requests into one batch lets a
+//! single [`el_core::plan::LookupPlan`] contract each duplicate row (and
+//! each shared prefix) once, amortizing the chain work exactly the way the
+//! paper amortizes it per batch. The pieces:
+//!
+//! * [`batch::Coalescer`] — merges queued requests into one CSR batch,
+//!   serves it through [`el_core::TtInferenceSession::lookup_into`], and
+//!   scatters rows back per request from recycled buffers (zero-alloc in
+//!   steady state; proven by the `// CONTRACT: zero-alloc` analyzer).
+//! * [`server`] — admission control (bounded per-tenant in-flight budgets,
+//!   typed [`server::ServeError::Overloaded`] shedding, never a stall), a
+//!   dispatcher that batches per precision lane up to
+//!   `max_batch`/`max_wait_us`, and workers that run on the shared rayon
+//!   pool with a per-tenant [`el_core::InferencePrecision`].
+//! * [`metrics::LatencyHistogram`] — log-bucketed tail-latency accounting
+//!   (p50/p99/p999) for the SLO harness.
+//!
+//! The `serve_latency` bench (crates/bench) drives this tier with the
+//! open-loop Zipf generator from `el_data::loadgen` and records the
+//! tail-latency/shed-rate surface to `BENCH_serve_latency.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod config;
+pub mod metrics;
+pub mod server;
+pub mod timing;
+
+pub use batch::{Coalescer, ServeRequest, ServeResponse};
+pub use config::ServeConfig;
+pub use metrics::LatencyHistogram;
+pub use server::{serve, ServeError, ServeHandle, ServeReport, TenantConfig};

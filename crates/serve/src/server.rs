@@ -1,0 +1,661 @@
+//! The serving front-end: admission, batching lanes, worker pool.
+//!
+//! Request life cycle:
+//!
+//! 1. **Admission** ([`ServeHandle::submit`]): a tenant with
+//!    `tenant_inflight_cap` unanswered requests is shed with a typed
+//!    [`ServeError::Overloaded`] that hands the request (and its buffers)
+//!    back — submission *never blocks*, so an overloaded server degrades by
+//!    rejecting, not by stalling clients. The per-tenant budget is the
+//!    fairness mechanism: the shared ingress queue is sized to the sum of
+//!    all budgets, so one hot tenant can only ever occupy its own share.
+//! 2. **Batching**: the dispatcher groups admitted requests into per-
+//!    precision *lanes* (tenants choose `F32`/`Bf16`/`Int8`) and flushes a
+//!    lane when it reaches `max_batch` requests or its oldest request ages
+//!    past `max_wait_us` — the classic size-or-deadline window.
+//! 3. **Workers**: run as tasks on the shared rayon pool; each owns one
+//!    [`el_core::TtInferenceSession`] per lane in use and serves whole
+//!    batches through the [`Coalescer`], so duplicate rows across requests
+//!    of *different* users are contracted once. Job pickup serializes on a
+//!    mutex-guarded receiver (the vendored channel is single-consumer);
+//!    batch compute — the expensive part — runs fully in parallel.
+//!
+//! Everything is scoped: [`serve`] spawns the dispatcher and worker tasks,
+//! runs the caller's driver closure against a [`ServeHandle`], and tears
+//! the tier down when the driver returns, flushing queued work so no
+//! admitted request is lost on a graceful shutdown.
+
+use crate::batch::{Coalescer, ServeRequest, ServeResponse};
+use crate::config::ServeConfig;
+use crate::timing::Clock;
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use el_core::{InferencePrecision, TtEmbeddingBag, TtInferenceSession};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Number of precision lanes (one per [`InferencePrecision`] variant).
+const LANES: usize = 3;
+
+fn lane_of(p: InferencePrecision) -> usize {
+    match p {
+        InferencePrecision::F32 => 0,
+        InferencePrecision::Bf16 => 1,
+        InferencePrecision::Int8 => 2,
+    }
+}
+
+fn precision_of_lane(lane: usize) -> InferencePrecision {
+    match lane {
+        0 => InferencePrecision::F32,
+        1 => InferencePrecision::Bf16,
+        _ => InferencePrecision::Int8,
+    }
+}
+
+/// Per-tenant serving policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantConfig {
+    /// Numeric precision of the cached prefix products serving this
+    /// tenant's lookups (quantized lanes trade bounded error for a smaller
+    /// resident cache).
+    pub precision: InferencePrecision,
+}
+
+/// Typed admission outcome; every variant returns the request so the
+/// caller keeps ownership of its buffers (resubmit or recycle — nothing is
+/// silently dropped).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant's in-flight budget (or the ingress queue) is exhausted;
+    /// the request was shed, not queued.
+    Overloaded {
+        /// The rejected request, buffers intact.
+        request: ServeRequest,
+    },
+    /// The request named a tenant the server was not configured with.
+    UnknownTenant {
+        /// The rejected request.
+        request: ServeRequest,
+    },
+    /// The server is tearing down and no longer admits work.
+    ShuttingDown {
+        /// The rejected request.
+        request: ServeRequest,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { request } => {
+                write!(f, "tenant {} overloaded: request shed", request.tenant)
+            }
+            ServeError::UnknownTenant { request } => {
+                write!(f, "unknown tenant {}", request.tenant)
+            }
+            ServeError::ShuttingDown { .. } => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Shared serving statistics, updated with relaxed atomics (they are
+/// counters, not synchronization).
+#[derive(Default)]
+struct ServeStats {
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    dropped: AtomicU64,
+    lookups: AtomicU64,
+    unique_rows: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// End-of-run accounting returned by [`serve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests admitted past admission control.
+    pub submitted: u64,
+    /// Requests shed at admission (overload).
+    pub shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Batched lookups executed.
+    pub batches: u64,
+    /// Requests lost to teardown races (should stay 0 on graceful runs).
+    pub dropped: u64,
+    /// Total sparse lookups coalesced.
+    pub lookups: u64,
+    /// Unique rows actually contracted (`lookups - unique_rows` is the
+    /// chain work the cross-request dedup removed).
+    pub unique_rows: u64,
+    /// Prefix-cache hits across all worker sessions.
+    pub cache_hits: u64,
+    /// Prefix-cache misses across all worker sessions.
+    pub cache_misses: u64,
+    /// Prefix-cache evictions across all worker sessions.
+    pub cache_evictions: u64,
+}
+
+impl ServeReport {
+    /// Fraction of offered requests shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.submitted + self.shed;
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+}
+
+/// One coalesced batch traveling dispatcher -> worker.
+struct BatchJob {
+    reqs: Vec<ServeRequest>,
+    lane: usize,
+}
+
+/// Client-side face of a running serving tier; the driver closure passed
+/// to [`serve`] submits requests and drains responses through it.
+pub struct ServeHandle<'a> {
+    ingress: channel::Sender<ServeRequest>,
+    completions: channel::Receiver<ServeResponse>,
+    clock: Clock,
+    tenants: &'a [TenantConfig],
+    inflight: &'a [AtomicU32],
+    cap: usize,
+    stats: &'a ServeStats,
+}
+
+impl ServeHandle<'_> {
+    /// Nanoseconds on the server clock (the axis response stamps live on).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Admits `req` or sheds it. Never blocks: an overloaded tenant gets
+    /// [`ServeError::Overloaded`] immediately, with the request returned.
+    pub fn submit(&self, mut req: ServeRequest) -> Result<(), ServeError> {
+        let Some(counter) = self.inflight.get(req.tenant as usize) else {
+            return Err(ServeError::UnknownTenant { request: req });
+        };
+        debug_assert!((req.tenant as usize) < self.tenants.len());
+        let prev = counter.fetch_add(1, Ordering::AcqRel);
+        if prev as usize >= self.cap {
+            counter.fetch_sub(1, Ordering::AcqRel);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { request: req });
+        }
+        req.submit_ns = self.clock.now_ns();
+        match self.ingress.try_send(req) {
+            Ok(()) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(request)) => {
+                counter.fetch_sub(1, Ordering::AcqRel);
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded { request })
+            }
+            Err(TrySendError::Disconnected(request)) => {
+                counter.fetch_sub(1, Ordering::AcqRel);
+                Err(ServeError::ShuttingDown { request })
+            }
+        }
+    }
+
+    /// Next completed response, waiting at most `timeout`.
+    pub fn recv_response(&self, timeout: Duration) -> Option<ServeResponse> {
+        channel::recv_timeout(&self.completions, timeout).ok()
+    }
+
+    /// Next completed response if one is already queued.
+    pub fn try_recv_response(&self) -> Option<ServeResponse> {
+        self.completions.try_recv().ok()
+    }
+
+    /// Requests admitted but not yet answered, across all tenants.
+    pub fn outstanding(&self) -> u64 {
+        self.inflight.iter().map(|c| c.load(Ordering::Acquire) as u64).sum()
+    }
+}
+
+/// Runs a serving tier over `table` for the duration of `driver`.
+///
+/// The dispatcher runs on a scoped thread; `workers` tasks run on the
+/// shared rayon pool. `driver` executes on the calling thread against a
+/// [`ServeHandle`]; when it returns, admission closes, queued work is
+/// flushed and served, the tier joins, and the aggregated [`ServeReport`]
+/// is returned beside the driver's result.
+///
+/// # Panics
+/// Panics when `tenants` is empty.
+pub fn serve<R>(
+    table: &TtEmbeddingBag,
+    cfg: &ServeConfig,
+    tenants: &[TenantConfig],
+    driver: impl FnOnce(&ServeHandle<'_>) -> R,
+) -> (R, ServeReport) {
+    assert!(!tenants.is_empty(), "serving tier needs at least one tenant");
+    let cfg = cfg.clone();
+    let clock = Clock::start();
+    let stats = ServeStats::default();
+    let inflight: Vec<AtomicU32> = tenants.iter().map(|_| AtomicU32::new(0)).collect();
+    let mut lanes_used = [false; LANES];
+    for t in tenants {
+        lanes_used[lane_of(t.precision)] = true;
+    }
+
+    let ingress_cap = cfg.tenant_inflight_cap * tenants.len();
+    let (ingress_tx, ingress_rx) = channel::bounded::<ServeRequest>(ingress_cap);
+    let (jobs_tx, jobs_rx) = channel::bounded::<BatchJob>(cfg.workers * 2 + 2);
+    let jobs_rx = Mutex::new(jobs_rx);
+    let (recycle_tx, recycle_rx) = channel::bounded::<Vec<ServeRequest>>(cfg.workers * 2 + 4);
+    // Pre-fill the recycle loop so steady state never allocates batch
+    // containers.
+    for _ in 0..cfg.workers * 2 + 4 {
+        let _ = recycle_tx.try_send(Vec::with_capacity(cfg.max_batch));
+    }
+    let (done_tx, done_rx) = channel::unbounded::<ServeResponse>();
+
+    let result = std::thread::scope(|s| {
+        let stats = &stats;
+        let inflight = &inflight[..];
+        let jobs_rx = &jobs_rx;
+        let cfg_ref = &cfg;
+        s.spawn(move || {
+            dispatch(cfg_ref, tenants, clock, ingress_rx, jobs_tx, recycle_rx, inflight, stats);
+        });
+        let recycle_tx = recycle_tx; // moved into the worker task spawner
+        let done_tx = done_tx;
+        s.spawn(move || {
+            (0..cfg_ref.workers).into_par_iter().for_each(|_| {
+                worker_loop(
+                    table,
+                    cfg_ref,
+                    lanes_used,
+                    clock,
+                    jobs_rx,
+                    &recycle_tx,
+                    &done_tx,
+                    inflight,
+                    stats,
+                );
+            });
+        });
+        let handle = ServeHandle {
+            ingress: ingress_tx,
+            completions: done_rx,
+            clock,
+            tenants,
+            inflight,
+            cap: cfg_ref.tenant_inflight_cap,
+            stats,
+        };
+        driver(&handle)
+        // `handle` (the last ingress sender and the completion receiver)
+        // drops here: the dispatcher drains what is queued, flushes every
+        // lane and exits; the job channel closes; workers finish and fold
+        // their session counters into `stats`; scope joins everything.
+    });
+
+    let report = ServeReport {
+        submitted: stats.submitted.load(Ordering::Relaxed),
+        shed: stats.shed.load(Ordering::Relaxed),
+        completed: stats.completed.load(Ordering::Relaxed),
+        batches: stats.batches.load(Ordering::Relaxed),
+        dropped: stats.dropped.load(Ordering::Relaxed),
+        lookups: stats.lookups.load(Ordering::Relaxed),
+        unique_rows: stats.unique_rows.load(Ordering::Relaxed),
+        cache_hits: stats.hits.load(Ordering::Relaxed),
+        cache_misses: stats.misses.load(Ordering::Relaxed),
+        cache_evictions: stats.evictions.load(Ordering::Relaxed),
+    };
+    (result, report)
+}
+
+/// Batching loop: drains the ingress queue into per-precision lanes and
+/// flushes each lane on size or deadline. Exits (flushing everything) when
+/// every ingress sender is gone.
+#[allow(clippy::too_many_arguments)]
+// CONTRACT: panic-free
+fn dispatch(
+    cfg: &ServeConfig,
+    tenants: &[TenantConfig],
+    clock: Clock,
+    ingress_rx: channel::Receiver<ServeRequest>,
+    jobs_tx: channel::Sender<BatchJob>,
+    recycle_rx: channel::Receiver<Vec<ServeRequest>>,
+    inflight: &[AtomicU32],
+    stats: &ServeStats,
+) {
+    let wait_ns = cfg.max_wait_us.saturating_mul(1_000);
+    let mut pending: [Vec<ServeRequest>; LANES] = Default::default();
+    let mut first_ns = [0u64; LANES];
+
+    let flush = |lane: usize, pending: &mut [Vec<ServeRequest>; LANES]| {
+        if pending[lane].is_empty() {
+            return;
+        }
+        let mut reqs = recycle_rx.try_recv().unwrap_or_default();
+        reqs.clear();
+        std::mem::swap(&mut reqs, &mut pending[lane]);
+        if let Err(mpsc::TrySendError::Full(job) | mpsc::TrySendError::Disconnected(job)) =
+            send_job(&jobs_tx, BatchJob { reqs, lane })
+        {
+            // Workers are gone (teardown race): release the budgets so the
+            // driver's outstanding count stays truthful.
+            for req in job.reqs {
+                if let Some(c) = inflight.get(req.tenant as usize) {
+                    c.fetch_sub(1, Ordering::AcqRel);
+                }
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+
+    loop {
+        // Sleep until the next lane deadline (or a coarse tick when idle);
+        // a new arrival wakes the loop immediately.
+        let now = clock.now_ns();
+        let mut wait = 1_000_000u64; // 1ms idle tick
+        for lane in 0..LANES {
+            if !pending[lane].is_empty() {
+                let deadline = first_ns[lane].saturating_add(wait_ns);
+                wait = wait.min(deadline.saturating_sub(now)).min(wait_ns.max(1));
+            }
+        }
+        match channel::recv_timeout(&ingress_rx, Duration::from_nanos(wait)) {
+            Ok(req) => {
+                let lane =
+                    tenants.get(req.tenant as usize).map(|t| lane_of(t.precision)).unwrap_or(0);
+                if pending[lane].is_empty() {
+                    first_ns[lane] = clock.now_ns();
+                }
+                pending[lane].push(req);
+                if pending[lane].len() >= cfg.max_batch {
+                    flush(lane, &mut pending);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                for lane in 0..LANES {
+                    flush(lane, &mut pending);
+                }
+                return;
+            }
+        }
+        let now = clock.now_ns();
+        for lane in 0..LANES {
+            if !pending[lane].is_empty() && now.saturating_sub(first_ns[lane]) >= wait_ns {
+                flush(lane, &mut pending);
+            }
+        }
+    }
+}
+
+/// Blocking job submission that degrades to the error path instead of
+/// panicking when the worker side is gone.
+fn send_job(
+    tx: &channel::Sender<BatchJob>,
+    job: BatchJob,
+) -> Result<(), mpsc::TrySendError<BatchJob>> {
+    tx.send(job).map_err(|mpsc::SendError(j)| mpsc::TrySendError::Disconnected(j))
+}
+
+/// One worker task: picks up batch jobs, serves them through its own
+/// per-lane inference sessions, stamps and delivers responses, recycles
+/// the batch container.
+#[allow(clippy::too_many_arguments)]
+// CONTRACT: panic-free
+fn worker_loop(
+    table: &TtEmbeddingBag,
+    cfg: &ServeConfig,
+    lanes_used: [bool; LANES],
+    clock: Clock,
+    jobs_rx: &Mutex<channel::Receiver<BatchJob>>,
+    recycle_tx: &channel::Sender<Vec<ServeRequest>>,
+    done_tx: &mpsc::Sender<ServeResponse>,
+    inflight: &[AtomicU32],
+    stats: &ServeStats,
+) {
+    let mut sessions: [Option<TtInferenceSession<'_>>; LANES] = [None, None, None];
+    for (lane, used) in lanes_used.iter().enumerate() {
+        if *used {
+            sessions[lane] = Some(TtInferenceSession::with_precision(
+                table,
+                cfg.cache_capacity,
+                precision_of_lane(lane),
+            ));
+        }
+    }
+    let mut coalescer = Coalescer::new();
+
+    loop {
+        // Lock, wait briefly, release: pickup serializes on the mutex (the
+        // vendored channel is single-consumer) but the short timeout keeps
+        // any one worker from parking on the receiver while others starve.
+        let job = { jobs_rx.lock().recv_timeout(Duration::from_micros(200)) };
+        let mut job = match job {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let Some(session) = sessions[job.lane].as_mut() else {
+            // A lane no tenant uses cannot receive jobs; recover anyway.
+            for req in job.reqs.drain(..) {
+                if let Some(c) = inflight.get(req.tenant as usize) {
+                    c.fetch_sub(1, Ordering::AcqRel);
+                }
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        };
+        coalescer.process_into(session, &mut job.reqs);
+        let done_ns = clock.now_ns();
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        for req in job.reqs.drain(..) {
+            let tenant = req.tenant as usize;
+            // Deliver before releasing the budget so `outstanding() == 0`
+            // implies every response is already in the completion queue.
+            let _ = done_tx.send(ServeResponse { req, done_ns });
+            if let Some(c) = inflight.get(tenant) {
+                c.fetch_sub(1, Ordering::AcqRel);
+            }
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = recycle_tx.try_send(job.reqs);
+    }
+
+    // Fold this worker's cache and dedup counters into the shared totals.
+    stats.lookups.fetch_add(coalescer.total_lookups(), Ordering::Relaxed);
+    stats.unique_rows.fetch_add(coalescer.total_unique_rows(), Ordering::Relaxed);
+    for session in sessions.iter().flatten() {
+        stats.hits.fetch_add(session.hits(), Ordering::Relaxed);
+        stats.misses.fetch_add(session.misses(), Ordering::Relaxed);
+        stats.evictions.fetch_add(session.evictions(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_core::TtConfig;
+    use rand::SeedableRng;
+
+    fn table(rows: usize) -> TtEmbeddingBag {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        TtEmbeddingBag::new(&TtConfig::new(rows, 16, 8), &mut rng)
+    }
+
+    fn req(tenant: u32, id: u64, indices: &[u32]) -> ServeRequest {
+        ServeRequest { tenant, id, indices: indices.to_vec(), out: Vec::new(), submit_ns: 0 }
+    }
+
+    fn drain(handle: &ServeHandle<'_>, expect: usize) -> Vec<ServeResponse> {
+        let mut got = Vec::new();
+        while got.len() < expect {
+            match handle.recv_response(Duration::from_secs(10)) {
+                Some(r) => got.push(r),
+                None => break,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn round_trips_match_direct_lookup() {
+        let t = table(500);
+        let cfg = ServeConfig { workers: 2, ..ServeConfig::default() };
+        let tenants = [TenantConfig::default()];
+        let (responses, report) = serve(&t, &cfg, &tenants, |h| {
+            for i in 0..40u64 {
+                let r = req(0, i, &[(i % 500) as u32, ((i * 7) % 500) as u32]);
+                h.submit(r).expect("no load to shed");
+            }
+            drain(h, 40)
+        });
+        assert_eq!(responses.len(), 40);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.dropped, 0);
+        let mut session = TtInferenceSession::new(&t, 64);
+        for r in &responses {
+            let want = session.lookup(&r.req.indices, &[0, r.req.indices.len() as u32]);
+            assert_eq!(r.req.out.as_slice(), want.as_slice(), "request {}", r.req.id);
+        }
+    }
+
+    #[test]
+    fn baseline_batch_of_one_still_serves() {
+        let t = table(200);
+        let cfg = ServeConfig::default().with_batching(1, 0);
+        let tenants = [TenantConfig::default()];
+        let (got, report) = serve(&t, &cfg, &tenants, |h| {
+            for i in 0..10u64 {
+                h.submit(req(0, i, &[i as u32])).expect("under load");
+            }
+            drain(h, 10).len()
+        });
+        assert_eq!(got, 10);
+        // batch=1 means one batch per request
+        assert_eq!(report.batches, 10);
+    }
+
+    #[test]
+    fn overload_sheds_typed_and_never_stalls() {
+        let t = table(200);
+        // Huge window so admitted requests stay in flight during the flood.
+        let cfg = ServeConfig {
+            max_batch: 1_024,
+            max_wait_us: 500_000,
+            workers: 1,
+            tenant_inflight_cap: 4,
+            cache_capacity: 64,
+        };
+        let tenants = [TenantConfig::default(), TenantConfig::default()];
+        let ((sheds, t1_ok), report) = serve(&t, &cfg, &tenants, |h| {
+            let mut sheds = 0u64;
+            for i in 0..100u64 {
+                match h.submit(req(0, i, &[3])) {
+                    Ok(()) => {}
+                    Err(ServeError::Overloaded { request }) => {
+                        sheds += 1;
+                        assert_eq!(request.indices, vec![3], "buffers must come back");
+                    }
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            }
+            // Fairness: tenant 1 is idle, so its budget is untouched and it
+            // must be admitted despite tenant 0's flood.
+            let t1_ok = h.submit(req(1, 1_000, &[7])).is_ok();
+            (sheds, t1_ok)
+        });
+        assert_eq!(sheds, 96, "cap 4 admits exactly 4 of the flood");
+        assert!(t1_ok, "hot tenant starved an idle one");
+        assert_eq!(report.shed, 96);
+        assert_eq!(report.completed, 5, "queued work is flushed at shutdown");
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected_with_buffers() {
+        let t = table(100);
+        let tenants = [TenantConfig::default()];
+        let (rejected, _) =
+            serve(&t, &ServeConfig::default(), &tenants, |h| match h.submit(req(9, 0, &[1, 2])) {
+                Err(ServeError::UnknownTenant { request }) => request.indices,
+                other => panic!("expected UnknownTenant, got {other:?}"),
+            });
+        assert_eq!(rejected, vec![1, 2]);
+    }
+
+    #[test]
+    fn mixed_precision_lanes_serve_according_to_tenant() {
+        let t = table(300);
+        let cfg = ServeConfig { workers: 2, ..ServeConfig::default() };
+        let tenants = [
+            TenantConfig { precision: InferencePrecision::F32 },
+            TenantConfig { precision: InferencePrecision::Int8 },
+        ];
+        let (responses, report) = serve(&t, &cfg, &tenants, |h| {
+            for i in 0..30u64 {
+                h.submit(req((i % 2) as u32, i, &[(i * 3 % 300) as u32])).expect("under load");
+            }
+            drain(h, 30)
+        });
+        assert_eq!(responses.len(), 30);
+        assert!(report.batches >= 2, "two lanes cannot share a batch");
+        // F32 lane is exact; Int8 lane is close but quantized.
+        let mut exact = TtInferenceSession::new(&t, 64);
+        for r in &responses {
+            let want = exact.lookup(&r.req.indices, &[0, 1]);
+            let diff = r
+                .req
+                .out
+                .iter()
+                .zip(want.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            if r.req.tenant == 0 {
+                assert_eq!(r.req.out.as_slice(), want.as_slice());
+            } else {
+                let scale = want.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+                assert!(diff < 0.05 * scale, "int8 lane diverged by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_dedup_and_cache_effect() {
+        let t = table(400);
+        let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+        let tenants = [TenantConfig::default()];
+        let (_, report) = serve(&t, &cfg, &tenants, |h| {
+            // Heavy duplication across requests: everyone asks for row 42.
+            for i in 0..64u64 {
+                h.submit(req(0, i, &[42, 42, (i % 4) as u32])).expect("under load");
+            }
+            drain(h, 64)
+        });
+        assert_eq!(report.completed, 64);
+        assert!(report.lookups > report.unique_rows, "cross-request dedup must collapse rows");
+        assert!(report.cache_hits + report.cache_misses > 0, "cache counters must be reported");
+    }
+
+    #[test]
+    fn shed_rate_is_zero_without_overload() {
+        let r = ServeReport { submitted: 10, ..Default::default() };
+        assert_eq!(r.shed_rate(), 0.0);
+        let r2 = ServeReport { submitted: 8, shed: 2, ..Default::default() };
+        assert!((r2.shed_rate() - 0.2).abs() < 1e-12);
+    }
+}

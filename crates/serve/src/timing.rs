@@ -1,0 +1,46 @@
+//! Monotonic serving clock.
+//!
+//! One `Instant` anchor taken at server start; every stamp is nanoseconds
+//! since that anchor, so arrival times from an open-loop trace and
+//! completion times from workers live on the same axis as plain `u64`s
+//! (cheap to store per request, cheap to subtract).
+
+use std::time::Instant;
+
+/// Monotonic nanosecond clock anchored at construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    start: Instant,
+}
+
+impl Clock {
+    /// Anchors the clock at the current instant.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the anchor.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = Clock::start();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -58,7 +58,10 @@ fn main() {
             pipelined,
             overlap_analysis: pipelined,
         };
-        PipelineTrainer::train(model, server, &dataset, &config)
+        // The Result API surfaces schedule/mode mismatches as a typed
+        // error before any thread spawns (`train` is the panicking strict
+        // wrapper around this).
+        PipelineTrainer::try_train(model, server, &dataset, &config).expect("schedule is servable")
     };
 
     println!("\nsequential run (queue depth 1)...");

@@ -22,7 +22,10 @@
 //! * [`sim`] — deterministic discrete-event simulator for the pipeline with
 //!   seeded fault injection and staleness-invariant checking,
 //! * [`frameworks`] — baseline framework emulations used by the benchmark
-//!   harness (DLRM-PS, FAE, TT-Rec, HugeCTR-style, TorchRec-style).
+//!   harness (DLRM-PS, FAE, TT-Rec, HugeCTR-style, TorchRec-style),
+//! * [`serve`] — online multi-tenant serving tier: cross-request coalescing
+//!   over the TT prefix-reuse dedup, admission control with load shedding,
+//!   tail-latency accounting.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -35,5 +38,6 @@ pub use el_dlrm as dlrm;
 pub use el_frameworks as frameworks;
 pub use el_pipeline as pipeline;
 pub use el_reorder as reorder;
+pub use el_serve as serve;
 pub use el_sim as sim;
 pub use el_tensor as tensor;

@@ -4,7 +4,9 @@
 
 use el_rec::data::{DatasetSpec, SyntheticDataset};
 use el_rec::dlrm::embedding_bag::{EmbeddingBag, SparseGrad};
-use el_rec::pipeline::server::{make_queues, GradientPush, HostServer};
+use el_rec::pipeline::server::{
+    make_queues, GradientPush, HostServer, ServingLoop, ServingSchedule,
+};
 use rand::SeedableRng;
 
 fn dataset() -> SyntheticDataset {
@@ -18,6 +20,11 @@ fn server() -> HostServer {
         (1usize, EmbeddingBag::new(100, 8, 0.2, &mut rng)),
     ];
     HostServer::new(tables, 0.1)
+}
+
+fn serving(count: u64, pipelined: bool) -> ServingLoop {
+    let schedule = ServingSchedule { first: 0, count, batch_size: 16, pipelined };
+    ServingLoop::new(server(), schedule).expect("dense-mode server serves any schedule")
 }
 
 fn unit_push(pf: &el_rec::pipeline::server::PrefetchedBatch) -> GradientPush {
@@ -44,7 +51,7 @@ fn worker_vanishing_mid_run_stops_the_server_cleanly() {
     let (ptx, prx, gtx, grx) = make_queues(2);
     let handle = std::thread::spawn({
         let ds = ds.clone();
-        move || server().run(&ds, 0, 100, 16, ptx, grx, true)
+        move || serving(100, true).run(&ds, ptx, grx)
     });
 
     // the "worker" processes three batches, then dies without warning
@@ -70,7 +77,7 @@ fn worker_that_never_pushes_gradients_does_not_wedge_the_server() {
     let (ptx, prx, gtx, grx) = make_queues(1);
     let handle = std::thread::spawn({
         let ds = ds.clone();
-        move || server().run(&ds, 0, 10, 16, ptx, grx, false) // sequential: blocks on grads
+        move || serving(10, false).run(&ds, ptx, grx) // sequential: blocks on grads
     });
     // consume one prefetch, never push, then hang up
     let _ = prx.recv().unwrap();
@@ -88,7 +95,7 @@ fn server_tail_drain_applies_late_gradients() {
     let (ptx, prx, gtx, grx) = make_queues(4);
     let handle = std::thread::spawn({
         let ds = ds.clone();
-        move || server().run(&ds, 0, 5, 16, ptx, grx, true)
+        move || serving(5, true).run(&ds, ptx, grx)
     });
     let prefetched: Vec<_> = (0..5).map(|_| prx.recv().unwrap()).collect();
     // server has now sent everything and is waiting in the drain loop
@@ -108,7 +115,7 @@ fn bounded_prefetch_queue_applies_backpressure() {
     let (ptx, prx, gtx, grx) = make_queues(1);
     let handle = std::thread::spawn({
         let ds = ds.clone();
-        move || server().run(&ds, 0, 50, 16, ptx, grx, true)
+        move || serving(50, true).run(&ds, ptx, grx)
     });
     std::thread::sleep(std::time::Duration::from_millis(200));
     // nothing consumed: the channel holds exactly its capacity
