@@ -236,6 +236,12 @@ pub struct HostedTableCheckpoint {
 /// Snapshot of a [`HostServer`]: hosted tables, learning rate, and the
 /// applied-gradient stamp (the push-sequence watermark workers staleness-
 /// synchronize against).
+///
+/// The parameter tier may be sharded (`crate::router`): `shard` and
+/// `num_shards` record which slice of which layout this snapshot holds,
+/// so a restore against a *different* layout is a typed error instead of
+/// silently merging rows into the wrong ranges. The single-server tier
+/// is the `shard 0 of 1` degenerate.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServerCheckpoint {
     /// Hosted tables with their model table ids.
@@ -244,11 +250,22 @@ pub struct ServerCheckpoint {
     pub lr: f32,
     /// Gradient batches applied so far.
     pub applied: u64,
+    /// Which shard of the layout this snapshot captures (0 for the
+    /// single-server tier).
+    pub shard: u32,
+    /// Shards in the layout this snapshot was taken under (1 for the
+    /// single-server tier).
+    pub num_shards: u32,
 }
 
 impl ServerCheckpoint {
-    /// Captures a server's durable state.
+    /// Captures a (single-tier) server's durable state.
     pub fn capture(server: &HostServer) -> Self {
+        Self::capture_shard(server, 0, 1)
+    }
+
+    /// Captures one shard of an `num_shards`-way sharded tier.
+    pub fn capture_shard(server: &HostServer, shard: u32, num_shards: u32) -> Self {
         Self {
             tables: server
                 .tables
@@ -257,6 +274,8 @@ impl ServerCheckpoint {
                 .collect(),
             lr: server.lr,
             applied: server.applied,
+            shard,
+            num_shards,
         }
     }
 
@@ -269,6 +288,25 @@ impl ServerCheckpoint {
         let mut server = HostServer::new(tables, self.lr);
         server.applied = self.applied;
         server
+    }
+
+    /// Rebuilds one shard of a sharded tier, rejecting a snapshot taken
+    /// under a different layout slot with a typed
+    /// [`CkptError::StateMismatch`] — restoring shard 2-of-4 into slot
+    /// 1-of-3 would scatter rows into the wrong ranges, so the layout
+    /// identity is validated before any table is touched.
+    pub fn restore_shard(
+        self,
+        expected_shard: u32,
+        expected_num_shards: u32,
+    ) -> Result<HostServer, CkptError> {
+        if self.shard != expected_shard || self.num_shards != expected_num_shards {
+            return Err(CkptError::StateMismatch(format!(
+                "checkpoint holds shard {} of {} but slot {} of {} was requested",
+                self.shard, self.num_shards, expected_shard, expected_num_shards
+            )));
+        }
+        Ok(self.restore())
     }
 }
 
@@ -847,6 +885,68 @@ mod tests {
             next_batch,
             workers: vec![WorkerCursor { worker: 0, next_batch }],
         }
+    }
+
+    /// Round-trips one shard's checkpoint through JSON for every shard
+    /// of a layout, and rejects a restore against a different layout
+    /// slot with the typed error (satellite of the sharded-tier issue).
+    fn shard_ckpt_roundtrip(num_shards: u32) {
+        use crate::router::{split_tables, ShardConfig, ShardLayout};
+        use el_dlrm::embedding_bag::EmbeddingBag;
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let tables = vec![
+            (1usize, EmbeddingBag::new(40, 4, 0.2, &mut rng)),
+            (2usize, EmbeddingBag::new(25, 4, 0.2, &mut rng)),
+        ];
+        let cfg = ShardConfig { num_shards, rows_per_range: 7, placement_seed: 5 };
+        let layout = ShardLayout::place_for(&cfg, &tables);
+        let shards = split_tables(&tables, &layout).unwrap();
+        for (s, sub) in shards.into_iter().enumerate() {
+            let mut server = HostServer::new(sub, 0.05);
+            server.applied = 11;
+            let ckpt = ServerCheckpoint::capture_shard(&server, s as u32, num_shards);
+            let text = serde_json::to_string(&ckpt).unwrap();
+            let decoded: ServerCheckpoint = serde_json::from_str(&text).unwrap();
+            // a layout change between save and load is a typed error
+            match decoded.clone().restore_shard(s as u32, num_shards + 1) {
+                Err(CkptError::StateMismatch(_)) => {}
+                Err(other) => panic!("layout change must be StateMismatch, got {other:?}"),
+                Ok(_) => panic!("layout change must be rejected"),
+            }
+            if num_shards > 1 {
+                let wrong_slot = (s as u32 + 1) % num_shards;
+                match decoded.clone().restore_shard(wrong_slot, num_shards) {
+                    Err(CkptError::StateMismatch(_)) => {}
+                    Err(other) => panic!("slot change must be StateMismatch, got {other:?}"),
+                    Ok(_) => panic!("slot change must be rejected"),
+                }
+            }
+            let restored = decoded.restore_shard(s as u32, num_shards).unwrap();
+            assert_eq!(restored.applied, 11);
+            assert_eq!(restored.tables.len(), server.tables.len());
+            for ((ta, a), (tb, b)) in server.tables.iter().zip(&restored.tables) {
+                assert_eq!(ta, tb);
+                assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_checkpoints_round_trip_per_layout() {
+        for shards in [1, 2, 4] {
+            shard_ckpt_roundtrip(shards);
+        }
+    }
+
+    #[test]
+    fn single_server_capture_is_the_degenerate_shard() {
+        let ckpt = ServerCheckpoint::capture(&HostServer::new(Vec::new(), 0.1));
+        assert_eq!((ckpt.shard, ckpt.num_shards), (0, 1));
+        // the unsharded restore path ignores layout identity
+        assert!(ckpt.clone().restore_shard(0, 1).is_ok());
+        assert!(matches!(ckpt.restore_shard(1, 2), Err(CkptError::StateMismatch(_))));
     }
 
     #[test]

@@ -1,0 +1,867 @@
+//! Sharded parameter-tier routing (table-wise + row-range sharding).
+//!
+//! The single [`HostServer`] of paper Figure 9 owns every hosted table;
+//! this module splits that tier into N independent shards the way
+//! "Two-dimensional Sparse Parallelism" partitions DLRM tables: each
+//! table's row space is cut into fixed-size **row ranges**, and every
+//! `(table, range)` cell is placed on a shard by **consistent hashing**
+//! over a virtual-node ring, so both table-wise and row-wise partitions
+//! fall out of one placement function and adding a shard only moves the
+//! ranges that hash to its virtual nodes.
+//!
+//! The [`ShardRouter`] is the seam the rest of the system sees:
+//!
+//! * [`ShardRouter::gather`] fans a batch's unique rows out across the
+//!   shards and reassembles a [`PrefetchedBatch`] byte-identical to the
+//!   single-server gather, stamped with the **minimum** per-shard
+//!   `applied` watermark (the global staleness stamp is stitched from
+//!   the per-shard stamp domains);
+//! * [`ShardRouter::scatter_push`] splits one worker [`GradientPush`]
+//!   into one push **per shard** — every shard receives a push for every
+//!   batch (possibly with empty per-table gradients), so each shard's
+//!   stamp domain advances exactly once per batch and the existing
+//!   [`HostServer::apply_checked`] dedup/gap machinery works unchanged
+//!   per shard.
+//!
+//! Why the min-stamp reassembly preserves byte-identity: a worker cache
+//! entry always holds the freshest worker-predicted post-update row, and
+//! the cache keeps any entry with `pushed_at >= applied_through`. Taking
+//! the minimum over shards only *lowers* the stamp, which only makes the
+//! cache keep entries longer — and when the minimum watermark passes an
+//! entry's `pushed_at`, the shard owning that row has necessarily
+//! applied the update, so the served row already equals the cached
+//! prediction. Per-shard skew therefore never changes trained bytes.
+
+use crate::server::{ApplyOutcome, GradientPush, HostServer, PrefetchedBatch, ServerError};
+use el_data::MiniBatch;
+use el_dlrm::embedding_bag::{EmbeddingBag, SparseGrad};
+use el_tensor::Matrix;
+use std::fmt;
+
+/// Virtual nodes per shard on the consistent-hash ring. More nodes
+/// smooth the range distribution; 16 keeps the ring tiny while holding
+/// the max/mean shard load under ~2x for small shard counts.
+const VNODES_PER_SHARD: u64 = 16;
+
+/// SplitMix64 — the same mixer the simulator uses for seed derivation,
+/// copied privately so the placement function has no dependency on the
+/// sim crate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Typed failures of the routing layer.
+///
+/// Placement errors are plain data (no formatting, no allocation) so the
+/// hot [`ShardLayout::route`] path stays allocation-free even on the
+/// error branch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// The layout does not place this table.
+    UnknownTable(usize),
+    /// A row index beyond the table's placed row count.
+    RowOutOfRange {
+        /// Table the row was addressed in.
+        table: usize,
+        /// The offending row index.
+        row: u32,
+        /// Rows the layout placed for that table.
+        rows: u32,
+    },
+    /// The shard slice handed to a router operation does not match the
+    /// layout's shard count.
+    ShardCountMismatch {
+        /// Shards the layout places onto.
+        expected: u32,
+        /// Shards the caller provided.
+        got: u32,
+    },
+    /// The sharded tier serves `UniqueRows` mode only; pooled-embedding
+    /// payloads cannot be row-partitioned.
+    PooledUnsupported,
+    /// A shard's intake rejected the scattered push.
+    Shard(ServerError),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::UnknownTable(t) => write!(f, "layout places no table {t}"),
+            RouterError::RowOutOfRange { table, row, rows } => {
+                write!(f, "row {row} out of range for table {table} ({rows} rows placed)")
+            }
+            RouterError::ShardCountMismatch { expected, got } => {
+                write!(f, "layout places {expected} shards but {got} were provided")
+            }
+            RouterError::PooledUnsupported => {
+                write!(f, "the sharded tier serves UniqueRows mode only")
+            }
+            RouterError::Shard(e) => write!(f, "shard intake rejected the push: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<ServerError> for RouterError {
+    fn from(e: ServerError) -> Self {
+        RouterError::Shard(e)
+    }
+}
+
+/// Sharding knobs, environment-overridable for the trainer wiring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of host-server shards (1 = the single-server degenerate).
+    pub num_shards: u32,
+    /// Rows per placement range; each `(table, range)` cell is placed
+    /// independently on the ring.
+    pub rows_per_range: u32,
+    /// Seed of the consistent-hash ring (placements are a pure function
+    /// of this seed plus the table list).
+    pub placement_seed: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self { num_shards: 1, rows_per_range: 64, placement_seed: 0 }
+    }
+}
+
+impl ShardConfig {
+    /// Reads `EL_SHARDS` / `EL_SHARD_RANGE_ROWS` overrides on top of the
+    /// defaults. Unset or unparsable values keep the default; both knobs
+    /// are clamped to at least 1.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("EL_SHARDS") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                cfg.num_shards = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("EL_SHARD_RANGE_ROWS") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                cfg.rows_per_range = n.max(1);
+            }
+        }
+        cfg
+    }
+}
+
+/// Placement of one table's row ranges onto shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableOwnership {
+    /// Table id in the model.
+    pub table_id: usize,
+    /// Total rows placed for this table.
+    pub rows: u32,
+    /// Owning shard of each row range (`range = row / rows_per_range`).
+    pub owners: Vec<u32>,
+    /// Per range: how many of the table's earlier rows the same shard
+    /// owns — the base of the range's rows inside the shard's sub-table,
+    /// which stores its owned rows in ascending global order.
+    pub local_base: Vec<u32>,
+}
+
+/// Where one `(table, row)` lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRoute {
+    /// Owning shard.
+    pub shard: u32,
+    /// Row index inside that shard's sub-table for the table.
+    pub local: u32,
+}
+
+/// The full placement: every hosted table's ranges mapped onto
+/// `num_shards` shards by consistent hashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    num_shards: u32,
+    rows_per_range: u32,
+    placement_seed: u64,
+    tables: Vec<TableOwnership>,
+}
+
+impl ShardLayout {
+    /// Places `tables` (`(table id, rows)`) under `cfg`. The placement
+    /// is a pure function of the config and the table list, so every
+    /// participant (trainer, shards, serving tier, simulator) derives
+    /// the identical layout independently.
+    pub fn place(cfg: &ShardConfig, tables: &[(usize, usize)]) -> Self {
+        let num_shards = cfg.num_shards.max(1);
+        let rows_per_range = cfg.rows_per_range.max(1);
+        // the virtual-node ring: (point, shard), sorted by point
+        let mut ring: Vec<(u64, u32)> =
+            Vec::with_capacity((num_shards as u64 * VNODES_PER_SHARD) as usize);
+        for s in 0..num_shards {
+            for v in 0..VNODES_PER_SHARD {
+                let point = splitmix64(cfg.placement_seed ^ splitmix64((u64::from(s) << 20) | v));
+                ring.push((point, s));
+            }
+        }
+        ring.sort_unstable();
+        let owner_of = |key: u64| -> u32 {
+            let idx = ring.partition_point(|(p, _)| *p < key);
+            ring[if idx == ring.len() { 0 } else { idx }].1
+        };
+        let tables = tables
+            .iter()
+            .map(|&(table_id, rows)| {
+                let rows = rows as u32;
+                let num_ranges = (rows as usize).div_ceil(rows_per_range as usize);
+                let mut owners = Vec::with_capacity(num_ranges);
+                let mut local_base = Vec::with_capacity(num_ranges);
+                // running count of this table's rows owned by each shard
+                let mut owned_so_far = vec![0u32; num_shards as usize];
+                for range in 0..num_ranges {
+                    let key = splitmix64(
+                        cfg.placement_seed
+                            ^ splitmix64(
+                                (table_id as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
+                                    ^ ((range as u64) << 1 | 1),
+                            ),
+                    );
+                    let shard = owner_of(key);
+                    owners.push(shard);
+                    local_base.push(owned_so_far[shard as usize]);
+                    let start = range as u32 * rows_per_range;
+                    let len = rows_per_range.min(rows - start);
+                    owned_so_far[shard as usize] += len;
+                }
+                TableOwnership { table_id, rows, owners, local_base }
+            })
+            .collect();
+        Self { num_shards, rows_per_range, placement_seed: cfg.placement_seed, tables }
+    }
+
+    /// Places the tables a [`HostServer`] hosts (id + row count taken
+    /// from the bags themselves).
+    pub fn place_for(cfg: &ShardConfig, tables: &[(usize, EmbeddingBag)]) -> Self {
+        let sizes: Vec<(usize, usize)> =
+            tables.iter().map(|(t, bag)| (*t, bag.num_rows())).collect();
+        Self::place(cfg, &sizes)
+    }
+
+    /// Number of shards this layout places onto.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// Rows per placement range.
+    pub fn rows_per_range(&self) -> u32 {
+        self.rows_per_range
+    }
+
+    /// Seed of the placement ring.
+    pub fn placement_seed(&self) -> u64 {
+        self.placement_seed
+    }
+
+    /// Per-table ownership records, in placement order.
+    pub fn tables(&self) -> &[TableOwnership] {
+        &self.tables
+    }
+
+    /// Maps `(table_id, row)` to its owning shard and local row index.
+    ///
+    /// The hot path of every scatter and of the serving read tier: a
+    /// linear scan over the (few) hosted tables plus two array reads —
+    /// no allocation on either branch.
+    // CONTRACT: zero-alloc
+    pub fn route(&self, table_id: usize, row: u32) -> Result<RowRoute, RouterError> {
+        let mut ownership = None;
+        for t in &self.tables {
+            if t.table_id == table_id {
+                ownership = Some(t);
+                break;
+            }
+        }
+        let Some(t) = ownership else {
+            return Err(RouterError::UnknownTable(table_id));
+        };
+        if row >= t.rows {
+            return Err(RouterError::RowOutOfRange { table: table_id, row, rows: t.rows });
+        }
+        let range = (row / self.rows_per_range) as usize;
+        let shard = t.owners[range];
+        let local = t.local_base[range] + (row % self.rows_per_range);
+        Ok(RowRoute { shard, local })
+    }
+
+    /// Routes a sorted slice of rows of one table into `out`'s per-shard
+    /// buffers: `locals` receives the shard-local row indices, `slots`
+    /// the positions in `rows` (so a gather can be reassembled and a
+    /// push's gradient values can be copied out).
+    ///
+    /// Per-shard outputs stay sorted when `rows` is sorted: ranges are
+    /// monotone in the row index and `local_base` grows with the range.
+    /// The caller recycles `out` across batches ([`ShardScatter::reset`]
+    /// keeps the capacity), so the steady state allocates nothing.
+    // CONTRACT: zero-alloc
+    pub fn scatter_into(
+        &self,
+        table_id: usize,
+        rows: &[u32],
+        out: &mut ShardScatter,
+    ) -> Result<(), RouterError> {
+        for (slot, &row) in rows.iter().enumerate() {
+            let route = self.route(table_id, row)?;
+            let shard = route.shard as usize;
+            out.locals[shard].push(route.local);
+            out.slots[shard].push(slot as u32);
+        }
+        Ok(())
+    }
+
+    /// The global rows of `table_id` owned by `shard`, ascending — the
+    /// order the shard's sub-table stores them in.
+    pub fn owned_rows(&self, table_id: usize, shard: u32) -> Result<Vec<u32>, RouterError> {
+        let t = self
+            .tables
+            .iter()
+            .find(|t| t.table_id == table_id)
+            .ok_or(RouterError::UnknownTable(table_id))?;
+        let mut owned = Vec::new();
+        for (range, &owner) in t.owners.iter().enumerate() {
+            if owner == shard {
+                let start = range as u32 * self.rows_per_range;
+                let end = (start + self.rows_per_range).min(t.rows);
+                owned.extend(start..end);
+            }
+        }
+        Ok(owned)
+    }
+}
+
+/// Recycled per-shard scatter buffers (see [`ShardLayout::scatter_into`]).
+#[derive(Clone, Debug, Default)]
+pub struct ShardScatter {
+    /// Per shard: shard-local row indices.
+    pub locals: Vec<Vec<u32>>,
+    /// Per shard: positions in the scattered slice.
+    pub slots: Vec<Vec<u32>>,
+}
+
+impl ShardScatter {
+    /// Empty buffers; size them with [`ShardScatter::reset`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the buffers and ensures one pair per shard, keeping any
+    /// existing capacity.
+    pub fn reset(&mut self, num_shards: usize) {
+        self.locals.resize_with(num_shards, Vec::new);
+        self.slots.resize_with(num_shards, Vec::new);
+        for v in &mut self.locals {
+            v.clear();
+        }
+        for v in &mut self.slots {
+            v.clear();
+        }
+    }
+}
+
+/// Splits a single server's hosted tables into per-shard sub-tables.
+///
+/// Every shard receives **every** table (possibly with zero rows — the
+/// dimension is preserved), so shard servers are uniform: any push can
+/// name any table and [`HostServer::apply_checked`]'s table validation
+/// still holds per shard.
+pub fn split_tables(
+    tables: &[(usize, EmbeddingBag)],
+    layout: &ShardLayout,
+) -> Result<Vec<Vec<(usize, EmbeddingBag)>>, RouterError> {
+    let mut shards = Vec::with_capacity(layout.num_shards() as usize);
+    for s in 0..layout.num_shards() {
+        let mut sub = Vec::with_capacity(tables.len());
+        for (t, bag) in tables {
+            let owned = layout.owned_rows(*t, s)?;
+            sub.push((*t, EmbeddingBag { weight: bag.gather_rows(&owned) }));
+        }
+        shards.push(sub);
+    }
+    Ok(shards)
+}
+
+/// Reassembles per-shard sub-tables into the global hosted tables —
+/// the inverse of [`split_tables`] (byte-exact: rows are copied, never
+/// recomputed).
+pub fn merge_tables(
+    shards: &[Vec<(usize, EmbeddingBag)>],
+    layout: &ShardLayout,
+) -> Result<Vec<(usize, EmbeddingBag)>, RouterError> {
+    if shards.len() != layout.num_shards() as usize {
+        return Err(RouterError::ShardCountMismatch {
+            expected: layout.num_shards(),
+            got: shards.len() as u32,
+        });
+    }
+    let mut merged = Vec::with_capacity(layout.tables().len());
+    for t in layout.tables() {
+        let dim = shards
+            .iter()
+            .find_map(|sub| sub.iter().find(|(id, _)| *id == t.table_id).map(|(_, bag)| bag.dim()))
+            .ok_or(RouterError::UnknownTable(t.table_id))?;
+        let mut bag = EmbeddingBag { weight: Matrix::zeros(t.rows as usize, dim) };
+        for (s, sub) in shards.iter().enumerate() {
+            let owned = layout.owned_rows(t.table_id, s as u32)?;
+            let shard_bag = &sub
+                .iter()
+                .find(|(id, _)| *id == t.table_id)
+                .ok_or(RouterError::UnknownTable(t.table_id))?
+                .1;
+            if shard_bag.num_rows() != owned.len() {
+                return Err(RouterError::RowOutOfRange {
+                    table: t.table_id,
+                    row: shard_bag.num_rows() as u32,
+                    rows: owned.len() as u32,
+                });
+            }
+            bag.scatter_rows(&owned, &shard_bag.weight);
+        }
+        merged.push((t.table_id, bag));
+    }
+    Ok(merged)
+}
+
+/// The scatter/gather front of the sharded parameter tier.
+pub struct ShardRouter {
+    layout: ShardLayout,
+    scratch: ShardScatter,
+}
+
+impl ShardRouter {
+    /// A router over the given placement.
+    pub fn new(layout: ShardLayout) -> Self {
+        Self { layout, scratch: ShardScatter::new() }
+    }
+
+    /// The placement this router routes with.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Gathers batch `seq` by fanning out across the shards and
+    /// reassembling the global [`PrefetchedBatch`]: per table, the
+    /// globally unique sorted indices are scattered to their owning
+    /// shards, each shard serves its local rows, and the slot lists put
+    /// every row back in its global position. The staleness stamp is the
+    /// **minimum** per-shard `applied` watermark (see the module docs
+    /// for why this preserves byte-identity under shard skew).
+    pub fn gather(
+        &mut self,
+        shards: &mut [HostServer],
+        batch: MiniBatch,
+        seq: u64,
+    ) -> Result<PrefetchedBatch, RouterError> {
+        if shards.len() != self.layout.num_shards() as usize {
+            return Err(RouterError::ShardCountMismatch {
+                expected: self.layout.num_shards(),
+                got: shards.len() as u32,
+            });
+        }
+        if shards.iter().any(|s| s.mode != crate::server::ServerMode::UniqueRows) {
+            return Err(RouterError::PooledUnsupported);
+        }
+        let applied_through = shards.iter().map(|s| s.applied).min().unwrap_or(0);
+        let mut tables = Vec::with_capacity(self.layout.tables().len());
+        for t in 0..self.layout.tables().len() {
+            let table_id = self.layout.tables()[t].table_id;
+            let field = &batch.fields[table_id];
+            let mut unique: Vec<u32> = field.indices.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            self.scratch.reset(shards.len());
+            self.layout.scatter_into(table_id, &unique, &mut self.scratch)?;
+            let dim = shards[0]
+                .tables
+                .iter()
+                .find(|(id, _)| *id == table_id)
+                .map(|(_, bag)| bag.dim())
+                .ok_or(RouterError::UnknownTable(table_id))?;
+            let mut rows = Matrix::zeros(unique.len(), dim);
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let locals = &self.scratch.locals[s];
+                if locals.is_empty() {
+                    continue;
+                }
+                let bag = &shard
+                    .tables
+                    .iter()
+                    .find(|(id, _)| *id == table_id)
+                    .ok_or(RouterError::UnknownTable(table_id))?
+                    .1;
+                let served = bag.gather_rows(locals);
+                for (j, &slot) in self.scratch.slots[s].iter().enumerate() {
+                    rows.row_mut(slot as usize).copy_from_slice(served.row(j));
+                }
+                // the H2D bytes this shard's share of the transfer costs
+                shard.meter.h2d(locals.len() * (4 + dim * 4));
+            }
+            tables.push((table_id, unique, rows));
+        }
+        Ok(PrefetchedBatch { batch_seq: seq, applied_through, batch, tables, pooled: Vec::new() })
+    }
+
+    /// Splits one worker push into one push per shard. Every shard's
+    /// push carries **every** table (with an empty gradient when the
+    /// shard owns none of the touched rows), so every shard's stamp
+    /// domain advances exactly once per batch and per-shard
+    /// [`HostServer::apply_checked`] sees a gap-free sequence.
+    pub fn scatter_push(&mut self, push: &GradientPush) -> Result<Vec<GradientPush>, RouterError> {
+        if !push.pooled.is_empty() {
+            return Err(RouterError::PooledUnsupported);
+        }
+        let num_shards = self.layout.num_shards() as usize;
+        let mut out: Vec<GradientPush> = (0..num_shards)
+            .map(|_| GradientPush {
+                batch_seq: push.batch_seq,
+                tables: Vec::with_capacity(push.tables.len()),
+                pooled: Vec::new(),
+            })
+            .collect();
+        for (table_id, grad) in &push.tables {
+            self.scratch.reset(num_shards);
+            self.layout.scatter_into(*table_id, &grad.indices, &mut self.scratch)?;
+            for (s, shard_push) in out.iter_mut().enumerate() {
+                let locals = &self.scratch.locals[s];
+                let mut values = Vec::with_capacity(locals.len() * grad.dim);
+                for &slot in &self.scratch.slots[s] {
+                    let slot = slot as usize;
+                    values.extend_from_slice(&grad.values[slot * grad.dim..(slot + 1) * grad.dim]);
+                }
+                shard_push.tables.push((
+                    *table_id,
+                    SparseGrad { indices: locals.clone(), values, dim: grad.dim },
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scatters `push` and applies it to every shard in lockstep. All
+    /// shards share one sequence domain per batch, so the outcome is
+    /// uniform: the first shard's verdict (Applied/Duplicate) is
+    /// returned, and any shard error aborts with [`RouterError::Shard`].
+    pub fn apply_scattered(
+        &mut self,
+        shards: &mut [HostServer],
+        push: &GradientPush,
+    ) -> Result<ApplyOutcome, RouterError> {
+        if shards.len() != self.layout.num_shards() as usize {
+            return Err(RouterError::ShardCountMismatch {
+                expected: self.layout.num_shards(),
+                got: shards.len() as u32,
+            });
+        }
+        let scattered = self.scatter_push(push)?;
+        let mut outcome = ApplyOutcome::Applied;
+        for (shard, shard_push) in shards.iter_mut().zip(&scattered) {
+            outcome = shard.apply_checked(shard_push)?;
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_data::{DatasetSpec, SyntheticDataset};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn bags(rows: &[usize], dim: usize, seed: u64) -> Vec<(usize, EmbeddingBag)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        rows.iter()
+            .enumerate()
+            .map(|(t, &r)| (t, EmbeddingBag::new(r, dim, 0.2, &mut rng)))
+            .collect()
+    }
+
+    #[test]
+    fn route_places_every_row_exactly_once() {
+        let cfg = ShardConfig { num_shards: 3, rows_per_range: 7, placement_seed: 42 };
+        let layout = ShardLayout::place(&cfg, &[(0, 50), (1, 23)]);
+        for (t, rows) in [(0usize, 50u32), (1, 23)] {
+            let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            for row in 0..rows {
+                let r = layout.route(t, row).unwrap();
+                per_shard[r.shard as usize].push(r.local);
+            }
+            // locals are a bijection onto 0..count per shard
+            for (s, locals) in per_shard.iter().enumerate() {
+                let mut sorted = locals.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..locals.len() as u32).collect::<Vec<_>>(), "shard {s}");
+                assert_eq!(locals.len(), layout.owned_rows(t, s as u32).unwrap().len());
+            }
+            assert_eq!(per_shard.iter().map(Vec::len).sum::<usize>(), rows as usize);
+        }
+    }
+
+    #[test]
+    fn route_rejects_unknown_and_out_of_range() {
+        let cfg = ShardConfig { num_shards: 2, rows_per_range: 8, placement_seed: 1 };
+        let layout = ShardLayout::place(&cfg, &[(0, 10)]);
+        assert_eq!(layout.route(3, 0), Err(RouterError::UnknownTable(3)));
+        assert_eq!(
+            layout.route(0, 10),
+            Err(RouterError::RowOutOfRange { table: 0, row: 10, rows: 10 })
+        );
+    }
+
+    #[test]
+    fn split_then_merge_is_byte_identical() {
+        let tables = bags(&[50, 23, 64], 8, 5);
+        let cfg = ShardConfig { num_shards: 4, rows_per_range: 9, placement_seed: 7 };
+        let layout = ShardLayout::place_for(&cfg, &tables);
+        let shards = split_tables(&tables, &layout).unwrap();
+        assert_eq!(shards.len(), 4);
+        let merged = merge_tables(&shards, &layout).unwrap();
+        assert_eq!(merged.len(), tables.len());
+        for ((ta, a), (tb, b)) in tables.iter().zip(&merged) {
+            assert_eq!(ta, tb);
+            assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+        }
+    }
+
+    #[test]
+    fn sharded_gather_matches_single_server() {
+        let tables = bags(&[50, 50], 8, 1);
+        let ds = SyntheticDataset::new(DatasetSpec::toy(2, 50, 10_000), 3);
+        let cfg = ShardConfig { num_shards: 3, rows_per_range: 6, placement_seed: 9 };
+        let layout = ShardLayout::place_for(&cfg, &tables);
+        let mut single = HostServer::new(tables.clone(), 0.1);
+        let mut shards: Vec<HostServer> = split_tables(&tables, &layout)
+            .unwrap()
+            .into_iter()
+            .map(|sub| HostServer::new(sub, 0.1))
+            .collect();
+        let mut router = ShardRouter::new(layout);
+        let batch = ds.batch(0, 16);
+        let want = single.gather(batch.clone(), 0);
+        let got = router.gather(&mut shards, batch, 0).unwrap();
+        assert_eq!(got.batch_seq, want.batch_seq);
+        assert_eq!(got.applied_through, want.applied_through);
+        assert_eq!(got.tables.len(), want.tables.len());
+        for ((ta, ua, ra), (tb, ub, rb)) in got.tables.iter().zip(&want.tables) {
+            assert_eq!(ta, tb);
+            assert_eq!(ua, ub);
+            assert_eq!(ra.as_slice(), rb.as_slice());
+        }
+    }
+
+    #[test]
+    fn scattered_apply_matches_single_server_apply() {
+        let tables = bags(&[40, 40], 4, 2);
+        let ds = SyntheticDataset::new(DatasetSpec::toy(2, 40, 10_000), 3);
+        let cfg = ShardConfig { num_shards: 3, rows_per_range: 5, placement_seed: 3 };
+        let layout = ShardLayout::place_for(&cfg, &tables);
+        let mut single = HostServer::new(tables.clone(), 0.1);
+        let mut shards: Vec<HostServer> = split_tables(&tables, &layout)
+            .unwrap()
+            .into_iter()
+            .map(|sub| HostServer::new(sub, 0.1))
+            .collect();
+        let mut router = ShardRouter::new(layout.clone());
+        for k in 0..4u64 {
+            let batch = ds.batch(k, 8);
+            let pf = single.gather(batch.clone(), k);
+            let _ = router.gather(&mut shards, batch, k).unwrap();
+            // unit gradient on every unique row
+            let push = GradientPush {
+                batch_seq: k,
+                tables: pf
+                    .tables
+                    .iter()
+                    .map(|(t, unique, rows)| {
+                        (
+                            *t,
+                            SparseGrad {
+                                indices: unique.clone(),
+                                values: vec![1.0; rows.len()],
+                                dim: rows.cols(),
+                            },
+                        )
+                    })
+                    .collect(),
+                pooled: vec![],
+            };
+            single.apply(&push);
+            assert_eq!(router.apply_scattered(&mut shards, &push), Ok(ApplyOutcome::Applied));
+        }
+        let merged = merge_tables(
+            &shards.iter().map(|s| s.tables.clone()).collect::<Vec<_>>(),
+            router.layout(),
+        )
+        .unwrap();
+        for ((_, a), (_, b)) in single.tables.iter().zip(&merged) {
+            assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+        }
+        // every shard advanced once per batch
+        for s in &shards {
+            assert_eq!(s.applied, 4);
+        }
+    }
+
+    #[test]
+    fn scatter_push_keeps_duplicate_and_gap_semantics_per_shard() {
+        let tables = bags(&[30], 4, 8);
+        let cfg = ShardConfig { num_shards: 2, rows_per_range: 4, placement_seed: 11 };
+        let layout = ShardLayout::place_for(&cfg, &tables);
+        let mut shards: Vec<HostServer> = split_tables(&tables, &layout)
+            .unwrap()
+            .into_iter()
+            .map(|sub| HostServer::new(sub, 0.1))
+            .collect();
+        let mut router = ShardRouter::new(layout);
+        let push = GradientPush {
+            batch_seq: 0,
+            tables: vec![(0, SparseGrad { indices: vec![3, 17], values: vec![1.0; 8], dim: 4 })],
+            pooled: vec![],
+        };
+        assert_eq!(router.apply_scattered(&mut shards, &push), Ok(ApplyOutcome::Applied));
+        assert_eq!(router.apply_scattered(&mut shards, &push), Ok(ApplyOutcome::Duplicate));
+        let future = GradientPush { batch_seq: 5, tables: vec![], pooled: vec![] };
+        assert_eq!(
+            router.apply_scattered(&mut shards, &future),
+            Err(RouterError::Shard(ServerError::GradientGap { got: 5, expected: 1 }))
+        );
+    }
+
+    #[test]
+    fn pooled_pushes_are_rejected() {
+        let tables = bags(&[10], 4, 1);
+        let layout = ShardLayout::place_for(&ShardConfig::default(), &tables);
+        let mut router = ShardRouter::new(layout);
+        let push =
+            GradientPush { batch_seq: 0, tables: vec![], pooled: vec![(0, Matrix::zeros(2, 4))] };
+        assert!(matches!(router.scatter_push(&push), Err(RouterError::PooledUnsupported)));
+    }
+
+    #[test]
+    fn from_env_defaults_without_vars() {
+        // the test environment does not set the knobs; defaults apply
+        let cfg = ShardConfig::from_env();
+        assert!(cfg.num_shards >= 1);
+        assert!(cfg.rows_per_range >= 1);
+    }
+
+    proptest! {
+        /// Satellite: every row maps to exactly one shard (no orphans, no
+        /// double ownership), and per-shard locals are a bijection onto
+        /// the shard's sub-table rows — across arbitrary placements and
+        /// across a resharding event (two independent layouts).
+        #[test]
+        fn ownership_partitions_rows(
+            num_shards in 1u32..6,
+            rows_per_range in 1u32..40,
+            seed in 0u64..u64::MAX,
+            rows0 in 1usize..120,
+            rows1 in 1usize..120,
+        ) {
+            for placement_seed in [seed, splitmix64(seed)] {
+                let cfg = ShardConfig { num_shards, rows_per_range, placement_seed };
+                let layout = ShardLayout::place(&cfg, &[(0, rows0), (7, rows1)]);
+                for (t, rows) in [(0usize, rows0), (7, rows1)] {
+                    let mut seen = vec![0u32; rows];
+                    let mut per_shard: Vec<Vec<u32>> =
+                        vec![Vec::new(); num_shards as usize];
+                    for row in 0..rows as u32 {
+                        let r = layout.route(t, row).unwrap();
+                        prop_assert!(r.shard < num_shards);
+                        seen[row as usize] += 1;
+                        per_shard[r.shard as usize].push(r.local);
+                    }
+                    prop_assert!(seen.iter().all(|&c| c == 1));
+                    for (s, locals) in per_shard.iter().enumerate() {
+                        let owned = layout.owned_rows(t, s as u32).unwrap();
+                        prop_assert_eq!(locals.len(), owned.len());
+                        let mut sorted = locals.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        prop_assert_eq!(
+                            sorted.len(), locals.len(),
+                            "shard {} locals must be unique", s
+                        );
+                        prop_assert_eq!(
+                            sorted.last().copied().map(|m| m as usize + 1).unwrap_or(0),
+                            locals.len(),
+                            "locals must be dense 0..count"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Satellite: scatter→gather round-trips every mini-batch
+        /// byte-identically to the single-server gather, for arbitrary
+        /// shard counts and placements.
+        #[test]
+        fn sharded_gather_round_trips_byte_identically(
+            num_shards in 1u32..6,
+            rows_per_range in 1u32..40,
+            placement_seed in 0u64..u64::MAX,
+            batch_seed in 0u64..64,
+        ) {
+            let tables = bags(&[60, 37], 8, 13);
+            let cfg = ShardConfig { num_shards, rows_per_range, placement_seed };
+            let layout = ShardLayout::place_for(&cfg, &tables);
+            let mut single = HostServer::new(tables.clone(), 0.1);
+            let mut shards: Vec<HostServer> = split_tables(&tables, &layout)
+                .unwrap()
+                .into_iter()
+                .map(|sub| HostServer::new(sub, 0.1))
+                .collect();
+            let mut router = ShardRouter::new(layout);
+            let ds = SyntheticDataset::new(DatasetSpec::toy(2, 37, 10_000), 3);
+            let batch = ds.batch(batch_seed, 16);
+            let want = single.gather(batch.clone(), batch_seed);
+            let got = router.gather(&mut shards, batch, batch_seed).unwrap();
+            prop_assert_eq!(got.applied_through, want.applied_through);
+            prop_assert_eq!(got.tables.len(), want.tables.len());
+            for ((ta, ua, ra), (tb, ub, rb)) in got.tables.iter().zip(&want.tables) {
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(ua, ub);
+                prop_assert_eq!(ra.as_slice(), rb.as_slice());
+            }
+        }
+
+        /// Split→merge is the identity across resharding events: splitting
+        /// under one layout, merging, re-splitting under a different
+        /// layout and merging again reproduces the original bytes.
+        #[test]
+        fn resharding_round_trips_tables(
+            from_shards in 1u32..5,
+            to_shards in 1u32..5,
+            rows_per_range in 1u32..30,
+            seed in 0u64..u64::MAX,
+        ) {
+            let tables = bags(&[45, 31], 4, 17);
+            let from_cfg = ShardConfig {
+                num_shards: from_shards, rows_per_range, placement_seed: seed,
+            };
+            let to_cfg = ShardConfig {
+                num_shards: to_shards,
+                rows_per_range: rows_per_range.wrapping_add(3).max(1),
+                placement_seed: splitmix64(seed),
+            };
+            let from_layout = ShardLayout::place_for(&from_cfg, &tables);
+            let to_layout = ShardLayout::place_for(&to_cfg, &tables);
+            let merged_a =
+                merge_tables(&split_tables(&tables, &from_layout).unwrap(), &from_layout)
+                    .unwrap();
+            let merged_b =
+                merge_tables(&split_tables(&merged_a, &to_layout).unwrap(), &to_layout).unwrap();
+            for ((ta, a), (tb, b)) in tables.iter().zip(&merged_b) {
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(a.weight.as_slice(), b.weight.as_slice());
+            }
+        }
+    }
+}

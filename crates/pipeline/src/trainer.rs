@@ -16,14 +16,17 @@ use crate::ckpt::{
     CkptError, CkptStore, HostedTableCheckpoint, ServerCheckpoint, Storage, TrainingCheckpoint,
 };
 use crate::device::{thread_cpu_time, CommMeter};
+use crate::router::{merge_tables, split_tables, ShardConfig, ShardLayout, ShardRouter};
 use crate::server::{
     aggregate_to_unique, make_queues, pool_prefetched, send_with_retry, GradientPush, HostServer,
-    ServerError, ServingLoop, ServingSchedule,
+    PrefetchedBatch, ServerError, ServerMode, ServingLoop, ServingSchedule,
 };
+use crossbeam::channel::{bounded, Receiver, Sender};
 use el_data::SyntheticDataset;
 use el_dlrm::checkpoint::DlrmCheckpoint;
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_dlrm::DlrmModel;
+use el_tensor::Matrix;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -153,122 +156,485 @@ impl PipelineTrainer {
             move || serving.run(&ds, ptx, grx)
         });
 
-        let mut caches: HashMap<usize, EmbeddingCache> =
+        let caches: HashMap<usize, EmbeddingCache> =
             hosted.iter().map(|&t| (t, EmbeddingCache::new())).collect();
-        let mut losses = Vec::with_capacity(config.num_batches as usize);
-        let mut cache_peak = 0usize;
-        let mut worker_compute = Duration::ZERO;
-
-        for k in 0..config.num_batches {
-            // A vanished server (its thread died or dropped the queue) is a
-            // degraded early stop for the worker, not a panic: the partial
-            // report still carries every batch that trained.
-            let Ok(mut pf) = prx.recv() else {
-                break;
-            };
-            assert_eq!(pf.batch_seq, k);
-            let batch = std::mem::replace(
-                &mut pf.batch,
-                el_data::MiniBatch {
-                    dense: Vec::new(),
-                    num_dense: 0,
-                    fields: Vec::new(),
-                    labels: Vec::new(),
-                },
-            );
-
-            // Queue TT pointer preparation now so it overlaps the host
-            // gather work below (cache sync + pooling).
-            if config.overlap_analysis {
-                model.prefetch_plans(&batch);
-            }
-
-            // Stage 1 (Figure 9): synchronize pre-fetched rows with the
-            // cache, then pool them into per-sample embeddings. In pooled
-            // (reference-DLRM) mode the CPU already pooled — use as is.
-            let pooled_mode = !pf.pooled.is_empty();
-            let mut hosted_embs = Vec::with_capacity(pf.tables.len() + pf.pooled.len());
-            for (t, unique, rows) in &mut pf.tables {
-                // PANIC-OK: a cache was created for every hosted table at startup.
-                caches.get_mut(t).unwrap().sync(unique, rows, pf.applied_through);
-                let field = &batch.fields[*t];
-                hosted_embs
-                    .push((*t, pool_prefetched(&field.indices, &field.offsets, unique, rows)));
-            }
-            for (t, pooled) in &pf.pooled {
-                hosted_embs.push((*t, pooled.clone()));
-            }
-
-            // Device compute: MLPs + TT tables + interaction.
-            let t0 = thread_cpu_time();
-            let out = model.train_step_hybrid(&batch, &hosted_embs);
-            worker_compute += thread_cpu_time() - t0;
-            losses.push(out.loss);
-
-            // Stage 3: aggregate hosted gradients, refresh the cache with
-            // the post-update rows (bit-identical to what the server will
-            // hold) and push. Pooled mode ships the raw pooled gradient
-            // back instead (the CPU does the backward there).
-            let mut pushes = Vec::new();
-            let mut pooled_pushes = Vec::new();
-            for (t, d_emb) in &out.hosted_grads {
-                if pooled_mode {
-                    pooled_pushes.push((*t, d_emb.clone()));
-                    continue;
-                }
-                let field = &batch.fields[*t];
-                let (_, unique, rows) = pf
-                    .tables
-                    .iter()
-                    .find(|(id, _, _)| id == t)
-                    // PANIC-OK: hosted tables and prefetched tables are the same set.
-                    .expect("hosted gradient for a table that was not prefetched");
-                let grad = aggregate_to_unique(&field.indices, &field.offsets, unique, d_emb);
-                let mut updated = rows.clone();
-                for (slot, _) in unique.iter().enumerate() {
-                    let g = &grad.values[slot * grad.dim..(slot + 1) * grad.dim];
-                    for (w, gv) in updated.row_mut(slot).iter_mut().zip(g) {
-                        *w -= lr * gv;
-                    }
-                }
-                // PANIC-OK: a cache was created for every hosted table at startup.
-                caches.get_mut(t).unwrap().insert(unique, &updated, k);
-                pushes.push((*t, grad));
-            }
-            // Bounded retry with backoff: a transiently saturated gradient
-            // queue is ridden out, a wedged or vanished server ends the
-            // run gracefully after the retry budget instead of blocking
-            // this worker forever.
-            let push = GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes };
-            if send_with_retry(&gtx, push, 16).is_err() {
-                break;
-            }
-
-            cache_peak = cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
-        }
-        drop(gtx);
+        let worker =
+            run_worker(model, caches, lr, config.num_batches, config.overlap_analysis, prx, gtx);
 
         // PANIC-OK: deliberately propagates a server-thread panic to the caller.
         let report = server_handle.join().expect("server thread panicked");
         let wall = start.elapsed();
-        let completed_batches = losses.len() as u64;
+        let completed_batches = worker.losses.len() as u64;
         let samples = completed_batches as f64 * config.batch_size as f64;
         Ok(PipelineReport {
             completed_batches,
-            losses,
+            losses: worker.losses,
             wall,
             samples_per_sec: samples / wall.as_secs_f64(),
-            stale_hits: caches.values().map(|c| c.stale_hits).sum(),
-            cache_peak_bytes: cache_peak,
+            stale_hits: worker.stale_hits,
+            cache_peak_bytes: worker.cache_peak_bytes,
             server_meter: report.server.meter,
             server_cpu: report.server.cpu_time,
             loader_cpu: report.server.gen_time,
-            worker_compute,
-            model,
+            worker_compute: worker.worker_compute,
+            model: worker.model,
             host_tables: report.server.tables,
         })
     }
 
+    /// Trains `model` against an `N`-way **sharded** parameter tier: the
+    /// server's hosted tables are split under a consistent-hash
+    /// [`ShardLayout`], each shard runs as an independent server thread
+    /// with its own bounded intake queue and push-stamp domain, and a
+    /// router thread plays the serving-loop role — fanning each batch's
+    /// unique rows out, reassembling the [`PrefetchedBatch`] stamped with
+    /// the minimum per-shard watermark, and scattering each worker push
+    /// into one sub-push per shard.
+    ///
+    /// Training values are byte-identical to [`PipelineTrainer::try_train`]
+    /// on the unsharded server (see `crate::router` for the min-stamp
+    /// argument); sharding, like pipelining, is pure performance.
+    ///
+    /// `num_shards <= 1` delegates to the single-server path. The sharded
+    /// tier serves `UniqueRows` mode only: pooled-embedding serving has no
+    /// per-row partition, so it is rejected with
+    /// [`ServerError::PooledNeedsSequential`] like any other schedule the
+    /// staleness protocol cannot provide for.
+    pub fn try_train_sharded(
+        mut model: DlrmModel,
+        server: HostServer,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+        shard_cfg: &ShardConfig,
+    ) -> Result<PipelineReport, ServerError> {
+        if shard_cfg.num_shards <= 1 {
+            return Self::try_train(model, server, dataset, config);
+        }
+        if server.mode == ServerMode::PooledEmbeddings {
+            return Err(ServerError::PooledNeedsSequential);
+        }
+        let hosted = model.hosted_tables();
+        for (t, _) in &server.tables {
+            assert!(hosted.contains(t), "server hosts table {t} the model does not mark Hosted");
+        }
+        assert_eq!(hosted.len(), server.tables.len(), "every Hosted table needs a server side");
+
+        let lr = server.lr;
+        let layout = ShardLayout::place_for(shard_cfg, &server.tables);
+        let shard_tables = split_tables(&server.tables, &layout)
+            // PANIC-OK: the layout was placed for exactly these tables.
+            .expect("layout was placed for exactly these tables");
+
+        let schedule = ServingSchedule {
+            first: config.first_batch,
+            count: config.num_batches,
+            batch_size: config.batch_size,
+            pipelined: config.pipelined,
+        };
+        let depth = if config.pipelined { config.prefetch_depth } else { 1 };
+        let (ptx, prx, gtx, grx) = make_queues(depth);
+        if config.overlap_analysis {
+            model.enable_plan_overlap();
+        }
+
+        // TIMING: end-to-end wall clock of the run, reported to the caller.
+        let start = Instant::now();
+        let mut stx = Vec::with_capacity(shard_tables.len());
+        let mut rrx = Vec::with_capacity(shard_tables.len());
+        let mut shard_handles = Vec::with_capacity(shard_tables.len());
+        for sub in shard_tables {
+            // Intake sized so the router's one outstanding gather plus the
+            // in-flight scattered pushes never wedge it; the reply queue
+            // holds at most that one gather's answer.
+            let (tx, rx) = bounded::<ShardMsg>(depth.max(1) * 2 + 2);
+            let (rtx, reply_rx) = bounded::<ShardReply>(2);
+            let shard_server = HostServer::new(sub, lr);
+            shard_handles.push(std::thread::spawn(move || shard_serve(shard_server, rx, rtx)));
+            stx.push(tx);
+            rrx.push(reply_rx);
+        }
+        let router_handle = std::thread::spawn({
+            let ds = dataset.clone();
+            let layout = layout.clone();
+            move || route_serve(layout, ds, schedule, stx, rrx, ptx, grx)
+        });
+
+        let caches: HashMap<usize, EmbeddingCache> =
+            hosted.iter().map(|&t| (t, EmbeddingCache::new())).collect();
+        let worker =
+            run_worker(model, caches, lr, config.num_batches, config.overlap_analysis, prx, gtx);
+
+        // PANIC-OK: deliberately propagates a router-thread panic to the caller.
+        let gen_time = router_handle.join().expect("router thread panicked");
+        let shards: Vec<HostServer> = shard_handles
+            .into_iter()
+            // PANIC-OK: deliberately propagates a shard-thread panic to the caller.
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect();
+        let wall = start.elapsed();
+
+        let mut meter = CommMeter::default();
+        let mut server_cpu = Duration::ZERO;
+        for s in &shards {
+            meter.h2d_bytes += s.meter.h2d_bytes;
+            meter.d2h_bytes += s.meter.d2h_bytes;
+            meter.p2p_bytes += s.meter.p2p_bytes;
+            meter.kernel_launches += s.meter.kernel_launches;
+            server_cpu += s.cpu_time;
+        }
+        let host_tables =
+            merge_tables(&shards.into_iter().map(|s| s.tables).collect::<Vec<_>>(), &layout)
+                // PANIC-OK: the shards were split under this exact layout.
+                .expect("shards were split under this layout");
+
+        let completed_batches = worker.losses.len() as u64;
+        let samples = completed_batches as f64 * config.batch_size as f64;
+        Ok(PipelineReport {
+            completed_batches,
+            losses: worker.losses,
+            wall,
+            samples_per_sec: samples / wall.as_secs_f64(),
+            stale_hits: worker.stale_hits,
+            cache_peak_bytes: worker.cache_peak_bytes,
+            server_meter: meter,
+            server_cpu,
+            loader_cpu: gen_time,
+            worker_compute: worker.worker_compute,
+            model: worker.model,
+            host_tables,
+        })
+    }
+}
+
+/// One request to a shard server thread.
+enum ShardMsg {
+    /// Serve these shard-local rows (`(table id, local rows)` in layout
+    /// order) for batch `seq`.
+    Gather {
+        /// Batch sequence number (echoed in the reply).
+        seq: u64,
+        /// Per table: shard-local row indices to serve.
+        locals: Vec<(usize, Vec<u32>)>,
+    },
+    /// Apply this scattered gradient push.
+    Push(GradientPush),
+}
+
+/// One shard's answer to a [`ShardMsg::Gather`].
+struct ShardReply {
+    /// Batch sequence number of the gather being answered.
+    seq: u64,
+    /// The shard's applied-push watermark at serving time — one input to
+    /// the stitched (min-over-shards) global staleness stamp.
+    applied: u64,
+    /// Served rows, one matrix per requested table, in request order.
+    rows: Vec<Matrix>,
+}
+
+/// One shard's intake loop: serve gathers against the shard's sub-tables
+/// and apply scattered pushes through the per-shard
+/// [`HostServer::apply_checked`] stamp domain. Any protocol violation —
+/// an unknown table, a gap, a vanished router — degrades to returning
+/// the shard's final state, never a panic: a production shard must
+/// survive its peers.
+// CONTRACT: panic-free
+fn shard_serve(
+    mut server: HostServer,
+    rx: Receiver<ShardMsg>,
+    reply: Sender<ShardReply>,
+) -> HostServer {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Gather { seq, locals } => {
+                let t0 = thread_cpu_time();
+                let mut rows = Vec::with_capacity(locals.len());
+                let mut bytes = 0usize;
+                for (table_id, locs) in &locals {
+                    let Some((_, bag)) = server.tables.iter().find(|(id, _)| id == table_id) else {
+                        return server; // gather for a table this shard lacks
+                    };
+                    bytes += locs.len() * (4 + bag.dim() * 4);
+                    rows.push(bag.gather_rows(locs));
+                }
+                server.meter.h2d(bytes);
+                server.cpu_time += thread_cpu_time() - t0;
+                if reply.send(ShardReply { seq, applied: server.applied, rows }).is_err() {
+                    break; // router gone
+                }
+            }
+            ShardMsg::Push(push) => {
+                if server.apply_checked(&push).is_err() {
+                    break; // gap or unknown table from a FIFO: degrade
+                }
+            }
+        }
+    }
+    server
+}
+
+/// The router thread: plays the [`ServingLoop`] role against N shard
+/// threads. Per batch it computes the global unique rows per table,
+/// scatters them to their owning shards, reassembles the replies into
+/// one [`PrefetchedBatch`] stamped with the minimum per-shard watermark,
+/// and forwards each worker push as per-shard sub-pushes. Returns the
+/// batch-generation CPU time (the data-loader role it also plays).
+fn route_serve(
+    layout: ShardLayout,
+    dataset: SyntheticDataset,
+    schedule: ServingSchedule,
+    stx: Vec<Sender<ShardMsg>>,
+    rrx: Vec<Receiver<ShardReply>>,
+    ptx: Sender<PrefetchedBatch>,
+    grx: Receiver<GradientPush>,
+) -> Duration {
+    let ServingSchedule { first, count, batch_size, pipelined } = schedule;
+    let num_shards = stx.len();
+    let mut router = ShardRouter::new(layout);
+    let mut scratch = crate::router::ShardScatter::new();
+    let mut gen_time = Duration::ZERO;
+    let mut forwarded = 0u64;
+    'serve: for k in 0..count {
+        if pipelined {
+            // opportunistically absorb and scatter any pending gradients
+            while let Ok(push) = grx.try_recv() {
+                if forward_push(&mut router, &stx, &push).is_err() {
+                    break 'serve;
+                }
+                forwarded += 1;
+            }
+        }
+        let t0 = thread_cpu_time();
+        let batch = dataset.batch(first + k, batch_size);
+        gen_time += thread_cpu_time() - t0;
+
+        // Fan-out plan: per table the global unique rows, their per-shard
+        // split, and the slot lists that put served rows back in place.
+        let mut plan: Vec<(usize, Vec<u32>, Vec<Vec<u32>>)> = Vec::new();
+        let mut locals: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); num_shards];
+        for t in router.layout().tables() {
+            let field = &batch.fields[t.table_id];
+            let mut unique: Vec<u32> = field.indices.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            scratch.reset(num_shards);
+            if router.layout().scatter_into(t.table_id, &unique, &mut scratch).is_err() {
+                break 'serve; // an index outside the placed rows: degrade
+            }
+            for (s, shard_locals) in locals.iter_mut().enumerate() {
+                shard_locals.push((t.table_id, scratch.locals[s].clone()));
+            }
+            plan.push((t.table_id, unique, scratch.slots.clone()));
+        }
+        for (tx, l) in stx.iter().zip(locals) {
+            if tx.send(ShardMsg::Gather { seq: k, locals: l }).is_err() {
+                break 'serve; // shard gone
+            }
+        }
+        let mut applied_through = u64::MAX;
+        let mut shard_rows: Vec<Vec<Matrix>> = Vec::with_capacity(num_shards);
+        for rx in &rrx {
+            match rx.recv() {
+                Ok(reply) if reply.seq == k => {
+                    applied_through = applied_through.min(reply.applied);
+                    shard_rows.push(reply.rows);
+                }
+                _ => break 'serve, // shard died or desynchronized
+            }
+        }
+        let mut tables = Vec::with_capacity(plan.len());
+        for (i, (table_id, unique, slots)) in plan.into_iter().enumerate() {
+            let dim = shard_rows[0][i].cols();
+            let mut rows = Matrix::zeros(unique.len(), dim);
+            for (srows, shard_slots) in shard_rows.iter().zip(&slots) {
+                for (j, &slot) in shard_slots.iter().enumerate() {
+                    rows.row_mut(slot as usize).copy_from_slice(srows[i].row(j));
+                }
+            }
+            tables.push((table_id, unique, rows));
+        }
+        let pf =
+            PrefetchedBatch { batch_seq: k, applied_through, batch, tables, pooled: Vec::new() };
+        if ptx.send(pf).is_err() {
+            break; // worker gone
+        }
+        if !pipelined {
+            match grx.recv() {
+                Ok(push) => {
+                    if forward_push(&mut router, &stx, &push).is_err() {
+                        break;
+                    }
+                    forwarded += 1;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    drop(ptx);
+    // Shutdown handshake: scatter every push the worker delivered before
+    // hanging up, so all shards drain to the same watermark.
+    while forwarded < count {
+        match grx.recv() {
+            Ok(push) => {
+                if forward_push(&mut router, &stx, &push).is_err() {
+                    break;
+                }
+                forwarded += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    gen_time
+}
+
+/// Scatters one worker push and forwards the per-shard sub-pushes with
+/// bounded retry. Errors mean a shard vanished or the push referenced
+/// rows outside the layout — either way the serving run degrades.
+fn forward_push(
+    router: &mut ShardRouter,
+    stx: &[Sender<ShardMsg>],
+    push: &GradientPush,
+) -> Result<(), ()> {
+    let Ok(scattered) = router.scatter_push(push) else {
+        return Err(());
+    };
+    for (tx, p) in stx.iter().zip(scattered) {
+        if send_with_retry(tx, ShardMsg::Push(p), 16).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
+}
+
+/// What the worker side of a pipeline run produced.
+struct WorkerRun {
+    /// Final worker model state.
+    model: DlrmModel,
+    /// Per-batch training losses (one per batch that actually trained).
+    losses: Vec<f32>,
+    /// Stale pre-fetched rows the caches corrected.
+    stale_hits: u64,
+    /// Peak cache footprint across the run.
+    cache_peak_bytes: usize,
+    /// Measured device-compute time.
+    worker_compute: Duration,
+}
+
+/// The worker (device) side of the pipeline: consume pre-fetched
+/// batches, train, refresh the caches with post-update rows, push
+/// gradients. Shared verbatim by the single-server and sharded trainers
+/// — the worker is oblivious to how many shards assembled its
+/// [`PrefetchedBatch`].
+// CONTRACT: panic-free
+fn run_worker(
+    mut model: DlrmModel,
+    mut caches: HashMap<usize, EmbeddingCache>,
+    lr: f32,
+    num_batches: u64,
+    overlap_analysis: bool,
+    prx: crossbeam::channel::Receiver<crate::server::PrefetchedBatch>,
+    gtx: crossbeam::channel::Sender<GradientPush>,
+) -> WorkerRun {
+    let mut losses = Vec::with_capacity(num_batches as usize);
+    let mut cache_peak = 0usize;
+    let mut worker_compute = Duration::ZERO;
+
+    for k in 0..num_batches {
+        // A vanished server (its thread died or dropped the queue) is a
+        // degraded early stop for the worker, not a panic: the partial
+        // report still carries every batch that trained.
+        let Ok(mut pf) = prx.recv() else {
+            break;
+        };
+        assert_eq!(pf.batch_seq, k);
+        let batch = std::mem::replace(
+            &mut pf.batch,
+            el_data::MiniBatch {
+                dense: Vec::new(),
+                num_dense: 0,
+                fields: Vec::new(),
+                labels: Vec::new(),
+            },
+        );
+
+        // Queue TT pointer preparation now so it overlaps the host
+        // gather work below (cache sync + pooling).
+        if overlap_analysis {
+            model.prefetch_plans(&batch);
+        }
+
+        // Stage 1 (Figure 9): synchronize pre-fetched rows with the
+        // cache, then pool them into per-sample embeddings. In pooled
+        // (reference-DLRM) mode the CPU already pooled — use as is.
+        let pooled_mode = !pf.pooled.is_empty();
+        let mut hosted_embs = Vec::with_capacity(pf.tables.len() + pf.pooled.len());
+        for (t, unique, rows) in &mut pf.tables {
+            // PANIC-OK: a cache was created for every hosted table at startup.
+            caches.get_mut(t).unwrap().sync(unique, rows, pf.applied_through);
+            let field = &batch.fields[*t];
+            hosted_embs.push((*t, pool_prefetched(&field.indices, &field.offsets, unique, rows)));
+        }
+        for (t, pooled) in &pf.pooled {
+            hosted_embs.push((*t, pooled.clone()));
+        }
+
+        // Device compute: MLPs + TT tables + interaction.
+        let t0 = thread_cpu_time();
+        let out = model.train_step_hybrid(&batch, &hosted_embs);
+        worker_compute += thread_cpu_time() - t0;
+        losses.push(out.loss);
+
+        // Stage 3: aggregate hosted gradients, refresh the cache with
+        // the post-update rows (bit-identical to what the server will
+        // hold) and push. Pooled mode ships the raw pooled gradient
+        // back instead (the CPU does the backward there).
+        let mut pushes = Vec::new();
+        let mut pooled_pushes = Vec::new();
+        for (t, d_emb) in &out.hosted_grads {
+            if pooled_mode {
+                pooled_pushes.push((*t, d_emb.clone()));
+                continue;
+            }
+            let field = &batch.fields[*t];
+            let (_, unique, rows) = pf
+                .tables
+                .iter()
+                .find(|(id, _, _)| id == t)
+                // PANIC-OK: hosted tables and prefetched tables are the same set.
+                .expect("hosted gradient for a table that was not prefetched");
+            let grad = aggregate_to_unique(&field.indices, &field.offsets, unique, d_emb);
+            let mut updated = rows.clone();
+            for (slot, _) in unique.iter().enumerate() {
+                let g = &grad.values[slot * grad.dim..(slot + 1) * grad.dim];
+                for (w, gv) in updated.row_mut(slot).iter_mut().zip(g) {
+                    *w -= lr * gv;
+                }
+            }
+            // PANIC-OK: a cache was created for every hosted table at startup.
+            caches.get_mut(t).unwrap().insert(unique, &updated, k);
+            pushes.push((*t, grad));
+        }
+        // Bounded retry with backoff: a transiently saturated gradient
+        // queue is ridden out, a wedged or vanished server ends the
+        // run gracefully after the retry budget instead of blocking
+        // this worker forever.
+        let push = GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes };
+        if send_with_retry(&gtx, push, 16).is_err() {
+            break;
+        }
+
+        cache_peak = cache_peak.max(caches.values().map(EmbeddingCache::footprint_bytes).sum());
+    }
+    drop(gtx);
+    WorkerRun {
+        model,
+        stale_hits: caches.values().map(|c| c.stale_hits).sum(),
+        losses,
+        cache_peak_bytes: cache_peak,
+        worker_compute,
+    }
+}
+
+impl PipelineTrainer {
     /// Captures the full training state as of `next_batch` (the next
     /// dataset batch an uninterrupted run would train): worker model with
     /// optimizer accumulators, hosted tables, and the loader cursor.
@@ -287,6 +653,8 @@ impl PipelineTrainer {
                     .collect(),
                 lr,
                 applied: next_batch,
+                shard: 0,
+                num_shards: 1,
             }),
             next_batch,
             workers: Vec::new(),
@@ -532,6 +900,66 @@ mod tests {
     fn sequential_run_never_needs_the_cache() {
         let r = run(false, 1, 4);
         assert_eq!(r.stale_hits, 0, "sequential mode can never see stale rows");
+    }
+
+    fn run_sharded(pipelined: bool, depth: usize, seed: u64, shards: u32) -> PipelineReport {
+        let (model, server, dataset) = setup(seed);
+        let config = PipelineConfig {
+            batch_size: 64,
+            first_batch: 0,
+            num_batches: 12,
+            prefetch_depth: depth,
+            pipelined,
+            overlap_analysis: pipelined,
+        };
+        let shard_cfg =
+            ShardConfig { num_shards: shards, rows_per_range: 16, placement_seed: 0xE1 };
+        PipelineTrainer::try_train_sharded(model, server, &dataset, &config, &shard_cfg).unwrap()
+    }
+
+    fn assert_same_training(a: &PipelineReport, b: &PipelineReport) {
+        assert_eq!(a.losses, b.losses, "loss trajectories diverged");
+        assert_eq!(a.host_tables.len(), b.host_tables.len());
+        for ((ta, wa), (tb, wb)) in a.host_tables.iter().zip(&b.host_tables) {
+            assert_eq!(ta, tb);
+            assert_eq!(wa.weight.as_slice(), wb.weight.as_slice(), "host table {ta} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_training_matches_single_server_bitwise() {
+        // The tentpole equivalence: an N-way sharded tier trains the
+        // exact bytes of the single server, pipelined or not.
+        let single = run(true, 4, 6);
+        let sharded = run_sharded(true, 4, 6, 3);
+        assert_eq!(sharded.completed_batches, 12);
+        assert_same_training(&single, &sharded);
+        let seq_single = run(false, 1, 6);
+        let seq_sharded = run_sharded(false, 1, 6, 3);
+        assert_same_training(&seq_single, &seq_sharded);
+        // and the sharded bus traffic sums to real bytes
+        assert!(sharded.server_meter.h2d_bytes > 0);
+        assert!(sharded.server_meter.d2h_bytes > 0);
+    }
+
+    #[test]
+    fn one_shard_delegates_to_the_single_server_path() {
+        let single = run(true, 4, 7);
+        let one = run_sharded(true, 4, 7, 1);
+        assert_same_training(&single, &one);
+    }
+
+    #[test]
+    fn sharded_rejects_pooled_mode_with_a_typed_error() {
+        let (model, server, dataset) = setup(8);
+        let server = server.with_mode(crate::server::ServerMode::PooledEmbeddings);
+        let config = PipelineConfig { pipelined: false, ..PipelineConfig::default() };
+        let shard_cfg = ShardConfig { num_shards: 2, ..ShardConfig::default() };
+        match PipelineTrainer::try_train_sharded(model, server, &dataset, &config, &shard_cfg) {
+            Err(ServerError::PooledNeedsSequential) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("sharded pooled mode must be rejected"),
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Sharded read path for hosted (uncompressed) embedding tables.
+//!
+//! The training tier shards its host-resident tables across N parameter
+//! servers (`el_pipeline::router`, DESIGN.md §14). A serving replica that
+//! reads those same hosted tables must resolve rows through the **same**
+//! placement function, or a resharding would silently serve rows from the
+//! wrong shard. [`HostedReadTier`] splits a set of hosted tables under a
+//! [`ShardConfig`] exactly the way the training tier does and routes
+//! every pooled lookup row through [`el_pipeline::ShardLayout::route`] —
+//! so a lookup over the sharded tier is byte-identical to
+//! [`EmbeddingBag::forward`] over the unsharded table, which the unit
+//! tests pin for every layout.
+
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_pipeline::{split_tables, RouterError, ShardConfig, ShardLayout};
+use el_tensor::Matrix;
+
+/// A read-only sharded view of hosted embedding tables, placed under the
+/// training tier's consistent-hash layout.
+pub struct HostedReadTier {
+    layout: ShardLayout,
+    /// `shards[s]` holds shard `s`'s sub-tables, one `(table_id, bag)`
+    /// per hosted table (possibly with zero rows on that shard).
+    shards: Vec<Vec<(usize, EmbeddingBag)>>,
+}
+
+impl HostedReadTier {
+    /// Splits `tables` across shards under `cfg`'s placement.
+    pub fn new(tables: &[(usize, EmbeddingBag)], cfg: &ShardConfig) -> Result<Self, RouterError> {
+        let layout = ShardLayout::place_for(cfg, tables);
+        let shards = split_tables(tables, &layout)?;
+        Ok(Self { layout, shards })
+    }
+
+    /// The placement this tier resolves rows through.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Embedding dimension of `table_id`.
+    fn dim_of(&self, table_id: usize) -> Result<usize, RouterError> {
+        self.shards
+            .iter()
+            .flat_map(|subs| subs.iter())
+            .find(|(id, _)| *id == table_id)
+            .map(|(_, bag)| bag.dim())
+            .ok_or(RouterError::UnknownTable(table_id))
+    }
+
+    /// Sum-pooled lookup over CSR `(indices, offsets)`, resolving every
+    /// row to its owning shard through the layout. Accumulation order is
+    /// the CSR index order — the same order [`EmbeddingBag::forward`]
+    /// uses — so the result is bit-identical to the unsharded lookup.
+    pub fn pooled_lookup(
+        &self,
+        table_id: usize,
+        indices: &[u32],
+        offsets: &[u32],
+    ) -> Result<Matrix, RouterError> {
+        let dim = self.dim_of(table_id)?;
+        let batch = offsets.len().saturating_sub(1);
+        let mut out = Matrix::zeros(batch, dim);
+        for s in 0..batch {
+            let dst = out.row_mut(s);
+            for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
+                let route = self.layout.route(table_id, i)?;
+                let sub = &self.shards[route.shard as usize];
+                let (_, bag) = sub
+                    .iter()
+                    .find(|(id, _)| *id == table_id)
+                    .expect("split_tables materializes every table on every shard");
+                let row = bag.weight.row(route.local as usize);
+                for (d, v) in dst.iter_mut().zip(row) {
+                    *d += v;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_tables(rng: &mut StdRng) -> Vec<(usize, EmbeddingBag)> {
+        vec![(0, EmbeddingBag::new(100, 8, 0.1, rng)), (1, EmbeddingBag::new(57, 8, 0.1, rng))]
+    }
+
+    fn toy_csr(rng: &mut StdRng, rows: usize, batch: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut indices = Vec::new();
+        let mut offsets = vec![0u32];
+        for _ in 0..batch {
+            for _ in 0..rng.gen_range(1..5) {
+                indices.push(rng.gen_range(0..rows as u32));
+            }
+            offsets.push(indices.len() as u32);
+        }
+        (indices, offsets)
+    }
+
+    #[test]
+    fn sharded_lookup_is_byte_identical_to_the_unsharded_bag() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tables = toy_tables(&mut rng);
+        for num_shards in [1u32, 2, 3, 5] {
+            let cfg = ShardConfig { num_shards, rows_per_range: 16, placement_seed: 0xE1 };
+            let tier = HostedReadTier::new(&tables, &cfg).unwrap();
+            assert_eq!(tier.num_shards(), num_shards as usize);
+            for (table_id, bag) in &tables {
+                let (indices, offsets) = toy_csr(&mut rng, bag.num_rows(), 6);
+                let want = bag.forward(&indices, &offsets);
+                let got = tier.pooled_lookup(*table_id, &indices, &offsets).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "{num_shards} shards, table {table_id}: routed read must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tables_and_rows_are_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tables = toy_tables(&mut rng);
+        let cfg = ShardConfig { num_shards: 2, rows_per_range: 16, placement_seed: 3 };
+        let tier = HostedReadTier::new(&tables, &cfg).unwrap();
+        assert!(matches!(tier.pooled_lookup(9, &[0], &[0, 1]), Err(RouterError::UnknownTable(9))));
+        assert!(matches!(
+            tier.pooled_lookup(1, &[57], &[0, 1]),
+            Err(RouterError::RowOutOfRange { table: 1, row: 57, .. })
+        ));
+    }
+}

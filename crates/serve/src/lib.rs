@@ -23,6 +23,11 @@
 //!   pool with a per-tenant [`el_core::InferencePrecision`].
 //! * [`metrics::LatencyHistogram`] — log-bucketed tail-latency accounting
 //!   (p50/p99/p999) for the SLO harness.
+//! * [`hosted::HostedReadTier`] — the sharded read path for hosted
+//!   (uncompressed) tables: pooled lookups resolve each row through the
+//!   training tier's consistent-hash placement
+//!   (`el_pipeline::router`, DESIGN.md §14), bit-identical to the
+//!   unsharded table.
 //!
 //! The `serve_latency` bench (crates/bench) drives this tier with the
 //! open-loop Zipf generator from `el_data::loadgen` and records the
@@ -32,11 +37,13 @@
 
 pub mod batch;
 pub mod config;
+pub mod hosted;
 pub mod metrics;
 pub mod server;
 pub mod timing;
 
 pub use batch::{Coalescer, ServeRequest, ServeResponse};
 pub use config::ServeConfig;
+pub use hosted::HostedReadTier;
 pub use metrics::LatencyHistogram;
 pub use server::{serve, ServeError, ServeHandle, ServeReport, TenantConfig};

@@ -16,10 +16,23 @@
 //!   and verify the final tables against the sequential oracle.
 //! * `sim --crash-sweep COUNT [--start S]` — sweep crash-recovery seeds;
 //!   failures land in `target/sim/crash-failure-seed-N.txt`.
+//! * `sim --shard-seed N [--shards K]` — replay one multi-shard seed:
+//!   per-shard fault injection, stitched staleness stamps, per-shard and
+//!   merged oracle byte-identity.
+//! * `sim --shard-sweep COUNT [--shards K] [--start S]` — sweep
+//!   multi-shard seeds; failures land in
+//!   `target/sim/shard-failure-seed-N.txt`.
+//! * `sim --reshard-seed N` — replay one elastic-reshard scenario: drain
+//!   through the checkpoint store under storage faults, migrate to a new
+//!   seed-derived layout, resume, verify against the never-resharded
+//!   oracle.
+//! * `sim --reshard-sweep COUNT [--start S]` — sweep reshard-under-crash
+//!   seeds; failures land in `target/sim/reshard-failure-seed-N.txt`.
 
 use el_sim::{
-    check_recovery, check_run, crash_plans_for_seed, run_crash_sweep, run_sweep, sequential_prefix,
-    FaultPlan, Outcome, RecoveryConfig, SimConfig, TraceEvent,
+    check_recovery, check_run, check_shard_run, crash_plans_for_seed, reshard_plans_for_seed,
+    run_crash_sweep, run_reshard_sweep, run_shard_sweep, run_sweep, sequential_prefix,
+    sharded_prefix, FaultPlan, Outcome, RecoveryConfig, ShardSimConfig, SimConfig, TraceEvent,
 };
 use std::process::ExitCode;
 
@@ -33,6 +46,16 @@ struct Args {
     sweep: u64,
     /// Sweep this many crash-recovery seeds instead of plain seeds.
     crash_sweep: Option<u64>,
+    /// Replay exactly this multi-shard seed.
+    shard_seed: Option<u64>,
+    /// Sweep this many multi-shard seeds.
+    shard_sweep: Option<u64>,
+    /// Shard count for the multi-shard modes.
+    shards: u32,
+    /// Replay exactly this elastic-reshard seed.
+    reshard_seed: Option<u64>,
+    /// Sweep this many reshard-under-crash seeds.
+    reshard_sweep: Option<u64>,
     /// First sweep seed.
     start: u64,
     /// Batches per run.
@@ -51,6 +74,11 @@ fn parse_args() -> Result<Args, String> {
         crash_seed: None,
         sweep: 100,
         crash_sweep: None,
+        shard_seed: None,
+        shard_sweep: None,
+        shards: 3,
+        reshard_seed: None,
+        reshard_sweep: None,
         start: 0,
         batches: 24,
         bound: None,
@@ -70,6 +98,11 @@ fn parse_args() -> Result<Args, String> {
             "--crash-seed" => args.crash_seed = Some(grab("--crash-seed")?),
             "--sweep" => args.sweep = grab("--sweep")?,
             "--crash-sweep" => args.crash_sweep = Some(grab("--crash-sweep")?),
+            "--shard-seed" => args.shard_seed = Some(grab("--shard-seed")?),
+            "--shard-sweep" => args.shard_sweep = Some(grab("--shard-sweep")?),
+            "--shards" => args.shards = grab("--shards")?.clamp(1, 64) as u32,
+            "--reshard-seed" => args.reshard_seed = Some(grab("--reshard-seed")?),
+            "--reshard-sweep" => args.reshard_sweep = Some(grab("--reshard-sweep")?),
             "--start" => args.start = grab("--start")?,
             "--batches" => args.batches = grab("--batches")?,
             "--bound" => args.bound = Some(grab("--bound")?),
@@ -82,12 +115,18 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: sim [--seed N | --sweep COUNT | --crash-seed N | --crash-sweep COUNT]
-           [--start S] [--batches N] [--bound B] [--every K] [--retain R]
+const USAGE: &str = "usage: sim [--seed N | --sweep COUNT | --crash-seed N | --crash-sweep COUNT
+            | --shard-seed N | --shard-sweep COUNT | --reshard-seed N | --reshard-sweep COUNT]
+           [--start S] [--batches N] [--bound B] [--every K] [--retain R] [--shards K]
   --seed N          replay one seed with full diagnostics
   --sweep COUNT     invariant-check COUNT seeds (default mode, COUNT=100)
   --crash-seed N    replay one crash-recovery scenario with full diagnostics
   --crash-sweep COUNT  invariant-check COUNT crash-recovery seeds
+  --shard-seed N    replay one multi-shard seed with full diagnostics
+  --shard-sweep COUNT  invariant-check COUNT multi-shard seeds
+  --shards K        shard count for the multi-shard modes (default 3)
+  --reshard-seed N  replay one elastic-reshard scenario with full diagnostics
+  --reshard-sweep COUNT  invariant-check COUNT reshard-under-crash seeds
   --start S         first seed of the sweep (default 0)
   --batches N       batches per simulated run (default 24)
   --bound B         staleness bound override (default 6)
@@ -116,6 +155,25 @@ fn main() -> ExitCode {
     }
     if let Some(count) = args.crash_sweep {
         return crash_sweep(&rc, args.start, count);
+    }
+    let scfg = ShardSimConfig {
+        base: cfg,
+        shard: el_pipeline::ShardConfig {
+            num_shards: args.shards,
+            ..ShardSimConfig::default().shard
+        },
+    };
+    if let Some(seed) = args.shard_seed {
+        return replay_shard(&scfg, seed);
+    }
+    if let Some(count) = args.shard_sweep {
+        return shard_sweep(&scfg, args.start, count);
+    }
+    if let Some(seed) = args.reshard_seed {
+        return replay_reshard(&cfg, seed);
+    }
+    if let Some(count) = args.reshard_sweep {
+        return reshard_sweep(&cfg, args.start, count);
     }
 
     println!(
@@ -232,6 +290,137 @@ fn replay_crash(rc: &RecoveryConfig, seed: u64) -> ExitCode {
         }
         Err(v) => {
             eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one multi-shard seed with full diagnostics.
+fn replay_shard(scfg: &ShardSimConfig, seed: u64) -> ExitCode {
+    let plan = FaultPlan::from_seed_sharded(seed, scfg.base.num_batches, scfg.shard.num_shards);
+    println!("shard seed {seed} ({} shards) — fault plan:\n{plan}", scfg.shard.num_shards);
+    let shard_oracle = sharded_prefix(scfg);
+    let global_oracle = sequential_prefix(&scfg.base);
+    match check_shard_run(scfg, &plan, seed, &shard_oracle, &global_oracle) {
+        Ok(report) => {
+            println!(
+                "{}: applied {:?} of {} batches in {} virtual ticks ({} events)",
+                outcome_name(report.outcome),
+                report.applied,
+                scfg.base.num_batches,
+                report.final_tick,
+                report.events_processed
+            );
+            println!(
+                "merged digest {:#018x} — every shard byte-identical to its oracle prefix",
+                report.merged_digest
+            );
+            println!("{} stale prefetched rows corrected by the worker cache", report.stale_hits);
+            println!("all invariants hold (per-shard exactly-once, stitched staleness, replay)");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sweeps multi-shard seeds (CI's multi-shard fault matrix).
+fn shard_sweep(scfg: &ShardSimConfig, start: u64, count: u64) -> ExitCode {
+    println!(
+        "shard-sweeping {} seeds from {} ({} shards, {} batches, staleness bound {})",
+        count, start, scfg.shard.num_shards, scfg.base.num_batches, scfg.base.staleness_bound
+    );
+    match run_shard_sweep(scfg, start, count) {
+        Ok(s) => {
+            println!(
+                "clean: {} seeds ({} completed, {} stalled by fatal faults), \
+                 {} faults injected, {} shard deaths fired, {} stale rows corrected",
+                s.seeds, s.completed, s.stalled, s.faults_injected, s.shard_deaths, s.stale_hits
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("INVARIANT VIOLATION\n{failure}");
+            write_failure_record(
+                &format!("target/sim/shard-failure-seed-{}.txt", failure.seed),
+                &failure.to_string(),
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one elastic-reshard scenario with full diagnostics.
+fn replay_reshard(cfg: &SimConfig, seed: u64) -> ExitCode {
+    let (rc, plan, storage_plan) = reshard_plans_for_seed(seed, cfg);
+    println!(
+        "reshard seed {seed}: {} -> {} shards at batch {} of {}",
+        rc.from.num_shards, rc.to.num_shards, rc.reshard_at, rc.base.num_batches
+    );
+    println!("live fault plan:\n{plan}");
+    println!("storage-fault plan:\n{storage_plan}");
+    let oracle = sequential_prefix(cfg);
+    match el_sim::check_reshard(&rc, &plan, &storage_plan, seed, &oracle) {
+        Ok(report) => {
+            println!(
+                "phase 1 {}: applied {:?} of {} batches{}",
+                outcome_name(report.phase_a.outcome),
+                report.phase_a.applied,
+                rc.reshard_at,
+                if report.drain_crashed { "; drain died mid-protocol" } else { "" }
+            );
+            println!(
+                "recovered from {} (applied={}), phase 2 {}: applied {:?} of {}",
+                report.recovered_from,
+                report.resumed_applied,
+                outcome_name(report.phase_b.outcome),
+                report.phase_b.applied,
+                rc.base.num_batches
+            );
+            println!(
+                "final merged digest {:#018x} — byte-identical to the never-resharded oracle",
+                report.final_digest
+            );
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sweeps reshard-under-crash seeds (CI's elasticity matrix).
+fn reshard_sweep(cfg: &SimConfig, start: u64, count: u64) -> ExitCode {
+    println!(
+        "reshard-sweeping {} seeds from {} ({} batches, staleness bound {})",
+        count, start, cfg.num_batches, cfg.staleness_bound
+    );
+    match run_reshard_sweep(cfg, start, count) {
+        Ok(s) => {
+            println!(
+                "clean: {} seeds ({} grew, {} shrank; {} drain crashes), recovered via \
+                 {} drain sets / {} pre-drain fallbacks / {} cold restarts, \
+                 {} storage faults injected",
+                s.seeds,
+                s.grew,
+                s.shrank,
+                s.drain_crashes,
+                s.drained,
+                s.fell_back,
+                s.cold_restarts,
+                s.storage_faults
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("INVARIANT VIOLATION\n{failure}");
+            write_failure_record(
+                &format!("target/sim/reshard-failure-seed-{}.txt", failure.seed),
+                &failure.to_string(),
+            );
             ExitCode::FAILURE
         }
     }

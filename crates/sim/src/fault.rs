@@ -73,6 +73,61 @@ pub enum Fault {
         /// Number of applied batches after which the process dies.
         after_applied: u64,
     },
+    /// Shard `shard` of the sharded parameter tier dies after applying
+    /// `after_applied` gradient batches; the other shards keep running
+    /// (multi-shard runs only — ignored by the single-server sim).
+    ShardDeath {
+        /// The dying shard.
+        shard: u32,
+        /// Applied batches after which that shard vanishes.
+        after_applied: u64,
+    },
+    /// Shard `shard`'s gradient intake is saturated during
+    /// `[start, start + ticks)`: every push delivery to that shard in
+    /// the window bounces and must be retransmitted. Other shards are
+    /// unaffected, so the same batch's scattered pushes land at
+    /// different times — per-shard saturation *is* cross-shard
+    /// delivery reordering.
+    ShardSaturation {
+        /// The saturated shard.
+        shard: u32,
+        /// First saturated tick.
+        start: u64,
+        /// Window length in ticks.
+        ticks: u64,
+    },
+    /// The `delivery`-th transmission (1-based) of batch `seq`'s
+    /// scattered push toward shard `shard` is dropped by the link.
+    DropShardPush {
+        /// The shard whose delivery is affected.
+        shard: u32,
+        /// Batch whose push is affected.
+        seq: u64,
+        /// Which transmission attempt is dropped.
+        delivery: u32,
+    },
+    /// The `delivery`-th transmission of batch `seq`'s scattered push
+    /// toward shard `shard` is duplicated by the link: it arrives twice.
+    DuplicateShardPush {
+        /// The shard whose delivery is affected.
+        shard: u32,
+        /// Batch whose push is affected.
+        seq: u64,
+        /// Which transmission attempt is duplicated.
+        delivery: u32,
+    },
+    /// Every delivery of batch `seq`'s scattered push toward shard
+    /// `shard` takes an extra `ticks` — the cross-shard reordering
+    /// fault: one shard receives and applies the batch long before its
+    /// peers do.
+    ShardDelay {
+        /// The delayed shard.
+        shard: u32,
+        /// Batch whose deliveries are delayed.
+        seq: u64,
+        /// Extra delivery latency in ticks.
+        ticks: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -99,6 +154,23 @@ impl fmt::Display for Fault {
             }
             Fault::Crash { after_applied } => {
                 write!(f, "process crashes after applying {after_applied} batches")
+            }
+            Fault::ShardDeath { shard, after_applied } => {
+                write!(f, "shard {shard} dies after applying {after_applied} batches")
+            }
+            Fault::ShardSaturation { shard, start, ticks } => write!(
+                f,
+                "shard {shard}'s gradient queue saturated during ticks [{start}, {})",
+                start + ticks
+            ),
+            Fault::DropShardPush { shard, seq, delivery } => {
+                write!(f, "delivery {delivery} of push {seq} to shard {shard} dropped")
+            }
+            Fault::DuplicateShardPush { shard, seq, delivery } => {
+                write!(f, "delivery {delivery} of push {seq} to shard {shard} duplicated")
+            }
+            Fault::ShardDelay { shard, seq, ticks } => {
+                write!(f, "push {seq} to shard {shard} delayed {ticks} ticks")
             }
         }
     }
@@ -249,6 +321,110 @@ impl FaultPlan {
             })
             .min()
     }
+
+    /// Derives a plan for a **sharded** run: like [`FaultPlan::from_seed`]
+    /// but drawing from the shard fault kinds (independent shard death,
+    /// cross-shard delivery reordering, per-shard saturation) in place of
+    /// the single-server ones. Same determinism contract: one seed, one
+    /// plan, bit-for-bit.
+    pub fn from_seed_sharded(seed: u64, num_batches: u64, num_shards: u32) -> Self {
+        let mut ctr = seed ^ 0xFA01_7FA0_17FA_017F;
+        let mut draw = move || {
+            ctr = ctr.wrapping_add(1);
+            splitmix64(ctr)
+        };
+        let n = num_batches.max(1);
+        let shards = u64::from(num_shards.max(1));
+        let count = (draw() % 4) as usize; // 0..=3 faults
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let fault = match draw() % 8 {
+                0 => Fault::WorkerStall { at_batch: draw() % n, ticks: 1 + draw() % 64 },
+                1 => Fault::WorkerDeath { at_batch: draw() % n },
+                2 => {
+                    Fault::ShardDeath { shard: (draw() % shards) as u32, after_applied: draw() % n }
+                }
+                3 => Fault::PrefetchDelay { batch: draw() % n, ticks: 1 + draw() % 48 },
+                4 => Fault::ShardSaturation {
+                    shard: (draw() % shards) as u32,
+                    start: draw() % (n * 10),
+                    ticks: 5 + draw() % 60,
+                },
+                5 => Fault::DropShardPush {
+                    shard: (draw() % shards) as u32,
+                    seq: draw() % n,
+                    delivery: 1 + (draw() % 2) as u32,
+                },
+                6 => Fault::DuplicateShardPush {
+                    shard: (draw() % shards) as u32,
+                    seq: draw() % n,
+                    delivery: 1 + (draw() % 2) as u32,
+                },
+                _ => Fault::ShardDelay {
+                    shard: (draw() % shards) as u32,
+                    seq: draw() % n,
+                    ticks: 1 + draw() % 40,
+                },
+            };
+            faults.push(fault);
+        }
+        Self { faults }
+    }
+
+    /// The applied-count after which `shard` dies, if any (earliest wins).
+    pub fn shard_death_after(&self, shard: u32) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardDeath { shard: s, after_applied } if *s == shard => {
+                    Some(*after_applied)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// True when `shard`'s gradient intake is saturated at tick `t`.
+    pub fn shard_saturated_at(&self, shard: u32, t: u64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::ShardSaturation { shard: s, start, ticks } => {
+                *s == shard && t >= *start && t < *start + *ticks
+            }
+            _ => false,
+        })
+    }
+
+    /// True when transmission `delivery` of push `seq` toward `shard` is
+    /// dropped.
+    pub fn shard_drops(&self, shard: u32, seq: u64, delivery: u32) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::DropShardPush { shard: sh, seq: s, delivery: d }
+                if *sh == shard && *s == seq && *d == delivery)
+        })
+    }
+
+    /// True when transmission `delivery` of push `seq` toward `shard` is
+    /// duplicated.
+    pub fn shard_duplicates(&self, shard: u32, seq: u64, delivery: u32) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::DuplicateShardPush { shard: sh, seq: s, delivery: d }
+                if *sh == shard && *s == seq && *d == delivery)
+        })
+    }
+
+    /// Extra delivery latency for push `seq` toward `shard` (summed over
+    /// duplicate entries).
+    pub fn shard_delay(&self, shard: u32, seq: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardDelay { shard: sh, seq: s, ticks } if *sh == shard && *s == seq => {
+                    Some(*ticks)
+                }
+                _ => None,
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -276,11 +452,76 @@ mod tests {
                     Fault::DropPush { .. } => 5,
                     Fault::DuplicatePush { .. } => 6,
                     Fault::Crash { .. } => 7,
+                    Fault::ShardDeath { .. }
+                    | Fault::ShardSaturation { .. }
+                    | Fault::DropShardPush { .. }
+                    | Fault::DuplicateShardPush { .. }
+                    | Fault::ShardDelay { .. } => {
+                        panic!("single-server seeds must not draw shard faults: {f}")
+                    }
                 };
                 kinds[k] = true;
             }
         }
         assert!(kinds.iter().all(|&k| k), "500 seeds must cover all kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn sharded_seeds_cover_every_shard_fault_kind() {
+        let mut kinds = [false; 8];
+        for seed in 0..500u64 {
+            let plan = FaultPlan::from_seed_sharded(seed, 24, 3);
+            assert_eq!(plan, FaultPlan::from_seed_sharded(seed, 24, 3));
+            for f in &plan.faults {
+                let k = match f {
+                    Fault::WorkerStall { .. } => 0,
+                    Fault::WorkerDeath { .. } => 1,
+                    Fault::ShardDeath { shard, .. } => {
+                        assert!(*shard < 3);
+                        2
+                    }
+                    Fault::PrefetchDelay { .. } => 3,
+                    Fault::ShardSaturation { shard, .. } => {
+                        assert!(*shard < 3);
+                        4
+                    }
+                    Fault::DropShardPush { shard, .. } => {
+                        assert!(*shard < 3);
+                        5
+                    }
+                    Fault::DuplicateShardPush { shard, .. } => {
+                        assert!(*shard < 3);
+                        6
+                    }
+                    Fault::ShardDelay { shard, .. } => {
+                        assert!(*shard < 3);
+                        7
+                    }
+                    other => panic!("sharded seeds must not draw single-server faults: {other}"),
+                };
+                kinds[k] = true;
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "500 sharded seeds must cover all kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn shard_queries_answer_from_the_plan() {
+        let plan = FaultPlan::with(vec![
+            Fault::ShardDeath { shard: 1, after_applied: 5 },
+            Fault::ShardSaturation { shard: 0, start: 50, ticks: 10 },
+            Fault::DropShardPush { shard: 2, seq: 4, delivery: 1 },
+            Fault::DuplicateShardPush { shard: 0, seq: 6, delivery: 2 },
+            Fault::ShardDelay { shard: 1, seq: 3, ticks: 7 },
+        ]);
+        assert_eq!(plan.shard_death_after(1), Some(5));
+        assert_eq!(plan.shard_death_after(0), None);
+        assert!(plan.shard_saturated_at(0, 50) && plan.shard_saturated_at(0, 59));
+        assert!(!plan.shard_saturated_at(0, 60) && !plan.shard_saturated_at(1, 55));
+        assert!(plan.shard_drops(2, 4, 1) && !plan.shard_drops(1, 4, 1));
+        assert!(plan.shard_duplicates(0, 6, 2) && !plan.shard_duplicates(0, 6, 1));
+        assert_eq!(plan.shard_delay(1, 3), 7);
+        assert_eq!(plan.shard_delay(0, 3), 0);
     }
 
     #[test]

@@ -99,6 +99,64 @@ pub enum Violation {
         /// Digest the oracle requires.
         want: u64,
     },
+    /// One shard applied a push more than once (per-shard exactly-once
+    /// broken).
+    ShardAppliedTwice {
+        /// The re-applying shard.
+        shard: u32,
+        /// Re-applied batch.
+        seq: u64,
+    },
+    /// One shard's applies skipped or reordered sequence numbers.
+    ShardAppliedOutOfOrder {
+        /// The misordering shard.
+        shard: u32,
+        /// Batch that was applied.
+        seq: u64,
+        /// Batch that should have been next on that shard.
+        expected: u64,
+    },
+    /// The worker was acknowledged by a shard for a push that shard never
+    /// applied.
+    ShardAckedWithoutApply {
+        /// The acknowledging shard.
+        shard: u32,
+        /// Acknowledged batch.
+        seq: u64,
+    },
+    /// The global gather stamp does not equal the minimum of the
+    /// per-shard stamps recorded for the same batch — the stitched
+    /// staleness bound would be meaningless.
+    ShardStampMismatch {
+        /// Batch whose stamp was stitched wrongly.
+        seq: u64,
+        /// The minimum of the recorded per-shard stamps.
+        stitched: u64,
+        /// The stamp the gather actually carried.
+        stamped: u64,
+    },
+    /// A sharded run claimed completion with a shard short of the
+    /// schedule.
+    ShardIncomplete {
+        /// The lagging shard.
+        shard: u32,
+        /// Batches that shard applied.
+        applied: u64,
+        /// Batches scheduled.
+        expected: u64,
+    },
+    /// One shard's final sub-tables differ from the sharded sequential
+    /// oracle at that shard's applied count.
+    ShardOracleMismatch {
+        /// The diverging shard.
+        shard: u32,
+        /// Batches that shard applied.
+        applied: u64,
+        /// Digest the shard produced.
+        got: u64,
+        /// Digest the sharded oracle requires.
+        want: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -140,6 +198,27 @@ impl fmt::Display for Violation {
                 f,
                 "recovered run's tables digest to {got:#018x}, \
                  sequential oracle requires {want:#018x}"
+            ),
+            Violation::ShardAppliedTwice { shard, seq } => {
+                write!(f, "shard {shard} applied push {seq} more than once")
+            }
+            Violation::ShardAppliedOutOfOrder { shard, seq, expected } => {
+                write!(f, "shard {shard} applied push {seq} while {expected} was next in order")
+            }
+            Violation::ShardAckedWithoutApply { shard, seq } => {
+                write!(f, "shard {shard} acknowledged push {seq} but never applied it")
+            }
+            Violation::ShardStampMismatch { seq, stitched, stamped } => write!(
+                f,
+                "batch {seq} gathered with stamp {stamped} but the per-shard minimum is {stitched}"
+            ),
+            Violation::ShardIncomplete { shard, applied, expected } => {
+                write!(f, "run completed with shard {shard} at {applied}/{expected} batches")
+            }
+            Violation::ShardOracleMismatch { shard, applied, got, want } => write!(
+                f,
+                "shard {shard}'s sub-tables at applied={applied} digest to {got:#018x}, \
+                 sharded oracle requires {want:#018x}"
             ),
         }
     }
@@ -243,6 +322,168 @@ pub fn check_run(
     Ok(a)
 }
 
+/// Checks the trace-level invariants of one finished **sharded** run:
+/// per-shard exactly-once (in-order, no duplicates, no phantom acks),
+/// the stitched staleness bound (every gather stamp equals the minimum
+/// of the per-shard stamps and respects the global bound), stamp
+/// monotonicity, and outcome consistency.
+pub fn check_shard_trace(
+    report: &crate::shard::ShardSimReport,
+    cfg: &crate::shard::ShardSimConfig,
+) -> Result<(), Violation> {
+    if report.outcome == Outcome::OutOfBudget {
+        return Err(Violation::OutOfBudget);
+    }
+    let num_shards = cfg.shard.num_shards as usize;
+    let mut next_apply = vec![0u64; num_shards];
+    let mut last_stamp = 0u64;
+    // per-shard stamps recorded for the batch currently being gathered
+    let mut stamps: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    for e in &report.trace.events {
+        match *e {
+            TraceEvent::Resumed { applied } => {
+                next_apply = vec![applied; num_shards];
+                last_stamp = applied;
+            }
+            TraceEvent::ShardApplied { shard, seq } => {
+                let s = shard as usize;
+                if seq < next_apply[s] {
+                    return Err(Violation::ShardAppliedTwice { shard, seq });
+                }
+                if seq > next_apply[s] {
+                    return Err(Violation::ShardAppliedOutOfOrder {
+                        shard,
+                        seq,
+                        expected: next_apply[s],
+                    });
+                }
+                next_apply[s] += 1;
+            }
+            TraceEvent::ShardAcked { shard, seq } if seq >= next_apply[shard as usize] => {
+                return Err(Violation::ShardAckedWithoutApply { shard, seq });
+            }
+            TraceEvent::ShardStamped { seq, applied, .. } => {
+                stamps.entry(seq).or_default().push(applied);
+            }
+            TraceEvent::Gathered { seq, applied_through } => {
+                let stitched = stamps
+                    .get(&seq)
+                    .filter(|v| v.len() == num_shards)
+                    .and_then(|v| v.iter().min().copied());
+                if stitched != Some(applied_through) {
+                    return Err(Violation::ShardStampMismatch {
+                        seq,
+                        stitched: stitched.unwrap_or(u64::MAX),
+                        stamped: applied_through,
+                    });
+                }
+                if seq - applied_through > cfg.base.staleness_bound {
+                    return Err(Violation::StalenessExceeded {
+                        seq,
+                        applied_through,
+                        bound: cfg.base.staleness_bound,
+                    });
+                }
+                if applied_through < last_stamp {
+                    return Err(Violation::StampRegressed {
+                        seq,
+                        applied_through,
+                        prev: last_stamp,
+                    });
+                }
+                last_stamp = applied_through;
+            }
+            TraceEvent::PrefetchSynced { seq, applied_through }
+                if seq - applied_through > cfg.base.staleness_bound =>
+            {
+                return Err(Violation::StalenessExceeded {
+                    seq,
+                    applied_through,
+                    bound: cfg.base.staleness_bound,
+                });
+            }
+            _ => {}
+        }
+    }
+    for (s, (&traced, &reported)) in next_apply.iter().zip(&report.applied).enumerate() {
+        if traced != reported {
+            // the trace and the shard disagree about progress
+            return Err(Violation::ShardAppliedOutOfOrder {
+                shard: s as u32,
+                seq: reported,
+                expected: traced,
+            });
+        }
+    }
+    if report.outcome == Outcome::Completed {
+        for (s, &applied) in report.applied.iter().enumerate() {
+            if applied != cfg.base.num_batches {
+                return Err(Violation::ShardIncomplete {
+                    shard: s as u32,
+                    applied,
+                    expected: cfg.base.num_batches,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks schedule independence of a sharded run per shard and globally:
+/// every shard's final sub-tables must digest to the sharded oracle's
+/// prefix at that shard's own applied count (valid even when faults left
+/// the shards skewed), and when all shards agree on an applied count the
+/// merged tables must equal the global sequential oracle at that prefix.
+pub fn check_shard_against_oracle(
+    report: &crate::shard::ShardSimReport,
+    shard_oracle: &crate::oracle::ShardOracle,
+    global_oracle: &Oracle,
+) -> Result<(), Violation> {
+    for (s, (&got, &applied)) in report.shard_digests.iter().zip(&report.applied).enumerate() {
+        let want = shard_oracle.per_shard[s][applied as usize];
+        if got != want {
+            return Err(Violation::ShardOracleMismatch { shard: s as u32, applied, got, want });
+        }
+    }
+    if let [first, rest @ ..] = report.applied.as_slice() {
+        if rest.iter().all(|a| a == first) {
+            let want = global_oracle.prefix_digests[*first as usize];
+            if report.merged_digest != want {
+                return Err(Violation::OracleMismatch {
+                    applied: *first,
+                    got: report.merged_digest,
+                    want,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a sharded `(cfg, plan, seed)` twice, demands bit-identical traces
+/// and tables, then checks every shard-trace and oracle invariant. The
+/// full per-seed verdict of the multi-shard sweep.
+pub fn check_shard_run(
+    cfg: &crate::shard::ShardSimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+    shard_oracle: &crate::oracle::ShardOracle,
+    global_oracle: &Oracle,
+) -> Result<crate::shard::ShardSimReport, Violation> {
+    let a = crate::shard::run_sharded(cfg, plan, schedule_seed);
+    let b = crate::shard::run_sharded(cfg, plan, schedule_seed);
+    if a.trace != b.trace
+        || a.merged_digest != b.merged_digest
+        || a.shard_digests != b.shard_digests
+        || a.final_tick != b.final_tick
+    {
+        return Err(Violation::ReplayDiverged { seed: schedule_seed });
+    }
+    check_shard_trace(&a, cfg)?;
+    check_shard_against_oracle(&a, shard_oracle, global_oracle)?;
+    Ok(a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +544,65 @@ mod tests {
         let mut report = run(&cfg, &FaultPlan::none(), 1);
         report.trace.push(TraceEvent::Acked { seq: 5 });
         assert_eq!(check_trace(&report, &cfg), Err(Violation::AckedWithoutApply { seq: 5 }));
+    }
+
+    #[test]
+    fn shard_checker_passes_a_clean_multi_shard_run() {
+        let cfg = crate::shard::ShardSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&cfg);
+        let global_oracle = sequential_prefix(&cfg.base);
+        let report = check_shard_run(&cfg, &FaultPlan::none(), 1, &shard_oracle, &global_oracle)
+            .expect("clean sharded run");
+        assert_eq!(report.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn shard_checker_catches_a_per_shard_double_apply() {
+        let cfg = crate::shard::ShardSimConfig::default();
+        let mut report = crate::shard::run_sharded(&cfg, &FaultPlan::none(), 1);
+        report.trace.push(TraceEvent::ShardApplied { shard: 1, seq: 3 });
+        assert_eq!(
+            check_shard_trace(&report, &cfg),
+            Err(Violation::ShardAppliedTwice { shard: 1, seq: 3 })
+        );
+    }
+
+    #[test]
+    fn shard_checker_catches_a_mis_stitched_stamp() {
+        let cfg = crate::shard::ShardSimConfig::default();
+        let mut report = crate::shard::run_sharded(&cfg, &FaultPlan::none(), 1);
+        // a gather stamp with no per-shard stamps backing it cannot be
+        // the minimum of anything
+        let seq = cfg.base.num_batches;
+        report.trace.push(TraceEvent::Gathered { seq, applied_through: seq });
+        assert!(matches!(
+            check_shard_trace(&report, &cfg),
+            Err(Violation::ShardStampMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_checker_catches_a_phantom_shard_ack() {
+        let cfg = crate::shard::ShardSimConfig::default();
+        let mut report = crate::shard::run_sharded(&cfg, &FaultPlan::none(), 1);
+        report.trace.push(TraceEvent::ShardAcked { shard: 2, seq: cfg.base.num_batches });
+        assert!(matches!(
+            check_shard_trace(&report, &cfg),
+            Err(Violation::ShardAckedWithoutApply { shard: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn shard_checker_catches_sub_table_corruption() {
+        let cfg = crate::shard::ShardSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&cfg);
+        let global_oracle = sequential_prefix(&cfg.base);
+        let mut report = crate::shard::run_sharded(&cfg, &FaultPlan::none(), 1);
+        report.shard_digests[0] ^= 1;
+        assert!(matches!(
+            check_shard_against_oracle(&report, &shard_oracle, &global_oracle),
+            Err(Violation::ShardOracleMismatch { shard: 0, .. })
+        ));
     }
 
     #[test]

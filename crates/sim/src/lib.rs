@@ -20,11 +20,18 @@
 //! * [`oracle`] — the sequential reference with per-batch prefix digests,
 //! * [`invariants`] — exactly-once / staleness-bound / schedule-independence
 //!   / replay-determinism checking,
+//! * [`shard`] — the multi-shard tier simulation: scatter/gather across
+//!   independent `HostServer` shards, per-shard fault injection, and the
+//!   multi-shard seed sweep,
 //! * [`sweep`] — the seed-sweep harness CI runs,
 //! * [`storage`] — fault-injecting checkpoint storage (crashes between
 //!   atomic-protocol steps, torn writes, at-rest rot),
 //! * [`recovery`] — crash → recover → resume scenarios and the crash
-//!   sweep (checkpoint durability, DESIGN.md §11).
+//!   sweep (checkpoint durability, DESIGN.md §11),
+//! * [`reshard`] — elastic resharding: drain through the checkpoint
+//!   store, migrate row ranges to a new placement, resume — crash-safe at
+//!   every drain step and byte-identical to the never-resharded oracle
+//!   (DESIGN.md §14).
 //!
 //! See DESIGN.md §10 for the fault model and the invariant statements.
 
@@ -36,6 +43,8 @@ pub mod fault;
 pub mod invariants;
 pub mod oracle;
 pub mod recovery;
+pub mod reshard;
+pub mod shard;
 pub mod sim;
 pub mod storage;
 pub mod sweep;
@@ -45,11 +54,22 @@ pub mod trace;
 mod proptests;
 
 pub use fault::{Fault, FaultPlan};
-pub use invariants::{check_against_oracle, check_run, check_trace, Violation};
-pub use oracle::{sequential_prefix, Oracle};
+pub use invariants::{
+    check_against_oracle, check_run, check_shard_against_oracle, check_shard_run,
+    check_shard_trace, check_trace, Violation,
+};
+pub use oracle::{sequential_prefix, sharded_prefix, Oracle, ShardOracle};
 pub use recovery::{
     check_recovery, crash_plans_for_seed, run_crash_sweep, run_with_recovery, CrashSweepFailure,
     CrashSweepSummary, RecoveryConfig, RecoveryReport, SimCheckpoint,
+};
+pub use reshard::{
+    check_reshard, reshard_plans_for_seed, run_reshard, run_reshard_sweep, RecoveredFrom,
+    ReshardConfig, ReshardReport, ReshardSweepFailure, ReshardSweepSummary,
+};
+pub use shard::{
+    run_shard_session, run_shard_sweep, run_sharded, ShardSimConfig, ShardSimReport,
+    ShardSweepFailure, ShardSweepSummary,
 };
 pub use sim::{
     digest_tables, run, run_session, CkptSink, Outcome, ResumeState, SimConfig, SimReport,

@@ -12,10 +12,12 @@
 //! correctness, because a lost, duplicated or stale-input push would
 //! each perturb the final bytes.
 
+use crate::shard::ShardSimConfig;
 use crate::sim::{build_dataset, build_tables, digest_tables, worker_push, SimConfig};
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_pipeline::cache::EmbeddingCache;
 use el_pipeline::server::{ApplyOutcome, HostServer};
+use el_pipeline::{split_tables, ShardRouter};
 
 /// The sequential reference for one [`SimConfig`].
 pub struct Oracle {
@@ -48,6 +50,58 @@ pub fn sequential_prefix(cfg: &SimConfig) -> Oracle {
     Oracle { prefix_digests, final_tables: server.tables }
 }
 
+/// The sequential reference of the **sharded** tier: per-shard prefix
+/// digests stitched from the same strictly-sequential execution as
+/// [`sequential_prefix`].
+pub struct ShardOracle {
+    /// `per_shard[s][k]` is shard `s`'s sub-table digest after `s` has
+    /// applied `k` scattered pushes; index 0 is the initial split.
+    /// Every inner vector has length `num_batches + 1`.
+    pub per_shard: Vec<Vec<u64>>,
+}
+
+/// Runs the sequential reference with the sharded tier alongside: every
+/// batch is gathered from and applied to a single global server (the
+/// trusted baseline) *and* scattered onto per-shard sub-servers, digesting
+/// each shard after each apply. A sharded run whose shard `s` stopped at
+/// `applied[s] = k` — whatever faults stopped it — must land on
+/// `per_shard[s][k]` exactly: this is the per-shard half of the
+/// schedule-independence invariant, valid even when shards are skewed.
+pub fn sharded_prefix(cfg: &ShardSimConfig) -> ShardOracle {
+    let dataset = build_dataset(&cfg.base);
+    let tables = build_tables(&cfg.base);
+    let layout = cfg.layout();
+    let mut server = HostServer::new(tables.clone(), cfg.base.lr);
+    let mut shards: Vec<HostServer> = split_tables(&tables, &layout)
+        .expect("the layout places exactly the config's tables")
+        .into_iter()
+        .map(|sub| HostServer::new(sub, cfg.base.lr))
+        .collect();
+    let mut router = ShardRouter::new(layout);
+    let mut caches: Vec<(usize, EmbeddingCache)> =
+        (0..cfg.base.num_tables).map(|t| (t, EmbeddingCache::new())).collect();
+    let mut per_shard: Vec<Vec<u64>> =
+        shards.iter().map(|s| vec![digest_tables(&s.tables)]).collect();
+    for k in 0..cfg.base.num_batches {
+        let batch = dataset.batch(k, cfg.base.batch_size);
+        let mut pf = server.gather(batch, k);
+        let push = worker_push(&mut pf, &mut caches, cfg.base.lr, cfg.base.model_seed);
+        match server.apply_checked(&push) {
+            Ok(ApplyOutcome::Applied) => {}
+            other => unreachable!("sequential apply of batch {k} failed: {other:?}"),
+        }
+        let scattered = router.scatter_push(&push).expect("oracle pushes always scatter");
+        for (s, shard_push) in scattered.iter().enumerate() {
+            match shards[s].apply_checked(shard_push) {
+                Ok(ApplyOutcome::Applied) => {}
+                other => unreachable!("sequential shard apply of batch {k} failed: {other:?}"),
+            }
+            per_shard[s].push(digest_tables(&shards[s].tables));
+        }
+    }
+    ShardOracle { per_shard }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +116,30 @@ mod tests {
         // every batch must actually move the tables
         for w in a.prefix_digests.windows(2) {
             assert_ne!(w[0], w[1], "an applied batch left the tables untouched");
+        }
+    }
+
+    #[test]
+    fn sharded_prefixes_agree_with_the_global_oracle() {
+        let cfg = ShardSimConfig::default();
+        let sharded = sharded_prefix(&cfg);
+        assert_eq!(sharded.per_shard.len(), cfg.shard.num_shards as usize);
+        for (s, digests) in sharded.per_shard.iter().enumerate() {
+            assert_eq!(digests.len() as u64, cfg.base.num_batches + 1, "shard {s}");
+        }
+        // the stitched final state equals the sequential final state:
+        // rebuild the shard servers, replay, merge, and compare digests
+        let tables = crate::sim::build_tables(&cfg.base);
+        let layout = cfg.layout();
+        let split = el_pipeline::split_tables(&tables, &layout).unwrap();
+        // per-shard digests are deterministic
+        let again = sharded_prefix(&cfg);
+        for (a, b) in sharded.per_shard.iter().zip(&again.per_shard) {
+            assert_eq!(a, b);
+        }
+        // index 0 is the untrained split
+        for (s, sub) in split.iter().enumerate() {
+            assert_eq!(sharded.per_shard[s][0], digest_tables(sub));
         }
     }
 

@@ -51,22 +51,55 @@ pub const SIM_CKPT_FORMAT: u32 = 1;
 pub struct SimCheckpoint {
     /// Gradient batches applied when the checkpoint was taken.
     pub applied: u64,
+    /// Which shard slot these tables belong to (0 for a single-server
+    /// checkpoint).
+    pub shard: u32,
+    /// Total shards in the layout the checkpoint was drained under (1
+    /// for a single-server checkpoint).
+    pub num_shards: u32,
     /// Hosted tables as of the checkpoint.
     pub tables: Vec<(usize, EmbeddingBag)>,
 }
 
 /// The `meta` section, field-compatible with the pipeline store's
-/// training-checkpoint meta so `ckpt verify` reports the cursor.
+/// training-checkpoint meta so `ckpt verify` reports the cursor (extra
+/// fields are ignored by that tolerant parse).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 struct SimMeta {
     format: u32,
     next_batch: u64,
+    shard: u32,
+    num_shards: u32,
 }
 
 impl SimCheckpoint {
+    /// A single-server checkpoint: slot 0 of a 1-shard layout.
+    pub fn single(applied: u64, tables: Vec<(usize, EmbeddingBag)>) -> Self {
+        Self { applied, shard: 0, num_shards: 1, tables }
+    }
+
+    /// Validates that this checkpoint belongs to slot `shard` of an
+    /// `num_shards`-wide layout, rejecting a layout or slot change with a
+    /// typed [`CkptError::StateMismatch`] instead of silently resuming
+    /// the wrong sub-tables.
+    pub fn for_slot(self, shard: u32, num_shards: u32) -> Result<Self, CkptError> {
+        if self.shard != shard || self.num_shards != num_shards {
+            return Err(CkptError::StateMismatch(format!(
+                "checkpoint is shard {}/{} but slot {}/{} was requested",
+                self.shard, self.num_shards, shard, num_shards
+            )));
+        }
+        Ok(self)
+    }
+
     /// Serializes into the framed container.
     pub fn to_framed_bytes(&self) -> Vec<u8> {
-        let meta = SimMeta { format: SIM_CKPT_FORMAT, next_batch: self.applied };
+        let meta = SimMeta {
+            format: SIM_CKPT_FORMAT,
+            next_batch: self.applied,
+            shard: self.shard,
+            num_shards: self.num_shards,
+        };
         let tables: Vec<HostedTableCheckpoint> = self
             .tables
             .iter()
@@ -99,9 +132,17 @@ impl SimCheckpoint {
         if meta.format == 0 || meta.format > SIM_CKPT_FORMAT {
             return Err(CkptError::Version { got: meta.format, supported: SIM_CKPT_FORMAT });
         }
+        if meta.num_shards == 0 || meta.shard >= meta.num_shards {
+            return Err(CkptError::Corrupt(format!(
+                "impossible shard slot {}/{}",
+                meta.shard, meta.num_shards
+            )));
+        }
         let tables: Vec<HostedTableCheckpoint> = parse_json(find("tables")?, "tables")?;
         Ok(Self {
             applied: meta.next_batch,
+            shard: meta.shard,
+            num_shards: meta.num_shards,
             tables: tables.into_iter().map(|h| (h.id, h.table)).collect(),
         })
     }
@@ -128,7 +169,7 @@ impl<S: Storage> StoreSink<S> {
 
 impl<S: Storage> CkptSink for StoreSink<S> {
     fn save(&mut self, applied: u64, tables: &[(usize, EmbeddingBag)]) -> Result<(), CkptError> {
-        let ckpt = SimCheckpoint { applied, tables: tables.to_vec() };
+        let ckpt = SimCheckpoint::single(applied, tables.to_vec());
         self.store.save_bytes(&ckpt.to_framed_bytes()).map(|_| ())
     }
 }
@@ -377,18 +418,46 @@ mod tests {
     #[test]
     fn sim_checkpoint_round_trips() {
         let tables = build_tables(&SimConfig::default());
-        let ckpt = SimCheckpoint { applied: 7, tables: tables.clone() };
-        let bytes = ckpt.to_framed_bytes();
-        let back = SimCheckpoint::from_framed_bytes(&bytes).unwrap();
-        assert_eq!(back.applied, 7);
-        assert_eq!(
-            crate::sim::digest_tables(&back.tables),
-            crate::sim::digest_tables(&tables),
-            "tables must survive byte-identically"
-        );
-        // the shared verifier understands the meta section
-        let info = el_pipeline::ckpt::verify_bytes(&bytes).unwrap();
-        assert_eq!(info.next_batch, 7);
+        for num_shards in [1u32, 2, 4] {
+            for shard in 0..num_shards {
+                let ckpt = SimCheckpoint { applied: 7, shard, num_shards, tables: tables.clone() };
+                let bytes = ckpt.to_framed_bytes();
+                let back = SimCheckpoint::from_framed_bytes(&bytes).unwrap();
+                assert_eq!((back.applied, back.shard, back.num_shards), (7, shard, num_shards));
+                assert_eq!(
+                    crate::sim::digest_tables(&back.tables),
+                    crate::sim::digest_tables(&tables),
+                    "tables must survive byte-identically"
+                );
+                // the shared verifier understands the meta section
+                let info = el_pipeline::ckpt::verify_bytes(&bytes).unwrap();
+                assert_eq!(info.next_batch, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_checkpoint_rejects_a_layout_or_slot_change() {
+        let tables = build_tables(&SimConfig::default());
+        let ckpt = SimCheckpoint { applied: 7, shard: 1, num_shards: 4, tables };
+        // the right slot passes through unchanged
+        let same = ckpt.clone().for_slot(1, 4).unwrap();
+        assert_eq!((same.shard, same.num_shards), (1, 4));
+        // wrong slot and wrong layout are both typed rejections
+        for (shard, num_shards) in [(2, 4), (1, 2), (0, 1)] {
+            match ckpt.clone().for_slot(shard, num_shards) {
+                Err(CkptError::StateMismatch(msg)) => {
+                    assert!(msg.contains("1/4"), "message names the stored slot: {msg}");
+                }
+                Err(other) => panic!("slot {shard}/{num_shards} must be StateMismatch: {other:?}"),
+                Ok(_) => panic!("slot {shard}/{num_shards} must be rejected"),
+            }
+        }
+        // an impossible slot on disk is corruption, not a resume target
+        let mut bad = ckpt.clone();
+        bad.shard = 9;
+        let bytes = bad.to_framed_bytes();
+        assert!(matches!(SimCheckpoint::from_framed_bytes(&bytes), Err(CkptError::Corrupt(_))));
     }
 
     #[test]

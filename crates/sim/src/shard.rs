@@ -1,0 +1,726 @@
+//! The multi-shard discrete-event simulation.
+//!
+//! [`crate::sim`] drives one [`HostServer`]; this module drives the
+//! **sharded parameter tier** of `el_pipeline::router`: N independent
+//! [`HostServer`] shards, each with its own bounded gradient intake and
+//! push-stamp domain, fronted by a [`ShardRouter`] whose gather fans out
+//! across the shards and stamps the reassembled batch with the *minimum*
+//! per-shard applied watermark. The worker is unchanged — it runs the
+//! same `worker_push` step from [`crate::sim`] over the reassembled batch
+//! — and its
+//! push is scattered into one push **per shard**, each transmitted over
+//! its own unreliable link: a [`FaultPlan`] built with
+//! [`FaultPlan::from_seed_sharded`] can kill an individual shard, delay,
+//! drop or duplicate deliveries toward one shard while its peers receive
+//! theirs on time (cross-shard reordering), and saturate one shard's
+//! intake window.
+//!
+//! Single-server faults that name the whole process
+//! ([`Fault::Crash`](crate::fault::Fault::Crash),
+//! [`Fault::ServerDeath`](crate::fault::Fault::ServerDeath),
+//! [`Fault::GradQueueSaturation`](crate::fault::Fault::GradQueueSaturation),
+//! [`Fault::DropPush`](crate::fault::Fault::DropPush),
+//! [`Fault::DuplicatePush`](crate::fault::Fault::DuplicatePush)) are not
+//! modelled here and are ignored; sharded plans draw from the shard fault
+//! kinds instead.
+//!
+//! Every run is a pure function of `(ShardSimConfig, FaultPlan,
+//! schedule_seed)`; the invariant checker
+//! ([`crate::invariants::check_shard_run`]) verifies per-shard
+//! exactly-once, the stitched global staleness bound, and byte-identity
+//! of every shard against the sharded sequential oracle
+//! ([`crate::oracle::sharded_prefix`]).
+
+use crate::clock::{splitmix64, EventQueue};
+use crate::fault::FaultPlan;
+use crate::sim::{
+    build_dataset, build_tables, digest_tables, worker_push, Outcome, ResumeState, SimConfig,
+};
+use crate::trace::{Trace, TraceEvent};
+use el_data::SyntheticDataset;
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_pipeline::cache::EmbeddingCache;
+use el_pipeline::server::{ApplyOutcome, GradientPush, HostServer, PrefetchedBatch};
+use el_pipeline::{merge_tables, split_tables, ShardConfig, ShardLayout, ShardRouter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+// The same latency model as the single-server sim (crate::sim), copied
+// because those constants are private to that module by design: the two
+// simulations must stay independently tunable.
+const PREFETCH_LATENCY: u64 = 3;
+const COMPUTE_LATENCY: u64 = 4;
+const PUSH_LATENCY: u64 = 3;
+const ACK_LATENCY: u64 = 2;
+const RETRY_TIMEOUT: u64 = 24;
+const MAX_RETRIES: u32 = 8;
+const JITTER: u64 = 4;
+
+/// Static configuration of one sharded run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSimConfig {
+    /// The model/data universe and pipeline knobs (shared with the
+    /// single-server sim and the oracle).
+    pub base: SimConfig,
+    /// The shard layout knobs (count, row-range size, placement seed).
+    pub shard: ShardConfig,
+}
+
+impl Default for ShardSimConfig {
+    fn default() -> Self {
+        Self {
+            base: SimConfig::default(),
+            shard: ShardConfig { num_shards: 3, rows_per_range: 16, placement_seed: 0xE1 },
+        }
+    }
+}
+
+impl ShardSimConfig {
+    /// The placement every participant of this config derives.
+    pub fn layout(&self) -> ShardLayout {
+        let sizes: Vec<(usize, usize)> =
+            (0..self.base.num_tables).map(|t| (t, self.base.rows_per_table)).collect();
+        ShardLayout::place(&self.shard, &sizes)
+    }
+}
+
+/// Result of one sharded run.
+#[derive(Debug)]
+pub struct ShardSimReport {
+    /// Terminal state ([`Outcome::Completed`] iff **every** shard applied
+    /// every batch).
+    pub outcome: Outcome,
+    /// Per-shard applied watermarks at termination.
+    pub applied: Vec<u64>,
+    /// Full protocol trace, in virtual-time order.
+    pub trace: Trace,
+    /// Per-shard FNV-1a digests of the final sub-tables.
+    pub shard_digests: Vec<u64>,
+    /// Digest of the merged (reassembled) global tables.
+    pub merged_digest: u64,
+    /// The final per-shard sub-tables (the drain input of a reshard).
+    pub shard_tables: Vec<Vec<(usize, EmbeddingBag)>>,
+    /// The merged global tables.
+    pub merged_tables: Vec<(usize, EmbeddingBag)>,
+    /// Stale pre-fetched rows the worker's cache corrected.
+    pub stale_hits: u64,
+    /// Virtual time at termination.
+    pub final_tick: u64,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// In-flight scattered push awaiting one shard's acknowledgement.
+struct UnackedPush {
+    push: GradientPush,
+    attempts: u32,
+    deliveries: u32,
+}
+
+/// Events on the virtual timeline.
+enum Ev {
+    /// A reassembled pre-fetched batch reaches the worker.
+    PrefetchArrive(Box<PrefetchedBatch>),
+    /// A worker stall window ends.
+    StallOver,
+    /// The worker finishes computing a batch.
+    ComputeDone(u64),
+    /// A scattered push delivery reaches one shard.
+    ShardPushArrive { shard: u32, push: Box<GradientPush> },
+    /// One shard's acknowledgement reaches the worker.
+    ShardAckArrive { shard: u32, seq: u64 },
+    /// The worker's retransmission timer for one shard's push fires.
+    RetryFire { shard: u32, seq: u64 },
+}
+
+/// The running sharded simulation state.
+struct ShardSim {
+    cfg: ShardSimConfig,
+    plan: FaultPlan,
+    q: EventQueue<Ev>,
+    rng: StdRng,
+    dataset: SyntheticDataset,
+    trace: Trace,
+    // the sharded host tier
+    router: ShardRouter,
+    shards: Vec<HostServer>,
+    shard_alive: Vec<bool>,
+    next_gather: u64,
+    pending: Vec<BTreeMap<u64, GradientPush>>,
+    occupancy: usize,
+    // worker
+    worker_alive: bool,
+    stalled: bool,
+    stalls_done: BTreeSet<u64>,
+    inbox: BTreeMap<u64, PrefetchedBatch>,
+    next_train: u64,
+    computing: Option<GradientPush>,
+    caches: Vec<(usize, EmbeddingCache)>,
+    unacked: BTreeMap<(u32, u64), UnackedPush>,
+}
+
+/// Runs one sharded simulation to termination.
+pub fn run_sharded(cfg: &ShardSimConfig, plan: &FaultPlan, schedule_seed: u64) -> ShardSimReport {
+    run_shard_session(cfg, plan, schedule_seed, None)
+}
+
+/// Runs one sharded *session*: [`run_sharded`] plus resumption. `resume`
+/// continues from recovered **global** tables at an applied watermark
+/// (the session splits them under its own layout), which is how a
+/// post-reshard phase restarts under a new placement.
+pub fn run_shard_session(
+    cfg: &ShardSimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+    resume: Option<ResumeState>,
+) -> ShardSimReport {
+    let layout = cfg.layout();
+    let mut trace = Trace::default();
+    let mut start = 0u64;
+    let global = match resume {
+        Some(rs) => {
+            start = rs.applied;
+            trace.push(TraceEvent::Resumed { applied: rs.applied });
+            rs.tables
+        }
+        None => build_tables(&cfg.base),
+    };
+    let shards: Vec<HostServer> = split_tables(&global, &layout)
+        .expect("the layout places exactly the config's tables")
+        .into_iter()
+        .map(|sub| {
+            let mut s = HostServer::new(sub, cfg.base.lr);
+            s.applied = start;
+            s
+        })
+        .collect();
+    let n = shards.len();
+    let sim = ShardSim {
+        cfg: *cfg,
+        plan: plan.clone(),
+        q: EventQueue::new(),
+        rng: StdRng::seed_from_u64(cfg.base.model_seed ^ splitmix64(schedule_seed)),
+        dataset: build_dataset(&cfg.base),
+        trace,
+        router: ShardRouter::new(layout),
+        shards,
+        shard_alive: vec![true; n],
+        next_gather: start,
+        pending: (0..n).map(|_| BTreeMap::new()).collect(),
+        occupancy: 0,
+        worker_alive: true,
+        stalled: false,
+        stalls_done: BTreeSet::new(),
+        inbox: BTreeMap::new(),
+        next_train: start,
+        computing: None,
+        caches: (0..cfg.base.num_tables).map(|t| (t, EmbeddingCache::new())).collect(),
+        unacked: BTreeMap::new(),
+    };
+    sim.drive()
+}
+
+impl ShardSim {
+    fn jitter(&mut self) -> u64 {
+        self.rng.gen_range(0..JITTER)
+    }
+
+    fn min_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.applied).min().unwrap_or(0)
+    }
+
+    fn drive(mut self) -> ShardSimReport {
+        let mut events = 0u64;
+        let mut out_of_budget = false;
+        self.step();
+        while let Some(ev) = self.q.pop() {
+            events += 1;
+            if events > self.cfg.base.max_events {
+                out_of_budget = true;
+                break;
+            }
+            self.handle(ev);
+            self.step();
+        }
+        let outcome = if out_of_budget {
+            Outcome::OutOfBudget
+        } else if self.shards.iter().all(|s| s.applied == self.cfg.base.num_batches) {
+            Outcome::Completed
+        } else {
+            Outcome::Stalled
+        };
+        let stale_hits = self.caches.iter().map(|(_, c)| c.stale_hits).sum();
+        let shard_tables: Vec<Vec<(usize, EmbeddingBag)>> =
+            self.shards.iter().map(|s| s.tables.clone()).collect();
+        let merged_tables = merge_tables(&shard_tables, self.router.layout())
+            .expect("sub-tables always merge under their own layout");
+        ShardSimReport {
+            outcome,
+            applied: self.shards.iter().map(|s| s.applied).collect(),
+            shard_digests: shard_tables.iter().map(|t| digest_tables(t)).collect(),
+            merged_digest: digest_tables(&merged_tables),
+            shard_tables,
+            merged_tables,
+            stale_hits,
+            final_tick: self.q.now(),
+            events_processed: events,
+            trace: self.trace,
+        }
+    }
+
+    /// Runs every immediately-enabled action: each shard applies, the
+    /// router gathers, the worker starts compute.
+    fn step(&mut self) {
+        for s in 0..self.shards.len() {
+            self.drain_shard(s);
+        }
+        self.host_gather();
+        self.worker_start();
+    }
+
+    /// Applies one shard's buffered pushes in order until a gap (or that
+    /// shard's injected death). Other shards are untouched: each shard's
+    /// stamp domain advances independently.
+    fn drain_shard(&mut self, s: usize) {
+        while self.shard_alive[s] {
+            if let Some(death) = self.plan.shard_death_after(s as u32) {
+                if self.shards[s].applied >= death {
+                    self.shard_alive[s] = false;
+                    self.trace.push(TraceEvent::ShardDied {
+                        shard: s as u32,
+                        applied: self.shards[s].applied,
+                    });
+                    self.pending[s].clear();
+                    return;
+                }
+            }
+            let next = self.shards[s].applied;
+            let Some(push) = self.pending[s].remove(&next) else { return };
+            match self.shards[s].apply_checked(&push) {
+                Ok(ApplyOutcome::Applied) => {
+                    self.trace.push(TraceEvent::ShardApplied { shard: s as u32, seq: next });
+                    let d = ACK_LATENCY + self.jitter();
+                    self.q.schedule(d, Ev::ShardAckArrive { shard: s as u32, seq: next });
+                }
+                other => unreachable!("in-order drain of seq {next} must apply, got {other:?}"),
+            }
+        }
+    }
+
+    /// Gathers while every shard is alive, the pre-fetch queue has room,
+    /// and the **stitched** staleness gate allows: batch `k` may only be
+    /// gathered once `k - min(applied)` is within the bound, so the
+    /// reassembled stamp (the per-shard minimum) always satisfies the
+    /// global bound.
+    fn host_gather(&mut self) {
+        while self.shard_alive.iter().all(|&a| a)
+            && self.next_gather < self.cfg.base.num_batches
+            && self.occupancy < self.cfg.base.prefetch_depth
+            && self.next_gather - self.min_applied() <= self.cfg.base.staleness_bound
+        {
+            let k = self.next_gather;
+            for (s, shard) in self.shards.iter().enumerate() {
+                self.trace.push(TraceEvent::ShardStamped {
+                    shard: s as u32,
+                    seq: k,
+                    applied: shard.applied,
+                });
+            }
+            let batch = self.dataset.batch(k, self.cfg.base.batch_size);
+            let pf = self
+                .router
+                .gather(&mut self.shards, batch, k)
+                .expect("config-derived layout always routes its own batches");
+            self.trace.push(TraceEvent::Gathered { seq: k, applied_through: pf.applied_through });
+            let delay = PREFETCH_LATENCY + self.jitter() + self.plan.prefetch_delay(k);
+            self.q.schedule(delay, Ev::PrefetchArrive(Box::new(pf)));
+            self.occupancy += 1;
+            self.next_gather += 1;
+        }
+    }
+
+    /// Starts computing the next in-order batch if the worker is idle —
+    /// identical to the single-server worker: the sharding seam is
+    /// invisible to it.
+    fn worker_start(&mut self) {
+        if !self.worker_alive || self.stalled || self.computing.is_some() {
+            return;
+        }
+        let Some(mut pf) = self.inbox.remove(&self.next_train) else { return };
+        let seq = pf.batch_seq;
+        if self.plan.kills_worker_at(seq) {
+            self.worker_alive = false;
+            self.trace.push(TraceEvent::WorkerDied { at_batch: seq });
+            self.inbox.clear();
+            return;
+        }
+        if !self.stalls_done.contains(&seq) {
+            if let Some(ticks) = self.plan.stall_before(seq) {
+                self.stalls_done.insert(seq);
+                self.stalled = true;
+                self.inbox.insert(seq, pf); // resume from here after the stall
+                self.q.schedule(ticks, Ev::StallOver);
+                return;
+            }
+        }
+        self.occupancy -= 1;
+        self.trace.push(TraceEvent::PrefetchSynced { seq, applied_through: pf.applied_through });
+        let push =
+            worker_push(&mut pf, &mut self.caches, self.cfg.base.lr, self.cfg.base.model_seed);
+        self.computing = Some(push);
+        self.next_train += 1;
+        let delay = COMPUTE_LATENCY + self.jitter();
+        self.q.schedule(delay, Ev::ComputeDone(seq));
+    }
+
+    /// Issues one transmission of the scattered push for `(shard, seq)`
+    /// (subject to the plan's per-shard drop/duplicate/delay faults) and
+    /// arms that link's retransmission timer.
+    fn transmit(&mut self, shard: u32, seq: u64) {
+        let Some(ent) = self.unacked.get_mut(&(shard, seq)) else { return };
+        ent.deliveries += 1;
+        let delivery = ent.deliveries;
+        let attempts = ent.attempts;
+        let push = ent.push.clone();
+        self.trace.push(TraceEvent::ShardPushSent { shard, seq, delivery });
+        let delay_extra = self.plan.shard_delay(shard, seq);
+        if !self.plan.shard_drops(shard, seq, delivery) {
+            let d = PUSH_LATENCY + self.jitter() + delay_extra;
+            self.q.schedule(d, Ev::ShardPushArrive { shard, push: Box::new(push.clone()) });
+        }
+        if self.plan.shard_duplicates(shard, seq, delivery) {
+            let d = PUSH_LATENCY + 1 + self.jitter() + delay_extra;
+            self.q.schedule(d, Ev::ShardPushArrive { shard, push: Box::new(push) });
+        }
+        let timeout = RETRY_TIMEOUT << attempts.min(8);
+        self.q.schedule(timeout, Ev::RetryFire { shard, seq });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::PrefetchArrive(pf) => {
+                if self.worker_alive {
+                    self.inbox.insert(pf.batch_seq, *pf);
+                }
+            }
+            Ev::StallOver => {
+                self.stalled = false;
+            }
+            Ev::ComputeDone(seq) => {
+                if !self.worker_alive {
+                    return;
+                }
+                let push = self.computing.take().expect("ComputeDone without compute");
+                debug_assert_eq!(push.batch_seq, seq);
+                let scattered = self
+                    .router
+                    .scatter_push(&push)
+                    .expect("worker pushes of a routed batch always scatter");
+                for (s, shard_push) in scattered.into_iter().enumerate() {
+                    self.unacked.insert(
+                        (s as u32, seq),
+                        UnackedPush { push: shard_push, attempts: 0, deliveries: 0 },
+                    );
+                    self.transmit(s as u32, seq);
+                }
+            }
+            Ev::ShardPushArrive { shard, push } => {
+                let s = shard as usize;
+                if !self.shard_alive[s] {
+                    return;
+                }
+                let seq = push.batch_seq;
+                self.trace.push(TraceEvent::ShardPushDelivered { shard, seq });
+                let duplicate = seq < self.shards[s].applied || self.pending[s].contains_key(&seq);
+                if duplicate {
+                    self.trace.push(TraceEvent::ShardDuplicateIgnored { shard, seq });
+                    if seq < self.shards[s].applied {
+                        // already applied by this shard: re-acknowledge so
+                        // the worker stops retransmitting on this link
+                        let d = ACK_LATENCY + self.jitter();
+                        self.q.schedule(d, Ev::ShardAckArrive { shard, seq });
+                    }
+                    return;
+                }
+                if self.plan.shard_saturated_at(shard, self.q.now())
+                    || self.pending[s].len() >= self.cfg.base.grad_capacity
+                {
+                    self.trace.push(TraceEvent::ShardPushBounced { shard, seq });
+                    return;
+                }
+                self.pending[s].insert(seq, *push);
+            }
+            Ev::ShardAckArrive { shard, seq } => {
+                if self.worker_alive && self.unacked.remove(&(shard, seq)).is_some() {
+                    self.trace.push(TraceEvent::ShardAcked { shard, seq });
+                }
+            }
+            Ev::RetryFire { shard, seq } => {
+                if !self.worker_alive || !self.unacked.contains_key(&(shard, seq)) {
+                    return;
+                }
+                let ent = self.unacked.get_mut(&(shard, seq)).expect("checked above");
+                ent.attempts += 1;
+                if ent.attempts > MAX_RETRIES {
+                    // this shard is unreachable (dead or stuck saturated):
+                    // the worker cannot make exactly-once progress, so it
+                    // degrades rather than livelocks
+                    self.unacked.remove(&(shard, seq));
+                    self.trace.push(TraceEvent::ShardGaveUp { shard, seq });
+                    self.worker_alive = false;
+                } else {
+                    self.transmit(shard, seq);
+                }
+            }
+        }
+    }
+}
+
+/// The reproduction record of a failed shard-sweep seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSweepFailure {
+    /// The failing seed (derives the plan and the schedule).
+    pub seed: u64,
+    /// Shards the sweep ran with.
+    pub num_shards: u32,
+    /// The fault plan that seed derived.
+    pub plan: FaultPlan,
+    /// What went wrong.
+    pub violation: crate::invariants::Violation,
+}
+
+impl fmt::Display for ShardSweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed: {}", self.seed)?;
+        writeln!(f, "shards: {}", self.num_shards)?;
+        writeln!(f, "violation: {}", self.violation)?;
+        writeln!(f, "fault plan:")?;
+        writeln!(f, "{}", self.plan)?;
+        write!(
+            f,
+            "reproduce with: cargo xtask sim --shard-seed {} --shards {}",
+            self.seed, self.num_shards
+        )
+    }
+}
+
+/// Aggregate statistics of a clean shard sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSweepSummary {
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Runs where every shard applied every batch.
+    pub completed: u64,
+    /// Runs a fatal fault (worker or shard death) wound down early.
+    pub stalled: u64,
+    /// Faults injected across all runs.
+    pub faults_injected: u64,
+    /// Shard deaths that actually fired.
+    pub shard_deaths: u64,
+    /// Stale pre-fetched rows corrected across all runs.
+    pub stale_hits: u64,
+}
+
+/// Sweeps sharded seeds `start .. start + count`, stopping at the first
+/// violation. Every seed derives a shard fault plan
+/// ([`FaultPlan::from_seed_sharded`]) and is checked against both the
+/// per-shard and the global sequential oracle.
+pub fn run_shard_sweep(
+    cfg: &ShardSimConfig,
+    start: u64,
+    count: u64,
+) -> Result<ShardSweepSummary, ShardSweepFailure> {
+    let shard_oracle = crate::oracle::sharded_prefix(cfg);
+    let global_oracle = crate::oracle::sequential_prefix(&cfg.base);
+    let mut summary = ShardSweepSummary::default();
+    for seed in start..start.saturating_add(count) {
+        let plan = FaultPlan::from_seed_sharded(seed, cfg.base.num_batches, cfg.shard.num_shards);
+        match crate::invariants::check_shard_run(cfg, &plan, seed, &shard_oracle, &global_oracle) {
+            Ok(report) => {
+                summary.seeds += 1;
+                summary.faults_injected += plan.faults.len() as u64;
+                summary.stale_hits += report.stale_hits;
+                summary.shard_deaths +=
+                    report.trace.count(|e| matches!(e, TraceEvent::ShardDied { .. })) as u64;
+                match report.outcome {
+                    Outcome::Completed => summary.completed += 1,
+                    _ => summary.stalled += 1,
+                }
+            }
+            Err(violation) => {
+                return Err(ShardSweepFailure {
+                    seed,
+                    num_shards: cfg.shard.num_shards,
+                    plan,
+                    violation,
+                })
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use crate::oracle::{sequential_prefix, sharded_prefix};
+
+    #[test]
+    fn fault_free_sharded_run_completes() {
+        let cfg = ShardSimConfig::default();
+        let r = run_sharded(&cfg, &FaultPlan::none(), 1);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.applied.iter().all(|&a| a == cfg.base.num_batches));
+        assert_eq!(
+            r.trace.count(|e| matches!(e, TraceEvent::ShardApplied { .. })),
+            (cfg.base.num_batches * u64::from(cfg.shard.num_shards)) as usize
+        );
+        assert!(r.stale_hits > 0, "pipelining must actually create staleness to correct");
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_the_sequential_oracle() {
+        let cfg = ShardSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        let r = run_sharded(&cfg, &FaultPlan::none(), 7);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(
+            r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize],
+            "merged sharded tables must equal the never-sharded sequential tables"
+        );
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical() {
+        let cfg = ShardSimConfig::default();
+        for seed in [0u64, 5, 23] {
+            let plan =
+                FaultPlan::from_seed_sharded(seed, cfg.base.num_batches, cfg.shard.num_shards);
+            let a = run_sharded(&cfg, &plan, seed);
+            let b = run_sharded(&cfg, &plan, seed);
+            assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+            assert_eq!(a.merged_digest, b.merged_digest);
+            assert_eq!(a.final_tick, b.final_tick);
+        }
+    }
+
+    #[test]
+    fn shard_death_stops_that_shard_but_not_its_peers() {
+        let cfg = ShardSimConfig::default();
+        let plan = FaultPlan::with(vec![Fault::ShardDeath { shard: 1, after_applied: 5 }]);
+        let r = run_sharded(&cfg, &plan, 3);
+        assert_eq!(r.outcome, Outcome::Stalled);
+        assert_eq!(r.applied[1], 5, "the dead shard froze at its death watermark");
+        assert!(
+            r.applied.iter().any(|&a| a > 5),
+            "surviving shards kept applying while retries ran: {:?}",
+            r.applied
+        );
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::ShardDied { shard: 1, applied: 5 })));
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::ShardGaveUp { shard: 1, .. })));
+        // every shard still matches its own oracle prefix
+        let so = sharded_prefix(&cfg);
+        for (s, &d) in r.shard_digests.iter().enumerate() {
+            assert_eq!(d, so.per_shard[s][r.applied[s] as usize], "shard {s} diverged");
+        }
+    }
+
+    #[test]
+    fn per_shard_saturation_reorders_cross_shard_delivery() {
+        let cfg = ShardSimConfig::default();
+        let plan = FaultPlan::with(vec![Fault::ShardSaturation { shard: 0, start: 10, ticks: 40 }]);
+        let r = run_sharded(&cfg, &plan, 9);
+        assert_eq!(r.outcome, Outcome::Completed, "retries must ride out the window");
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::ShardPushBounced { shard: 0, .. })));
+        assert!(!r.trace.any(|e| matches!(e, TraceEvent::ShardPushBounced { shard: 1, .. })));
+    }
+
+    #[test]
+    fn shard_drops_duplicates_and_delays_are_absorbed() {
+        let cfg = ShardSimConfig::default();
+        let plan = FaultPlan::with(vec![
+            Fault::DropShardPush { shard: 0, seq: 2, delivery: 1 },
+            Fault::DuplicateShardPush { shard: 1, seq: 3, delivery: 1 },
+            Fault::ShardDelay { shard: 2, seq: 4, ticks: 30 },
+        ]);
+        let oracle = sequential_prefix(&cfg.base);
+        let r = run_sharded(&cfg, &plan, 4);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(
+            r.trace.count(|e| matches!(e, TraceEvent::ShardPushSent { shard: 0, seq: 2, .. })) >= 2,
+            "the drop forced a retransmission toward shard 0"
+        );
+        assert_eq!(
+            r.trace.count(|e| matches!(e, TraceEvent::ShardApplied { shard: 1, seq: 3 })),
+            1,
+            "the duplicated delivery was applied exactly once"
+        );
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn stitched_stamp_is_the_per_shard_minimum() {
+        let cfg = ShardSimConfig::default();
+        let r = run_sharded(&cfg, &FaultPlan::none(), 11);
+        let mut stamps: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for e in &r.trace.events {
+            match *e {
+                TraceEvent::ShardStamped { seq, applied, .. } => {
+                    stamps.entry(seq).or_default().push(applied)
+                }
+                TraceEvent::Gathered { seq, applied_through } => {
+                    let per_shard = &stamps[&seq];
+                    assert_eq!(per_shard.len(), cfg.shard.num_shards as usize);
+                    assert_eq!(
+                        applied_through,
+                        *per_shard.iter().min().unwrap(),
+                        "batch {seq}: the global stamp must be the per-shard minimum"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_session_continues_from_the_watermark() {
+        let cfg = ShardSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        // run the first half, resume the second from the merged tables
+        let half = ShardSimConfig { base: SimConfig { num_batches: 12, ..cfg.base }, ..cfg };
+        let a = run_sharded(&half, &FaultPlan::none(), 2);
+        assert_eq!(a.outcome, Outcome::Completed);
+        let resume = ResumeState { tables: a.merged_tables, applied: 12 };
+        let b = run_shard_session(&cfg, &FaultPlan::none(), 21, Some(resume));
+        assert_eq!(b.outcome, Outcome::Completed);
+        assert!(b.trace.any(|e| matches!(e, TraceEvent::Resumed { applied: 12 })));
+        assert_eq!(b.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn a_quick_shard_sweep_is_clean_and_diverse() {
+        let cfg = ShardSimConfig::default();
+        let summary =
+            run_shard_sweep(&cfg, 0, 30).unwrap_or_else(|f| panic!("shard sweep failed:\n{f}"));
+        assert_eq!(summary.seeds, 30);
+        assert!(summary.completed > 0);
+        assert!(summary.faults_injected > 0);
+        assert!(summary.stale_hits > 0);
+    }
+
+    #[test]
+    fn failures_print_a_reproduction_recipe() {
+        let f = ShardSweepFailure {
+            seed: 9,
+            num_shards: 3,
+            plan: FaultPlan::from_seed_sharded(9, 24, 3),
+            violation: crate::invariants::Violation::OutOfBudget,
+        };
+        let text = f.to_string();
+        assert!(text.contains("seed: 9"));
+        assert!(text.contains("cargo xtask sim --shard-seed 9 --shards 3"));
+    }
+}

@@ -95,6 +95,79 @@ pub enum TraceEvent {
         /// a cold restart).
         applied: u64,
     },
+    /// During a sharded gather, one shard reported its own applied
+    /// watermark — the per-shard stamp the global `Gathered` stamp is
+    /// stitched (min'd) from.
+    ShardStamped {
+        /// The reporting shard.
+        shard: u32,
+        /// Batch sequence number being gathered.
+        seq: u64,
+        /// That shard's applied watermark at gather time.
+        applied: u64,
+    },
+    /// The worker transmitted batch `seq`'s scattered push toward one
+    /// shard (attempt `delivery`, 1-based).
+    ShardPushSent {
+        /// Destination shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+        /// Transmission attempt.
+        delivery: u32,
+    },
+    /// A scattered push delivery reached a shard.
+    ShardPushDelivered {
+        /// Receiving shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A delivered scattered push bounced off a saturated shard intake.
+    ShardPushBounced {
+        /// Bouncing shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A delivered scattered push duplicated one that shard had already
+    /// applied or buffered; it was ignored (and re-acknowledged when
+    /// already applied).
+    ShardDuplicateIgnored {
+        /// Deduplicating shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A shard applied batch `seq`'s scattered push to its sub-tables.
+    ShardApplied {
+        /// Applying shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The worker received one shard's acknowledgement for batch `seq`.
+    ShardAcked {
+        /// Acknowledging shard.
+        shard: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// The worker exhausted its retry budget toward one shard and
+    /// stopped.
+    ShardGaveUp {
+        /// Unreachable shard.
+        shard: u32,
+        /// Batch sequence number it gave up on.
+        seq: u64,
+    },
+    /// A shard died (fault injection); its peers keep running.
+    ShardDied {
+        /// The dead shard.
+        shard: u32,
+        /// Batches it had applied when it died.
+        applied: u64,
+    },
 }
 
 /// The full history of one run.
