@@ -27,6 +27,7 @@ pub mod ckpt;
 pub mod device;
 pub mod parallel;
 pub mod placement;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod trainer;
@@ -36,6 +37,9 @@ pub use ckpt::{CkptError, CkptStore, FsStorage, MemStorage, Storage, TrainingChe
 pub use device::{CommMeter, DeviceSpec};
 pub use parallel::DataParallelTrainer;
 pub use placement::{plan_placement, PlacementPlan, PlannerConfig, TablePlacement};
+pub use replica::{
+    FailureDetector, GradientLog, HeartbeatConfig, ReplicaError, ReplicaGroup, ReplicationConfig,
+};
 pub use router::{
     merge_tables, split_tables, RouterError, RowRoute, ShardConfig, ShardLayout, ShardRouter,
     ShardScatter, TableOwnership,

@@ -36,6 +36,17 @@ pub enum ServerError {
     },
     /// A gradient push referenced a table this server does not host.
     UnknownTable(usize),
+    /// A bounded-retry send gave up: the consumer either stayed saturated
+    /// through every backoff round (`disconnected == false`, a wedged or
+    /// hopelessly lagging peer) or hung up (`disconnected == true`).
+    /// Surfaced through `PipelineReport::failure` so a halted worker is a
+    /// typed outcome, not a silent early return.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Whether the receiver had disconnected (vs. stayed full).
+        disconnected: bool,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -51,6 +62,11 @@ impl fmt::Display for ServerError {
             }
             ServerError::UnknownTable(t) => {
                 write!(f, "gradient for unknown hosted table {t}")
+            }
+            ServerError::RetriesExhausted { attempts, disconnected } => {
+                let why =
+                    if *disconnected { "the receiver hung up" } else { "the queue stayed full" };
+                write!(f, "send retries exhausted after {attempts} attempts: {why}")
             }
         }
     }
@@ -311,39 +327,6 @@ impl HostServer {
         self.applied += 1;
         self.cpu_time += thread_cpu_time() - t0;
     }
-
-    /// Runs the serving loop for `count` batches of `batch_size` starting
-    /// at `first`, pre-fetching through `prefetch_tx` and applying from
-    /// `grad_rx`. With `pipelined == false` the server blocks on every
-    /// batch's gradients before gathering the next (the Figure 16
-    /// "sequential" baseline).
-    ///
-    /// Panicking wrapper around [`ServingLoop::new`]: a mode/schedule
-    /// combination the protocol cannot serve (pipelined
-    /// `PooledEmbeddings`) aborts here. Callers that want the typed error
-    /// construct the [`ServingLoop`] themselves.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct a ServingLoop via ServingLoop::new (or use \
-                PipelineTrainer::try_train) for the typed ServerError instead \
-                of a panic"
-    )]
-    #[allow(clippy::too_many_arguments)] // serving-loop wiring: queues + schedule
-    pub fn run(
-        self,
-        dataset: &SyntheticDataset,
-        first: u64,
-        count: u64,
-        batch_size: usize,
-        prefetch_tx: Sender<PrefetchedBatch>,
-        grad_rx: Receiver<GradientPush>,
-        pipelined: bool,
-    ) -> ServerReport {
-        let schedule = ServingSchedule { first, count, batch_size, pipelined };
-        // PANIC-OK: `run` is the documented panic-on-bad-schedule strict wrapper.
-        let serving = ServingLoop::new(self, schedule).unwrap_or_else(|e| panic!("{e}"));
-        serving.run(dataset, prefetch_tx, grad_rx)
-    }
 }
 
 /// The batch schedule one [`ServingLoop`] serves.
@@ -442,30 +425,52 @@ impl ServingLoop {
 
 /// Sends `value` with bounded retry and exponential backoff, for queues
 /// that may be transiently saturated (a stalled consumer). Returns the
-/// value on failure so the caller can degrade gracefully:
+/// value and a typed [`ServerError::RetriesExhausted`] cause on failure so
+/// the caller can surface the halt through `PipelineReport` instead of
+/// silently stopping:
 ///
-/// * the receiver hung up — retrying is pointless, fail immediately;
+/// * the receiver hung up — retrying is pointless, fail immediately
+///   (`disconnected == true`);
 /// * the queue stayed full through every attempt — the consumer is wedged
 ///   or lagging beyond the backoff budget (~1 s at 16 attempts: 100 µs
 ///   doubling, capped at 200 ms per sleep), and the caller should stop
-///   pushing rather than block forever.
-pub fn send_with_retry<T>(tx: &Sender<T>, value: T, max_attempts: u32) -> Result<(), T> {
+///   pushing rather than block forever (`disconnected == false`).
+///
+/// Each sleep adds deterministic seeded jitter (up to a quarter of the
+/// backoff, derived from `jitter_seed` and the attempt number through
+/// `splitmix64`) so concurrent retriers decorrelate without introducing
+/// any run-to-run nondeterminism: the same seed always produces the same
+/// backoff schedule, which is what keeps seeded sim replays bit-for-bit.
+pub fn send_with_retry<T>(
+    tx: &Sender<T>,
+    value: T,
+    max_attempts: u32,
+    jitter_seed: u64,
+) -> Result<(), (T, ServerError)> {
     let mut value = value;
     let mut backoff = Duration::from_micros(100);
-    for attempt in 0..max_attempts.max(1) {
+    let attempts = max_attempts.max(1);
+    for attempt in 0..attempts {
         match tx.try_send(value) {
             Ok(()) => return Ok(()),
-            Err(TrySendError::Disconnected(v)) => return Err(v),
+            Err(TrySendError::Disconnected(v)) => {
+                return Err((
+                    v,
+                    ServerError::RetriesExhausted { attempts: attempt + 1, disconnected: true },
+                ));
+            }
             Err(TrySendError::Full(v)) => {
                 value = v;
-                if attempt + 1 < max_attempts.max(1) {
-                    std::thread::sleep(backoff);
+                if attempt + 1 < attempts {
+                    let jitter_ns = crate::replica::splitmix64(jitter_seed ^ u64::from(attempt))
+                        % (backoff.as_nanos() as u64 / 4 + 1);
+                    std::thread::sleep(backoff + Duration::from_nanos(jitter_ns));
                     backoff = (backoff * 2).min(Duration::from_millis(200));
                 }
             }
         }
     }
-    Err(value)
+    Err((value, ServerError::RetriesExhausted { attempts, disconnected: false }))
 }
 
 /// Creates the bounded pre-fetch queue and the gradient queue of Figure 9.
@@ -674,16 +679,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no staleness protocol")]
-    #[allow(deprecated)] // the panic behavior under test is the reason it is deprecated
-    fn run_wrapper_still_panics_on_pooled_pipelined() {
-        let ds = dataset();
-        let (ptx, _prx, _gtx, grx) = make_queues(2);
-        let s = server().with_mode(ServerMode::PooledEmbeddings);
-        let _ = s.run(&ds, 0, 4, 8, ptx, grx, true);
-    }
-
-    #[test]
     fn send_with_retry_recovers_from_transient_saturation() {
         let (tx, rx) = bounded::<u32>(1);
         tx.send(1).unwrap(); // saturate
@@ -693,19 +688,26 @@ mod tests {
             let second = rx.recv().unwrap();
             (first, second)
         });
-        assert!(send_with_retry(&tx, 2, 16).is_ok(), "retry must outlast a 5 ms stall");
+        assert!(send_with_retry(&tx, 2, 16, 0xA1).is_ok(), "retry must outlast a 5 ms stall");
         assert_eq!(consumer.join().unwrap(), (1, 2));
     }
 
     #[test]
     fn send_with_retry_gives_up_on_wedged_and_gone_consumers() {
-        // wedged: receiver alive but never consuming — bounded attempts
+        // wedged: receiver alive but never consuming — bounded attempts,
+        // typed exhaustion cause with the value handed back
         let (tx, rx) = bounded::<u32>(1);
         tx.send(1).unwrap();
-        assert_eq!(send_with_retry(&tx, 3, 2), Err(3));
+        assert_eq!(
+            send_with_retry(&tx, 3, 2, 0xA1),
+            Err((3, ServerError::RetriesExhausted { attempts: 2, disconnected: false }))
+        );
         drop(rx);
-        // gone: fail immediately, value handed back
-        assert_eq!(send_with_retry(&tx, 4, 1_000_000), Err(4));
+        // gone: fail immediately, disconnection recorded
+        assert_eq!(
+            send_with_retry(&tx, 4, 1_000_000, 0xA1),
+            Err((4, ServerError::RetriesExhausted { attempts: 1, disconnected: true }))
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::ckpt::{
     CkptError, CkptStore, HostedTableCheckpoint, ServerCheckpoint, Storage, TrainingCheckpoint,
 };
 use crate::device::{thread_cpu_time, CommMeter};
+use crate::replica::{splitmix64, ReplicaGroup, ReplicationConfig};
 use crate::router::{merge_tables, split_tables, ShardConfig, ShardLayout, ShardRouter};
 use crate::server::{
     aggregate_to_unique, make_queues, pool_prefetched, send_with_retry, GradientPush, HostServer,
@@ -94,6 +95,13 @@ pub struct PipelineReport {
     pub model: DlrmModel,
     /// Final host-table state.
     pub host_tables: Vec<(usize, EmbeddingBag)>,
+    /// Why the worker stopped early, when it did: `None` on a clean run,
+    /// the typed cause (e.g. [`ServerError::RetriesExhausted`]) when
+    /// `completed_batches < num_batches`.
+    pub failure: Option<ServerError>,
+    /// Primary promotions performed across all replica groups (0 for the
+    /// unreplicated paths).
+    pub failovers: u64,
 }
 
 /// Drives one worker plus the host parameter server.
@@ -179,6 +187,8 @@ impl PipelineTrainer {
             worker_compute: worker.worker_compute,
             model: worker.model,
             host_tables: report.server.tables,
+            failure: worker.failure,
+            failovers: 0,
         })
     }
 
@@ -302,6 +312,147 @@ impl PipelineTrainer {
             worker_compute: worker.worker_compute,
             model: worker.model,
             host_tables,
+            failure: worker.failure,
+            failovers: 0,
+        })
+    }
+
+    /// Trains `model` against a **replicated** sharded parameter tier:
+    /// like [`PipelineTrainer::try_train_sharded`], but each shard thread
+    /// serves a K-member [`ReplicaGroup`] — the primary's exactly-once
+    /// intake is appended in lockstep to K-1 backups over the same stamp
+    /// domain, so a primary kill at any watermark promotes a byte-identical
+    /// backup and training continues without a cold restart.
+    ///
+    /// `repl.kill_primary_at` is the deterministic failover drill
+    /// schedule: each `(shard, watermark)` kills that shard's primary
+    /// right after its applied count reaches the watermark (drills that
+    /// would kill the last member are skipped — the drill proves failover,
+    /// not data loss). Replication, like sharding, never changes trained
+    /// bytes; `PipelineReport::failovers` counts the promotions performed.
+    ///
+    /// `repl.replicas <= 1` with no drills delegates to the sharded path.
+    pub fn try_train_replicated(
+        mut model: DlrmModel,
+        server: HostServer,
+        dataset: &SyntheticDataset,
+        config: &PipelineConfig,
+        shard_cfg: &ShardConfig,
+        repl: &ReplicationConfig,
+    ) -> Result<PipelineReport, ServerError> {
+        if repl.replicas <= 1 && repl.kill_primary_at.is_empty() {
+            return Self::try_train_sharded(model, server, dataset, config, shard_cfg);
+        }
+        if server.mode == ServerMode::PooledEmbeddings {
+            return Err(ServerError::PooledNeedsSequential);
+        }
+        let hosted = model.hosted_tables();
+        for (t, _) in &server.tables {
+            assert!(hosted.contains(t), "server hosts table {t} the model does not mark Hosted");
+        }
+        assert_eq!(hosted.len(), server.tables.len(), "every Hosted table needs a server side");
+
+        let lr = server.lr;
+        let layout = ShardLayout::place_for(shard_cfg, &server.tables);
+        let shard_tables = split_tables(&server.tables, &layout)
+            // PANIC-OK: the layout was placed for exactly these tables.
+            .expect("layout was placed for exactly these tables");
+        let num_shards = shard_tables.len() as u32;
+
+        let schedule = ServingSchedule {
+            first: config.first_batch,
+            count: config.num_batches,
+            batch_size: config.batch_size,
+            pipelined: config.pipelined,
+        };
+        let depth = if config.pipelined { config.prefetch_depth } else { 1 };
+        let (ptx, prx, gtx, grx) = make_queues(depth);
+        if config.overlap_analysis {
+            model.enable_plan_overlap();
+        }
+
+        // TIMING: end-to-end wall clock of the run, reported to the caller.
+        let start = Instant::now();
+        let mut stx = Vec::with_capacity(shard_tables.len());
+        let mut rrx = Vec::with_capacity(shard_tables.len());
+        let mut shard_handles = Vec::with_capacity(shard_tables.len());
+        for (s, sub) in shard_tables.into_iter().enumerate() {
+            let (tx, rx) = bounded::<ShardMsg>(depth.max(1) * 2 + 2);
+            let (rtx, reply_rx) = bounded::<ShardReply>(2);
+            let group = ReplicaGroup::new(
+                HostServer::new(sub, lr),
+                repl.replicas,
+                s as u32,
+                num_shards,
+                repl.log_capacity,
+            );
+            let mut kills: Vec<u64> = repl
+                .kill_primary_at
+                .iter()
+                .filter(|(shard, _)| *shard == s as u32)
+                .map(|&(_, w)| w)
+                .collect();
+            kills.sort_unstable();
+            shard_handles.push(std::thread::spawn(move || replica_serve(group, kills, rx, rtx)));
+            stx.push(tx);
+            rrx.push(reply_rx);
+        }
+        let router_handle = std::thread::spawn({
+            let ds = dataset.clone();
+            let layout = layout.clone();
+            move || route_serve(layout, ds, schedule, stx, rrx, ptx, grx)
+        });
+
+        let caches: HashMap<usize, EmbeddingCache> =
+            hosted.iter().map(|&t| (t, EmbeddingCache::new())).collect();
+        let worker =
+            run_worker(model, caches, lr, config.num_batches, config.overlap_analysis, prx, gtx);
+
+        // PANIC-OK: deliberately propagates a router-thread panic to the caller.
+        let gen_time = router_handle.join().expect("router thread panicked");
+        let mut failovers = 0u64;
+        let shards: Vec<HostServer> = shard_handles
+            .into_iter()
+            .map(|h| {
+                // PANIC-OK: deliberately propagates a shard-thread panic to the caller.
+                let (server, promoted) = h.join().expect("shard thread panicked");
+                failovers += promoted;
+                server
+            })
+            .collect();
+        let wall = start.elapsed();
+
+        let mut meter = CommMeter::default();
+        let mut server_cpu = Duration::ZERO;
+        for s in &shards {
+            meter.h2d_bytes += s.meter.h2d_bytes;
+            meter.d2h_bytes += s.meter.d2h_bytes;
+            meter.p2p_bytes += s.meter.p2p_bytes;
+            meter.kernel_launches += s.meter.kernel_launches;
+            server_cpu += s.cpu_time;
+        }
+        let host_tables =
+            merge_tables(&shards.into_iter().map(|s| s.tables).collect::<Vec<_>>(), &layout)
+                // PANIC-OK: the shards were split under this exact layout.
+                .expect("shards were split under this layout");
+
+        let completed_batches = worker.losses.len() as u64;
+        let samples = completed_batches as f64 * config.batch_size as f64;
+        Ok(PipelineReport {
+            completed_batches,
+            losses: worker.losses,
+            wall,
+            samples_per_sec: samples / wall.as_secs_f64(),
+            stale_hits: worker.stale_hits,
+            cache_peak_bytes: worker.cache_peak_bytes,
+            server_meter: meter,
+            server_cpu,
+            loader_cpu: gen_time,
+            worker_compute: worker.worker_compute,
+            model: worker.model,
+            host_tables,
+            failure: worker.failure,
+            failovers,
         })
     }
 }
@@ -370,6 +521,80 @@ fn shard_serve(
         }
     }
     server
+}
+
+/// One replicated shard thread: [`shard_serve`] semantics, but intake
+/// flows through a [`ReplicaGroup`] — every applied push lands on the
+/// primary and all alive backups in lockstep, and the sorted `kills`
+/// schedule executes deterministic primary-kill drills the moment the
+/// applied watermark reaches each entry. A drill that would kill the
+/// last alive member is skipped: the drill proves failover, not data
+/// loss. Returns the surviving primary plus the promotions performed.
+// CONTRACT: panic-free
+fn replica_serve(
+    mut group: ReplicaGroup,
+    kills: Vec<u64>,
+    rx: Receiver<ShardMsg>,
+    reply: Sender<ShardReply>,
+) -> (HostServer, u64) {
+    let mut next_kill = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Gather { seq, locals } => {
+                let Ok(primary) = group.primary_mut() else {
+                    break; // whole group dead: degrade
+                };
+                let t0 = thread_cpu_time();
+                let mut rows = Vec::with_capacity(locals.len());
+                let mut bytes = 0usize;
+                let mut unknown = false;
+                for (table_id, locs) in &locals {
+                    let Some((_, bag)) = primary.tables.iter().find(|(id, _)| id == table_id)
+                    else {
+                        unknown = true; // gather for a table this shard lacks
+                        break;
+                    };
+                    bytes += locs.len() * (4 + bag.dim() * 4);
+                    rows.push(bag.gather_rows(locs));
+                }
+                if unknown {
+                    break;
+                }
+                primary.meter.h2d(bytes);
+                primary.cpu_time += thread_cpu_time() - t0;
+                if reply.send(ShardReply { seq, applied: group.applied(), rows }).is_err() {
+                    break; // router gone
+                }
+            }
+            ShardMsg::Push(push) => {
+                if group.apply_checked(&push).is_err() {
+                    break; // gap or unknown table from a FIFO: degrade
+                }
+                // Failover drill: kill the primary once its watermark
+                // reaches the next scheduled point. Adjacent watermarks
+                // exercise kill-during-promotion; lockstep replication
+                // makes the promoted backup byte-identical, so training
+                // continues as if nothing happened.
+                while next_kill < kills.len() && group.applied() >= kills[next_kill] {
+                    next_kill += 1;
+                    if group.alive() <= 1 {
+                        continue; // never drill away the last copy
+                    }
+                    if group.kill_primary().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let failovers = group.failovers();
+    match group.into_primary() {
+        Ok(server) => (server, failovers),
+        // PANIC-OK: the drill loop never kills the last alive member, so
+        // a dead group here means the group was constructed dead (zero
+        // replicas), which `ReplicaGroup::new` forbids.
+        Err(_) => unreachable!("replica drills never kill the last member"),
+    }
 }
 
 /// The router thread: plays the [`ServingLoop`] role against N shard
@@ -497,8 +722,9 @@ fn forward_push(
     let Ok(scattered) = router.scatter_push(push) else {
         return Err(());
     };
-    for (tx, p) in stx.iter().zip(scattered) {
-        if send_with_retry(tx, ShardMsg::Push(p), 16).is_err() {
+    for (s, (tx, p)) in stx.iter().zip(scattered).enumerate() {
+        let seed = splitmix64(push.batch_seq ^ ((s as u64) << 32));
+        if send_with_retry(tx, ShardMsg::Push(p), 16, seed).is_err() {
             return Err(());
         }
     }
@@ -517,6 +743,8 @@ struct WorkerRun {
     cache_peak_bytes: usize,
     /// Measured device-compute time.
     worker_compute: Duration,
+    /// Why the worker stopped early, if it did.
+    failure: Option<ServerError>,
 }
 
 /// The worker (device) side of the pipeline: consume pre-fetched
@@ -537,6 +765,7 @@ fn run_worker(
     let mut losses = Vec::with_capacity(num_batches as usize);
     let mut cache_peak = 0usize;
     let mut worker_compute = Duration::ZERO;
+    let mut failure = None;
 
     for k in 0..num_batches {
         // A vanished server (its thread died or dropped the queue) is a
@@ -618,7 +847,8 @@ fn run_worker(
         // run gracefully after the retry budget instead of blocking
         // this worker forever.
         let push = GradientPush { batch_seq: k, tables: pushes, pooled: pooled_pushes };
-        if send_with_retry(&gtx, push, 16).is_err() {
+        if let Err((_, cause)) = send_with_retry(&gtx, push, 16, splitmix64(k)) {
+            failure = Some(cause);
             break;
         }
 
@@ -631,6 +861,7 @@ fn run_worker(
         losses,
         cache_peak_bytes: cache_peak,
         worker_compute,
+        failure,
     }
 }
 
@@ -777,6 +1008,8 @@ impl PipelineTrainer {
                     server_cpu,
                     loader_cpu,
                     worker_compute,
+                    failure: report.failure,
+                    failovers: report.failovers,
                     model: report.model,
                     host_tables: report.host_tables,
                 };
@@ -947,6 +1180,81 @@ mod tests {
         let single = run(true, 4, 7);
         let one = run_sharded(true, 4, 7, 1);
         assert_same_training(&single, &one);
+    }
+
+    fn run_replicated(
+        seed: u64,
+        shards: u32,
+        replicas: u32,
+        kills: Vec<(u32, u64)>,
+    ) -> PipelineReport {
+        let (model, server, dataset) = setup(seed);
+        let config = PipelineConfig {
+            batch_size: 64,
+            first_batch: 0,
+            num_batches: 12,
+            prefetch_depth: 4,
+            pipelined: true,
+            overlap_analysis: true,
+        };
+        let shard_cfg =
+            ShardConfig { num_shards: shards, rows_per_range: 16, placement_seed: 0xE1 };
+        let repl = ReplicationConfig {
+            replicas,
+            log_capacity: 4,
+            kill_primary_at: kills,
+            ..ReplicationConfig::default()
+        };
+        PipelineTrainer::try_train_replicated(model, server, &dataset, &config, &shard_cfg, &repl)
+            .unwrap()
+    }
+
+    #[test]
+    fn replicated_training_matches_single_server_bitwise() {
+        // Replication is pure redundancy: K lockstep copies per shard
+        // train the exact bytes of the unreplicated single server.
+        let single = run(true, 4, 8);
+        let replicated = run_replicated(8, 3, 2, vec![]);
+        assert_eq!(replicated.completed_batches, 12);
+        assert_eq!(replicated.failovers, 0);
+        assert!(replicated.failure.is_none());
+        assert_same_training(&single, &replicated);
+    }
+
+    #[test]
+    fn primary_kills_mid_run_leave_trained_bytes_unchanged() {
+        // The tentpole claim: killing primaries mid-training (including
+        // two adjacent watermarks on shard 0 — a kill during the window
+        // the first promotion just opened) promotes byte-identical
+        // backups and the merged result still matches the never-failed
+        // single server, with no cold restart.
+        let single = run(true, 4, 9);
+        let kills = vec![(0, 3), (0, 4), (1, 6), (2, 9)];
+        let replicated = run_replicated(9, 3, 3, kills);
+        assert_eq!(replicated.completed_batches, 12);
+        assert_eq!(replicated.failovers, 4);
+        assert!(replicated.failure.is_none());
+        assert_same_training(&single, &replicated);
+    }
+
+    #[test]
+    fn drills_never_kill_the_last_copy() {
+        // More kills than spare replicas: the drill schedule is clamped
+        // so the final copy survives and the run still completes.
+        let single = run(true, 4, 10);
+        let kills = vec![(0, 2), (0, 5), (0, 8)];
+        let replicated = run_replicated(10, 2, 2, kills);
+        assert_eq!(replicated.completed_batches, 12);
+        assert_eq!(replicated.failovers, 1, "only one spare existed to promote");
+        assert_same_training(&single, &replicated);
+    }
+
+    #[test]
+    fn unreplicated_config_delegates_to_the_sharded_path() {
+        let sharded = run_sharded(true, 4, 11, 3);
+        let replicated = run_replicated(11, 3, 1, vec![]);
+        assert_eq!(replicated.failovers, 0);
+        assert_same_training(&sharded, &replicated);
     }
 
     #[test]

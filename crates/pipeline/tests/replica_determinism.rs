@@ -1,0 +1,158 @@
+//! Replicated-training determinism: trained bytes must be a pure
+//! function of `(model seed, dataset, config)` — identical across rayon
+//! pool sizes AND across replica counts, *including* a leg that kills
+//! the shard-0 primary mid-run and promotes a backup. The thread-count
+//! cases re-exec this test binary (following
+//! `crates/pipeline/tests/shard_determinism.rs`) because a pool's size
+//! is fixed at first use within a process; the replica counts ride
+//! along in the same matrix, pinning the tentpole claim that
+//! replication and failover, like sharding, never change the trained
+//! bytes.
+
+use el_data::{DatasetSpec, SyntheticDataset};
+use el_dlrm::{DlrmConfig, DlrmModel, EmbeddingLayer, OptimizerKind};
+use el_pipeline::server::HostServer;
+use el_pipeline::{
+    PipelineConfig, PipelineReport, PipelineTrainer, ReplicationConfig, ShardConfig,
+};
+use rand::SeedableRng;
+use std::process::Command;
+
+/// The shared training universe: three tables, two of them hosted.
+fn setup(seed: u64) -> (DlrmModel, HostServer, SyntheticDataset) {
+    let mut spec = DatasetSpec::toy(3, 200, 1_000_000);
+    spec.num_dense = 4;
+    spec.table_cardinalities = vec![400, 200, 200];
+    let dataset = SyntheticDataset::new(spec, 11);
+
+    let cfg = DlrmConfig {
+        num_dense: 4,
+        table_cardinalities: vec![400, 200, 200],
+        dim: 8,
+        bottom_hidden: vec![16],
+        top_hidden: vec![16],
+        tt_threshold: usize::MAX,
+        tt_rank: 8,
+        lr: 0.05,
+        optimizer: OptimizerKind::Sgd,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut model = DlrmModel::new(&cfg, &mut rng);
+
+    let mut host = Vec::new();
+    for t in [1usize, 2] {
+        let dense = match std::mem::replace(&mut model.tables[t], EmbeddingLayer::Hosted { dim: 8 })
+        {
+            EmbeddingLayer::Dense(bag) => bag,
+            _ => unreachable!(),
+        };
+        host.push((t, dense));
+    }
+    (model, HostServer::new(host, 0.05), dataset)
+}
+
+/// Trains with `replicas` copies per shard. The replicated legs also run
+/// a failover drill — the shard-0 primary dies at watermark 5 — so the
+/// matrix pins that promotion itself leaves the bytes unchanged.
+fn train(replicas: u32) -> PipelineReport {
+    let (model, server, dataset) = setup(6);
+    let config = PipelineConfig {
+        batch_size: 64,
+        first_batch: 0,
+        num_batches: 12,
+        prefetch_depth: 4,
+        pipelined: true,
+        overlap_analysis: false,
+    };
+    let shard_cfg = ShardConfig { num_shards: 3, rows_per_range: 16, placement_seed: 0xE1 };
+    let kills = if replicas > 1 { vec![(0, 5)] } else { Vec::new() };
+    let repl = ReplicationConfig {
+        replicas,
+        log_capacity: 4,
+        kill_primary_at: kills,
+        ..ReplicationConfig::default()
+    };
+    PipelineTrainer::try_train_replicated(model, server, &dataset, &config, &shard_cfg, &repl)
+        .expect("unique-rows replicated training is servable")
+}
+
+/// FNV-1a over the loss trajectory and every trained host-table byte —
+/// any schedule-, layout-, or failover-dependent update would perturb it.
+fn train_hash(report: &PipelineReport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for loss in &report.losses {
+        eat(&loss.to_le_bytes());
+    }
+    for (id, bag) in &report.host_tables {
+        eat(&(*id as u64).to_le_bytes());
+        for v in bag.weight.as_slice() {
+            eat(&v.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Child body: trains with the replica count named in the environment
+/// and prints the hash for the parent to compare. Runs only when
+/// re-exec'd with `EL_REPLICA_CHILD` set.
+#[test]
+fn determinism_child() {
+    let Ok(replicas) = std::env::var("EL_REPLICA_CHILD") else {
+        return; // not a child: the matrix test below drives this
+    };
+    let report = train(replicas.parse().expect("EL_REPLICA_CHILD is a replica count"));
+    assert_eq!(report.completed_batches, 12);
+    println!("train-hash={:#018x}", train_hash(&report));
+}
+
+/// Re-execs this binary with `RAYON_NUM_THREADS` and the replica count
+/// pinned, returning the hash the child printed.
+fn child_hash(threads: &str, replicas: u32) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .args(["determinism_child", "--exact", "--nocapture"])
+        .env("EL_REPLICA_CHILD", replicas.to_string())
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("spawning determinism child failed");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "child (RAYON_NUM_THREADS={threads}, replicas={replicas}) failed: {}\n{stdout}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr),
+    );
+    stdout
+        .split("train-hash=")
+        .nth(1)
+        .expect("child must print its training hash")
+        .split_whitespace()
+        .next()
+        .expect("hash value follows the marker")
+        .to_string()
+}
+
+#[test]
+fn replicated_training_is_thread_and_replica_count_invariant() {
+    let mut hashes = Vec::new();
+    for threads in ["1", "4"] {
+        for replicas in [1u32, 2] {
+            hashes.push((threads, replicas, child_hash(threads, replicas)));
+        }
+    }
+    let (_, _, reference) = &hashes[0];
+    for (threads, replicas, hash) in &hashes {
+        assert_eq!(
+            hash, reference,
+            "trained bytes depend on the schedule: RAYON_NUM_THREADS={threads}, replicas={replicas}"
+        );
+    }
+    // and the matrix matches this process's own run (drill included)
+    assert_eq!(*reference, format!("{:#018x}", train_hash(&train(2))));
+}

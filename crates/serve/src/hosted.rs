@@ -1,35 +1,125 @@
-//! Sharded read path for hosted (uncompressed) embedding tables.
+//! Sharded, replicated read path for hosted (uncompressed) embedding
+//! tables.
 //!
 //! The training tier shards its host-resident tables across N parameter
-//! servers (`el_pipeline::router`, DESIGN.md §14). A serving replica that
-//! reads those same hosted tables must resolve rows through the **same**
-//! placement function, or a resharding would silently serve rows from the
-//! wrong shard. [`HostedReadTier`] splits a set of hosted tables under a
-//! [`ShardConfig`] exactly the way the training tier does and routes
-//! every pooled lookup row through [`el_pipeline::ShardLayout::route`] —
-//! so a lookup over the sharded tier is byte-identical to
-//! [`EmbeddingBag::forward`] over the unsharded table, which the unit
-//! tests pin for every layout.
+//! servers (`el_pipeline::router`, DESIGN.md §14) and replicates each
+//! shard across K lockstep members (DESIGN.md §15). A serving replica
+//! that reads those same hosted tables must resolve rows through the
+//! **same** placement function, or a resharding would silently serve rows
+//! from the wrong shard. [`HostedReadTier`] splits a set of hosted tables
+//! under a [`ShardConfig`] exactly the way the training tier does and
+//! routes every pooled lookup row through
+//! [`el_pipeline::ShardLayout::route`] — so a lookup over the sharded
+//! tier is byte-identical to [`EmbeddingBag::forward`] over the unsharded
+//! table, which the unit tests pin for every layout.
+//!
+//! **Degraded reads.** Each shard may hold several copies, fed by the
+//! training tier's replication stream, each stamped with the applied
+//! watermark its bytes reflect. When a copy is marked down (its feed
+//! went silent, or the failure detector suspected its host), pooled
+//! lookups fail over to the next copy — but only if that copy's
+//! watermark lags the shard's freshest known watermark by at most the
+//! configured `read_staleness_bound`, the same bounded-staleness
+//! contract the training pipeline enforces on gathers. Within the bound
+//! a degraded read serves real (slightly older) trained bytes and sheds
+//! nothing that was admitted; beyond it the tier returns a typed
+//! [`ReadError::ShardUnavailable`] rather than silently serving rows
+//! staler than the contract allows.
 
+use crate::metrics::DegradedReadCounters;
 use el_dlrm::embedding_bag::EmbeddingBag;
 use el_pipeline::{split_tables, RouterError, ShardConfig, ShardLayout};
 use el_tensor::Matrix;
+use std::fmt;
+
+/// Why a hosted read could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The row could not be resolved through the placement.
+    Route(RouterError),
+    /// Every live copy of the shard lags the freshest watermark beyond
+    /// the staleness bound — serving would violate the read contract.
+    ShardUnavailable {
+        /// The unservable shard.
+        shard: u32,
+        /// The smallest watermark lag among live copies (`u64::MAX` when
+        /// every copy is down).
+        lag: u64,
+        /// The configured staleness bound.
+        bound: u64,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Route(e) => write!(f, "routing failed: {e}"),
+            ReadError::ShardUnavailable { shard, lag, bound } => write!(
+                f,
+                "shard {shard} unavailable: best live copy lags {lag} batches, bound is {bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<RouterError> for ReadError {
+    fn from(e: RouterError) -> Self {
+        ReadError::Route(e)
+    }
+}
+
+/// One copy of a shard's sub-tables with its replication feed state.
+struct ReplicaCopy {
+    /// The copy's sub-tables, one `(table_id, bag)` per hosted table.
+    tables: Vec<(usize, EmbeddingBag)>,
+    /// Applied-batch watermark the copy's bytes reflect.
+    applied: u64,
+    /// Whether the copy is currently unreadable (feed lost or host
+    /// suspected).
+    down: bool,
+}
 
 /// A read-only sharded view of hosted embedding tables, placed under the
-/// training tier's consistent-hash layout.
+/// training tier's consistent-hash layout, with per-shard replica copies
+/// and bounded-staleness degraded reads.
 pub struct HostedReadTier {
     layout: ShardLayout,
-    /// `shards[s]` holds shard `s`'s sub-tables, one `(table_id, bag)`
-    /// per hosted table (possibly with zero rows on that shard).
-    shards: Vec<Vec<(usize, EmbeddingBag)>>,
+    /// `shards[s][r]` is copy `r` of shard `s`.
+    shards: Vec<Vec<ReplicaCopy>>,
+    /// Maximum watermark lag a failover copy may serve with.
+    read_staleness_bound: u64,
+    /// Served / degraded-read accounting.
+    counters: DegradedReadCounters,
 }
 
 impl HostedReadTier {
-    /// Splits `tables` across shards under `cfg`'s placement.
+    /// Splits `tables` across shards under `cfg`'s placement, one copy
+    /// per shard (the unreplicated read tier).
     pub fn new(tables: &[(usize, EmbeddingBag)], cfg: &ShardConfig) -> Result<Self, RouterError> {
+        Self::replicated(tables, cfg, 1, u64::MAX)
+    }
+
+    /// Splits `tables` across shards with `replicas` identical copies
+    /// per shard; degraded reads may serve from a copy lagging the
+    /// freshest watermark by at most `read_staleness_bound`.
+    pub fn replicated(
+        tables: &[(usize, EmbeddingBag)],
+        cfg: &ShardConfig,
+        replicas: u32,
+        read_staleness_bound: u64,
+    ) -> Result<Self, RouterError> {
         let layout = ShardLayout::place_for(cfg, tables);
-        let shards = split_tables(tables, &layout)?;
-        Ok(Self { layout, shards })
+        let shards = split_tables(tables, &layout)?
+            .into_iter()
+            .map(|sub| {
+                (0..replicas.max(1))
+                    .map(|_| ReplicaCopy { tables: sub.clone(), applied: 0, down: false })
+                    .collect()
+            })
+            .collect();
+        Ok(Self { layout, shards, read_staleness_bound, counters: DegradedReadCounters::new() })
     }
 
     /// The placement this tier resolves rows through.
@@ -42,35 +132,117 @@ impl HostedReadTier {
         self.shards.len()
     }
 
+    /// Copies per shard.
+    pub fn replicas(&self) -> usize {
+        self.shards.first().map_or(0, Vec::len)
+    }
+
+    /// Served / degraded-read accounting.
+    pub fn counters(&self) -> &DegradedReadCounters {
+        &self.counters
+    }
+
+    /// Marks one copy unreadable (replication feed lost or host
+    /// suspected); reads fail over to the next copy within the bound.
+    pub fn mark_down(&mut self, shard: usize, rank: usize) {
+        self.shards[shard][rank].down = true;
+    }
+
+    /// Marks one copy readable again (after catch-up).
+    pub fn mark_up(&mut self, shard: usize, rank: usize) {
+        self.shards[shard][rank].down = false;
+    }
+
+    /// Records the applied watermark copy `rank` of `shard` reflects —
+    /// the replication feed calls this as it installs updates.
+    pub fn set_applied(&mut self, shard: usize, rank: usize, applied: u64) {
+        self.shards[shard][rank].applied = applied;
+    }
+
+    /// Replaces copy `rank`'s sub-tables wholesale (a catch-up install).
+    pub fn install_copy(
+        &mut self,
+        shard: usize,
+        rank: usize,
+        tables: Vec<(usize, EmbeddingBag)>,
+        applied: u64,
+    ) {
+        self.shards[shard][rank] = ReplicaCopy { tables, applied, down: false };
+    }
+
+    /// Picks the copy of `shard` a read is served from: the first
+    /// readable copy in rank order whose lag from the shard's freshest
+    /// known watermark is within the bound. Rank 0 at lag 0 is the
+    /// healthy fast path.
+    fn serving_rank(&self, shard: usize) -> Result<usize, ReadError> {
+        let copies = &self.shards[shard];
+        let freshest = copies.iter().map(|c| c.applied).max().unwrap_or(0);
+        let mut best_lag = u64::MAX;
+        for (r, c) in copies.iter().enumerate() {
+            if c.down {
+                continue;
+            }
+            let lag = freshest - c.applied;
+            if lag <= self.read_staleness_bound {
+                return Ok(r);
+            }
+            best_lag = best_lag.min(lag);
+        }
+        Err(ReadError::ShardUnavailable {
+            shard: shard as u32,
+            lag: best_lag,
+            bound: self.read_staleness_bound,
+        })
+    }
+
     /// Embedding dimension of `table_id`.
     fn dim_of(&self, table_id: usize) -> Result<usize, RouterError> {
         self.shards
             .iter()
-            .flat_map(|subs| subs.iter())
+            .flat_map(|copies| copies.first())
+            .flat_map(|c| c.tables.iter())
             .find(|(id, _)| *id == table_id)
             .map(|(_, bag)| bag.dim())
             .ok_or(RouterError::UnknownTable(table_id))
     }
 
     /// Sum-pooled lookup over CSR `(indices, offsets)`, resolving every
-    /// row to its owning shard through the layout. Accumulation order is
-    /// the CSR index order — the same order [`EmbeddingBag::forward`]
-    /// uses — so the result is bit-identical to the unsharded lookup.
+    /// row to its owning shard through the layout and each shard to its
+    /// serving copy. Accumulation order is the CSR index order — the
+    /// same order [`EmbeddingBag::forward`] uses — so the result is
+    /// bit-identical to the unsharded lookup when served at the freshest
+    /// watermark, and bit-identical to that copy's (bounded-stale)
+    /// snapshot when degraded.
     pub fn pooled_lookup(
         &self,
         table_id: usize,
         indices: &[u32],
         offsets: &[u32],
-    ) -> Result<Matrix, RouterError> {
+    ) -> Result<Matrix, ReadError> {
         let dim = self.dim_of(table_id)?;
         let batch = offsets.len().saturating_sub(1);
         let mut out = Matrix::zeros(batch, dim);
+        // the serving copy is pinned per shard for the whole lookup, so
+        // one response never mixes watermarks within a shard
+        let mut serving: Vec<Option<usize>> = vec![None; self.shards.len()];
+        let mut degraded = false;
         for s in 0..batch {
             let dst = out.row_mut(s);
             for &i in &indices[offsets[s] as usize..offsets[s + 1] as usize] {
                 let route = self.layout.route(table_id, i)?;
-                let sub = &self.shards[route.shard as usize];
-                let (_, bag) = sub
+                let shard = route.shard as usize;
+                let rank = match serving[shard] {
+                    Some(r) => r,
+                    None => {
+                        let r = self.serving_rank(shard)?;
+                        serving[shard] = Some(r);
+                        degraded |= r > 0;
+                        r
+                    }
+                };
+                let copy = &self.shards[shard][rank];
+                let (_, bag) = copy
+                    .tables
                     .iter()
                     .find(|(id, _)| *id == table_id)
                     .expect("split_tables materializes every table on every shard");
@@ -80,6 +252,7 @@ impl HostedReadTier {
                 }
             }
         }
+        self.counters.note(degraded);
         Ok(out)
     }
 }
@@ -133,10 +306,86 @@ mod tests {
         let tables = toy_tables(&mut rng);
         let cfg = ShardConfig { num_shards: 2, rows_per_range: 16, placement_seed: 3 };
         let tier = HostedReadTier::new(&tables, &cfg).unwrap();
-        assert!(matches!(tier.pooled_lookup(9, &[0], &[0, 1]), Err(RouterError::UnknownTable(9))));
+        assert!(matches!(
+            tier.pooled_lookup(9, &[0], &[0, 1]),
+            Err(ReadError::Route(RouterError::UnknownTable(9)))
+        ));
         assert!(matches!(
             tier.pooled_lookup(1, &[57], &[0, 1]),
-            Err(RouterError::RowOutOfRange { table: 1, row: 57, .. })
+            Err(ReadError::Route(RouterError::RowOutOfRange { table: 1, row: 57, .. }))
         ));
+    }
+
+    #[test]
+    fn degraded_reads_fail_over_byte_identically_within_the_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tables = toy_tables(&mut rng);
+        let cfg = ShardConfig { num_shards: 3, rows_per_range: 16, placement_seed: 0xE1 };
+        let mut tier = HostedReadTier::replicated(&tables, &cfg, 2, 6).unwrap();
+        assert_eq!(tier.replicas(), 2);
+        // the backup lags the primary by 3 batches — within the bound —
+        // and (lockstep) holds byte-identical tables at its watermark
+        for s in 0..tier.num_shards() {
+            tier.set_applied(s, 0, 10);
+            tier.set_applied(s, 1, 7);
+            tier.mark_down(s, 0);
+        }
+        for (table_id, bag) in &tables {
+            let (indices, offsets) = toy_csr(&mut rng, bag.num_rows(), 6);
+            let want = bag.forward(&indices, &offsets);
+            let got = tier
+                .pooled_lookup(*table_id, &indices, &offsets)
+                .expect("admitted reads are served, not shed, during failover");
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "degraded read must serve the backup's bytes verbatim"
+            );
+        }
+        assert_eq!(tier.counters().served(), 2);
+        assert_eq!(tier.counters().degraded(), 2, "both lookups rode the backup");
+    }
+
+    #[test]
+    fn reads_beyond_the_staleness_bound_are_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let tables = toy_tables(&mut rng);
+        let cfg = ShardConfig { num_shards: 1, rows_per_range: 16, placement_seed: 0xE1 };
+        let mut tier = HostedReadTier::replicated(&tables, &cfg, 2, 6).unwrap();
+        tier.set_applied(0, 0, 20);
+        tier.set_applied(0, 1, 5); // lag 15 > bound 6
+        tier.mark_down(0, 0);
+        assert_eq!(
+            tier.pooled_lookup(0, &[1], &[0, 1]),
+            Err(ReadError::ShardUnavailable { shard: 0, lag: 15, bound: 6 })
+        );
+        // catch-up brings the backup inside the bound: reads resume
+        tier.set_applied(0, 1, 18);
+        assert!(tier.pooled_lookup(0, &[1], &[0, 1]).is_ok());
+        // and the recovered primary takes back the fast path
+        tier.mark_up(0, 0);
+        assert!(tier.pooled_lookup(0, &[1], &[0, 1]).is_ok());
+        assert_eq!(tier.counters().degraded(), 1, "only the backup-served read was degraded");
+    }
+
+    #[test]
+    fn install_copy_replaces_bytes_and_watermark() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let tables = toy_tables(&mut rng);
+        let cfg = ShardConfig { num_shards: 1, rows_per_range: 16, placement_seed: 0xE1 };
+        let mut tier = HostedReadTier::replicated(&tables, &cfg, 2, 0).unwrap();
+        // a zeroed catch-up copy at the freshest watermark serves zeros
+        let mut zeroed: Vec<(usize, EmbeddingBag)> =
+            tier.shards[0][0].tables.iter().map(|(id, bag)| (*id, bag.clone())).collect();
+        for (_, bag) in &mut zeroed {
+            for v in bag.weight.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+        tier.set_applied(0, 0, 4);
+        tier.install_copy(0, 1, zeroed, 4);
+        tier.mark_down(0, 0);
+        let got = tier.pooled_lookup(0, &[3, 4], &[0, 2]).unwrap();
+        assert!(got.as_slice().iter().all(|&v| v == 0.0));
     }
 }

@@ -560,6 +560,7 @@ mod tests {
             workers: 1,
             tenant_inflight_cap: 4,
             cache_capacity: 64,
+            ..ServeConfig::default()
         };
         let tenants = [TenantConfig::default(), TenantConfig::default()];
         let ((sheds, t1_ok), report) = serve(&t, &cfg, &tenants, |h| {

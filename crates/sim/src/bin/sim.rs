@@ -28,11 +28,22 @@
 //!   oracle.
 //! * `sim --reshard-sweep COUNT [--start S]` — sweep reshard-under-crash
 //!   seeds; failures land in `target/sim/reshard-failure-seed-N.txt`.
+//! * `sim --failover-seed N [--replicas K]` — replay one replicated seed:
+//!   kill-the-primary schedules, heartbeat suspicion, promotion, catch-up
+//!   rejoins, and byte-identity of every surviving member.
+//! * `sim --failover-sweep COUNT [--replicas K] [--start S]` — sweep
+//!   kill-the-primary seeds (each MUST complete without a cold restart);
+//!   failures land in `target/sim/failover-failure-seed-N.txt`.
+//! * `sim --netfault-seed N` / `sim --netfault-sweep COUNT` — the same
+//!   verdict over heartbeat-loss and partition windows (false suspicion,
+//!   fencing, retransmission ride-out); failures land in
+//!   `target/sim/netfault-failure-seed-N.txt`.
 
 use el_sim::{
-    check_recovery, check_run, check_shard_run, crash_plans_for_seed, reshard_plans_for_seed,
-    run_crash_sweep, run_reshard_sweep, run_shard_sweep, run_sweep, sequential_prefix,
-    sharded_prefix, FaultPlan, Outcome, RecoveryConfig, ShardSimConfig, SimConfig, TraceEvent,
+    check_failover_run, check_recovery, check_run, check_shard_run, crash_plans_for_seed,
+    reshard_plans_for_seed, run_crash_sweep, run_failover_sweep, run_netfault_sweep,
+    run_reshard_sweep, run_shard_sweep, run_sweep, sequential_prefix, sharded_prefix,
+    FailoverSimConfig, FaultPlan, Outcome, RecoveryConfig, ShardSimConfig, SimConfig, TraceEvent,
 };
 use std::process::ExitCode;
 
@@ -56,6 +67,16 @@ struct Args {
     reshard_seed: Option<u64>,
     /// Sweep this many reshard-under-crash seeds.
     reshard_sweep: Option<u64>,
+    /// Replay exactly this replicated kill-the-primary seed.
+    failover_seed: Option<u64>,
+    /// Sweep this many kill-the-primary seeds.
+    failover_sweep: Option<u64>,
+    /// Replay exactly this network-fault (heartbeat-loss/partition) seed.
+    netfault_seed: Option<u64>,
+    /// Sweep this many network-fault seeds.
+    netfault_sweep: Option<u64>,
+    /// Replicas per shard group for the failover modes.
+    replicas: u32,
     /// First sweep seed.
     start: u64,
     /// Batches per run.
@@ -79,6 +100,11 @@ fn parse_args() -> Result<Args, String> {
         shards: 3,
         reshard_seed: None,
         reshard_sweep: None,
+        failover_seed: None,
+        failover_sweep: None,
+        netfault_seed: None,
+        netfault_sweep: None,
+        replicas: 3,
         start: 0,
         batches: 24,
         bound: None,
@@ -103,6 +129,11 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = grab("--shards")?.clamp(1, 64) as u32,
             "--reshard-seed" => args.reshard_seed = Some(grab("--reshard-seed")?),
             "--reshard-sweep" => args.reshard_sweep = Some(grab("--reshard-sweep")?),
+            "--failover-seed" => args.failover_seed = Some(grab("--failover-seed")?),
+            "--failover-sweep" => args.failover_sweep = Some(grab("--failover-sweep")?),
+            "--netfault-seed" => args.netfault_seed = Some(grab("--netfault-seed")?),
+            "--netfault-sweep" => args.netfault_sweep = Some(grab("--netfault-sweep")?),
+            "--replicas" => args.replicas = grab("--replicas")?.clamp(1, 16) as u32,
             "--start" => args.start = grab("--start")?,
             "--batches" => args.batches = grab("--batches")?,
             "--bound" => args.bound = Some(grab("--bound")?),
@@ -116,17 +147,23 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: sim [--seed N | --sweep COUNT | --crash-seed N | --crash-sweep COUNT
-            | --shard-seed N | --shard-sweep COUNT | --reshard-seed N | --reshard-sweep COUNT]
-           [--start S] [--batches N] [--bound B] [--every K] [--retain R] [--shards K]
+            | --shard-seed N | --shard-sweep COUNT | --reshard-seed N | --reshard-sweep COUNT
+            | --failover-seed N | --failover-sweep COUNT | --netfault-seed N | --netfault-sweep COUNT]
+           [--start S] [--batches N] [--bound B] [--every K] [--retain R] [--shards K] [--replicas K]
   --seed N          replay one seed with full diagnostics
   --sweep COUNT     invariant-check COUNT seeds (default mode, COUNT=100)
   --crash-seed N    replay one crash-recovery scenario with full diagnostics
   --crash-sweep COUNT  invariant-check COUNT crash-recovery seeds
   --shard-seed N    replay one multi-shard seed with full diagnostics
   --shard-sweep COUNT  invariant-check COUNT multi-shard seeds
-  --shards K        shard count for the multi-shard modes (default 3)
+  --shards K        shard count for the multi-shard and failover modes (default 3)
   --reshard-seed N  replay one elastic-reshard scenario with full diagnostics
   --reshard-sweep COUNT  invariant-check COUNT reshard-under-crash seeds
+  --failover-seed N replay one replicated kill-the-primary seed with full diagnostics
+  --failover-sweep COUNT  invariant-check COUNT kill-the-primary seeds (completion required)
+  --netfault-seed N replay one heartbeat-loss/partition seed with full diagnostics
+  --netfault-sweep COUNT  invariant-check COUNT network-fault seeds (completion required)
+  --replicas K      members per replica group for the failover modes (default 3)
   --start S         first seed of the sweep (default 0)
   --batches N       batches per simulated run (default 24)
   --bound B         staleness bound override (default 6)
@@ -174,6 +211,24 @@ fn main() -> ExitCode {
     }
     if let Some(count) = args.reshard_sweep {
         return reshard_sweep(&cfg, args.start, count);
+    }
+    let fcfg = FailoverSimConfig {
+        base: cfg,
+        shard: scfg.shard,
+        replicas: args.replicas,
+        ..FailoverSimConfig::default()
+    };
+    if let Some(seed) = args.failover_seed {
+        return replay_failover(&fcfg, seed, false);
+    }
+    if let Some(count) = args.failover_sweep {
+        return failover_sweep(&fcfg, args.start, count, false);
+    }
+    if let Some(seed) = args.netfault_seed {
+        return replay_failover(&fcfg, seed, true);
+    }
+    if let Some(count) = args.netfault_sweep {
+        return failover_sweep(&fcfg, args.start, count, true);
     }
 
     println!(
@@ -345,6 +400,103 @@ fn shard_sweep(scfg: &ShardSimConfig, start: u64, count: u64) -> ExitCode {
             eprintln!("INVARIANT VIOLATION\n{failure}");
             write_failure_record(
                 &format!("target/sim/shard-failure-seed-{}.txt", failure.seed),
+                &failure.to_string(),
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one replicated seed (kill-the-primary or network-fault
+/// domain) with full diagnostics.
+fn replay_failover(fcfg: &FailoverSimConfig, seed: u64, netfault: bool) -> ExitCode {
+    let plan = if netfault {
+        FaultPlan::from_seed_netfault(seed, fcfg.base.num_batches, fcfg.shard.num_shards)
+    } else {
+        FaultPlan::from_seed_failover(
+            seed,
+            fcfg.base.num_batches,
+            fcfg.shard.num_shards,
+            fcfg.replicas,
+        )
+    };
+    let mode = if netfault { "netfault" } else { "failover" };
+    println!(
+        "{mode} seed {seed} ({} shards x {} replicas) — fault plan:\n{plan}",
+        fcfg.shard.num_shards, fcfg.replicas
+    );
+    let shard_oracle = sharded_prefix(&ShardSimConfig { base: fcfg.base, shard: fcfg.shard });
+    let global_oracle = sequential_prefix(&fcfg.base);
+    match check_failover_run(fcfg, &plan, seed, &shard_oracle, &global_oracle) {
+        Ok(report) => {
+            println!(
+                "{}: group watermarks {:?} of {} batches in {} virtual ticks ({} events)",
+                outcome_name(report.outcome),
+                report.applied,
+                fcfg.base.num_batches,
+                report.final_tick,
+                report.events_processed
+            );
+            let killed = report.trace.count(|e| {
+                matches!(e, TraceEvent::PrimaryDied { .. } | TraceEvent::BackupDied { .. })
+            });
+            let rejoins = report.trace.count(|e| matches!(e, TraceEvent::CatchupInstalled { .. }));
+            println!(
+                "{} members killed, {:?} promotions, {} catch-up rejoins",
+                killed, report.promotions, rejoins
+            );
+            println!(
+                "merged digest {:#018x} — every surviving member byte-identical to its \
+                 oracle prefix",
+                report.merged_digest
+            );
+            println!(
+                "all invariants hold (per-member exactly-once, stitched staleness, \
+                 completion, replay, oracle)"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("INVARIANT VIOLATION: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sweeps replicated seeds (CI's failover matrix). Every seed must
+/// complete — a kill schedule that stalls training is a violation.
+fn failover_sweep(fcfg: &FailoverSimConfig, start: u64, count: u64, netfault: bool) -> ExitCode {
+    let mode = if netfault { "netfault" } else { "failover" };
+    println!(
+        "{mode}-sweeping {} seeds from {} ({} shards x {} replicas, {} batches)",
+        count, start, fcfg.shard.num_shards, fcfg.replicas, fcfg.base.num_batches
+    );
+    let outcome = if netfault {
+        run_netfault_sweep(fcfg, start, count)
+    } else {
+        run_failover_sweep(fcfg, start, count)
+    };
+    match outcome {
+        Ok(s) => {
+            println!(
+                "clean: {} seeds ({} completed — completion is mandatory), {} faults injected, \
+                 {} primaries + {} backups killed, {} promotions, {} catch-up rejoins, \
+                 {} stale rows corrected",
+                s.seeds,
+                s.completed,
+                s.faults_injected,
+                s.primaries_killed,
+                s.backups_killed,
+                s.promotions,
+                s.rejoins,
+                s.stale_hits
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("INVARIANT VIOLATION\n{failure}");
+            write_failure_record(
+                &format!("target/sim/{mode}-failure-seed-{}.txt", failure.seed),
                 &failure.to_string(),
             );
             ExitCode::FAILURE

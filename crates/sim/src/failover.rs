@@ -1,0 +1,1039 @@
+//! The replicated-tier discrete-event simulation.
+//!
+//! [`crate::shard`] drives N independent [`HostServer`] shards;
+//! this module drives the **replicated** tier of
+//! `el_pipeline::replica`: each shard is a K-member replica group whose
+//! intake applies in lockstep to every alive member, so primary and
+//! backups are byte-identical at every applied watermark. On top of the
+//! shard sim's worker/router/link machinery it models:
+//!
+//! * **heartbeats + failure detection** — each shard's believed primary
+//!   beats on the jittered [`HeartbeatConfig`] schedule; the worker runs
+//!   one [`FailureDetector`] per shard (the exact types the pipeline
+//!   trainer uses) and, on suspicion, promotes the next rank cyclically
+//!   and reroutes traffic ([`TraceEvent::Promoted`]);
+//! * **fencing** — a falsely-suspected primary (its heartbeats were
+//!   dropped, not its life) steps down ([`TraceEvent::SteppedDown`]);
+//!   lockstep replication makes the hand-off byte-exact either way;
+//! * **catch-up** — a dead backup scheduled to rejoin restores a real
+//!   framed [`SimCheckpoint`] taken from the current primary (the PR 5
+//!   byte format, round-tripped through
+//!   [`SimCheckpoint::to_framed_bytes`]) and resumes lockstep intake
+//!   ([`TraceEvent::CatchupInstalled`]);
+//! * **partitions** — [`crate::fault::Fault::Partition`] drops all
+//!   worker↔shard traffic in a window (gathers gate, pushes and acks
+//!   vanish, heartbeats go silent), which retransmission and failover
+//!   must ride out together; [`crate::fault::Fault::HeartbeatLoss`]
+//!   drops only the beats — the false-suspicion fault.
+//!
+//! Every run is a pure function of `(FailoverSimConfig, FaultPlan,
+//! schedule_seed)`; [`crate::invariants::check_failover_run`] verifies
+//! per-member exactly-once across promotion and catch-up boundaries,
+//! byte-identity of every member against the sharded sequential oracle,
+//! and that kill-the-primary schedules complete without a cold restart.
+
+use crate::clock::{splitmix64, EventQueue};
+use crate::fault::FaultPlan;
+use crate::recovery::SimCheckpoint;
+use crate::sim::{build_dataset, build_tables, digest_tables, worker_push, Outcome, SimConfig};
+use crate::trace::{Trace, TraceEvent};
+use el_data::SyntheticDataset;
+use el_dlrm::embedding_bag::EmbeddingBag;
+use el_pipeline::cache::EmbeddingCache;
+use el_pipeline::server::{ApplyOutcome, GradientPush, HostServer, PrefetchedBatch};
+use el_pipeline::{
+    merge_tables, split_tables, FailureDetector, HeartbeatConfig, ShardConfig, ShardLayout,
+    ShardRouter,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+// The same latency model as the shard sim (crate::shard), copied because
+// those constants are private by design: the simulations stay
+// independently tunable.
+const PREFETCH_LATENCY: u64 = 3;
+const COMPUTE_LATENCY: u64 = 4;
+const PUSH_LATENCY: u64 = 3;
+const ACK_LATENCY: u64 = 2;
+const RETRY_TIMEOUT: u64 = 24;
+const MAX_RETRIES: u32 = 8;
+const JITTER: u64 = 4;
+// Failover-specific timing.
+const HEARTBEAT_LATENCY: u64 = 2;
+const SUSPECT_CHECK_EVERY: u64 = 6;
+const REJOIN_RETRY: u64 = 8;
+/// Promotions per shard before the worker stops cycling (a livelock
+/// fuse, far above what any bounded fault window can cause).
+const PROMOTION_CAP: u32 = 16;
+
+/// Static configuration of one replicated run.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverSimConfig {
+    /// The model/data universe and pipeline knobs (shared with the
+    /// single-server sim and the oracle).
+    pub base: SimConfig,
+    /// The shard layout knobs (count, row-range size, placement seed).
+    pub shard: ShardConfig,
+    /// Members per replica group (primary + K-1 backups).
+    pub replicas: u32,
+    /// Base ticks between primary heartbeats.
+    pub heartbeat_every: u64,
+    /// Ticks of heartbeat silence before the worker suspects a primary.
+    pub suspicion_after: u64,
+}
+
+impl Default for FailoverSimConfig {
+    fn default() -> Self {
+        Self {
+            base: SimConfig::default(),
+            shard: ShardConfig { num_shards: 3, rows_per_range: 16, placement_seed: 0xE1 },
+            replicas: 3,
+            heartbeat_every: 8,
+            suspicion_after: 30,
+        }
+    }
+}
+
+impl FailoverSimConfig {
+    /// The placement every participant of this config derives.
+    pub fn layout(&self) -> ShardLayout {
+        let sizes: Vec<(usize, usize)> =
+            (0..self.base.num_tables).map(|t| (t, self.base.rows_per_table)).collect();
+        ShardLayout::place(&self.shard, &sizes)
+    }
+
+    /// The jittered heartbeat schedule of one shard's primary.
+    pub fn heartbeat(&self, shard: u32, schedule_seed: u64) -> HeartbeatConfig {
+        HeartbeatConfig {
+            every: self.heartbeat_every.max(1),
+            suspicion_after: self.suspicion_after.max(self.heartbeat_every + 1),
+            jitter: (self.heartbeat_every / 2).max(1),
+            seed: splitmix64(schedule_seed ^ 0x48B8_48B8_48B8_48B8 ^ u64::from(shard)),
+        }
+    }
+}
+
+/// Result of one replicated run.
+#[derive(Debug)]
+pub struct FailoverSimReport {
+    /// Terminal state ([`Outcome::Completed`] iff **every** group's
+    /// watermark reached the schedule).
+    pub outcome: Outcome,
+    /// Per-shard group watermarks at termination (the maximum over that
+    /// group's alive members — lockstep keeps them equal).
+    pub applied: Vec<u64>,
+    /// Full protocol trace, in virtual-time order.
+    pub trace: Trace,
+    /// Per-member applied watermarks at termination (`None` = dead).
+    pub member_applied: Vec<Vec<Option<u64>>>,
+    /// Per-member FNV-1a digests of the final sub-tables (`None` = dead).
+    pub member_digests: Vec<Vec<Option<u64>>>,
+    /// Digest of the merged (one surviving member per shard) tables.
+    pub merged_digest: u64,
+    /// The merged global tables.
+    pub merged_tables: Vec<(usize, EmbeddingBag)>,
+    /// Promotions the worker performed per shard.
+    pub promotions: Vec<u32>,
+    /// Stale pre-fetched rows the worker's cache corrected.
+    pub stale_hits: u64,
+    /// Virtual time at termination.
+    pub final_tick: u64,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// In-flight scattered push awaiting one shard's acknowledgement.
+struct UnackedPush {
+    push: GradientPush,
+    attempts: u32,
+    deliveries: u32,
+}
+
+/// Events on the virtual timeline.
+enum Ev {
+    /// A reassembled pre-fetched batch reaches the worker.
+    PrefetchArrive(Box<PrefetchedBatch>),
+    /// A worker stall window ends.
+    StallOver,
+    /// The worker finishes computing a batch.
+    ComputeDone(u64),
+    /// A scattered push delivery reaches one shard's believed primary.
+    PushArrive { shard: u32, push: Box<GradientPush> },
+    /// One shard's acknowledgement reaches the worker.
+    AckArrive { shard: u32, seq: u64 },
+    /// The worker's retransmission timer for one shard's push fires.
+    RetryFire { shard: u32, seq: u64 },
+    /// One shard's believed primary emits its `n`-th heartbeat.
+    HeartbeatFire { shard: u32, n: u64 },
+    /// A heartbeat from `rank` reaches the worker.
+    HeartbeatArrive { shard: u32, rank: u32 },
+    /// The worker's periodic failure-detector check for one shard.
+    SuspectCheck { shard: u32 },
+    /// A dead member's scheduled catch-up rejoin fires.
+    RejoinFire { shard: u32, rank: u32 },
+}
+
+/// The running replicated simulation state.
+struct FailoverSim {
+    cfg: FailoverSimConfig,
+    plan: FaultPlan,
+    q: EventQueue<Ev>,
+    rng: StdRng,
+    dataset: SyntheticDataset,
+    trace: Trace,
+    // the replicated host tier: [shard][rank], None = dead
+    router: ShardRouter,
+    groups: Vec<Vec<Option<HostServer>>>,
+    pending: Vec<BTreeMap<u64, GradientPush>>,
+    primary_kills: Vec<Vec<u64>>, // remaining, sorted ascending
+    backup_kills: Vec<Vec<(u32, u64, u64)>>, // remaining (rank, watermark, rejoin)
+    next_gather: u64,
+    occupancy: usize,
+    // worker-side failover state
+    believed: Vec<usize>,
+    promotions: Vec<u32>,
+    detectors: Vec<FailureDetector>,
+    heartbeats: Vec<HeartbeatConfig>,
+    // worker
+    worker_alive: bool,
+    stalled: bool,
+    stalls_done: BTreeSet<u64>,
+    inbox: BTreeMap<u64, PrefetchedBatch>,
+    next_train: u64,
+    computing: Option<GradientPush>,
+    caches: Vec<(usize, EmbeddingCache)>,
+    unacked: BTreeMap<(u32, u64), UnackedPush>,
+}
+
+/// Runs one replicated simulation to termination.
+pub fn run_failover(
+    cfg: &FailoverSimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+) -> FailoverSimReport {
+    let layout = cfg.layout();
+    let global = build_tables(&cfg.base);
+    let replicas = cfg.replicas.max(1) as usize;
+    let groups: Vec<Vec<Option<HostServer>>> = split_tables(&global, &layout)
+        .expect("the layout places exactly the config's tables")
+        .into_iter()
+        .map(|sub| {
+            (0..replicas)
+                .map(|_| Some(HostServer::new(sub.clone(), cfg.base.lr)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let n = groups.len();
+    let mut sim = FailoverSim {
+        cfg: *cfg,
+        plan: plan.clone(),
+        q: EventQueue::new(),
+        rng: StdRng::seed_from_u64(cfg.base.model_seed ^ splitmix64(schedule_seed)),
+        dataset: build_dataset(&cfg.base),
+        trace: Trace::default(),
+        router: ShardRouter::new(layout),
+        pending: (0..n).map(|_| BTreeMap::new()).collect(),
+        primary_kills: (0..n).map(|s| plan.primary_deaths(s as u32)).collect(),
+        backup_kills: (0..n).map(|s| plan.backup_deaths(s as u32)).collect(),
+        groups,
+        next_gather: 0,
+        occupancy: 0,
+        believed: vec![0; n],
+        promotions: vec![0; n],
+        detectors: (0..n)
+            .map(|_| FailureDetector::new(cfg.suspicion_after.max(cfg.heartbeat_every + 1), 0))
+            .collect(),
+        heartbeats: (0..n).map(|s| cfg.heartbeat(s as u32, schedule_seed)).collect(),
+        worker_alive: true,
+        stalled: false,
+        stalls_done: BTreeSet::new(),
+        inbox: BTreeMap::new(),
+        next_train: 0,
+        computing: None,
+        caches: (0..cfg.base.num_tables).map(|t| (t, EmbeddingCache::new())).collect(),
+        unacked: BTreeMap::new(),
+    };
+    for s in 0..n {
+        let first_beat = sim.heartbeats[s].delay(0);
+        sim.q.schedule(first_beat, Ev::HeartbeatFire { shard: s as u32, n: 0 });
+        sim.q.schedule(sim.cfg.suspicion_after, Ev::SuspectCheck { shard: s as u32 });
+    }
+    sim.drive()
+}
+
+impl FailoverSim {
+    fn jitter(&mut self) -> u64 {
+        self.rng.gen_range(0..JITTER)
+    }
+
+    /// One shard group's applied watermark: the maximum over its alive
+    /// members (lockstep keeps alive members equal; a rejoiner lands at
+    /// the watermark before resuming intake).
+    fn group_applied(&self, s: usize) -> u64 {
+        self.groups[s].iter().flatten().map(|m| m.applied).max().unwrap_or(0)
+    }
+
+    /// Whether the shard's believed primary is an alive member.
+    fn believed_alive(&self, s: usize) -> bool {
+        self.groups[s][self.believed[s]].is_some()
+    }
+
+    fn min_applied(&self) -> u64 {
+        (0..self.groups.len()).map(|s| self.group_applied(s)).min().unwrap_or(0)
+    }
+
+    /// True once the worker no longer needs shard `s`'s recurring
+    /// timers: the group finished the schedule (or the worker is gone).
+    fn shard_done(&self, s: usize) -> bool {
+        !self.worker_alive || self.group_applied(s) >= self.cfg.base.num_batches
+    }
+
+    fn drive(mut self) -> FailoverSimReport {
+        let mut events = 0u64;
+        let mut out_of_budget = false;
+        self.step();
+        while let Some(ev) = self.q.pop() {
+            events += 1;
+            if events > self.cfg.base.max_events {
+                out_of_budget = true;
+                break;
+            }
+            self.handle(ev);
+            self.step();
+        }
+        let n = self.groups.len();
+        let outcome = if out_of_budget {
+            Outcome::OutOfBudget
+        } else if (0..n).all(|s| self.group_applied(s) == self.cfg.base.num_batches) {
+            Outcome::Completed
+        } else {
+            Outcome::Stalled
+        };
+        let stale_hits = self.caches.iter().map(|(_, c)| c.stale_hits).sum();
+        let member_applied: Vec<Vec<Option<u64>>> = self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|m| m.as_ref().map(|s| s.applied)).collect())
+            .collect();
+        let member_digests: Vec<Vec<Option<u64>>> = self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|m| m.as_ref().map(|s| digest_tables(&s.tables))).collect())
+            .collect();
+        // merge one surviving copy per shard: the believed member when
+        // alive, else any alive member (byte-identical by lockstep)
+        let survivor_tables: Vec<Vec<(usize, EmbeddingBag)>> = (0..n)
+            .map(|s| {
+                let pick = self.groups[s][self.believed[s]]
+                    .as_ref()
+                    .or_else(|| self.groups[s].iter().flatten().next())
+                    .expect("fault plans never kill a whole group");
+                pick.tables.clone()
+            })
+            .collect();
+        let merged_tables = merge_tables(&survivor_tables, self.router.layout())
+            .expect("sub-tables always merge under their own layout");
+        FailoverSimReport {
+            outcome,
+            applied: (0..n).map(|s| self.group_applied(s)).collect(),
+            member_applied,
+            member_digests,
+            merged_digest: digest_tables(&merged_tables),
+            merged_tables,
+            promotions: self.promotions.clone(),
+            stale_hits,
+            final_tick: self.q.now(),
+            events_processed: events,
+            trace: self.trace,
+        }
+    }
+
+    /// Runs every immediately-enabled action: scheduled deaths fire,
+    /// each group drains its intake in lockstep, the router gathers, the
+    /// worker starts compute.
+    fn step(&mut self) {
+        for s in 0..self.groups.len() {
+            self.drain_group(s);
+        }
+        self.host_gather();
+        self.worker_start();
+    }
+
+    /// Fires death schedules whose watermark the group has reached. A
+    /// primary kill takes whoever is believed primary *now* — two kills
+    /// at adjacent watermarks on one shard therefore kill the freshly
+    /// promoted member, the kill-during-promotion case. A kill whose
+    /// target is already dead waits for the next promotion to land on a
+    /// live target.
+    fn fire_deaths(&mut self, s: usize) {
+        let watermark = self.group_applied(s);
+        while let Some(&w) = self.primary_kills[s].first() {
+            if watermark < w || !self.believed_alive(s) {
+                break;
+            }
+            self.primary_kills[s].remove(0);
+            let rank = self.believed[s];
+            let applied = self.groups[s][rank].as_ref().map_or(0, |m| m.applied);
+            self.groups[s][rank] = None;
+            self.pending[s].clear(); // the intake buffer dies with it
+            self.trace.push(TraceEvent::PrimaryDied {
+                shard: s as u32,
+                rank: rank as u32,
+                applied,
+            });
+        }
+        self.backup_kills[s].retain(&mut |(rank, w, rejoin): &(u32, u64, u64)| {
+            if watermark < *w {
+                return true; // not yet due
+            }
+            let r = *rank as usize;
+            if r == self.believed[s] || self.groups[s][r].is_none() {
+                return false; // it is the primary now, or already dead: drop the drill
+            }
+            self.groups[s][r] = None;
+            self.trace.push(TraceEvent::BackupDied {
+                shard: s as u32,
+                rank: *rank,
+                applied: watermark,
+            });
+            if *rejoin > 0 {
+                self.q.schedule(*rejoin, Ev::RejoinFire { shard: s as u32, rank: *rank });
+            }
+            false
+        });
+    }
+
+    /// Applies one group's buffered pushes in order: every alive member
+    /// applies the same push at the same tick (lockstep), so the group
+    /// stays byte-identical at every watermark. Stops at a gap, or while
+    /// the believed primary is dead (intake needs a live primary).
+    fn drain_group(&mut self, s: usize) {
+        loop {
+            self.fire_deaths(s);
+            if !self.believed_alive(s) {
+                return;
+            }
+            let next = self.group_applied(s);
+            let Some(push) = self.pending[s].remove(&next) else { return };
+            for (rank, member) in self.groups[s].iter_mut().enumerate() {
+                let Some(m) = member.as_mut() else { continue };
+                match m.apply_checked(&push) {
+                    Ok(ApplyOutcome::Applied) => {
+                        self.trace.push(TraceEvent::ReplicaApplied {
+                            shard: s as u32,
+                            rank: rank as u32,
+                            seq: next,
+                        });
+                    }
+                    other => unreachable!("lockstep apply of seq {next} must land, got {other:?}"),
+                }
+            }
+            if !self.plan.partitioned_at(s as u32, self.q.now()) {
+                let d = ACK_LATENCY + self.jitter();
+                self.q.schedule(d, Ev::AckArrive { shard: s as u32, seq: next });
+            }
+        }
+    }
+
+    /// Gathers while every shard has a live, reachable believed primary,
+    /// the pre-fetch queue has room, and the stitched staleness gate
+    /// allows — identical to the shard sim with "shard alive" replaced
+    /// by "believed primary alive and not partitioned".
+    fn host_gather(&mut self) {
+        loop {
+            let now = self.q.now();
+            let reachable = (0..self.groups.len())
+                .all(|s| self.believed_alive(s) && !self.plan.partitioned_at(s as u32, now));
+            if !reachable
+                || self.next_gather >= self.cfg.base.num_batches
+                || self.occupancy >= self.cfg.base.prefetch_depth
+                || self.next_gather - self.min_applied() > self.cfg.base.staleness_bound
+            {
+                return;
+            }
+            let k = self.next_gather;
+            let mut primaries: Vec<HostServer> = (0..self.groups.len())
+                .map(|s| {
+                    self.groups[s][self.believed[s]].take().expect("reachability checked above")
+                })
+                .collect();
+            for (s, p) in primaries.iter().enumerate() {
+                self.trace.push(TraceEvent::ShardStamped {
+                    shard: s as u32,
+                    seq: k,
+                    applied: p.applied,
+                });
+            }
+            let batch = self.dataset.batch(k, self.cfg.base.batch_size);
+            let pf = self
+                .router
+                .gather(&mut primaries, batch, k)
+                .expect("config-derived layout always routes its own batches");
+            for (s, p) in primaries.into_iter().enumerate() {
+                self.groups[s][self.believed[s]] = Some(p);
+            }
+            self.trace.push(TraceEvent::Gathered { seq: k, applied_through: pf.applied_through });
+            let delay = PREFETCH_LATENCY + self.jitter() + self.plan.prefetch_delay(k);
+            self.q.schedule(delay, Ev::PrefetchArrive(Box::new(pf)));
+            self.occupancy += 1;
+            self.next_gather += 1;
+        }
+    }
+
+    /// Starts computing the next in-order batch if the worker is idle —
+    /// the replication seam is invisible to the worker, exactly as the
+    /// sharding seam is.
+    fn worker_start(&mut self) {
+        if !self.worker_alive || self.stalled || self.computing.is_some() {
+            return;
+        }
+        let Some(mut pf) = self.inbox.remove(&self.next_train) else { return };
+        let seq = pf.batch_seq;
+        if self.plan.kills_worker_at(seq) {
+            self.worker_alive = false;
+            self.trace.push(TraceEvent::WorkerDied { at_batch: seq });
+            self.inbox.clear();
+            return;
+        }
+        if !self.stalls_done.contains(&seq) {
+            if let Some(ticks) = self.plan.stall_before(seq) {
+                self.stalls_done.insert(seq);
+                self.stalled = true;
+                self.inbox.insert(seq, pf); // resume from here after the stall
+                self.q.schedule(ticks, Ev::StallOver);
+                return;
+            }
+        }
+        self.occupancy -= 1;
+        self.trace.push(TraceEvent::PrefetchSynced { seq, applied_through: pf.applied_through });
+        let push =
+            worker_push(&mut pf, &mut self.caches, self.cfg.base.lr, self.cfg.base.model_seed);
+        self.computing = Some(push);
+        self.next_train += 1;
+        let delay = COMPUTE_LATENCY + self.jitter();
+        self.q.schedule(delay, Ev::ComputeDone(seq));
+    }
+
+    /// Issues one transmission of the scattered push for `(shard, seq)`
+    /// and arms that link's retransmission timer. Partition windows drop
+    /// the delivery at the boundary.
+    fn transmit(&mut self, shard: u32, seq: u64) {
+        let Some(ent) = self.unacked.get_mut(&(shard, seq)) else { return };
+        ent.deliveries += 1;
+        let delivery = ent.deliveries;
+        let attempts = ent.attempts;
+        let push = ent.push.clone();
+        self.trace.push(TraceEvent::ShardPushSent { shard, seq, delivery });
+        let d = PUSH_LATENCY + self.jitter();
+        self.q.schedule(d, Ev::PushArrive { shard, push: Box::new(push) });
+        let timeout = RETRY_TIMEOUT << attempts.min(8);
+        self.q.schedule(timeout, Ev::RetryFire { shard, seq });
+    }
+
+    /// The worker's failover action: advance the believed primary to the
+    /// next rank cyclically, fence the old one if it still lives, resend
+    /// everything unacknowledged toward the shard, and grant the new
+    /// primary a fresh suspicion grace period.
+    fn promote(&mut self, s: usize, silent_for: u64) {
+        let old = self.believed[s];
+        self.trace.push(TraceEvent::PrimarySuspected {
+            shard: s as u32,
+            rank: old as u32,
+            silent_for,
+        });
+        self.promotions[s] += 1;
+        let replicas = self.groups[s].len();
+        self.believed[s] = (old + 1) % replicas;
+        if self.groups[s][old].is_some() {
+            // false suspicion: the deposed primary fences itself off the
+            // write path (lockstep keeps its bytes current as a backup)
+            self.trace.push(TraceEvent::SteppedDown { shard: s as u32, rank: old as u32 });
+        }
+        let applied = self.groups[s][self.believed[s]].as_ref().map_or(0, |m| m.applied);
+        self.trace.push(TraceEvent::Promoted {
+            shard: s as u32,
+            rank: self.believed[s] as u32,
+            applied,
+        });
+        let now = self.q.now();
+        self.detectors[s].record_heartbeat(now);
+        let resend: Vec<u64> =
+            self.unacked.keys().filter(|(sh, _)| *sh == s as u32).map(|&(_, seq)| seq).collect();
+        for seq in resend {
+            if let Some(ent) = self.unacked.get_mut(&(s as u32, seq)) {
+                ent.attempts = 0;
+            }
+            self.transmit(s as u32, seq);
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::PrefetchArrive(pf) => {
+                if self.worker_alive {
+                    self.inbox.insert(pf.batch_seq, *pf);
+                }
+            }
+            Ev::StallOver => {
+                self.stalled = false;
+            }
+            Ev::ComputeDone(seq) => {
+                if !self.worker_alive {
+                    return;
+                }
+                let push = self.computing.take().expect("ComputeDone without compute");
+                debug_assert_eq!(push.batch_seq, seq);
+                let scattered = self
+                    .router
+                    .scatter_push(&push)
+                    .expect("worker pushes of a routed batch always scatter");
+                for (s, shard_push) in scattered.into_iter().enumerate() {
+                    self.unacked.insert(
+                        (s as u32, seq),
+                        UnackedPush { push: shard_push, attempts: 0, deliveries: 0 },
+                    );
+                    self.transmit(s as u32, seq);
+                }
+            }
+            Ev::PushArrive { shard, push } => {
+                let s = shard as usize;
+                let now = self.q.now();
+                if self.plan.partitioned_at(shard, now) {
+                    return; // dropped at the partition boundary
+                }
+                let Some(primary) = self.groups[s][self.believed[s]].as_ref() else {
+                    return; // delivered to a corpse: retries re-route later
+                };
+                let seq = push.batch_seq;
+                self.trace.push(TraceEvent::ShardPushDelivered { shard, seq });
+                let duplicate = seq < primary.applied || self.pending[s].contains_key(&seq);
+                if duplicate {
+                    self.trace.push(TraceEvent::ShardDuplicateIgnored { shard, seq });
+                    if seq < self.group_applied(s) {
+                        // already applied by the group: re-acknowledge so
+                        // the worker stops retransmitting on this link
+                        let d = ACK_LATENCY + self.jitter();
+                        self.q.schedule(d, Ev::AckArrive { shard, seq });
+                    }
+                    return;
+                }
+                if self.pending[s].len() >= self.cfg.base.grad_capacity {
+                    self.trace.push(TraceEvent::ShardPushBounced { shard, seq });
+                    return;
+                }
+                self.pending[s].insert(seq, *push);
+            }
+            Ev::AckArrive { shard, seq } => {
+                if self.worker_alive && self.unacked.remove(&(shard, seq)).is_some() {
+                    self.trace.push(TraceEvent::ShardAcked { shard, seq });
+                }
+            }
+            Ev::RetryFire { shard, seq } => {
+                if !self.worker_alive || !self.unacked.contains_key(&(shard, seq)) {
+                    return;
+                }
+                let ent = self.unacked.get_mut(&(shard, seq)).expect("checked above");
+                ent.attempts += 1;
+                if ent.attempts > MAX_RETRIES {
+                    // the shard is unreachable beyond every failover
+                    // remedy: degrade rather than livelock
+                    self.unacked.remove(&(shard, seq));
+                    self.trace.push(TraceEvent::ShardGaveUp { shard, seq });
+                    self.worker_alive = false;
+                } else {
+                    self.transmit(shard, seq);
+                }
+            }
+            Ev::HeartbeatFire { shard, n } => {
+                let s = shard as usize;
+                let now = self.q.now();
+                // the believed primary beats; a dead one stays silent —
+                // the schedule itself keeps ticking so a promoted
+                // successor resumes beating on the same timeline
+                if self.believed_alive(s)
+                    && !self.plan.heartbeat_lost_at(shard, now)
+                    && !self.plan.partitioned_at(shard, now)
+                {
+                    let rank = self.believed[s] as u32;
+                    let d = HEARTBEAT_LATENCY + self.jitter();
+                    self.q.schedule(d, Ev::HeartbeatArrive { shard, rank });
+                }
+                if !self.shard_done(s) {
+                    let next = self.heartbeats[s].delay(n + 1);
+                    self.q.schedule(next, Ev::HeartbeatFire { shard, n: n + 1 });
+                }
+            }
+            Ev::HeartbeatArrive { shard, rank } => {
+                let s = shard as usize;
+                if self.worker_alive && rank as usize == self.believed[s] {
+                    // beats from a deposed rank are fenced out
+                    self.detectors[s].record_heartbeat(self.q.now());
+                }
+            }
+            Ev::SuspectCheck { shard } => {
+                let s = shard as usize;
+                if self.shard_done(s) || self.promotions[s] >= PROMOTION_CAP {
+                    return;
+                }
+                if let Some(silent) = self.detectors[s].suspected(self.q.now()) {
+                    self.promote(s, silent);
+                }
+                self.q.schedule(SUSPECT_CHECK_EVERY, Ev::SuspectCheck { shard });
+            }
+            Ev::RejoinFire { shard, rank } => {
+                let s = shard as usize;
+                let r = rank as usize;
+                if self.groups[s][r].is_some() {
+                    return; // already alive
+                }
+                let Some(leader) = self.groups[s][self.believed[s]].as_ref() else {
+                    // no primary to catch up from yet: retry after the
+                    // failover machinery has promoted one
+                    self.q.schedule(REJOIN_RETRY, Ev::RejoinFire { shard, rank });
+                    return;
+                };
+                // a real checkpoint round-trip: the rejoiner restores the
+                // primary's state through the PR 5 framed byte format
+                let ckpt = SimCheckpoint {
+                    applied: leader.applied,
+                    shard,
+                    num_shards: self.groups.len() as u32,
+                    tables: leader.tables.clone(),
+                };
+                let restored = SimCheckpoint::from_framed_bytes(&ckpt.to_framed_bytes())
+                    .expect("a just-encoded checkpoint decodes")
+                    .for_slot(shard, self.groups.len() as u32)
+                    .expect("the slot is its own");
+                let mut member = HostServer::new(restored.tables, self.cfg.base.lr);
+                member.applied = restored.applied;
+                let applied = member.applied;
+                self.groups[s][r] = Some(member);
+                self.trace.push(TraceEvent::CatchupInstalled { shard, rank, applied });
+            }
+        }
+    }
+}
+
+/// The reproduction record of a failed failover-sweep seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailoverSweepFailure {
+    /// The failing seed (derives the plan and the schedule).
+    pub seed: u64,
+    /// Replicas per shard the sweep ran with.
+    pub replicas: u32,
+    /// The CLI flag that reproduces this seed's plan domain.
+    pub mode: &'static str,
+    /// The fault plan that seed derived.
+    pub plan: FaultPlan,
+    /// What went wrong.
+    pub violation: crate::invariants::Violation,
+}
+
+impl fmt::Display for FailoverSweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed: {}", self.seed)?;
+        writeln!(f, "replicas: {}", self.replicas)?;
+        writeln!(f, "violation: {}", self.violation)?;
+        writeln!(f, "fault plan:")?;
+        writeln!(f, "{}", self.plan)?;
+        write!(
+            f,
+            "reproduce with: cargo xtask sim --{}-seed {} --replicas {}",
+            self.mode, self.seed, self.replicas
+        )
+    }
+}
+
+/// Aggregate statistics of a clean failover sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverSweepSummary {
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Runs where every group applied every batch (the sweep demands
+    /// this of **all** seeds — a kill-the-primary schedule that stalls
+    /// training is itself a violation).
+    pub completed: u64,
+    /// Faults injected across all runs.
+    pub faults_injected: u64,
+    /// Primaries killed across all runs.
+    pub primaries_killed: u64,
+    /// Backups killed across all runs.
+    pub backups_killed: u64,
+    /// Promotions performed across all runs.
+    pub promotions: u64,
+    /// Catch-up rejoins installed across all runs.
+    pub rejoins: u64,
+    /// Stale pre-fetched rows corrected across all runs.
+    pub stale_hits: u64,
+}
+
+fn sweep_one(
+    cfg: &FailoverSimConfig,
+    plan: FaultPlan,
+    seed: u64,
+    mode: &'static str,
+    shard_oracle: &crate::oracle::ShardOracle,
+    global_oracle: &crate::oracle::Oracle,
+    summary: &mut FailoverSweepSummary,
+) -> Result<(), FailoverSweepFailure> {
+    match crate::invariants::check_failover_run(cfg, &plan, seed, shard_oracle, global_oracle) {
+        Ok(report) => {
+            summary.seeds += 1;
+            summary.completed += u64::from(report.outcome == Outcome::Completed);
+            summary.faults_injected += plan.faults.len() as u64;
+            summary.primaries_killed +=
+                report.trace.count(|e| matches!(e, TraceEvent::PrimaryDied { .. })) as u64;
+            summary.backups_killed +=
+                report.trace.count(|e| matches!(e, TraceEvent::BackupDied { .. })) as u64;
+            summary.promotions += report.promotions.iter().map(|&p| u64::from(p)).sum::<u64>();
+            summary.rejoins +=
+                report.trace.count(|e| matches!(e, TraceEvent::CatchupInstalled { .. })) as u64;
+            summary.stale_hits += report.stale_hits;
+            Ok(())
+        }
+        Err(violation) => {
+            Err(FailoverSweepFailure { seed, replicas: cfg.replicas, mode, plan, violation })
+        }
+    }
+}
+
+/// Sweeps failover seeds `start .. start + count`, stopping at the first
+/// violation. Every seed derives a kill-the-primary plan
+/// ([`FaultPlan::from_seed_failover`]) and must complete byte-identical
+/// to the sequential oracle — no cold restarts.
+pub fn run_failover_sweep(
+    cfg: &FailoverSimConfig,
+    start: u64,
+    count: u64,
+) -> Result<FailoverSweepSummary, FailoverSweepFailure> {
+    let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+        base: cfg.base,
+        shard: cfg.shard,
+    });
+    let global_oracle = crate::oracle::sequential_prefix(&cfg.base);
+    let mut summary = FailoverSweepSummary::default();
+    for seed in start..start.saturating_add(count) {
+        let plan = FaultPlan::from_seed_failover(
+            seed,
+            cfg.base.num_batches,
+            cfg.shard.num_shards,
+            cfg.replicas,
+        );
+        sweep_one(cfg, plan, seed, "failover", &shard_oracle, &global_oracle, &mut summary)?;
+    }
+    Ok(summary)
+}
+
+/// Sweeps network-fault seeds `start .. start + count`: heartbeat-loss
+/// and partition windows ([`FaultPlan::from_seed_netfault`]) that must
+/// be ridden out — false suspicion included — with the same
+/// byte-identity verdict as the failover sweep.
+pub fn run_netfault_sweep(
+    cfg: &FailoverSimConfig,
+    start: u64,
+    count: u64,
+) -> Result<FailoverSweepSummary, FailoverSweepFailure> {
+    let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+        base: cfg.base,
+        shard: cfg.shard,
+    });
+    let global_oracle = crate::oracle::sequential_prefix(&cfg.base);
+    let mut summary = FailoverSweepSummary::default();
+    for seed in start..start.saturating_add(count) {
+        let plan = FaultPlan::from_seed_netfault(seed, cfg.base.num_batches, cfg.shard.num_shards);
+        sweep_one(cfg, plan, seed, "netfault", &shard_oracle, &global_oracle, &mut summary)?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use crate::oracle::sequential_prefix;
+
+    #[test]
+    fn fault_free_replicated_run_completes_in_lockstep() {
+        let cfg = FailoverSimConfig::default();
+        let r = run_failover(&cfg, &FaultPlan::none(), 1);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.applied.iter().all(|&a| a == cfg.base.num_batches));
+        assert!(r.promotions.iter().all(|&p| p == 0), "no fault, no failover");
+        // every member applied every batch: lockstep = replicas × shards
+        assert_eq!(
+            r.trace.count(|e| matches!(e, TraceEvent::ReplicaApplied { .. })),
+            (cfg.base.num_batches * u64::from(cfg.replicas * cfg.shard.num_shards)) as usize
+        );
+        // and all members of a group digest identically
+        for members in &r.member_digests {
+            let first = members[0].expect("all alive");
+            assert!(members.iter().all(|&d| d == Some(first)), "lockstep members diverged");
+        }
+    }
+
+    #[test]
+    fn replicated_run_is_byte_identical_to_the_sequential_oracle() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        let r = run_failover(&cfg, &FaultPlan::none(), 7);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn primary_death_promotes_and_training_completes_unchanged() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        let plan = FaultPlan::with(vec![Fault::PrimaryDeath { shard: 1, after_applied: 5 }]);
+        let r = run_failover(&cfg, &plan, 3);
+        assert_eq!(r.outcome, Outcome::Completed, "failover must ride out the kill");
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::PrimaryDied { shard: 1, rank: 0, .. })));
+        assert!(r
+            .trace
+            .any(|e| matches!(e, TraceEvent::PrimarySuspected { shard: 1, rank: 0, .. })));
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::Promoted { shard: 1, rank: 1, .. })));
+        assert_eq!(r.promotions[1], 1);
+        assert_eq!(
+            r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize],
+            "the promoted backup trained the exact bytes the primary would have"
+        );
+    }
+
+    #[test]
+    fn kill_during_promotion_burns_through_both_spares() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        // adjacent watermarks: the second kill lands on the member the
+        // first promotion just installed
+        let plan = FaultPlan::with(vec![
+            Fault::PrimaryDeath { shard: 0, after_applied: 4 },
+            Fault::PrimaryDeath { shard: 0, after_applied: 5 },
+        ]);
+        let r = run_failover(&cfg, &plan, 9);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::PrimaryDied { shard: 0, rank: 0, .. })));
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::PrimaryDied { shard: 0, rank: 1, .. })));
+        assert_eq!(r.promotions[0], 2);
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn backup_death_and_catch_up_rejoin_byte_identically() {
+        let cfg = FailoverSimConfig::default();
+        let plan = FaultPlan::with(vec![Fault::BackupDeath {
+            shard: 2,
+            rank: 1,
+            after_applied: 4,
+            rejoin_after: 20,
+        }]);
+        let r = run_failover(&cfg, &plan, 5);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::BackupDied { shard: 2, rank: 1, .. })));
+        assert!(r
+            .trace
+            .any(|e| matches!(e, TraceEvent::CatchupInstalled { shard: 2, rank: 1, .. })));
+        // the rejoined member finished byte-identical to its peers
+        let members = &r.member_digests[2];
+        let first = members[0].expect("alive");
+        assert!(members.iter().all(|&d| d == Some(first)), "catch-up member diverged");
+    }
+
+    #[test]
+    fn kill_during_catch_up_still_completes() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        // the backup dies, and while it is scheduled to rejoin the
+        // primary dies too: the rejoin must wait for a promoted leader
+        let plan = FaultPlan::with(vec![
+            Fault::BackupDeath { shard: 0, rank: 1, after_applied: 3, rejoin_after: 25 },
+            Fault::PrimaryDeath { shard: 0, after_applied: 4 },
+        ]);
+        let r = run_failover(&cfg, &plan, 11);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.trace.any(|e| matches!(e, TraceEvent::CatchupInstalled { shard: 0, .. })));
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn heartbeat_loss_forces_a_false_suspicion_that_fences() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        let plan = FaultPlan::with(vec![Fault::HeartbeatLoss { shard: 1, start: 10, ticks: 60 }]);
+        let r = run_failover(&cfg, &plan, 13);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(
+            r.trace.any(|e| matches!(e, TraceEvent::PrimarySuspected { shard: 1, .. })),
+            "a 60-tick silent window must trip the 30-tick detector"
+        );
+        assert!(
+            r.trace.any(|e| matches!(e, TraceEvent::SteppedDown { shard: 1, rank: 0 })),
+            "the healthy-but-silent primary must step down, not split-brain"
+        );
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn partitions_are_ridden_out_by_retries_and_failover() {
+        let cfg = FailoverSimConfig::default();
+        let oracle = sequential_prefix(&cfg.base);
+        let plan = FaultPlan::with(vec![Fault::Partition { shard: 0, start: 15, ticks: 70 }]);
+        let r = run_failover(&cfg, &plan, 17);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.merged_digest, oracle.prefix_digests[cfg.base.num_batches as usize]);
+    }
+
+    #[test]
+    fn failover_replay_is_bit_identical() {
+        let cfg = FailoverSimConfig::default();
+        for seed in [0u64, 5, 23] {
+            let plan = FaultPlan::from_seed_failover(
+                seed,
+                cfg.base.num_batches,
+                cfg.shard.num_shards,
+                cfg.replicas,
+            );
+            let a = run_failover(&cfg, &plan, seed);
+            let b = run_failover(&cfg, &plan, seed);
+            assert_eq!(a.trace, b.trace, "trace diverged for seed {seed}");
+            assert_eq!(a.merged_digest, b.merged_digest);
+            assert_eq!(a.final_tick, b.final_tick);
+        }
+    }
+
+    #[test]
+    fn a_quick_failover_sweep_is_clean_and_actually_kills() {
+        let cfg = FailoverSimConfig::default();
+        let summary = run_failover_sweep(&cfg, 0, 20)
+            .unwrap_or_else(|f| panic!("failover sweep failed:\n{f}"));
+        assert_eq!(summary.seeds, 20);
+        assert_eq!(summary.completed, 20, "every kill schedule must complete");
+        assert!(summary.primaries_killed >= 20, "every seed kills at least one primary");
+        assert!(summary.promotions >= summary.primaries_killed);
+    }
+
+    #[test]
+    fn a_quick_netfault_sweep_is_clean() {
+        let cfg = FailoverSimConfig::default();
+        let summary = run_netfault_sweep(&cfg, 0, 15)
+            .unwrap_or_else(|f| panic!("netfault sweep failed:\n{f}"));
+        assert_eq!(summary.seeds, 15);
+        assert_eq!(summary.completed, 15, "every window must be ridden out");
+        assert!(summary.faults_injected > 0);
+    }
+
+    #[test]
+    fn failures_print_a_reproduction_recipe() {
+        let f = FailoverSweepFailure {
+            seed: 9,
+            replicas: 3,
+            mode: "failover",
+            plan: FaultPlan::from_seed_failover(9, 24, 3, 3),
+            violation: crate::invariants::Violation::OutOfBudget,
+        };
+        let text = f.to_string();
+        assert!(text.contains("seed: 9"));
+        assert!(text.contains("cargo xtask sim --failover-seed 9 --replicas 3"));
+    }
+}

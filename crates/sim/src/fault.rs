@@ -128,6 +128,55 @@ pub enum Fault {
         /// Extra delivery latency in ticks.
         ticks: u64,
     },
+    /// The current primary of shard `shard`'s replica group dies after
+    /// it has applied `after_applied` gradient batches. The worker
+    /// suspects it via heartbeat silence and promotes the next alive
+    /// backup — training continues from the promoted copy, no cold
+    /// restart (replicated runs only).
+    PrimaryDeath {
+        /// The shard whose primary dies.
+        shard: u32,
+        /// Applied batches after which the primary vanishes.
+        after_applied: u64,
+    },
+    /// Backup replica `rank` of shard `shard` dies after the group has
+    /// applied `after_applied` batches, optionally rejoining later
+    /// through the snapshot + log-replay catch-up path.
+    BackupDeath {
+        /// The shard whose backup dies.
+        shard: u32,
+        /// The dying member's rank within the group.
+        rank: u32,
+        /// Applied batches after which the backup vanishes.
+        after_applied: u64,
+        /// Ticks after the death at which the member rejoins via
+        /// catch-up (0 = it never rejoins).
+        rejoin_after: u64,
+    },
+    /// Heartbeats from shard `shard`'s primary are dropped during
+    /// `[start, start + ticks)` while data traffic flows normally —
+    /// the false-suspicion fault: the worker may promote a backup away
+    /// from a perfectly healthy primary, which must then step down.
+    HeartbeatLoss {
+        /// The shard whose heartbeats are lost.
+        shard: u32,
+        /// First silent tick.
+        start: u64,
+        /// Window length in ticks.
+        ticks: u64,
+    },
+    /// All worker traffic to and from shard `shard` (gathers, pushes,
+    /// acks, heartbeats) is dropped during `[start, start + ticks)` —
+    /// the network-partition fault. Retransmission and failover must
+    /// ride it out together.
+    Partition {
+        /// The partitioned shard.
+        shard: u32,
+        /// First partitioned tick.
+        start: u64,
+        /// Window length in ticks.
+        ticks: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -171,6 +220,27 @@ impl fmt::Display for Fault {
             }
             Fault::ShardDelay { shard, seq, ticks } => {
                 write!(f, "push {seq} to shard {shard} delayed {ticks} ticks")
+            }
+            Fault::PrimaryDeath { shard, after_applied } => {
+                write!(f, "shard {shard}'s primary dies after applying {after_applied} batches")
+            }
+            Fault::BackupDeath { shard, rank, after_applied, rejoin_after } => {
+                write!(
+                    f,
+                    "shard {shard}'s backup {rank} dies after {after_applied} applied batches"
+                )?;
+                if *rejoin_after > 0 {
+                    write!(f, ", rejoining {rejoin_after} ticks later")?;
+                }
+                Ok(())
+            }
+            Fault::HeartbeatLoss { shard, start, ticks } => write!(
+                f,
+                "shard {shard}'s heartbeats lost during ticks [{start}, {})",
+                start + ticks
+            ),
+            Fault::Partition { shard, start, ticks } => {
+                write!(f, "shard {shard} partitioned during ticks [{start}, {})", start + ticks)
             }
         }
     }
@@ -412,6 +482,168 @@ impl FaultPlan {
         })
     }
 
+    /// Derives a plan for a **replicated** run: kill-the-primary and
+    /// kill-the-backup schedules for a K-replica sharded tier. Every
+    /// seed kills at least one primary mid-training (that is the sweep's
+    /// whole point — a fallback kill is injected when the draws produce
+    /// none), primary deaths per shard are capped at `replicas - 1` so
+    /// the last copy always survives, and adjacent-watermark kills on
+    /// the same shard exercise death *during* a promotion. Same
+    /// determinism contract: one seed, one plan, bit-for-bit.
+    pub fn from_seed_failover(seed: u64, num_batches: u64, num_shards: u32, replicas: u32) -> Self {
+        let mut ctr = seed ^ 0xFA11_0FE4_FA11_0FE4;
+        let mut draw = move || {
+            ctr = ctr.wrapping_add(1);
+            splitmix64(ctr)
+        };
+        let n = num_batches.max(1);
+        let shards = u64::from(num_shards.max(1));
+        let spares = replicas.max(2) - 1; // deaths a shard can absorb
+                                          // total deaths per shard (primary AND backup, rejoining or not)
+                                          // stay under the spare budget so at least one copy always
+                                          // survives and every sweep seed can complete
+        let mut deaths = vec![0u32; shards as usize];
+        let count = 1 + (draw() % 4) as usize; // 1..=4 faults
+        let mut faults = Vec::with_capacity(count + 1);
+        for _ in 0..count {
+            let fault = match draw() % 4 {
+                0 | 1 => {
+                    let shard = (draw() % shards) as u32;
+                    let after_applied = draw() % n;
+                    if deaths[shard as usize] >= spares {
+                        continue; // never schedule away the last copy
+                    }
+                    deaths[shard as usize] += 1;
+                    Fault::PrimaryDeath { shard, after_applied }
+                }
+                2 => {
+                    let shard = (draw() % shards) as u32;
+                    let rank = 1 + (draw() % u64::from(spares)) as u32;
+                    let after_applied = draw() % n;
+                    let rejoin_after = if draw() % 2 == 0 { 8 + draw() % 40 } else { 0 };
+                    if deaths[shard as usize] >= spares {
+                        continue;
+                    }
+                    deaths[shard as usize] += 1;
+                    Fault::BackupDeath { shard, rank, after_applied, rejoin_after }
+                }
+                _ => Fault::WorkerStall { at_batch: draw() % n, ticks: 1 + draw() % 32 },
+            };
+            faults.push(fault);
+        }
+        if !faults.iter().any(|f| matches!(f, Fault::PrimaryDeath { .. })) {
+            // the sweep's contract: every seed kills at least one primary
+            let first = splitmix64(seed ^ 0xC4A5_11C4_A511_C4A5) % shards;
+            let shard = (0..shards)
+                .map(|step| ((first + step) % shards) as u32)
+                .find(|&s| deaths[s as usize] < spares);
+            match shard {
+                Some(shard) => {
+                    let after_applied = splitmix64(seed ^ 0x11C4_A511_C4A5_11C4) % n;
+                    faults.push(Fault::PrimaryDeath { shard, after_applied });
+                }
+                None => {
+                    // every shard is at its death budget (only possible in
+                    // tiny configs): replace the plan with one clean kill
+                    let shard = first as u32;
+                    let after_applied = splitmix64(seed ^ 0x11C4_A511_C4A5_11C4) % n;
+                    faults = vec![Fault::PrimaryDeath { shard, after_applied }];
+                }
+            }
+        }
+        Self { faults }
+    }
+
+    /// Derives a plan of **network faults** for a replicated run:
+    /// heartbeat-loss windows (false suspicion → spurious promotion →
+    /// fenced step-down) and full partitions (retransmission + failover
+    /// riding out total silence), with an optional primary kill mixed
+    /// in. Windows are bounded so every seed's run can still finish.
+    pub fn from_seed_netfault(seed: u64, num_batches: u64, num_shards: u32) -> Self {
+        let mut ctr = seed ^ 0x4E7F_A017_4E7F_A017;
+        let mut draw = move || {
+            ctr = ctr.wrapping_add(1);
+            splitmix64(ctr)
+        };
+        let n = num_batches.max(1);
+        let shards = u64::from(num_shards.max(1));
+        let count = 1 + (draw() % 3) as usize; // 1..=3 faults
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let fault = match draw() % 4 {
+                0 | 1 => Fault::HeartbeatLoss {
+                    shard: (draw() % shards) as u32,
+                    start: draw() % (n * 10),
+                    ticks: 20 + draw() % 56, // long enough to trip suspicion
+                },
+                2 => Fault::Partition {
+                    shard: (draw() % shards) as u32,
+                    start: draw() % (n * 10),
+                    ticks: 10 + draw() % 66, // bounded: the run must finish
+                },
+                _ => Fault::PrimaryDeath {
+                    shard: (draw() % shards) as u32,
+                    after_applied: draw() % n,
+                },
+            };
+            faults.push(fault);
+        }
+        Self { faults }
+    }
+
+    /// Applied-watermarks at which `shard`'s primary dies, sorted
+    /// ascending (one promotion per entry).
+    pub fn primary_deaths(&self, shard: u32) -> Vec<u64> {
+        let mut deaths: Vec<u64> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PrimaryDeath { shard: s, after_applied } if *s == shard => {
+                    Some(*after_applied)
+                }
+                _ => None,
+            })
+            .collect();
+        deaths.sort_unstable();
+        deaths
+    }
+
+    /// Backup deaths scheduled for `shard`: `(rank, after_applied,
+    /// rejoin_after)` tuples in plan order.
+    pub fn backup_deaths(&self, shard: u32) -> Vec<(u32, u64, u64)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::BackupDeath { shard: s, rank, after_applied, rejoin_after }
+                    if *s == shard =>
+                {
+                    Some((*rank, *after_applied, *rejoin_after))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when `shard`'s heartbeats are dropped at tick `t`.
+    pub fn heartbeat_lost_at(&self, shard: u32, t: u64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::HeartbeatLoss { shard: s, start, ticks } => {
+                *s == shard && t >= *start && t < *start + *ticks
+            }
+            _ => false,
+        })
+    }
+
+    /// True when all traffic to and from `shard` is dropped at tick `t`.
+    pub fn partitioned_at(&self, shard: u32, t: u64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::Partition { shard: s, start, ticks } => {
+                *s == shard && t >= *start && t < *start + *ticks
+            }
+            _ => false,
+        })
+    }
+
     /// Extra delivery latency for push `seq` toward `shard` (summed over
     /// duplicate entries).
     pub fn shard_delay(&self, shard: u32, seq: u64) -> u64 {
@@ -456,7 +688,11 @@ mod tests {
                     | Fault::ShardSaturation { .. }
                     | Fault::DropShardPush { .. }
                     | Fault::DuplicateShardPush { .. }
-                    | Fault::ShardDelay { .. } => {
+                    | Fault::ShardDelay { .. }
+                    | Fault::PrimaryDeath { .. }
+                    | Fault::BackupDeath { .. }
+                    | Fault::HeartbeatLoss { .. }
+                    | Fault::Partition { .. } => {
                         panic!("single-server seeds must not draw shard faults: {f}")
                     }
                 };
@@ -522,6 +758,82 @@ mod tests {
         assert!(plan.shard_duplicates(0, 6, 2) && !plan.shard_duplicates(0, 6, 1));
         assert_eq!(plan.shard_delay(1, 3), 7);
         assert_eq!(plan.shard_delay(0, 3), 0);
+    }
+
+    #[test]
+    fn failover_seeds_always_kill_a_primary_within_the_spare_budget() {
+        let replicas = 3u32;
+        let mut saw_backup_death = false;
+        let mut saw_rejoin = false;
+        let mut saw_adjacent = false;
+        for seed in 0..500u64 {
+            let plan = FaultPlan::from_seed_failover(seed, 24, 3, replicas);
+            assert_eq!(plan, FaultPlan::from_seed_failover(seed, 24, 3, replicas));
+            assert!(
+                plan.faults.iter().any(|f| matches!(f, Fault::PrimaryDeath { .. })),
+                "seed {seed} kills no primary — the sweep's contract is broken"
+            );
+            for shard in 0..3 {
+                let deaths = plan.primary_deaths(shard);
+                let backups = plan.backup_deaths(shard);
+                assert!(
+                    deaths.len() + backups.len() <= (replicas - 1) as usize,
+                    "seed {seed} schedules away shard {shard}'s last copy"
+                );
+                saw_adjacent |= deaths.windows(2).any(|w| w[1] - w[0] <= 1);
+                for (rank, _, rejoin) in backups {
+                    assert!(rank >= 1 && rank < replicas, "rank {rank} outside the group");
+                    saw_backup_death = true;
+                    saw_rejoin |= rejoin > 0;
+                }
+            }
+        }
+        assert!(saw_backup_death, "500 seeds must kill some backup");
+        assert!(saw_rejoin, "500 seeds must exercise the catch-up rejoin path");
+        assert!(saw_adjacent, "500 seeds must kill during a promotion window");
+    }
+
+    #[test]
+    fn netfault_seeds_cover_both_window_kinds_and_stay_bounded() {
+        let mut kinds = [false; 3];
+        for seed in 0..500u64 {
+            let plan = FaultPlan::from_seed_netfault(seed, 24, 3);
+            assert_eq!(plan, FaultPlan::from_seed_netfault(seed, 24, 3));
+            assert!(!plan.faults.is_empty(), "netfault seeds always inject something");
+            for f in &plan.faults {
+                match f {
+                    Fault::HeartbeatLoss { ticks, .. } => {
+                        assert!(*ticks <= 76, "unbounded window stalls the run");
+                        kinds[0] = true;
+                    }
+                    Fault::Partition { ticks, .. } => {
+                        assert!(*ticks <= 76, "unbounded window stalls the run");
+                        kinds[1] = true;
+                    }
+                    Fault::PrimaryDeath { .. } => kinds[2] = true,
+                    other => panic!("netfault seeds must not draw {other}"),
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "500 netfault seeds must cover all kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn failover_queries_answer_from_the_plan() {
+        let plan = FaultPlan::with(vec![
+            Fault::PrimaryDeath { shard: 0, after_applied: 7 },
+            Fault::PrimaryDeath { shard: 0, after_applied: 3 },
+            Fault::BackupDeath { shard: 1, rank: 2, after_applied: 5, rejoin_after: 12 },
+            Fault::HeartbeatLoss { shard: 2, start: 40, ticks: 10 },
+            Fault::Partition { shard: 1, start: 80, ticks: 20 },
+        ]);
+        assert_eq!(plan.primary_deaths(0), vec![3, 7], "sorted ascending");
+        assert!(plan.primary_deaths(1).is_empty());
+        assert_eq!(plan.backup_deaths(1), vec![(2, 5, 12)]);
+        assert!(plan.heartbeat_lost_at(2, 40) && plan.heartbeat_lost_at(2, 49));
+        assert!(!plan.heartbeat_lost_at(2, 50) && !plan.heartbeat_lost_at(0, 45));
+        assert!(plan.partitioned_at(1, 80) && plan.partitioned_at(1, 99));
+        assert!(!plan.partitioned_at(1, 100) && !plan.partitioned_at(0, 90));
     }
 
     #[test]

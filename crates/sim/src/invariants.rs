@@ -157,6 +157,55 @@ pub enum Violation {
         /// Digest the sharded oracle requires.
         want: u64,
     },
+    /// One replica-group member applied a push more than once
+    /// (per-member exactly-once broken across promotion/catch-up
+    /// boundaries).
+    ReplicaAppliedTwice {
+        /// The member's shard.
+        shard: u32,
+        /// The member's rank.
+        rank: u32,
+        /// Re-applied batch.
+        seq: u64,
+    },
+    /// One replica-group member's applies skipped or reordered sequence
+    /// numbers — lockstep replication broke.
+    ReplicaAppliedOutOfOrder {
+        /// The member's shard.
+        shard: u32,
+        /// The member's rank.
+        rank: u32,
+        /// Batch that was applied.
+        seq: u64,
+        /// Batch that should have been next on that member.
+        expected: u64,
+    },
+    /// A surviving replica-group member's final sub-tables differ from
+    /// the sharded sequential oracle at that member's applied count —
+    /// a backup (or rejoiner) is not byte-identical to what the primary
+    /// would have trained.
+    ReplicaDiverged {
+        /// The member's shard.
+        shard: u32,
+        /// The member's rank.
+        rank: u32,
+        /// Batches that member applied.
+        applied: u64,
+        /// Digest the member produced.
+        got: u64,
+        /// Digest the sharded oracle requires.
+        want: u64,
+    },
+    /// A survivable failover schedule did not finish training — the
+    /// whole point of replication is completing without a cold restart.
+    FailoverIncomplete {
+        /// The lagging shard group.
+        shard: u32,
+        /// Batches that group applied.
+        applied: u64,
+        /// Batches scheduled.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -219,6 +268,22 @@ impl fmt::Display for Violation {
                 f,
                 "shard {shard}'s sub-tables at applied={applied} digest to {got:#018x}, \
                  sharded oracle requires {want:#018x}"
+            ),
+            Violation::ReplicaAppliedTwice { shard, rank, seq } => {
+                write!(f, "shard {shard} rank {rank} applied push {seq} more than once")
+            }
+            Violation::ReplicaAppliedOutOfOrder { shard, rank, seq, expected } => write!(
+                f,
+                "shard {shard} rank {rank} applied push {seq} while {expected} was next in order"
+            ),
+            Violation::ReplicaDiverged { shard, rank, applied, got, want } => write!(
+                f,
+                "shard {shard} rank {rank}'s sub-tables at applied={applied} digest to \
+                 {got:#018x}, sharded oracle requires {want:#018x}"
+            ),
+            Violation::FailoverIncomplete { shard, applied, expected } => write!(
+                f,
+                "survivable failover schedule left shard {shard} at {applied}/{expected} batches"
             ),
         }
     }
@@ -484,6 +549,217 @@ pub fn check_shard_run(
     Ok(a)
 }
 
+/// Checks the trace-level invariants of one finished **replicated** run:
+/// per-member exactly-once (every `(shard, rank)` applies in sequence
+/// order with no duplicates, across promotion boundaries, with
+/// catch-up rejoins resetting that member's stamp domain to the group
+/// watermark), no phantom acks (a shard acks only what its group
+/// applied), the stitched staleness bound, stamp monotonicity (lockstep
+/// promotion must never regress a stamp), and outcome consistency.
+pub fn check_failover_trace(
+    report: &crate::failover::FailoverSimReport,
+    cfg: &crate::failover::FailoverSimConfig,
+) -> Result<(), Violation> {
+    if report.outcome == Outcome::OutOfBudget {
+        return Err(Violation::OutOfBudget);
+    }
+    let num_shards = cfg.shard.num_shards as usize;
+    let replicas = cfg.replicas.max(1) as usize;
+    let mut next_apply = vec![vec![0u64; replicas]; num_shards];
+    let mut last_stamp = 0u64;
+    let mut stamps: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    for e in &report.trace.events {
+        match *e {
+            TraceEvent::ReplicaApplied { shard, rank, seq } => {
+                let slot = &mut next_apply[shard as usize][rank as usize];
+                if seq < *slot {
+                    return Err(Violation::ReplicaAppliedTwice { shard, rank, seq });
+                }
+                if seq > *slot {
+                    return Err(Violation::ReplicaAppliedOutOfOrder {
+                        shard,
+                        rank,
+                        seq,
+                        expected: *slot,
+                    });
+                }
+                *slot += 1;
+            }
+            TraceEvent::CatchupInstalled { shard, rank, applied } => {
+                // the rejoiner restored the group watermark wholesale;
+                // its stamp domain resumes there
+                next_apply[shard as usize][rank as usize] = applied;
+            }
+            TraceEvent::ShardAcked { shard, seq } => {
+                let group = next_apply[shard as usize].iter().max().copied().unwrap_or(0);
+                if seq >= group {
+                    return Err(Violation::ShardAckedWithoutApply { shard, seq });
+                }
+            }
+            TraceEvent::ShardStamped { seq, applied, .. } => {
+                stamps.entry(seq).or_default().push(applied);
+            }
+            TraceEvent::Gathered { seq, applied_through } => {
+                let stitched = stamps
+                    .get(&seq)
+                    .filter(|v| v.len() == num_shards)
+                    .and_then(|v| v.iter().min().copied());
+                if stitched != Some(applied_through) {
+                    return Err(Violation::ShardStampMismatch {
+                        seq,
+                        stitched: stitched.unwrap_or(u64::MAX),
+                        stamped: applied_through,
+                    });
+                }
+                if seq - applied_through > cfg.base.staleness_bound {
+                    return Err(Violation::StalenessExceeded {
+                        seq,
+                        applied_through,
+                        bound: cfg.base.staleness_bound,
+                    });
+                }
+                if applied_through < last_stamp {
+                    // lockstep replication guarantees a promoted backup
+                    // is at the old primary's watermark: regression here
+                    // means failover rewound training
+                    return Err(Violation::StampRegressed {
+                        seq,
+                        applied_through,
+                        prev: last_stamp,
+                    });
+                }
+                last_stamp = applied_through;
+            }
+            TraceEvent::PrefetchSynced { seq, applied_through }
+                if seq - applied_through > cfg.base.staleness_bound =>
+            {
+                return Err(Violation::StalenessExceeded {
+                    seq,
+                    applied_through,
+                    bound: cfg.base.staleness_bound,
+                });
+            }
+            _ => {}
+        }
+    }
+    for (s, members) in report.member_applied.iter().enumerate() {
+        for (r, reported) in members.iter().enumerate() {
+            // dead members keep whatever the trace last said; survivors
+            // must agree with it exactly
+            if let Some(reported) = *reported {
+                if next_apply[s][r] != reported {
+                    return Err(Violation::ReplicaAppliedOutOfOrder {
+                        shard: s as u32,
+                        rank: r as u32,
+                        seq: reported,
+                        expected: next_apply[s][r],
+                    });
+                }
+            }
+        }
+    }
+    if report.outcome == Outcome::Completed {
+        for (s, &applied) in report.applied.iter().enumerate() {
+            if applied != cfg.base.num_batches {
+                return Err(Violation::ShardIncomplete {
+                    shard: s as u32,
+                    applied,
+                    expected: cfg.base.num_batches,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks byte-identity of a replicated run against the oracles: every
+/// surviving member of every group (primary, backups, and catch-up
+/// rejoiners alike) must digest to the sharded sequential oracle's
+/// prefix at that member's own applied count, and when the groups agree
+/// on a watermark the merged tables must equal the global sequential
+/// oracle at that prefix.
+pub fn check_failover_against_oracle(
+    report: &crate::failover::FailoverSimReport,
+    shard_oracle: &crate::oracle::ShardOracle,
+    global_oracle: &Oracle,
+) -> Result<(), Violation> {
+    for (s, (digests, applieds)) in
+        report.member_digests.iter().zip(&report.member_applied).enumerate()
+    {
+        for (r, (digest, applied)) in digests.iter().zip(applieds).enumerate() {
+            let (Some(got), Some(applied)) = (*digest, *applied) else { continue };
+            let want = shard_oracle.per_shard[s][applied as usize];
+            if got != want {
+                return Err(Violation::ReplicaDiverged {
+                    shard: s as u32,
+                    rank: r as u32,
+                    applied,
+                    got,
+                    want,
+                });
+            }
+        }
+    }
+    if let [first, rest @ ..] = report.applied.as_slice() {
+        if rest.iter().all(|a| a == first) {
+            let want = global_oracle.prefix_digests[*first as usize];
+            if report.merged_digest != want {
+                return Err(Violation::OracleMismatch {
+                    applied: *first,
+                    got: report.merged_digest,
+                    want,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a replicated `(cfg, plan, seed)` twice, demands bit-identical
+/// traces and bytes, **requires completion** (every plan the failover
+/// and netfault sweeps derive is survivable by construction — leaving
+/// at least one member per group alive — so a run that fails to finish
+/// is a failover bug, not an acceptable fault outcome), then checks
+/// every replica-trace and oracle invariant. The full per-seed verdict
+/// of the failover sweeps.
+pub fn check_failover_run(
+    cfg: &crate::failover::FailoverSimConfig,
+    plan: &FaultPlan,
+    schedule_seed: u64,
+    shard_oracle: &crate::oracle::ShardOracle,
+    global_oracle: &Oracle,
+) -> Result<crate::failover::FailoverSimReport, Violation> {
+    let a = crate::failover::run_failover(cfg, plan, schedule_seed);
+    let b = crate::failover::run_failover(cfg, plan, schedule_seed);
+    if a.trace != b.trace
+        || a.merged_digest != b.merged_digest
+        || a.member_digests != b.member_digests
+        || a.final_tick != b.final_tick
+    {
+        return Err(Violation::ReplayDiverged { seed: schedule_seed });
+    }
+    if a.outcome == Outcome::OutOfBudget {
+        return Err(Violation::OutOfBudget);
+    }
+    if a.outcome != Outcome::Completed {
+        let (shard, applied) = a
+            .applied
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &ap)| ap)
+            .map(|(s, &ap)| (s as u32, ap))
+            .unwrap_or((0, 0));
+        return Err(Violation::FailoverIncomplete {
+            shard,
+            applied,
+            expected: cfg.base.num_batches,
+        });
+    }
+    check_failover_trace(&a, cfg)?;
+    check_failover_against_oracle(&a, shard_oracle, global_oracle)?;
+    Ok(a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +878,79 @@ mod tests {
         assert!(matches!(
             check_shard_against_oracle(&report, &shard_oracle, &global_oracle),
             Err(Violation::ShardOracleMismatch { shard: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn failover_checker_passes_a_clean_replicated_run() {
+        let cfg = crate::failover::FailoverSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+            base: cfg.base,
+            shard: cfg.shard,
+        });
+        let global_oracle = sequential_prefix(&cfg.base);
+        let report = check_failover_run(&cfg, &FaultPlan::none(), 1, &shard_oracle, &global_oracle)
+            .expect("clean replicated run");
+        assert_eq!(report.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn failover_checker_passes_a_primary_kill_schedule() {
+        let cfg = crate::failover::FailoverSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+            base: cfg.base,
+            shard: cfg.shard,
+        });
+        let global_oracle = sequential_prefix(&cfg.base);
+        let plan = FaultPlan::with(vec![Fault::PrimaryDeath { shard: 0, after_applied: 6 }]);
+        let report = check_failover_run(&cfg, &plan, 3, &shard_oracle, &global_oracle)
+            .unwrap_or_else(|v| panic!("kill schedule violated: {v}"));
+        assert!(report.promotions[0] >= 1);
+    }
+
+    #[test]
+    fn failover_checker_catches_a_per_member_double_apply() {
+        let cfg = crate::failover::FailoverSimConfig::default();
+        let mut report = crate::failover::run_failover(&cfg, &FaultPlan::none(), 1);
+        report.trace.push(TraceEvent::ReplicaApplied { shard: 1, rank: 2, seq: 3 });
+        assert_eq!(
+            check_failover_trace(&report, &cfg),
+            Err(Violation::ReplicaAppliedTwice { shard: 1, rank: 2, seq: 3 })
+        );
+    }
+
+    #[test]
+    fn failover_checker_catches_a_diverged_backup() {
+        let cfg = crate::failover::FailoverSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+            base: cfg.base,
+            shard: cfg.shard,
+        });
+        let global_oracle = sequential_prefix(&cfg.base);
+        let mut report = crate::failover::run_failover(&cfg, &FaultPlan::none(), 1);
+        if let Some(d) = report.member_digests[0][1].as_mut() {
+            *d ^= 1;
+        }
+        assert!(matches!(
+            check_failover_against_oracle(&report, &shard_oracle, &global_oracle),
+            Err(Violation::ReplicaDiverged { shard: 0, rank: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn failover_checker_requires_completion() {
+        let cfg = crate::failover::FailoverSimConfig::default();
+        let shard_oracle = crate::oracle::sharded_prefix(&crate::shard::ShardSimConfig {
+            base: cfg.base,
+            shard: cfg.shard,
+        });
+        let global_oracle = sequential_prefix(&cfg.base);
+        // a worker death is NOT survivable by failover; the replicated
+        // checker must flag the unfinished schedule rather than accept it
+        let plan = FaultPlan::with(vec![Fault::WorkerDeath { at_batch: 5 }]);
+        assert!(matches!(
+            check_failover_run(&cfg, &plan, 1, &shard_oracle, &global_oracle),
+            Err(Violation::FailoverIncomplete { .. })
         ));
     }
 

@@ -31,7 +31,12 @@
 //! * [`reshard`] — elastic resharding: drain through the checkpoint
 //!   store, migrate row ranges to a new placement, resume — crash-safe at
 //!   every drain step and byte-identical to the never-resharded oracle
-//!   (DESIGN.md §14).
+//!   (DESIGN.md §14),
+//! * [`failover`] — the replicated tier: K-member lockstep replica
+//!   groups per shard, heartbeat failure detection, promotion on
+//!   suspicion, checkpoint catch-up rejoins, and the kill-the-primary /
+//!   network-fault sweeps that demand completion byte-identical to the
+//!   sequential oracle (DESIGN.md §15).
 //!
 //! See DESIGN.md §10 for the fault model and the invariant statements.
 
@@ -39,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod clock;
+pub mod failover;
 pub mod fault;
 pub mod invariants;
 pub mod oracle;
@@ -53,10 +59,15 @@ pub mod trace;
 #[cfg(test)]
 mod proptests;
 
+pub use failover::{
+    run_failover, run_failover_sweep, run_netfault_sweep, FailoverSimConfig, FailoverSimReport,
+    FailoverSweepFailure, FailoverSweepSummary,
+};
 pub use fault::{Fault, FaultPlan};
 pub use invariants::{
-    check_against_oracle, check_run, check_shard_against_oracle, check_shard_run,
-    check_shard_trace, check_trace, Violation,
+    check_against_oracle, check_failover_against_oracle, check_failover_run, check_failover_trace,
+    check_run, check_shard_against_oracle, check_shard_run, check_shard_trace, check_trace,
+    Violation,
 };
 pub use oracle::{sequential_prefix, sharded_prefix, Oracle, ShardOracle};
 pub use recovery::{

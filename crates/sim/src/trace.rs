@@ -168,6 +168,72 @@ pub enum TraceEvent {
         /// Batches it had applied when it died.
         applied: u64,
     },
+    /// A replica-group primary died (fault injection); its backups keep
+    /// the shard's state.
+    PrimaryDied {
+        /// The shard whose primary died.
+        shard: u32,
+        /// The dead member's rank within the group.
+        rank: u32,
+        /// Batches it had applied when it died.
+        applied: u64,
+    },
+    /// A backup replica died (fault injection).
+    BackupDied {
+        /// The shard whose backup died.
+        shard: u32,
+        /// The dead member's rank.
+        rank: u32,
+        /// Batches the group had applied when it died.
+        applied: u64,
+    },
+    /// The worker's failure detector crossed the suspicion timeout for a
+    /// shard's primary.
+    PrimarySuspected {
+        /// The suspected shard.
+        shard: u32,
+        /// The rank the worker believed was primary.
+        rank: u32,
+        /// Heartbeat silence in ticks when suspicion fired.
+        silent_for: u64,
+    },
+    /// The worker promoted a backup to primary and rerouted traffic.
+    Promoted {
+        /// The shard that failed over.
+        shard: u32,
+        /// The newly-promoted member's rank.
+        rank: u32,
+        /// The promoted member's applied watermark at promotion.
+        applied: u64,
+    },
+    /// A falsely-deposed primary learned of the promotion and stepped
+    /// down to backup (fencing).
+    SteppedDown {
+        /// The shard whose old primary stepped down.
+        shard: u32,
+        /// The stepping-down member's rank.
+        rank: u32,
+    },
+    /// A replica-group member applied batch `seq` (primaries and backups
+    /// alike — the per-member stamp domain the exactly-once invariant is
+    /// checked over).
+    ReplicaApplied {
+        /// The member's shard.
+        shard: u32,
+        /// The member's rank.
+        rank: u32,
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// A dead member rejoined via snapshot + log-replay catch-up.
+    CatchupInstalled {
+        /// The rejoining member's shard.
+        shard: u32,
+        /// The rejoining member's rank.
+        rank: u32,
+        /// Applied watermark after replay (the group's watermark).
+        applied: u64,
+    },
 }
 
 /// The full history of one run.

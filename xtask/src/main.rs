@@ -28,8 +28,13 @@
 //!   to replay one failing seed with full diagnostics, `--crash-sweep N`
 //!   for the crash-recovery sweep (process crashes, torn checkpoint
 //!   writes, at-rest rot), `--crash-seed N` to replay one crash-recovery
-//!   scenario. Arguments pass through to the `sim` binary; see DESIGN.md
-//!   §10–§11.
+//!   scenario, `--shard-sweep` / `--reshard-sweep` for the multi-shard
+//!   and elasticity matrices, and `--failover-sweep N` /
+//!   `--netfault-sweep N` (with `--failover-seed` / `--netfault-seed`
+//!   replay) for the replicated tier: kill-the-primary schedules,
+//!   heartbeat loss, and partitions that must complete byte-identical to
+//!   the sequential oracle. Arguments pass through to the `sim` binary;
+//!   see DESIGN.md §10–§11 and §15.
 //! * `ckpt [args...]` — checkpoint tooling: `verify <path>` fully checks
 //!   one `.elck` file or a whole store directory, `ls <dir>` lists a
 //!   store, `bench` measures checkpoint size and save/restore time.
@@ -66,7 +71,8 @@ fn usage() -> ExitCode {
          tsan                 run the pool stress harness under ThreadSanitizer\n                       \
          (needs nightly + rust-src)\n  \
          sim [args...]        run the pipeline simulator (--sweep N | --seed N |\n                       \
-         --crash-sweep N | --crash-seed N)\n  \
+         --crash-sweep N | --crash-seed N | --shard-sweep N |\n                       \
+         --reshard-sweep N | --failover-sweep N | --netfault-sweep N)\n  \
          ckpt [args...]       checkpoint tooling (verify <path> | ls <dir> | bench)"
     );
     ExitCode::FAILURE
