@@ -42,7 +42,9 @@ pub struct ReplicationConfig {
     /// Ticks between primary heartbeats (before jitter).
     pub heartbeat_every: u64,
     /// Ticks of heartbeat silence before a primary is suspected. Clamped
-    /// above `heartbeat_every` so one jittered gap can never trip it.
+    /// to at least `heartbeat_every + max_jitter + 1` (see
+    /// [`HeartbeatConfig::min_suspicion`]) so one maximally jittered gap
+    /// can never trip it.
     pub suspicion_after: u64,
     /// Gradient-log retention: when the log holds this many entries a
     /// snapshot is refreshed and the log trimmed, bounding catch-up memory.
@@ -70,7 +72,8 @@ impl ReplicationConfig {
     /// Reads `EL_REPLICAS` / `EL_HEARTBEAT_TICKS` / `EL_SUSPECT_TICKS`
     /// overrides on top of the defaults. Unset or unparsable values keep
     /// the default; `replicas` and `heartbeat_every` are clamped to at
-    /// least 1, and `suspicion_after` to at least `heartbeat_every + 1`.
+    /// least 1, and `suspicion_after` to at least
+    /// [`HeartbeatConfig::min_suspicion`] of the heartbeat interval.
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(v) = std::env::var("EL_REPLICAS") {
@@ -88,7 +91,8 @@ impl ReplicationConfig {
                 cfg.suspicion_after = n;
             }
         }
-        cfg.suspicion_after = cfg.suspicion_after.max(cfg.heartbeat_every + 1);
+        cfg.suspicion_after =
+            cfg.suspicion_after.max(HeartbeatConfig::min_suspicion(cfg.heartbeat_every));
         cfg
     }
 
@@ -96,8 +100,10 @@ impl ReplicationConfig {
     pub fn heartbeat(&self, seed: u64) -> HeartbeatConfig {
         HeartbeatConfig {
             every: self.heartbeat_every,
-            suspicion_after: self.suspicion_after.max(self.heartbeat_every + 1),
-            jitter: (self.heartbeat_every / 2).max(1),
+            suspicion_after: self
+                .suspicion_after
+                .max(HeartbeatConfig::min_suspicion(self.heartbeat_every)),
+            jitter: HeartbeatConfig::max_jitter(self.heartbeat_every),
             seed,
         }
     }
@@ -207,21 +213,18 @@ impl GradientLog {
     }
 
     /// Entries from `watermark` on, or a typed error when the log no
-    /// longer reaches back that far.
-    pub fn entries_from(&self, watermark: u64) -> Result<&[GradientPush], ReplicaError> {
+    /// longer reaches back that far. The iterator spans both halves of
+    /// the ring, so retention settings whose trims wrap the underlying
+    /// allocation replay exactly like ones that don't.
+    pub fn entries_from(
+        &self,
+        watermark: u64,
+    ) -> Result<impl Iterator<Item = &GradientPush> + '_, ReplicaError> {
         if watermark < self.base {
             return Err(ReplicaError::LogTrimmed { needed: watermark, base: self.base });
         }
         let skip = (watermark - self.base) as usize;
-        let (a, b) = self.entries.as_slices();
-        // VecDeque contents are only ever pushed back, never rotated, so
-        // the front slice holds everything unless wrap-around occurred;
-        // make the storage contiguous lazily in that rare case.
-        if skip <= a.len() && b.is_empty() {
-            Ok(&a[skip.min(a.len())..])
-        } else {
-            Err(ReplicaError::LogTrimmed { needed: watermark, base: self.base })
-        }
+        Ok(self.entries.iter().skip(skip))
     }
 }
 
@@ -327,9 +330,13 @@ impl ReplicaGroup {
     }
 
     /// Applies one push through the whole group: exactly-once intake at
-    /// the primary, then the same stamped push appended to every alive
-    /// backup (idempotent over the same stamp domain) and to the log.
-    /// Duplicates are absorbed at the primary and never re-replicated.
+    /// the primary, then the stamped push goes to the log and to every
+    /// alive backup (idempotent over the same stamp domain). Duplicates
+    /// are absorbed at the primary and never re-replicated. A backup
+    /// whose intake rejects a lockstep push has diverged from the stamp
+    /// domain; it is killed (it can rejoin via [`ReplicaGroup::catch_up`])
+    /// rather than aborting mid-replication, which would leave the
+    /// primary ahead of the log and the remaining backups.
     pub fn apply_checked(&mut self, push: &GradientPush) -> Result<ApplyOutcome, ReplicaError> {
         // Refresh the snapshot from the *pre-push* primary before a full
         // log would trim away the entry this push is about to append.
@@ -342,17 +349,21 @@ impl ReplicaGroup {
         if outcome == ApplyOutcome::Duplicate {
             return Ok(outcome);
         }
+        // Log before replicating: the log and the primary share the stamp
+        // domain, so this append cannot gap once the primary accepted the
+        // push, and a backup failure below never strands an unlogged seq.
+        self.log.append(push.clone())?;
         for (r, member) in self.members.iter_mut().enumerate() {
             if r == rank {
                 continue;
             }
-            if let Some(backup) = member.as_mut() {
-                // Lockstep keeps backups at the primary's watermark, so
-                // this is Applied (or Duplicate right after a catch-up).
-                backup.apply_checked(push)?;
+            // Lockstep keeps backups at the primary's watermark, so this
+            // is Applied (or Duplicate right after a catch-up); an Err is
+            // a diverged member, removed so the group stays consistent.
+            if member.as_mut().is_some_and(|b| b.apply_checked(push).is_err()) {
+                *member = None;
             }
         }
-        self.log.append(push.clone())?;
         Ok(outcome)
     }
 
@@ -458,6 +469,20 @@ pub struct HeartbeatConfig {
 }
 
 impl HeartbeatConfig {
+    /// Maximum jitter a beat interval of `every` ticks carries (half the
+    /// interval, at least one tick).
+    pub fn max_jitter(every: u64) -> u64 {
+        (every / 2).max(1)
+    }
+
+    /// Minimum safe suspicion timeout for a beat interval of `every`
+    /// ticks: one full interval plus its maximum jitter plus one tick,
+    /// so a single maximally jittered heartbeat gap can never trip the
+    /// detector on its own.
+    pub fn min_suspicion(every: u64) -> u64 {
+        every + Self::max_jitter(every) + 1
+    }
+
     /// Delay before the `n`-th heartbeat.
     pub fn delay(&self, n: u64) -> u64 {
         self.every + splitmix64(self.seed ^ n) % (self.jitter + 1)
@@ -598,6 +623,69 @@ mod tests {
             log.entries_from(2).err(),
             Some(ReplicaError::LogTrimmed { needed: 2, base: 5 })
         );
+    }
+
+    #[test]
+    fn catch_up_survives_log_ring_wraparound() {
+        // A non-power-of-two retention (3) makes the VecDeque ring wrap
+        // after the first trims, so entries_from must span both halves
+        // of the ring. Exercise catch-up at every stop point well past
+        // several wraps, for several awkward capacities.
+        for capacity in [3usize, 5, 6, 7] {
+            for stop in 1u64..16 {
+                let mut group = ReplicaGroup::new(test_server(7), 2, 0, 1, capacity);
+                group.kill_backup(1).unwrap();
+                for seq in 0..stop {
+                    group.apply_checked(&push_for(seq)).unwrap();
+                }
+                group.catch_up(1).unwrap_or_else(|e| {
+                    panic!("catch_up failed at stop {stop}, capacity {capacity}: {e}")
+                });
+                assert!(
+                    group.verify_consistent(),
+                    "rejoined member diverged at stop {stop}, capacity {capacity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diverged_backup_is_killed_not_poisoning_the_group() {
+        let mut group = ReplicaGroup::new(test_server(8), 3, 0, 1, 16);
+        for seq in 0..3 {
+            group.apply_checked(&push_for(seq)).unwrap();
+        }
+        // Force a stamp-domain divergence on backup 1: the next lockstep
+        // push is stamped ahead of its watermark, so its intake reports a
+        // gap instead of applying.
+        group.members[1].as_mut().unwrap().applied -= 1;
+        assert_eq!(group.apply_checked(&push_for(3)).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(group.alive(), 2, "the diverged backup must be killed");
+        assert!(group.verify_consistent(), "survivors stay byte-identical");
+        // The group keeps making progress and the dead member can rejoin.
+        group.apply_checked(&push_for(4)).unwrap();
+        group.catch_up(1).unwrap();
+        assert!(group.verify_consistent());
+        group.apply_checked(&push_for(5)).unwrap();
+        assert!(group.verify_consistent());
+        assert_eq!(group.applied(), 6);
+    }
+
+    #[test]
+    fn suspicion_clamp_covers_a_maximally_jittered_gap() {
+        assert_eq!(HeartbeatConfig::max_jitter(8), 4);
+        assert_eq!(HeartbeatConfig::min_suspicion(8), 13);
+        assert_eq!(HeartbeatConfig::min_suspicion(1), 3);
+        // A user-set timeout of heartbeat_every + 1 must be raised past
+        // interval + max jitter, or every jittered beat would look late.
+        let cfg = ReplicationConfig {
+            heartbeat_every: 8,
+            suspicion_after: 9,
+            ..ReplicationConfig::default()
+        };
+        let hb = cfg.heartbeat(0);
+        assert_eq!(hb.suspicion_after, 13);
+        assert!((0..64).all(|n| hb.delay(n) < hb.suspicion_after));
     }
 
     #[test]

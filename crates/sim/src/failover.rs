@@ -106,10 +106,11 @@ impl FailoverSimConfig {
 
     /// The jittered heartbeat schedule of one shard's primary.
     pub fn heartbeat(&self, shard: u32, schedule_seed: u64) -> HeartbeatConfig {
+        let every = self.heartbeat_every.max(1);
         HeartbeatConfig {
-            every: self.heartbeat_every.max(1),
-            suspicion_after: self.suspicion_after.max(self.heartbeat_every + 1),
-            jitter: (self.heartbeat_every / 2).max(1),
+            every,
+            suspicion_after: self.suspicion_after.max(HeartbeatConfig::min_suspicion(every)),
+            jitter: HeartbeatConfig::max_jitter(every),
             seed: splitmix64(schedule_seed ^ 0x48B8_48B8_48B8_48B8 ^ u64::from(shard)),
         }
     }
@@ -226,6 +227,10 @@ pub fn run_failover(
         })
         .collect();
     let n = groups.len();
+    // The same clamp the detectors' HeartbeatConfig applies, so detector
+    // timeouts and suspect-check scheduling agree.
+    let suspicion =
+        cfg.suspicion_after.max(HeartbeatConfig::min_suspicion(cfg.heartbeat_every.max(1)));
     let mut sim = FailoverSim {
         cfg: *cfg,
         plan: plan.clone(),
@@ -242,9 +247,7 @@ pub fn run_failover(
         occupancy: 0,
         believed: vec![0; n],
         promotions: vec![0; n],
-        detectors: (0..n)
-            .map(|_| FailureDetector::new(cfg.suspicion_after.max(cfg.heartbeat_every + 1), 0))
-            .collect(),
+        detectors: (0..n).map(|_| FailureDetector::new(suspicion, 0)).collect(),
         heartbeats: (0..n).map(|s| cfg.heartbeat(s as u32, schedule_seed)).collect(),
         worker_alive: true,
         stalled: false,
@@ -258,7 +261,7 @@ pub fn run_failover(
     for s in 0..n {
         let first_beat = sim.heartbeats[s].delay(0);
         sim.q.schedule(first_beat, Ev::HeartbeatFire { shard: s as u32, n: 0 });
-        sim.q.schedule(sim.cfg.suspicion_after, Ev::SuspectCheck { shard: s as u32 });
+        sim.q.schedule(suspicion, Ev::SuspectCheck { shard: s as u32 });
     }
     sim.drive()
 }
